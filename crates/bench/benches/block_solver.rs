@@ -1,0 +1,56 @@
+//! Criterion bench: the optimal block solver (`encode_block`) across block
+//! sizes and transformation universes — the inner engine behind every code
+//! table and every stream encoding.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use imt_bitcode::block::{encode_block, BlockContext};
+use imt_bitcode::TransformSet;
+use rand::{Rng, SeedableRng};
+
+fn bench_block_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_solver");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for k in [3usize, 5, 7, 10, 13] {
+        let words: Vec<Vec<bool>> =
+            (0..256).map(|_| (0..k).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        group.bench_with_input(BenchmarkId::new("eight", k), &words, |b, words| {
+            b.iter(|| {
+                for w in words {
+                    black_box(encode_block(
+                        black_box(w),
+                        BlockContext::Initial,
+                        TransformSet::CANONICAL_EIGHT,
+                    ));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sixteen", k), &words, |b, words| {
+            b.iter(|| {
+                for w in words {
+                    black_box(encode_block(
+                        black_box(w),
+                        BlockContext::Initial,
+                        TransformSet::ALL_SIXTEEN,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_code_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code_table");
+    for k in [5usize, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                imt_bitcode::tables::CodeTable::build(k, TransformSet::CANONICAL_EIGHT)
+                    .expect("valid size")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_solver, bench_code_tables);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench: the extension machinery — table-image pack/unpack,
+//! h-history solver, block scheduler, exact gate synthesis.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use imt_core::{encode_program, EncoderConfig};
+use imt_kernels::Kernel;
+use imt_sim::Cpu;
+
+fn bench_table_image(c: &mut Criterion) {
+    let spec = Kernel::Tri.test_spec();
+    let program = spec.assemble();
+    let mut cpu = Cpu::new(&program).expect("load");
+    cpu.run(spec.max_steps).expect("profile");
+    let encoded =
+        encode_program(&program, cpu.profile(), &EncoderConfig::default()).expect("encode");
+    let mut group = c.benchmark_group("table_image");
+    group.bench_function("pack", |b| {
+        b.iter(|| imt_core::tableimage::pack_tables(black_box(&encoded)).expect("pack"))
+    });
+    let image = imt_core::tableimage::pack_tables(&encoded).expect("pack");
+    group.bench_function("unpack", |b| {
+        b.iter(|| {
+            imt_core::tableimage::unpack_tables(
+                black_box(&image),
+                encoded.config.transforms(),
+            )
+            .expect("unpack")
+        })
+    });
+    group.finish();
+}
+
+fn bench_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history_solver");
+    for h in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| imt_bitcode::history::history_table_summary(6, h).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let spec = Kernel::Fft.test_spec();
+    let program = spec.assemble();
+    let mut cpu = Cpu::new(&program).expect("load");
+    cpu.run(spec.max_steps).expect("profile");
+    let profile = cpu.profile().to_vec();
+    c.bench_function("schedule_program_fft", |b| {
+        b.iter(|| {
+            imt_core::schedule::schedule_program(
+                black_box(&program),
+                black_box(&profile),
+                &EncoderConfig::default(),
+            )
+            .expect("schedule")
+        })
+    });
+}
+
+fn bench_gate_synthesis(c: &mut Criterion) {
+    c.bench_function("restore_cell_synthesis", |b| {
+        b.iter(|| {
+            imt_bitcode::gates::restore_cell_cost(black_box(
+                imt_bitcode::TransformSet::CANONICAL_EIGHT,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_table_image, bench_history, bench_scheduler, bench_gate_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: the offline pipeline per kernel — CFG recovery +
+//! hot-loop selection + lane encoding — i.e. the cost of preparing one
+//! firmware image, which the paper argues is paid once per application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imt_cfg::Cfg;
+use imt_core::{encode_program, EncoderConfig};
+use imt_kernels::Kernel;
+use imt_sim::Cpu;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_pipeline");
+    for kernel in Kernel::ALL {
+        let spec = kernel.test_spec();
+        let program = spec.assemble();
+        let mut cpu = Cpu::new(&program).expect("load");
+        cpu.run(spec.max_steps).expect("profile");
+        let profile = cpu.profile().to_vec();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &(program, profile),
+            |b, (program, profile)| {
+                b.iter(|| {
+                    encode_program(program, profile, &EncoderConfig::default()).expect("encode")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cfg(c: &mut Criterion) {
+    let spec = Kernel::Fft.paper_spec();
+    let program = spec.assemble();
+    let mut group = c.benchmark_group("cfg_analysis");
+    group.bench_function("build_fft256", |b| {
+        b.iter(|| Cfg::build(&program).expect("valid program"))
+    });
+    let cfg = Cfg::build(&program).expect("valid program");
+    group.bench_function("dominators_and_loops_fft256", |b| {
+        b.iter(|| {
+            let _idom = cfg.immediate_dominators();
+            cfg.natural_loops()
+        })
+    });
+    group.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let spec = Kernel::Fft.paper_spec();
+    let mut group = c.benchmark_group("assembler");
+    group.bench_function("fft256_source", |b| {
+        b.iter(|| imt_isa::asm::assemble(&spec.source).expect("valid source"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_cfg, bench_assembler);
+criterion_main!(benches);

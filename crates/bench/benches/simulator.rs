@@ -1,0 +1,60 @@
+//! Criterion bench: simulator speed — bare, with a bus monitor attached,
+//! and with the full evaluation sink (two monitors + fetch decoder), which
+//! bounds how fast the Figure 6 experiment can replay the kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use imt_core::{encode_program, EncoderConfig};
+use imt_isa::asm::assemble;
+use imt_isa::Program;
+use imt_sim::bus::DataBusMonitor;
+use imt_sim::Cpu;
+
+fn tight_loop(iterations: u32) -> Program {
+    assemble(&format!(
+        r#"
+        .text
+main:   li   $s0, {iterations}
+loop:   xor  $t1, $t1, $s0
+        sll  $t2, $t1, 3
+        srl  $t3, $t1, 7
+        addu $t4, $t2, $t3
+        addiu $s0, $s0, -1
+        bgtz $s0, loop
+        li   $v0, 10
+        syscall
+"#
+    ))
+    .expect("valid source")
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let iterations = 10_000u32;
+    let program = tight_loop(iterations);
+    let instructions = u64::from(iterations) * 6 + 5;
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(instructions));
+    group.bench_function("bare", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(&program).expect("load");
+            cpu.run(10_000_000).expect("run")
+        })
+    });
+    group.bench_function("with_bus_monitor", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(&program).expect("load");
+            let mut bus = DataBusMonitor::new(32);
+            cpu.run_with_sink(10_000_000, &mut bus).expect("run")
+        })
+    });
+    group.bench_function("full_evaluation", |b| {
+        let mut cpu = Cpu::new(&program).expect("load");
+        cpu.run(10_000_000).expect("profile");
+        let encoded = encode_program(&program, cpu.profile(), &EncoderConfig::default())
+            .expect("encode");
+        b.iter(|| imt_core::eval::evaluate(&program, &encoded, 10_000_000).expect("evaluate"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

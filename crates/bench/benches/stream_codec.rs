@@ -1,0 +1,42 @@
+//! Criterion bench: chained stream encoding/decoding throughput (§6) and
+//! 32-lane word encoding — what the offline tooling pays per instruction
+//! word of hot-loop code.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imt_bitcode::gen::uniform;
+use imt_bitcode::lanes::encode_words;
+use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+use rand::{Rng, SeedableRng};
+
+fn bench_stream(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let stream = uniform(&mut rng, 10_000);
+    let mut group = c.benchmark_group("stream_codec");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for k in [4usize, 5, 6, 7] {
+        let codec = StreamCodec::new(StreamCodecConfig::block_size(k).expect("valid"));
+        group.bench_with_input(BenchmarkId::new("encode", k), &codec, |b, codec| {
+            b.iter(|| codec.encode(black_box(&stream)))
+        });
+        let encoded = codec.encode(&stream);
+        group.bench_with_input(BenchmarkId::new("decode", k), &codec, |b, codec| {
+            b.iter(|| codec.decode(black_box(&encoded)).expect("well formed"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lanes(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let words: Vec<u64> = (0..1024).map(|_| rng.gen::<u32>() as u64).collect();
+    let codec = StreamCodec::new(StreamCodecConfig::block_size(5).expect("valid"));
+    let mut group = c.benchmark_group("lane_encoding");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("encode_words_32x1024", |b| {
+        b.iter(|| encode_words(black_box(&words), 32, &codec).expect("valid width"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream, bench_lanes);
+criterion_main!(benches);

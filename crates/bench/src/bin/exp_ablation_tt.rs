@@ -1,0 +1,42 @@
+//! Ablation **A1**: sensitivity to Transformation Table capacity.
+//!
+//! The paper fixes a 16-entry TT and argues (§7.2) that `16 × k`
+//! instructions comfortably cover embedded loop bodies. This sweep shows
+//! where that sizing argument bites: small tables demote blocks of the
+//! hot loops to pass-through and reductions fall off.
+
+use imt_bench::runner::{run_kernel_point, Scale};
+use imt_bench::table::Table;
+use imt_core::EncoderConfig;
+use imt_kernels::Kernel;
+
+fn main() {
+    let scale = Scale::from_args();
+    let capacities = [2usize, 4, 8, 16, 32];
+    println!("A1 — TT capacity sweep at block size 5 ({scale:?} scale)\n");
+    let mut header = vec!["kernel".to_string()];
+    header.extend(capacities.iter().map(|c| format!("TT={c}")));
+    let mut reduction_table = Table::new(header.clone());
+    let mut entries_table = Table::new(header);
+    for kernel in Kernel::ALL {
+        let mut reduction_row = vec![kernel.name().to_string()];
+        let mut entries_row = vec![kernel.name().to_string()];
+        for &capacity in &capacities {
+            let config = EncoderConfig::default().with_tt_capacity(capacity);
+            let point = run_kernel_point(kernel, scale, &config);
+            reduction_row.push(format!("{:.1}%", point.reduction_percent()));
+            entries_row.push(format!(
+                "{}/{}",
+                point.encoded.report.tt_used, capacity
+            ));
+        }
+        reduction_table.row(reduction_row);
+        entries_table.row(entries_row);
+    }
+    println!("reduction:");
+    print!("{}", reduction_table.render());
+    println!("\nTT entries used / capacity:");
+    print!("{}", entries_table.render());
+    println!("\nreading: reductions saturate once the hot loop fits; the paper's");
+    println!("16 entries suffice for these kernels at k = 5.");
+}

@@ -1,0 +1,75 @@
+//! Ablation **A3**: the application-specific encoding against the general
+//! prior techniques of the paper's §2 — bus-invert on the same data bus,
+//! and T0 / Gray coding on the address bus (different bus, shown for the
+//! context the paper positions itself in).
+
+use imt_baselines::{BusInvert, DictionaryBus, GrayAddress, T0};
+use imt_bench::runner::{profiled_run, run_kernel_point, Scale};
+use imt_bench::table::Table;
+use imt_core::EncoderConfig;
+use imt_kernels::Kernel;
+use imt_sim::cpu::Tee;
+use imt_sim::Cpu;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("A3 — comparison with general-purpose bus encodings ({scale:?} scale)\n");
+    let mut table = Table::new(
+        [
+            "kernel",
+            "IMT k=4 (data)",
+            "IMT k=5 (data)",
+            "bus-invert (data)",
+            "dict-16 (data)",
+            "T0 (addr)",
+            "gray (addr)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for kernel in Kernel::ALL {
+        let k4 = run_kernel_point(
+            kernel,
+            scale,
+            &EncoderConfig::default().with_block_size(4).expect("valid"),
+        );
+        let k5 = run_kernel_point(kernel, scale, &EncoderConfig::default());
+
+        // Replay once more with the streaming baselines attached.
+        let spec = scale.spec(kernel);
+        let run = profiled_run(&spec);
+        let mut cpu = Cpu::new(&run.program).expect("load failed");
+        let mut businv = BusInvert::new(32);
+        let mut dict = DictionaryBus::from_profile(&run.program.text, &run.profile, 16);
+        let mut t0 = T0::new(4);
+        let mut gray = GrayAddress::new();
+        let mut sinks = Tee(&mut businv, Tee(&mut dict, Tee(&mut t0, &mut gray)));
+        cpu.run_with_sink(spec.max_steps, &mut sinks).expect("replay failed");
+
+        let gray_reduction = if gray.raw_transitions() == 0 {
+            0.0
+        } else {
+            (gray.raw_transitions() as f64 - gray.total_transitions() as f64)
+                / gray.raw_transitions() as f64
+                * 100.0
+        };
+        table.row(vec![
+            kernel.name().to_string(),
+            format!("{:.1}%", k4.reduction_percent()),
+            format!("{:.1}%", k5.reduction_percent()),
+            format!("{:.1}%", businv.reduction_percent()),
+            format!("{:.1}%", dict.reduction_percent()),
+            format!("{:.1}%", t0.reduction_percent()),
+            format!("{gray_reduction:.1}%"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nreading: on the instruction data bus the application-specific");
+    println!("encoding beats bus-invert by a wide margin (the paper's §2 point");
+    println!("that bus-invert's generality limits it on structured streams).");
+    println!("The 16-entry dictionary encoder — the lookup-table approach family");
+    println!("the paper's §3 argues against — can reach similar raw numbers on");
+    println!("very repetitive loops, but needs a word-wide CAM lookup in the fetch");
+    println!("critical path where IMT needs one gate and 3 control bits per line.");
+    println!("T0/Gray address-bus figures are for context only — different bus.");
+}

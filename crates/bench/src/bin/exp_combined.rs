@@ -1,0 +1,71 @@
+//! Extension experiment **E-X**: the whole instruction-fetch interconnect.
+//!
+//! The paper optimises the instruction **data** bus and cites address-bus
+//! encodings (T0, \[2\]) as complementary related work. This experiment
+//! composes them — IMT on the data lines, T0 on the address lines — and
+//! reports total interconnect transitions and switching energy for the
+//! paper's motivating off-chip case, plus the partitioned bus-invert
+//! variant as the strongest general-purpose data-bus contender.
+
+use imt_baselines::{BusInvert, PartitionedBusInvert, T0};
+use imt_bench::runner::{profiled_run, run_kernel_point, Scale};
+use imt_bench::table::Table;
+use imt_core::EncoderConfig;
+use imt_kernels::Kernel;
+use imt_sim::bus::EnergyModel;
+use imt_sim::cpu::Tee;
+use imt_sim::Cpu;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("E-X — combined data + address interconnect ({scale:?} scale, k = 4)\n");
+    let model = EnergyModel::OFF_CHIP;
+    let mut table = Table::new(
+        [
+            "kernel",
+            "raw total (M)",
+            "IMT+T0 total (M)",
+            "combined red.",
+            "businv-4 data red.",
+            "energy saved (uJ)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for kernel in Kernel::ALL {
+        let config = EncoderConfig::default().with_block_size(4).expect("valid");
+        let point = run_kernel_point(kernel, scale, &config);
+
+        // Replay once more with the address-side and contender monitors.
+        let spec = scale.spec(kernel);
+        let run = profiled_run(&spec);
+        let mut cpu = Cpu::new(&run.program).expect("load");
+        let mut t0 = T0::new(4);
+        let mut businv = BusInvert::new(32);
+        let mut pbusinv = PartitionedBusInvert::new(32, 4).expect("valid shape");
+        let mut sinks = Tee(&mut t0, Tee(&mut businv, &mut pbusinv));
+        cpu.run_with_sink(spec.max_steps, &mut sinks).expect("replay");
+
+        let raw_total = point.evaluation.baseline_transitions + t0.raw_transitions();
+        let coded_total = point.evaluation.encoded_transitions + t0.total_transitions();
+        let combined_reduction =
+            (raw_total - coded_total) as f64 / raw_total as f64 * 100.0;
+        let energy_saved =
+            model.energy_joules(raw_total) - model.energy_joules(coded_total);
+        table.row(vec![
+            kernel.name().to_string(),
+            format!("{:.2}", raw_total as f64 / 1e6),
+            format!("{:.2}", coded_total as f64 / 1e6),
+            format!("{combined_reduction:.1}%"),
+            format!("{:.1}%", pbusinv.reduction_percent()),
+            format!("{:.1}", energy_saved * 1e6),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nreading: composing IMT (data lines) with T0 (address lines) covers");
+    println!("the whole fetch interconnect; the address side is nearly free under");
+    println!("T0 for loop code, so the combined reduction approaches the weighted");
+    println!("mix of the two. Even 4-way partitioned bus-invert — the strongest");
+    println!("application-blind data-bus coder here — stays far behind the");
+    println!("application-specific encoding, as the paper's §2 argues.");
+}

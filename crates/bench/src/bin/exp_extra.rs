@@ -1,0 +1,56 @@
+//! Extension experiment **E-K**: generality beyond the paper's six
+//! benchmarks.
+//!
+//! Three kernels the paper does not evaluate — a FIR filter (the
+//! archetypal DSP loop), an 8×8 2-D DCT (embedded media), and a bitwise
+//! CRC-32 (pure-integer, branchy) — through the identical pipeline, at
+//! block sizes 4–7. Two outcomes worth reading: crc32 shows the technique
+//! is indifferent to FP-vs-integer code, and fir/dct expose a block-size
+//! *phase* effect (their fixed 8-instruction loop bodies partition very
+//! differently at each k) that per-loop tuning would exploit.
+
+use imt_bench::table::Table;
+use imt_core::{encode_program, eval::evaluate, EncoderConfig};
+use imt_kernels::extra::ExtraKernel;
+use imt_sim::Cpu;
+
+fn main() {
+    let test_scale = std::env::args().any(|a| a == "--test-scale");
+    println!(
+        "E-K — extra kernels through the same pipeline ({} scale)\n",
+        if test_scale { "Test" } else { "Paper" }
+    );
+    let mut header = vec!["kernel".to_string(), "#TR (M)".to_string()];
+    header.extend((4..=7).map(|k| format!("red. k={k}")));
+    let mut table = Table::new(header);
+    for kernel in ExtraKernel::ALL {
+        let spec = if test_scale { kernel.test_spec() } else { kernel.paper_spec() };
+        let program = spec.assemble();
+        let mut cpu = Cpu::new(&program).expect("load");
+        cpu.run(spec.max_steps).expect("profile run");
+        assert_eq!(cpu.stdout(), spec.expected_output, "{}: golden mismatch", spec.name);
+        let profile = cpu.profile().to_vec();
+        let mut row = vec![kernel.name().to_string()];
+        let mut first = true;
+        for k in 4..=7usize {
+            let config = EncoderConfig::default().with_block_size(k).expect("valid");
+            let encoded = encode_program(&program, &profile, &config).expect("encode");
+            let eval = evaluate(&program, &encoded, spec.max_steps).expect("evaluate");
+            assert_eq!(eval.decode_mismatches, 0);
+            if first {
+                row.push(format!("{:.2}", eval.baseline_transitions as f64 / 1e6));
+                first = false;
+            }
+            row.push(format!("{:.1}%", eval.reduction_percent()));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!("\nreading: all three land in the paper's tens-of-percent band.");
+    println!("The pure-integer crc32 is remarkably flat across block sizes — the");
+    println!("technique does not depend on FP code. fir and dct swing strongly");
+    println!("with k (k=6 best, k=5/7 weak): their 8-instruction inner-loop");
+    println!("bodies partition very differently at each block size, a phase");
+    println!("effect the paper's averaged Figure 6 smooths over but which a");
+    println!("deployment should tune per loop (see the design_space example).");
+}

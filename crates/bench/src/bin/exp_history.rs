@@ -1,0 +1,66 @@
+//! Extension experiment **E-H**: the §5.1 history-depth trade-off.
+//!
+//! The paper fixes `h = 1` ("a single two-input logic gate") without
+//! measuring the alternatives. This experiment builds the exhaustive
+//! Figure 3 analogue for `h = 1, 2, 3`: deeper history relaxes the
+//! constraint system (fewer conflicts per block), but every block must
+//! seed `h` bits verbatim, and the per-block selector grows from 3–4 bits
+//! towards the size of a `2^(h+1)`-entry truth table. The numbers turn the
+//! paper's implicit trade-off into data: `h = 2` buys real transition
+//! reductions at practical block sizes, at roughly double the control
+//! storage and an extra history flip-flop per line.
+
+use imt_bench::table::Table;
+use imt_bitcode::history::{encode_history_stream, history_table_summary};
+use rand::SeedableRng;
+
+fn main() {
+    println!("E-H — history-depth generalisation of Figure 3 (improvement %)\n");
+    let mut table = Table::new(
+        ["k", "h=1", "h=2", "h=3", "selector bits h=1/2/3"].map(String::from).to_vec(),
+    );
+    for k in 2..=8usize {
+        let mut cells = vec![k.to_string()];
+        for h in 1..=3usize {
+            let summary = history_table_summary(k, h).expect("valid parameters");
+            cells.push(format!("{:.1}", summary.improvement_percent()));
+        }
+        // Full-universe selector widths: log2 of 2^(2^(h+1)) functions.
+        cells.push("4 / 8 / 16".to_string());
+        table.row(cells);
+    }
+    print!("{}", table.render());
+
+    // Dynamic counterpart: chained random streams (the §6 experiment at
+    // deeper history).
+    println!("\nchained 1000-bit uniform streams (200 seeds), reduction %:");
+    let mut table = Table::new(["k", "h=1", "h=2", "h=3"].map(String::from).to_vec());
+    for k in [5usize, 6, 7, 8] {
+        let mut cells = vec![k.to_string()];
+        for h in 1..=3usize {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xE4);
+            let mut orig = 0u64;
+            let mut enc = 0u64;
+            for _ in 0..200 {
+                let stream = imt_bitcode::gen::uniform(&mut rng, 1000);
+                let bits: Vec<bool> = stream.into();
+                let encoded = encode_history_stream(&bits, k, h).expect("valid parameters");
+                orig += encoded.original_transitions;
+                enc += encoded.transitions();
+            }
+            cells.push(format!("{:.1}", (orig - enc) as f64 / orig as f64 * 100.0));
+        }
+        table.row(cells);
+    }
+    print!("{}", table.render());
+    println!("\nreading: in the isolated-block table, deeper history pays a longer");
+    println!("verbatim seed prefix (h=2 is useless below k=4) and wins ~6-12 points");
+    println!("at k=5..8. Chained, the story is stronger still: only the stream's");
+    println!("first block pays seeds, so h=2 reaches ~60-76% and h=3 ~80% on");
+    println!("uniform streams. The price is the §5.2 economy collapsing: the");
+    println!("selector grows from 3-4 toward 8-16 bits per line per block (the");
+    println!("restricted-subset trick would have to be redone over 256-65536");
+    println!("functions) plus extra history flip-flops per line. A compelling");
+    println!("future-work direction the paper leaves on the table; its h=1 is");
+    println!("the minimal-hardware point, not the power-optimal one.");
+}

@@ -1,0 +1,115 @@
+//! Extension experiment **E-C**: the storage-type claim of §8.
+//!
+//! The paper states the instruction storage "bears no impact on the bit
+//! transition reductions we attain". This experiment puts a set-associative
+//! instruction cache between memory and core and measures both buses, for
+//! the two possible decoder placements:
+//!
+//! * decoder in the fetch unit (the paper's Figure 5): the cache stores
+//!   encoded words, and the cache→core bus sees exactly the reduction of
+//!   the uncached system — the claim, verified;
+//! * decoder at cache fill: the core bus reverts to baseline and only the
+//!   (rarely used) memory→cache refill bus benefits — quantifying why the
+//!   paper put the decoder where it did.
+
+use imt_bench::runner::{profiled_run, Scale};
+use imt_bench::table::Table;
+use imt_core::{encode_program, EncoderConfig};
+use imt_kernels::Kernel;
+use imt_sim::cpu::Tee;
+use imt_sim::icache::{CachedBusModel, DecoderPlacement, ICacheConfig};
+use imt_sim::Cpu;
+
+fn reduction(before: u64, after: u64) -> f64 {
+    if before == 0 {
+        return 0.0;
+    }
+    (before as f64 - after as f64) / before as f64 * 100.0
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("E-C — instruction cache and decoder placement ({scale:?} scale, k = 5)\n");
+    let mut table = Table::new(
+        [
+            "kernel",
+            "hit rate",
+            "core red. uncached",
+            "core red. cached@core",
+            "core red. cached@fill",
+            "mem-bus red.",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for kernel in Kernel::ALL {
+        let spec = scale.spec(kernel);
+        let run = profiled_run(&spec);
+        let encoded = encode_program(&run.program, &run.profile, &EncoderConfig::default())
+            .expect("encode");
+        let eval = imt_core::eval::evaluate(&run.program, &encoded, spec.max_steps)
+            .expect("evaluate");
+
+        // Cached replays: baseline image vs encoded image, both placements.
+        let cache = ICacheConfig::SMALL_4K;
+        let mut base_model = CachedBusModel::new(
+            cache,
+            run.program.text.clone(),
+            run.program.text.clone(),
+            run.program.text_base,
+            DecoderPlacement::AtCore,
+        );
+        let mut enc_at_core = CachedBusModel::new(
+            cache,
+            encoded.text.clone(),
+            run.program.text.clone(),
+            run.program.text_base,
+            DecoderPlacement::AtCore,
+        );
+        let mut enc_at_fill = CachedBusModel::new(
+            cache,
+            encoded.text.clone(),
+            run.program.text.clone(),
+            run.program.text_base,
+            DecoderPlacement::AtCacheFill,
+        );
+        let mut cpu = Cpu::new(&run.program).expect("load");
+        let mut sinks = Tee(&mut base_model, Tee(&mut enc_at_core, &mut enc_at_fill));
+        cpu.run_with_sink(spec.max_steps, &mut sinks).expect("replay");
+
+        let core_uncached = eval.reduction_percent();
+        let core_at_core = reduction(
+            base_model.core_bus().total_transitions(),
+            enc_at_core.core_bus().total_transitions(),
+        );
+        let core_at_fill = reduction(
+            base_model.core_bus().total_transitions(),
+            enc_at_fill.core_bus().total_transitions(),
+        );
+        let mem = reduction(
+            base_model.memory_bus().total_transitions(),
+            enc_at_core.memory_bus().total_transitions(),
+        );
+        table.row(vec![
+            kernel.name().to_string(),
+            format!("{:.1}%", base_model.cache().hit_rate() * 100.0),
+            format!("{core_uncached:.1}%"),
+            format!("{core_at_core:.1}%"),
+            format!("{core_at_fill:.1}%"),
+            format!("{mem:.1}%"),
+        ]);
+        // The paper's claim, enforced: with the decoder in the fetch unit
+        // the core-bus stream is word-for-word the uncached stream.
+        assert!(
+            (core_at_core - core_uncached).abs() < 1e-9,
+            "{}: cache changed the core-bus reduction ({core_at_core:.3} vs {core_uncached:.3})",
+            kernel.name()
+        );
+    }
+    print!("{}", table.render());
+    println!("\nreading: with the decoder in the fetch unit (paper architecture)");
+    println!("the cache leaves the core-bus reduction bit-for-bit unchanged — §8's");
+    println!("storage-independence claim, verified. Moving the decoder to the fill");
+    println!("path forfeits the dominant core-bus savings, keeping only refill-bus");
+    println!("savings gated by the (high) hit rate.");
+}

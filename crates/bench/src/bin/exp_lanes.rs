@@ -1,0 +1,72 @@
+//! Extension experiment **E-L**: where on the bus the savings come from.
+//!
+//! The encoding treats each of the 32 lines independently (the paper's
+//! Figure 1 "vertical" view); this experiment shows the per-line anatomy
+//! for one kernel: the dynamic fetch stream's bias and transition density
+//! per line, and the per-line reduction the schedule achieves. Opcode
+//! lines (top bits) barely move and barely matter; the action is in the
+//! register/immediate fields — and the hardware budget (§7.2) that buys
+//! it all is a few hundred bytes of table.
+
+use imt_bench::runner::{run_kernel_point, Scale};
+use imt_bitcode::analysis::{analyze_lanes, LaneStats};
+use imt_core::hardware::HardwareBudget;
+use imt_kernels::Kernel;
+
+fn main() {
+    let scale = Scale::from_args();
+    let wanted = std::env::args().find(|a| Kernel::ALL.iter().any(|k| k.name() == *a));
+    let kernel = wanted
+        .and_then(|name| Kernel::ALL.into_iter().find(|k| k.name() == name))
+        .unwrap_or(Kernel::Tri);
+    println!("E-L — per-line anatomy of {} ({scale:?} scale, k = 5)\n", kernel.name());
+
+    let point = run_kernel_point(kernel, scale, &imt_core::EncoderConfig::default());
+    // Static view of the hot region the schedule actually covers.
+    let static_words: Vec<u64> =
+        point.encoded.text.iter().map(|&w| w as u64).collect();
+    let static_stats = analyze_lanes(&static_words, 32);
+
+    println!("lane   static bias  dyn transitions  encoded  reduction");
+    #[allow(clippy::needless_range_loop)] // lane indexes three parallel arrays
+    for lane in 0..32 {
+        let before = point.evaluation.per_lane_baseline[lane];
+        let after = point.evaluation.per_lane_encoded[lane];
+        let reduction = if before == 0 {
+            0.0
+        } else {
+            (before as f64 - after as f64) / before as f64 * 100.0
+        };
+        let bar = "#".repeat((reduction.max(0.0) / 5.0) as usize);
+        println!(
+            "{:>4}   {:>10.1}%  {:>15}  {:>7}  {:>7.1}% {}",
+            lane,
+            bias_of(&static_stats[lane]) * 100.0,
+            before,
+            after,
+            reduction,
+            bar
+        );
+    }
+
+    let budget = HardwareBudget::of_schedule(&point.encoded);
+    println!(
+        "\nhardware budget: {} TT entries x {} bits + {} BBIT entries x {} bits = {} bytes, ~{} restore gates",
+        budget.tt_entries,
+        budget.tt_bits_per_entry,
+        budget.bbit_entries,
+        budget.bbit_bits_per_entry,
+        budget.total_bytes(),
+        budget.restore_gates
+    );
+    println!(
+        "total: {} -> {} transitions ({:.1}% reduction)",
+        point.evaluation.baseline_transitions,
+        point.evaluation.encoded_transitions,
+        point.reduction_percent()
+    );
+}
+
+fn bias_of(stats: &LaneStats) -> f64 {
+    stats.bias()
+}

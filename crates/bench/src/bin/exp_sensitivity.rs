@@ -1,0 +1,79 @@
+//! Extension experiment **E-S**: input-distribution sensitivity.
+//!
+//! The paper's introduction claims the technique "delivers power reduction
+//! results that are essentially independent of the particular input values
+//! or of the input value distributions" — a contrast with statistical
+//! (Huffman-style) coders. This experiment encodes streams from three
+//! families and sweeps their parameters:
+//!
+//! * biased i.i.d. streams (`P(1) = p`);
+//! * first-order Markov streams (flip probability `q`), whose raw
+//!   transition density is `q` itself;
+//! * the real kernels' bit lines (via the end-to-end pipeline in A2/Fig 6).
+//!
+//! What "independent" can and cannot mean is visible in the data: the
+//! *fraction of transitions removed* stays near the theoretical value for
+//! any i.i.d. bias, and never goes negative even on adversarial smooth
+//! streams where there is nothing left to remove.
+
+use imt_bench::table::Table;
+use imt_bitcode::gen::{biased, markov};
+use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+use rand::SeedableRng;
+
+fn aggregate_reduction(codec: &StreamCodec, streams: &[imt_bitcode::bits::BitSeq]) -> (f64, f64) {
+    let mut orig = 0u64;
+    let mut enc = 0u64;
+    for stream in streams {
+        let encoded = codec.encode(stream);
+        orig += encoded.original_transitions();
+        enc += encoded.transitions();
+    }
+    let density = orig as f64 / (streams.len() * (streams[0].len() - 1)) as f64;
+    let reduction = if orig == 0 {
+        0.0
+    } else {
+        (orig - enc) as f64 / orig as f64 * 100.0
+    };
+    (density, reduction)
+}
+
+fn main() {
+    let codec = StreamCodec::new(StreamCodecConfig::block_size(5).expect("valid size"));
+    let trials = 200usize;
+    let bits = 1000usize;
+
+    println!("E-S — input-distribution sensitivity at k = 5 (aggregate over {trials} streams)\n");
+
+    println!("biased i.i.d. streams, P(1) = p:");
+    let mut table = Table::new(
+        ["p", "raw transition density", "reduction(%)"].map(String::from).to_vec(),
+    );
+    for p in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xB1A5);
+        let streams: Vec<_> = (0..trials).map(|_| biased(&mut rng, bits, p)).collect();
+        let (density, reduction) = aggregate_reduction(&codec, &streams);
+        table.row(vec![format!("{p:.2}"), format!("{density:.3}"), format!("{reduction:.1}")]);
+    }
+    print!("{}", table.render());
+
+    println!("\nMarkov streams, flip probability q:");
+    let mut table = Table::new(
+        ["q", "raw transition density", "reduction(%)"].map(String::from).to_vec(),
+    );
+    for q in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x3A4C);
+        let streams: Vec<_> = (0..trials).map(|_| markov(&mut rng, bits, q)).collect();
+        let (density, reduction) = aggregate_reduction(&codec, &streams);
+        table.row(vec![format!("{q:.2}"), format!("{density:.3}"), format!("{reduction:.1}")]);
+    }
+    print!("{}", table.render());
+
+    println!("\nreading: for i.i.d. streams of ANY bias the removed fraction stays");
+    println!("at the uniform-theory level (~50% at k=5) — the paper's independence");
+    println!("claim holds across value distributions. Temporally correlated");
+    println!("(Markov) streams shift it in the code's favour when busy (q high:");
+    println!("alternation collapses to constant runs) and leave little to remove");
+    println!("when already smooth (q low) — but the reduction never goes negative,");
+    println!("the §5.1 identity-fallback guarantee.");
+}

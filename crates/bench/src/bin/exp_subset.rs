@@ -1,0 +1,42 @@
+//! Checks the paper's **§5.2 claim** by exact set cover: a fixed small
+//! subset of the 16 two-input functions achieves the unrestricted optimum
+//! for every block word of every size up to 7.
+//!
+//! The paper reports a unique sufficient subset of **8**; the exact search
+//! sharpens this to a unique minimal subset of **6** (identity, inversion,
+//! XOR, XNOR, NOR, NAND — the canonical eight without y and ȳ). The
+//! canonical eight is verified sufficient as well.
+
+use imt_bitcode::tables::{minimal_optimal_subset, CodeTable};
+use imt_bitcode::TransformSet;
+
+fn main() {
+    println!("§5.2 — minimal transformation subsets (exact set cover)\n");
+    for max_k in 2..=7 {
+        let minimal = minimal_optimal_subset(max_k);
+        println!(
+            "block sizes 2..={max_k}: minimum {} functions, {} subset(s) of that size: {}",
+            minimal.set.len(),
+            minimal.count_of_minimum_size,
+            minimal.set
+        );
+    }
+    println!();
+    for k in 2..=7 {
+        let full = CodeTable::build(k, TransformSet::ALL_SIXTEEN).expect("valid");
+        let eight = CodeTable::build(k, TransformSet::CANONICAL_EIGHT).expect("valid");
+        let minimal = minimal_optimal_subset(7).set;
+        let six = CodeTable::build(k, minimal).expect("valid");
+        println!(
+            "k={k}: RTN all-16 = {:>3}   canonical-8 = {:>3}   minimal-6 = {:>3}",
+            full.reduced_transitions(),
+            eight.reduced_transitions(),
+            six.reduced_transitions()
+        );
+        assert_eq!(full.reduced_transitions(), eight.reduced_transitions());
+        assert_eq!(full.reduced_transitions(), six.reduced_transitions());
+    }
+    println!("\nconclusion: the canonical eight (paper) is sufficient for global");
+    println!("optimality at every k <= 7; the exact minimum is the unique 6-subset");
+    println!("{{x, x̄, x⊕y, x⊕̄y, NOR, NAND}} — a strict strengthening of §5.2.");
+}

@@ -1,0 +1,129 @@
+//! One-screen reproduction scorecard: recomputes every fast-to-check paper
+//! claim from scratch and prints PASS/FAIL. The slow Figure 6/7 pipeline
+//! claims are covered by `exp_fig6`/`exp_fig7` and the `--ignored`
+//! integration test; everything here runs in a few seconds.
+
+use imt_bitcode::gen::uniform;
+use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+use imt_bitcode::tables::{minimal_optimal_subset, theoretical_ttn, CodeTable};
+use imt_bitcode::TransformSet;
+use rand::SeedableRng;
+
+fn check(name: &str, pass: bool, detail: String) -> bool {
+    println!("  [{}] {name}: {detail}", if pass { "PASS" } else { "FAIL" });
+    pass
+}
+
+fn main() {
+    println!("reproduction scorecard — Petrov & Orailoglu, DATE 2003\n");
+    let mut all = true;
+
+    // Figure 2: exact table values.
+    let fig2 = CodeTable::build(3, TransformSet::CANONICAL_EIGHT).expect("valid");
+    all &= check(
+        "Figure 2 (k=3 table)",
+        fig2.total_transitions() == 8 && fig2.reduced_transitions() == 2,
+        format!("TTN={} RTN={} (paper: 8/2)", fig2.total_transitions(), fig2.reduced_transitions()),
+    );
+
+    // Figure 3: TTN closed form + RTN optima for every size.
+    let mut fig3_ok = true;
+    let mut rtns = Vec::new();
+    for k in 2..=7usize {
+        let table = CodeTable::build(k, TransformSet::ALL_SIXTEEN).expect("valid");
+        fig3_ok &= table.total_transitions() == theoretical_ttn(k);
+        rtns.push(table.reduced_transitions());
+    }
+    all &= check(
+        "Figure 3 (TTN/RTN, k=2..7)",
+        fig3_ok && rtns == [0, 2, 10, 32, 90, 236],
+        format!("RTN = {rtns:?} (paper: 0,2,10,32,180*,234* — see EXPERIMENTS.md)"),
+    );
+
+    // Figure 4: the k=5 restriction loses nothing, per word.
+    let full = CodeTable::build(5, TransformSet::ALL_SIXTEEN).expect("valid");
+    let eight = CodeTable::build(5, TransformSet::CANONICAL_EIGHT).expect("valid");
+    let fig4_ok = full
+        .entries()
+        .iter()
+        .zip(eight.entries())
+        .all(|(a, b)| a.code_transitions == b.code_transitions);
+    all &= check(
+        "Figure 4 (k=5, 8-subset optimal per word)",
+        fig4_ok,
+        format!("RTN {} = {}", full.reduced_transitions(), eight.reduced_transitions()),
+    );
+
+    // §5.2: subset claims.
+    let minimal = minimal_optimal_subset(7);
+    all &= check(
+        "§5.2 (restricted subset)",
+        minimal.set.len() == 6
+            && minimal.count_of_minimum_size == 1
+            && minimal.set.intersection(TransformSet::CANONICAL_EIGHT) == minimal.set,
+        format!(
+            "canonical 8 sufficient; exact minimum = unique {}-subset {}",
+            minimal.set.len(),
+            minimal.set
+        ),
+    );
+
+    // §6: chained random streams within 1% of 50% at k=5.
+    let codec = StreamCodec::new(StreamCodecConfig::block_size(5).expect("valid"));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EC6_2003);
+    let (mut orig, mut enc) = (0u64, 0u64);
+    for _ in 0..200 {
+        let stream = uniform(&mut rng, 1000);
+        let encoded = codec.encode(&stream);
+        orig += encoded.original_transitions();
+        enc += encoded.transitions();
+    }
+    let sec6 = (orig - enc) as f64 / orig as f64 * 100.0;
+    all &= check(
+        "§6 (random 1000-bit streams, k=5)",
+        (sec6 - 50.0).abs() < 1.0,
+        format!("{sec6:.2}% (claim: within 1% of 50%)"),
+    );
+
+    // Hardware claims: 3 control bits, ~single-gate restore logic.
+    let cost = imt_bitcode::gates::restore_cell_cost(TransformSet::CANONICAL_EIGHT);
+    all &= check(
+        "§5.2/§7.2 (hardware frugality)",
+        TransformSet::CANONICAL_EIGHT.control_bits() == 3 && cost.total_gates() < 60,
+        format!(
+            "3 control bits; per-lane cell = {} NAND2-equivalents, depth {}",
+            cost.total_gates(),
+            cost.depth
+        ),
+    );
+
+    // End-to-end spot check on the paper-scale fft (fast).
+    let spec = imt_kernels::Kernel::Fft.paper_spec();
+    let program = spec.assemble();
+    let mut cpu = imt_sim::Cpu::new(&program).expect("load");
+    cpu.run(spec.max_steps).expect("run");
+    let golden = cpu.stdout() == spec.expected_output;
+    let encoded = imt_core::encode_program(
+        &program,
+        cpu.profile(),
+        &imt_core::EncoderConfig::default(),
+    )
+    .expect("encode");
+    let eval = imt_core::eval::evaluate(&program, &encoded, spec.max_steps).expect("evaluate");
+    all &= check(
+        "end-to-end (fft-256, k=5)",
+        golden && eval.decode_mismatches == 0 && eval.reduction_percent() > 15.0,
+        format!(
+            "golden={golden}, decoder exact, {:.1}% reduction",
+            eval.reduction_percent()
+        ),
+    );
+
+    println!(
+        "\noverall: {}  (run exp_fig6/exp_fig7 for the full kernel grid)",
+        if all { "ALL CHECKS PASS" } else { "FAILURES PRESENT" }
+    );
+    if !all {
+        std::process::exit(1);
+    }
+}

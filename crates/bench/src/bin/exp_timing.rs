@@ -1,0 +1,79 @@
+//! Extension experiment **E-T**: the cost of being in the critical path.
+//!
+//! The paper's §1/§9 claim: the restore logic ("a single bit logic gate")
+//! introduces "no impact to the critical fetch stage", unlike dictionary
+//! lookup which must sit between the bus and the decoder. A first-order
+//! front-end timing model makes the claim's consequence measurable: the
+//! one extra stage a dictionary needs deepens every control-flow redirect
+//! by one bubble, so loop-heavy code pays per iteration. Combined with the
+//! transition counts this yields the energy–delay comparison the paper's
+//! argument implies.
+
+use imt_baselines::DictionaryBus;
+use imt_bench::runner::{profiled_run, run_kernel_point, Scale};
+use imt_bench::table::Table;
+use imt_core::EncoderConfig;
+use imt_kernels::Kernel;
+use imt_sim::cpu::Tee;
+use imt_sim::timing::{FrontEndTiming, TimingSink};
+use imt_sim::Cpu;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("E-T — front-end timing: IMT (no added stage) vs dictionary (+1 stage)");
+    println!("({scale:?} scale, redirect penalty 2 vs 3, 4 KiB I-cache, 20-cycle miss)\n");
+    let mut table = Table::new(
+        [
+            "kernel",
+            "base cycles (M)",
+            "IMT cycles (M)",
+            "dict cycles (M)",
+            "dict slowdown",
+            "IMT EDP gain",
+            "dict EDP gain",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for kernel in Kernel::ALL {
+        let point = run_kernel_point(kernel, scale, &EncoderConfig::default());
+        let spec = scale.spec(kernel);
+        let run = profiled_run(&spec);
+        let mut cpu = Cpu::new(&run.program).expect("load");
+        let mut imt_timing = TimingSink::new(FrontEndTiming::imt_default());
+        let mut dict_timing = TimingSink::new(FrontEndTiming::dictionary_default());
+        let mut dict_bus = DictionaryBus::from_profile(&run.program.text, &run.profile, 16);
+        let mut sinks = Tee(&mut imt_timing, Tee(&mut dict_timing, &mut dict_bus));
+        cpu.run_with_sink(spec.max_steps, &mut sinks).expect("replay");
+
+        // The IMT front end is cycle-identical to the baseline: the gate
+        // adds no stage. The dictionary front end is one stage deeper.
+        let base_cycles = imt_timing.cycles();
+        let imt_cycles = imt_timing.cycles();
+        let dict_cycles = dict_timing.cycles();
+        let slowdown = (dict_cycles as f64 / base_cycles as f64 - 1.0) * 100.0;
+
+        // Energy–delay product, using bus transitions as the energy proxy
+        // the paper uses.
+        let base_edp = point.evaluation.baseline_transitions as f64 * base_cycles as f64;
+        let imt_edp = point.evaluation.encoded_transitions as f64 * imt_cycles as f64;
+        let dict_edp = dict_bus.total_transitions() as f64 * dict_cycles as f64;
+        table.row(vec![
+            kernel.name().to_string(),
+            format!("{:.2}", base_cycles as f64 / 1e6),
+            format!("{:.2}", imt_cycles as f64 / 1e6),
+            format!("{:.2}", dict_cycles as f64 / 1e6),
+            format!("+{slowdown:.1}%"),
+            format!("{:.2}x", base_edp / imt_edp),
+            format!("{:.2}x", base_edp / dict_edp),
+        ]);
+        assert_eq!(imt_cycles, base_cycles, "IMT must not change the cycle count");
+    }
+    print!("{}", table.render());
+    println!("\nreading: IMT's restore gate is free in time — cycles are identical");
+    println!("to the baseline — so its whole transition reduction converts to an");
+    println!("energy-delay gain. The dictionary's extra stage costs a few percent");
+    println!("of runtime on these loop-dominated kernels (every taken branch pays");
+    println!("one more bubble); on its best kernels its larger raw bus savings can");
+    println!("still win EDP, at the price of a word-wide CAM and the slowdown.");
+}

@@ -1,0 +1,39 @@
+//! # imt-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5 for the
+//! index), all built on the helpers here:
+//!
+//! * [`runner`] — profile → encode → evaluate for one kernel and one
+//!   configuration, the unit of work behind Figures 6 and 7 and the
+//!   ablations;
+//! * [`table`] — plain-text table and ASCII-bar-chart rendering shared by
+//!   the experiment binaries.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `exp_fig2` | Figure 2 (optimal codes, block size 3) |
+//! | `exp_fig3` | Figure 3 (TTN/RTN/improvement, sizes 2–7) |
+//! | `exp_fig4` | Figure 4 (optimal codes, block size 5, 8 functions) |
+//! | `exp_subset` | §5.2 minimal-subset claim (exact set cover) |
+//! | `exp_sec6` | §6 random-stream experiment (50 % ± 1 %) |
+//! | `exp_fig6` | Figure 6 (six kernels × block sizes 4–7) |
+//! | `exp_fig7` | Figure 7 (bar chart of Figure 6) |
+//! | `exp_ablation_tt` | TT-capacity sweep (A1) |
+//! | `exp_ablation_overlap` | overlap semantics & τ-set size (A2) |
+//! | `exp_baselines` | comparison against bus-invert / T0 / Gray (A3) |
+//! | `exp_history` | §5.1 history-depth generalisation (E-H) |
+//! | `exp_icache` | §8 storage-type claim with an I-cache (E-C) |
+//! | `exp_sensitivity` | §1 input-distribution independence (E-S) |
+//! | `exp_extra` | fir/dct/crc32 generality suite (E-K) |
+//! | `exp_combined` | data + address interconnect composition (E-X) |
+//! | `exp_lanes` | per-lane anatomy + hardware budget (E-L) |
+//! | `exp_timing` | critical-path timing, IMT vs dictionary (E-T) |
+//! | `exp_schedule` | compiler cooperation via scheduling (E-O) |
+//! | `exp_gates` | exact NAND2 synthesis of the restore cell (E-G) |
+//! | `exp_summary` | one-screen PASS/FAIL reproduction scorecard |
+//!
+//! Binaries accept `--test-scale` to run on the small kernel instances
+//! (used by integration tests); the default is the paper's problem sizes.
+
+pub mod runner;
+pub mod table;

@@ -1,0 +1,148 @@
+//! Profile → encode → evaluate plumbing shared by the experiments.
+
+use imt_core::eval::{evaluate, Evaluation};
+use imt_core::{encode_program, EncodedProgram, EncoderConfig};
+use imt_kernels::{Kernel, KernelRun, KernelSpec};
+
+/// Which problem sizes to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's sizes (§8): mmul 100, sor 256, ej 128, fft 256, tri 128,
+    /// lu 128.
+    Paper,
+    /// Small instances for tests and smoke runs.
+    Test,
+}
+
+impl Scale {
+    /// Parses `--test-scale` from a binary's argument list.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--test-scale") {
+            Scale::Test
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// The kernel spec at this scale.
+    pub fn spec(self, kernel: Kernel) -> KernelSpec {
+        match self {
+            Scale::Paper => kernel.paper_spec(),
+            Scale::Test => kernel.test_spec(),
+        }
+    }
+}
+
+/// The full pipeline result for one kernel × configuration point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    /// Kernel short name (`mmul`, …).
+    pub kernel: &'static str,
+    /// Parameterised instance name (`mmul-100`, …).
+    pub instance: String,
+    /// The configuration used.
+    pub config: EncoderConfig,
+    /// The dynamic evaluation (transitions, reduction, verification).
+    pub evaluation: Evaluation,
+    /// The static schedule that produced it.
+    pub encoded: EncodedProgram,
+}
+
+impl KernelPoint {
+    /// Baseline transitions in millions — the paper's `#TR` row unit.
+    pub fn baseline_millions(&self) -> f64 {
+        self.evaluation.baseline_transitions as f64 / 1e6
+    }
+
+    /// Encoded transitions in millions.
+    pub fn encoded_millions(&self) -> f64 {
+        self.evaluation.encoded_transitions as f64 / 1e6
+    }
+
+    /// Reduction percentage.
+    pub fn reduction_percent(&self) -> f64 {
+        self.evaluation.reduction_percent()
+    }
+}
+
+/// Runs one kernel through profiling, encoding and evaluation.
+///
+/// # Panics
+///
+/// Panics if the kernel misbehaves (wrong checksum, simulation fault,
+/// decode mismatch) — experiments must not silently produce numbers from a
+/// broken run.
+pub fn run_kernel_point(kernel: Kernel, scale: Scale, config: &EncoderConfig) -> KernelPoint {
+    let spec = scale.spec(kernel);
+    let run = profiled_run(&spec);
+    let encoded = encode_program(&run.program, &run.profile, config)
+        .unwrap_or_else(|e| panic!("{}: encoding failed: {e}", spec.name));
+    let evaluation = evaluate(&run.program, &encoded, spec.max_steps)
+        .unwrap_or_else(|e| panic!("{}: evaluation failed: {e}", spec.name));
+    assert_eq!(
+        evaluation.stdout, spec.expected_output,
+        "{}: evaluation run diverged from the golden model",
+        spec.name
+    );
+    KernelPoint {
+        kernel: kernel.name(),
+        instance: spec.name,
+        config: *config,
+        evaluation,
+        encoded,
+    }
+}
+
+/// Runs and validates a kernel, returning its profile.
+///
+/// # Panics
+///
+/// Panics if the run faults or its output disagrees with the golden model.
+pub fn profiled_run(spec: &KernelSpec) -> KernelRun {
+    let run = spec.run().unwrap_or_else(|e| panic!("{}: run failed: {e}", spec.name));
+    assert_eq!(
+        run.stdout, spec.expected_output,
+        "{}: kernel output diverged from the golden model",
+        spec.name
+    );
+    run
+}
+
+/// The Figure 6 grid: every kernel × block sizes 4–7, at the paper's TT
+/// capacity of 16 entries.
+pub fn figure6_grid(scale: Scale) -> Vec<Vec<KernelPoint>> {
+    Kernel::ALL
+        .iter()
+        .map(|&kernel| {
+            (4..=7)
+                .map(|k| {
+                    let config = EncoderConfig::default()
+                        .with_block_size(k)
+                        .expect("block sizes 4..=7 are valid");
+                    run_kernel_point(kernel, scale, &config)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_point_reduces_and_verifies() {
+        let point = run_kernel_point(Kernel::Tri, Scale::Test, &EncoderConfig::default());
+        assert_eq!(point.kernel, "tri");
+        assert_eq!(point.evaluation.decode_mismatches, 0);
+        assert!(point.evaluation.encoded_transitions <= point.evaluation.baseline_transitions);
+        assert!(point.baseline_millions() > 0.0);
+    }
+
+    #[test]
+    fn scale_selects_spec_sizes() {
+        let paper = Scale::Paper.spec(Kernel::Fft);
+        let test = Scale::Test.spec(Kernel::Fft);
+        assert!(paper.source.len() > test.source.len());
+    }
+}

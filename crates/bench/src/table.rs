@@ -1,0 +1,139 @@
+//! Plain-text rendering helpers for the experiment binaries.
+
+/// A simple fixed-width text table.
+///
+/// ```
+/// use imt_bench::table::Table;
+///
+/// let mut table = Table::new(vec!["k".into(), "TTN".into()]);
+/// table.row(vec!["3".into(), "8".into()]);
+/// let text = table.render();
+/// assert!(text.contains("TTN"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with a separator line under the header.
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}"));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = render_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as comma-separated values (for plotting scripts).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a horizontal ASCII bar chart: one labelled bar per entry,
+/// scaled so the largest value spans `width` characters.
+///
+/// ```
+/// use imt_bench::table::bar_chart;
+///
+/// let chart = bar_chart(&[("a".into(), 50.0), ("b".into(), 25.0)], 20, "%");
+/// assert!(chart.lines().next().unwrap().contains("####################"));
+/// ```
+pub fn bar_chart(entries: &[(String, f64)], width: usize, unit: &str) -> String {
+    let max = entries.iter().map(|(_, v)| *v).fold(f64::EPSILON, f64::max);
+    let label_width = entries.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in entries {
+        let bars = ((value / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{label:<label_width$} |{} {value:.1}{unit}\n",
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_padding() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned "x" under "name".
+        assert!(lines[2].contains(" x"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.render_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let chart = bar_chart(&[("big".into(), 10.0), ("small".into(), 5.0)], 10, "");
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 10);
+        assert_eq!(lines[1].matches('#').count(), 5);
+    }
+
+    #[test]
+    fn bar_chart_handles_zeroes() {
+        let chart = bar_chart(&[("zero".into(), 0.0)], 10, "%");
+        assert!(chart.contains("0.0%"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-lane stream analysis.
+//!
+//! Instruction encodings give each bus line a very different personality:
+//! opcode lines (the top bits) are heavily biased and slow-moving, while
+//! immediate/register-field lines toggle often. These statistics expose
+//! that structure — it is exactly what the vertical, per-line encoding
+//! exploits — and power the `exp_lanes` experiment and the CLI's
+//! `analyze` view.
+
+use crate::bits::BitSeq;
+
+/// Statistics of one bit line over a word stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneStats {
+    /// Lane (bit) index.
+    pub lane: usize,
+    /// Number of bits observed (stream length).
+    pub len: usize,
+    /// Count of 1 bits.
+    pub ones: usize,
+    /// 0↔1 transitions along the lane.
+    pub transitions: u64,
+    /// Length of the longest constant run.
+    pub longest_run: usize,
+}
+
+impl LaneStats {
+    /// Computes the statistics of one lane sequence.
+    pub fn of(lane: usize, stream: &BitSeq) -> LaneStats {
+        let mut ones = 0usize;
+        let mut longest_run = 0usize;
+        let mut run = 0usize;
+        let mut previous: Option<bool> = None;
+        for bit in stream.iter() {
+            ones += bit as usize;
+            if previous == Some(bit) {
+                run += 1;
+            } else {
+                run = 1;
+            }
+            longest_run = longest_run.max(run);
+            previous = Some(bit);
+        }
+        LaneStats {
+            lane,
+            len: stream.len(),
+            ones,
+            transitions: stream.transitions(),
+            longest_run,
+        }
+    }
+
+    /// Fraction of 1 bits, in `[0, 1]`.
+    pub fn bias(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.ones as f64 / self.len as f64
+    }
+
+    /// Transitions per opportunity (`len - 1`), in `[0, 1]`.
+    pub fn transition_density(&self) -> f64 {
+        if self.len < 2 {
+            return 0.0;
+        }
+        self.transitions as f64 / (self.len - 1) as f64
+    }
+}
+
+/// Per-lane statistics of a word stream (`width` lanes).
+///
+/// ```
+/// use imt_bitcode::analysis::analyze_lanes;
+///
+/// // Lane 0 alternates, lane 1 is constant.
+/// let words = [0b01u64, 0b10, 0b11, 0b10];
+/// let stats = analyze_lanes(&words, 2);
+/// assert_eq!(stats[0].transitions, 3);
+/// assert!(stats[1].transition_density() < stats[0].transition_density());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is outside `1..=64`.
+pub fn analyze_lanes(words: &[u64], width: usize) -> Vec<LaneStats> {
+    assert!((1..=64).contains(&width), "width {width} outside 1..=64");
+    (0..width)
+        .map(|lane| LaneStats::of(lane, &BitSeq::from_lane(words, lane)))
+        .collect()
+}
+
+/// Renders a compact lane table: bias, density, longest run per lane.
+pub fn render_lane_table(stats: &[LaneStats]) -> String {
+    let mut out =
+        String::from("lane    ones%  trans/op  longest-run\n");
+    for s in stats {
+        out.push_str(&format!(
+            "{:>4}  {:>6.1}  {:>8.3}  {:>11}\n",
+            s.lane,
+            s.bias() * 100.0,
+            s.transition_density(),
+            s.longest_run
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitSeq;
+
+    #[test]
+    fn stats_of_simple_streams() {
+        let s = BitSeq::from_str_time("0011 0111".replace(' ', "").as_str()).unwrap();
+        let stats = LaneStats::of(3, &s);
+        assert_eq!(stats.lane, 3);
+        assert_eq!(stats.len, 8);
+        assert_eq!(stats.ones, 5);
+        assert_eq!(stats.transitions, 3);
+        assert_eq!(stats.longest_run, 3);
+        assert!((stats.bias() - 0.625).abs() < 1e-12);
+        assert!((stats.transition_density() - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_streams() {
+        let empty = LaneStats::of(0, &BitSeq::new());
+        assert_eq!(empty.bias(), 0.0);
+        assert_eq!(empty.transition_density(), 0.0);
+        let one = LaneStats::of(0, &BitSeq::repeat(true, 1));
+        assert_eq!(one.transition_density(), 0.0);
+        assert_eq!(one.longest_run, 1);
+    }
+
+    #[test]
+    fn instruction_words_have_structured_lanes() {
+        // A realistic observation on real code: top (opcode) lanes are more
+        // biased than the bottom (immediate) lanes in loop bodies built
+        // from I-format instructions.
+        let words: Vec<u64> = (0..64u64)
+            .map(|i| 0x2400_0000 | (i * 37) & 0xFFFF) // addiu-shaped
+            .collect();
+        let stats = analyze_lanes(&words, 32);
+        let low_density: f64 =
+            stats[..8].iter().map(LaneStats::transition_density).sum::<f64>() / 8.0;
+        let high_density: f64 =
+            stats[26..].iter().map(LaneStats::transition_density).sum::<f64>() / 6.0;
+        assert!(low_density > high_density);
+        let table = render_lane_table(&stats);
+        assert_eq!(table.lines().count(), 33);
+    }
+}

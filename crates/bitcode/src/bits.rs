@@ -1,0 +1,280 @@
+//! Bit sequences in *time order* and their transition counts.
+//!
+//! Throughout this crate, index 0 of a sequence is the **earliest** bit — the
+//! bit carried by the bus line in the first cycle. The paper prints block
+//! words the other way around (leftmost character is the *latest* bit, as in
+//! its Figures 2 and 4); [`BitSeq::to_paper_string`] and
+//! [`BitSeq::from_str_paper`] convert to and from that convention.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::CodecError;
+
+/// A sequence of bits on a single bus line, index 0 = earliest cycle.
+///
+/// `BitSeq` is the common currency of the codec: original vertical bit
+/// sequences, encoded (stored) sequences, and decoded sequences are all
+/// `BitSeq`s. The type is a thin, ergonomic wrapper over `Vec<bool>` that
+/// adds transition counting and the two string conventions used by the
+/// paper.
+///
+/// ```
+/// use imt_bitcode::bits::BitSeq;
+///
+/// # fn main() -> Result<(), imt_bitcode::CodecError> {
+/// let seq = BitSeq::from_str_time("1010")?;
+/// assert_eq!(seq.transitions(), 3);
+/// // The paper would print this block word reversed:
+/// assert_eq!(seq.to_paper_string(), "0101");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitSeq {
+    bits: Vec<bool>,
+}
+
+impl BitSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        BitSeq { bits: Vec::new() }
+    }
+
+    /// Creates a sequence of `len` copies of `bit`.
+    ///
+    /// ```
+    /// use imt_bitcode::bits::BitSeq;
+    /// assert_eq!(BitSeq::repeat(true, 3).transitions(), 0);
+    /// ```
+    pub fn repeat(bit: bool, len: usize) -> Self {
+        BitSeq { bits: vec![bit; len] }
+    }
+
+    /// Parses a bit string written in time order (leftmost character is the
+    /// earliest bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::ParseBit`] if the string contains a character
+    /// other than `'0'` or `'1'`.
+    pub fn from_str_time(s: &str) -> Result<Self, CodecError> {
+        let mut bits = Vec::with_capacity(s.len());
+        for (position, ch) in s.chars().enumerate() {
+            match ch {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                found => return Err(CodecError::ParseBit { position, found }),
+            }
+        }
+        Ok(BitSeq { bits })
+    }
+
+    /// Parses a bit string written in the paper's convention (leftmost
+    /// character is the **latest** bit, as in Figures 2 and 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::ParseBit`] if the string contains a character
+    /// other than `'0'` or `'1'`.
+    pub fn from_str_paper(s: &str) -> Result<Self, CodecError> {
+        let mut seq = Self::from_str_time(s)?;
+        seq.bits.reverse();
+        Ok(seq)
+    }
+
+    /// Extracts the vertical sequence of bit `lane` from a slice of machine
+    /// words: element `i` is bit `lane` of `words[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn from_lane(words: &[u64], lane: usize) -> Self {
+        assert!(lane < 64, "lane {lane} out of range for u64 words");
+        BitSeq { bits: words.iter().map(|w| (w >> lane) & 1 == 1).collect() }
+    }
+
+    /// Number of bits in the sequence.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bits in time order.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Appends a bit at the latest end.
+    pub fn push(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Returns bit `i`, or `None` if out of range.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        self.bits.get(i).copied()
+    }
+
+    /// Number of 0↔1 transitions between consecutive bits.
+    ///
+    /// This is the quantity the encoding minimises: each transition charges
+    /// or discharges the bus line capacitance once.
+    ///
+    /// ```
+    /// use imt_bitcode::bits::BitSeq;
+    /// # fn main() -> Result<(), imt_bitcode::CodecError> {
+    /// assert_eq!(BitSeq::from_str_time("0011")?.transitions(), 1);
+    /// assert_eq!(BitSeq::from_str_time("0101")?.transitions(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn transitions(&self) -> u64 {
+        self.bits.windows(2).filter(|w| w[0] != w[1]).count() as u64
+    }
+
+    /// Iterates over the bits in time order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// Renders the sequence in the paper's convention (latest bit leftmost).
+    pub fn to_paper_string(&self) -> String {
+        self.bits.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+
+    /// Renders the sequence in time order (earliest bit leftmost).
+    pub fn to_time_string(&self) -> String {
+        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+}
+
+impl Index<usize> for BitSeq {
+    type Output = bool;
+
+    fn index(&self, i: usize) -> &bool {
+        &self.bits[i]
+    }
+}
+
+impl fmt::Display for BitSeq {
+    /// Displays in time order (earliest bit leftmost).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_time_string())
+    }
+}
+
+impl From<Vec<bool>> for BitSeq {
+    fn from(bits: Vec<bool>) -> Self {
+        BitSeq { bits }
+    }
+}
+
+impl From<BitSeq> for Vec<bool> {
+    fn from(seq: BitSeq) -> Self {
+        seq.bits
+    }
+}
+
+impl FromIterator<bool> for BitSeq {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitSeq { bits: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<bool> for BitSeq {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        self.bits.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSeq {
+    type Item = bool;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, bool>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bits.iter().copied()
+    }
+}
+
+impl IntoIterator for BitSeq {
+    type Item = bool;
+    type IntoIter = std::vec::IntoIter<bool>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bits.into_iter()
+    }
+}
+
+/// Counts transitions in a plain bool slice (time order).
+///
+/// Convenience for callers that have not materialised a [`BitSeq`].
+pub fn transitions(bits: &[bool]) -> u64 {
+    bits.windows(2).filter(|w| w[0] != w[1]).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_time_and_paper_are_reverses() {
+        let time = BitSeq::from_str_time("0010").unwrap();
+        let paper = BitSeq::from_str_paper("0010").unwrap();
+        assert_eq!(time.as_slice(), &[false, false, true, false]);
+        assert_eq!(paper.as_slice(), &[false, true, false, false]);
+        assert_eq!(time.to_paper_string(), "0100");
+        assert_eq!(paper.to_paper_string(), "0010");
+    }
+
+    #[test]
+    fn parse_rejects_non_bits() {
+        let err = BitSeq::from_str_time("01x1").unwrap_err();
+        assert_eq!(err, CodecError::ParseBit { position: 2, found: 'x' });
+    }
+
+    #[test]
+    fn transition_counts() {
+        assert_eq!(BitSeq::new().transitions(), 0);
+        assert_eq!(BitSeq::repeat(true, 10).transitions(), 0);
+        assert_eq!(BitSeq::from_str_time("01").unwrap().transitions(), 1);
+        assert_eq!(BitSeq::from_str_time("010101").unwrap().transitions(), 5);
+        assert_eq!(BitSeq::from_str_time("001100").unwrap().transitions(), 2);
+    }
+
+    #[test]
+    fn paper_example_word_010_has_two_transitions() {
+        // Figure 2: block word 010 has T_x = 2.
+        let word = BitSeq::from_str_paper("010").unwrap();
+        assert_eq!(word.transitions(), 2);
+    }
+
+    #[test]
+    fn from_lane_extracts_vertical_sequence() {
+        // Figure 1a: the leftmost bit column of 1 1 … 0 / 0 0 … 1 / 1 0 … 1 / 0 0 … 0
+        // is 1,0,1,0 over time.
+        let words = [0b10u64, 0b00, 0b10, 0b00];
+        let lane1 = BitSeq::from_lane(&words, 1);
+        assert_eq!(lane1.to_time_string(), "1010");
+        assert_eq!(lane1.transitions(), 3);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut seq: BitSeq = [true, false].into_iter().collect();
+        seq.extend([true]);
+        assert_eq!(seq.to_time_string(), "101");
+        let bits: Vec<bool> = seq.clone().into();
+        assert_eq!(bits.len(), 3);
+        assert!(seq[2]);
+    }
+
+    #[test]
+    fn display_uses_time_order() {
+        let seq = BitSeq::from_str_time("0011").unwrap();
+        assert_eq!(format!("{seq}"), "0011");
+    }
+}

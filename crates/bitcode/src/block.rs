@@ -1,0 +1,619 @@
+//! Optimal encoding of a single block word (§5.1 of the paper).
+//!
+//! Given an original block of bits, the encoder searches for the stored
+//! (code) word with the fewest transitions such that some allowed
+//! transformation `τ` maps the code word back to the original under the
+//! decode recurrence. Candidates are enumerated in order of increasing
+//! transition count, so the first feasible candidate is optimal; the
+//! identity transform guarantees a solution at least as good as the
+//! original word (the paper's worst-case guarantee).
+//!
+//! Two block positions exist in a chained stream:
+//!
+//! * an **initial** block (start of a bit line, or start of a basic block in
+//!   the full system): its first bit is the seed, stored unchanged
+//!   (`x₁ = x̃₁`);
+//! * a **chained** block that overlaps the previous block by one bit (§6):
+//!   the overlap bit was already assigned a stored value by the previous
+//!   block, and the first decode equation of the new block uses that bit as
+//!   history — either its *stored* value (the paper's literal description:
+//!   “`τ₂` uses `x̃ₙ` instead of `xₙ`”) or its *decoded* original value; both
+//!   semantics are implemented, see [`OverlapHistory`].
+
+use crate::bits::transitions;
+use crate::transform::{PartialTransform, Transform, TransformSet};
+
+/// Upper bound on the block size accepted by the exhaustive search.
+///
+/// The search enumerates up to `2^(k-1)` candidate code words, so sizes are
+/// capped well below where that becomes expensive. The paper only evaluates
+/// sizes 2–7; larger sizes are supported for sensitivity studies.
+pub const MAX_BLOCK_SIZE: usize = 16;
+
+/// Which value of the one-bit overlap a chained block uses as its initial
+/// decode history (§6).
+///
+/// Within a block the history argument of `τ` is always the previous
+/// **original** (restored) bit; the choice below only affects the first
+/// equation of each non-initial block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum OverlapHistory {
+    /// The first equation uses the overlap bit **as stored** on the bus
+    /// (`x̃ₙ`). This follows the paper's wording in §6 and corresponds to
+    /// hardware that re-seeds the history flip-flop from the raw bus line at
+    /// a block switch.
+    #[default]
+    Stored,
+    /// The first equation uses the overlap bit's restored original value
+    /// (`xₙ`), i.e. the history flip-flop is never re-seeded.
+    Decoded,
+}
+
+/// Where a block sits relative to its predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockContext {
+    /// First block of a line (or basic block): bit 0 is the seed and is
+    /// stored unchanged.
+    Initial,
+    /// Continuation block overlapping the previous block by one bit.
+    Chained {
+        /// Stored value the previous block assigned to the overlap bit.
+        prev_stored: bool,
+        /// Original value of the overlap bit.
+        prev_original: bool,
+        /// Which of the two the first decode equation uses as history.
+        history: OverlapHistory,
+    },
+}
+
+/// Result of encoding one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockEncoding {
+    /// Stored bits for this block's positions (for an initial block this
+    /// includes the seed; for a chained block only the new, non-overlap
+    /// positions).
+    pub code: Vec<bool>,
+    /// The transform the decoder should apply — the preferred member of
+    /// [`BlockEncoding::compatible`].
+    pub transform: Transform,
+    /// Every allowed transform consistent with this code word.
+    pub compatible: TransformSet,
+    /// Transitions charged to this block by the original bits (including
+    /// the boundary transition from the previous block, if chained).
+    pub original_transitions: u64,
+    /// Transitions charged to this block by the code bits (same accounting).
+    pub code_transitions: u64,
+}
+
+impl BlockEncoding {
+    /// Transitions saved by this block (never negative: the identity
+    /// transform bounds the code by the original).
+    pub fn saved_transitions(&self) -> u64 {
+        self.original_transitions - self.code_transitions
+    }
+}
+
+/// Encodes one block optimally.
+///
+/// `original` holds the block's original bits in time order. For
+/// [`BlockContext::Chained`] these are only the *new* bits — the overlap bit
+/// itself belongs to the previous block and its original/stored values are
+/// carried in the context.
+///
+/// The returned encoding minimises the number of transitions charged to the
+/// block: internal transitions of the code bits, plus — when chained — the
+/// boundary transition against the previous stored bit. Ties between equally
+/// cheap code words are broken by candidate enumeration order (transition
+/// positions in lexicographic order), and ties between compatible transforms
+/// by the preference order of [`Transform::ALL`]; together these reproduce
+/// the paper's Figures 2 and 4 exactly.
+///
+/// # Panics
+///
+/// Panics if `original` is empty or longer than [`MAX_BLOCK_SIZE`].
+///
+/// ```
+/// use imt_bitcode::block::{encode_block, BlockContext};
+/// use imt_bitcode::{Transform, TransformSet};
+///
+/// // Figure 2: block word 010 (paper order) = [0,1,0] in time order
+/// // encodes to 000 with τ = ȳ, eliminating both transitions.
+/// let enc = encode_block(&[false, true, false], BlockContext::Initial,
+///                        TransformSet::CANONICAL_EIGHT);
+/// assert_eq!(enc.code, vec![false, false, false]);
+/// assert_eq!(enc.transform, Transform::NOT_Y);
+/// assert_eq!(enc.original_transitions, 2);
+/// assert_eq!(enc.code_transitions, 0);
+/// ```
+pub fn encode_block(
+    original: &[bool],
+    context: BlockContext,
+    allowed: TransformSet,
+) -> BlockEncoding {
+    encode_block_constrained(original, context, allowed, None)
+        .expect("unconstrained encoding always has the identity fallback")
+}
+
+/// Like [`encode_block`], but optionally pins the **final stored bit** of
+/// the code word to `final_bit`.
+///
+/// This is the primitive behind exact chain encoding
+/// ([`crate::stream::ChainStrategy::Optimal`]): the only coupling between
+/// consecutive overlapping blocks is the stored value of the shared bit,
+/// so a dynamic program over that one-bit state needs the cheapest code
+/// word *per final-bit value*.
+///
+/// Returns `None` when no allowed transformation can decode any code word
+/// with the requested final bit (e.g. an initial block of one bit whose
+/// seed differs from the requested value).
+///
+/// # Panics
+///
+/// As [`encode_block`].
+pub fn encode_block_constrained(
+    original: &[bool],
+    context: BlockContext,
+    allowed: TransformSet,
+    final_bit: Option<bool>,
+) -> Option<BlockEncoding> {
+    let n = original.len();
+    assert!(n >= 1, "cannot encode an empty block");
+    assert!(n <= MAX_BLOCK_SIZE, "block of {n} bits exceeds MAX_BLOCK_SIZE");
+    assert!(!allowed.is_empty(), "allowed transform set is empty");
+
+    // Transitions the original bits charge to this block.
+    let original_transitions = match context {
+        BlockContext::Initial => transitions(original),
+        BlockContext::Chained { prev_original, .. } => {
+            transitions(original) + (prev_original != original[0]) as u64
+        }
+    };
+
+    // An initial block of one bit is pure seed: no equations constrain τ.
+    if n == 1 {
+        if let BlockContext::Initial = context {
+            if final_bit.is_some_and(|bit| bit != original[0]) {
+                return None;
+            }
+            return Some(BlockEncoding {
+                code: vec![original[0]],
+                transform: allowed.preferred().expect("non-empty set"),
+                compatible: allowed,
+                original_transitions,
+                code_transitions: 0,
+            });
+        }
+    }
+
+    // Free code bits and the "anchor" the transition chain hangs from.
+    // Initial: code[0] is pinned to original[0]; gaps are between code bits.
+    // Chained: all code bits are free; the first gap is against prev_stored.
+    let (free_bits, anchor) = match context {
+        BlockContext::Initial => (n - 1, original[0]),
+        BlockContext::Chained { prev_stored, .. } => (n, prev_stored),
+    };
+
+    let mut best: Option<BlockEncoding> = None;
+    let mut gaps = Vec::with_capacity(free_bits);
+    'by_cost: for cost in 0..=free_bits {
+        let mut done = init_combination(&mut gaps, cost);
+        while !done {
+            if let Some(enc) = try_candidate(
+                original,
+                context,
+                allowed,
+                anchor,
+                &gaps,
+                original_transitions,
+                cost as u64,
+                final_bit,
+            ) {
+                best = Some(enc);
+                break 'by_cost;
+            }
+            done = !next_combination(&mut gaps, free_bits);
+        }
+    }
+    best
+}
+
+/// Builds the candidate for a given set of transition gap positions, and
+/// checks τ-feasibility. Gap `g` means the stored chain flips between chain
+/// position `g` and `g + 1`, where chain position 0 is the anchor.
+#[allow(clippy::too_many_arguments)] // internal hot helper; a struct would obscure it
+fn try_candidate(
+    original: &[bool],
+    context: BlockContext,
+    allowed: TransformSet,
+    anchor: bool,
+    gaps: &[usize],
+    original_transitions: u64,
+    cost: u64,
+    final_bit: Option<bool>,
+) -> Option<BlockEncoding> {
+    let n = original.len();
+    let mut code = Vec::with_capacity(n);
+    let mut current = anchor;
+    let mut gap_iter = gaps.iter().peekable();
+
+    // Materialise the chained code bits from the gap pattern.
+    let free_start = match context {
+        BlockContext::Initial => {
+            code.push(anchor);
+            1
+        }
+        BlockContext::Chained { .. } => 0,
+    };
+    for chain_pos in 0..(n - free_start) {
+        if gap_iter.peek() == Some(&&chain_pos) {
+            current = !current;
+            gap_iter.next();
+        }
+        code.push(current);
+    }
+    debug_assert_eq!(code.len(), n);
+    if final_bit.is_some_and(|bit| bit != code[n - 1]) {
+        return None;
+    }
+
+    // Solve for τ.
+    let mut partial = PartialTransform::new();
+    let feasible = match context {
+        BlockContext::Initial => (1..n)
+            .all(|i| partial.constrain(code[i], original[i - 1], original[i])),
+        BlockContext::Chained { prev_stored, prev_original, history } => {
+            let first_history = match history {
+                OverlapHistory::Stored => prev_stored,
+                OverlapHistory::Decoded => prev_original,
+            };
+            partial.constrain(code[0], first_history, original[0])
+                && (1..n)
+                    .all(|i| partial.constrain(code[i], original[i - 1], original[i]))
+        }
+    };
+    if !feasible {
+        return None;
+    }
+    let compatible = partial.compatible().intersection(allowed);
+    let transform = compatible.preferred()?;
+    Some(BlockEncoding {
+        code,
+        transform,
+        compatible,
+        original_transitions,
+        code_transitions: cost,
+    })
+}
+
+/// Initialises `gaps` to the lexicographically first `t`-combination
+/// `[0, 1, …, t-1]`. Returns `true` when there is no combination at all
+/// (never happens for `t = 0`, which yields the empty combination).
+fn init_combination(gaps: &mut Vec<usize>, t: usize) -> bool {
+    gaps.clear();
+    gaps.extend(0..t);
+    false
+}
+
+/// Advances `gaps` to the next `t`-combination of `0..n` in lexicographic
+/// order. Returns `false` when the last combination has been passed.
+fn next_combination(gaps: &mut [usize], n: usize) -> bool {
+    let t = gaps.len();
+    if t == 0 {
+        return false;
+    }
+    let mut i = t;
+    loop {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        if gaps[i] < n - (t - i) {
+            gaps[i] += 1;
+            for j in i + 1..t {
+                gaps[j] = gaps[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+}
+
+/// Decodes one block: the inverse of [`encode_block`].
+///
+/// `prev_original` must be `None` for an initial block. For a chained block
+/// it carries the restored original value of the overlap bit, and
+/// `prev_stored` its stored value; `history` selects which one seeds the
+/// first equation.
+///
+/// ```
+/// use imt_bitcode::block::{decode_block, BlockContext, encode_block};
+/// use imt_bitcode::TransformSet;
+///
+/// let original = [true, true, false, true, false];
+/// let enc = encode_block(&original, BlockContext::Initial, TransformSet::CANONICAL_EIGHT);
+/// let decoded = decode_block(&enc.code, enc.transform, BlockContext::Initial);
+/// assert_eq!(decoded, original);
+/// ```
+pub fn decode_block(code: &[bool], transform: Transform, context: BlockContext) -> Vec<bool> {
+    let mut out = Vec::with_capacity(code.len());
+    match context {
+        BlockContext::Initial => {
+            if code.is_empty() {
+                return out;
+            }
+            out.push(code[0]);
+            for i in 1..code.len() {
+                let prev = out[i - 1];
+                out.push(transform.apply(code[i], prev));
+            }
+        }
+        BlockContext::Chained { prev_stored, prev_original, history } => {
+            let mut prev = match history {
+                OverlapHistory::Stored => prev_stored,
+                OverlapHistory::Decoded => prev_original,
+            };
+            for &c in code {
+                let bit = transform.apply(c, prev);
+                out.push(bit);
+                // After the first equation, history is always the restored
+                // original bit.
+                prev = bit;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitSeq;
+
+    fn paper_word(s: &str) -> Vec<bool> {
+        BitSeq::from_str_paper(s).unwrap().into()
+    }
+
+    fn encode_paper(s: &str) -> BlockEncoding {
+        encode_block(&paper_word(s), BlockContext::Initial, TransformSet::CANONICAL_EIGHT)
+    }
+
+    fn code_as_paper(enc: &BlockEncoding) -> String {
+        BitSeq::from(enc.code.clone()).to_paper_string()
+    }
+
+    #[test]
+    fn figure2_word_001() {
+        let enc = encode_paper("001");
+        assert_eq!(code_as_paper(&enc), "111");
+        assert_eq!(enc.transform, Transform::NOT_X);
+        assert_eq!(enc.original_transitions, 1);
+        assert_eq!(enc.code_transitions, 0);
+    }
+
+    #[test]
+    fn figure2_word_010() {
+        let enc = encode_paper("010");
+        assert_eq!(code_as_paper(&enc), "000");
+        assert_eq!(enc.transform, Transform::NOT_Y);
+        assert_eq!(enc.original_transitions, 2);
+        assert_eq!(enc.code_transitions, 0);
+    }
+
+    #[test]
+    fn figure2_word_011_keeps_identity() {
+        let enc = encode_paper("011");
+        assert_eq!(code_as_paper(&enc), "011");
+        assert_eq!(enc.transform, Transform::IDENTITY);
+        assert_eq!(enc.original_transitions, 1);
+        assert_eq!(enc.code_transitions, 1);
+    }
+
+    #[test]
+    fn figure2_word_101() {
+        let enc = encode_paper("101");
+        assert_eq!(code_as_paper(&enc), "111");
+        assert_eq!(enc.transform, Transform::NOT_Y);
+        assert_eq!(enc.original_transitions, 2);
+        assert_eq!(enc.code_transitions, 0);
+    }
+
+    #[test]
+    fn figure2_word_110() {
+        let enc = encode_paper("110");
+        assert_eq!(code_as_paper(&enc), "000");
+        assert_eq!(enc.transform, Transform::NOT_X);
+        assert_eq!(enc.original_transitions, 1);
+        assert_eq!(enc.code_transitions, 0);
+    }
+
+    #[test]
+    fn figure4_word_00101_uses_xor() {
+        let enc = encode_paper("00101");
+        assert_eq!(code_as_paper(&enc), "01111");
+        assert_eq!(enc.transform, Transform::XOR);
+        assert_eq!(enc.original_transitions, 3);
+        assert_eq!(enc.code_transitions, 1);
+    }
+
+    #[test]
+    fn figure4_word_01001_uses_nor() {
+        let enc = encode_paper("01001");
+        assert_eq!(code_as_paper(&enc), "00111");
+        assert_eq!(enc.transform, Transform::NOR);
+        assert_eq!(enc.original_transitions, 3);
+        assert_eq!(enc.code_transitions, 1);
+    }
+
+    #[test]
+    fn figure4_word_01011_uses_xnor() {
+        let enc = encode_paper("01011");
+        assert_eq!(code_as_paper(&enc), "00011");
+        assert_eq!(enc.transform, Transform::XNOR);
+        assert_eq!(enc.original_transitions, 3);
+        assert_eq!(enc.code_transitions, 1);
+    }
+
+    #[test]
+    fn figure4_word_01101_two_transition_code() {
+        let enc = encode_paper("01101");
+        assert_eq!(code_as_paper(&enc), "10011");
+        assert_eq!(enc.transform, Transform::NOT_X);
+        assert_eq!(enc.original_transitions, 3);
+        assert_eq!(enc.code_transitions, 2);
+    }
+
+    #[test]
+    fn identity_bounds_code_transitions() {
+        // The code word can never be worse than the original (§5.1).
+        for bits in 0u32..(1 << 7) {
+            let original: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
+            let enc =
+                encode_block(&original, BlockContext::Initial, TransformSet::CANONICAL_EIGHT);
+            assert!(enc.code_transitions <= enc.original_transitions);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_words_up_to_six_bits() {
+        for len in 1..=6usize {
+            for bits in 0u32..(1 << len) {
+                let original: Vec<bool> = (0..len).map(|i| bits >> i & 1 == 1).collect();
+                for allowed in [TransformSet::ALL_SIXTEEN, TransformSet::CANONICAL_EIGHT] {
+                    let enc = encode_block(&original, BlockContext::Initial, allowed);
+                    let decoded = decode_block(&enc.code, enc.transform, BlockContext::Initial);
+                    assert_eq!(decoded, original, "word {bits:0len$b} with {allowed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_roundtrip_both_histories() {
+        for history in [OverlapHistory::Stored, OverlapHistory::Decoded] {
+            for prev_stored in [false, true] {
+                for prev_original in [false, true] {
+                    for bits in 0u32..(1 << 4) {
+                        let original: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+                        let ctx = BlockContext::Chained { prev_stored, prev_original, history };
+                        let enc = encode_block(&original, ctx, TransformSet::CANONICAL_EIGHT);
+                        let decoded = decode_block(&enc.code, enc.transform, ctx);
+                        assert_eq!(decoded, original);
+                        // Boundary accounting: the cost includes the flip
+                        // against prev_stored.
+                        let mut chain = vec![prev_stored];
+                        chain.extend(&enc.code);
+                        assert_eq!(crate::bits::transitions(&chain), enc.code_transitions);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_encoding_never_worse_than_identity() {
+        for bits in 0u32..(1 << 5) {
+            let original: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            for prev in [false, true] {
+                let ctx = BlockContext::Chained {
+                    prev_stored: prev,
+                    prev_original: prev,
+                    history: OverlapHistory::Stored,
+                };
+                let enc = encode_block(&original, ctx, TransformSet::CANONICAL_EIGHT);
+                let mut identity_chain = vec![prev];
+                identity_chain.extend(&original);
+                assert!(enc.code_transitions <= crate::bits::transitions(&identity_chain));
+            }
+        }
+    }
+
+    #[test]
+    fn restricting_to_identity_only_passes_through() {
+        let original = paper_word("0101");
+        let enc = encode_block(&original, BlockContext::Initial, TransformSet::IDENTITY_ONLY);
+        assert_eq!(enc.code, original);
+        assert_eq!(enc.transform, Transform::IDENTITY);
+        assert_eq!(enc.code_transitions, enc.original_transitions);
+    }
+
+    #[test]
+    fn combination_iterator_is_lexicographic() {
+        let mut gaps = Vec::new();
+        init_combination(&mut gaps, 2);
+        let mut seen = vec![gaps.clone()];
+        while next_combination(&mut gaps, 4) {
+            seen.push(gaps.clone());
+        }
+        assert_eq!(
+            seen,
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty block")]
+    fn empty_block_panics() {
+        encode_block(&[], BlockContext::Initial, TransformSet::ALL_SIXTEEN);
+    }
+
+    #[test]
+    fn constrained_final_bit_is_honoured() {
+        for bits in 0u32..(1 << 5) {
+            let original: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            for final_bit in [false, true] {
+                let enc = encode_block_constrained(
+                    &original,
+                    BlockContext::Initial,
+                    TransformSet::CANONICAL_EIGHT,
+                    Some(final_bit),
+                );
+                // Identity decodes any word, so a code word ending either
+                // way always exists for 2+-bit blocks... unless the only
+                // identity-cost candidate ends the other way; feasibility
+                // is word-dependent, so just check honesty when it exists.
+                if let Some(enc) = enc {
+                    assert_eq!(*enc.code.last().unwrap(), final_bit);
+                    assert_eq!(
+                        decode_block(&enc.code, enc.transform, BlockContext::Initial),
+                        original
+                    );
+                }
+            }
+            // The unconstrained optimum equals the better of the two
+            // constrained optima.
+            let free =
+                encode_block(&original, BlockContext::Initial, TransformSet::CANONICAL_EIGHT);
+            let best_constrained = [false, true]
+                .into_iter()
+                .filter_map(|b| {
+                    encode_block_constrained(
+                        &original,
+                        BlockContext::Initial,
+                        TransformSet::CANONICAL_EIGHT,
+                        Some(b),
+                    )
+                })
+                .map(|e| e.code_transitions)
+                .min()
+                .expect("at least one final bit is feasible");
+            assert_eq!(free.code_transitions, best_constrained);
+        }
+    }
+
+    #[test]
+    fn constrained_single_bit_initial_block() {
+        let enc = encode_block_constrained(
+            &[true],
+            BlockContext::Initial,
+            TransformSet::CANONICAL_EIGHT,
+            Some(false),
+        );
+        assert!(enc.is_none(), "a seed bit cannot be stored inverted");
+        let enc = encode_block_constrained(
+            &[true],
+            BlockContext::Initial,
+            TransformSet::CANONICAL_EIGHT,
+            Some(true),
+        );
+        assert!(enc.is_some());
+    }
+}

@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the bit-line codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// A bit string contained a character other than `0` or `1`.
+    ParseBit {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// A block size outside the supported range was requested.
+    ///
+    /// Block sizes must be at least 2 (a single bit cannot carry a
+    /// transition) and at most [`MAX_BLOCK_SIZE`](crate::block::MAX_BLOCK_SIZE)
+    /// (the exhaustive code-word search is exponential in the block size).
+    BlockSize {
+        /// The rejected block size.
+        requested: usize,
+    },
+    /// An encoded stream's block descriptors do not tile its stored bits.
+    ///
+    /// Returned by decoding when block extents overlap by more or less than
+    /// one bit, or do not cover the stored sequence exactly.
+    MalformedBlocks {
+        /// Index of the first block descriptor that is inconsistent.
+        block_index: usize,
+    },
+    /// Word width outside `1..=64` was requested for lane encoding.
+    LaneWidth {
+        /// The rejected width.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodecError::ParseBit { position, found } => {
+                write!(f, "invalid bit character {found:?} at position {position}")
+            }
+            CodecError::BlockSize { requested } => {
+                write!(
+                    f,
+                    "block size {requested} outside supported range 2..={}",
+                    crate::block::MAX_BLOCK_SIZE
+                )
+            }
+            CodecError::MalformedBlocks { block_index } => {
+                write!(f, "block descriptor {block_index} does not tile the stored bits")
+            }
+            CodecError::LaneWidth { requested } => {
+                write!(f, "lane width {requested} outside supported range 1..=64")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = CodecError::ParseBit { position: 3, found: 'z' };
+        let text = err.to_string();
+        assert!(text.starts_with("invalid bit"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+    }
+}

@@ -1,0 +1,133 @@
+//! Deterministic random bit-stream generators.
+//!
+//! Used by the §6 experiment (uniform 1000-bit streams), by sensitivity
+//! ablations (biased and bursty streams), and by property tests. All
+//! generators take an explicit RNG so experiments are reproducible from a
+//! seed.
+
+use rand::Rng;
+
+use crate::bits::BitSeq;
+
+/// A stream of independent fair coin flips — the paper's §6 workload.
+///
+/// ```
+/// use imt_bitcode::gen::uniform;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let stream = uniform(&mut rng, 1000);
+/// assert_eq!(stream.len(), 1000);
+/// ```
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, len: usize) -> BitSeq {
+    (0..len).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+/// A stream of independent biased coin flips with `P(1) = p_one`.
+///
+/// Instruction bit lines are rarely uniform: opcode lines are heavily
+/// biased. Biased streams probe how the codec behaves off the uniform
+/// assumption underpinning Figure 3's expectations.
+///
+/// # Panics
+///
+/// Panics if `p_one` is not within `0.0..=1.0`.
+pub fn biased<R: Rng + ?Sized>(rng: &mut R, len: usize, p_one: f64) -> BitSeq {
+    assert!((0.0..=1.0).contains(&p_one), "p_one {p_one} outside [0, 1]");
+    (0..len).map(|_| rng.gen_bool(p_one)).collect()
+}
+
+/// A first-order Markov stream: after a bit `b`, the next bit differs from
+/// `b` with probability `p_flip`.
+///
+/// `p_flip = 0.5` degenerates to [`uniform`]; small `p_flip` produces the
+/// long runs typical of high instruction bits; large `p_flip` produces the
+/// near-alternating patterns where the codec shines.
+///
+/// # Panics
+///
+/// Panics if `p_flip` is not within `0.0..=1.0`.
+pub fn markov<R: Rng + ?Sized>(rng: &mut R, len: usize, p_flip: f64) -> BitSeq {
+    assert!((0.0..=1.0).contains(&p_flip), "p_flip {p_flip} outside [0, 1]");
+    let mut out = BitSeq::new();
+    if len == 0 {
+        return out;
+    }
+    let mut current = rng.gen_bool(0.5);
+    out.push(current);
+    for _ in 1..len {
+        if rng.gen_bool(p_flip) {
+            current = !current;
+        }
+        out.push(current);
+    }
+    out
+}
+
+/// A periodic stream repeating `pattern` until `len` bits are emitted.
+///
+/// Models the vertical bit sequence a bus line sees while a tight loop of
+/// `pattern.len()` instructions executes repeatedly — the paper's central
+/// workload shape.
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty and `len > 0`.
+pub fn periodic(pattern: &[bool], len: usize) -> BitSeq {
+    if len > 0 {
+        assert!(!pattern.is_empty(), "cannot repeat an empty pattern");
+    }
+    (0..len).map(|i| pattern[i % pattern.len()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xDA7E_2003)
+    }
+
+    #[test]
+    fn uniform_is_roughly_balanced() {
+        let stream = uniform(&mut rng(), 10_000);
+        let ones = stream.iter().filter(|&b| b).count();
+        assert!((4_500..=5_500).contains(&ones), "ones = {ones}");
+        // A uniform stream transitions about half the time.
+        let t = stream.transitions();
+        assert!((4_500..=5_500).contains(&(t as usize)), "transitions = {t}");
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        assert_eq!(uniform(&mut rng(), 100), uniform(&mut rng(), 100));
+    }
+
+    #[test]
+    fn biased_extremes() {
+        assert_eq!(biased(&mut rng(), 50, 0.0), BitSeq::repeat(false, 50));
+        assert_eq!(biased(&mut rng(), 50, 1.0), BitSeq::repeat(true, 50));
+    }
+
+    #[test]
+    fn markov_flip_probability_controls_transitions() {
+        let calm = markov(&mut rng(), 10_000, 0.05);
+        let busy = markov(&mut rng(), 10_000, 0.95);
+        assert!(calm.transitions() < 1_000, "calm = {}", calm.transitions());
+        assert!(busy.transitions() > 9_000, "busy = {}", busy.transitions());
+    }
+
+    #[test]
+    fn periodic_repeats_pattern() {
+        let stream = periodic(&[true, false, false], 7);
+        assert_eq!(stream.to_time_string(), "1001001");
+        assert_eq!(periodic(&[true], 0), BitSeq::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pattern")]
+    fn periodic_rejects_empty_pattern() {
+        periodic(&[], 3);
+    }
+}

@@ -1,0 +1,221 @@
+//! Applying the bit-line codec to a sequence of machine words.
+//!
+//! An instruction memory delivers a `width`-bit word per fetch; each bit
+//! position is one physical bus line and is encoded as an independent
+//! vertical stream (paper §4, Figure 1). This module slices a word sequence
+//! into lanes, encodes every lane with a [`StreamCodec`], reassembles the
+//! encoded words, and accounts transitions per lane and in total.
+
+use crate::bits::BitSeq;
+use crate::stream::{EncodedStream, StreamCodec};
+use crate::CodecError;
+
+/// Per-lane transition counts for a word sequence.
+///
+/// Element `i` is the number of transitions on bus line `i` (bit `i` of the
+/// words) over the sequence.
+pub fn per_lane_transitions(words: &[u64], width: usize) -> Vec<u64> {
+    assert!((1..=64).contains(&width), "width {width} outside 1..=64");
+    let mut counts = vec![0u64; width];
+    for pair in words.windows(2) {
+        let diff = pair[0] ^ pair[1];
+        for (lane, count) in counts.iter_mut().enumerate() {
+            *count += diff >> lane & 1;
+        }
+    }
+    counts
+}
+
+/// Total transitions across all lanes of a word sequence.
+///
+/// This is the quantity the paper's Figure 6 reports (in millions) for the
+/// baseline bus.
+///
+/// ```
+/// use imt_bitcode::lanes::total_transitions;
+/// // 0b01 → 0b10 flips both lines.
+/// assert_eq!(total_transitions(&[0b01, 0b10], 2), 2);
+/// ```
+pub fn total_transitions(words: &[u64], width: usize) -> u64 {
+    assert!((1..=64).contains(&width), "width {width} outside 1..=64");
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    words.windows(2).map(|p| ((p[0] ^ p[1]) & mask).count_ones() as u64).sum()
+}
+
+/// A word sequence encoded lane by lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneEncoding {
+    words: Vec<u64>,
+    lanes: Vec<EncodedStream>,
+    width: usize,
+}
+
+impl LaneEncoding {
+    /// The encoded words, as they would be stored in instruction memory.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Per-lane encoding details; element `i` is bus line `i`.
+    pub fn lanes(&self) -> &[EncodedStream] {
+        &self.lanes
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total transitions of the encoded words across all lanes.
+    pub fn transitions(&self) -> u64 {
+        total_transitions(&self.words, self.width)
+    }
+
+    /// Total transitions of the original words across all lanes.
+    pub fn original_transitions(&self) -> u64 {
+        self.lanes.iter().map(|l| l.original_transitions()).sum()
+    }
+
+    /// Percentage of transitions eliminated across the whole bus.
+    pub fn reduction_percent(&self) -> f64 {
+        let orig = self.original_transitions();
+        if orig == 0 {
+            return 0.0;
+        }
+        (orig - self.transitions()) as f64 / orig as f64 * 100.0
+    }
+}
+
+/// Encodes a word sequence lane by lane.
+///
+/// # Errors
+///
+/// Returns [`CodecError::LaneWidth`] if `width` is outside `1..=64`.
+///
+/// ```
+/// use imt_bitcode::lanes::{decode_words, encode_words};
+/// use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+///
+/// # fn main() -> Result<(), imt_bitcode::CodecError> {
+/// let codec = StreamCodec::new(StreamCodecConfig::block_size(5)?);
+/// let words = vec![0xDEAD_BEEF, 0x0000_0000, 0xDEAD_BEEF, 0xFFFF_FFFF];
+/// let encoded = encode_words(&words, 32, &codec)?;
+/// assert!(encoded.transitions() <= encoded.original_transitions());
+/// assert_eq!(decode_words(&encoded, &codec)?, words);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_words(
+    words: &[u64],
+    width: usize,
+    codec: &StreamCodec,
+) -> Result<LaneEncoding, CodecError> {
+    if !(1..=64).contains(&width) {
+        return Err(CodecError::LaneWidth { requested: width });
+    }
+    let mut lanes = Vec::with_capacity(width);
+    let mut out = vec![0u64; words.len()];
+    for lane in 0..width {
+        let original = BitSeq::from_lane(words, lane);
+        let encoded = codec.encode(&original);
+        for (i, bit) in encoded.stored().iter().enumerate() {
+            out[i] |= (bit as u64) << lane;
+        }
+        lanes.push(encoded);
+    }
+    Ok(LaneEncoding { words: out, lanes, width })
+}
+
+/// Decodes a lane encoding back to the original words.
+///
+/// # Errors
+///
+/// Returns [`CodecError::MalformedBlocks`] if a lane's schedule is
+/// inconsistent with its stored bits (cannot happen for encodings produced
+/// by [`encode_words`] with the same codec).
+pub fn decode_words(encoding: &LaneEncoding, codec: &StreamCodec) -> Result<Vec<u64>, CodecError> {
+    let len = encoding.words.len();
+    let mut out = vec![0u64; len];
+    for (lane, stream) in encoding.lanes.iter().enumerate() {
+        let decoded = codec.decode(stream)?;
+        for (i, bit) in decoded.iter().enumerate() {
+            out[i] |= (bit as u64) << lane;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamCodecConfig;
+
+    fn codec(k: usize) -> StreamCodec {
+        StreamCodec::new(StreamCodecConfig::block_size(k).unwrap())
+    }
+
+    #[test]
+    fn per_lane_counts_match_total() {
+        let words = [0b1010, 0b0101, 0b1111, 0b0000];
+        let per_lane = per_lane_transitions(&words, 4);
+        assert_eq!(per_lane.iter().sum::<u64>(), total_transitions(&words, 4));
+        // Lane 0 over time: 0,1,1,0 → 2; lane 1: 1,0,1,0 → 3; etc.
+        assert_eq!(per_lane, vec![2, 3, 2, 3]);
+    }
+
+    #[test]
+    fn width_masks_high_bits() {
+        let words = [u64::MAX, 0];
+        assert_eq!(total_transitions(&words, 8), 8);
+        assert_eq!(total_transitions(&words, 64), 64);
+    }
+
+    #[test]
+    fn roundtrip_random_words() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let words: Vec<u64> = (0..200).map(|_| rng.gen::<u32>() as u64).collect();
+        for k in [4, 5, 6, 7] {
+            let c = codec(k);
+            let enc = encode_words(&words, 32, &c).unwrap();
+            assert_eq!(decode_words(&enc, &c).unwrap(), words, "k = {k}");
+            assert!(enc.transitions() <= enc.original_transitions());
+        }
+    }
+
+    #[test]
+    fn loop_like_words_reduce_substantially() {
+        // A 16-instruction "loop body" fetched 1 time: structured words with
+        // alternating patterns encode well.
+        let body: Vec<u64> = (0..16).map(|i| if i % 2 == 0 { 0xAAAA_5555 } else { 0x5555_AAAA }).collect();
+        let c = codec(5);
+        let enc = encode_words(&body, 32, &c).unwrap();
+        // Every lane alternates every cycle; encoding flattens nearly all.
+        assert!(
+            enc.reduction_percent() > 80.0,
+            "got {:.1}%",
+            enc.reduction_percent()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        let c = codec(5);
+        assert!(matches!(
+            encode_words(&[0], 0, &c),
+            Err(CodecError::LaneWidth { requested: 0 })
+        ));
+        assert!(matches!(
+            encode_words(&[0], 65, &c),
+            Err(CodecError::LaneWidth { requested: 65 })
+        ));
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let c = codec(5);
+        let enc = encode_words(&[], 32, &c).unwrap();
+        assert_eq!(enc.transitions(), 0);
+        assert_eq!(decode_words(&enc, &c).unwrap(), Vec::<u64>::new());
+    }
+}

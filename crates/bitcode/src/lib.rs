@@ -1,0 +1,79 @@
+//! # imt-bitcode — vertical bit-line functional transformation codec
+//!
+//! This crate is the theory core of the IMT project, a reproduction of
+//! *“Power Efficiency through Application-Specific Instruction Memory
+//! Transformations”* (Petrov & Orailoglu, DATE 2003).
+//!
+//! Dynamic power on an instruction-memory data bus is proportional to the
+//! number of 0↔1 transitions on each bus **line**. The paper's idea is to
+//! look at the bit stream carried by a single line over time (a *vertical*
+//! bit sequence across consecutive instructions), split it into small blocks,
+//! and store each block in a transformed, lower-transition form. The fetch
+//! hardware restores the original bit `xₙ` from the stored bit `x̃ₙ` and one
+//! bit of already-decoded history via a two-input boolean function:
+//!
+//! ```text
+//! x₁ = x̃₁                    (seed: first bit passes through)
+//! xᵢ = τ(x̃ᵢ, xᵢ₋₁)   i ≥ 2   (τ is one of 16 two-input functions)
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`transform`] — the 16 two-input boolean functions, the canonical
+//!   8-function subset the paper proves sufficient, and the partial-function
+//!   machinery used to solve for `τ`.
+//! * [`block`] — the optimal per-block encoder: given an original block word,
+//!   find the minimum-transition code word and a compatible `τ`.
+//! * [`tables`] — exhaustive enumeration over all block words of a given
+//!   size, reproducing the paper's Figures 2, 3, and 4, and the exact
+//!   set-cover derivation of the minimal transformation subset (§5.2).
+//! * [`stream`] — encoding of arbitrarily long bit sequences by chaining
+//!   blocks with a one-bit overlap (§6), including both overlap-history
+//!   semantics discussed in the paper.
+//! * [`lanes`] — application of the codec to a sequence of fixed-width
+//!   machine words, treating each bit position as an independent line.
+//! * [`gen`] — deterministic random bit-stream generators (uniform, biased,
+//!   Markov) used by the §6 experiment and by property tests.
+//! * [`history`] — the §5.1 generalisation to `h`-bit history
+//!   transformations (`h ≤ 3`), measuring the trade-off the paper's
+//!   `h = 1` choice implies.
+//! * [`analysis`] — per-lane stream statistics (bias, transition density,
+//!   run lengths): the structure the vertical encoding exploits.
+//! * [`gates`] — exact minimal NAND2 synthesis of every transformation and
+//!   the full per-lane restore cell (the paper's gate-cost claim, costed).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+//! use imt_bitcode::bits::BitSeq;
+//!
+//! # fn main() -> Result<(), imt_bitcode::CodecError> {
+//! // A bit line that toggles every cycle: worst case for the raw bus.
+//! let original = BitSeq::from_str_time("1010101010101010")?;
+//! let codec = StreamCodec::new(StreamCodecConfig::block_size(5)?);
+//! let encoded = codec.encode(&original);
+//!
+//! // The stored sequence has strictly fewer transitions...
+//! assert!(encoded.stored().transitions() < original.transitions());
+//! // ...and decodes back to the original exactly.
+//! assert_eq!(codec.decode(&encoded)?, original);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod bits;
+pub mod gates;
+pub mod block;
+pub mod gen;
+pub mod history;
+pub mod lanes;
+pub mod stream;
+pub mod tables;
+pub mod transform;
+
+mod error;
+
+pub use error::CodecError;
+pub use transform::{Transform, TransformSet};

@@ -1,0 +1,505 @@
+//! The two-input boolean transformations `τ(x, y)` and their algebra.
+//!
+//! A transformation takes the **stored** (encoded) bit `x = x̃ᵢ` and one bit
+//! of history `y` (the previously restored original bit, `xᵢ₋₁`) and produces
+//! the original bit `xᵢ`. There are `2^(2²) = 16` such functions; the paper
+//! shows (§5.2) that a fixed subset of **8** achieves the globally optimal
+//! encoding for every block size up to seven. That subset is exposed here as
+//! [`TransformSet::CANONICAL_EIGHT`] and re-derived from first principles in
+//! [`crate::tables::minimal_optimal_subset`].
+
+use std::fmt;
+
+/// A two-input boolean function `τ(x, y)`, stored as a 4-bit truth table.
+///
+/// Bit `(x << 1) | y` of the table holds `τ(x, y)`. The argument order
+/// follows the paper: `x` is the current stored bit `x̃ᵢ`, `y` is the history
+/// bit `xᵢ₋₁`.
+///
+/// ```
+/// use imt_bitcode::Transform;
+///
+/// assert_eq!(Transform::IDENTITY.apply(true, false), true);
+/// assert_eq!(Transform::NOT_X.apply(true, false), false);
+/// assert_eq!(Transform::XOR.apply(true, true), false);
+/// assert_eq!(Transform::NOR.apply(false, false), true);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Transform(u8);
+
+impl Transform {
+    /// `τ(x, y) = 0`.
+    pub const FALSE: Transform = Transform(0b0000);
+    /// `τ(x, y) = x ∧ y`.
+    pub const AND: Transform = Transform(0b1000);
+    /// `τ(x, y) = x ∧ ¬y`.
+    pub const X_AND_NOT_Y: Transform = Transform(0b0100);
+    /// `τ(x, y) = x` — the *identity*: stored bit is the original bit.
+    pub const IDENTITY: Transform = Transform(0b1100);
+    /// `τ(x, y) = ¬x ∧ y`.
+    pub const NOT_X_AND_Y: Transform = Transform(0b0010);
+    /// `τ(x, y) = y` — repeat the previous original bit.
+    pub const Y: Transform = Transform(0b1010);
+    /// `τ(x, y) = x ⊕ y`.
+    pub const XOR: Transform = Transform(0b0110);
+    /// `τ(x, y) = x ∨ y`.
+    pub const OR: Transform = Transform(0b1110);
+    /// `τ(x, y) = ¬(x ∨ y)`.
+    pub const NOR: Transform = Transform(0b0001);
+    /// `τ(x, y) = ¬(x ⊕ y)` (XNOR).
+    pub const XNOR: Transform = Transform(0b1001);
+    /// `τ(x, y) = ¬y` — invert the previous original bit.
+    pub const NOT_Y: Transform = Transform(0b0101);
+    /// `τ(x, y) = x ∨ ¬y`.
+    pub const X_OR_NOT_Y: Transform = Transform(0b1101);
+    /// `τ(x, y) = ¬x` — the *inversion*: stored bit is the complement.
+    pub const NOT_X: Transform = Transform(0b0011);
+    /// `τ(x, y) = ¬x ∨ y`.
+    pub const NOT_X_OR_Y: Transform = Transform(0b1011);
+    /// `τ(x, y) = ¬(x ∧ y)` (NAND).
+    pub const NAND: Transform = Transform(0b0111);
+    /// `τ(x, y) = 1`.
+    pub const TRUE: Transform = Transform(0b1111);
+
+    /// All 16 two-input functions, in the deterministic *preference order*
+    /// used by the block encoder to break ties: the paper's canonical eight
+    /// first (identity before inversion before history functions before the
+    /// symmetric gates), then the remaining eight.
+    ///
+    /// This exact order reproduces the `τ` column of the paper's Figures 2
+    /// and 4 (see `crate::tables`).
+    pub const ALL: [Transform; 16] = [
+        Transform::IDENTITY,
+        Transform::NOT_X,
+        Transform::Y,
+        Transform::NOT_Y,
+        Transform::XOR,
+        Transform::XNOR,
+        Transform::NOR,
+        Transform::NAND,
+        Transform::FALSE,
+        Transform::TRUE,
+        Transform::AND,
+        Transform::OR,
+        Transform::X_AND_NOT_Y,
+        Transform::NOT_X_AND_Y,
+        Transform::X_OR_NOT_Y,
+        Transform::NOT_X_OR_Y,
+    ];
+
+    /// Constructs a transform from its 4-bit truth table.
+    ///
+    /// Bit `(x << 1) | y` of `table` holds `τ(x, y)`; bits above the low
+    /// nibble are ignored.
+    pub fn from_table(table: u8) -> Self {
+        Transform(table & 0b1111)
+    }
+
+    /// The 4-bit truth table (bit `(x << 1) | y` holds `τ(x, y)`).
+    pub fn table(self) -> u8 {
+        self.0
+    }
+
+    /// Evaluates `τ(x, y)`.
+    #[inline]
+    pub fn apply(self, x: bool, y: bool) -> bool {
+        (self.0 >> (((x as u8) << 1) | y as u8)) & 1 == 1
+    }
+
+    /// Whether this is the identity transform (`τ(x, y) = x`).
+    pub fn is_identity(self) -> bool {
+        self == Transform::IDENTITY
+    }
+
+    /// The symmetric partner under global bit inversion:
+    /// `τ'(x, y) = ¬τ(¬x, ¬y)`.
+    ///
+    /// The paper (§5.2) notes that inverting every bit of `X` and `X̃` maps
+    /// an optimal encoding onto another optimal encoding while exchanging
+    /// XOR↔XNOR and NOR↔NAND and fixing identity and inversion. `y` and
+    /// `ȳ` are each self-dual (`¬(¬y) = y`).
+    ///
+    /// ```
+    /// use imt_bitcode::Transform;
+    /// assert_eq!(Transform::XOR.inverted_dual(), Transform::XNOR);
+    /// assert_eq!(Transform::NOR.inverted_dual(), Transform::NAND);
+    /// assert_eq!(Transform::IDENTITY.inverted_dual(), Transform::IDENTITY);
+    /// assert_eq!(Transform::Y.inverted_dual(), Transform::Y);
+    /// assert_eq!(Transform::NOT_Y.inverted_dual(), Transform::NOT_Y);
+    /// ```
+    pub fn inverted_dual(self) -> Transform {
+        let mut table = 0u8;
+        for idx in 0..4u8 {
+            let x = idx >> 1 == 1;
+            let y = idx & 1 == 1;
+            let out = !self.apply(!x, !y);
+            table |= (out as u8) << idx;
+        }
+        Transform(table)
+    }
+
+    /// A short analytic name matching the paper's notation
+    /// (`x`, `x̄`, `y`, `ȳ`, `x⊕y`, `x⊕̄y`, `x∨̄y`, `x∧̄y`, …).
+    pub fn name(self) -> &'static str {
+        match self.0 {
+            0b0000 => "0",
+            0b1000 => "x∧y",
+            0b0100 => "x∧ȳ",
+            0b1100 => "x",
+            0b0010 => "x̄∧y",
+            0b1010 => "y",
+            0b0110 => "x⊕y",
+            0b1110 => "x∨y",
+            0b0001 => "x∨̄y",
+            0b1001 => "x⊕̄y",
+            0b0101 => "ȳ",
+            0b1101 => "x∨ȳ",
+            0b0011 => "x̄",
+            0b1011 => "x̄∨y",
+            0b0111 => "x∧̄y",
+            0b1111 => "1",
+            _ => unreachable!("truth table is masked to 4 bits"),
+        }
+    }
+
+    /// An ASCII name for machine-readable output (`id`, `not_x`, `xor`, …).
+    pub fn ascii_name(self) -> &'static str {
+        match self.0 {
+            0b0000 => "false",
+            0b1000 => "and",
+            0b0100 => "x_and_not_y",
+            0b1100 => "id",
+            0b0010 => "not_x_and_y",
+            0b1010 => "y",
+            0b0110 => "xor",
+            0b1110 => "or",
+            0b0001 => "nor",
+            0b1001 => "xnor",
+            0b0101 => "not_y",
+            0b1101 => "x_or_not_y",
+            0b0011 => "not_x",
+            0b1011 => "not_x_or_y",
+            0b0111 => "nand",
+            0b1111 => "true",
+            _ => unreachable!("truth table is masked to 4 bits"),
+        }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Default for Transform {
+    /// The identity transform: leave the bit stream unencoded.
+    fn default() -> Self {
+        Transform::IDENTITY
+    }
+}
+
+/// A set of allowed transformations, as a 16-bit mask indexed by truth table.
+///
+/// The block encoder only considers code words that can be decoded with a
+/// transform in the allowed set. [`TransformSet::CANONICAL_EIGHT`] is the
+/// paper's fixed 8-function subset; [`TransformSet::ALL_SIXTEEN`] is the
+/// unrestricted universe used to establish the global optimum.
+///
+/// ```
+/// use imt_bitcode::{Transform, TransformSet};
+///
+/// let set = TransformSet::CANONICAL_EIGHT;
+/// assert!(set.contains(Transform::XOR));
+/// assert!(!set.contains(Transform::AND));
+/// assert_eq!(set.len(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransformSet(u16);
+
+impl TransformSet {
+    /// The empty set.
+    pub const EMPTY: TransformSet = TransformSet(0);
+
+    /// All 16 two-input boolean functions.
+    pub const ALL_SIXTEEN: TransformSet = TransformSet(0xFFFF);
+
+    /// The paper's canonical eight: identity, inversion, `y`, `ȳ`, XOR,
+    /// XNOR, NOR and NAND. §5.2 proves this subset achieves the same optimum
+    /// as the full sixteen for all block sizes up to 7;
+    /// [`crate::tables::minimal_optimal_subset`] re-derives it.
+    pub const CANONICAL_EIGHT: TransformSet = TransformSet(
+        1 << Transform::IDENTITY.0 as u16
+            | 1 << Transform::NOT_X.0 as u16
+            | 1 << Transform::Y.0 as u16
+            | 1 << Transform::NOT_Y.0 as u16
+            | 1 << Transform::XOR.0 as u16
+            | 1 << Transform::XNOR.0 as u16
+            | 1 << Transform::NOR.0 as u16
+            | 1 << Transform::NAND.0 as u16,
+    );
+
+    /// Only the identity transform (encoding disabled).
+    pub const IDENTITY_ONLY: TransformSet = TransformSet(1 << Transform::IDENTITY.0 as u16);
+
+    /// Builds a set from a 16-bit mask where bit `t` selects the transform
+    /// with truth table `t`.
+    pub fn from_mask(mask: u16) -> Self {
+        TransformSet(mask)
+    }
+
+    /// The underlying 16-bit mask.
+    pub fn mask(self) -> u16 {
+        self.0
+    }
+
+    /// Whether the set contains `t`.
+    pub fn contains(self, t: Transform) -> bool {
+        self.0 >> t.0 & 1 == 1
+    }
+
+    /// Adds `t`, returning the extended set.
+    #[must_use]
+    pub fn with(self, t: Transform) -> Self {
+        TransformSet(self.0 | 1 << t.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: TransformSet) -> TransformSet {
+        TransformSet(self.0 & other.0)
+    }
+
+    /// Number of transforms in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the members in the encoder's preference order
+    /// (see [`Transform::ALL`]).
+    pub fn iter(self) -> impl Iterator<Item = Transform> {
+        Transform::ALL.into_iter().filter(move |t| self.contains(*t))
+    }
+
+    /// The first member in preference order, if any.
+    ///
+    /// This is the transform the encoder reports when several are compatible
+    /// with an optimal code word; the order reproduces the paper's tables.
+    pub fn preferred(self) -> Option<Transform> {
+        self.iter().next()
+    }
+
+    /// Number of control bits needed to select a member (`⌈log₂ len⌉`).
+    ///
+    /// The paper's point in §5.2: eight transformations need only 3 control
+    /// bits per block in the Transformation Table.
+    pub fn control_bits(self) -> u32 {
+        let n = self.len();
+        if n <= 1 {
+            0
+        } else {
+            usize::BITS - (n - 1).leading_zeros()
+        }
+    }
+}
+
+impl FromIterator<Transform> for TransformSet {
+    fn from_iter<I: IntoIterator<Item = Transform>>(iter: I) -> Self {
+        iter.into_iter().fold(TransformSet::EMPTY, TransformSet::with)
+    }
+}
+
+impl fmt::Display for TransformSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A partially constrained two-input function, used while solving for `τ`.
+///
+/// Each decode equation `xᵢ = τ(x̃ᵢ, xᵢ₋₁)` pins one truth-table entry. A
+/// code word is feasible iff no two equations pin the same entry to
+/// different values, and at least one *allowed* transform extends the pinned
+/// entries.
+///
+/// ```
+/// use imt_bitcode::transform::PartialTransform;
+/// use imt_bitcode::{Transform, TransformSet};
+///
+/// let mut partial = PartialTransform::new();
+/// assert!(partial.constrain(false, false, true)); // τ(0,0) = 1
+/// assert!(partial.constrain(false, true, false)); // τ(0,1) = 0
+/// assert!(!partial.constrain(false, false, false)); // conflict
+/// let compatible = partial.compatible().intersection(TransformSet::CANONICAL_EIGHT);
+/// assert_eq!(compatible.preferred(), Some(Transform::NOT_Y));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartialTransform {
+    /// Bit `idx` set: entry `idx` is pinned.
+    pinned: u8,
+    /// Pinned value for entry `idx` (only meaningful where `pinned` is set).
+    value: u8,
+}
+
+impl PartialTransform {
+    /// A fully unconstrained partial function.
+    pub fn new() -> Self {
+        PartialTransform::default()
+    }
+
+    /// Pins `τ(x, y) = out`. Returns `false` (and leaves the table
+    /// unchanged) if this conflicts with an earlier pin.
+    #[inline]
+    pub fn constrain(&mut self, x: bool, y: bool, out: bool) -> bool {
+        let idx = ((x as u8) << 1) | y as u8;
+        let bit = 1u8 << idx;
+        if self.pinned & bit != 0 {
+            return (self.value >> idx & 1 == 1) == out;
+        }
+        self.pinned |= bit;
+        if out {
+            self.value |= bit;
+        }
+        true
+    }
+
+    /// All full transforms that extend the pinned entries.
+    pub fn compatible(self) -> TransformSet {
+        let mut mask = 0u16;
+        for table in 0u8..16 {
+            if table & self.pinned == self.value {
+                mask |= 1 << table;
+            }
+        }
+        TransformSet(mask)
+    }
+
+    /// Number of pinned truth-table entries (0–4).
+    pub fn pinned_entries(self) -> u32 {
+        self.pinned.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sixteen_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for t in Transform::ALL {
+            assert!(seen.insert(t.table()));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn apply_matches_semantics() {
+        for x in [false, true] {
+            for y in [false, true] {
+                assert_eq!(Transform::IDENTITY.apply(x, y), x);
+                assert_eq!(Transform::NOT_X.apply(x, y), !x);
+                assert_eq!(Transform::Y.apply(x, y), y);
+                assert_eq!(Transform::NOT_Y.apply(x, y), !y);
+                assert_eq!(Transform::XOR.apply(x, y), x ^ y);
+                assert_eq!(Transform::XNOR.apply(x, y), !(x ^ y));
+                assert_eq!(Transform::NOR.apply(x, y), !(x | y));
+                assert_eq!(Transform::NAND.apply(x, y), !(x & y));
+                assert_eq!(Transform::AND.apply(x, y), x & y);
+                assert_eq!(Transform::OR.apply(x, y), x | y);
+                assert!(!Transform::FALSE.apply(x, y));
+                assert!(Transform::TRUE.apply(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_dual_is_an_involution() {
+        for t in Transform::ALL {
+            assert_eq!(t.inverted_dual().inverted_dual(), t);
+        }
+    }
+
+    #[test]
+    fn canonical_eight_is_closed_under_inversion_duality() {
+        // §5.2: the symmetry that inverts all bits maps the optimal code for
+        // word w onto the optimal code for ¬w, so the canonical subset must
+        // be closed under the corresponding transform duality.
+        for t in TransformSet::CANONICAL_EIGHT.iter() {
+            assert!(
+                TransformSet::CANONICAL_EIGHT.contains(t.inverted_dual()),
+                "{t} dual {} escapes the canonical set",
+                t.inverted_dual()
+            );
+        }
+    }
+
+    #[test]
+    fn set_operations() {
+        let set = TransformSet::EMPTY.with(Transform::XOR).with(Transform::NOR);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(Transform::XOR));
+        assert!(!set.contains(Transform::IDENTITY));
+        assert_eq!(set.intersection(TransformSet::CANONICAL_EIGHT), set);
+        let collected: TransformSet = set.iter().collect();
+        assert_eq!(collected, set);
+    }
+
+    #[test]
+    fn control_bits_for_paper_configurations() {
+        assert_eq!(TransformSet::CANONICAL_EIGHT.control_bits(), 3);
+        assert_eq!(TransformSet::ALL_SIXTEEN.control_bits(), 4);
+        assert_eq!(TransformSet::IDENTITY_ONLY.control_bits(), 0);
+    }
+
+    #[test]
+    fn preference_order_starts_with_identity() {
+        assert_eq!(TransformSet::ALL_SIXTEEN.preferred(), Some(Transform::IDENTITY));
+        assert_eq!(TransformSet::CANONICAL_EIGHT.preferred(), Some(Transform::IDENTITY));
+    }
+
+    #[test]
+    fn partial_transform_conflict_detection() {
+        // The paper's §5.1 example: block word 011 cannot take code word 111
+        // because τ(1,1) would have to be both 1 and 0.
+        let mut partial = PartialTransform::new();
+        assert!(partial.constrain(true, true, true));
+        assert!(!partial.constrain(true, true, false));
+    }
+
+    #[test]
+    fn partial_transform_compatibility_count() {
+        let mut partial = PartialTransform::new();
+        assert_eq!(partial.compatible().len(), 16);
+        partial.constrain(false, false, true);
+        assert_eq!(partial.compatible().len(), 8);
+        partial.constrain(true, true, false);
+        assert_eq!(partial.compatible().len(), 4);
+        partial.constrain(true, false, false);
+        partial.constrain(false, true, true);
+        assert_eq!(partial.compatible().len(), 1);
+        assert_eq!(partial.pinned_entries(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Transform::IDENTITY.to_string(), "x");
+        assert_eq!(Transform::NOT_X.to_string(), "x̄");
+        assert_eq!(Transform::NOT_Y.to_string(), "ȳ");
+        assert_eq!(Transform::XOR.ascii_name(), "xor");
+        let display = TransformSet::IDENTITY_ONLY.to_string();
+        assert_eq!(display, "{x}");
+    }
+}

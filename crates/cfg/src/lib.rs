@@ -1,0 +1,724 @@
+//! # imt-cfg — control-flow analysis for encoded-region selection
+//!
+//! The paper's encoding cannot span basic-block boundaries (§7.1): the
+//! dynamic successor of a branch is unknown at compile time, so every basic
+//! block decodes independently, and the Transformation Table allocates a
+//! contiguous run of entries per block. Selecting *which* blocks to encode
+//! needs the program structure this crate recovers:
+//!
+//! * [`Cfg::build`] — basic blocks and edges from a binary text segment;
+//! * [`Cfg::immediate_dominators`] — iterative dominator computation;
+//! * [`Cfg::natural_loops`] — back edges and loop bodies, the paper's
+//!   "major application loops";
+//! * [`block_weights`] / [`hot_loops`] — profile-weighted ranking using the
+//!   per-instruction execution counts from `imt-sim`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use imt_cfg::Cfg;
+//! use imt_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(r#"
+//!         .text
+//! main:   li $t0, 100
+//! loop:   addiu $t0, $t0, -1
+//!         bgtz $t0, loop
+//!         jr $ra
+//! "#)?;
+//! let cfg = Cfg::build(&program)?;
+//! assert_eq!(cfg.blocks().len(), 3);
+//! let loops = cfg.natural_loops();
+//! assert_eq!(loops.len(), 1);
+//! assert_eq!(loops[0].body.len(), 1); // the 2-instruction latch block
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use imt_isa::decode::decode;
+use imt_isa::inst::Inst;
+use imt_isa::program::Program;
+
+/// Index of a basic block within its [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Execution continues into the next sequential block.
+    FallThrough,
+    /// A conditional branch: taken edge plus fall-through edge.
+    Branch,
+    /// An unconditional `j` (or a `b` pseudo that assembled to `beq`).
+    Jump,
+    /// A call (`jal`/`jalr`): the callee is entered, and control returns to
+    /// the fall-through block (modelled as an edge for loop analysis).
+    Call,
+    /// An indirect jump (`jr`): successors unknown; treated as an exit.
+    Return,
+    /// The block ends at the end of the text segment.
+    End,
+}
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// This block's id (its index in [`Cfg::blocks`]).
+    pub id: BlockId,
+    /// Text index of the first instruction.
+    pub start: usize,
+    /// Number of instructions.
+    pub len: usize,
+    /// Successor blocks in the CFG.
+    pub successors: Vec<BlockId>,
+    /// How the block ends.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// Text index one past the last instruction.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// Text indices covered by this block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end()
+    }
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the body).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<BlockId>,
+    /// The back edges `(latch, header)` that define the loop.
+    pub back_edges: Vec<(BlockId, BlockId)>,
+}
+
+/// Errors raised while recovering a CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CfgError {
+    /// A text word does not decode to an instruction.
+    InvalidInstruction {
+        /// Text index of the word.
+        index: usize,
+        /// The undecodable word.
+        word: u32,
+    },
+    /// A branch or jump targets an address outside the text segment.
+    TargetOutOfText {
+        /// Text index of the branch.
+        index: usize,
+        /// The target address.
+        target: u32,
+    },
+    /// The program has no instructions.
+    EmptyText,
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CfgError::InvalidInstruction { index, word } => {
+                write!(f, "text word {index} ({word:#010x}) does not decode")
+            }
+            CfgError::TargetOutOfText { index, target } => {
+                write!(f, "instruction {index} targets {target:#010x} outside the text segment")
+            }
+            CfgError::EmptyText => write!(f, "program has no text"),
+        }
+    }
+}
+
+impl Error for CfgError {}
+
+/// The control-flow graph of a program's text segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    entry: BlockId,
+    block_of_index: Vec<BlockId>,
+    text_base: u32,
+}
+
+impl Cfg {
+    /// Recovers the CFG from an assembled program.
+    ///
+    /// Leaders are the entry point, every branch/jump target, and every
+    /// instruction following a control transfer. `jal` contributes both a
+    /// call edge to the target and a return edge to the fall-through block;
+    /// `jr`/`jalr` targets are unknown (`jr` ends the block with no
+    /// successors, `jalr` keeps only the return edge).
+    ///
+    /// # Errors
+    ///
+    /// [`CfgError::InvalidInstruction`] for undecodable text,
+    /// [`CfgError::TargetOutOfText`] for branches leaving the segment,
+    /// [`CfgError::EmptyText`] for an empty program.
+    pub fn build(program: &Program) -> Result<Self, CfgError> {
+        let n = program.text.len();
+        if n == 0 {
+            return Err(CfgError::EmptyText);
+        }
+        let mut insts = Vec::with_capacity(n);
+        for (index, &word) in program.text.iter().enumerate() {
+            insts.push(decode(word).map_err(|_| CfgError::InvalidInstruction { index, word })?);
+        }
+        let target_index = |index: usize, inst: Inst| -> Result<Option<usize>, CfgError> {
+            let pc = program.address_of_index(index);
+            match inst.static_target(pc) {
+                Some(address) => program
+                    .index_of_address(address)
+                    .map(Some)
+                    .ok_or(CfgError::TargetOutOfText { index, target: address }),
+                None => Ok(None),
+            }
+        };
+
+        // Pass 1: leaders.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        if let Some(entry) = program.index_of_address(program.entry) {
+            leader[entry] = true;
+        }
+        for (index, &inst) in insts.iter().enumerate() {
+            if inst.is_control_flow() {
+                if let Some(t) = target_index(index, inst)? {
+                    leader[t] = true;
+                }
+                if index + 1 < n {
+                    leader[index + 1] = true;
+                }
+            }
+        }
+
+        // Pass 2: blocks.
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut block_of_index = vec![BlockId(0); n];
+        let mut start = 0usize;
+        for index in 0..n {
+            block_of_index[index] = BlockId(blocks.len());
+            let is_last = index + 1 == n || leader[index + 1];
+            if is_last {
+                blocks.push(BasicBlock {
+                    id: BlockId(blocks.len()),
+                    start,
+                    len: index - start + 1,
+                    successors: Vec::new(),
+                    terminator: Terminator::FallThrough,
+                });
+                start = index + 1;
+            }
+        }
+
+        // Pass 3: edges.
+        for b in 0..blocks.len() {
+            let last = blocks[b].end() - 1;
+            let inst = insts[last];
+            let fall = (blocks[b].end() < n).then(|| block_of_index[blocks[b].end()]);
+            let (terminator, successors) = match inst {
+                Inst::J { .. } => {
+                    let t = target_index(last, inst)?.expect("jump has a static target");
+                    (Terminator::Jump, vec![block_of_index[t]])
+                }
+                Inst::Jal { .. } => {
+                    let t = target_index(last, inst)?.expect("call has a static target");
+                    let mut edges = vec![block_of_index[t]];
+                    edges.extend(fall);
+                    (Terminator::Call, edges)
+                }
+                Inst::Jalr { .. } => (Terminator::Call, fall.into_iter().collect()),
+                Inst::Jr { .. } => (Terminator::Return, Vec::new()),
+                _ if inst.is_control_flow() => {
+                    let t = target_index(last, inst)?.expect("branch has a static target");
+                    let mut edges = vec![block_of_index[t]];
+                    if let Some(f) = fall {
+                        if f != block_of_index[t] {
+                            edges.push(f);
+                        }
+                    }
+                    (Terminator::Branch, edges)
+                }
+                _ => match fall {
+                    Some(f) => (Terminator::FallThrough, vec![f]),
+                    None => (Terminator::End, Vec::new()),
+                },
+            };
+            blocks[b].terminator = terminator;
+            blocks[b].successors = successors;
+        }
+
+        let entry = program
+            .index_of_address(program.entry)
+            .map(|i| block_of_index[i])
+            .unwrap_or(BlockId(0));
+        Ok(Cfg { blocks, entry, block_of_index, text_base: program.text_base })
+    }
+
+    /// The basic blocks, ordered by start index.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The block containing text index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block_at(&self, index: usize) -> BlockId {
+        self.block_of_index[index]
+    }
+
+    /// The block record for `id`.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0]
+    }
+
+    /// Address of the first instruction of `id`.
+    pub fn block_address(&self, id: BlockId) -> u32 {
+        self.text_base + (self.blocks[id.0].start as u32) * 4
+    }
+
+    /// Immediate dominators, indexed by block id; `None` for unreachable
+    /// blocks and for the entry (which has no dominator).
+    ///
+    /// Uses the Cooper–Harvey–Kennedy iterative algorithm over a reverse
+    /// post-order.
+    pub fn immediate_dominators(&self) -> Vec<Option<BlockId>> {
+        let n = self.blocks.len();
+        // Reverse post-order from the entry.
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = visiting, 2 = done
+        let mut stack = vec![(self.entry, 0usize)];
+        state[self.entry.0] = 1;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            let successors = &self.blocks[node.0].successors;
+            if *child < successors.len() {
+                let next = successors[*child];
+                *child += 1;
+                if state[next.0] == 0 {
+                    state[next.0] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[node.0] = 2;
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, b) in order.iter().enumerate() {
+            rpo_number[b.0] = i;
+        }
+
+        // Predecessor lists for reachable blocks.
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for block in &self.blocks {
+            if rpo_number[block.id.0] == usize::MAX {
+                continue;
+            }
+            for &s in &block.successors {
+                preds[s.0].push(block.id);
+            }
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[self.entry.0] = Some(self.entry);
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_number[a.0] > rpo_number[b.0] {
+                    a = idom[a.0].expect("processed predecessor");
+                }
+                while rpo_number[b.0] > rpo_number[a.0] {
+                    b = idom[b.0].expect("processed predecessor");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                if b == self.entry {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.0] {
+                    if idom[p.0].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(current) => intersect(&idom, p, current),
+                    });
+                }
+                if new_idom.is_some() && idom[b.0] != new_idom {
+                    idom[b.0] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom[self.entry.0] = None; // entry has no dominator
+        idom
+    }
+
+    /// Whether `a` dominates `b` under the given immediate-dominator map.
+    pub fn dominates(&self, idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+        let mut current = b;
+        loop {
+            if current == a {
+                return true;
+            }
+            match idom[current.0] {
+                Some(next) => current = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// The natural loops of the program, one per distinct header, largest
+    /// (outermost) first.
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let idom = self.immediate_dominators();
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); self.blocks.len()];
+        for block in &self.blocks {
+            for &s in &block.successors {
+                preds[s.0].push(block.id);
+            }
+        }
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for block in &self.blocks {
+            for &succ in &block.successors {
+                // Back edge: the target dominates the source. Unreachable
+                // blocks (no idom, not the entry) are skipped.
+                let reachable = idom[block.id.0].is_some() || block.id == self.entry;
+                if !reachable || !self.dominates(&idom, succ, block.id) {
+                    continue;
+                }
+                // Body: reverse reachability from the latch, stopping at
+                // the header.
+                let header = succ;
+                let mut body = BTreeSet::new();
+                body.insert(header);
+                let mut stack = vec![block.id];
+                while let Some(node) = stack.pop() {
+                    if body.insert(node) {
+                        stack.extend(preds[node.0].iter().copied());
+                    }
+                }
+                match loops.iter_mut().find(|l| l.header == header) {
+                    Some(existing) => {
+                        existing.body.extend(body);
+                        existing.back_edges.push((block.id, header));
+                    }
+                    None => loops.push(NaturalLoop {
+                        header,
+                        body,
+                        back_edges: vec![(block.id, header)],
+                    }),
+                }
+            }
+        }
+        loops.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
+        loops
+    }
+}
+
+impl Cfg {
+    /// Forward closure from `entry`: every block reachable along successor
+    /// edges. For a function entry this is the function body (plus any
+    /// nested callees), since returns have no successors.
+    ///
+    /// Used by the paper's §7.2 alternative of encoding called functions
+    /// together with the loop that calls them.
+    pub fn reachable_from(&self, entry: BlockId) -> BTreeSet<BlockId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![entry];
+        while let Some(node) = stack.pop() {
+            if seen.insert(node) {
+                stack.extend(self.blocks[node.0].successors.iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// The entry blocks of functions called from within `body` — the
+    /// static targets of its `jal` terminators that lie outside `body`.
+    pub fn called_functions(&self, body: &BTreeSet<BlockId>) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for &b in body {
+            let block = &self.blocks[b.0];
+            if block.terminator == Terminator::Call && block.successors.len() == 2 {
+                let callee = block.successors[0];
+                if !body.contains(&callee) && !out.contains(&callee) {
+                    out.push(callee);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Sums the per-instruction execution profile into per-block fetch counts.
+///
+/// # Panics
+///
+/// Panics if `profile` is shorter than the program text the CFG was built
+/// from.
+pub fn block_weights(cfg: &Cfg, profile: &[u64]) -> Vec<u64> {
+    cfg.blocks().iter().map(|b| b.range().map(|i| profile[i]).sum()).collect()
+}
+
+/// A natural loop ranked by its share of all instruction fetches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotLoop {
+    /// The loop itself.
+    pub natural_loop: NaturalLoop,
+    /// Total fetches from blocks in the loop body.
+    pub fetch_weight: u64,
+    /// `fetch_weight` as a fraction of all fetches (0–1).
+    pub fetch_share: f64,
+}
+
+/// Ranks natural loops by profiled fetch weight, hottest first.
+///
+/// This implements the paper's premise that "an application typically
+/// spends most of its execution time within a few tight loops" (§4): the
+/// returned share tells the encoder how much of the bus traffic each loop
+/// controls.
+pub fn hot_loops(cfg: &Cfg, profile: &[u64]) -> Vec<HotLoop> {
+    let weights = block_weights(cfg, profile);
+    let total: u64 = weights.iter().sum();
+    let mut out: Vec<HotLoop> = cfg
+        .natural_loops()
+        .into_iter()
+        .map(|l| {
+            let fetch_weight: u64 = l.body.iter().map(|b| weights[b.0]).sum();
+            HotLoop {
+                natural_loop: l,
+                fetch_weight,
+                fetch_share: if total == 0 { 0.0 } else { fetch_weight as f64 / total as f64 },
+            }
+        })
+        .collect();
+    out.sort_by_key(|l| std::cmp::Reverse(l.fetch_weight));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_isa::asm::assemble;
+
+    fn cfg_of(source: &str) -> (Cfg, imt_isa::Program) {
+        let program = assemble(source).expect("assembly failed");
+        (Cfg::build(&program).expect("cfg failed"), program)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (cfg, _) = cfg_of(".text\nmain: li $t0, 1\nli $t1, 2\naddu $t2, $t0, $t1\n");
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].terminator, Terminator::End);
+        assert!(cfg.blocks()[0].successors.is_empty());
+    }
+
+    #[test]
+    fn simple_loop_structure() {
+        let (cfg, _) = cfg_of(
+            r#"
+            .text
+    main:   li $t0, 10
+    loop:   addiu $t0, $t0, -1
+            bgtz $t0, loop
+            jr $ra
+    "#,
+        );
+        // Blocks: [li], [addiu; bgtz], [jr].
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.blocks()[1].successors, vec![BlockId(1), BlockId(2)]);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+        assert_eq!(loops[0].body.iter().copied().collect::<Vec<_>>(), vec![BlockId(1)]);
+        assert_eq!(loops[0].back_edges, vec![(BlockId(1), BlockId(1))]);
+    }
+
+    #[test]
+    fn nested_loops_are_ordered_outermost_first() {
+        let (cfg, _) = cfg_of(
+            r#"
+            .text
+    main:   li $t0, 3
+    outer:  li $t1, 3
+    inner:  addiu $t1, $t1, -1
+            bgtz $t1, inner
+            addiu $t0, $t0, -1
+            bgtz $t0, outer
+            jr $ra
+    "#,
+        );
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 2);
+        assert!(loops[0].body.len() > loops[1].body.len());
+        assert!(loops[0].body.is_superset(&loops[1].body));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (cfg, _) = cfg_of(
+            r#"
+            .text
+    main:   beq $t0, $zero, right
+    left:   li $t1, 1
+            b join
+    right:  li $t1, 2
+    join:   jr $ra
+    "#,
+        );
+        let idom = cfg.immediate_dominators();
+        // Blocks: 0 = branch, 1 = left, 2 = right, 3 = join.
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(0)));
+        assert_eq!(idom[3], Some(BlockId(0)));
+        assert!(cfg.dominates(&idom, BlockId(0), BlockId(3)));
+        assert!(!cfg.dominates(&idom, BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn call_does_not_join_the_loop_body() {
+        // A function called from inside a loop is reachable from the header
+        // but cannot reach the latch (its jr has no successors), so it stays
+        // out of the natural loop body — the paper's default treatment of
+        // calls within loops (§7.2).
+        let (cfg, _) = cfg_of(
+            r#"
+            .text
+    main:   li $s0, 5
+    loop:   jal helper
+            addiu $s0, $s0, -1
+            bgtz $s0, loop
+            jr $ra
+    helper: addiu $t0, $t0, 1
+            jr $ra
+    "#,
+        );
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        let body: Vec<usize> = loops[0].body.iter().map(|b| b.0).collect();
+        // Loop body: the jal block and the latch block only.
+        assert_eq!(body.len(), 2);
+        let helper_block = cfg.block_at(5);
+        assert!(!loops[0].body.contains(&helper_block));
+    }
+
+    #[test]
+    fn block_weights_from_profile() {
+        let (cfg, program) = cfg_of(
+            r#"
+            .text
+    main:   li $t0, 4
+    loop:   addiu $t0, $t0, -1
+            bgtz $t0, loop
+            li $v0, 10
+            syscall
+    "#,
+        );
+        let mut cpu = imt_sim::Cpu::new(&program).unwrap();
+        cpu.run(1000).unwrap();
+        let weights = block_weights(&cfg, cpu.profile());
+        // Loop block runs 4 times × 2 instructions.
+        assert_eq!(weights[1], 8);
+        let hot = hot_loops(&cfg, cpu.profile());
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].fetch_weight, 8);
+        assert!(hot[0].fetch_share > 0.5);
+    }
+
+    #[test]
+    fn unreachable_code_is_tolerated() {
+        let (cfg, _) = cfg_of(
+            r#"
+            .text
+    main:   j end
+    dead:   addiu $t0, $t0, 1
+            b dead
+    end:    jr $ra
+    "#,
+        );
+        let idom = cfg.immediate_dominators();
+        let dead = cfg.block_at(1);
+        assert_eq!(idom[dead.0], None);
+        // The dead self-loop must not be reported (unreachable).
+        let loops = cfg.natural_loops();
+        assert!(loops.iter().all(|l| l.header != dead));
+    }
+
+    #[test]
+    fn branch_to_self_is_a_unit_loop() {
+        let (cfg, _) = cfg_of(".text\nmain: b main\n");
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].body.len(), 1);
+    }
+
+    #[test]
+    fn empty_text_is_an_error() {
+        let program = assemble(".text\n").unwrap();
+        assert_eq!(Cfg::build(&program), Err(CfgError::EmptyText));
+    }
+
+    #[test]
+    fn reachable_from_and_called_functions() {
+        let (cfg, _) = cfg_of(
+            r#"
+            .text
+    main:   li $s0, 5
+    loop:   jal helper
+            addiu $s0, $s0, -1
+            bgtz $s0, loop
+            jr $ra
+    helper: beq $t0, $zero, hdone
+            addiu $t0, $t0, -1
+    hdone:  jr $ra
+    "#,
+        );
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        let callees = cfg.called_functions(&loops[0].body);
+        assert_eq!(callees.len(), 1);
+        let body = cfg.reachable_from(callees[0]);
+        // The helper has three blocks: entry branch, decrement, return.
+        assert_eq!(body.len(), 3);
+        assert!(body.iter().all(|b| !loops[0].body.contains(b)));
+    }
+
+    #[test]
+    fn block_addresses() {
+        let (cfg, program) = cfg_of(".text\nmain: nop\nloop: b loop\n");
+        assert_eq!(cfg.block_address(BlockId(1)), program.text_base + 4);
+        assert_eq!(cfg.block_at(1), BlockId(1));
+    }
+}

@@ -1,0 +1,491 @@
+//! The CLI subcommands. Each returns the text to print.
+
+use std::fmt::Write as _;
+
+use imt_bitcode::tables::CodeTable;
+use imt_bitcode::TransformSet;
+use imt_cfg::{hot_loops, Cfg};
+use imt_core::{encode_program, eval::evaluate, EncoderConfig};
+use imt_isa::disasm::disassemble_word;
+use imt_sim::Cpu;
+
+use crate::container;
+use crate::CliError;
+
+/// Parses `--flag value` style options out of an argument list, returning
+/// (positional, lookup).
+struct Options<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, Option<&'a str>)>,
+}
+
+/// Flags that take a value; everything else starting with `--` is boolean.
+const VALUE_FLAGS: &[&str] =
+    &["-o", "--max-steps", "--block-size", "--tt", "--bbit", "-k", "--trace", "--emit-tables"];
+
+fn parse<'a>(args: &'a [String]) -> Options<'a> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg.starts_with('-') && arg.len() > 1 {
+            if VALUE_FLAGS.contains(&arg.as_str()) {
+                flags.push((arg.as_str(), iter.next().map(String::as_str)));
+            } else {
+                flags.push((arg.as_str(), None));
+            }
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    Options { positional, flags }
+}
+
+impl Options<'_> {
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(f, _)| *f == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(f, _)| *f == name).and_then(|(_, v)| *v)
+    }
+
+    fn numeric(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| CliError::new(format!("{name} expects a number, got `{text}`"))),
+        }
+    }
+
+    fn input(&self) -> Result<&str, CliError> {
+        self.positional
+            .first()
+            .copied()
+            .ok_or_else(|| CliError::new("expected an input file"))
+    }
+}
+
+fn encoder_config(opts: &Options<'_>) -> Result<EncoderConfig, CliError> {
+    let mut config = EncoderConfig::default()
+        .with_tt_capacity(opts.numeric("--tt", 16)? as usize)
+        .with_bbit_capacity(opts.numeric("--bbit", 16)? as usize);
+    config = config
+        .with_block_size(opts.numeric("--block-size", 5)? as usize)
+        .map_err(|e| CliError::new(e.to_string()))?;
+    if opts.flag("--all-sixteen") {
+        config = config.with_transforms(TransformSet::ALL_SIXTEEN);
+    }
+    Ok(config)
+}
+
+pub fn asm(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    let path = opts.input()?;
+    let source = std::fs::read_to_string(path)?;
+    let program = imt_isa::asm::assemble(&source)?;
+    let mut out = format!(
+        "assembled {path}: {} instructions, {} data bytes, entry {:#010x}\n",
+        program.text.len(),
+        program.data.len(),
+        program.entry
+    );
+    if let Some(output) = opts.value("-o") {
+        std::fs::write(output, container::save(&program))?;
+        writeln!(out, "wrote image to {output}").expect("write to String");
+    } else if opts.flag("--listing") {
+        out.push_str(&imt_isa::disasm::listing(&program));
+    } else {
+        for (name, address) in &program.symbols {
+            writeln!(out, "  {address:#010x} {name}").expect("write to String");
+        }
+    }
+    Ok(out)
+}
+
+pub fn dis(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    let program = container::load_program(opts.input()?)?;
+    let mut out = String::new();
+    // Invert the symbol table for labelling.
+    for (index, &word) in program.text.iter().enumerate() {
+        let address = program.address_of_index(index);
+        for (name, &sym_address) in &program.symbols {
+            if sym_address == address {
+                writeln!(out, "{name}:").expect("write to String");
+            }
+        }
+        writeln!(out, "  {address:#010x}  {word:08x}  {}", disassemble_word(word))
+            .expect("write to String");
+    }
+    Ok(out)
+}
+
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    let program = container::load_program(opts.input()?)?;
+    let max_steps = opts.numeric("--max-steps", 1_000_000_000)?;
+    let trace_depth = opts.numeric("--trace", 0)? as usize;
+    let mut cpu = Cpu::new(&program)?;
+    let mut trace = imt_sim::trace::TraceRecorder::new(trace_depth, trace_depth);
+    let summary = cpu.run_with_sink(max_steps, &mut trace)?;
+    let mut out = String::new();
+    if trace_depth > 0 {
+        out.push_str(&trace.render());
+    }
+    out.push_str(cpu.stdout());
+    if !out.is_empty() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    writeln!(
+        out,
+        "[exit {} after {} instructions]",
+        summary.exit_code, summary.instructions
+    )
+    .expect("write to String");
+    Ok(out)
+}
+
+pub fn profile(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    let program = container::load_program(opts.input()?)?;
+    let max_steps = opts.numeric("--max-steps", 1_000_000_000)?;
+    let mut cpu = Cpu::new(&program)?;
+    cpu.run(max_steps)?;
+    let cfg = Cfg::build(&program).map_err(|e| CliError::new(e.to_string()))?;
+    let loops = hot_loops(&cfg, cpu.profile());
+    let mix = imt_sim::stats::InstructionMix::from_profile(&program, cpu.profile())
+        .map_err(|e| CliError::new(e.to_string()))?;
+    let mut out = format!(
+        "{} instructions executed, {} basic blocks, {} natural loops\n",
+        cpu.instructions(),
+        cfg.blocks().len(),
+        loops.len()
+    );
+    out.push_str("instruction mix:\n");
+    out.push_str(&mix.render());
+    out.push_str("hottest loops:\n");
+    for (rank, l) in loops.iter().take(10).enumerate() {
+        writeln!(
+            out,
+            "  #{rank}: header {:#010x}, {} block(s), {} fetches ({:.1}% of all)",
+            cfg.block_address(l.natural_loop.header),
+            l.natural_loop.body.len(),
+            l.fetch_weight,
+            l.fetch_share * 100.0
+        )
+        .expect("write to String");
+    }
+    Ok(out)
+}
+
+pub fn encode(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    let program = container::load_program(opts.input()?)?;
+    let max_steps = opts.numeric("--max-steps", 1_000_000_000)?;
+    let config = encoder_config(&opts)?;
+    let mut cpu = Cpu::new(&program)?;
+    cpu.run(max_steps)?;
+    let encoded = encode_program(&program, cpu.profile(), &config)?;
+    let eval = evaluate(&program, &encoded, max_steps)?;
+    let mut out = format!(
+        "block size {}, {} transforms, TT {}/{} entries, BBIT {}/{} entries\n",
+        config.block_size(),
+        config.transforms().len(),
+        encoded.report.tt_used,
+        config.tt_capacity(),
+        encoded.report.bbit_used,
+        config.bbit_capacity()
+    );
+    for info in &encoded.report.encoded {
+        writeln!(
+            out,
+            "  encoded {:#010x} ({} instrs, {} TT entries, {} fetches)",
+            info.start_pc, info.instructions, info.tt_count, info.fetch_weight
+        )
+        .expect("write to String");
+    }
+    writeln!(
+        out,
+        "bus transitions: {} -> {} ({:.1}% reduction over {} fetches, decoder verified)",
+        eval.baseline_transitions,
+        eval.encoded_transitions,
+        eval.reduction_percent(),
+        eval.fetches
+    )
+    .expect("write to String");
+    if let Some(path) = opts.value("--emit-tables") {
+        let image = imt_core::tableimage::pack_tables(&encoded)?;
+        std::fs::write(path, &image)?;
+        writeln!(out, "wrote {}-byte table image to {path}", image.len())
+            .expect("write to String");
+    }
+    Ok(out)
+}
+
+pub fn schedule(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    let program = container::load_program(opts.input()?)?;
+    let max_steps = opts.numeric("--max-steps", 1_000_000_000)?;
+    let config = encoder_config(&opts)?;
+    let mut cpu = Cpu::new(&program)?;
+    cpu.run(max_steps)?;
+    let (scheduled, report) =
+        imt_core::schedule::schedule_program(&program, cpu.profile(), &config)?;
+    let mut out = format!(
+        "scheduled {} of {} hot blocks; static encoded transitions {} -> {}\n",
+        report.reordered, report.considered, report.encoded_before, report.encoded_after
+    );
+    if let Some(path) = opts.value("-o") {
+        std::fs::write(path, container::save(&scheduled))?;
+        writeln!(out, "wrote scheduled image to {path}").expect("write to String");
+    }
+    // Prove behaviour is unchanged as part of the command.
+    let mut original = Cpu::new(&program)?;
+    original.run(max_steps)?;
+    let mut rescheduled = Cpu::new(&scheduled)?;
+    rescheduled.run(max_steps)?;
+    if original.stdout() != rescheduled.stdout() {
+        return Err(CliError::new("internal error: scheduling changed program output"));
+    }
+    writeln!(out, "verified: scheduled program output is identical").expect("write to String");
+    Ok(out)
+}
+
+pub fn analyze(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    let program = container::load_program(opts.input()?)?;
+    let max_steps = opts.numeric("--max-steps", 1_000_000_000)?;
+    let config = encoder_config(&opts)?;
+    let mut cpu = Cpu::new(&program)?;
+    cpu.run(max_steps)?;
+    let encoded = encode_program(&program, cpu.profile(), &config)?;
+    let eval = evaluate(&program, &encoded, max_steps)?;
+    let words: Vec<u64> = program.text.iter().map(|&w| w as u64).collect();
+    let stats = imt_bitcode::analysis::analyze_lanes(&words, 32);
+    let mut out = String::from("static per-lane structure of the text segment:\n");
+    out.push_str(&imt_bitcode::analysis::render_lane_table(&stats));
+    out.push_str("\ndynamic per-lane transitions (baseline -> encoded):\n");
+    for lane in 0..32 {
+        let before = eval.per_lane_baseline[lane];
+        let after = eval.per_lane_encoded[lane];
+        let reduction = if before == 0 {
+            0.0
+        } else {
+            (before as f64 - after as f64) / before as f64 * 100.0
+        };
+        writeln!(out, "  lane {lane:>2}: {before:>10} -> {after:>10}  ({reduction:>5.1}%)")
+            .expect("write to String");
+    }
+    let budget = imt_core::hardware::HardwareBudget::of_schedule(&encoded);
+    writeln!(
+        out,
+        "hardware budget: {} bytes of tables, ~{} restore gates",
+        budget.total_bytes(),
+        budget.restore_gates
+    )
+    .expect("write to String");
+    writeln!(out, "total reduction: {:.1}%", eval.reduction_percent()).expect("write to String");
+    Ok(out)
+}
+
+pub fn tables(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    let k = opts.numeric("-k", opts.numeric("--block-size", 5)?)? as usize;
+    let set = if opts.flag("--all-sixteen") {
+        TransformSet::ALL_SIXTEEN
+    } else {
+        TransformSet::CANONICAL_EIGHT
+    };
+    let table = CodeTable::build(k, set).map_err(|e| CliError::new(e.to_string()))?;
+    let mut out = table.render();
+    writeln!(
+        out,
+        "TTN = {}  RTN = {}  improvement = {:.1}%",
+        table.total_transitions(),
+        table.reduced_transitions(),
+        table.improvement_percent()
+    )
+    .expect("write to String");
+    Ok(out)
+}
+
+pub fn kernels(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    match opts.positional.first() {
+        None => {
+            let mut out = String::from("paper benchmarks (add a name to run at test scale):\n");
+            for kernel in imt_kernels::Kernel::ALL {
+                let spec = kernel.paper_spec();
+                writeln!(out, "  {:<6} paper instance: {}", kernel.name(), spec.name)
+                    .expect("write to String");
+            }
+            Ok(out)
+        }
+        Some(name) => {
+            let kernel = imt_kernels::Kernel::ALL
+                .into_iter()
+                .find(|k| k.name() == *name)
+                .ok_or_else(|| CliError::new(format!("unknown kernel `{name}`")))?;
+            let spec =
+                if opts.flag("--paper-scale") { kernel.paper_spec() } else { kernel.test_spec() };
+            let run = spec.run()?;
+            let verified = run.stdout == spec.expected_output;
+            Ok(format!(
+                "{}: {} instructions, output {:?}, golden model match: {verified}\n",
+                spec.name,
+                run.instructions,
+                run.stdout.trim_end()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("imt_cli_test_{name}_{}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const LOOP_SRC: &str = "\
+        .text\n\
+main:   li $t0, 50\n\
+loop:   xor $t1, $t1, $t0\n\
+        addiu $t0, $t0, -1\n\
+        bgtz $t0, loop\n\
+        li $v0, 1\n\
+        move $a0, $t1\n\
+        syscall\n\
+        li $v0, 10\n\
+        syscall\n";
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn asm_listing_flag() {
+        let src = write_temp("listing.s", LOOP_SRC);
+        let out = asm(&args(&[&src, "--listing"])).unwrap();
+        assert!(out.contains("main:"));
+        assert!(out.contains("bgtz"));
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn asm_dis_run_pipeline() {
+        let src = write_temp("pipeline.s", LOOP_SRC);
+        let img = format!("{src}.imt");
+        let out = asm(&args(&[&src, "-o", &img])).unwrap();
+        assert!(out.contains("9 instructions"));
+        let out = dis(&args(&[&img])).unwrap();
+        assert!(out.contains("bgtz"));
+        let out = run(&args(&[&img])).unwrap();
+        assert!(out.contains("[exit 0"));
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&img).ok();
+    }
+
+    #[test]
+    fn profile_reports_the_loop() {
+        let src = write_temp("profile.s", LOOP_SRC);
+        let out = profile(&args(&[&src])).unwrap();
+        assert!(out.contains("natural loops"));
+        assert!(out.contains("% of all"));
+        assert!(out.contains("instruction mix"));
+        assert!(out.contains("int-alu"));
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn run_with_trace_shows_head_and_tail() {
+        let src = write_temp("trace.s", LOOP_SRC);
+        let out = run(&args(&[&src, "--trace", "3"])).unwrap();
+        assert!(out.contains("fetches elided"));
+        assert!(out.contains("syscall"));
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn encode_reports_reduction() {
+        let src = write_temp("encode.s", LOOP_SRC);
+        let out = encode(&args(&[&src, "--block-size", "4"])).unwrap();
+        assert!(out.contains("% reduction"));
+        assert!(out.contains("decoder verified"));
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn encode_emits_a_loadable_table_image() {
+        let src = write_temp("tables.s", LOOP_SRC);
+        let img = format!("{src}.ttb");
+        let out = encode(&args(&[&src, "--emit-tables", &img])).unwrap();
+        assert!(out.contains("table image"));
+        let bytes = std::fs::read(&img).unwrap();
+        assert_eq!(&bytes[..4], b"TTB1");
+        let unpacked = imt_core::tableimage::unpack_tables(
+            &bytes,
+            imt_bitcode::TransformSet::CANONICAL_EIGHT,
+        )
+        .unwrap();
+        assert!(!unpacked.tt.is_empty());
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&img).ok();
+    }
+
+    #[test]
+    fn schedule_verifies_and_writes_an_image() {
+        let src = write_temp("sched.s", LOOP_SRC);
+        let img = format!("{src}.imt");
+        let out = schedule(&args(&[&src, "-o", &img])).unwrap();
+        assert!(out.contains("verified: scheduled program output is identical"));
+        assert!(std::path::Path::new(&img).exists());
+        // The written image runs and prints the same output.
+        let rerun = run(&args(&[&img])).unwrap();
+        let orig = run(&args(&[&src])).unwrap();
+        assert_eq!(rerun, orig);
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&img).ok();
+    }
+
+    #[test]
+    fn analyze_reports_lanes_and_budget() {
+        let src = write_temp("analyze.s", LOOP_SRC);
+        let out = analyze(&args(&[&src])).unwrap();
+        assert!(out.contains("per-lane structure"));
+        assert!(out.contains("hardware budget"));
+        assert!(out.contains("total reduction"));
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn tables_prints_figure4_shape() {
+        let out = tables(&args(&["-k", "3"])).unwrap();
+        assert!(out.contains("improvement = 75.0%"));
+        assert!(tables(&args(&["-k", "1"])).is_err());
+    }
+
+    #[test]
+    fn kernels_list_and_run() {
+        let out = kernels(&[]).unwrap();
+        assert!(out.contains("mmul"));
+        let out = kernels(&args(&["fft"])).unwrap();
+        assert!(out.contains("golden model match: true"));
+        assert!(kernels(&args(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn option_parsing_errors_are_friendly() {
+        let err = run(&args(&["nonexistent_file.s"])).unwrap_err();
+        assert!(err.to_string().contains("i/o error"));
+        let src = write_temp("badnum.s", LOOP_SRC);
+        let err = run(&args(&[&src, "--max-steps", "many"])).unwrap_err();
+        assert!(err.to_string().contains("expects a number"));
+        std::fs::remove_file(&src).ok();
+    }
+}

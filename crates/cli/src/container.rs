@@ -1,0 +1,148 @@
+//! The `.imt` program-image container.
+//!
+//! A minimal little-endian binary format for assembled programs, so the
+//! CLI can separate assembling from running (firmware-style):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "IMT1"
+//! 4       4     text_base
+//! 8       4     data_base
+//! 12      4     entry
+//! 16      4     text word count (N)
+//! 20      4     data byte count (M)
+//! 24      4*N   text words
+//! 24+4N   M     data bytes
+//! ```
+//!
+//! Symbols and source lines are tool-side conveniences and are not stored.
+
+use std::collections::BTreeMap;
+
+use imt_isa::Program;
+
+use crate::CliError;
+
+const MAGIC: &[u8; 4] = b"IMT1";
+
+/// Serialises a program into the container format.
+pub fn save(program: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + program.text.len() * 4 + program.data.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&program.text_base.to_le_bytes());
+    out.extend_from_slice(&program.data_base.to_le_bytes());
+    out.extend_from_slice(&program.entry.to_le_bytes());
+    out.extend_from_slice(&(program.text.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(program.data.len() as u32).to_le_bytes());
+    for word in &program.text {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out.extend_from_slice(&program.data);
+    out
+}
+
+/// Deserialises a container image.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for a bad magic, truncated input, or trailing
+/// garbage.
+pub fn load(bytes: &[u8]) -> Result<Program, CliError> {
+    let field = |offset: usize| -> Result<u32, CliError> {
+        bytes
+            .get(offset..offset + 4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .ok_or_else(|| CliError::new("truncated image header"))
+    };
+    if bytes.get(0..4) != Some(MAGIC.as_slice()) {
+        return Err(CliError::new("not an IMT program image (bad magic)"));
+    }
+    let text_base = field(4)?;
+    let data_base = field(8)?;
+    let entry = field(12)?;
+    let text_len = field(16)? as usize;
+    let data_len = field(20)? as usize;
+    let text_end = 24 + text_len * 4;
+    let data_end = text_end + data_len;
+    if bytes.len() != data_end {
+        return Err(CliError::new(format!(
+            "image size mismatch: header implies {data_end} bytes, file has {}",
+            bytes.len()
+        )));
+    }
+    let mut text = Vec::with_capacity(text_len);
+    for i in 0..text_len {
+        text.push(field(24 + i * 4)?);
+    }
+    let data = bytes[text_end..data_end].to_vec();
+    Ok(Program {
+        text,
+        data,
+        text_base,
+        data_base,
+        entry,
+        symbols: BTreeMap::new(),
+        source_lines: Vec::new(),
+    })
+}
+
+/// Loads a program from a path: `.imt` containers are parsed, anything
+/// else is assembled as source.
+///
+/// # Errors
+///
+/// Propagates i/o, container and assembly errors.
+pub fn load_program(path: &str) -> Result<Program, CliError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.starts_with(MAGIC) {
+        load(&bytes)
+    } else {
+        let source = String::from_utf8(bytes)
+            .map_err(|_| CliError::new(format!("{path} is neither an image nor UTF-8 source")))?;
+        Ok(imt_isa::asm::assemble(&source)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_isa::asm::assemble;
+
+    fn sample() -> Program {
+        assemble(
+            ".data\nx: .word 7\n.text\nmain: la $t0, x\nlw $a0, 0($t0)\nli $v0, 10\nsyscall\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_the_image() {
+        let program = sample();
+        let bytes = save(&program);
+        let loaded = load(&bytes).unwrap();
+        assert_eq!(loaded.text, program.text);
+        assert_eq!(loaded.data, program.data);
+        assert_eq!(loaded.entry, program.entry);
+        assert_eq!(loaded.text_base, program.text_base);
+        assert_eq!(loaded.data_base, program.data_base);
+    }
+
+    #[test]
+    fn loaded_image_still_runs() {
+        let program = sample();
+        let loaded = load(&save(&program)).unwrap();
+        let mut cpu = imt_sim::Cpu::new(&loaded).unwrap();
+        cpu.run(100).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(load(b"nope").is_err());
+        let mut bytes = save(&sample());
+        bytes.pop();
+        assert!(load(&bytes).is_err());
+        bytes.push(0);
+        bytes.push(0); // trailing garbage
+        assert!(load(&bytes).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! # imt-cli — the `imt` command-line tool
+//!
+//! A thin, dependency-free driver over the workspace:
+//!
+//! ```text
+//! imt asm <file.s> [-o image.imt]        assemble; write a program image
+//! imt dis <image.imt | file.s>           disassemble text with addresses
+//! imt run <image.imt | file.s> [opts]    execute; print output and stats
+//! imt profile <file>                     execute; per-loop fetch report
+//! imt encode <file> [opts]               full pipeline; reduction report
+//! imt tables [-k N]                      print the optimal code table
+//! imt kernels [name]                     list / run the paper benchmarks
+//! ```
+//!
+//! All command logic lives in this library and returns its output as a
+//! string, so the test suite drives the real code paths; `main.rs` only
+//! forwards `std::env::args` and prints.
+
+pub mod container;
+
+mod commands;
+
+use std::error::Error;
+use std::fmt;
+
+/// An error surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    /// Creates an error with the given user-facing message.
+    pub fn new(message: impl Into<String>) -> Self {
+        CliError { message: message.into() }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(format!("i/o error: {e}"))
+    }
+}
+
+impl From<imt_isa::AsmError> for CliError {
+    fn from(e: imt_isa::AsmError) -> Self {
+        CliError::new(format!("assembly error: {e}"))
+    }
+}
+
+impl From<imt_sim::SimError> for CliError {
+    fn from(e: imt_sim::SimError) -> Self {
+        CliError::new(format!("simulation error: {e}"))
+    }
+}
+
+impl From<imt_core::CoreError> for CliError {
+    fn from(e: imt_core::CoreError) -> Self {
+        CliError::new(format!("encoding error: {e}"))
+    }
+}
+
+/// Usage text printed for `imt help` and argument errors.
+pub const USAGE: &str = "\
+imt — application-specific instruction memory transformations (DATE 2003)
+
+usage: imt <command> [args]
+
+commands:
+  asm <file.s> [-o image.imt | --listing]
+                                   assemble; write an image or a listing
+  dis <file>                       disassemble (accepts .s or .imt)
+  run <file> [--max-steps N] [--trace N]
+                                   execute; print output (+head/tail trace)
+  profile <file> [--max-steps N]   execute and report loops by fetch share
+  encode <file> [--block-size K] [--tt N] [--bbit N] [--all-sixteen]
+         [--emit-tables out.ttb]   encode the hot region and measure
+  analyze <file> [encode opts]     per-lane anatomy + hardware budget
+  schedule <file> [-o out.imt]     transition-aware reorder (verified)
+  tables [--block-size K] [--all-sixteen]
+                                   print the optimal code table (Fig. 2/4)
+  kernels [name]                   list the paper kernels, or run one
+  help                             this text
+";
+
+/// Runs the CLI on pre-split arguments (without the program name) and
+/// returns what should be printed.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message for unknown commands,
+/// bad arguments, and any underlying assembly/simulation/encoding failure.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(USAGE.to_string());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "asm" => commands::asm(rest),
+        "dis" => commands::dis(rest),
+        "run" => commands::run(rest),
+        "profile" => commands::profile(rest),
+        "encode" => commands::encode(rest),
+        "analyze" => commands::analyze(rest),
+        "schedule" => commands::schedule(rest),
+        "tables" => commands::tables(rest),
+        "kernels" => commands::kernels(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::new(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run_cli(&[]).unwrap();
+        assert!(out.contains("usage: imt"));
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run_cli(&["frobnicate".into()]).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+        assert!(err.to_string().contains("usage: imt"));
+    }
+
+    #[test]
+    fn help_is_available() {
+        for flag in ["help", "--help", "-h"] {
+            assert!(run_cli(&[flag.into()]).unwrap().contains("commands:"));
+        }
+    }
+}

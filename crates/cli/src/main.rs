@@ -1,0 +1,12 @@
+//! The `imt` binary: forwards arguments to [`imt_cli::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match imt_cli::run_cli(&args) {
+        Ok(output) => print!("{output}"),
+        Err(error) => {
+            eprintln!("imt: {error}");
+            std::process::exit(1);
+        }
+    }
+}

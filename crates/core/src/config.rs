@@ -1,0 +1,191 @@
+//! Encoder configuration.
+
+use imt_bitcode::block::{OverlapHistory, MAX_BLOCK_SIZE};
+use imt_bitcode::stream::ChainStrategy;
+use imt_bitcode::TransformSet;
+
+/// Configuration of the encoding pipeline.
+///
+/// The defaults follow the paper's recommended operating point: block size
+/// 5 (§5.2 argues for 5–6), the canonical eight transformations (3 control
+/// bits per line per block), a 16-entry Transformation Table and a 16-entry
+/// BBIT (§7.2 sizes the BBIT "in the range of 10").
+///
+/// ```
+/// use imt_core::EncoderConfig;
+/// use imt_bitcode::TransformSet;
+///
+/// # fn main() -> Result<(), imt_core::CoreError> {
+/// let config = EncoderConfig::default()
+///     .with_block_size(6)?
+///     .with_transforms(TransformSet::ALL_SIXTEEN)
+///     .with_tt_capacity(32);
+/// assert_eq!(config.block_size(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderConfig {
+    block_size: usize,
+    transforms: TransformSet,
+    overlap: OverlapHistory,
+    strategy: ChainStrategy,
+    tt_capacity: usize,
+    bbit_capacity: usize,
+    max_loops: usize,
+    include_called_functions: bool,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        EncoderConfig {
+            block_size: 5,
+            transforms: TransformSet::CANONICAL_EIGHT,
+            overlap: OverlapHistory::Stored,
+            strategy: ChainStrategy::Greedy,
+            tt_capacity: 16,
+            bbit_capacity: 16,
+            max_loops: 4,
+            include_called_functions: false,
+        }
+    }
+}
+
+impl EncoderConfig {
+    /// Creates the default configuration (equivalent to `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the block size `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::BlockSize`] if `k` is outside
+    /// `2..=MAX_BLOCK_SIZE`.
+    pub fn with_block_size(mut self, k: usize) -> Result<Self, crate::CoreError> {
+        if !(2..=MAX_BLOCK_SIZE).contains(&k) {
+            return Err(crate::CoreError::BlockSize { requested: k });
+        }
+        self.block_size = k;
+        Ok(self)
+    }
+
+    /// Sets the allowed transformation set.
+    #[must_use]
+    pub fn with_transforms(mut self, transforms: TransformSet) -> Self {
+        self.transforms = transforms;
+        self
+    }
+
+    /// Sets the overlap-history semantics (§6).
+    #[must_use]
+    pub fn with_overlap(mut self, overlap: OverlapHistory) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Sets the chain strategy (greedy, as in the paper, or the exact
+    /// two-state dynamic program).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: ChainStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the Transformation Table capacity (entries).
+    #[must_use]
+    pub fn with_tt_capacity(mut self, entries: usize) -> Self {
+        self.tt_capacity = entries;
+        self
+    }
+
+    /// Sets the BBIT capacity (basic blocks).
+    #[must_use]
+    pub fn with_bbit_capacity(mut self, entries: usize) -> Self {
+        self.bbit_capacity = entries;
+        self
+    }
+
+    /// Sets how many of the hottest loops are considered for encoding.
+    #[must_use]
+    pub fn with_max_loops(mut self, loops: usize) -> Self {
+        self.max_loops = loops;
+        self
+    }
+
+    /// Also encodes functions called from inside selected loops — the
+    /// paper's §7.2 alternative to leaving call targets unencoded, "if the
+    /// total number of application basic blocks can be accommodated in the
+    /// BBIT" (capacity limits still apply per block).
+    #[must_use]
+    pub fn with_called_functions(mut self, include: bool) -> Self {
+        self.include_called_functions = include;
+        self
+    }
+
+    /// The block size `k`.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The allowed transformation set.
+    pub fn transforms(&self) -> TransformSet {
+        self.transforms
+    }
+
+    /// The overlap-history semantics.
+    pub fn overlap(&self) -> OverlapHistory {
+        self.overlap
+    }
+
+    /// The chain strategy.
+    pub fn strategy(&self) -> ChainStrategy {
+        self.strategy
+    }
+
+    /// The Transformation Table capacity.
+    pub fn tt_capacity(&self) -> usize {
+        self.tt_capacity
+    }
+
+    /// The BBIT capacity.
+    pub fn bbit_capacity(&self) -> usize {
+        self.bbit_capacity
+    }
+
+    /// How many hot loops are considered.
+    pub fn max_loops(&self) -> usize {
+        self.max_loops
+    }
+
+    /// Whether called functions are pulled into the encoded region.
+    pub fn include_called_functions(&self) -> bool {
+        self.include_called_functions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = EncoderConfig::default();
+        assert_eq!(c.block_size(), 5);
+        assert_eq!(c.transforms(), TransformSet::CANONICAL_EIGHT);
+        assert_eq!(c.overlap(), OverlapHistory::Stored);
+        assert_eq!(c.strategy(), ChainStrategy::Greedy);
+        assert_eq!(c.tt_capacity(), 16);
+        assert_eq!(c.bbit_capacity(), 16);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(EncoderConfig::default().with_block_size(1).is_err());
+        assert!(EncoderConfig::default().with_block_size(MAX_BLOCK_SIZE + 1).is_err());
+        let c = EncoderConfig::default().with_block_size(7).unwrap().with_tt_capacity(4);
+        assert_eq!(c.block_size(), 7);
+        assert_eq!(c.tt_capacity(), 4);
+    }
+}

@@ -1,0 +1,297 @@
+//! Dynamic evaluation: replay a real execution against the encoded image.
+//!
+//! This is the experiment of the paper's §8: run the program on the
+//! simulated core, stream every fetch through two bus monitors — one fed
+//! the original words, one fed the encoded image — and, crucially, through
+//! the [`crate::hardware::FetchDecoder`] hardware model,
+//! checking bit-for-bit that the decoded stream equals the original
+//! instruction stream. A schedule that decodes incorrectly can therefore
+//! never report savings.
+
+use imt_isa::program::Program;
+use imt_sim::bus::DataBusMonitor;
+use imt_sim::cpu::{Cpu, FetchSink};
+
+use crate::error::CoreError;
+use crate::hardware::FetchDecoder;
+use crate::pipeline::{EncodedProgram, BUS_WIDTH};
+
+/// Result of replaying a program against its encoded image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Instructions fetched (= executed).
+    pub fetches: u64,
+    /// Total bus transitions with the original image — the paper's `#TR`.
+    pub baseline_transitions: u64,
+    /// Total bus transitions with the encoded image.
+    pub encoded_transitions: u64,
+    /// Per-line baseline transitions.
+    pub per_lane_baseline: Vec<u64>,
+    /// Per-line encoded transitions.
+    pub per_lane_encoded: Vec<u64>,
+    /// Fetches whose decoded word differed from the original (must be 0;
+    /// also surfaced as an error by [`evaluate`]).
+    pub decode_mismatches: u64,
+    /// Fetches decoded through an active TT schedule.
+    pub decoded_fetches: u64,
+    /// Fetches that passed through untouched.
+    pub passthrough_fetches: u64,
+    /// Exit code of the simulated program.
+    pub exit_code: i32,
+    /// Everything the program printed.
+    pub stdout: String,
+}
+
+impl Evaluation {
+    /// Percentage of bus transitions eliminated (the paper's
+    /// `Reduction(%)` rows in Figure 6).
+    pub fn reduction_percent(&self) -> f64 {
+        if self.baseline_transitions == 0 {
+            return 0.0;
+        }
+        (self.baseline_transitions - self.encoded_transitions) as f64
+            / self.baseline_transitions as f64
+            * 100.0
+    }
+}
+
+struct EvalSink<'a> {
+    encoded_text: &'a [u32],
+    text_base: u32,
+    baseline: DataBusMonitor,
+    encoded: DataBusMonitor,
+    decoder: FetchDecoder<'a>,
+    mismatches: u64,
+    first_mismatch: Option<(u32, u32, u32)>,
+}
+
+impl FetchSink for EvalSink<'_> {
+    #[inline]
+    fn on_fetch(&mut self, pc: u32, word: u32) {
+        self.baseline.observe(word as u64);
+        let index = ((pc - self.text_base) / 4) as usize;
+        let stored = self.encoded_text[index];
+        self.encoded.observe(stored as u64);
+        let decoded = self.decoder.on_fetch(pc, stored);
+        if decoded != word {
+            self.mismatches += 1;
+            self.first_mismatch.get_or_insert((pc, decoded, word));
+        }
+    }
+}
+
+/// Replays `program` for up to `max_steps` instructions against its
+/// encoded image, verifying the fetch decoder on every fetch.
+///
+/// # Errors
+///
+/// [`CoreError::Sim`] if the program faults or exceeds `max_steps`;
+/// [`CoreError::DecodeMismatch`] if the hardware model ever restores a
+/// word incorrectly (the evaluation numbers would be meaningless).
+pub fn evaluate(
+    program: &Program,
+    encoded: &EncodedProgram,
+    max_steps: u64,
+) -> Result<Evaluation, CoreError> {
+    let mut cpu = Cpu::new(program)?;
+    let mut sink = EvalSink {
+        encoded_text: &encoded.text,
+        text_base: encoded.text_base,
+        baseline: DataBusMonitor::new(BUS_WIDTH),
+        encoded: DataBusMonitor::new(BUS_WIDTH),
+        decoder: FetchDecoder::new(
+            &encoded.tt,
+            &encoded.bbit,
+            BUS_WIDTH,
+            encoded.config.block_size(),
+            encoded.config.overlap(),
+        ),
+        mismatches: 0,
+        first_mismatch: None,
+    };
+    let summary = cpu.run_with_sink(max_steps, &mut sink)?;
+    if let Some((pc, decoded, expected)) = sink.first_mismatch {
+        return Err(CoreError::DecodeMismatch { pc, decoded, expected });
+    }
+    Ok(Evaluation {
+        fetches: summary.instructions,
+        baseline_transitions: sink.baseline.total_transitions(),
+        encoded_transitions: sink.encoded.total_transitions(),
+        per_lane_baseline: sink.baseline.per_lane().to_vec(),
+        per_lane_encoded: sink.encoded.per_lane().to_vec(),
+        decode_mismatches: sink.mismatches,
+        decoded_fetches: sink.decoder.decoded_fetches(),
+        passthrough_fetches: sink.decoder.passthrough_fetches(),
+        exit_code: summary.exit_code,
+        stdout: cpu.stdout().to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncoderConfig;
+    use crate::pipeline::encode_program;
+    use imt_bitcode::block::OverlapHistory;
+    use imt_bitcode::TransformSet;
+    use imt_isa::asm::assemble;
+
+    fn pipeline(source: &str, config: &EncoderConfig) -> (Program, EncodedProgram) {
+        let program = assemble(source).expect("assembly failed");
+        let mut cpu = Cpu::new(&program).expect("load failed");
+        cpu.run(10_000_000).expect("run failed");
+        let profile = cpu.profile().to_vec();
+        let encoded = encode_program(&program, &profile, config).expect("encode failed");
+        (program, encoded)
+    }
+
+    const LOOP_PROGRAM: &str = r#"
+            .text
+    main:   li   $t0, 1000
+    loop:   xor  $t1, $t1, $t0
+            sll  $t2, $t1, 3
+            srl  $t3, $t1, 7
+            addu $t4, $t2, $t3
+            subu $t5, $t3, $t2
+            and  $t6, $t4, $t5
+            addiu $t0, $t0, -1
+            bgtz $t0, loop
+            move $a0, $t6
+            li   $v0, 1
+            syscall
+            li   $v0, 10
+            syscall
+    "#;
+
+    #[test]
+    fn reduces_transitions_and_decodes_exactly() {
+        for k in [4usize, 5, 6, 7] {
+            for overlap in [OverlapHistory::Stored, OverlapHistory::Decoded] {
+                let config = EncoderConfig::default()
+                    .with_block_size(k)
+                    .unwrap()
+                    .with_overlap(overlap);
+                let (program, encoded) = pipeline(LOOP_PROGRAM, &config);
+                let eval = evaluate(&program, &encoded, 10_000_000).unwrap();
+                assert_eq!(eval.decode_mismatches, 0, "k={k} {overlap:?}");
+                assert!(
+                    eval.encoded_transitions < eval.baseline_transitions,
+                    "k={k} {overlap:?}: {} >= {}",
+                    eval.encoded_transitions,
+                    eval.baseline_transitions
+                );
+                // The loop dominates: nearly all fetches decode through TT.
+                assert!(eval.decoded_fetches > eval.passthrough_fetches);
+                assert!(eval.reduction_percent() > 5.0, "k={k} {overlap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn program_behaviour_is_unchanged() {
+        let (program, encoded) = pipeline(LOOP_PROGRAM, &EncoderConfig::default());
+        let eval = evaluate(&program, &encoded, 10_000_000).unwrap();
+        // The decoded stream drives the same execution: same output as a
+        // plain run of the original.
+        let mut plain = Cpu::new(&program).unwrap();
+        plain.run(10_000_000).unwrap();
+        assert_eq!(eval.stdout, plain.stdout());
+        assert_eq!(eval.exit_code, 0);
+    }
+
+    #[test]
+    fn empty_schedule_changes_nothing() {
+        let config = EncoderConfig::default().with_tt_capacity(0);
+        let (program, encoded) = pipeline(LOOP_PROGRAM, &config);
+        let eval = evaluate(&program, &encoded, 10_000_000).unwrap();
+        assert_eq!(eval.baseline_transitions, eval.encoded_transitions);
+        assert_eq!(eval.reduction_percent(), 0.0);
+        assert_eq!(eval.decoded_fetches, 0);
+        assert_eq!(eval.passthrough_fetches, eval.fetches);
+    }
+
+    #[test]
+    fn all_sixteen_transforms_do_no_worse_than_eight() {
+        let base = EncoderConfig::default();
+        let (program, encoded8) = pipeline(LOOP_PROGRAM, &base);
+        let config16 = base.with_transforms(TransformSet::ALL_SIXTEEN);
+        let (_, encoded16) = pipeline(LOOP_PROGRAM, &config16);
+        let eval8 = evaluate(&program, &encoded8, 10_000_000).unwrap();
+        let eval16 = evaluate(&program, &encoded16, 10_000_000).unwrap();
+        assert!(eval16.encoded_transitions <= eval8.encoded_transitions);
+    }
+
+    #[test]
+    fn per_lane_totals_are_consistent() {
+        let (program, encoded) = pipeline(LOOP_PROGRAM, &EncoderConfig::default());
+        let eval = evaluate(&program, &encoded, 10_000_000).unwrap();
+        assert_eq!(
+            eval.per_lane_baseline.iter().sum::<u64>(),
+            eval.baseline_transitions
+        );
+        assert_eq!(eval.per_lane_encoded.iter().sum::<u64>(), eval.encoded_transitions);
+    }
+
+    #[test]
+    fn corrupted_schedules_are_caught_not_measured() {
+        // The verification spine's negative path: flip one transform in
+        // the TT and the evaluation must refuse with DecodeMismatch
+        // instead of reporting bogus savings.
+        let (program, mut encoded) = pipeline(LOOP_PROGRAM, &EncoderConfig::default());
+        let mut tt = crate::hardware::TransformationTable::new();
+        for (i, entry) in encoded.tt.entries().iter().enumerate() {
+            let mut entry = entry.clone();
+            if i == 0 {
+                // Corrupt one lane's transform on the first entry.
+                entry.lane_transforms[3] =
+                    if entry.lane_transforms[3] == imt_bitcode::Transform::NOT_X {
+                        imt_bitcode::Transform::XOR
+                    } else {
+                        imt_bitcode::Transform::NOT_X
+                    };
+            }
+            tt.push(entry);
+        }
+        encoded.tt = tt;
+        let err = evaluate(&program, &encoded, 10_000_000).unwrap_err();
+        assert!(
+            matches!(err, crate::CoreError::DecodeMismatch { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_image_is_caught_too() {
+        // Same, for a bit flipped in the stored memory image.
+        let (program, mut encoded) = pipeline(LOOP_PROGRAM, &EncoderConfig::default());
+        let hot = encoded.report.encoded[0].clone();
+        let index = (hot.start_pc - encoded.text_base) as usize / 4 + 1;
+        encoded.text[index] ^= 1 << 7;
+        let err = evaluate(&program, &encoded, 10_000_000).unwrap_err();
+        assert!(matches!(err, crate::CoreError::DecodeMismatch { .. }));
+    }
+
+    #[test]
+    fn branchy_loop_with_two_blocks_decodes_exactly() {
+        // A loop whose body alternates between two basic blocks exercises
+        // BBIT re-lookup at both block entries every iteration.
+        let source = r#"
+            .text
+    main:   li   $t0, 400
+    loop:   andi $t1, $t0, 1
+            beq  $t1, $zero, even
+    odd:    xor  $t2, $t2, $t0
+            b    next
+    even:   addu $t3, $t3, $t0
+    next:   addiu $t0, $t0, -1
+            bgtz $t0, loop
+            li   $v0, 10
+            syscall
+    "#;
+        let (program, encoded) = pipeline(source, &EncoderConfig::default());
+        let eval = evaluate(&program, &encoded, 10_000_000).unwrap();
+        assert_eq!(eval.decode_mismatches, 0);
+        assert!(eval.encoded_transitions <= eval.baseline_transitions);
+        assert!(encoded.report.encoded.len() >= 2);
+    }
+}

@@ -1,0 +1,409 @@
+//! The application-specific encoding pipeline: profile → hot loops →
+//! capacity-constrained block selection → encoded memory image + TT/BBIT
+//! contents.
+
+use imt_bitcode::lanes::encode_words;
+use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+use imt_cfg::{block_weights, hot_loops, BlockId, Cfg};
+use imt_isa::program::Program;
+
+use crate::config::EncoderConfig;
+use crate::error::CoreError;
+use crate::hardware::{Bbit, BbitEntry, TransformationTable, TtEntry};
+
+/// Bus width of the instruction data path.
+pub const BUS_WIDTH: usize = 32;
+
+/// Per-block outcome of the selection and encoding pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedBlockInfo {
+    /// The basic block in the program's CFG.
+    pub block: BlockId,
+    /// Address of its first instruction.
+    pub start_pc: u32,
+    /// Instructions in the block.
+    pub instructions: usize,
+    /// Index of its first Transformation Table entry.
+    pub tt_first: usize,
+    /// Number of TT entries it consumes (= blocks per bit line).
+    pub tt_count: usize,
+    /// Static within-block bus transitions of the original words.
+    pub original_transitions: u64,
+    /// Static within-block bus transitions of the encoded words.
+    pub encoded_transitions: u64,
+    /// Profiled fetches from this block.
+    pub fetch_weight: u64,
+}
+
+/// Why a hot-loop basic block was left unencoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemotionReason {
+    /// Not enough free Transformation Table entries.
+    TtCapacity,
+    /// Not enough free BBIT entries.
+    BbitCapacity,
+    /// Encoding would not remove any transitions (e.g. a 1-instruction
+    /// block); spending table entries on it is pointless.
+    NoSaving,
+    /// The block never executed in the profile.
+    ColdBlock,
+}
+
+/// Summary of the region-selection pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionReport {
+    /// Hot loops that contributed candidate blocks.
+    pub loops_considered: usize,
+    /// Blocks encoded, in selection (weight) order.
+    pub encoded: Vec<EncodedBlockInfo>,
+    /// Hot-loop blocks left as-is, with the reason.
+    pub demoted: Vec<(BlockId, DemotionReason)>,
+    /// TT entries allocated.
+    pub tt_used: usize,
+    /// BBIT entries allocated.
+    pub bbit_used: usize,
+}
+
+/// A program with its hot region encoded: the memory image, the table
+/// contents the fetch hardware needs, and the selection report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedProgram {
+    /// The full text image as stored in instruction memory: encoded words
+    /// inside selected blocks, original words elsewhere.
+    pub text: Vec<u32>,
+    /// The Transformation Table contents.
+    pub tt: TransformationTable,
+    /// The BBIT contents.
+    pub bbit: Bbit,
+    /// The configuration the schedule was built with.
+    pub config: EncoderConfig,
+    /// What was selected and why.
+    pub report: RegionReport,
+    /// Base address of `text[0]`.
+    pub text_base: u32,
+}
+
+impl EncodedProgram {
+    /// Static transitions eliminated inside encoded blocks.
+    pub fn static_saved_transitions(&self) -> u64 {
+        self.report
+            .encoded
+            .iter()
+            .map(|b| b.original_transitions - b.encoded_transitions)
+            .sum()
+    }
+}
+
+/// Counts within-segment bus transitions of a word slice.
+fn segment_transitions(words: &[u32]) -> u64 {
+    words.windows(2).map(|p| (p[0] ^ p[1]).count_ones() as u64).sum()
+}
+
+/// Runs the full pipeline: CFG recovery, hot-loop ranking, greedy
+/// capacity-constrained selection, per-block lane encoding.
+///
+/// `profile` is the per-instruction execution count from
+/// [`imt_sim::Cpu::profile`] (or any estimate of the same shape — a static
+/// all-ones profile selects by loop structure alone).
+///
+/// Blocks are considered hottest-first across the top
+/// [`EncoderConfig::max_loops`] loops; each consumes one BBIT entry and as
+/// many TT entries as its instruction count requires at the configured
+/// block size. Blocks that do not fit, never ran, or save nothing are
+/// demoted to pass-through (the paper's identity treatment of infrequent
+/// blocks, §7.2).
+///
+/// # Errors
+///
+/// [`CoreError::ProfileLength`] if the profile does not cover the text;
+/// [`CoreError::Cfg`] if the text is empty or malformed;
+/// [`CoreError::Codec`] only on internal misuse (widths are fixed here).
+pub fn encode_program(
+    program: &Program,
+    profile: &[u64],
+    config: &EncoderConfig,
+) -> Result<EncodedProgram, CoreError> {
+    if profile.len() < program.text.len() {
+        return Err(CoreError::ProfileLength {
+            text_len: program.text.len(),
+            profile_len: profile.len(),
+        });
+    }
+    let cfg = Cfg::build(program)?;
+    let weights = block_weights(&cfg, profile);
+    let loops = hot_loops(&cfg, profile);
+    let top: Vec<_> = loops
+        .iter()
+        .filter(|l| l.fetch_weight > 0)
+        .take(config.max_loops())
+        .collect();
+
+    // Candidate blocks: union of the top loops' bodies, hottest first.
+    // With `include_called_functions`, the bodies of functions called from
+    // inside those loops join the candidate set (§7.2's alternative).
+    let mut candidates: Vec<BlockId> = Vec::new();
+    for l in &top {
+        for &b in &l.natural_loop.body {
+            if !candidates.contains(&b) {
+                candidates.push(b);
+            }
+        }
+        if config.include_called_functions() {
+            for callee in cfg.called_functions(&l.natural_loop.body) {
+                for b in cfg.reachable_from(callee) {
+                    if !candidates.contains(&b) {
+                        candidates.push(b);
+                    }
+                }
+            }
+        }
+    }
+    candidates.sort_by_key(|b| std::cmp::Reverse(weights[b.0]));
+
+    let codec = StreamCodec::new(
+        StreamCodecConfig::block_size(config.block_size())
+            .map_err(CoreError::Codec)?
+            .with_transforms(config.transforms())
+            .with_overlap(config.overlap())
+            .with_strategy(config.strategy()),
+    );
+
+    let mut text = program.text.clone();
+    let mut tt = TransformationTable::new();
+    let mut bbit = Bbit::new();
+    let mut encoded = Vec::new();
+    let mut demoted = Vec::new();
+
+    for block_id in candidates {
+        let block = cfg.block(block_id);
+        let weight = weights[block_id.0];
+        if weight == 0 {
+            demoted.push((block_id, DemotionReason::ColdBlock));
+            continue;
+        }
+        let words = &program.text[block.range()];
+        let wide: Vec<u64> = words.iter().map(|&w| w as u64).collect();
+        let lane_encoding = encode_words(&wide, BUS_WIDTH, &codec).map_err(CoreError::Codec)?;
+        let encoded_words: Vec<u32> = lane_encoding.words().iter().map(|&w| w as u32).collect();
+        let original_transitions = segment_transitions(words);
+        let encoded_transitions = segment_transitions(&encoded_words);
+        if encoded_transitions >= original_transitions {
+            demoted.push((block_id, DemotionReason::NoSaving));
+            continue;
+        }
+        let tt_count = lane_encoding.lanes()[0].blocks().len();
+        if tt.len() + tt_count > config.tt_capacity() {
+            demoted.push((block_id, DemotionReason::TtCapacity));
+            continue;
+        }
+        if bbit.len() + 1 > config.bbit_capacity() {
+            demoted.push((block_id, DemotionReason::BbitCapacity));
+            continue;
+        }
+
+        // Commit: TT entries (one per block position, shared across lanes),
+        // BBIT entry, and the encoded words in the memory image.
+        let tt_first = tt.len();
+        for position in 0..tt_count {
+            let lane_transforms = (0..BUS_WIDTH)
+                .map(|lane| lane_encoding.lanes()[lane].blocks()[position].transform)
+                .collect();
+            let covers = lane_encoding.lanes()[0].blocks()[position].len;
+            tt.push(TtEntry { lane_transforms, end: position + 1 == tt_count, covers });
+        }
+        let start_pc = cfg.block_address(block_id);
+        bbit.push(BbitEntry { pc: start_pc, tt_index: tt_first });
+        text[block.range()].copy_from_slice(&encoded_words);
+        encoded.push(EncodedBlockInfo {
+            block: block_id,
+            start_pc,
+            instructions: block.len,
+            tt_first,
+            tt_count,
+            original_transitions,
+            encoded_transitions,
+            fetch_weight: weight,
+        });
+    }
+
+    let report = RegionReport {
+        loops_considered: top.len(),
+        encoded,
+        demoted,
+        tt_used: tt.len(),
+        bbit_used: bbit.len(),
+    };
+    Ok(EncodedProgram {
+        text,
+        tt,
+        bbit,
+        config: *config,
+        report,
+        text_base: program.text_base,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_isa::asm::assemble;
+    use imt_sim::Cpu;
+
+    fn profiled(source: &str) -> (Program, Vec<u64>) {
+        let program = assemble(source).expect("assembly failed");
+        let mut cpu = Cpu::new(&program).expect("load failed");
+        cpu.run(10_000_000).expect("run failed");
+        let profile = cpu.profile().to_vec();
+        (program, profile)
+    }
+
+    const LOOP_PROGRAM: &str = r#"
+            .text
+    main:   li   $t0, 200
+    loop:   xor  $t1, $t1, $t0
+            sll  $t2, $t1, 3
+            srl  $t3, $t1, 7
+            addu $t4, $t2, $t3
+            addiu $t0, $t0, -1
+            bgtz $t0, loop
+            li   $v0, 10
+            syscall
+    "#;
+
+    #[test]
+    fn encodes_the_hot_loop() {
+        let (program, profile) = profiled(LOOP_PROGRAM);
+        let encoded =
+            encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
+        assert_eq!(encoded.report.encoded.len(), 1);
+        let info = &encoded.report.encoded[0];
+        assert_eq!(info.instructions, 6); // the loop body block
+        assert!(info.encoded_transitions < info.original_transitions);
+        assert_eq!(encoded.report.bbit_used, 1);
+        assert_eq!(encoded.report.tt_used, info.tt_count);
+        // 6 instructions at k = 5: blocks of 5 + 1 → 2 TT entries.
+        assert_eq!(info.tt_count, 2);
+        assert!(encoded.tt.entries()[1].end);
+        assert_eq!(encoded.tt.entries()[1].covers, 1);
+        // The image outside the loop is untouched.
+        assert_eq!(encoded.text[0], program.text[0]);
+        assert_eq!(encoded.text[7], program.text[7]);
+        // The image inside the loop differs somewhere.
+        assert_ne!(&encoded.text[1..7], &program.text[1..7]);
+    }
+
+    #[test]
+    fn capacity_zero_encodes_nothing() {
+        let (program, profile) = profiled(LOOP_PROGRAM);
+        let config = EncoderConfig::default().with_tt_capacity(0);
+        let encoded = encode_program(&program, &profile, &config).unwrap();
+        assert!(encoded.report.encoded.is_empty());
+        assert_eq!(encoded.text, program.text);
+        assert!(encoded
+            .report
+            .demoted
+            .iter()
+            .any(|(_, r)| *r == DemotionReason::TtCapacity));
+    }
+
+    #[test]
+    fn bbit_capacity_limits_block_count() {
+        // Two hot loops → two candidate blocks; BBIT of 1 takes only the
+        // hottest.
+        let source = r#"
+            .text
+    main:   li   $t0, 300
+    loop1:  xor  $t1, $t1, $t0
+            addiu $t0, $t0, -1
+            bgtz $t0, loop1
+            li   $t0, 100
+    loop2:  sll  $t2, $t0, 2
+            addiu $t0, $t0, -1
+            bgtz $t0, loop2
+            li   $v0, 10
+            syscall
+    "#;
+        let (program, profile) = profiled(source);
+        let config = EncoderConfig::default().with_bbit_capacity(1).with_max_loops(4);
+        let encoded = encode_program(&program, &profile, &config).unwrap();
+        assert_eq!(encoded.report.encoded.len(), 1);
+        // loop1 runs 300 times and must win.
+        assert_eq!(encoded.report.encoded[0].fetch_weight, 900);
+        assert!(encoded
+            .report
+            .demoted
+            .iter()
+            .any(|(_, r)| *r == DemotionReason::BbitCapacity));
+    }
+
+    #[test]
+    fn profile_length_is_validated() {
+        let (program, _) = profiled(LOOP_PROGRAM);
+        let err = encode_program(&program, &[0, 1], &EncoderConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::ProfileLength { .. }));
+    }
+
+    #[test]
+    fn no_loops_means_no_encoding() {
+        let (program, profile) = profiled(".text\nmain: li $t0, 1\nli $v0, 10\nsyscall\n");
+        let encoded =
+            encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
+        assert!(encoded.report.encoded.is_empty());
+        assert_eq!(encoded.text, program.text);
+        assert_eq!(encoded.static_saved_transitions(), 0);
+    }
+
+    #[test]
+    fn called_functions_join_the_region_when_asked() {
+        // A hot loop whose body calls a helper: by default the helper
+        // passes through (the paper's default, §7.2); with
+        // `with_called_functions(true)` it is encoded too.
+        let source = r#"
+            .text
+    main:   li   $s0, 300
+    loop:   jal  helper
+            addiu $s0, $s0, -1
+            bgtz $s0, loop
+            li   $v0, 10
+            syscall
+    helper: xor  $t1, $t1, $s0
+            sll  $t2, $t1, 3
+            srl  $t3, $t1, 5
+            addu $t4, $t2, $t3
+            subu $t5, $t4, $t1
+            jr   $ra
+    "#;
+        let (program, profile) = profiled(source);
+        let without =
+            encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
+        let with = encode_program(
+            &program,
+            &profile,
+            &EncoderConfig::default().with_called_functions(true),
+        )
+        .unwrap();
+        assert!(with.report.encoded.len() > without.report.encoded.len());
+        assert!(with.static_saved_transitions() > without.static_saved_transitions());
+        // The helper's 6-instruction block is among the encoded ones.
+        assert!(with.report.encoded.iter().any(|b| b.instructions == 6));
+        // Both schedules decode exactly on a real replay, and pulling the
+        // helper in improves the dynamic reduction.
+        let eval_without = crate::eval::evaluate(&program, &without, 1_000_000).unwrap();
+        let eval_with = crate::eval::evaluate(&program, &with, 1_000_000).unwrap();
+        assert_eq!(eval_without.decode_mismatches, 0);
+        assert_eq!(eval_with.decode_mismatches, 0);
+        assert!(eval_with.reduction_percent() > eval_without.reduction_percent());
+    }
+
+    #[test]
+    fn static_saved_transitions_accumulates() {
+        let (program, profile) = profiled(LOOP_PROGRAM);
+        let encoded =
+            encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
+        let info = &encoded.report.encoded[0];
+        assert_eq!(
+            encoded.static_saved_transitions(),
+            info.original_transitions - info.encoded_transitions
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Transition-aware instruction scheduling — compiler cooperation with the
+//! encoder (an extension beyond the paper).
+//!
+//! The encoding exploits vertical regularity across consecutive
+//! instructions, so the *order* of independent instructions inside a basic
+//! block changes how compressible the block is. This pass reorders each
+//! hot block's instructions, subject to data/memory/control dependences
+//! ([`imt_isa::effects::Effects`]), to minimise the block's **encoded**
+//! transition count; a reorder is kept only when the encoded cost actually
+//! improves.
+//!
+//! Correctness is by construction — every dependence (RAW/WAR/WAW on all
+//! register files, HI/LO, the FP flag, conservative memory ordering,
+//! barriers, and the pinned control-flow terminator) is preserved, so the
+//! reordered program computes bit-identical results (the kernel golden
+//! checksums still pass) — and belt-and-braces tests verify exactly that.
+
+use imt_cfg::Cfg;
+use imt_isa::decode::decode;
+use imt_isa::effects::Effects;
+use imt_isa::program::Program;
+
+use crate::config::EncoderConfig;
+use crate::error::CoreError;
+use crate::pipeline::BUS_WIDTH;
+use imt_bitcode::lanes::encode_words;
+use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+
+/// Outcome of scheduling one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleReport {
+    /// Blocks considered (hot-loop blocks with at least 3 instructions).
+    pub considered: usize,
+    /// Blocks actually reordered (encoded cost improved).
+    pub reordered: usize,
+    /// Static encoded transitions before scheduling, over considered blocks.
+    pub encoded_before: u64,
+    /// Static encoded transitions after scheduling, over considered blocks.
+    pub encoded_after: u64,
+}
+
+/// Reorders the hot-loop blocks of `program` to minimise their encoded
+/// transition count under `config`, returning the scheduled program and a
+/// report.
+///
+/// Only instruction order *within* basic blocks changes: block boundaries,
+/// sizes and terminators are untouched, so every branch target stays
+/// valid. Run the pipeline (`encode_program`) on the returned program.
+///
+/// # Errors
+///
+/// [`CoreError::Cfg`] if the text is malformed, [`CoreError::Codec`] on
+/// internal misuse.
+pub fn schedule_program(
+    program: &Program,
+    profile: &[u64],
+    config: &EncoderConfig,
+) -> Result<(Program, ScheduleReport), CoreError> {
+    let cfg = Cfg::build(program)?;
+    let loops = imt_cfg::hot_loops(&cfg, profile);
+    let codec = StreamCodec::new(
+        StreamCodecConfig::block_size(config.block_size())
+            .map_err(CoreError::Codec)?
+            .with_transforms(config.transforms())
+            .with_overlap(config.overlap())
+            .with_strategy(config.strategy()),
+    );
+
+    let mut scheduled = program.clone();
+    let mut report =
+        ScheduleReport { considered: 0, reordered: 0, encoded_before: 0, encoded_after: 0 };
+    let mut done = std::collections::BTreeSet::new();
+    for l in loops.iter().take(config.max_loops()) {
+        for &block_id in &l.natural_loop.body {
+            if !done.insert(block_id) {
+                continue;
+            }
+            let block = cfg.block(block_id);
+            if block.len < 3 {
+                continue;
+            }
+            report.considered += 1;
+            let words = &program.text[block.range()];
+            let before = encoded_cost(words, &codec)?;
+            let reordered = reorder_block(words)?;
+            let after = encoded_cost(&reordered, &codec)?;
+            report.encoded_before += before;
+            if after < before {
+                report.reordered += 1;
+                report.encoded_after += after;
+                scheduled.text[block.range()].copy_from_slice(&reordered);
+            } else {
+                report.encoded_after += before;
+            }
+        }
+    }
+    Ok((scheduled, report))
+}
+
+/// Static encoded transition count of a block under the codec.
+fn encoded_cost(words: &[u32], codec: &StreamCodec) -> Result<u64, CoreError> {
+    let wide: Vec<u64> = words.iter().map(|&w| w as u64).collect();
+    let encoding = encode_words(&wide, BUS_WIDTH, codec).map_err(CoreError::Codec)?;
+    Ok(encoding.transitions())
+}
+
+/// Greedy dependence-respecting reorder: list scheduling where, among the
+/// ready instructions, the one with the smallest Hamming distance to the
+/// previously emitted word is chosen (nearest-neighbour on the bus).
+///
+/// The final instruction is pinned if it is a control transfer; a trailing
+/// `syscall` barrier likewise pins itself. Returns the words in the new
+/// order (which may equal the input).
+///
+/// # Errors
+///
+/// [`CoreError::Cfg`] wrapping is not used here; undecodable words are an
+/// internal error surfaced as [`CoreError::Codec`]-free panic in debug —
+/// callers pass assembler output, validated by `Cfg::build` beforehand.
+fn reorder_block(words: &[u32]) -> Result<Vec<u32>, CoreError> {
+    let n = words.len();
+    let effects: Vec<Effects> = words
+        .iter()
+        .map(|&w| decode(w).map(Effects::of))
+        .collect::<Result<_, _>>()
+        .map_err(|e| {
+            CoreError::Cfg(imt_cfg::CfgError::InvalidInstruction { index: 0, word: e.word })
+        })?;
+
+    // Dependence edges: i -> j (i before j) for every original pair with a
+    // hazard. The terminator (control or barrier at the end) is pinned by
+    // adding an edge from every other instruction.
+    let mut predecessors: Vec<u32> = vec![0; n]; // count of unmet deps
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let pinned_last = effects[n - 1].control || effects[n - 1].barrier;
+    for i in 0..n {
+        for j in i + 1..n {
+            let ordered = effects[i].must_precede(&effects[j])
+                || (pinned_last && j == n - 1);
+            if ordered {
+                successors[i].push(j);
+                predecessors[j] += 1;
+            }
+        }
+    }
+
+    let mut ready: Vec<usize> = (0..n).filter(|&i| predecessors[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut previous: Option<u32> = None;
+    while let Some(&first) = ready.first() {
+        // Choose the ready instruction closest to the previous word on the
+        // bus; break ties by original position (stability).
+        let mut best = first;
+        let mut best_key = (u32::MAX, usize::MAX);
+        for &candidate in &ready {
+            let distance = match previous {
+                Some(prev) => (prev ^ words[candidate]).count_ones(),
+                None => 0, // first pick: keep original order
+            };
+            let key = (distance, candidate);
+            if key < best_key {
+                best_key = key;
+                best = candidate;
+            }
+            if previous.is_none() {
+                break; // stability: take the original first instruction
+            }
+        }
+        ready.retain(|&i| i != best);
+        order.push(best);
+        previous = Some(words[best]);
+        for &next in &successors[best] {
+            predecessors[next] -= 1;
+            if predecessors[next] == 0 {
+                ready.push(next);
+            }
+        }
+        ready.sort_unstable();
+    }
+    debug_assert_eq!(order.len(), n, "dependence graph must be acyclic");
+    Ok(order.into_iter().map(|i| words[i]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_isa::asm::assemble;
+    use imt_sim::Cpu;
+
+    #[test]
+    fn reorder_preserves_dependences() {
+        // lui/ori pair must stay ordered; independent xors may move.
+        let program = assemble(
+            r#"
+            .text
+    main:   lui  $t0, 0x1234
+            ori  $t0, $t0, 0x5678
+            xor  $t1, $t2, $t3
+            xor  $t4, $t5, $t6
+            jr   $ra
+    "#,
+        )
+        .unwrap();
+        let reordered = reorder_block(&program.text).unwrap();
+        let pos = |w: u32| reordered.iter().position(|&x| x == w).unwrap();
+        assert!(pos(program.text[0]) < pos(program.text[1]), "lui before ori");
+        assert_eq!(*reordered.last().unwrap(), program.text[4], "jr stays last");
+        // Same multiset of words.
+        let mut a = reordered.clone();
+        let mut b = program.text.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scheduled_kernels_still_match_their_golden_models() {
+        for kernel in imt_kernels::Kernel::ALL {
+            let spec = kernel.test_spec();
+            let program = spec.assemble();
+            let mut cpu = Cpu::new(&program).unwrap();
+            cpu.run(spec.max_steps).unwrap();
+            let profile = cpu.profile().to_vec();
+            let (scheduled, report) =
+                schedule_program(&program, &profile, &EncoderConfig::default()).unwrap();
+            assert!(report.considered > 0, "{}", spec.name);
+            let mut cpu = Cpu::new(&scheduled).unwrap();
+            cpu.run(spec.max_steps).unwrap();
+            assert_eq!(
+                cpu.stdout(),
+                spec.expected_output,
+                "{}: scheduling changed program behaviour",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn scheduling_never_increases_static_encoded_cost() {
+        for kernel in imt_kernels::Kernel::ALL {
+            let spec = kernel.test_spec();
+            let program = spec.assemble();
+            let mut cpu = Cpu::new(&program).unwrap();
+            cpu.run(spec.max_steps).unwrap();
+            let (_, report) =
+                schedule_program(&program, cpu.profile(), &EncoderConfig::default()).unwrap();
+            assert!(
+                report.encoded_after <= report.encoded_before,
+                "{}: {} > {}",
+                spec.name,
+                report.encoded_after,
+                report.encoded_before
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_program_survives_the_full_pipeline() {
+        let spec = imt_kernels::Kernel::Lu.test_spec();
+        let program = spec.assemble();
+        let mut cpu = Cpu::new(&program).unwrap();
+        cpu.run(spec.max_steps).unwrap();
+        let config = EncoderConfig::default();
+        let (scheduled, _) =
+            schedule_program(&program, cpu.profile(), &config).unwrap();
+        // Re-profile the scheduled program (same counts, but indices moved).
+        let mut cpu = Cpu::new(&scheduled).unwrap();
+        cpu.run(spec.max_steps).unwrap();
+        let encoded =
+            crate::pipeline::encode_program(&scheduled, cpu.profile(), &config).unwrap();
+        let eval = crate::eval::evaluate(&scheduled, &encoded, spec.max_steps).unwrap();
+        assert_eq!(eval.decode_mismatches, 0);
+        assert_eq!(eval.stdout, spec.expected_output);
+    }
+
+    #[test]
+    fn blocks_without_freedom_are_left_alone() {
+        // A fully serial dependence chain cannot be reordered.
+        let program = assemble(
+            r#"
+            .text
+    main:   addiu $t0, $zero, 1
+            addiu $t0, $t0, 2
+            addiu $t0, $t0, 3
+            addiu $t0, $t0, 4
+            jr    $ra
+    "#,
+        )
+        .unwrap();
+        let reordered = reorder_block(&program.text).unwrap();
+        assert_eq!(reordered, program.text);
+    }
+}

@@ -1,0 +1,295 @@
+//! Bit-packed TT/BBIT firmware images.
+//!
+//! §7.1 of the paper describes two ways the transformation information
+//! reaches the hardware: loaded "at the same time as the application code
+//! upload" (firmware) or written "by software prior to entering the loop"
+//! through a peripheral interface. Either way, what travels is a packed
+//! table image. This module defines that image precisely, at the bit
+//! granularity the hardware would store:
+//!
+//! ```text
+//! header:  magic "TTB1" (32) | lanes (8) | control_bits (8) |
+//!          block_size (8) | overlap (8) | tt_count (16) | bbit_count (16)
+//! TT:      per entry: lanes × control_bits of τ selectors (preference-
+//!          order index into the transform set), 1 E bit, 8 CT bits
+//! BBIT:    per entry: 32-bit PC, 16-bit TT index
+//! ```
+//!
+//! All fields are little-endian bit order within a contiguous bit stream;
+//! the stream is padded to a byte boundary at the end of each section.
+//! The round trip is exact, and the image size matches
+//! [`HardwareBudget`](crate::hardware::HardwareBudget) up to the declared
+//! field widths.
+
+use imt_bitcode::block::OverlapHistory;
+use imt_bitcode::{Transform, TransformSet};
+
+use crate::error::CoreError;
+use crate::hardware::{Bbit, BbitEntry, TransformationTable, TtEntry};
+use crate::pipeline::EncodedProgram;
+
+const MAGIC: u32 = u32::from_le_bytes(*b"TTB1");
+
+/// A little-endian bit-stream writer.
+#[derive(Debug, Default)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit: usize,
+}
+
+impl BitWriter {
+    fn push(&mut self, value: u64, bits: usize) {
+        for i in 0..bits {
+            if self.bit == 0 {
+                self.bytes.push(0);
+            }
+            let byte = self.bytes.last_mut().expect("pushed above");
+            *byte |= (((value >> i) & 1) as u8) << self.bit;
+            self.bit = (self.bit + 1) % 8;
+        }
+    }
+
+    fn align(&mut self) {
+        self.bit = 0;
+    }
+}
+
+/// A little-endian bit-stream reader.
+#[derive(Debug)]
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    position: usize,
+}
+
+impl BitReader<'_> {
+    fn pull(&mut self, bits: usize) -> Result<u64, CoreError> {
+        let mut value = 0u64;
+        for i in 0..bits {
+            let byte = self.position / 8;
+            let bit = self.position % 8;
+            let Some(&b) = self.bytes.get(byte) else {
+                return Err(CoreError::TableImage { detail: "truncated image" });
+            };
+            value |= u64::from(b >> bit & 1) << i;
+            self.position += 1;
+        }
+        Ok(value)
+    }
+
+    fn align(&mut self) {
+        self.position = self.position.div_ceil(8) * 8;
+    }
+}
+
+/// Serialises an encoded program's tables into the packed firmware image.
+///
+/// The transform selectors are indices into the configured transform set's
+/// preference-order members ([`TransformSet::iter`]), exactly the compact
+/// encoding the paper's 3-control-bit argument assumes.
+///
+/// # Errors
+///
+/// [`CoreError::TableImage`] if a TT entry uses a transform outside the
+/// configured set (cannot happen for pipeline output).
+pub fn pack_tables(encoded: &EncodedProgram) -> Result<Vec<u8>, CoreError> {
+    let set = encoded.config.transforms();
+    let members: Vec<Transform> = set.iter().collect();
+    let control_bits = set.control_bits().max(1) as usize;
+    let lanes = crate::pipeline::BUS_WIDTH;
+
+    let mut w = BitWriter::default();
+    w.push(u64::from(MAGIC), 32);
+    w.push(lanes as u64, 8);
+    w.push(control_bits as u64, 8);
+    w.push(encoded.config.block_size() as u64, 8);
+    w.push(matches!(encoded.config.overlap(), OverlapHistory::Decoded) as u64, 8);
+    w.push(encoded.tt.len() as u64, 16);
+    w.push(encoded.bbit.len() as u64, 16);
+    w.align();
+
+    for entry in encoded.tt.entries() {
+        for &transform in &entry.lane_transforms {
+            let index = members.iter().position(|&t| t == transform).ok_or(
+                CoreError::TableImage { detail: "transform outside the configured set" },
+            )?;
+            w.push(index as u64, control_bits);
+        }
+        w.push(entry.end as u64, 1);
+        w.push(entry.covers as u64, 8);
+    }
+    w.align();
+
+    for entry in encoded.bbit.entries() {
+        w.push(u64::from(entry.pc), 32);
+        w.push(entry.tt_index as u64, 16);
+    }
+    w.align();
+    Ok(w.bytes)
+}
+
+/// The tables and configuration recovered from a packed image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnpackedTables {
+    /// The Transformation Table contents.
+    pub tt: TransformationTable,
+    /// The BBIT contents.
+    pub bbit: Bbit,
+    /// Block size the schedule was built for.
+    pub block_size: usize,
+    /// Overlap-history semantics.
+    pub overlap: OverlapHistory,
+}
+
+/// Parses a packed firmware image produced by [`pack_tables`].
+///
+/// `set` must be the transform set the image was packed against (its
+/// preference order defines the selector meaning), as the hardware's gate
+/// wiring would.
+///
+/// # Errors
+///
+/// [`CoreError::TableImage`] for a bad magic, truncation, or out-of-range
+/// selectors.
+pub fn unpack_tables(bytes: &[u8], set: TransformSet) -> Result<UnpackedTables, CoreError> {
+    let members: Vec<Transform> = set.iter().collect();
+    let mut r = BitReader { bytes, position: 0 };
+    if r.pull(32)? != u64::from(MAGIC) {
+        return Err(CoreError::TableImage { detail: "bad magic" });
+    }
+    let lanes = r.pull(8)? as usize;
+    let control_bits = r.pull(8)? as usize;
+    let block_size = r.pull(8)? as usize;
+    let overlap =
+        if r.pull(8)? == 1 { OverlapHistory::Decoded } else { OverlapHistory::Stored };
+    let tt_count = r.pull(16)? as usize;
+    let bbit_count = r.pull(16)? as usize;
+    if control_bits != set.control_bits().max(1) as usize {
+        return Err(CoreError::TableImage { detail: "selector width does not match the set" });
+    }
+    r.align();
+
+    let mut tt = TransformationTable::new();
+    for _ in 0..tt_count {
+        let mut lane_transforms = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let index = r.pull(control_bits)? as usize;
+            let transform = members.get(index).copied().ok_or(CoreError::TableImage {
+                detail: "selector outside the configured set",
+            })?;
+            lane_transforms.push(transform);
+        }
+        let end = r.pull(1)? == 1;
+        let covers = r.pull(8)? as usize;
+        tt.push(TtEntry { lane_transforms, end, covers });
+    }
+    r.align();
+
+    let mut bbit = Bbit::new();
+    for _ in 0..bbit_count {
+        let pc = r.pull(32)? as u32;
+        let tt_index = r.pull(16)? as usize;
+        if tt_index >= tt.len().max(1) && tt_count > 0 {
+            return Err(CoreError::TableImage { detail: "BBIT index outside the TT" });
+        }
+        bbit.push(BbitEntry { pc, tt_index });
+    }
+    Ok(UnpackedTables { tt, bbit, block_size, overlap })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncoderConfig;
+    use crate::pipeline::encode_program;
+    use imt_sim::Cpu;
+
+    fn encoded_fixture(config: &EncoderConfig) -> (imt_isa::Program, EncodedProgram) {
+        let program = imt_isa::asm::assemble(
+            r#"
+            .text
+    main:   li   $t0, 400
+    loop:   xor  $t1, $t1, $t0
+            sll  $t2, $t1, 3
+            srl  $t3, $t1, 7
+            addu $t4, $t2, $t3
+            addiu $t0, $t0, -1
+            bgtz $t0, loop
+            li   $v0, 10
+            syscall
+    "#,
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(&program).unwrap();
+        cpu.run(100_000).unwrap();
+        let encoded = encode_program(&program, cpu.profile(), config).unwrap();
+        (program, encoded)
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for config in [
+            EncoderConfig::default(),
+            EncoderConfig::default()
+                .with_transforms(imt_bitcode::TransformSet::ALL_SIXTEEN)
+                .with_overlap(OverlapHistory::Decoded),
+            EncoderConfig::default().with_block_size(7).unwrap(),
+        ] {
+            let (_, encoded) = encoded_fixture(&config);
+            let image = pack_tables(&encoded).unwrap();
+            let unpacked = unpack_tables(&image, config.transforms()).unwrap();
+            assert_eq!(unpacked.tt, encoded.tt);
+            assert_eq!(unpacked.bbit, encoded.bbit);
+            assert_eq!(unpacked.block_size, config.block_size());
+            assert_eq!(unpacked.overlap, config.overlap());
+        }
+    }
+
+    #[test]
+    fn unpacked_tables_drive_the_decoder_identically() {
+        let config = EncoderConfig::default();
+        let (program, encoded) = encoded_fixture(&config);
+        let image = pack_tables(&encoded).unwrap();
+        let unpacked = unpack_tables(&image, config.transforms()).unwrap();
+        // Rebuild an EncodedProgram around the unpacked tables and verify
+        // the dynamic replay end to end.
+        let rebuilt = EncodedProgram {
+            tt: unpacked.tt,
+            bbit: unpacked.bbit,
+            ..encoded.clone()
+        };
+        let eval = crate::eval::evaluate(&program, &rebuilt, 100_000).unwrap();
+        assert_eq!(eval.decode_mismatches, 0);
+    }
+
+    #[test]
+    fn image_size_matches_the_hardware_budget_shape() {
+        let (_, encoded) = encoded_fixture(&EncoderConfig::default());
+        let image = pack_tables(&encoded).unwrap();
+        // Header 12 bytes + per-entry payloads; the paper's point is that
+        // this is tiny. 16-entry budget: 16 × (96 + 9) bits ≈ 210 bytes.
+        assert!(image.len() < 300, "image is {} bytes", image.len());
+        // TT section: entries × (32×3 + 1 + 8) bits.
+        let tt_bits = encoded.tt.len() * (32 * 3 + 1 + 8);
+        let bbit_bits = encoded.bbit.len() * 48;
+        let expected = 12 + tt_bits.div_ceil(8) + bbit_bits.div_ceil(8);
+        assert_eq!(image.len(), expected);
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let (_, encoded) = encoded_fixture(&EncoderConfig::default());
+        let image = pack_tables(&encoded).unwrap();
+        let set = encoded.config.transforms();
+        // Bad magic.
+        let mut bad = image.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            unpack_tables(&bad, set),
+            Err(CoreError::TableImage { detail: "bad magic" })
+        ));
+        // Truncation.
+        assert!(unpack_tables(&image[..image.len() - 4], set).is_err());
+        // Wrong set (selector width mismatch: 8-fn image vs identity-only).
+        assert!(unpack_tables(&image, imt_bitcode::TransformSet::IDENTITY_ONLY).is_err());
+    }
+}

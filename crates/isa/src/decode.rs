@@ -1,0 +1,275 @@
+//! Instruction decoding: 32-bit machine word → [`Inst`].
+
+use crate::encode::*;
+use crate::error::DecodeError;
+use crate::inst::Inst;
+use crate::reg::{FReg, Reg};
+
+/// Decodes a 32-bit machine word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words that do not correspond to any
+/// instruction of this ISA (reserved opcodes, unknown funct fields, or
+/// unsupported coprocessor selectors).
+///
+/// ```
+/// use imt_isa::decode::decode;
+/// use imt_isa::{Inst, Reg};
+///
+/// # fn main() -> Result<(), imt_isa::DecodeError> {
+/// let inst = decode(0x0109_5021)?; // addu $t2, $t0, $t1
+/// assert_eq!(inst, Inst::Addu { rd: Reg::new(10), rs: Reg::new(8), rt: Reg::new(9) });
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let op = word >> 26;
+    let rs = Reg::from_field(word >> 21);
+    let rt = Reg::from_field(word >> 16);
+    let rd = Reg::from_field(word >> 11);
+    let shamt = (word >> 6 & 0x1F) as u8;
+    let funct = word & 0x3F;
+    let imm = word as u16;
+    let simm = imm as i16;
+    let target = word & 0x03FF_FFFF;
+
+    let inst = match op {
+        OP_SPECIAL => match funct {
+            F_SLL => Inst::Sll { rd, rt, shamt },
+            F_SRL => Inst::Srl { rd, rt, shamt },
+            F_SRA => Inst::Sra { rd, rt, shamt },
+            F_SLLV => Inst::Sllv { rd, rt, rs },
+            F_SRLV => Inst::Srlv { rd, rt, rs },
+            F_SRAV => Inst::Srav { rd, rt, rs },
+            F_JR => Inst::Jr { rs },
+            F_JALR => Inst::Jalr { rd, rs },
+            F_SYSCALL => Inst::Syscall,
+            F_BREAK => Inst::Break,
+            F_MFHI => Inst::Mfhi { rd },
+            F_MTHI => Inst::Mthi { rs },
+            F_MFLO => Inst::Mflo { rd },
+            F_MTLO => Inst::Mtlo { rs },
+            F_MULT => Inst::Mult { rs, rt },
+            F_MULTU => Inst::Multu { rs, rt },
+            F_DIV => Inst::Div { rs, rt },
+            F_DIVU => Inst::Divu { rs, rt },
+            F_ADD => Inst::Add { rd, rs, rt },
+            F_ADDU => Inst::Addu { rd, rs, rt },
+            F_SUB => Inst::Sub { rd, rs, rt },
+            F_SUBU => Inst::Subu { rd, rs, rt },
+            F_AND => Inst::And { rd, rs, rt },
+            F_OR => Inst::Or { rd, rs, rt },
+            F_XOR => Inst::Xor { rd, rs, rt },
+            F_NOR => Inst::Nor { rd, rs, rt },
+            F_SLT => Inst::Slt { rd, rs, rt },
+            F_SLTU => Inst::Sltu { rd, rs, rt },
+            _ => return Err(DecodeError { word }),
+        },
+        OP_SPECIAL2 => match funct {
+            F2_MUL => Inst::Mul { rd, rs, rt },
+            _ => return Err(DecodeError { word }),
+        },
+        OP_REGIMM => match rt.number() {
+            0 => Inst::Bltz { rs, offset: simm },
+            1 => Inst::Bgez { rs, offset: simm },
+            _ => return Err(DecodeError { word }),
+        },
+        OP_J => Inst::J { target },
+        OP_JAL => Inst::Jal { target },
+        OP_BEQ => Inst::Beq { rs, rt, offset: simm },
+        OP_BNE => Inst::Bne { rs, rt, offset: simm },
+        OP_BLEZ => Inst::Blez { rs, offset: simm },
+        OP_BGTZ => Inst::Bgtz { rs, offset: simm },
+        OP_ADDI => Inst::Addi { rt, rs, imm: simm },
+        OP_ADDIU => Inst::Addiu { rt, rs, imm: simm },
+        OP_SLTI => Inst::Slti { rt, rs, imm: simm },
+        OP_SLTIU => Inst::Sltiu { rt, rs, imm: simm },
+        OP_ANDI => Inst::Andi { rt, rs, imm },
+        OP_ORI => Inst::Ori { rt, rs, imm },
+        OP_XORI => Inst::Xori { rt, rs, imm },
+        OP_LUI => Inst::Lui { rt, imm },
+        OP_COP1 => {
+            let sel = word >> 21 & 0x1F;
+            let fs = FReg::from_field(word >> 11);
+            let ft = FReg::from_field(word >> 16);
+            let fd = FReg::from_field(word >> 6);
+            match sel {
+                C1_MFC1 => Inst::Mfc1 { rt, fs },
+                C1_MTC1 => Inst::Mtc1 { rt, fs },
+                C1_BC => match rt.number() {
+                    0 => Inst::Bc1f { offset: simm },
+                    1 => Inst::Bc1t { offset: simm },
+                    _ => return Err(DecodeError { word }),
+                },
+                FMT_D => match funct {
+                    FC_ADD => Inst::AddD { fd, fs, ft },
+                    FC_SUB => Inst::SubD { fd, fs, ft },
+                    FC_MUL => Inst::MulD { fd, fs, ft },
+                    FC_DIV => Inst::DivD { fd, fs, ft },
+                    FC_SQRT => Inst::SqrtD { fd, fs },
+                    FC_ABS => Inst::AbsD { fd, fs },
+                    FC_MOV => Inst::MovD { fd, fs },
+                    FC_NEG => Inst::NegD { fd, fs },
+                    FC_CVT_W => Inst::CvtWD { fd, fs },
+                    FC_C_EQ => Inst::CEqD { fs, ft },
+                    FC_C_LT => Inst::CLtD { fs, ft },
+                    FC_C_LE => Inst::CLeD { fs, ft },
+                    _ => return Err(DecodeError { word }),
+                },
+                FMT_W => match funct {
+                    FC_CVT_D => Inst::CvtDW { fd, fs },
+                    _ => return Err(DecodeError { word }),
+                },
+                _ => return Err(DecodeError { word }),
+            }
+        }
+        OP_LB => Inst::Lb { rt, base: rs, offset: simm },
+        OP_LBU => Inst::Lbu { rt, base: rs, offset: simm },
+        OP_LH => Inst::Lh { rt, base: rs, offset: simm },
+        OP_LHU => Inst::Lhu { rt, base: rs, offset: simm },
+        OP_LW => Inst::Lw { rt, base: rs, offset: simm },
+        OP_SB => Inst::Sb { rt, base: rs, offset: simm },
+        OP_SH => Inst::Sh { rt, base: rs, offset: simm },
+        OP_SW => Inst::Sw { rt, base: rs, offset: simm },
+        OP_LWC1 => Inst::Lwc1 { ft: FReg::from_field(word >> 16), base: rs, offset: simm },
+        OP_SWC1 => Inst::Swc1 { ft: FReg::from_field(word >> 16), base: rs, offset: simm },
+        OP_LDC1 => Inst::Ldc1 { ft: FReg::from_field(word >> 16), base: rs, offset: simm },
+        OP_SDC1 => Inst::Sdc1 { ft: FReg::from_field(word >> 16), base: rs, offset: simm },
+        _ => return Err(DecodeError { word }),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    /// Enumerates a representative instruction of every variant with
+    /// non-trivial operand values.
+    pub(crate) fn sample_instructions() -> Vec<Inst> {
+        use Inst::*;
+        let r1 = Reg::new(8);
+        let r2 = Reg::new(9);
+        let r3 = Reg::new(10);
+        let f1 = FReg::new(2);
+        let f2 = FReg::new(4);
+        let f3 = FReg::new(6);
+        vec![
+            Add { rd: r3, rs: r1, rt: r2 },
+            Addu { rd: r3, rs: r1, rt: r2 },
+            Sub { rd: r3, rs: r1, rt: r2 },
+            Subu { rd: r3, rs: r1, rt: r2 },
+            And { rd: r3, rs: r1, rt: r2 },
+            Or { rd: r3, rs: r1, rt: r2 },
+            Xor { rd: r3, rs: r1, rt: r2 },
+            Nor { rd: r3, rs: r1, rt: r2 },
+            Slt { rd: r3, rs: r1, rt: r2 },
+            Sltu { rd: r3, rs: r1, rt: r2 },
+            Mul { rd: r3, rs: r1, rt: r2 },
+            Sll { rd: r3, rt: r2, shamt: 5 },
+            Srl { rd: r3, rt: r2, shamt: 31 },
+            Sra { rd: r3, rt: r2, shamt: 1 },
+            Sllv { rd: r3, rt: r2, rs: r1 },
+            Srlv { rd: r3, rt: r2, rs: r1 },
+            Srav { rd: r3, rt: r2, rs: r1 },
+            Mult { rs: r1, rt: r2 },
+            Multu { rs: r1, rt: r2 },
+            Div { rs: r1, rt: r2 },
+            Divu { rs: r1, rt: r2 },
+            Mfhi { rd: r3 },
+            Mflo { rd: r3 },
+            Mthi { rs: r1 },
+            Mtlo { rs: r1 },
+            Addi { rt: r2, rs: r1, imm: -7 },
+            Addiu { rt: r2, rs: r1, imm: 1234 },
+            Slti { rt: r2, rs: r1, imm: -1 },
+            Sltiu { rt: r2, rs: r1, imm: 99 },
+            Andi { rt: r2, rs: r1, imm: 0xFF00 },
+            Ori { rt: r2, rs: r1, imm: 0x00FF },
+            Xori { rt: r2, rs: r1, imm: 0xAAAA },
+            Lui { rt: r2, imm: 0x1001 },
+            Beq { rs: r1, rt: r2, offset: -5 },
+            Bne { rs: r1, rt: r2, offset: 12 },
+            Blez { rs: r1, offset: 3 },
+            Bgtz { rs: r1, offset: -3 },
+            Bltz { rs: r1, offset: 2 },
+            Bgez { rs: r1, offset: -2 },
+            J { target: 0x0010_0000 },
+            Jal { target: 0x0010_0004 },
+            Jr { rs: Reg::RA },
+            Jalr { rd: Reg::RA, rs: r1 },
+            Lb { rt: r2, base: r1, offset: -4 },
+            Lbu { rt: r2, base: r1, offset: 4 },
+            Lh { rt: r2, base: r1, offset: -2 },
+            Lhu { rt: r2, base: r1, offset: 2 },
+            Lw { rt: r2, base: r1, offset: 8 },
+            Sb { rt: r2, base: r1, offset: 1 },
+            Sh { rt: r2, base: r1, offset: 2 },
+            Sw { rt: r2, base: r1, offset: -8 },
+            Lwc1 { ft: f1, base: r1, offset: 16 },
+            Swc1 { ft: f1, base: r1, offset: -16 },
+            Ldc1 { ft: f2, base: r1, offset: 24 },
+            Sdc1 { ft: f2, base: r1, offset: -24 },
+            AddD { fd: f3, fs: f1, ft: f2 },
+            SubD { fd: f3, fs: f1, ft: f2 },
+            MulD { fd: f3, fs: f1, ft: f2 },
+            DivD { fd: f3, fs: f1, ft: f2 },
+            SqrtD { fd: f3, fs: f1 },
+            AbsD { fd: f3, fs: f1 },
+            MovD { fd: f3, fs: f1 },
+            NegD { fd: f3, fs: f1 },
+            CvtDW { fd: f3, fs: f1 },
+            CvtWD { fd: f3, fs: f1 },
+            CEqD { fs: f1, ft: f2 },
+            CLtD { fs: f1, ft: f2 },
+            CLeD { fs: f1, ft: f2 },
+            Bc1t { offset: 7 },
+            Bc1f { offset: -7 },
+            Mfc1 { rt: r2, fs: f1 },
+            Mtc1 { rt: r2, fs: f1 },
+            Syscall,
+            Break,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip_every_variant() {
+        for inst in sample_instructions() {
+            let word = encode(inst);
+            assert_eq!(decode(word), Ok(inst), "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn round_trip_over_operand_space() {
+        // Sweep register fields and immediates for a few shapes.
+        for a in 0..32u8 {
+            for b in [0u8, 1, 15, 31] {
+                let inst = Inst::Addu { rd: Reg::new(a), rs: Reg::new(b), rt: Reg::new(a ^ b) };
+                assert_eq!(decode(encode(inst)), Ok(inst));
+                let inst = Inst::Lw { rt: Reg::new(a), base: Reg::new(b), offset: -32768 };
+                assert_eq!(decode(encode(inst)), Ok(inst));
+                let inst =
+                    Inst::Ldc1 { ft: FReg::new(a), base: Reg::new(b), offset: 32767 };
+                assert_eq!(decode(encode(inst)), Ok(inst));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_reserved_words() {
+        assert!(decode(0xFFFF_FFFF).is_err()); // opcode 0x3F
+        assert!(decode(0x0000_003F).is_err()); // SPECIAL funct 0x3F
+        assert!(decode(0x7000_0000).is_err()); // SPECIAL2 funct 0
+        let err = decode(0xFC00_0000).unwrap_err();
+        assert_eq!(err.word, 0xFC00_0000);
+        assert!(err.to_string().contains("fc000000"));
+    }
+
+    #[test]
+    fn nop_decodes_to_sll_zero() {
+        assert_eq!(decode(0), Ok(Inst::NOP));
+    }
+}

@@ -1,0 +1,193 @@
+//! Textual disassembly of decoded instructions.
+
+use crate::inst::Inst;
+
+/// Renders an instruction in assembler syntax.
+///
+/// The output of `disassemble` re-assembles to the same machine word
+/// (branch/jump targets are printed numerically, which the assembler
+/// accepts for jumps via `.word`-free absolute targets is *not* supported —
+/// the disassembly is intended for diagnostics, dumps and tests of
+/// non-control instructions).
+///
+/// ```
+/// use imt_isa::disasm::disassemble;
+/// use imt_isa::{Inst, Reg};
+///
+/// let inst = Inst::Addu { rd: Reg::new(10), rs: Reg::new(8), rt: Reg::new(9) };
+/// assert_eq!(disassemble(inst), "addu $t2, $t0, $t1");
+/// ```
+pub fn disassemble(inst: Inst) -> String {
+    use Inst::*;
+    match inst {
+        Sll { rd, rt, shamt } if inst == Inst::NOP => {
+            let _ = (rd, rt, shamt);
+            "nop".to_string()
+        }
+        Add { rd, rs, rt } => format!("add {rd}, {rs}, {rt}"),
+        Addu { rd, rs, rt } => format!("addu {rd}, {rs}, {rt}"),
+        Sub { rd, rs, rt } => format!("sub {rd}, {rs}, {rt}"),
+        Subu { rd, rs, rt } => format!("subu {rd}, {rs}, {rt}"),
+        And { rd, rs, rt } => format!("and {rd}, {rs}, {rt}"),
+        Or { rd, rs, rt } => format!("or {rd}, {rs}, {rt}"),
+        Xor { rd, rs, rt } => format!("xor {rd}, {rs}, {rt}"),
+        Nor { rd, rs, rt } => format!("nor {rd}, {rs}, {rt}"),
+        Slt { rd, rs, rt } => format!("slt {rd}, {rs}, {rt}"),
+        Sltu { rd, rs, rt } => format!("sltu {rd}, {rs}, {rt}"),
+        Mul { rd, rs, rt } => format!("mul {rd}, {rs}, {rt}"),
+        Sll { rd, rt, shamt } => format!("sll {rd}, {rt}, {shamt}"),
+        Srl { rd, rt, shamt } => format!("srl {rd}, {rt}, {shamt}"),
+        Sra { rd, rt, shamt } => format!("sra {rd}, {rt}, {shamt}"),
+        Sllv { rd, rt, rs } => format!("sllv {rd}, {rt}, {rs}"),
+        Srlv { rd, rt, rs } => format!("srlv {rd}, {rt}, {rs}"),
+        Srav { rd, rt, rs } => format!("srav {rd}, {rt}, {rs}"),
+        Mult { rs, rt } => format!("mult {rs}, {rt}"),
+        Multu { rs, rt } => format!("multu {rs}, {rt}"),
+        Div { rs, rt } => format!("div {rs}, {rt}"),
+        Divu { rs, rt } => format!("divu {rs}, {rt}"),
+        Mfhi { rd } => format!("mfhi {rd}"),
+        Mflo { rd } => format!("mflo {rd}"),
+        Mthi { rs } => format!("mthi {rs}"),
+        Mtlo { rs } => format!("mtlo {rs}"),
+        Addi { rt, rs, imm } => format!("addi {rt}, {rs}, {imm}"),
+        Addiu { rt, rs, imm } => format!("addiu {rt}, {rs}, {imm}"),
+        Slti { rt, rs, imm } => format!("slti {rt}, {rs}, {imm}"),
+        Sltiu { rt, rs, imm } => format!("sltiu {rt}, {rs}, {imm}"),
+        Andi { rt, rs, imm } => format!("andi {rt}, {rs}, {imm:#x}"),
+        Ori { rt, rs, imm } => format!("ori {rt}, {rs}, {imm:#x}"),
+        Xori { rt, rs, imm } => format!("xori {rt}, {rs}, {imm:#x}"),
+        Lui { rt, imm } => format!("lui {rt}, {imm:#x}"),
+        Beq { rs, rt, offset } => format!("beq {rs}, {rt}, {offset}"),
+        Bne { rs, rt, offset } => format!("bne {rs}, {rt}, {offset}"),
+        Blez { rs, offset } => format!("blez {rs}, {offset}"),
+        Bgtz { rs, offset } => format!("bgtz {rs}, {offset}"),
+        Bltz { rs, offset } => format!("bltz {rs}, {offset}"),
+        Bgez { rs, offset } => format!("bgez {rs}, {offset}"),
+        J { target } => format!("j {:#x}", target << 2),
+        Jal { target } => format!("jal {:#x}", target << 2),
+        Jr { rs } => format!("jr {rs}"),
+        Jalr { rd, rs } => format!("jalr {rd}, {rs}"),
+        Lb { rt, base, offset } => format!("lb {rt}, {offset}({base})"),
+        Lbu { rt, base, offset } => format!("lbu {rt}, {offset}({base})"),
+        Lh { rt, base, offset } => format!("lh {rt}, {offset}({base})"),
+        Lhu { rt, base, offset } => format!("lhu {rt}, {offset}({base})"),
+        Lw { rt, base, offset } => format!("lw {rt}, {offset}({base})"),
+        Sb { rt, base, offset } => format!("sb {rt}, {offset}({base})"),
+        Sh { rt, base, offset } => format!("sh {rt}, {offset}({base})"),
+        Sw { rt, base, offset } => format!("sw {rt}, {offset}({base})"),
+        Lwc1 { ft, base, offset } => format!("lwc1 {ft}, {offset}({base})"),
+        Swc1 { ft, base, offset } => format!("swc1 {ft}, {offset}({base})"),
+        Ldc1 { ft, base, offset } => format!("ldc1 {ft}, {offset}({base})"),
+        Sdc1 { ft, base, offset } => format!("sdc1 {ft}, {offset}({base})"),
+        AddD { fd, fs, ft } => format!("add.d {fd}, {fs}, {ft}"),
+        SubD { fd, fs, ft } => format!("sub.d {fd}, {fs}, {ft}"),
+        MulD { fd, fs, ft } => format!("mul.d {fd}, {fs}, {ft}"),
+        DivD { fd, fs, ft } => format!("div.d {fd}, {fs}, {ft}"),
+        SqrtD { fd, fs } => format!("sqrt.d {fd}, {fs}"),
+        AbsD { fd, fs } => format!("abs.d {fd}, {fs}"),
+        MovD { fd, fs } => format!("mov.d {fd}, {fs}"),
+        NegD { fd, fs } => format!("neg.d {fd}, {fs}"),
+        CvtDW { fd, fs } => format!("cvt.d.w {fd}, {fs}"),
+        CvtWD { fd, fs } => format!("cvt.w.d {fd}, {fs}"),
+        CEqD { fs, ft } => format!("c.eq.d {fs}, {ft}"),
+        CLtD { fs, ft } => format!("c.lt.d {fs}, {ft}"),
+        CLeD { fs, ft } => format!("c.le.d {fs}, {ft}"),
+        Bc1t { offset } => format!("bc1t {offset}"),
+        Bc1f { offset } => format!("bc1f {offset}"),
+        Mfc1 { rt, fs } => format!("mfc1 {rt}, {fs}"),
+        Mtc1 { rt, fs } => format!("mtc1 {rt}, {fs}"),
+        Syscall => "syscall".to_string(),
+        Break => "break".to_string(),
+    }
+}
+
+/// Disassembles a machine word, rendering undecodable words as `.word`.
+pub fn disassemble_word(word: u32) -> String {
+    match crate::decode::decode(word) {
+        Ok(inst) => disassemble(inst),
+        Err(_) => format!(".word {word:#010x}"),
+    }
+}
+
+/// Produces an assembler-style listing of a whole program: addresses,
+/// machine words, labels from the symbol table, disassembly, and a data
+/// segment hex dump.
+///
+/// ```
+/// use imt_isa::asm::assemble;
+/// use imt_isa::disasm::listing;
+///
+/// # fn main() -> Result<(), imt_isa::AsmError> {
+/// let program = assemble(".data\nx: .word 7\n.text\nmain: jr $ra\n")?;
+/// let text = listing(&program);
+/// assert!(text.contains("main:"));
+/// assert!(text.contains("jr $ra"));
+/// assert!(text.contains("x:"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn listing(program: &crate::Program) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let labels_at = |address: u32, out: &mut String| {
+        for (name, &sym) in &program.symbols {
+            if sym == address {
+                writeln!(out, "{name}:").expect("write to String");
+            }
+        }
+    };
+    writeln!(out, "        .text  # {} instructions", program.text.len())
+        .expect("write to String");
+    for (index, &word) in program.text.iter().enumerate() {
+        let address = program.address_of_index(index);
+        labels_at(address, &mut out);
+        writeln!(out, "  {address:#010x}  {word:08x}  {}", disassemble_word(word))
+            .expect("write to String");
+    }
+    if !program.data.is_empty() {
+        writeln!(out, "        .data  # {} bytes", program.data.len())
+            .expect("write to String");
+        for (row_start, row) in program.data.chunks(16).enumerate() {
+            let address = program.data_base + (row_start as u32) * 16;
+            labels_at(address, &mut out);
+            let hex: Vec<String> = row.iter().map(|b| format!("{b:02x}")).collect();
+            writeln!(out, "  {address:#010x}  {}", hex.join(" ")).expect("write to String");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn listing_covers_text_and_data() {
+        let program = crate::asm::assemble(
+            ".data\nval: .word 0x01020304\n.text\nmain: lw $t0, val\nloop: b loop\n",
+        )
+        .unwrap();
+        let text = listing(&program);
+        assert!(text.contains("main:"));
+        assert!(text.contains("loop:"));
+        assert!(text.contains("val:"));
+        assert!(text.contains("04 03 02 01")); // little-endian dump
+        assert!(text.contains(".data  # 4 bytes"));
+    }
+
+    #[test]
+    fn representative_renderings() {
+        assert_eq!(disassemble(Inst::NOP), "nop");
+        assert_eq!(
+            disassemble(Inst::Lw { rt: Reg::new(8), base: Reg::SP, offset: -4 }),
+            "lw $t0, -4($sp)"
+        );
+        assert_eq!(
+            disassemble(Inst::MulD { fd: FReg::new(2), fs: FReg::new(4), ft: FReg::new(6) }),
+            "mul.d $f2, $f4, $f6"
+        );
+        assert_eq!(disassemble(Inst::Bc1t { offset: -3 }), "bc1t -3");
+        assert_eq!(disassemble_word(0xFFFF_FFFF), ".word 0xffffffff");
+    }
+}

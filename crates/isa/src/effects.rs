@@ -1,0 +1,311 @@
+//! Architectural read/write effects of instructions.
+//!
+//! Used for dependence analysis (e.g. the transition-aware block scheduler
+//! in `imt-core`): two instructions may be reordered iff neither writes
+//! state the other reads or writes. Effects are conservative — memory
+//! accesses carry no address information, so loads and stores conflict
+//! pairwise except load/load.
+
+use crate::inst::Inst;
+use crate::reg::Reg;
+
+/// The architectural state an instruction reads and writes.
+///
+/// Register sets are bit masks (`1 << number`). Double-precision FP
+/// operands mark **both** registers of their even/odd pair.
+///
+/// ```
+/// use imt_isa::effects::Effects;
+/// use imt_isa::{Inst, Reg};
+///
+/// let add = Inst::Addu { rd: Reg::new(10), rs: Reg::new(8), rt: Reg::new(9) };
+/// let e = Effects::of(add);
+/// assert!(e.reads_int(Reg::new(8)));
+/// assert!(e.writes_int(Reg::new(10)));
+/// assert!(!e.memory_load && !e.memory_store && !e.barrier);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// Integer registers read.
+    pub int_reads: u32,
+    /// Integer registers written.
+    pub int_writes: u32,
+    /// FP registers read.
+    pub fp_reads: u32,
+    /// FP registers written.
+    pub fp_writes: u32,
+    /// Reads HI/LO.
+    pub hilo_read: bool,
+    /// Writes HI/LO.
+    pub hilo_write: bool,
+    /// Reads the FP condition flag.
+    pub fcc_read: bool,
+    /// Writes the FP condition flag.
+    pub fcc_write: bool,
+    /// Loads from memory.
+    pub memory_load: bool,
+    /// Stores to memory.
+    pub memory_store: bool,
+    /// Control transfer (must stay at its block position).
+    pub control: bool,
+    /// Full barrier (syscall/break): nothing moves across it.
+    pub barrier: bool,
+}
+
+fn int(reg: Reg) -> u32 {
+    // $zero is neither a real read nor a real write dependency.
+    if reg == Reg::ZERO {
+        0
+    } else {
+        1u32 << reg.number()
+    }
+}
+
+fn fp_pair(reg: crate::reg::FReg) -> u32 {
+    let even = reg.number() & !1;
+    0b11u32 << even
+}
+
+fn fp_single(reg: crate::reg::FReg) -> u32 {
+    1u32 << reg.number()
+}
+
+impl Effects {
+    /// Computes the effects of an instruction.
+    #[allow(clippy::too_many_lines)] // one arm per opcode family
+    pub fn of(inst: Inst) -> Effects {
+        use Inst::*;
+        let mut e = Effects::default();
+        match inst {
+            Add { rd, rs, rt } | Addu { rd, rs, rt } | Sub { rd, rs, rt }
+            | Subu { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt }
+            | Xor { rd, rs, rt } | Nor { rd, rs, rt } | Slt { rd, rs, rt }
+            | Sltu { rd, rs, rt } | Mul { rd, rs, rt } => {
+                e.int_reads = int(rs) | int(rt);
+                e.int_writes = int(rd);
+            }
+            Sll { rd, rt, .. } | Srl { rd, rt, .. } | Sra { rd, rt, .. } => {
+                e.int_reads = int(rt);
+                e.int_writes = int(rd);
+            }
+            Sllv { rd, rt, rs } | Srlv { rd, rt, rs } | Srav { rd, rt, rs } => {
+                e.int_reads = int(rt) | int(rs);
+                e.int_writes = int(rd);
+            }
+            Mult { rs, rt } | Multu { rs, rt } | Div { rs, rt } | Divu { rs, rt } => {
+                e.int_reads = int(rs) | int(rt);
+                e.hilo_write = true;
+            }
+            Mfhi { rd } | Mflo { rd } => {
+                e.hilo_read = true;
+                e.int_writes = int(rd);
+            }
+            Mthi { rs } | Mtlo { rs } => {
+                e.int_reads = int(rs);
+                e.hilo_write = true;
+            }
+            Addi { rt, rs, .. } | Addiu { rt, rs, .. } | Slti { rt, rs, .. }
+            | Sltiu { rt, rs, .. } | Andi { rt, rs, .. } | Ori { rt, rs, .. }
+            | Xori { rt, rs, .. } => {
+                e.int_reads = int(rs);
+                e.int_writes = int(rt);
+            }
+            Lui { rt, .. } => e.int_writes = int(rt),
+            Beq { rs, rt, .. } | Bne { rs, rt, .. } => {
+                e.int_reads = int(rs) | int(rt);
+                e.control = true;
+            }
+            Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => {
+                e.int_reads = int(rs);
+                e.control = true;
+            }
+            J { .. } => e.control = true,
+            Jal { .. } => {
+                e.int_writes = int(Reg::RA);
+                e.control = true;
+            }
+            Jr { rs } => {
+                e.int_reads = int(rs);
+                e.control = true;
+            }
+            Jalr { rd, rs } => {
+                e.int_reads = int(rs);
+                e.int_writes = int(rd);
+                e.control = true;
+            }
+            Lb { rt, base, .. } | Lbu { rt, base, .. } | Lh { rt, base, .. }
+            | Lhu { rt, base, .. } | Lw { rt, base, .. } => {
+                e.int_reads = int(base);
+                e.int_writes = int(rt);
+                e.memory_load = true;
+            }
+            Sb { rt, base, .. } | Sh { rt, base, .. } | Sw { rt, base, .. } => {
+                e.int_reads = int(base) | int(rt);
+                e.memory_store = true;
+            }
+            Lwc1 { ft, base, .. } => {
+                e.int_reads = int(base);
+                e.fp_writes = fp_single(ft);
+                e.memory_load = true;
+            }
+            Swc1 { ft, base, .. } => {
+                e.int_reads = int(base);
+                e.fp_reads = fp_single(ft);
+                e.memory_store = true;
+            }
+            Ldc1 { ft, base, .. } => {
+                e.int_reads = int(base);
+                e.fp_writes = fp_pair(ft);
+                e.memory_load = true;
+            }
+            Sdc1 { ft, base, .. } => {
+                e.int_reads = int(base);
+                e.fp_reads = fp_pair(ft);
+                e.memory_store = true;
+            }
+            AddD { fd, fs, ft } | SubD { fd, fs, ft } | MulD { fd, fs, ft }
+            | DivD { fd, fs, ft } => {
+                e.fp_reads = fp_pair(fs) | fp_pair(ft);
+                e.fp_writes = fp_pair(fd);
+            }
+            SqrtD { fd, fs } | AbsD { fd, fs } | MovD { fd, fs } | NegD { fd, fs } => {
+                e.fp_reads = fp_pair(fs);
+                e.fp_writes = fp_pair(fd);
+            }
+            CvtDW { fd, fs } => {
+                e.fp_reads = fp_single(fs);
+                e.fp_writes = fp_pair(fd);
+            }
+            CvtWD { fd, fs } => {
+                e.fp_reads = fp_pair(fs);
+                e.fp_writes = fp_single(fd);
+            }
+            CEqD { fs, ft } | CLtD { fs, ft } | CLeD { fs, ft } => {
+                e.fp_reads = fp_pair(fs) | fp_pair(ft);
+                e.fcc_write = true;
+            }
+            Bc1t { .. } | Bc1f { .. } => {
+                e.fcc_read = true;
+                e.control = true;
+            }
+            Mfc1 { rt, fs } => {
+                e.fp_reads = fp_single(fs);
+                e.int_writes = int(rt);
+            }
+            Mtc1 { rt, fs } => {
+                e.int_reads = int(rt);
+                e.fp_writes = fp_single(fs);
+            }
+            Syscall | Break => e.barrier = true,
+        }
+        e
+    }
+
+    /// Whether this instruction reads integer register `reg`.
+    pub fn reads_int(&self, reg: Reg) -> bool {
+        self.int_reads & int(reg) != 0
+    }
+
+    /// Whether this instruction writes integer register `reg`.
+    pub fn writes_int(&self, reg: Reg) -> bool {
+        self.int_writes & int(reg) != 0
+    }
+
+    /// Whether `self` must stay ordered before `later` if it originally
+    /// preceded it (any RAW, WAR or WAW hazard between them, memory
+    /// conflicts, barriers, or control placement).
+    pub fn must_precede(&self, later: &Effects) -> bool {
+        if self.barrier || later.barrier || self.control {
+            return true;
+        }
+        // Register hazards, all three kinds, on every register file.
+        let raw = self.int_writes & later.int_reads != 0
+            || self.fp_writes & later.fp_reads != 0
+            || (self.hilo_write && later.hilo_read)
+            || (self.fcc_write && later.fcc_read);
+        let war = self.int_reads & later.int_writes != 0
+            || self.fp_reads & later.fp_writes != 0
+            || (self.hilo_read && later.hilo_write)
+            || (self.fcc_read && later.fcc_write);
+        let waw = self.int_writes & later.int_writes != 0
+            || self.fp_writes & later.fp_writes != 0
+            || (self.hilo_write && later.hilo_write)
+            || (self.fcc_write && later.fcc_write);
+        // Memory: conservative — only load/load commutes.
+        let memory = (self.memory_store && (later.memory_load || later.memory_store))
+            || (self.memory_load && later.memory_store);
+        raw || war || waw || memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::FReg;
+
+    #[test]
+    fn zero_register_is_no_dependency() {
+        let a = Effects::of(Inst::Addu { rd: Reg::ZERO, rs: Reg::new(8), rt: Reg::ZERO });
+        assert_eq!(a.int_writes, 0);
+        assert_eq!(a.int_reads, 1 << 8);
+    }
+
+    #[test]
+    fn double_ops_mark_register_pairs() {
+        let e = Effects::of(Inst::AddD {
+            fd: FReg::new(4),
+            fs: FReg::new(2),
+            ft: FReg::new(6),
+        });
+        assert_eq!(e.fp_writes, 0b11 << 4);
+        assert_eq!(e.fp_reads, (0b11 << 2) | (0b11 << 6));
+        // mtc1 to the odd half of a pair conflicts with the pair's use.
+        let m = Effects::of(Inst::Mtc1 { rt: Reg::new(8), fs: FReg::new(3) });
+        assert!(m.fp_writes & e.fp_reads != 0);
+    }
+
+    #[test]
+    fn hazard_classification() {
+        let producer = Effects::of(Inst::Addiu { rt: Reg::new(8), rs: Reg::ZERO, imm: 1 });
+        let consumer = Effects::of(Inst::Addiu { rt: Reg::new(9), rs: Reg::new(8), imm: 1 });
+        let unrelated = Effects::of(Inst::Addiu { rt: Reg::new(10), rs: Reg::new(11), imm: 1 });
+        assert!(producer.must_precede(&consumer)); // RAW
+        assert!(consumer.must_precede(&producer)); // WAR the other way
+        assert!(!producer.must_precede(&unrelated));
+        assert!(!unrelated.must_precede(&producer));
+        // WAW
+        let rewriter = Effects::of(Inst::Addiu { rt: Reg::new(8), rs: Reg::ZERO, imm: 2 });
+        assert!(producer.must_precede(&rewriter));
+    }
+
+    #[test]
+    fn memory_ordering_rules() {
+        let load = Effects::of(Inst::Lw { rt: Reg::new(8), base: Reg::SP, offset: 0 });
+        let load2 = Effects::of(Inst::Lw { rt: Reg::new(9), base: Reg::SP, offset: 4 });
+        let store = Effects::of(Inst::Sw { rt: Reg::new(10), base: Reg::SP, offset: 8 });
+        assert!(!load.must_precede(&load2)); // loads commute
+        assert!(load.must_precede(&store)); // load before store stays
+        assert!(store.must_precede(&load)); // store before load stays
+        assert!(store.must_precede(&store)); // stores never commute
+    }
+
+    #[test]
+    fn hilo_and_fcc_are_tracked() {
+        let mult = Effects::of(Inst::Mult { rs: Reg::new(8), rt: Reg::new(9) });
+        let mflo = Effects::of(Inst::Mflo { rd: Reg::new(10) });
+        assert!(mult.must_precede(&mflo));
+        assert!(mflo.must_precede(&mult)); // WAR on HI/LO
+        let cmp = Effects::of(Inst::CLtD { fs: FReg::new(2), ft: FReg::new(4) });
+        let br = Effects::of(Inst::Bc1t { offset: 1 });
+        assert!(cmp.must_precede(&br));
+        assert!(br.control);
+    }
+
+    #[test]
+    fn barriers_pin_everything() {
+        let sys = Effects::of(Inst::Syscall);
+        let alu = Effects::of(Inst::Addiu { rt: Reg::new(8), rs: Reg::ZERO, imm: 1 });
+        assert!(sys.must_precede(&alu));
+        assert!(alu.must_precede(&sys));
+    }
+}

@@ -1,0 +1,250 @@
+//! Instruction encoding: [`Inst`] → 32-bit machine word.
+//!
+//! Field layout is classic MIPS:
+//!
+//! ```text
+//! R: | op 6 | rs 5 | rt 5 | rd 5 | shamt 5 | funct 6 |
+//! I: | op 6 | rs 5 | rt 5 |        imm 16           |
+//! J: | op 6 |              target 26                |
+//! ```
+
+use crate::inst::Inst;
+use crate::reg::{FReg, Reg};
+
+// Opcode field values.
+pub(crate) const OP_SPECIAL: u32 = 0x00;
+pub(crate) const OP_REGIMM: u32 = 0x01;
+pub(crate) const OP_J: u32 = 0x02;
+pub(crate) const OP_JAL: u32 = 0x03;
+pub(crate) const OP_BEQ: u32 = 0x04;
+pub(crate) const OP_BNE: u32 = 0x05;
+pub(crate) const OP_BLEZ: u32 = 0x06;
+pub(crate) const OP_BGTZ: u32 = 0x07;
+pub(crate) const OP_ADDI: u32 = 0x08;
+pub(crate) const OP_ADDIU: u32 = 0x09;
+pub(crate) const OP_SLTI: u32 = 0x0A;
+pub(crate) const OP_SLTIU: u32 = 0x0B;
+pub(crate) const OP_ANDI: u32 = 0x0C;
+pub(crate) const OP_ORI: u32 = 0x0D;
+pub(crate) const OP_XORI: u32 = 0x0E;
+pub(crate) const OP_LUI: u32 = 0x0F;
+pub(crate) const OP_COP1: u32 = 0x11;
+pub(crate) const OP_SPECIAL2: u32 = 0x1C;
+pub(crate) const OP_LB: u32 = 0x20;
+pub(crate) const OP_LH: u32 = 0x21;
+pub(crate) const OP_LW: u32 = 0x23;
+pub(crate) const OP_LBU: u32 = 0x24;
+pub(crate) const OP_LHU: u32 = 0x25;
+pub(crate) const OP_SB: u32 = 0x28;
+pub(crate) const OP_SH: u32 = 0x29;
+pub(crate) const OP_SW: u32 = 0x2B;
+pub(crate) const OP_LWC1: u32 = 0x31;
+pub(crate) const OP_LDC1: u32 = 0x35;
+pub(crate) const OP_SWC1: u32 = 0x39;
+pub(crate) const OP_SDC1: u32 = 0x3D;
+
+// SPECIAL funct field values.
+pub(crate) const F_SLL: u32 = 0x00;
+pub(crate) const F_SRL: u32 = 0x02;
+pub(crate) const F_SRA: u32 = 0x03;
+pub(crate) const F_SLLV: u32 = 0x04;
+pub(crate) const F_SRLV: u32 = 0x06;
+pub(crate) const F_SRAV: u32 = 0x07;
+pub(crate) const F_JR: u32 = 0x08;
+pub(crate) const F_JALR: u32 = 0x09;
+pub(crate) const F_SYSCALL: u32 = 0x0C;
+pub(crate) const F_BREAK: u32 = 0x0D;
+pub(crate) const F_MFHI: u32 = 0x10;
+pub(crate) const F_MTHI: u32 = 0x11;
+pub(crate) const F_MFLO: u32 = 0x12;
+pub(crate) const F_MTLO: u32 = 0x13;
+pub(crate) const F_MULT: u32 = 0x18;
+pub(crate) const F_MULTU: u32 = 0x19;
+pub(crate) const F_DIV: u32 = 0x1A;
+pub(crate) const F_DIVU: u32 = 0x1B;
+pub(crate) const F_ADD: u32 = 0x20;
+pub(crate) const F_ADDU: u32 = 0x21;
+pub(crate) const F_SUB: u32 = 0x22;
+pub(crate) const F_SUBU: u32 = 0x23;
+pub(crate) const F_AND: u32 = 0x24;
+pub(crate) const F_OR: u32 = 0x25;
+pub(crate) const F_XOR: u32 = 0x26;
+pub(crate) const F_NOR: u32 = 0x27;
+pub(crate) const F_SLT: u32 = 0x2A;
+pub(crate) const F_SLTU: u32 = 0x2B;
+
+// SPECIAL2 funct.
+pub(crate) const F2_MUL: u32 = 0x02;
+
+// COP1 rs-field selectors.
+pub(crate) const C1_MFC1: u32 = 0x00;
+pub(crate) const C1_MTC1: u32 = 0x04;
+pub(crate) const C1_BC: u32 = 0x08;
+pub(crate) const FMT_D: u32 = 0x11;
+pub(crate) const FMT_W: u32 = 0x14;
+
+// COP1 funct field values.
+pub(crate) const FC_ADD: u32 = 0x00;
+pub(crate) const FC_SUB: u32 = 0x01;
+pub(crate) const FC_MUL: u32 = 0x02;
+pub(crate) const FC_DIV: u32 = 0x03;
+pub(crate) const FC_SQRT: u32 = 0x04;
+pub(crate) const FC_ABS: u32 = 0x05;
+pub(crate) const FC_MOV: u32 = 0x06;
+pub(crate) const FC_NEG: u32 = 0x07;
+pub(crate) const FC_CVT_D: u32 = 0x21;
+pub(crate) const FC_CVT_W: u32 = 0x24;
+pub(crate) const FC_C_EQ: u32 = 0x32;
+pub(crate) const FC_C_LT: u32 = 0x3C;
+pub(crate) const FC_C_LE: u32 = 0x3E;
+
+fn r(op: u32, rs: u32, rt: u32, rd: u32, shamt: u32, funct: u32) -> u32 {
+    op << 26 | rs << 21 | rt << 16 | rd << 11 | shamt << 6 | funct
+}
+
+fn i(op: u32, rs: u32, rt: u32, imm: u16) -> u32 {
+    op << 26 | rs << 21 | rt << 16 | imm as u32
+}
+
+fn g(reg: Reg) -> u32 {
+    reg.number() as u32
+}
+
+fn f(reg: FReg) -> u32 {
+    reg.number() as u32
+}
+
+/// Encodes an instruction into its 32-bit machine word.
+///
+/// Every [`Inst`] has exactly one encoding, and [`crate::decode::decode`]
+/// inverts this function (round-trip tested exhaustively over the operand
+/// space).
+///
+/// ```
+/// use imt_isa::encode::encode;
+/// use imt_isa::{Inst, Reg};
+///
+/// // addu $t2, $t0, $t1
+/// let word = encode(Inst::Addu { rd: Reg::new(10), rs: Reg::new(8), rt: Reg::new(9) });
+/// assert_eq!(word, 0x0109_5021);
+/// ```
+pub fn encode(inst: Inst) -> u32 {
+    use Inst::*;
+    match inst {
+        Add { rd, rs, rt } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_ADD),
+        Addu { rd, rs, rt } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_ADDU),
+        Sub { rd, rs, rt } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_SUB),
+        Subu { rd, rs, rt } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_SUBU),
+        And { rd, rs, rt } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_AND),
+        Or { rd, rs, rt } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_OR),
+        Xor { rd, rs, rt } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_XOR),
+        Nor { rd, rs, rt } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_NOR),
+        Slt { rd, rs, rt } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_SLT),
+        Sltu { rd, rs, rt } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_SLTU),
+        Mul { rd, rs, rt } => r(OP_SPECIAL2, g(rs), g(rt), g(rd), 0, F2_MUL),
+
+        Sll { rd, rt, shamt } => r(OP_SPECIAL, 0, g(rt), g(rd), shamt as u32 & 0x1F, F_SLL),
+        Srl { rd, rt, shamt } => r(OP_SPECIAL, 0, g(rt), g(rd), shamt as u32 & 0x1F, F_SRL),
+        Sra { rd, rt, shamt } => r(OP_SPECIAL, 0, g(rt), g(rd), shamt as u32 & 0x1F, F_SRA),
+        Sllv { rd, rt, rs } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_SLLV),
+        Srlv { rd, rt, rs } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_SRLV),
+        Srav { rd, rt, rs } => r(OP_SPECIAL, g(rs), g(rt), g(rd), 0, F_SRAV),
+
+        Mult { rs, rt } => r(OP_SPECIAL, g(rs), g(rt), 0, 0, F_MULT),
+        Multu { rs, rt } => r(OP_SPECIAL, g(rs), g(rt), 0, 0, F_MULTU),
+        Div { rs, rt } => r(OP_SPECIAL, g(rs), g(rt), 0, 0, F_DIV),
+        Divu { rs, rt } => r(OP_SPECIAL, g(rs), g(rt), 0, 0, F_DIVU),
+        Mfhi { rd } => r(OP_SPECIAL, 0, 0, g(rd), 0, F_MFHI),
+        Mflo { rd } => r(OP_SPECIAL, 0, 0, g(rd), 0, F_MFLO),
+        Mthi { rs } => r(OP_SPECIAL, g(rs), 0, 0, 0, F_MTHI),
+        Mtlo { rs } => r(OP_SPECIAL, g(rs), 0, 0, 0, F_MTLO),
+
+        Addi { rt, rs, imm } => i(OP_ADDI, g(rs), g(rt), imm as u16),
+        Addiu { rt, rs, imm } => i(OP_ADDIU, g(rs), g(rt), imm as u16),
+        Slti { rt, rs, imm } => i(OP_SLTI, g(rs), g(rt), imm as u16),
+        Sltiu { rt, rs, imm } => i(OP_SLTIU, g(rs), g(rt), imm as u16),
+        Andi { rt, rs, imm } => i(OP_ANDI, g(rs), g(rt), imm),
+        Ori { rt, rs, imm } => i(OP_ORI, g(rs), g(rt), imm),
+        Xori { rt, rs, imm } => i(OP_XORI, g(rs), g(rt), imm),
+        Lui { rt, imm } => i(OP_LUI, 0, g(rt), imm),
+
+        Beq { rs, rt, offset } => i(OP_BEQ, g(rs), g(rt), offset as u16),
+        Bne { rs, rt, offset } => i(OP_BNE, g(rs), g(rt), offset as u16),
+        Blez { rs, offset } => i(OP_BLEZ, g(rs), 0, offset as u16),
+        Bgtz { rs, offset } => i(OP_BGTZ, g(rs), 0, offset as u16),
+        Bltz { rs, offset } => i(OP_REGIMM, g(rs), 0, offset as u16),
+        Bgez { rs, offset } => i(OP_REGIMM, g(rs), 1, offset as u16),
+        J { target } => OP_J << 26 | (target & 0x03FF_FFFF),
+        Jal { target } => OP_JAL << 26 | (target & 0x03FF_FFFF),
+        Jr { rs } => r(OP_SPECIAL, g(rs), 0, 0, 0, F_JR),
+        Jalr { rd, rs } => r(OP_SPECIAL, g(rs), 0, g(rd), 0, F_JALR),
+
+        Lb { rt, base, offset } => i(OP_LB, g(base), g(rt), offset as u16),
+        Lbu { rt, base, offset } => i(OP_LBU, g(base), g(rt), offset as u16),
+        Lh { rt, base, offset } => i(OP_LH, g(base), g(rt), offset as u16),
+        Lhu { rt, base, offset } => i(OP_LHU, g(base), g(rt), offset as u16),
+        Lw { rt, base, offset } => i(OP_LW, g(base), g(rt), offset as u16),
+        Sb { rt, base, offset } => i(OP_SB, g(base), g(rt), offset as u16),
+        Sh { rt, base, offset } => i(OP_SH, g(base), g(rt), offset as u16),
+        Sw { rt, base, offset } => i(OP_SW, g(base), g(rt), offset as u16),
+        Lwc1 { ft, base, offset } => i(OP_LWC1, g(base), f(ft), offset as u16),
+        Swc1 { ft, base, offset } => i(OP_SWC1, g(base), f(ft), offset as u16),
+        Ldc1 { ft, base, offset } => i(OP_LDC1, g(base), f(ft), offset as u16),
+        Sdc1 { ft, base, offset } => i(OP_SDC1, g(base), f(ft), offset as u16),
+
+        AddD { fd, fs, ft } => r(OP_COP1, FMT_D, f(ft), f(fs), f(fd), FC_ADD),
+        SubD { fd, fs, ft } => r(OP_COP1, FMT_D, f(ft), f(fs), f(fd), FC_SUB),
+        MulD { fd, fs, ft } => r(OP_COP1, FMT_D, f(ft), f(fs), f(fd), FC_MUL),
+        DivD { fd, fs, ft } => r(OP_COP1, FMT_D, f(ft), f(fs), f(fd), FC_DIV),
+        SqrtD { fd, fs } => r(OP_COP1, FMT_D, 0, f(fs), f(fd), FC_SQRT),
+        AbsD { fd, fs } => r(OP_COP1, FMT_D, 0, f(fs), f(fd), FC_ABS),
+        MovD { fd, fs } => r(OP_COP1, FMT_D, 0, f(fs), f(fd), FC_MOV),
+        NegD { fd, fs } => r(OP_COP1, FMT_D, 0, f(fs), f(fd), FC_NEG),
+        CvtDW { fd, fs } => r(OP_COP1, FMT_W, 0, f(fs), f(fd), FC_CVT_D),
+        CvtWD { fd, fs } => r(OP_COP1, FMT_D, 0, f(fs), f(fd), FC_CVT_W),
+        CEqD { fs, ft } => r(OP_COP1, FMT_D, f(ft), f(fs), 0, FC_C_EQ),
+        CLtD { fs, ft } => r(OP_COP1, FMT_D, f(ft), f(fs), 0, FC_C_LT),
+        CLeD { fs, ft } => r(OP_COP1, FMT_D, f(ft), f(fs), 0, FC_C_LE),
+        Bc1t { offset } => i(OP_COP1, C1_BC, 1, offset as u16),
+        Bc1f { offset } => i(OP_COP1, C1_BC, 0, offset as u16),
+        Mfc1 { rt, fs } => r(OP_COP1, C1_MFC1, g(rt), f(fs), 0, 0),
+        Mtc1 { rt, fs } => r(OP_COP1, C1_MTC1, g(rt), f(fs), 0, 0),
+
+        Syscall => r(OP_SPECIAL, 0, 0, 0, 0, F_SYSCALL),
+        Break => r(OP_SPECIAL, 0, 0, 0, 0, F_BREAK),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_encodings() {
+        // Spot-checked against the MIPS32 manual.
+        // addu $t2, $t0, $t1 = 000000 01000 01001 01010 00000 100001
+        assert_eq!(
+            encode(Inst::Addu { rd: Reg::new(10), rs: Reg::new(8), rt: Reg::new(9) }),
+            0x0109_5021
+        );
+        // lw $t0, 4($sp) = 100011 11101 01000 0000000000000100
+        assert_eq!(
+            encode(Inst::Lw { rt: Reg::new(8), base: Reg::SP, offset: 4 }),
+            0x8FA8_0004
+        );
+        // beq $zero, $zero, -1 = 000100 00000 00000 1111111111111111
+        assert_eq!(
+            encode(Inst::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: -1 }),
+            0x1000_FFFF
+        );
+        // syscall
+        assert_eq!(encode(Inst::Syscall), 0x0000_000C);
+        // add.d $f4, $f2, $f0 = 010001 10001 00000 00010 00100 000000
+        assert_eq!(
+            encode(Inst::AddD { fd: FReg::new(4), fs: FReg::new(2), ft: FReg::new(0) }),
+            0x4620_1100
+        );
+        // jal 0x0040_0000 → target field 0x0010_0000
+        assert_eq!(encode(Inst::Jal { target: 0x0040_0000 >> 2 }), 0x0C10_0000);
+    }
+}

@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// A machine word that does not decode to any instruction of this ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "word {:08x} is not a valid instruction", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+/// An error raised while assembling source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line the error was found on.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecodeError>();
+        assert_send_sync::<AsmError>();
+        assert_eq!(DecodeError { word: 0xDEADBEEF }.to_string(), "word deadbeef is not a valid instruction");
+        assert_eq!(AsmError::new(3, "no such mnemonic").to_string(), "line 3: no such mnemonic");
+    }
+}

@@ -1,0 +1,59 @@
+//! # imt-isa — a 32-bit MIPS-like instruction set architecture
+//!
+//! The DATE 2003 paper evaluates its instruction-memory encoding on a
+//! SimpleScalar (PISA, MIPS-like) processor model. This crate is the
+//! from-scratch substitute: a classic 32-bit RISC ISA with R/I/J instruction
+//! formats, a coprocessor-1 double-precision FP unit, a two-pass assembler
+//! with the usual pseudo-instructions, and a disassembler.
+//!
+//! The encoding is deliberately dense and MIPS-I-shaped: the power encoding
+//! under study operates on the *bit patterns* of stored instructions, so a
+//! realistic field layout (opcode in the top six bits, register numbers in
+//! fixed fields, 16-bit immediates at the bottom) is what gives the vertical
+//! bit-line sequences their realistic structure.
+//!
+//! * [`reg`] — integer and floating-point register names.
+//! * [`inst`] — the decoded instruction form, one enum variant per opcode.
+//! * [`encode`] / [`decode`] — binary instruction words.
+//! * [`disasm`] — textual disassembly.
+//! * [`asm`] — the two-pass assembler producing a loadable [`Program`].
+//! * [`effects`] — architectural read/write sets for dependence analysis.
+//!
+//! Unlike historical MIPS I, branches and jumps have **no delay slot**
+//! (SimpleScalar's PISA made the same choice); the front-end model in
+//! `imt-sim` fetches and executes one instruction at a time.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use imt_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), imt_isa::AsmError> {
+//! let program = assemble(r#"
+//!         .text
+//! main:   li   $t0, 7
+//!         li   $t1, 35
+//!         addu $t2, $t0, $t1
+//!         jr   $ra
+//! "#)?;
+//! assert_eq!(program.text.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod decode;
+pub mod effects;
+pub mod disasm;
+pub mod encode;
+pub mod inst;
+pub mod reg;
+
+pub mod program;
+
+mod error;
+
+pub use error::{AsmError, DecodeError};
+pub use inst::Inst;
+pub use program::Program;
+pub use reg::{FReg, Reg};

@@ -1,0 +1,101 @@
+//! The loadable program image produced by the assembler.
+
+use std::collections::BTreeMap;
+
+/// Default base address of the text segment (SPIM convention).
+pub const TEXT_BASE: u32 = 0x0040_0000;
+
+/// Default base address of the data segment (SPIM convention).
+pub const DATA_BASE: u32 = 0x1001_0000;
+
+/// Initial stack pointer handed to programs by the simulator.
+pub const STACK_TOP: u32 = 0x7FFF_EFFC;
+
+/// An assembled program: text and data images plus the symbol table.
+///
+/// ```
+/// use imt_isa::asm::assemble;
+/// use imt_isa::program::TEXT_BASE;
+///
+/// # fn main() -> Result<(), imt_isa::AsmError> {
+/// let program = assemble(".text\nmain: jr $ra\n");
+/// let program = program?;
+/// assert_eq!(program.entry, TEXT_BASE);
+/// assert_eq!(program.symbols["main"], TEXT_BASE);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Encoded instructions, in address order from `text_base`.
+    pub text: Vec<u32>,
+    /// Raw data segment bytes, from `data_base`.
+    pub data: Vec<u8>,
+    /// Address of `text[0]`.
+    pub text_base: u32,
+    /// Address of `data[0]`.
+    pub data_base: u32,
+    /// Program entry point: the address of the `main` label if present,
+    /// otherwise `text_base`.
+    pub entry: u32,
+    /// Every label and its address.
+    pub symbols: BTreeMap<String, u32>,
+    /// 1-based source line of each instruction in `text` (pseudo-expansion
+    /// maps all emitted instructions to the pseudo's line).
+    pub source_lines: Vec<usize>,
+}
+
+impl Program {
+    /// The address of the instruction at `text[index]`.
+    pub fn address_of_index(&self, index: usize) -> u32 {
+        self.text_base + (index as u32) * 4
+    }
+
+    /// The `text` index of the instruction at `address`, if it lies inside
+    /// the text segment and is word-aligned.
+    pub fn index_of_address(&self, address: u32) -> Option<usize> {
+        if address < self.text_base || !address.is_multiple_of(4) {
+            return None;
+        }
+        let index = ((address - self.text_base) / 4) as usize;
+        (index < self.text.len()).then_some(index)
+    }
+
+    /// One past the last text address.
+    pub fn text_end(&self) -> u32 {
+        self.text_base + (self.text.len() as u32) * 4
+    }
+
+    /// Looks up a label address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Program {
+        Program {
+            text: vec![0, 0, 0],
+            data: vec![],
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+            entry: TEXT_BASE,
+            symbols: BTreeMap::new(),
+            source_lines: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn address_index_round_trip() {
+        let p = tiny();
+        assert_eq!(p.address_of_index(2), TEXT_BASE + 8);
+        assert_eq!(p.index_of_address(TEXT_BASE + 8), Some(2));
+        assert_eq!(p.index_of_address(TEXT_BASE + 12), None); // past end
+        assert_eq!(p.index_of_address(TEXT_BASE + 2), None); // unaligned
+        assert_eq!(p.index_of_address(0), None); // below base
+        assert_eq!(p.text_end(), TEXT_BASE + 12);
+    }
+}

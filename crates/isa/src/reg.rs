@@ -1,0 +1,205 @@
+//! Integer and floating-point register names.
+
+use std::fmt;
+
+/// One of the 32 general-purpose integer registers.
+///
+/// Register 0 is hardwired to zero, as on MIPS. The conventional ABI names
+/// (`$t0`, `$sp`, …) are available through [`Reg::name`] and accepted by the
+/// assembler.
+///
+/// ```
+/// use imt_isa::Reg;
+///
+/// assert_eq!(Reg::ZERO.number(), 0);
+/// assert_eq!(Reg::new(8).name(), "$t0");
+/// assert_eq!(Reg::from_name("$sp"), Some(Reg::SP));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// `$zero` — hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// `$at` — assembler temporary, used by pseudo-instruction expansion.
+    pub const AT: Reg = Reg(1);
+    /// `$v0` — result / syscall number.
+    pub const V0: Reg = Reg(2);
+    /// `$v1`.
+    pub const V1: Reg = Reg(3);
+    /// `$a0` — first argument.
+    pub const A0: Reg = Reg(4);
+    /// `$a1`.
+    pub const A1: Reg = Reg(5);
+    /// `$a2`.
+    pub const A2: Reg = Reg(6);
+    /// `$a3`.
+    pub const A3: Reg = Reg(7);
+    /// `$gp` — global pointer.
+    pub const GP: Reg = Reg(28);
+    /// `$sp` — stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// `$fp` — frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// `$ra` — return address.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number >= 32`.
+    pub fn new(number: u8) -> Self {
+        assert!(number < 32, "integer register number {number} out of range");
+        Reg(number)
+    }
+
+    /// Creates a register from the low five bits of an instruction field.
+    pub(crate) fn from_field(field: u32) -> Self {
+        Reg((field & 0x1F) as u8)
+    }
+
+    /// The register number, 0–31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The conventional ABI name (`$zero`, `$t0`, …).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3",
+            "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+            "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Parses an ABI name (`$t0`), numeric name (`$8`), or bare number
+    /// (`8`). Returns `None` for anything else.
+    pub fn from_name(name: &str) -> Option<Self> {
+        let body = name.strip_prefix('$').unwrap_or(name);
+        if let Ok(number) = body.parse::<u8>() {
+            return (number < 32).then_some(Reg(number));
+        }
+        (0u8..32).map(Reg).find(|r| &r.name()[1..] == body)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One of the 32 coprocessor-1 floating-point registers.
+///
+/// Doubles occupy an even/odd register pair, as on MIPS I: `$f0` names the
+/// pair `($f0, $f1)` when used by a double-precision instruction. The
+/// assembler rejects odd registers in double-precision contexts.
+///
+/// ```
+/// use imt_isa::FReg;
+///
+/// assert_eq!(FReg::new(12).name(), "$f12");
+/// assert!(FReg::new(12).is_even());
+/// assert_eq!(FReg::from_name("$f31"), Some(FReg::new(31)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// `$f0` — conventional FP result register.
+    pub const F0: FReg = FReg(0);
+    /// `$f12` — conventional first FP argument register.
+    pub const F12: FReg = FReg(12);
+
+    /// Creates an FP register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number >= 32`.
+    pub fn new(number: u8) -> Self {
+        assert!(number < 32, "fp register number {number} out of range");
+        FReg(number)
+    }
+
+    /// Creates an FP register from the low five bits of an instruction field.
+    pub(crate) fn from_field(field: u32) -> Self {
+        FReg((field & 0x1F) as u8)
+    }
+
+    /// The register number, 0–31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this register can anchor a double-precision pair.
+    pub fn is_even(self) -> bool {
+        self.0.is_multiple_of(2)
+    }
+
+    /// The register name (`$f0` … `$f31`).
+    pub fn name(self) -> String {
+        format!("$f{}", self.0)
+    }
+
+    /// Parses `$fN` or `fN`. Returns `None` for anything else.
+    pub fn from_name(name: &str) -> Option<Self> {
+        let body = name.strip_prefix('$').unwrap_or(name);
+        let digits = body.strip_prefix('f')?;
+        let number: u8 = digits.parse().ok()?;
+        (number < 32).then_some(FReg(number))
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for n in 0..32u8 {
+            let r = Reg::new(n);
+            assert_eq!(Reg::from_name(r.name()), Some(r));
+            assert_eq!(Reg::from_name(&format!("${n}")), Some(r));
+            let f = FReg::new(n);
+            assert_eq!(FReg::from_name(&f.name()), Some(f));
+        }
+    }
+
+    #[test]
+    fn conventional_aliases() {
+        assert_eq!(Reg::from_name("$zero"), Some(Reg::ZERO));
+        assert_eq!(Reg::from_name("$t0"), Some(Reg::new(8)));
+        assert_eq!(Reg::from_name("$t8"), Some(Reg::new(24)));
+        assert_eq!(Reg::from_name("$s0"), Some(Reg::new(16)));
+        assert_eq!(Reg::from_name("$ra"), Some(Reg::new(31)));
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert_eq!(Reg::from_name("$t10"), None);
+        assert_eq!(Reg::from_name("$32"), None);
+        assert_eq!(Reg::from_name("nonsense"), None);
+        assert_eq!(FReg::from_name("$f32"), None);
+        assert_eq!(FReg::from_name("$t0"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_large_numbers() {
+        Reg::new(32);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Reg::SP.to_string(), "$sp");
+        assert_eq!(FReg::F12.to_string(), "$f12");
+    }
+}

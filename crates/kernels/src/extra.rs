@@ -1,0 +1,429 @@
+//! Three additional DSP/embedded kernels beyond the paper's six.
+//!
+//! The paper's intro motivates the technique with "numerical and DSP
+//! codes" generally; these kernels probe generality on shapes the original
+//! six do not cover:
+//!
+//! * [`fir`] — a direct-form FIR filter: the archetypal DSP inner loop
+//!   (multiply–accumulate over a sliding window);
+//! * [`dct`] — 8×8 two-dimensional DCT-II with a cosine ROM, the heart of
+//!   JPEG/MPEG-era embedded media code;
+//! * [`crc32`] — bitwise CRC-32 over a buffer: a pure-integer, branchy
+//!   inner loop (no FP at all), the adversarial case for a technique tuned
+//!   on regular numeric code.
+//!
+//! Same validation contract as the main suite: inputs from the shared
+//! [`crate::lcg`] generator, a checksum printed on exit, and a host golden
+//! model with bit-identical operation order.
+
+use crate::lcg::Lcg;
+use crate::sources::{epilogue, fill_array, lcg_prologue, lcg_step, sum_array, zero_double};
+use crate::KernelSpec;
+
+/// The extra kernels, analogous to [`crate::Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtraKernel {
+    /// Direct-form FIR filter.
+    Fir,
+    /// 8×8 two-dimensional DCT-II.
+    Dct,
+    /// Bitwise CRC-32.
+    Crc32,
+}
+
+impl ExtraKernel {
+    /// All extra kernels.
+    pub const ALL: [ExtraKernel; 3] = [ExtraKernel::Fir, ExtraKernel::Dct, ExtraKernel::Crc32];
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtraKernel::Fir => "fir",
+            ExtraKernel::Dct => "dct",
+            ExtraKernel::Crc32 => "crc32",
+        }
+    }
+
+    /// A realistically sized instance.
+    pub fn paper_spec(self) -> KernelSpec {
+        match self {
+            ExtraKernel::Fir => fir(64, 4096),
+            ExtraKernel::Dct => dct(64),
+            ExtraKernel::Crc32 => crc32(16384),
+        }
+    }
+
+    /// A small instance for tests.
+    pub fn test_spec(self) -> KernelSpec {
+        match self {
+            ExtraKernel::Fir => fir(8, 64),
+            ExtraKernel::Dct => dct(2),
+            ExtraKernel::Crc32 => crc32(128),
+        }
+    }
+}
+
+impl std::fmt::Display for ExtraKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Direct-form FIR: `out[i] = Σⱼ coeff[j] · sample[i + j]` for
+/// `i < samples − taps`, checksummed.
+pub fn fir(taps: usize, samples: usize) -> KernelSpec {
+    assert!(taps >= 2 && samples > taps, "fir needs taps >= 2 and samples > taps");
+    let outputs = samples - taps;
+    let source = format!(
+        r#"# fir: {taps}-tap direct-form FIR over {samples} samples
+        .data
+        .align 3
+COEF:   .space {coef_bytes}
+SAMP:   .space {samp_bytes}
+OUT:    .space {out_bytes}
+        .text
+main:
+{prologue}{fill_coef}{fill_samp}
+        li    $s0, {outputs}       # output count
+        li    $s1, 0               # i
+        la    $s2, OUT
+f_i:    la    $t0, COEF
+        sll   $t1, $s1, 3
+        la    $t2, SAMP
+        addu  $t1, $t1, $t2        # &samp[i]
+        li    $t3, {taps}
+{zero_f4}f_j:    ldc1  $f2, 0($t0)
+        ldc1  $f6, 0($t1)
+        mul.d $f8, $f2, $f6
+        add.d $f4, $f4, $f8
+        addiu $t0, $t0, 8
+        addiu $t1, $t1, 8
+        addiu $t3, $t3, -1
+        bgtz  $t3, f_j
+        sdc1  $f4, 0($s2)
+        addiu $s2, $s2, 8
+        addiu $s1, $s1, 1
+        blt   $s1, $s0, f_i
+{zero_f12}{sum_out}{epilogue}"#,
+        coef_bytes = taps * 8,
+        samp_bytes = samples * 8,
+        out_bytes = outputs * 8,
+        prologue = lcg_prologue(),
+        fill_coef = fill_array("coef", "COEF", taps),
+        fill_samp = fill_array("samp", "SAMP", samples),
+        zero_f4 = zero_double("$f4", "$f5"),
+        zero_f12 = zero_double("$f12", "$f13"),
+        sum_out = sum_array("out", "OUT", outputs),
+        epilogue = epilogue(),
+    );
+    KernelSpec {
+        name: format!("fir-{taps}x{samples}"),
+        source,
+        max_steps: (20 * taps * outputs + 40 * (taps + samples) + 10_000) as u64,
+        expected_output: golden_fir(taps, samples),
+    }
+}
+
+fn golden_fir(taps: usize, samples: usize) -> String {
+    let mut lcg = Lcg::new();
+    let coeff: Vec<f64> = (0..taps).map(|_| lcg.next_value()).collect();
+    let samp: Vec<f64> = (0..samples).map(|_| lcg.next_value()).collect();
+    let outputs = samples - taps;
+    let mut sum = 0.0f64;
+    let mut outs = Vec::with_capacity(outputs);
+    for i in 0..outputs {
+        let mut acc = 0.0f64;
+        for j in 0..taps {
+            acc += coeff[j] * samp[i + j];
+        }
+        outs.push(acc);
+    }
+    for v in &outs {
+        sum += v;
+    }
+    format!("{sum:.6}\n")
+}
+
+/// The 8×8 DCT-II basis matrix `C[u][x] = c(u)/2 · cos((2x+1)uπ/16)`.
+pub fn dct_basis() -> [[f64; 8]; 8] {
+    let mut c = [[0.0f64; 8]; 8];
+    for (u, row) in c.iter_mut().enumerate() {
+        let scale = if u == 0 { (0.125f64).sqrt() } else { 0.5 };
+        for (x, cell) in row.iter_mut().enumerate() {
+            *cell = scale
+                * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+        }
+    }
+    c
+}
+
+/// 2-D 8×8 DCT-II over `blocks` consecutive pixel blocks: `Y = C·X·Cᵀ`
+/// computed as two 1-D passes through a temporary, checksummed over all
+/// coefficients.
+pub fn dct(blocks: usize) -> KernelSpec {
+    assert!(blocks >= 1, "dct needs at least one block");
+    let basis = dct_basis();
+    let basis_rows: String = basis
+        .iter()
+        .map(|row| {
+            let items: Vec<String> = row.iter().map(|v| format!("{v:?}")).collect();
+            format!("        .double {}\n", items.join(", "))
+        })
+        .collect();
+    let pixels = blocks * 64;
+    let source = format!(
+        r#"# dct: 2-D 8x8 DCT-II over {blocks} blocks, cosine ROM in .data
+        .data
+        .align 3
+CMAT:
+{basis_rows}X:      .space {pix_bytes}
+TMP:    .space 512
+Y:      .space {pix_bytes}
+        .text
+main:
+{prologue}{fill_x}
+        li    $s0, {blocks}
+        li    $s1, 0               # block index
+d_blk:  sll   $s2, $s1, 9         # byte offset of this block (x512)
+        # ---- pass 1: TMP = C * X  (tmp[u][x] = sum_k c[u][k]*X[k][x]) ----
+        li    $s3, 0               # u
+d1_u:   li    $s4, 0               # x (column)
+d1_x:
+{zero_f4}        sll   $t0, $s3, 6
+        la    $t1, CMAT
+        addu  $t0, $t0, $t1        # &c[u][0]
+        la    $t1, X
+        addu  $t1, $t1, $s2
+        sll   $t2, $s4, 3
+        addu  $t1, $t1, $t2        # &X[0][x]
+        li    $t3, 8
+d1_k:   ldc1  $f2, 0($t0)
+        ldc1  $f6, 0($t1)
+        mul.d $f8, $f2, $f6
+        add.d $f4, $f4, $f8
+        addiu $t0, $t0, 8
+        addiu $t1, $t1, 64
+        addiu $t3, $t3, -1
+        bgtz  $t3, d1_k
+        sll   $t4, $s3, 6
+        la    $t5, TMP
+        addu  $t4, $t4, $t5
+        sll   $t6, $s4, 3
+        addu  $t4, $t4, $t6
+        sdc1  $f4, 0($t4)          # tmp[u][x]
+        addiu $s4, $s4, 1
+        li    $t7, 8
+        blt   $s4, $t7, d1_x
+        addiu $s3, $s3, 1
+        li    $t7, 8
+        blt   $s3, $t7, d1_u
+        # ---- pass 2: Y = TMP * C^T  (y[u][v] = sum_k tmp[u][k]*c[v][k]) ----
+        li    $s3, 0               # u
+d2_u:   li    $s4, 0               # v
+d2_v:
+{zero_f4_2}        sll   $t0, $s3, 6
+        la    $t1, TMP
+        addu  $t0, $t0, $t1        # &tmp[u][0]
+        sll   $t1, $s4, 6
+        la    $t2, CMAT
+        addu  $t1, $t1, $t2        # &c[v][0]
+        li    $t3, 8
+d2_k:   ldc1  $f2, 0($t0)
+        ldc1  $f6, 0($t1)
+        mul.d $f8, $f2, $f6
+        add.d $f4, $f4, $f8
+        addiu $t0, $t0, 8
+        addiu $t1, $t1, 8
+        addiu $t3, $t3, -1
+        bgtz  $t3, d2_k
+        sll   $t4, $s3, 6
+        la    $t5, Y
+        addu  $t4, $t4, $t5
+        addu  $t4, $t4, $s2
+        sll   $t6, $s4, 3
+        addu  $t4, $t4, $t6
+        sdc1  $f4, 0($t4)          # y[u][v]
+        addiu $s4, $s4, 1
+        li    $t7, 8
+        blt   $s4, $t7, d2_v
+        addiu $s3, $s3, 1
+        li    $t7, 8
+        blt   $s3, $t7, d2_u
+        addiu $s1, $s1, 1
+        blt   $s1, $s0, d_blk
+{zero_f12}{sum_y}{epilogue}"#,
+        pix_bytes = pixels * 8,
+        prologue = lcg_prologue(),
+        fill_x = fill_array("x", "X", pixels),
+        zero_f4 = zero_double("$f4", "$f5"),
+        zero_f4_2 = zero_double("$f4", "$f5"),
+        zero_f12 = zero_double("$f12", "$f13"),
+        sum_y = sum_array("y", "Y", pixels),
+        epilogue = epilogue(),
+    );
+    KernelSpec {
+        name: format!("dct-{blocks}"),
+        source,
+        max_steps: (3000 * 64 * blocks + 40 * pixels + 10_000) as u64,
+        expected_output: golden_dct(blocks),
+    }
+}
+
+fn golden_dct(blocks: usize) -> String {
+    let basis = dct_basis();
+    let mut lcg = Lcg::new();
+    let pixels: Vec<f64> = (0..blocks * 64).map(|_| lcg.next_value()).collect();
+    let mut sum = 0.0f64;
+    let mut out = vec![0.0f64; blocks * 64];
+    for b in 0..blocks {
+        let x = &pixels[b * 64..(b + 1) * 64];
+        let mut tmp = [0.0f64; 64];
+        for u in 0..8 {
+            for col in 0..8 {
+                let mut acc = 0.0f64;
+                for k in 0..8 {
+                    acc += basis[u][k] * x[k * 8 + col];
+                }
+                tmp[u * 8 + col] = acc;
+            }
+        }
+        for u in 0..8 {
+            for v in 0..8 {
+                let mut acc = 0.0f64;
+                for k in 0..8 {
+                    acc += tmp[u * 8 + k] * basis[v][k];
+                }
+                out[b * 64 + u * 8 + v] = acc;
+            }
+        }
+    }
+    for v in &out {
+        sum += v;
+    }
+    format!("{sum:.6}\n")
+}
+
+/// Bitwise (table-free) CRC-32 over `bytes` LCG-generated bytes, printing
+/// the final CRC as a signed integer.
+pub fn crc32(bytes: usize) -> KernelSpec {
+    assert!(bytes >= 1, "crc32 needs at least one byte");
+    let source = format!(
+        r#"# crc32: bitwise CRC-32 (poly 0xEDB88320) over {bytes} bytes
+        .data
+BUF:    .space {bytes}
+        .text
+main:
+{prologue}        # fill the buffer with LCG bytes
+        la    $t0, BUF
+        li    $t1, {bytes}
+c_fill:
+{step}        sb    $t8, 0($t0)
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, -1
+        bgtz  $t1, c_fill
+        # crc loop
+        li    $s0, -1              # crc = 0xFFFFFFFF
+        li    $s1, 0xEDB88320
+        la    $t0, BUF
+        li    $t1, {bytes}
+c_byte: lbu   $t2, 0($t0)
+        xor   $s0, $s0, $t2
+        li    $t3, 8
+c_bit:  andi  $t4, $s0, 1
+        srl   $s0, $s0, 1
+        beq   $t4, $zero, c_skip
+        xor   $s0, $s0, $s1
+c_skip: addiu $t3, $t3, -1
+        bgtz  $t3, c_bit
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, -1
+        bgtz  $t1, c_byte
+        nor   $a0, $s0, $zero      # final complement
+        li    $v0, 1
+        syscall
+        li    $v0, 11
+        li    $a0, 10
+        syscall
+        li    $v0, 10
+        syscall
+"#,
+        prologue = lcg_prologue(),
+        step = lcg_step(),
+    );
+    KernelSpec {
+        name: format!("crc32-{bytes}"),
+        source,
+        max_steps: (60 * bytes + 10_000) as u64,
+        expected_output: golden_crc32(bytes),
+    }
+}
+
+fn golden_crc32(bytes: usize) -> String {
+    let mut lcg = Lcg::new();
+    let buffer: Vec<u8> = (0..bytes).map(|_| lcg.next_int() as u8).collect();
+    let mut crc = u32::MAX;
+    for &byte in &buffer {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    format!("{}\n", !crc as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extra_kernels_match_their_golden_models() {
+        for kernel in ExtraKernel::ALL {
+            let spec = kernel.test_spec();
+            let run = spec.run().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(run.stdout, spec.expected_output, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn dct_basis_is_orthonormal() {
+        let c = dct_basis();
+        for u in 0..8 {
+            for v in 0..8 {
+                let dot: f64 = (0..8).map(|k| c[u][k] * c[v][k]).sum();
+                let expected = if u == v { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-12, "({u},{v}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_a_known_vector() {
+        // Independent check of the golden model's CRC core against the
+        // well-known value for "123456789".
+        let mut crc = u32::MAX;
+        for &byte in b"123456789" {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                let lsb = crc & 1;
+                crc >>= 1;
+                if lsb != 0 {
+                    crc ^= 0xEDB8_8320;
+                }
+            }
+        }
+        assert_eq!(!crc, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn names_and_specs() {
+        assert_eq!(ExtraKernel::Fir.name(), "fir");
+        assert_eq!(ExtraKernel::Dct.to_string(), "dct");
+        for kernel in ExtraKernel::ALL {
+            assert!(kernel.paper_spec().source.len() > kernel.test_spec().source.len() / 2);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Host reference implementations of the six kernels.
+//!
+//! Each function performs *exactly* the floating-point operations of its
+//! assembly twin in [`crate::sources`], in the same order, on the same
+//! LCG-generated inputs. IEEE-754 double arithmetic is deterministic, so
+//! the checksums match bit for bit, and the expected output is the same
+//! `format!("{:.6}\n", checksum)` string the simulated `print_double`
+//! syscall produces.
+
+use crate::lcg::Lcg;
+
+fn render(checksum: f64) -> String {
+    format!("{checksum:.6}\n")
+}
+
+/// Expected output of [`crate::sources::mmul`].
+pub fn mmul(n: usize) -> String {
+    let mut lcg = Lcg::new();
+    let a: Vec<f64> = (0..n * n).map(|_| lcg.next_value()).collect();
+    let b: Vec<f64> = (0..n * n).map(|_| lcg.next_value()).collect();
+    let mut c = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut sum = 0.0f64;
+            for k in 0..n {
+                sum += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = sum;
+        }
+    }
+    render(c.iter().sum())
+}
+
+/// Expected output of [`crate::sources::sor`].
+pub fn sor(n: usize, sweeps: usize) -> String {
+    let mut lcg = Lcg::new();
+    let mut u: Vec<f64> = (0..n * n).map(|_| lcg.next_value()).collect();
+    for _ in 0..sweeps {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let c = u[i * n + j];
+                let vertical = u[(i - 1) * n + j] + u[(i + 1) * n + j];
+                let horizontal = u[i * n + j - 1] + u[i * n + j + 1];
+                let neighbours = vertical + horizontal;
+                let residual = neighbours - c * 4.0;
+                u[i * n + j] = c + residual * 0.375;
+            }
+        }
+    }
+    render(u.iter().sum())
+}
+
+/// Expected output of [`crate::sources::ej`].
+pub fn ej(n: usize, iters: usize) -> String {
+    let mut lcg = Lcg::new();
+    let mut u: Vec<f64> = (0..n * n).map(|_| lcg.next_value()).collect();
+    let mut v = u.clone();
+    for _ in 0..iters {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let c = u[i * n + j];
+                let vertical = u[(i - 1) * n + j] + u[(i + 1) * n + j];
+                let horizontal = u[i * n + j - 1] + u[i * n + j + 1];
+                let neighbours = vertical + horizontal;
+                let average = neighbours * 0.25;
+                let correction = average - c;
+                v[i * n + j] = c + correction * 1.25;
+            }
+        }
+        std::mem::swap(&mut u, &mut v);
+    }
+    render(u.iter().sum())
+}
+
+/// The twiddle-factor tables (`cos`, `sin` of `-2πj/n` for
+/// `j = 0..n/2`) shared by the FFT kernel's ROM and the golden model.
+pub fn fft_twiddles(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut wre = Vec::with_capacity(n / 2);
+    let mut wim = Vec::with_capacity(n / 2);
+    for j in 0..n / 2 {
+        let angle = -2.0 * std::f64::consts::PI * j as f64 / n as f64;
+        wre.push(angle.cos());
+        wim.push(angle.sin());
+    }
+    (wre, wim)
+}
+
+/// Expected output of [`crate::sources::fft`].
+pub fn fft(log2n: usize) -> String {
+    let n = 1usize << log2n;
+    let (wre, wim) = fft_twiddles(n);
+    let mut lcg = Lcg::new();
+    let mut re: Vec<f64> = (0..n).map(|_| lcg.next_value()).collect();
+    let mut im: Vec<f64> = (0..n).map(|_| lcg.next_value()).collect();
+
+    // Bit-reverse permutation (identical control structure to the asm).
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j ^= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+
+    // Butterfly stages.
+    let mut len = 2usize;
+    while len <= n {
+        let half = len / 2;
+        let step = n / len;
+        let mut i = 0usize;
+        while i < n {
+            for j in 0..half {
+                let idx = j * step;
+                let wr = wre[idx];
+                let wi = wim[idx];
+                let p = i + j;
+                let q = p + half;
+                let tr = re[q] * wr - im[q] * wi;
+                let ti = re[q] * wi + im[q] * wr;
+                let rp = re[p];
+                let ip = im[p];
+                re[q] = rp - tr;
+                im[q] = ip - ti;
+                re[p] = rp + tr;
+                im[p] = ip + ti;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+
+    let mut sum = 0.0f64;
+    for value in &re {
+        sum += value;
+    }
+    for value in &im {
+        sum += value;
+    }
+    render(sum)
+}
+
+/// Expected output of [`crate::sources::tri`].
+pub fn tri(n: usize, reps: usize) -> String {
+    let mut lcg = Lcg::new();
+    let mut total = 0.0f64;
+    for _ in 0..reps {
+        let mut a = vec![0.0f64; n];
+        let mut b = vec![0.0f64; n];
+        let mut c = vec![0.0f64; n];
+        let mut d = vec![0.0f64; n];
+        for i in 0..n {
+            a[i] = lcg.next_value();
+            b[i] = lcg.next_diagonal();
+            c[i] = lcg.next_value();
+            d[i] = lcg.next_value();
+        }
+        // Forward elimination.
+        for i in 1..n {
+            let m = a[i] / b[i - 1];
+            b[i] -= m * c[i - 1];
+            d[i] -= m * d[i - 1];
+        }
+        // Back substitution.
+        let mut x = vec![0.0f64; n];
+        x[n - 1] = d[n - 1] / b[n - 1];
+        for i in (0..n - 1).rev() {
+            let t = c[i] * x[i + 1];
+            x[i] = (d[i] - t) / b[i];
+        }
+        let mut sum = 0.0f64;
+        for value in &x {
+            sum += value;
+        }
+        total += sum;
+    }
+    render(total)
+}
+
+/// Expected output of [`crate::sources::lu`].
+pub fn lu(n: usize) -> String {
+    let mut lcg = Lcg::new();
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = if i == j { lcg.next_diagonal() } else { lcg.next_value() };
+        }
+    }
+    for k in 0..n {
+        let pivot = a[k * n + k];
+        for i in k + 1..n {
+            let m = a[i * n + k] / pivot;
+            a[i * n + k] = m;
+            for j in k + 1..n {
+                let t = m * a[k * n + j];
+                a[i * n + j] -= t;
+            }
+        }
+    }
+    render(a.iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_are_deterministic() {
+        assert_eq!(mmul(6), mmul(6));
+        assert_eq!(fft(4), fft(4));
+        assert_eq!(tri(8, 2), tri(8, 2));
+    }
+
+    #[test]
+    fn outputs_end_with_newline_and_six_decimals() {
+        for out in [mmul(4), sor(4, 1), ej(4, 1), fft(3), tri(4, 1), lu(4)] {
+            assert!(out.ends_with('\n'));
+            let body = out.trim_end();
+            let dot = body.find('.').expect("decimal point");
+            assert_eq!(body.len() - dot - 1, 6, "{body}");
+        }
+    }
+
+    #[test]
+    fn fft_twiddle_identities() {
+        let (wre, wim) = fft_twiddles(8);
+        assert_eq!(wre[0], 1.0);
+        assert_eq!(wim[0], 0.0);
+        // w_2 of an 8-point FFT is -i: cos = ~0, sin = -1.
+        assert!(wre[2].abs() < 1e-15);
+        assert!((wim[2] + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_in_bin_zero() {
+        // Independent sanity of the butterfly code itself: a DC input has
+        // all its energy in re[0] = n * value.
+        let n = 8;
+        let (wre, wim) = fft_twiddles(n);
+        let mut re = vec![3.0f64; n];
+        let mut im = vec![0.0f64; n];
+        // (Inline the same loops as `fft`, on a fixed input.)
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j ^= bit;
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            let mut i = 0usize;
+            while i < n {
+                for j in 0..half {
+                    let idx = j * step;
+                    let (wr, wi) = (wre[idx], wim[idx]);
+                    let (p, q) = (i + j, i + j + half);
+                    let tr = re[q] * wr - im[q] * wi;
+                    let ti = re[q] * wi + im[q] * wr;
+                    let (rp, ip) = (re[p], im[p]);
+                    re[q] = rp - tr;
+                    im[q] = ip - ti;
+                    re[p] = rp + tr;
+                    im[p] = ip + ti;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+        assert!((re[0] - 24.0).abs() < 1e-12);
+        for k in 1..n {
+            assert!(re[k].abs() < 1e-12 && im[k].abs() < 1e-12, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn tri_solves_the_system() {
+        // Independent check: reconstruct A·x and compare with d.
+        let n = 6;
+        let mut lcg = Lcg::new();
+        let mut a = vec![0.0f64; n];
+        let mut b = vec![0.0f64; n];
+        let mut c = vec![0.0f64; n];
+        let mut d = vec![0.0f64; n];
+        for i in 0..n {
+            a[i] = lcg.next_value();
+            b[i] = lcg.next_diagonal();
+            c[i] = lcg.next_value();
+            d[i] = lcg.next_value();
+        }
+        let (a0, b0, c0, d0) = (a.clone(), b.clone(), c.clone(), d.clone());
+        for i in 1..n {
+            let m = a[i] / b[i - 1];
+            b[i] -= m * c[i - 1];
+            d[i] -= m * d[i - 1];
+        }
+        let mut x = vec![0.0f64; n];
+        x[n - 1] = d[n - 1] / b[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = (d[i] - c[i] * x[i + 1]) / b[i];
+        }
+        for i in 0..n {
+            let mut lhs = b0[i] * x[i];
+            if i > 0 {
+                lhs += a0[i] * x[i - 1];
+            }
+            if i < n - 1 {
+                lhs += c0[i] * x[i + 1];
+            }
+            assert!((lhs - d0[i]).abs() < 1e-6, "row {i}: {lhs} vs {}", d0[i]);
+        }
+    }
+
+    #[test]
+    fn lu_reconstructs_the_matrix() {
+        // L·U must reproduce the original (diagonally dominant) matrix.
+        let n = 5;
+        let mut lcg = Lcg::new();
+        let mut original = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                original[i * n + j] =
+                    if i == j { lcg.next_diagonal() } else { lcg.next_value() };
+            }
+        }
+        let mut a = original.clone();
+        for k in 0..n {
+            let pivot = a[k * n + k];
+            for i in k + 1..n {
+                let m = a[i * n + k] / pivot;
+                a[i * n + k] = m;
+                for j in k + 1..n {
+                    a[i * n + j] -= m * a[k * n + j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { a[i * n + k] };
+                    let u = a[k * n + j];
+                    if k < i && k > j {
+                        continue;
+                    }
+                    sum += l * u;
+                }
+                assert!(
+                    (sum - original[i * n + j]).abs() < 1e-6,
+                    "({i},{j}): {sum} vs {}",
+                    original[i * n + j]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The deterministic input generator shared by the assembly kernels and
+//! their host golden models.
+//!
+//! Both sides step the same 32-bit linear congruential generator
+//! (`x ← 1103515245·x + 12345`, the classic `rand(3)` multiplier) with
+//! identical wrapping semantics: the assembly uses `mul` (low 32 bits of
+//! the product) and `addiu`, the host uses `wrapping_mul`/`wrapping_add`.
+//! Values are mapped to small positive integers and converted to `f64`
+//! exactly, so every generated input is bit-identical on both sides.
+
+/// The LCG multiplier (`rand(3)`'s ANSI constant).
+pub const MULTIPLIER: u32 = 1_103_515_245;
+
+/// The LCG increment.
+pub const INCREMENT: u32 = 12_345;
+
+/// The seed every kernel starts from.
+pub const SEED: u32 = 2003;
+
+/// Offset added to diagonal entries by `tri` and `lu` to guarantee
+/// diagonal dominance (no pivoting needed, bounded error growth).
+pub const DIAGONAL_BOOST: i32 = 8192;
+
+/// A host-side copy of the in-simulator generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg {
+    state: u32,
+}
+
+impl Default for Lcg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lcg {
+    /// Starts from [`SEED`], like every kernel.
+    pub fn new() -> Self {
+        Lcg { state: SEED }
+    }
+
+    /// Starts from an explicit state.
+    pub fn with_seed(seed: u32) -> Self {
+        Lcg { state: seed }
+    }
+
+    /// Advances the generator and returns the raw 11-bit draw
+    /// `((x >> 16) & 0x3FF) + 1`, i.e. an integer in `1..=1024`.
+    ///
+    /// The assembly twin is:
+    ///
+    /// ```text
+    /// mul   $s7, $s7, 1103515245   # (li into a scratch register first)
+    /// addiu $s7, $s7, 12345
+    /// srl   $t8, $s7, 16
+    /// andi  $t8, $t8, 0x3ff
+    /// addiu $t8, $t8, 1
+    /// ```
+    pub fn next_int(&mut self) -> i32 {
+        self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(INCREMENT);
+        ((self.state >> 16) & 0x3FF) as i32 + 1
+    }
+
+    /// The next input value as the kernels consume it: the integer draw
+    /// converted exactly to `f64` (matching `mtc1` + `cvt.d.w`).
+    pub fn next_value(&mut self) -> f64 {
+        f64::from(self.next_int())
+    }
+
+    /// The next *diagonal* value: draw plus [`DIAGONAL_BOOST`], converted
+    /// to `f64`.
+    pub fn next_diagonal(&mut self) -> f64 {
+        f64::from(self.next_int() + DIAGONAL_BOOST)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_is_deterministic_and_in_range() {
+        let mut a = Lcg::new();
+        let mut b = Lcg::new();
+        for _ in 0..1000 {
+            let v = a.next_int();
+            assert_eq!(v, b.next_int());
+            assert!((1..=1024).contains(&v));
+        }
+    }
+
+    #[test]
+    fn first_draws_are_pinned() {
+        // Regression pin: if these change, every kernel's expected output
+        // changes with them.
+        let mut lcg = Lcg::new();
+        let first: Vec<i32> = (0..4).map(|_| lcg.next_int()).collect();
+        assert_eq!(first, [664, 539, 720, 826]);
+    }
+
+    #[test]
+    fn diagonal_boost_dominates() {
+        let mut lcg = Lcg::new();
+        for _ in 0..100 {
+            assert!(lcg.next_diagonal() > 8192.0);
+        }
+    }
+
+    #[test]
+    fn values_convert_exactly() {
+        let mut lcg = Lcg::with_seed(7);
+        let i = lcg.next_int();
+        let mut again = Lcg::with_seed(7);
+        assert_eq!(again.next_value(), f64::from(i));
+    }
+}

@@ -1,0 +1,673 @@
+//! Assembly source generators for the six kernels.
+//!
+//! Each generator returns a [`KernelSpec`] whose `source` is a complete
+//! assembly program and whose `expected_output` comes from the matching
+//! [`crate::golden`] model. The floating-point **operation order** in the
+//! assembly and in the golden model is kept identical statement for
+//! statement — IEEE-754 doubles then guarantee bit-equal results, so the
+//! printed checksums compare with `==`.
+//!
+//! Conventions shared by all kernels:
+//!
+//! * `$s6` holds the LCG multiplier, `$s7` the LCG state (see
+//!   [`crate::lcg`]); the generator may be re-used mid-program as long as
+//!   `$s7` is preserved.
+//! * `$f20` is never clobbered by helpers and may hold a long-lived
+//!   accumulator.
+//! * Every kernel ends by printing its checksum from `$f12` (`print_double`
+//!   syscall), a newline, then exiting.
+
+use crate::golden;
+use crate::lcg;
+use crate::KernelSpec;
+
+/// Emits the standard prologue: load the LCG constants.
+pub(crate) fn lcg_prologue() -> String {
+    format!(
+        "        li   $s6, {}\n        li   $s7, {}\n",
+        lcg::MULTIPLIER,
+        lcg::SEED
+    )
+}
+
+/// Emits one LCG step leaving the draw (an integer in 1..=1024) in `$t8`.
+pub(crate) fn lcg_step() -> &'static str {
+    "        mul   $s7, $s7, $s6\n\
+     \x20       addiu $s7, $s7, 12345\n\
+     \x20       srl   $t8, $s7, 16\n\
+     \x20       andi  $t8, $t8, 0x3ff\n\
+     \x20       addiu $t8, $t8, 1\n"
+}
+
+/// Emits the conversion of the `$t8` draw into the double register `freg`
+/// (which must be even), via `$f0`.
+pub(crate) fn draw_to_double(freg: &str) -> String {
+    format!("        mtc1  $t8, $f0\n        cvt.d.w {freg}, $f0\n")
+}
+
+/// Emits a loop filling `count` doubles at label `array` with LCG values.
+/// Clobbers `$t0`, `$t1`, `$t8`, `$f0`, `$f2`. `tag` uniquifies labels.
+pub(crate) fn fill_array(tag: &str, array: &str, count: usize) -> String {
+    format!(
+        "        la    $t0, {array}\n\
+         \x20       li    $t1, {count}\n\
+         fill_{tag}:\n\
+         {step}{conv}\
+         \x20       sdc1  $f2, 0($t0)\n\
+         \x20       addiu $t0, $t0, 8\n\
+         \x20       addiu $t1, $t1, -1\n\
+         \x20       bgtz  $t1, fill_{tag}\n",
+        step = lcg_step(),
+        conv = draw_to_double("$f2"),
+    )
+}
+
+/// Emits a loop summing `count` doubles at `array` into `$f12`
+/// (accumulating onto its current value). Clobbers `$t0`, `$t1`, `$f2`.
+pub(crate) fn sum_array(tag: &str, array: &str, count: usize) -> String {
+    format!(
+        "        la    $t0, {array}\n\
+         \x20       li    $t1, {count}\n\
+         sum_{tag}:\n\
+         \x20       ldc1  $f2, 0($t0)\n\
+         \x20       add.d $f12, $f12, $f2\n\
+         \x20       addiu $t0, $t0, 8\n\
+         \x20       addiu $t1, $t1, -1\n\
+         \x20       bgtz  $t1, sum_{tag}\n",
+    )
+}
+
+/// Emits "zero the double register `freg`" (freg must be even; `fodd` is
+/// its odd pair).
+pub(crate) fn zero_double(freg: &str, fodd: &str) -> String {
+    format!("        mtc1  $zero, {freg}\n        mtc1  $zero, {fodd}\n")
+}
+
+/// Emits the epilogue: print `$f12` as a double, newline, exit.
+pub(crate) fn epilogue() -> &'static str {
+    "        li    $v0, 3\n\
+     \x20       syscall\n\
+     \x20       li    $v0, 11\n\
+     \x20       li    $a0, 10\n\
+     \x20       syscall\n\
+     \x20       li    $v0, 10\n\
+     \x20       syscall\n"
+}
+
+/// Matrix multiplication `C = A·B` of `n×n` doubles (paper: `n = 100`).
+pub fn mmul(n: usize) -> KernelSpec {
+    assert!(n >= 2, "mmul needs n >= 2");
+    let nn = n * n;
+    let source = format!(
+        r#"# mmul: C = A * B on {n}x{n} doubles
+        .data
+        .align 3
+A:      .space {bytes}
+B:      .space {bytes}
+C:      .space {bytes}
+        .text
+main:
+{prologue}{fill_a}{fill_b}
+        li    $s0, {n}
+        sll   $s5, $s0, 3          # row stride in bytes
+        li    $s1, 0               # i
+mm_i:   li    $s2, 0               # j
+mm_j:
+{zero_f4}        mul   $t0, $s1, $s5
+        la    $t3, A
+        addu  $t0, $t0, $t3        # &A[i][0]
+        la    $t3, B
+        sll   $t4, $s2, 3
+        addu  $t1, $t3, $t4        # &B[0][j]
+        li    $s3, 0               # k
+mm_k:   ldc1  $f2, 0($t0)
+        ldc1  $f6, 0($t1)
+        mul.d $f8, $f2, $f6
+        add.d $f4, $f4, $f8
+        addiu $t0, $t0, 8
+        addu  $t1, $t1, $s5
+        addiu $s3, $s3, 1
+        blt   $s3, $s0, mm_k
+        mul   $t5, $s1, $s5
+        la    $t3, C
+        addu  $t5, $t5, $t3
+        sll   $t6, $s2, 3
+        addu  $t5, $t5, $t6
+        sdc1  $f4, 0($t5)          # C[i][j]
+        addiu $s2, $s2, 1
+        blt   $s2, $s0, mm_j
+        addiu $s1, $s1, 1
+        blt   $s1, $s0, mm_i
+{zero_f12}{sum_c}{epilogue}"#,
+        bytes = nn * 8,
+        prologue = lcg_prologue(),
+        fill_a = fill_array("a", "A", nn),
+        fill_b = fill_array("b", "B", nn),
+        zero_f4 = zero_double("$f4", "$f5"),
+        zero_f12 = zero_double("$f12", "$f13"),
+        sum_c = sum_array("c", "C", nn),
+        epilogue = epilogue(),
+    );
+    KernelSpec {
+        name: format!("mmul-{n}"),
+        source,
+        max_steps: (20 * nn * n + 40 * nn + 10_000) as u64,
+        expected_output: golden::mmul(n),
+    }
+}
+
+/// Successive over-relaxation with ω = 1.5 on an `n×n` grid, `sweeps`
+/// in-place Gauss–Seidel sweeps (paper: `n = 256`).
+pub fn sor(n: usize, sweeps: usize) -> KernelSpec {
+    assert!(n >= 3 && sweeps >= 1, "sor needs n >= 3 and sweeps >= 1");
+    let nn = n * n;
+    let source = format!(
+        r#"# sor: {sweeps} SOR sweeps (omega = 1.5) on a {n}x{n} grid
+        .data
+        .align 3
+four:   .double 4.0
+factor: .double 0.375              # omega / 4
+U:      .space {bytes}
+        .text
+main:
+{prologue}{fill_u}
+        li    $s0, {n}
+        sll   $s5, $s0, 3          # row stride
+        addiu $s3, $s0, -1         # n - 1
+        li    $s4, {sweeps}
+        la    $t0, four
+        ldc1  $f28, 0($t0)
+        la    $t0, factor
+        ldc1  $f30, 0($t0)
+sweep:  li    $s1, 1               # i
+so_i:   li    $s2, 1               # j
+        mul   $t0, $s1, $s5
+        la    $t3, U
+        addu  $t0, $t0, $t3
+        addiu $t0, $t0, 8          # &U[i][1]
+so_j:   ldc1  $f2, 0($t0)          # c
+        subu  $t4, $t0, $s5
+        ldc1  $f4, 0($t4)          # up
+        addu  $t4, $t0, $s5
+        ldc1  $f6, 0($t4)          # down
+        ldc1  $f8, -8($t0)         # left
+        ldc1  $f10, 8($t0)         # right
+        add.d $f4, $f4, $f6        # up + down
+        add.d $f8, $f8, $f10       # left + right
+        add.d $f4, $f4, $f8        # neighbour sum
+        mul.d $f6, $f2, $f28       # 4c
+        sub.d $f4, $f4, $f6        # residual
+        mul.d $f4, $f4, $f30       # (omega/4) * residual
+        add.d $f2, $f2, $f4
+        sdc1  $f2, 0($t0)
+        addiu $t0, $t0, 8
+        addiu $s2, $s2, 1
+        blt   $s2, $s3, so_j
+        addiu $s1, $s1, 1
+        blt   $s1, $s3, so_i
+        addiu $s4, $s4, -1
+        bgtz  $s4, sweep
+{zero_f12}{sum_u}{epilogue}"#,
+        bytes = nn * 8,
+        prologue = lcg_prologue(),
+        fill_u = fill_array("u", "U", nn),
+        zero_f12 = zero_double("$f12", "$f13"),
+        sum_u = sum_array("u", "U", nn),
+        epilogue = epilogue(),
+    );
+    KernelSpec {
+        name: format!("sor-{n}x{sweeps}"),
+        source,
+        max_steps: (30 * nn * sweeps + 40 * nn + 10_000) as u64,
+        expected_output: golden::sor(n, sweeps),
+    }
+}
+
+/// Extrapolated Jacobi iteration with ω = 1.25 on an `n×n` grid for
+/// `iters` sweeps, ping-ponging between two arrays (paper: `n = 128`).
+pub fn ej(n: usize, iters: usize) -> KernelSpec {
+    assert!(n >= 3 && iters >= 1, "ej needs n >= 3 and iters >= 1");
+    let nn = n * n;
+    let source = format!(
+        r#"# ej: {iters} extrapolated-Jacobi sweeps (omega = 1.25) on {n}x{n}
+        .data
+        .align 3
+quarter: .double 0.25
+omega:  .double 1.25
+U:      .space {bytes}
+V:      .space {bytes}
+        .text
+main:
+{prologue}{fill_u}
+        # copy U to V so the fixed boundary matches
+        la    $t0, U
+        la    $t1, V
+        li    $t2, {nn}
+copyv:  ldc1  $f2, 0($t0)
+        sdc1  $f2, 0($t1)
+        addiu $t0, $t0, 8
+        addiu $t1, $t1, 8
+        addiu $t2, $t2, -1
+        bgtz  $t2, copyv
+        li    $s0, {n}
+        sll   $s5, $s0, 3          # row stride
+        addiu $s3, $s0, -1
+        li    $s4, {iters}
+        la    $t0, quarter
+        ldc1  $f28, 0($t0)
+        la    $t0, omega
+        ldc1  $f30, 0($t0)
+        la    $s6, U               # src (LCG done; $s6 is free now)
+        la    $s7, V               # dst
+ej_it:  li    $s1, 1               # i
+ej_i:   li    $s2, 1               # j
+        mul   $t0, $s1, $s5
+        addu  $t1, $t0, $s7
+        addu  $t0, $t0, $s6
+        addiu $t0, $t0, 8          # &src[i][1]
+        addiu $t1, $t1, 8          # &dst[i][1]
+ej_j:   ldc1  $f2, 0($t0)          # c
+        subu  $t4, $t0, $s5
+        ldc1  $f4, 0($t4)          # up
+        addu  $t4, $t0, $s5
+        ldc1  $f6, 0($t4)          # down
+        ldc1  $f8, -8($t0)         # left
+        ldc1  $f10, 8($t0)         # right
+        add.d $f4, $f4, $f6
+        add.d $f8, $f8, $f10
+        add.d $f4, $f4, $f8        # neighbour sum
+        mul.d $f4, $f4, $f28       # Jacobi average
+        sub.d $f4, $f4, $f2        # correction
+        mul.d $f4, $f4, $f30       # extrapolated
+        add.d $f4, $f2, $f4
+        sdc1  $f4, 0($t1)
+        addiu $t0, $t0, 8
+        addiu $t1, $t1, 8
+        addiu $s2, $s2, 1
+        blt   $s2, $s3, ej_j
+        addiu $s1, $s1, 1
+        blt   $s1, $s3, ej_i
+        move  $t4, $s6             # swap src/dst
+        move  $s6, $s7
+        move  $s7, $t4
+        addiu $s4, $s4, -1
+        bgtz  $s4, ej_it
+        # checksum over the final src array
+{zero_f12}        move  $t0, $s6
+        li    $t1, {nn}
+sum_e:  ldc1  $f2, 0($t0)
+        add.d $f12, $f12, $f2
+        addiu $t0, $t0, 8
+        addiu $t1, $t1, -1
+        bgtz  $t1, sum_e
+{epilogue}"#,
+        bytes = nn * 8,
+        prologue = lcg_prologue(),
+        fill_u = fill_array("u", "U", nn),
+        zero_f12 = zero_double("$f12", "$f13"),
+        epilogue = epilogue(),
+    );
+    KernelSpec {
+        name: format!("ej-{n}x{iters}"),
+        source,
+        max_steps: (30 * nn * iters + 60 * nn + 10_000) as u64,
+        expected_output: golden::ej(n, iters),
+    }
+}
+
+/// Iterative radix-2 decimation-in-time FFT on `2^log2n` complex samples
+/// (paper: 256 samples, `log2n = 8`). Twiddle factors live in a ROM table,
+/// as DSP firmware does.
+pub fn fft(log2n: usize) -> KernelSpec {
+    assert!((2..=14).contains(&log2n), "fft needs 2 <= log2n <= 14");
+    let n = 1usize << log2n;
+    let (wre, wim) = golden::fft_twiddles(n);
+    let format_table = |values: &[f64]| -> String {
+        values
+            .chunks(4)
+            .map(|chunk| {
+                let items: Vec<String> = chunk.iter().map(|v| format!("{v:?}")).collect();
+                format!("        .double {}\n", items.join(", "))
+            })
+            .collect()
+    };
+    let source = format!(
+        r#"# fft: {n}-point radix-2 DIT FFT with a twiddle ROM
+        .data
+        .align 3
+WR:
+{wr_table}WI:
+{wi_table}RE:     .space {bytes}
+IM:     .space {bytes}
+        .text
+main:
+{prologue}{fill_re}{fill_im}
+        li    $s0, {n}
+        # ---- bit-reverse permutation ----
+        li    $s1, 1               # i
+        li    $s2, 0               # j
+brev:   srl   $t0, $s0, 1          # bit
+brev_w: and   $t1, $s2, $t0
+        beq   $t1, $zero, brev_x
+        xor   $s2, $s2, $t0
+        srl   $t0, $t0, 1
+        b     brev_w
+brev_x: xor   $s2, $s2, $t0
+        slt   $t1, $s1, $s2
+        beq   $t1, $zero, brev_n
+        sll   $t2, $s1, 3
+        sll   $t3, $s2, 3
+        la    $t4, RE
+        addu  $t5, $t4, $t2
+        addu  $t6, $t4, $t3
+        ldc1  $f2, 0($t5)
+        ldc1  $f4, 0($t6)
+        sdc1  $f4, 0($t5)
+        sdc1  $f2, 0($t6)
+        la    $t4, IM
+        addu  $t5, $t4, $t2
+        addu  $t6, $t4, $t3
+        ldc1  $f2, 0($t5)
+        ldc1  $f4, 0($t6)
+        sdc1  $f4, 0($t5)
+        sdc1  $f2, 0($t6)
+brev_n: addiu $s1, $s1, 1
+        blt   $s1, $s0, brev
+        # ---- butterfly stages ----
+        li    $s3, 2               # len
+f_len:  srl   $s4, $s3, 1          # half
+        div   $s5, $s0, $s3        # twiddle stride
+        li    $s1, 0               # i
+f_i:    li    $s2, 0               # j
+f_j:    mul   $t0, $s2, $s5
+        sll   $t0, $t0, 3
+        la    $t1, WR
+        addu  $t1, $t1, $t0
+        ldc1  $f2, 0($t1)          # wr
+        la    $t1, WI
+        addu  $t1, $t1, $t0
+        ldc1  $f4, 0($t1)          # wi
+        addu  $t2, $s1, $s2        # p
+        sll   $t3, $t2, 3
+        addu  $t4, $t2, $s4        # q
+        sll   $t5, $t4, 3
+        la    $t6, RE
+        addu  $t7, $t6, $t3        # &re[p]
+        addu  $t8, $t6, $t5        # &re[q]
+        la    $t6, IM
+        addu  $t9, $t6, $t3        # &im[p]
+        addu  $t6, $t6, $t5        # &im[q]
+        ldc1  $f6, 0($t8)          # reQ
+        ldc1  $f8, 0($t6)          # imQ
+        mul.d $f10, $f6, $f2
+        mul.d $f12, $f8, $f4
+        sub.d $f10, $f10, $f12     # tr
+        mul.d $f12, $f6, $f4
+        mul.d $f14, $f8, $f2
+        add.d $f12, $f12, $f14     # ti
+        ldc1  $f6, 0($t7)          # reP
+        ldc1  $f8, 0($t9)          # imP
+        sub.d $f16, $f6, $f10
+        sdc1  $f16, 0($t8)         # re[q]
+        sub.d $f16, $f8, $f12
+        sdc1  $f16, 0($t6)         # im[q]
+        add.d $f16, $f6, $f10
+        sdc1  $f16, 0($t7)         # re[p]
+        add.d $f16, $f8, $f12
+        sdc1  $f16, 0($t9)         # im[p]
+        addiu $s2, $s2, 1
+        blt   $s2, $s4, f_j
+        addu  $s1, $s1, $s3
+        blt   $s1, $s0, f_i
+        sll   $s3, $s3, 1
+        ble   $s3, $s0, f_len
+{zero_f12}{sum_re}{sum_im}{epilogue}"#,
+        wr_table = format_table(&wre),
+        wi_table = format_table(&wim),
+        bytes = n * 8,
+        prologue = lcg_prologue(),
+        fill_re = fill_array("re", "RE", n),
+        fill_im = fill_array("im", "IM", n),
+        zero_f12 = zero_double("$f12", "$f13"),
+        sum_re = sum_array("re", "RE", n),
+        sum_im = sum_array("im", "IM", n),
+        epilogue = epilogue(),
+    );
+    KernelSpec {
+        name: format!("fft-{n}"),
+        source,
+        max_steps: (200 * n * log2n + 100 * n + 10_000) as u64,
+        expected_output: golden::fft(log2n),
+    }
+}
+
+/// Thomas-algorithm tridiagonal solver on `n` unknowns, repeated over
+/// `reps` freshly generated diagonally dominant systems (paper: `n = 128`).
+pub fn tri(n: usize, reps: usize) -> KernelSpec {
+    assert!(n >= 3 && reps >= 1, "tri needs n >= 3 and reps >= 1");
+    let source = format!(
+        r#"# tri: Thomas algorithm on {reps} random {n}-unknown systems
+        .data
+        .align 3
+TA:     .space {bytes}
+TB:     .space {bytes}
+TC:     .space {bytes}
+TD:     .space {bytes}
+TX:     .space {bytes}
+        .text
+main:
+{prologue}        li    $s0, {n}
+        li    $s2, {reps}
+{zero_f20}
+t_rep:  # ---- generate one diagonally dominant system ----
+        la    $t0, TA
+        la    $t1, TB
+        la    $t2, TC
+        la    $t3, TD
+        li    $t4, {n}
+t_gen:
+{draw_a}        sdc1  $f2, 0($t0)
+{step_b}        addiu $t8, $t8, {boost}
+{conv_b}        sdc1  $f2, 0($t1)
+{draw_c}        sdc1  $f2, 0($t2)
+{draw_d}        sdc1  $f2, 0($t3)
+        addiu $t0, $t0, 8
+        addiu $t1, $t1, 8
+        addiu $t2, $t2, 8
+        addiu $t3, $t3, 8
+        addiu $t4, $t4, -1
+        bgtz  $t4, t_gen
+        # ---- forward elimination ----
+        la    $t0, TA
+        la    $t1, TB
+        la    $t2, TC
+        la    $t3, TD
+        li    $s1, 1
+t_fwd:  ldc1  $f2, 8($t0)          # a[i]
+        ldc1  $f4, 0($t1)          # b[i-1]
+        div.d $f2, $f2, $f4        # m
+        ldc1  $f4, 0($t2)          # c[i-1]
+        mul.d $f4, $f2, $f4
+        ldc1  $f6, 8($t1)          # b[i]
+        sub.d $f6, $f6, $f4
+        sdc1  $f6, 8($t1)
+        ldc1  $f4, 0($t3)          # d[i-1]
+        mul.d $f4, $f2, $f4
+        ldc1  $f6, 8($t3)          # d[i]
+        sub.d $f6, $f6, $f4
+        sdc1  $f6, 8($t3)
+        addiu $t0, $t0, 8
+        addiu $t1, $t1, 8
+        addiu $t2, $t2, 8
+        addiu $t3, $t3, 8
+        addiu $s1, $s1, 1
+        blt   $s1, $s0, t_fwd
+        # ---- back substitution ----
+        # The forward loop advanced the pointers to index n-1.
+        ldc1  $f2, 0($t3)          # d[n-1]
+        ldc1  $f4, 0($t1)          # b[n-1]
+        div.d $f2, $f2, $f4
+        la    $t5, TX
+        addiu $t6, $s0, -1
+        sll   $t7, $t6, 3
+        addu  $t5, $t5, $t7        # &x[n-1]
+        sdc1  $f2, 0($t5)
+        addiu $t1, $t1, -8         # step b/c/d pointers to index n-2
+        addiu $t2, $t2, -8
+        addiu $t3, $t3, -8
+        addiu $s1, $s0, -2         # i = n - 2
+t_back: bltz  $s1, t_done
+        ldc1  $f2, 0($t2)          # c[i]
+        ldc1  $f4, 0($t5)          # x[i+1]
+        mul.d $f2, $f2, $f4
+        ldc1  $f4, 0($t3)          # d[i]
+        sub.d $f4, $f4, $f2
+        ldc1  $f2, 0($t1)          # b[i]
+        div.d $f4, $f4, $f2
+        addiu $t5, $t5, -8         # &x[i]
+        sdc1  $f4, 0($t5)
+        addiu $t1, $t1, -8
+        addiu $t2, $t2, -8
+        addiu $t3, $t3, -8
+        addiu $s1, $s1, -1
+        b     t_back
+t_done:
+{zero_f12}{sum_x}{epilogue_inner}
+        addiu $s2, $s2, -1
+        bgtz  $s2, t_rep
+        mov.d $f12, $f20
+{epilogue}"#,
+        bytes = n * 8,
+        boost = lcg::DIAGONAL_BOOST,
+        prologue = lcg_prologue(),
+        zero_f20 = zero_double("$f20", "$f21"),
+        draw_a = [lcg_step().to_string(), draw_to_double("$f2")].concat(),
+        step_b = lcg_step(),
+        conv_b = draw_to_double("$f2"),
+        draw_c = [lcg_step().to_string(), draw_to_double("$f2")].concat(),
+        draw_d = [lcg_step().to_string(), draw_to_double("$f2")].concat(),
+        zero_f12 = zero_double("$f12", "$f13"),
+        sum_x = sum_array("x", "TX", n),
+        epilogue_inner = "        add.d $f20, $f20, $f12\n",
+        epilogue = epilogue(),
+    );
+    KernelSpec {
+        name: format!("tri-{n}x{reps}"),
+        source,
+        max_steps: (120 * n * reps + 10_000) as u64,
+        expected_output: golden::tri(n, reps),
+    }
+}
+
+/// Doolittle LU decomposition without pivoting on a diagonally dominant
+/// `n×n` matrix (paper: `n = 128`).
+pub fn lu(n: usize) -> KernelSpec {
+    assert!(n >= 2, "lu needs n >= 2");
+    let nn = n * n;
+    let source = format!(
+        r#"# lu: in-place Doolittle LU on a diagonally dominant {n}x{n} matrix
+        .data
+        .align 3
+LA:     .space {bytes}
+        .text
+main:
+{prologue}        li    $s0, {n}
+        # ---- fill, boosting the diagonal ----
+        la    $t0, LA
+        li    $s1, 0               # i
+l_fi:   li    $s2, 0               # j
+l_fj:
+{step}        bne   $s1, $s2, l_nd
+        addiu $t8, $t8, {boost}
+l_nd:
+{conv}        sdc1  $f2, 0($t0)
+        addiu $t0, $t0, 8
+        addiu $s2, $s2, 1
+        blt   $s2, $s0, l_fj
+        addiu $s1, $s1, 1
+        blt   $s1, $s0, l_fi
+        # ---- elimination ----
+        sll   $s5, $s0, 3          # row stride
+        li    $s3, 0               # k
+l_k:    mul   $t0, $s3, $s5
+        la    $t1, LA
+        addu  $t0, $t0, $t1
+        sll   $t2, $s3, 3
+        addu  $t0, $t0, $t2        # &A[k][k]
+        ldc1  $f2, 0($t0)          # pivot
+        addiu $s1, $s3, 1          # i
+l_i:    blt   $s1, $s0, l_i_body
+        b     l_k_next
+l_i_body:
+        mul   $t3, $s1, $s5
+        la    $t1, LA
+        addu  $t3, $t3, $t1
+        sll   $t2, $s3, 3
+        addu  $t3, $t3, $t2        # &A[i][k]
+        ldc1  $f4, 0($t3)
+        div.d $f4, $f4, $f2        # m
+        sdc1  $f4, 0($t3)
+        # row update: A[i][k+1..n] -= m * A[k][k+1..n]
+        addiu $t4, $t3, 8          # &A[i][k+1]
+        addiu $t5, $t0, 8          # &A[k][k+1]
+        subu  $t6, $s0, $s3
+        addiu $t6, $t6, -1         # count = n - k - 1
+        blez  $t6, l_row_done
+l_j:    ldc1  $f6, 0($t5)
+        mul.d $f8, $f4, $f6
+        ldc1  $f10, 0($t4)
+        sub.d $f10, $f10, $f8
+        sdc1  $f10, 0($t4)
+        addiu $t4, $t4, 8
+        addiu $t5, $t5, 8
+        addiu $t6, $t6, -1
+        bgtz  $t6, l_j
+l_row_done:
+        addiu $s1, $s1, 1
+        b     l_i
+l_k_next:
+        addiu $s3, $s3, 1
+        blt   $s3, $s0, l_k
+{zero_f12}{sum_a}{epilogue}"#,
+        bytes = nn * 8,
+        boost = lcg::DIAGONAL_BOOST,
+        prologue = lcg_prologue(),
+        step = lcg_step(),
+        conv = draw_to_double("$f2"),
+        zero_f12 = zero_double("$f12", "$f13"),
+        sum_a = sum_array("a", "LA", nn),
+        epilogue = epilogue(),
+    );
+    KernelSpec {
+        name: format!("lu-{n}"),
+        source,
+        max_steps: (15 * nn * n + 60 * nn + 10_000) as u64,
+        expected_output: golden::lu(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_assemble() {
+        for spec in [mmul(4), sor(4, 1), ej(4, 1), fft(3), tri(4, 2), lu(4)] {
+            let program = spec.assemble();
+            assert!(!program.text.is_empty(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn paper_sizes_produce_large_data_segments() {
+        let spec = mmul(100);
+        let program = spec.assemble();
+        assert_eq!(program.data.len(), 3 * 100 * 100 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs n >= 2")]
+    fn mmul_rejects_degenerate_sizes() {
+        mmul(1);
+    }
+}

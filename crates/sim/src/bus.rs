@@ -1,0 +1,248 @@
+//! Bus transition monitors and the energy model.
+//!
+//! Dynamic power on a bus line is `P = α·C·V²·f` where `α` is the switching
+//! activity; per fetch, each line that toggles dissipates `½·C·V²`. The
+//! paper reports raw transition counts (its Figure 6) and argues power is
+//! proportional; [`EnergyModel`] turns counts into joules for a chosen line
+//! capacitance and supply voltage so experiments can also report energy.
+
+use crate::cpu::FetchSink;
+
+/// Counts 0↔1 transitions per line on the instruction **data** bus.
+///
+/// Feed it fetched words in program order — either directly through
+/// [`DataBusMonitor::observe`], or as a [`FetchSink`] hanging off the CPU.
+///
+/// ```
+/// use imt_sim::bus::DataBusMonitor;
+///
+/// let mut bus = DataBusMonitor::new(32);
+/// bus.observe(0x0000_00FF);
+/// bus.observe(0x0000_0F0F); // 8 lines flip: 0xFF ^ 0x0F0F = 0x0FF0
+/// assert_eq!(bus.total_transitions(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataBusMonitor {
+    width: usize,
+    mask: u64,
+    last: Option<u64>,
+    per_lane: Vec<u64>,
+    words: u64,
+}
+
+impl DataBusMonitor {
+    /// Creates a monitor for a bus of `width` lines (1–64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64`.
+    pub fn new(width: usize) -> Self {
+        assert!((1..=64).contains(&width), "bus width {width} outside 1..=64");
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        DataBusMonitor { width, mask, last: None, per_lane: vec![0; width], words: 0 }
+    }
+
+    /// Observes the next word on the bus.
+    pub fn observe(&mut self, word: u64) {
+        let word = word & self.mask;
+        if let Some(last) = self.last {
+            let mut diff = last ^ word;
+            while diff != 0 {
+                let lane = diff.trailing_zeros() as usize;
+                self.per_lane[lane] += 1;
+                diff &= diff - 1;
+            }
+        }
+        self.last = Some(word);
+        self.words += 1;
+    }
+
+    /// Number of bus lines.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Words observed so far.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Transitions per line, index = line number.
+    pub fn per_lane(&self) -> &[u64] {
+        &self.per_lane
+    }
+
+    /// Total transitions across all lines — the paper's `#TR` metric.
+    pub fn total_transitions(&self) -> u64 {
+        self.per_lane.iter().sum()
+    }
+
+    /// Resets counters, keeping the width.
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.words = 0;
+        self.per_lane.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+impl FetchSink for DataBusMonitor {
+    #[inline]
+    fn on_fetch(&mut self, _pc: u32, word: u32) {
+        self.observe(word as u64);
+    }
+}
+
+/// Counts transitions per line on the instruction **address** bus.
+///
+/// Used by the T0 baseline comparison: sequential fetch makes the low
+/// address lines toggle predictably, which address-bus encodings exploit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressBusMonitor {
+    inner: DataBusMonitor,
+}
+
+impl AddressBusMonitor {
+    /// Creates a monitor for a 32-line address bus.
+    pub fn new() -> Self {
+        AddressBusMonitor { inner: DataBusMonitor::new(32) }
+    }
+
+    /// Observes the next address on the bus.
+    pub fn observe(&mut self, address: u32) {
+        self.inner.observe(address as u64);
+    }
+
+    /// Total transitions across all lines.
+    pub fn total_transitions(&self) -> u64 {
+        self.inner.total_transitions()
+    }
+
+    /// Transitions per line.
+    pub fn per_lane(&self) -> &[u64] {
+        self.inner.per_lane()
+    }
+}
+
+impl Default for AddressBusMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FetchSink for AddressBusMonitor {
+    #[inline]
+    fn on_fetch(&mut self, pc: u32, _word: u32) {
+        self.observe(pc);
+    }
+}
+
+/// Converts transition counts to switching energy: `E = ½·C·V²` per
+/// transition per line.
+///
+/// ```
+/// use imt_sim::bus::EnergyModel;
+///
+/// let model = EnergyModel::OFF_CHIP;
+/// // A million transitions on a 10 pF, 3.3 V line ≈ 54 µJ.
+/// let joules = model.energy_joules(1_000_000);
+/// assert!((joules - 5.445e-5).abs() < 1e-8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Effective capacitance of one bus line, in farads.
+    pub line_capacitance_farads: f64,
+    /// Supply voltage, in volts.
+    pub supply_volts: f64,
+}
+
+impl EnergyModel {
+    /// An on-chip bus line (≈0.5 pF) at 1.8 V — a long on-die interconnect
+    /// in the ~0.18 µm era the paper targets.
+    pub const ON_CHIP: EnergyModel =
+        EnergyModel { line_capacitance_farads: 0.5e-12, supply_volts: 1.8 };
+
+    /// An off-chip bus line through package pins to external flash
+    /// (≈10 pF) at 3.3 V — the paper's motivating worst case.
+    pub const OFF_CHIP: EnergyModel =
+        EnergyModel { line_capacitance_farads: 10e-12, supply_volts: 3.3 };
+
+    /// Energy dissipated by `transitions` line toggles.
+    pub fn energy_joules(&self, transitions: u64) -> f64 {
+        0.5 * self.line_capacitance_farads
+            * self.supply_volts
+            * self.supply_volts
+            * transitions as f64
+    }
+
+    /// Average power for `transitions` spread over `cycles` at `hz`.
+    pub fn average_power_watts(&self, transitions: u64, cycles: u64, hz: f64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.energy_joules(transitions) / (cycles as f64 / hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_lane_accounting() {
+        let mut bus = DataBusMonitor::new(4);
+        for word in [0b0000u64, 0b0001, 0b0011, 0b0000] {
+            bus.observe(word);
+        }
+        assert_eq!(bus.per_lane(), &[2, 2, 0, 0]);
+        assert_eq!(bus.total_transitions(), 4);
+        assert_eq!(bus.words(), 4);
+    }
+
+    #[test]
+    fn width_masks_upper_bits() {
+        let mut bus = DataBusMonitor::new(8);
+        bus.observe(0xFFFF_FF00);
+        bus.observe(0x0000_00FF);
+        assert_eq!(bus.total_transitions(), 8);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut bus = DataBusMonitor::new(32);
+        bus.observe(0);
+        bus.observe(u64::MAX);
+        assert_eq!(bus.total_transitions(), 32);
+        bus.reset();
+        assert_eq!(bus.total_transitions(), 0);
+        bus.observe(u64::MAX); // first word after reset: no transition
+        assert_eq!(bus.total_transitions(), 0);
+    }
+
+    #[test]
+    fn sequential_addresses_mostly_toggle_low_lines() {
+        let mut bus = AddressBusMonitor::new();
+        for i in 0..16u32 {
+            bus.observe(0x0040_0000 + i * 4);
+        }
+        // Line 2 toggles every fetch; lines 0,1 never (word aligned).
+        assert_eq!(bus.per_lane()[0], 0);
+        assert_eq!(bus.per_lane()[1], 0);
+        assert_eq!(bus.per_lane()[2], 15);
+    }
+
+    #[test]
+    fn energy_scaling() {
+        let model = EnergyModel { line_capacitance_farads: 1e-12, supply_volts: 2.0 };
+        assert!((model.energy_joules(1) - 2e-12).abs() < 1e-20);
+        assert_eq!(model.average_power_watts(0, 0, 1e8), 0.0);
+        // 1e6 transitions over 1e8 cycles at 100 MHz = 1 second → 2 µW.
+        let p = model.average_power_watts(1_000_000, 100_000_000, 1e8);
+        assert!((p - 2e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=64")]
+    fn zero_width_rejected() {
+        DataBusMonitor::new(0);
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while loading or running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The text segment contains a word that does not decode.
+    InvalidInstruction {
+        /// Address of the word.
+        pc: u32,
+        /// The undecodable word.
+        word: u32,
+    },
+    /// The PC left the text segment.
+    PcOutOfText {
+        /// The offending PC value.
+        pc: u32,
+    },
+    /// A data access was not aligned to its natural size.
+    UnalignedAccess {
+        /// The faulting address.
+        address: u32,
+        /// Required alignment in bytes.
+        alignment: u32,
+    },
+    /// A data access fell outside user address space (`< 0x8000_0000`).
+    AccessOutOfRange {
+        /// The faulting address.
+        address: u32,
+    },
+    /// An unknown syscall number was requested in `$v0`.
+    UnknownSyscall {
+        /// The syscall number.
+        number: u32,
+    },
+    /// The program did not exit within the step budget.
+    MaxStepsExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimError::InvalidInstruction { pc, word } => {
+                write!(f, "invalid instruction {word:08x} at {pc:08x}")
+            }
+            SimError::PcOutOfText { pc } => write!(f, "pc {pc:08x} outside the text segment"),
+            SimError::UnalignedAccess { address, alignment } => {
+                write!(f, "access at {address:08x} not aligned to {alignment} bytes")
+            }
+            SimError::AccessOutOfRange { address } => {
+                write!(f, "access at {address:08x} outside user address space")
+            }
+            SimError::UnknownSyscall { number } => write!(f, "unknown syscall {number}"),
+            SimError::MaxStepsExceeded { limit } => {
+                write!(f, "program did not exit within {limit} steps")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+        let text = SimError::UnalignedAccess { address: 0x1001_0002, alignment: 4 }.to_string();
+        assert!(text.contains("10010002"));
+        assert!(text.contains("4 bytes"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Instruction-cache model for the storage-type study.
+//!
+//! The paper's §8 notes the instructions may come from "an instruction
+//! cache or memory; the type of storage bears no impact on the bit
+//! transition reductions we attain". This module makes that claim
+//! testable: a set-associative LRU instruction cache sits between the
+//! instruction memory and the core, and [`CachedBusModel`] accounts
+//! transitions on **both** buses:
+//!
+//! * the *core bus* (cache → fetch unit) carries one word per executed
+//!   instruction — the stream the paper measures;
+//! * the *memory bus* (memory → cache) carries whole refill lines on
+//!   misses only.
+//!
+//! With the paper's decoder placed in the fetch unit, the cache stores
+//! *encoded* words and both buses benefit; the alternative placement —
+//! decode at cache fill, cache stores plain words — saves only on the
+//! memory bus. [`DecoderPlacement`] selects which architecture is
+//! modelled.
+
+use crate::bus::DataBusMonitor;
+use crate::cpu::FetchSink;
+
+/// Configuration of a set-associative instruction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ICacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Words per cache line (power of two).
+    pub line_words: usize,
+}
+
+impl ICacheConfig {
+    /// A tiny 1 KiB direct-mapped cache (32 sets × 1 way × 8-word lines).
+    pub const TINY_1K: ICacheConfig = ICacheConfig { sets: 32, ways: 1, line_words: 8 };
+
+    /// A 4 KiB 2-way cache (64 sets × 2 ways × 8-word lines).
+    pub const SMALL_4K: ICacheConfig = ICacheConfig { sets: 64, ways: 2, line_words: 8 };
+
+    /// Bytes of payload.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_words * 4
+    }
+}
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was fetched from memory (and another may have been
+    /// evicted).
+    Miss,
+}
+
+/// A set-associative LRU instruction cache (tags only — the simulator is
+/// functional, so no data array is needed).
+#[derive(Debug, Clone)]
+pub struct ICache {
+    config: ICacheConfig,
+    /// `tags[set][way]` — line address (address >> line bits) or None.
+    tags: Vec<Vec<Option<u32>>>,
+    /// Last-use tick per way, for LRU.
+    last_use: Vec<Vec<u64>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ICache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_words` is not a power of two, or any
+    /// parameter is zero.
+    pub fn new(config: ICacheConfig) -> Self {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(config.line_words.is_power_of_two(), "line_words must be a power of two");
+        assert!(config.ways >= 1, "need at least one way");
+        ICache {
+            config,
+            tags: vec![vec![None; config.ways]; config.sets],
+            last_use: vec![vec![0; config.ways]; config.sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ICacheConfig {
+        self.config
+    }
+
+    /// Accesses the word at `address`, updating LRU state.
+    pub fn access(&mut self, address: u32) -> CacheOutcome {
+        self.tick += 1;
+        let line = address / 4 / self.config.line_words as u32;
+        let set = (line as usize) & (self.config.sets - 1);
+        if let Some(way) = self.tags[set].iter().position(|&t| t == Some(line)) {
+            self.last_use[set][way] = self.tick;
+            self.hits += 1;
+            return CacheOutcome::Hit;
+        }
+        // Miss: fill the least recently used way.
+        let victim = (0..self.config.ways)
+            .min_by_key(|&w| (self.tags[set][w].is_some() as u64, self.last_use[set][w]))
+            .expect("at least one way");
+        self.tags[set][victim] = Some(line);
+        self.last_use[set][victim] = self.tick;
+        self.misses += 1;
+        CacheOutcome::Miss
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 for no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Where the paper's decode hardware sits relative to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderPlacement {
+    /// In the fetch unit (the paper's architecture, Figure 5): the cache
+    /// stores encoded words; both buses carry the encoded form.
+    AtCore,
+    /// At the cache-fill path: the cache stores restored words; only the
+    /// memory bus carries the encoded form.
+    AtCacheFill,
+}
+
+/// A fetch sink that models the cached memory hierarchy over a given
+/// memory image and accounts transitions on the core and memory buses.
+///
+/// ```
+/// use imt_sim::icache::{CachedBusModel, DecoderPlacement, ICacheConfig};
+///
+/// let image = vec![0x1111_1111u32; 64];
+/// let mut model = CachedBusModel::new(
+///     ICacheConfig::TINY_1K,
+///     image,
+///     vec![0x1111_1111u32; 64], // decoded view (identity here)
+///     0x0040_0000,
+///     DecoderPlacement::AtCore,
+/// );
+/// // First access misses and pulls one 8-word line over the memory bus.
+/// use imt_sim::cpu::FetchSink;
+/// model.on_fetch(0x0040_0000, 0);
+/// assert_eq!(model.cache().misses(), 1);
+/// assert_eq!(model.memory_bus().words(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CachedBusModel {
+    cache: ICache,
+    stored_image: Vec<u32>,
+    decoded_image: Vec<u32>,
+    text_base: u32,
+    placement: DecoderPlacement,
+    core_bus: DataBusMonitor,
+    memory_bus: DataBusMonitor,
+}
+
+impl CachedBusModel {
+    /// Creates the model over a stored (possibly encoded) image and its
+    /// decoded view; for a baseline run, pass the same image twice.
+    pub fn new(
+        config: ICacheConfig,
+        stored_image: Vec<u32>,
+        decoded_image: Vec<u32>,
+        text_base: u32,
+        placement: DecoderPlacement,
+    ) -> Self {
+        assert_eq!(stored_image.len(), decoded_image.len(), "image views must align");
+        CachedBusModel {
+            cache: ICache::new(config),
+            stored_image,
+            decoded_image,
+            text_base,
+            placement,
+            core_bus: DataBusMonitor::new(32),
+            memory_bus: DataBusMonitor::new(32),
+        }
+    }
+
+    /// The cache statistics.
+    pub fn cache(&self) -> &ICache {
+        &self.cache
+    }
+
+    /// The cache→core bus monitor.
+    pub fn core_bus(&self) -> &DataBusMonitor {
+        &self.core_bus
+    }
+
+    /// The memory→cache bus monitor.
+    pub fn memory_bus(&self) -> &DataBusMonitor {
+        &self.memory_bus
+    }
+}
+
+impl FetchSink for CachedBusModel {
+    fn on_fetch(&mut self, pc: u32, _word: u32) {
+        let index = ((pc - self.text_base) / 4) as usize;
+        // What the cache holds depends on the decoder placement.
+        let cached_word = match self.placement {
+            DecoderPlacement::AtCore => self.stored_image[index],
+            DecoderPlacement::AtCacheFill => self.decoded_image[index],
+        };
+        self.core_bus.observe(cached_word as u64);
+        if self.cache.access(pc) == CacheOutcome::Miss {
+            // Refill the whole line from memory, in address order; memory
+            // always holds the stored form.
+            let line_words = self.cache.config.line_words;
+            let line_start = index / line_words * line_words;
+            for offset in 0..line_words {
+                let i = line_start + offset;
+                if i < self.stored_image.len() {
+                    self.memory_bus.observe(self.stored_image[i] as u64);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_basics() {
+        let mut cache = ICache::new(ICacheConfig::TINY_1K);
+        assert_eq!(cache.access(0x0040_0000), CacheOutcome::Miss);
+        assert_eq!(cache.access(0x0040_0004), CacheOutcome::Hit); // same line
+        assert_eq!(cache.access(0x0040_0020), CacheOutcome::Miss); // next line
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.hit_rate() > 0.3);
+    }
+
+    #[test]
+    fn conflict_eviction_in_direct_mapped() {
+        let mut cache = ICache::new(ICacheConfig::TINY_1K);
+        // TINY_1K: 32 sets × 8-word lines = 1024 bytes; addresses 1 KiB
+        // apart conflict.
+        assert_eq!(cache.access(0x0040_0000), CacheOutcome::Miss);
+        assert_eq!(cache.access(0x0040_0400), CacheOutcome::Miss);
+        assert_eq!(cache.access(0x0040_0000), CacheOutcome::Miss); // evicted
+    }
+
+    #[test]
+    fn two_way_lru_retains_both() {
+        let mut cache = ICache::new(ICacheConfig { sets: 1, ways: 2, line_words: 4 });
+        assert_eq!(cache.access(0x0000_0000), CacheOutcome::Miss);
+        assert_eq!(cache.access(0x0000_0010), CacheOutcome::Miss);
+        assert_eq!(cache.access(0x0000_0000), CacheOutcome::Hit);
+        assert_eq!(cache.access(0x0000_0010), CacheOutcome::Hit);
+        // A third line evicts the LRU (address 0), not the MRU.
+        assert_eq!(cache.access(0x0000_0020), CacheOutcome::Miss);
+        assert_eq!(cache.access(0x0000_0010), CacheOutcome::Hit);
+        assert_eq!(cache.access(0x0000_0000), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn loop_fits_and_hits() {
+        let mut cache = ICache::new(ICacheConfig::SMALL_4K);
+        // A 16-instruction loop iterated 100 times: 2 cold misses, rest hits.
+        for _ in 0..100 {
+            for i in 0..16u32 {
+                cache.access(0x0040_0000 + i * 4);
+            }
+        }
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        assert_eq!(ICacheConfig::TINY_1K.capacity_bytes(), 1024);
+        assert_eq!(ICacheConfig::SMALL_4K.capacity_bytes(), 4096);
+    }
+
+    #[test]
+    fn cached_model_refills_lines_once_for_a_resident_loop() {
+        let image: Vec<u32> = (0..32).map(|i| i * 0x0101_0101).collect();
+        let mut model = CachedBusModel::new(
+            ICacheConfig::SMALL_4K,
+            image.clone(),
+            image,
+            0x0040_0000,
+            DecoderPlacement::AtCore,
+        );
+        for _ in 0..10 {
+            for i in 0..32u32 {
+                model.on_fetch(0x0040_0000 + i * 4, 0);
+            }
+        }
+        // 4 lines of 8 words, refilled once each.
+        assert_eq!(model.memory_bus().words(), 32);
+        assert_eq!(model.core_bus().words(), 320);
+        assert_eq!(model.cache().misses(), 4);
+    }
+
+    #[test]
+    fn placement_controls_which_bus_sees_encoded_words() {
+        let stored: Vec<u32> = vec![0x0000_0000; 8];
+        let decoded: Vec<u32> = vec![0xFFFF_FFFF; 8];
+        let mut at_core = CachedBusModel::new(
+            ICacheConfig::TINY_1K,
+            stored.clone(),
+            decoded.clone(),
+            0,
+            DecoderPlacement::AtCore,
+        );
+        let mut at_fill = CachedBusModel::new(
+            ICacheConfig::TINY_1K,
+            stored,
+            decoded,
+            0,
+            DecoderPlacement::AtCacheFill,
+        );
+        for i in 0..8u32 {
+            at_core.on_fetch(i * 4, 0);
+            at_fill.on_fetch(i * 4, 0);
+        }
+        // Core-side: stored (all zero, no transitions) vs decoded (all
+        // ones, no transitions either — but the *values* differ).
+        assert_eq!(at_core.core_bus().total_transitions(), 0);
+        assert_eq!(at_fill.core_bus().total_transitions(), 0);
+        // Memory side is identical: it always carries the stored form.
+        assert_eq!(
+            at_core.memory_bus().total_transitions(),
+            at_fill.memory_bus().total_transitions()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        ICache::new(ICacheConfig { sets: 3, ways: 1, line_words: 8 });
+    }
+}

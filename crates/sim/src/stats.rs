@@ -1,0 +1,254 @@
+//! Dynamic instruction-mix statistics.
+//!
+//! The mix (how many fetches are ALU ops, loads, branches, FP, …) is the
+//! standard way to characterise a workload; the paper's benchmarks are
+//! loop-dominated DSP/numerical kernels, and the mix report makes that
+//! visible (`imt profile` prints it).
+
+use std::fmt;
+
+use imt_isa::inst::Inst;
+use imt_isa::program::Program;
+
+/// Coarse instruction classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Integer ALU (add/sub/logic/slt/lui).
+    IntAlu,
+    /// Shifts.
+    Shift,
+    /// HI/LO multiply–divide unit (and SPECIAL2 `mul`).
+    MulDiv,
+    /// Memory loads (integer and FP).
+    Load,
+    /// Memory stores (integer and FP).
+    Store,
+    /// Conditional branches (including FP condition branches).
+    Branch,
+    /// Jumps, calls and returns.
+    Jump,
+    /// Double-precision arithmetic and compares.
+    Fp,
+    /// FP/integer register moves and conversions.
+    FpMove,
+    /// Syscall/break.
+    System,
+}
+
+impl OpClass {
+    /// All classes, in display order.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::IntAlu,
+        OpClass::Shift,
+        OpClass::MulDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Jump,
+        OpClass::Fp,
+        OpClass::FpMove,
+        OpClass::System,
+    ];
+
+    /// A short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::Shift => "shift",
+            OpClass::MulDiv => "mul-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Jump => "jump",
+            OpClass::Fp => "fp",
+            OpClass::FpMove => "fp-move",
+            OpClass::System => "system",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classifies a decoded instruction.
+pub fn classify(inst: Inst) -> OpClass {
+    use Inst::*;
+    match inst {
+        Add { .. } | Addu { .. } | Sub { .. } | Subu { .. } | And { .. } | Or { .. }
+        | Xor { .. } | Nor { .. } | Slt { .. } | Sltu { .. } | Addi { .. } | Addiu { .. }
+        | Slti { .. } | Sltiu { .. } | Andi { .. } | Ori { .. } | Xori { .. } | Lui { .. } => {
+            OpClass::IntAlu
+        }
+        Sll { .. } | Srl { .. } | Sra { .. } | Sllv { .. } | Srlv { .. } | Srav { .. } => {
+            OpClass::Shift
+        }
+        Mult { .. } | Multu { .. } | Div { .. } | Divu { .. } | Mfhi { .. } | Mflo { .. }
+        | Mthi { .. } | Mtlo { .. } | Mul { .. } => OpClass::MulDiv,
+        Lb { .. } | Lbu { .. } | Lh { .. } | Lhu { .. } | Lw { .. } | Lwc1 { .. }
+        | Ldc1 { .. } => OpClass::Load,
+        Sb { .. } | Sh { .. } | Sw { .. } | Swc1 { .. } | Sdc1 { .. } => OpClass::Store,
+        Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. }
+        | Bc1t { .. } | Bc1f { .. } => OpClass::Branch,
+        J { .. } | Jal { .. } | Jr { .. } | Jalr { .. } => OpClass::Jump,
+        AddD { .. } | SubD { .. } | MulD { .. } | DivD { .. } | SqrtD { .. } | AbsD { .. }
+        | NegD { .. } | CEqD { .. } | CLtD { .. } | CLeD { .. } => OpClass::Fp,
+        MovD { .. } | CvtDW { .. } | CvtWD { .. } | Mfc1 { .. } | Mtc1 { .. } => OpClass::FpMove,
+        Syscall | Break => OpClass::System,
+    }
+}
+
+/// Dynamic instruction-mix counters.
+///
+/// ```
+/// use imt_sim::stats::{InstructionMix, OpClass};
+/// use imt_isa::asm::assemble;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = assemble(".text\nmain: lw $t0, 0($sp)\naddu $t1, $t0, $t0\n")?;
+/// let mix = InstructionMix::from_profile(&program, &[3, 5])?;
+/// assert_eq!(mix.count(OpClass::Load), 3);
+/// assert_eq!(mix.count(OpClass::IntAlu), 5);
+/// assert_eq!(mix.total(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstructionMix {
+    counts: [u64; OpClass::ALL.len()],
+}
+
+impl InstructionMix {
+    /// An empty mix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the dynamic mix from a program and its per-instruction
+    /// execution profile — one static decode pass, no per-fetch cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns the word's [`imt_isa::DecodeError`] if the text does not
+    /// decode (cannot happen for assembler output).
+    pub fn from_profile(
+        program: &Program,
+        profile: &[u64],
+    ) -> Result<Self, imt_isa::DecodeError> {
+        let mut mix = InstructionMix::new();
+        for (index, &word) in program.text.iter().enumerate() {
+            let count = profile.get(index).copied().unwrap_or(0);
+            if count > 0 {
+                mix.observe_n(imt_isa::decode::decode(word)?, count);
+            }
+        }
+        Ok(mix)
+    }
+
+    /// Records one executed instruction.
+    pub fn observe(&mut self, inst: Inst) {
+        self.observe_n(inst, 1);
+    }
+
+    /// Records `n` executions of an instruction.
+    pub fn observe_n(&mut self, inst: Inst, n: u64) {
+        let class = classify(inst);
+        let slot = OpClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+        self.counts[slot] += n;
+    }
+
+    /// Executions recorded for `class`.
+    pub fn count(&self, class: OpClass) -> u64 {
+        let slot = OpClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+        self.counts[slot]
+    }
+
+    /// Total executions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Share of `class` in `[0, 1]` (0 for an empty mix).
+    pub fn share(&self, class: OpClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.count(class) as f64 / total as f64
+    }
+
+    /// Renders a percentage table, densest class first.
+    pub fn render(&self) -> String {
+        let mut rows: Vec<(OpClass, u64)> =
+            OpClass::ALL.iter().map(|&c| (c, self.count(c))).collect();
+        rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        let mut out = String::new();
+        for (class, count) in rows {
+            if count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<8} {:>12}  {:>5.1}%\n",
+                class.name(),
+                count,
+                self.share(class) * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_isa::asm::assemble;
+
+    #[test]
+    fn classification_covers_representative_instructions() {
+        use imt_isa::reg::{FReg, Reg};
+        let r = Reg::new(8);
+        let f = FReg::new(2);
+        assert_eq!(classify(Inst::Addu { rd: r, rs: r, rt: r }), OpClass::IntAlu);
+        assert_eq!(classify(Inst::Sll { rd: r, rt: r, shamt: 1 }), OpClass::Shift);
+        assert_eq!(classify(Inst::Mult { rs: r, rt: r }), OpClass::MulDiv);
+        assert_eq!(classify(Inst::Ldc1 { ft: f, base: r, offset: 0 }), OpClass::Load);
+        assert_eq!(classify(Inst::Sw { rt: r, base: r, offset: 0 }), OpClass::Store);
+        assert_eq!(classify(Inst::Bne { rs: r, rt: r, offset: 0 }), OpClass::Branch);
+        assert_eq!(classify(Inst::Jal { target: 0 }), OpClass::Jump);
+        assert_eq!(classify(Inst::MulD { fd: f, fs: f, ft: f }), OpClass::Fp);
+        assert_eq!(classify(Inst::Mtc1 { rt: r, fs: f }), OpClass::FpMove);
+        assert_eq!(classify(Inst::Syscall), OpClass::System);
+    }
+
+    #[test]
+    fn kernel_mix_is_loop_shaped() {
+        let program = assemble(
+            r#"
+            .text
+    main:   li $t0, 100
+    loop:   lw $t1, 0($sp)
+            addu $t2, $t1, $t0
+            sw $t2, 0($sp)
+            addiu $t0, $t0, -1
+            bgtz $t0, loop
+            li $v0, 10
+            syscall
+    "#,
+        )
+        .unwrap();
+        let mut cpu = crate::Cpu::new(&program).unwrap();
+        cpu.run(10_000).unwrap();
+        let mix = InstructionMix::from_profile(&program, cpu.profile()).unwrap();
+        assert_eq!(mix.total(), cpu.instructions());
+        // One load, one store, one branch per iteration.
+        assert_eq!(mix.count(OpClass::Load), 100);
+        assert_eq!(mix.count(OpClass::Store), 100);
+        assert_eq!(mix.count(OpClass::Branch), 100);
+        assert!(mix.share(OpClass::IntAlu) > 0.3);
+        let rendered = mix.render();
+        assert!(rendered.contains("int-alu"));
+        assert!(!rendered.contains("fp-move")); // zero rows are omitted
+    }
+}

@@ -1,0 +1,200 @@
+//! First-order front-end timing model.
+//!
+//! The paper's headline hardware claim is that the restore logic — one
+//! two-input gate selected by 3 control bits — adds **no stage** to the
+//! fetch pipeline, in contrast to dictionary/decompression schemes whose
+//! table lookup sits in the critical path. This model quantifies the
+//! consequence: a deeper front end pays more bubble cycles on every
+//! control-flow redirect, and an extra decode stage costs real time even
+//! when every lookup hits.
+//!
+//! Cycle accounting (in-order, single issue):
+//!
+//! * 1 cycle per instruction;
+//! * every *non-sequential* fetch (taken branch, jump, call, return)
+//!   flushes the front end: `redirect_penalty` bubbles — the number of
+//!   pipeline stages between fetch and the redirect resolution;
+//! * an instruction-cache miss stalls for `miss_penalty` cycles.
+//!
+//! This is deliberately first-order (no branch predictor — the paper's
+//! embedded cores of that era rarely had one), but it is the *same* model
+//! for every configuration, so the comparisons are fair.
+
+use crate::cpu::FetchSink;
+use crate::icache::{CacheOutcome, ICache, ICacheConfig};
+
+/// Timing parameters of a front-end configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontEndTiming {
+    /// Bubble cycles per control-flow redirect (≈ front-end depth).
+    pub redirect_penalty: u32,
+    /// Stall cycles per instruction-cache miss.
+    pub miss_penalty: u32,
+    /// Optional instruction cache; `None` models a tightly-coupled memory
+    /// with single-cycle access.
+    pub icache: Option<ICacheConfig>,
+}
+
+impl FrontEndTiming {
+    /// The paper's architecture: the restore gate lives inside the existing
+    /// fetch stage, so the depth is unchanged from the baseline.
+    pub fn imt_default() -> Self {
+        FrontEndTiming {
+            redirect_penalty: 2,
+            miss_penalty: 20,
+            icache: Some(ICacheConfig::SMALL_4K),
+        }
+    }
+
+    /// A dictionary/decompression front end: the table lookup adds one
+    /// stage, deepening every redirect by one cycle.
+    pub fn dictionary_default() -> Self {
+        FrontEndTiming { redirect_penalty: 3, ..Self::imt_default() }
+    }
+}
+
+/// A fetch sink that accumulates cycles under a [`FrontEndTiming`].
+///
+/// ```
+/// use imt_sim::timing::{FrontEndTiming, TimingSink};
+/// use imt_sim::cpu::FetchSink;
+///
+/// let mut timing = TimingSink::new(FrontEndTiming {
+///     redirect_penalty: 2,
+///     miss_penalty: 0,
+///     icache: None,
+/// });
+/// timing.on_fetch(0x0040_0000, 0);
+/// timing.on_fetch(0x0040_0004, 0); // sequential: 1 cycle
+/// timing.on_fetch(0x0040_0000, 0); // redirect: 1 + 2 bubbles
+/// assert_eq!(timing.cycles(), 5);
+/// assert_eq!(timing.redirects(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingSink {
+    timing: FrontEndTiming,
+    cache: Option<ICache>,
+    cycles: u64,
+    redirects: u64,
+    expected_pc: Option<u32>,
+    instructions: u64,
+}
+
+impl TimingSink {
+    /// Creates the sink.
+    pub fn new(timing: FrontEndTiming) -> Self {
+        TimingSink {
+            cache: timing.icache.map(ICache::new),
+            timing,
+            cycles: 0,
+            redirects: 0,
+            expected_pc: None,
+            instructions: 0,
+        }
+    }
+
+    /// Total cycles accumulated.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Control-flow redirects observed.
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Instructions observed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / self.instructions as f64
+    }
+
+    /// Cache hit rate, if a cache is modelled.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.cache.as_ref().map(ICache::hit_rate)
+    }
+}
+
+impl FetchSink for TimingSink {
+    fn on_fetch(&mut self, pc: u32, _word: u32) {
+        self.instructions += 1;
+        self.cycles += 1;
+        if let Some(expected) = self.expected_pc {
+            if pc != expected {
+                self.redirects += 1;
+                self.cycles += u64::from(self.timing.redirect_penalty);
+            }
+        }
+        if let Some(cache) = &mut self.cache {
+            if cache.access(pc) == CacheOutcome::Miss {
+                self.cycles += u64::from(self.timing.miss_penalty);
+            }
+        }
+        self.expected_pc = Some(pc.wrapping_add(4));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_isa::asm::assemble;
+
+    #[test]
+    fn straight_line_is_one_cpi() {
+        let mut t = TimingSink::new(FrontEndTiming {
+            redirect_penalty: 5,
+            miss_penalty: 0,
+            icache: None,
+        });
+        for i in 0..100u32 {
+            t.on_fetch(i * 4, 0);
+        }
+        assert_eq!(t.cycles(), 100);
+        assert_eq!(t.redirects(), 0);
+        assert!((t.cpi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_front_ends_pay_more_per_loop_iteration() {
+        let program = assemble(
+            ".text\nmain: li $t0, 1000\nloop: addiu $t0, $t0, -1\nbgtz $t0, loop\nli $v0, 10\nsyscall\n",
+        )
+        .unwrap();
+        let run = |penalty: u32| -> u64 {
+            let mut cpu = crate::Cpu::new(&program).unwrap();
+            let mut t = TimingSink::new(FrontEndTiming {
+                redirect_penalty: penalty,
+                miss_penalty: 0,
+                icache: None,
+            });
+            cpu.run_with_sink(100_000, &mut t).unwrap();
+            t.cycles()
+        };
+        let shallow = run(2);
+        let deep = run(3);
+        // One extra bubble per taken back edge: 999 of them.
+        assert_eq!(deep - shallow, 999);
+    }
+
+    #[test]
+    fn cache_misses_add_stalls() {
+        let mut t = TimingSink::new(FrontEndTiming {
+            redirect_penalty: 0,
+            miss_penalty: 10,
+            icache: Some(ICacheConfig::TINY_1K),
+        });
+        // 16 sequential fetches = 2 line misses on an 8-word line.
+        for i in 0..16u32 {
+            t.on_fetch(0x0040_0000 + i * 4, 0);
+        }
+        assert_eq!(t.cycles(), 16 + 2 * 10);
+        assert!(t.cache_hit_rate().unwrap() > 0.8);
+    }
+}

@@ -1,0 +1,169 @@
+//! Execution tracing.
+//!
+//! A bounded recorder that hangs off the fetch hook and keeps the first
+//! and most recent fetches in disassembled form — enough to answer "how
+//! did it start" and "what was it doing when it stopped" without storing a
+//! multi-million-entry trace.
+
+use std::collections::VecDeque;
+
+use imt_isa::disasm::disassemble_word;
+
+use crate::cpu::FetchSink;
+
+/// One traced fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Sequence number (0 = first fetch).
+    pub index: u64,
+    /// Fetch address.
+    pub pc: u32,
+    /// The machine word.
+    pub word: u32,
+}
+
+impl TraceEntry {
+    /// Renders one line: sequence, address, word, disassembly.
+    pub fn render(&self) -> String {
+        format!(
+            "{:>10}  {:#010x}  {:08x}  {}",
+            self.index,
+            self.pc,
+            self.word,
+            disassemble_word(self.word)
+        )
+    }
+}
+
+/// Records the first `head` and last `tail` fetches of a run.
+///
+/// ```
+/// use imt_sim::trace::TraceRecorder;
+/// use imt_sim::cpu::FetchSink;
+///
+/// let mut trace = TraceRecorder::new(2, 2);
+/// for i in 0..5u32 {
+///     trace.on_fetch(0x0040_0000 + i * 4, 0);
+/// }
+/// assert_eq!(trace.head().len(), 2);
+/// assert_eq!(trace.tail().len(), 2);
+/// assert_eq!(trace.tail()[1].index, 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceRecorder {
+    head_capacity: usize,
+    tail_capacity: usize,
+    head: Vec<TraceEntry>,
+    tail: VecDeque<TraceEntry>,
+    seen: u64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder keeping the first `head` and last `tail`
+    /// fetches.
+    pub fn new(head: usize, tail: usize) -> Self {
+        TraceRecorder {
+            head_capacity: head,
+            tail_capacity: tail,
+            head: Vec::with_capacity(head),
+            tail: VecDeque::with_capacity(tail + 1),
+            seen: 0,
+        }
+    }
+
+    /// The first fetches, in order.
+    pub fn head(&self) -> &[TraceEntry] {
+        &self.head
+    }
+
+    /// The most recent fetches, oldest first.
+    pub fn tail(&self) -> &VecDeque<TraceEntry> {
+        &self.tail
+    }
+
+    /// Total fetches observed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Renders the trace with an elision marker if fetches were dropped.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.head {
+            out.push_str(&entry.render());
+            out.push('\n');
+        }
+        let tail_start = self.tail.front().map_or(self.seen, |e| e.index);
+        let head_end = self.head.last().map_or(0, |e| e.index + 1);
+        if tail_start > head_end {
+            out.push_str(&format!("       ...  ({} fetches elided)\n", tail_start - head_end));
+        }
+        for entry in &self.tail {
+            if entry.index >= head_end {
+                out.push_str(&entry.render());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl FetchSink for TraceRecorder {
+    fn on_fetch(&mut self, pc: u32, word: u32) {
+        let entry = TraceEntry { index: self.seen, pc, word };
+        if self.head.len() < self.head_capacity {
+            self.head.push(entry);
+        } else if self.tail_capacity > 0 {
+            if self.tail.len() == self.tail_capacity {
+                self.tail.pop_front();
+            }
+            self.tail.push_back(entry);
+        }
+        self.seen += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_isa::asm::assemble;
+
+    #[test]
+    fn records_head_and_tail_with_elision() {
+        let program = assemble(
+            ".text\nmain: li $t0, 100\nloop: addiu $t0, $t0, -1\nbgtz $t0, loop\nli $v0, 10\nsyscall\n",
+        )
+        .unwrap();
+        let mut cpu = crate::Cpu::new(&program).unwrap();
+        let mut trace = TraceRecorder::new(3, 3);
+        cpu.run_with_sink(10_000, &mut trace).unwrap();
+        assert_eq!(trace.seen(), cpu.instructions());
+        assert_eq!(trace.head().len(), 3);
+        assert_eq!(trace.tail().len(), 3);
+        let rendered = trace.render();
+        assert!(rendered.contains("fetches elided"));
+        assert!(rendered.contains("syscall"));
+        assert!(rendered.lines().next().unwrap().contains("addiu")); // li expands
+    }
+
+    #[test]
+    fn short_runs_have_no_elision() {
+        let mut trace = TraceRecorder::new(10, 10);
+        for i in 0..5u32 {
+            trace.on_fetch(i * 4, 0);
+        }
+        assert!(!trace.render().contains("elided"));
+        assert_eq!(trace.head().len(), 5);
+        assert!(trace.tail().is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_recorder_counts_only() {
+        let mut trace = TraceRecorder::new(0, 0);
+        for i in 0..100u32 {
+            trace.on_fetch(i, 0);
+        }
+        assert_eq!(trace.seen(), 100);
+        assert!(trace.render().contains("elided"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Design-space exploration: sweep the block size and Transformation
+//! Table capacity for one kernel and report the best operating point —
+//! the §5.2/§7.2 trade-off (shorter blocks encode better but consume
+//! more TT entries per loop) made concrete.
+//!
+//! Run with `cargo run --release --example design_space [kernel]`.
+
+use imt::bitcode::TransformSet;
+use imt::core::{encode_program, eval::evaluate, EncoderConfig};
+use imt::kernels::Kernel;
+use imt::sim::Cpu;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "tri".to_string());
+    let kernel = Kernel::ALL
+        .into_iter()
+        .find(|k| k.name() == wanted)
+        .ok_or_else(|| format!("unknown kernel {wanted}; pick one of mmul sor ej fft tri lu"))?;
+    let spec = kernel.test_spec();
+    println!("design space for {}\n", spec.name);
+
+    let program = spec.assemble();
+    let mut cpu = Cpu::new(&program)?;
+    cpu.run(spec.max_steps)?;
+    let profile = cpu.profile().to_vec();
+
+    println!("{:>7} {:>6} {:>12} {:>12} {:>10} {:>9}", "k", "TT", "baseline", "encoded", "saved(%)", "ctrl bits");
+    let mut best: Option<(f64, usize, usize)> = None;
+    for k in 2..=8usize {
+        for tt in [4usize, 8, 16, 32] {
+            let config = EncoderConfig::default()
+                .with_block_size(k)?
+                .with_tt_capacity(tt);
+            let encoded = encode_program(&program, &profile, &config)?;
+            let eval = evaluate(&program, &encoded, spec.max_steps)?;
+            // Hardware cost: control bits per TT entry (3 per line with the
+            // canonical eight) times entries in use.
+            let ctrl_bits = encoded.report.tt_used as u32
+                * 32
+                * TransformSet::CANONICAL_EIGHT.control_bits();
+            println!(
+                "{k:>7} {tt:>6} {:>12} {:>12} {:>9.1}% {:>9}",
+                eval.baseline_transitions,
+                eval.encoded_transitions,
+                eval.reduction_percent(),
+                ctrl_bits
+            );
+            if best.is_none_or(|(r, _, _)| eval.reduction_percent() > r) {
+                best = Some((eval.reduction_percent(), k, tt));
+            }
+        }
+    }
+    let (reduction, k, tt) = best.expect("swept at least one point");
+    println!("\nbest point: block size {k}, TT capacity {tt} -> {reduction:.1}% reduction");
+    Ok(())
+}

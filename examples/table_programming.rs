@@ -1,0 +1,59 @@
+//! Firmware view: dump the Transformation Table and BBIT contents a
+//! loader (or the pre-loop setup code of §7.1) would program into the
+//! fetch hardware, alongside the encoded memory image diff.
+//!
+//! Run with `cargo run --example table_programming`.
+
+use imt::core::{encode_program, EncoderConfig};
+use imt::isa::asm::assemble;
+use imt::isa::disasm::disassemble_word;
+use imt::sim::Cpu;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = assemble(
+        r#"
+        .text
+main:   li   $s0, 100
+loop:   andi $t0, $s0, 3
+        xor  $t1, $t1, $t0
+        sll  $t2, $t1, 2
+        or   $t3, $t2, $s0
+        addiu $s0, $s0, -1
+        bgtz $s0, loop
+        li   $v0, 10
+        syscall
+"#,
+    )?;
+    let mut cpu = Cpu::new(&program)?;
+    cpu.run(100_000)?;
+    let encoded = encode_program(&program, cpu.profile(), &EncoderConfig::default())?;
+
+    println!("== BBIT (basic block identification table) ==");
+    for entry in encoded.bbit.entries() {
+        println!("  pc {:#010x} -> TT[{}]", entry.pc, entry.tt_index);
+    }
+
+    println!("\n== TT (transformation table, one tau per bus line) ==");
+    for (i, entry) in encoded.tt.entries().iter().enumerate() {
+        let lanes: Vec<&str> =
+            entry.lane_transforms.iter().map(|t| t.ascii_name()).collect();
+        println!(
+            "  TT[{i}]: E={} covers={} lanes[0..8]={:?}",
+            entry.end as u8,
+            entry.covers,
+            &lanes[..8]
+        );
+    }
+
+    println!("\n== memory image (original vs stored) ==");
+    for (i, (&orig, &stored)) in program.text.iter().zip(&encoded.text).enumerate() {
+        let pc = program.address_of_index(i);
+        let marker = if orig == stored { " " } else { "*" };
+        println!(
+            "{marker} {pc:#010x}  {orig:08x} -> {stored:08x}   {}",
+            disassemble_word(orig)
+        );
+    }
+    println!("\nlines marked * are stored encoded; the fetch decoder restores them.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! # imt — application-specific instruction memory transformations
+//!
+//! A complete, from-scratch reproduction of *“Power Efficiency through
+//! Application-Specific Instruction Memory Transformations”* (P. Petrov and
+//! A. Orailoglu, DATE 2003): an encoding technique that stores a program's
+//! hot loops in a transformed form with fewer bit transitions on the
+//! instruction-memory data bus, and restores the original instructions in
+//! the fetch stage with a single reprogrammable two-input gate per bus
+//! line.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`bitcode`] — the transformation algebra, optimal block codec, code
+//!   tables (the paper's Figures 2–4), and chained stream encoding (§6);
+//! * [`isa`] — a 32-bit MIPS-like instruction set with assembler and
+//!   disassembler (the SimpleScalar substitute);
+//! * [`sim`] — the in-order functional simulator with bus-transition
+//!   monitoring and an energy model;
+//! * `cfg` ([`imt_cfg`]) — control-flow recovery, dominators, natural loops and
+//!   profile-driven hot-loop ranking;
+//! * [`core`] — the paper's contribution: the encoding pipeline, the
+//!   TT/BBIT fetch-hardware model, and the verified dynamic evaluation;
+//! * [`baselines`] — bus-invert, T0 and Gray-code encodings for
+//!   comparison;
+//! * [`kernels`] — the six benchmark kernels (mmul, sor, ej, fft, tri,
+//!   lu) as assembly programs with host golden models.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use imt::core::{encode_program, eval::evaluate, EncoderConfig};
+//! use imt::isa::asm::assemble;
+//! use imt::sim::Cpu;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(r#"
+//!         .text
+//! main:   li   $t0, 1000
+//! loop:   xor  $t1, $t1, $t0
+//!         sll  $t2, $t1, 3
+//!         addiu $t0, $t0, -1
+//!         bgtz $t0, loop
+//!         li   $v0, 10
+//!         syscall
+//! "#)?;
+//!
+//! // 1. Profile the application.
+//! let mut cpu = Cpu::new(&program)?;
+//! cpu.run(1_000_000)?;
+//!
+//! // 2. Encode its hot loop for the default 5-bit blocks / 8 transforms.
+//! let encoded = encode_program(&program, cpu.profile(), &EncoderConfig::default())?;
+//!
+//! // 3. Replay through the fetch-hardware model and measure.
+//! let eval = evaluate(&program, &encoded, 1_000_000)?;
+//! assert_eq!(eval.decode_mismatches, 0);
+//! assert!(eval.reduction_percent() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use imt_baselines as baselines;
+pub use imt_bitcode as bitcode;
+pub use imt_cfg as cfg;
+pub use imt_core as core;
+pub use imt_isa as isa;
+pub use imt_kernels as kernels;
+pub use imt_sim as sim;

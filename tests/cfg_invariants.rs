@@ -1,0 +1,187 @@
+//! Property tests for the control-flow analyses, driven by randomly
+//! generated structured programs.
+
+use imt::cfg::{block_weights, hot_loops, Cfg, Terminator};
+use imt::isa::asm::assemble;
+use imt::isa::Program;
+use proptest::prelude::*;
+
+/// Recursively renders a random structured body: arithmetic statements,
+/// if/else diamonds, and counted loops, with unique labels.
+fn render(structure: &[Stmt], label_counter: &mut usize, depth: usize, out: &mut String) {
+    for stmt in structure {
+        match stmt {
+            Stmt::Arith(op) => {
+                let line = match op % 4 {
+                    0 => "        xor $t0, $t0, $t1\n",
+                    1 => "        addu $t1, $t1, $t2\n",
+                    2 => "        sll $t2, $t0, 2\n",
+                    _ => "        nor $t3, $t1, $t0\n",
+                };
+                out.push_str(line);
+            }
+            Stmt::If(then_body, else_body) => {
+                let id = *label_counter;
+                *label_counter += 1;
+                out.push_str(&format!("        beq $t0, $zero, else_{id}\n"));
+                render(then_body, label_counter, depth + 1, out);
+                out.push_str(&format!("        b endif_{id}\nelse_{id}:\n"));
+                render(else_body, label_counter, depth + 1, out);
+                out.push_str(&format!("endif_{id}:\n"));
+            }
+            Stmt::Loop(count, body) => {
+                let id = *label_counter;
+                *label_counter += 1;
+                // Use a depth-specific counter register so nesting works.
+                let reg = format!("$s{}", depth % 8);
+                out.push_str(&format!("        li {reg}, {count}\nloop_{id}:\n"));
+                render(body, label_counter, depth + 1, out);
+                out.push_str(&format!(
+                    "        addiu {reg}, {reg}, -1\n        bgtz {reg}, loop_{id}\n"
+                ));
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Arith(u8),
+    If(Vec<Stmt>, Vec<Stmt>),
+    Loop(u8, Vec<Stmt>),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = any::<u8>().prop_map(Stmt::Arith);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                proptest::collection::vec(inner.clone(), 1..4),
+                proptest::collection::vec(inner.clone(), 1..4)
+            )
+                .prop_map(|(a, b)| Stmt::If(a, b)),
+            (1u8..6, proptest::collection::vec(inner, 1..4))
+                .prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    })
+}
+
+fn random_program(body: &[Stmt]) -> Program {
+    let mut source = String::from(".text\nmain:\n");
+    let mut label_counter = 0;
+    render(body, &mut label_counter, 0, &mut source);
+    source.push_str("        li $v0, 10\n        syscall\n");
+    assemble(&source).expect("generated program must assemble")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn blocks_partition_the_text(body in proptest::collection::vec(stmt_strategy(), 1..6)) {
+        let program = random_program(&body);
+        let cfg = Cfg::build(&program).unwrap();
+        // Exact cover of the text by blocks, in order.
+        let mut cursor = 0usize;
+        for block in cfg.blocks() {
+            prop_assert_eq!(block.start, cursor);
+            prop_assert!(block.len > 0);
+            for i in block.range() {
+                prop_assert_eq!(cfg.block_at(i), block.id);
+            }
+            cursor = block.end();
+        }
+        prop_assert_eq!(cursor, program.text.len());
+        // Successor ids are valid; only terminal shapes allow empty
+        // successor lists.
+        for block in cfg.blocks() {
+            for s in &block.successors {
+                prop_assert!(s.0 < cfg.blocks().len());
+            }
+            if block.successors.is_empty() {
+                prop_assert!(matches!(
+                    block.terminator,
+                    Terminator::Return | Terminator::End
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn dominators_agree_with_brute_force(body in proptest::collection::vec(stmt_strategy(), 1..5)) {
+        let program = random_program(&body);
+        let cfg = Cfg::build(&program).unwrap();
+        let idom = cfg.immediate_dominators();
+
+        // Brute force: a dominates b iff removing a disconnects b from
+        // the entry.
+        let n = cfg.blocks().len();
+        let reachable_without = |skip: Option<usize>| -> Vec<bool> {
+            let mut seen = vec![false; n];
+            if skip == Some(cfg.entry().0) {
+                return seen;
+            }
+            let mut stack = vec![cfg.entry()];
+            seen[cfg.entry().0] = true;
+            while let Some(node) = stack.pop() {
+                for &s in &cfg.blocks()[node.0].successors {
+                    if Some(s.0) != skip && !seen[s.0] {
+                        seen[s.0] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            seen
+        };
+        let reachable = reachable_without(None);
+        for b in 0..n {
+            if !reachable[b] {
+                prop_assert_eq!(idom[b], None, "unreachable block {} has an idom", b);
+                continue;
+            }
+            if b == cfg.entry().0 {
+                continue;
+            }
+            let parent = idom[b].expect("reachable non-entry block needs an idom");
+            // The immediate dominator must dominate: b unreachable without it.
+            let without = reachable_without(Some(parent.0));
+            prop_assert!(!without[b], "idom {} does not dominate {}", parent.0, b);
+        }
+    }
+
+    #[test]
+    fn loop_invariants(body in proptest::collection::vec(stmt_strategy(), 1..5)) {
+        let program = random_program(&body);
+        let cfg = Cfg::build(&program).unwrap();
+        let idom = cfg.immediate_dominators();
+        for l in cfg.natural_loops() {
+            prop_assert!(l.body.contains(&l.header));
+            for (latch, header) in &l.back_edges {
+                prop_assert_eq!(*header, l.header);
+                prop_assert!(l.body.contains(latch));
+                prop_assert!(
+                    cfg.blocks()[latch.0].successors.contains(header),
+                    "back edge source must branch to the header"
+                );
+            }
+            // The header dominates every body block.
+            for b in &l.body {
+                prop_assert!(cfg.dominates(&idom, l.header, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn profile_weights_are_consistent(body in proptest::collection::vec(stmt_strategy(), 1..4)) {
+        let program = random_program(&body);
+        let mut cpu = imt::sim::Cpu::new(&program).unwrap();
+        cpu.run(5_000_000).unwrap();
+        let cfg = Cfg::build(&program).unwrap();
+        let weights = block_weights(&cfg, cpu.profile());
+        prop_assert_eq!(weights.iter().sum::<u64>(), cpu.instructions());
+        let hot = hot_loops(&cfg, cpu.profile());
+        for h in &hot {
+            prop_assert!(h.fetch_share >= 0.0 && h.fetch_share <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end integration: the six paper kernels through the full
+//! profile → encode → evaluate pipeline, across crates.
+
+use imt::core::{encode_program, eval::evaluate, EncoderConfig};
+use imt::kernels::Kernel;
+use imt::sim::Cpu;
+
+/// Runs one kernel spec through the whole stack and returns the measured
+/// reduction.
+fn pipeline_reduction(spec: &imt::kernels::KernelSpec, config: &EncoderConfig) -> f64 {
+    let program = spec.assemble();
+    let mut cpu = Cpu::new(&program).expect("load");
+    cpu.run(spec.max_steps).expect("profiling run");
+    assert_eq!(cpu.stdout(), spec.expected_output, "{}: golden mismatch", spec.name);
+
+    let encoded = encode_program(&program, cpu.profile(), config).expect("encode");
+    let eval = evaluate(&program, &encoded, spec.max_steps).expect("evaluate");
+    assert_eq!(eval.decode_mismatches, 0, "{}: decoder corrupted the stream", spec.name);
+    assert_eq!(eval.stdout, spec.expected_output, "{}: behaviour changed", spec.name);
+    assert!(
+        eval.encoded_transitions <= eval.baseline_transitions,
+        "{}: encoding increased transitions",
+        spec.name
+    );
+    eval.reduction_percent()
+}
+
+#[test]
+fn all_kernels_all_block_sizes_verify_and_reduce() {
+    for kernel in Kernel::ALL {
+        let spec = kernel.test_spec();
+        for k in 4..=7 {
+            let config = EncoderConfig::default().with_block_size(k).expect("valid size");
+            let reduction = pipeline_reduction(&spec, &config);
+            assert!(
+                reduction > 0.0,
+                "{} at k={k}: no reduction at all ({reduction:.2}%)",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_scale_fft_meets_expectations() {
+    // The paper-scale fft is small enough for an integration test and
+    // exercises the complete 256-point pipeline with the twiddle ROM.
+    let spec = Kernel::Fft.paper_spec();
+    let reduction = pipeline_reduction(&spec, &EncoderConfig::default());
+    assert!(reduction > 15.0, "fft-256 reduced only {reduction:.1}%");
+}
+
+#[test]
+fn both_overlap_semantics_agree_on_correctness() {
+    use imt::bitcode::block::OverlapHistory;
+    let spec = Kernel::Sor.test_spec();
+    for overlap in [OverlapHistory::Stored, OverlapHistory::Decoded] {
+        let config = EncoderConfig::default().with_overlap(overlap);
+        let reduction = pipeline_reduction(&spec, &config);
+        assert!(reduction > 0.0, "{overlap:?}: {reduction:.2}%");
+    }
+}
+
+#[test]
+fn widened_transform_set_never_hurts() {
+    use imt::bitcode::TransformSet;
+    let spec = Kernel::Lu.test_spec();
+    let eight = pipeline_reduction(&spec, &EncoderConfig::default());
+    let sixteen = pipeline_reduction(
+        &spec,
+        &EncoderConfig::default().with_transforms(TransformSet::ALL_SIXTEEN),
+    );
+    assert!(sixteen >= eight - 1e-9, "16 transforms did worse: {sixteen} vs {eight}");
+}
+
+#[test]
+fn identity_only_configuration_is_a_no_op() {
+    use imt::bitcode::TransformSet;
+    let spec = Kernel::Tri.test_spec();
+    let config = EncoderConfig::default().with_transforms(TransformSet::IDENTITY_ONLY);
+    let program = spec.assemble();
+    let mut cpu = Cpu::new(&program).expect("load");
+    cpu.run(spec.max_steps).expect("run");
+    let encoded = encode_program(&program, cpu.profile(), &config).expect("encode");
+    // With only the identity allowed, no block can save anything, so the
+    // selector demotes everything and the image is untouched.
+    assert_eq!(encoded.text, program.text);
+    assert!(encoded.report.encoded.is_empty());
+}
+
+#[test]
+fn baselines_ride_the_same_replay() {
+    use imt::baselines::{BusInvert, T0};
+    use imt::sim::cpu::Tee;
+    let spec = Kernel::Ej.test_spec();
+    let program = spec.assemble();
+    let mut cpu = Cpu::new(&program).expect("load");
+    let mut businv = BusInvert::new(32);
+    let mut t0 = T0::new(4);
+    let mut tee = Tee(&mut businv, &mut t0);
+    cpu.run_with_sink(spec.max_steps, &mut tee).expect("run");
+    assert!(businv.total_transitions() <= businv.raw_transitions());
+    assert!(t0.total_transitions() < t0.raw_transitions());
+}

@@ -1,0 +1,93 @@
+//! Smoke tests for the experiment harness at test scale, so `cargo test`
+//! exercises the same code paths the paper-scale binaries run.
+
+use imt_bench::runner::{figure6_grid, run_kernel_point, Scale};
+use imt_core::EncoderConfig;
+use imt_kernels::Kernel;
+
+#[test]
+fn figure6_grid_is_complete_and_verified() {
+    let grid = figure6_grid(Scale::Test);
+    assert_eq!(grid.len(), 6);
+    for (points, kernel) in grid.iter().zip(Kernel::ALL) {
+        assert_eq!(points.len(), 4);
+        for (point, k) in points.iter().zip(4..=7) {
+            assert_eq!(point.kernel, kernel.name());
+            assert_eq!(point.config.block_size(), k);
+            assert_eq!(point.evaluation.decode_mismatches, 0);
+            assert!(point.evaluation.encoded_transitions <= point.evaluation.baseline_transitions);
+            // The baseline is identical across block sizes for one kernel.
+            assert_eq!(
+                point.evaluation.baseline_transitions,
+                points[0].evaluation.baseline_transitions
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_point_energy_and_budget_reporting() {
+    use imt_core::hardware::HardwareBudget;
+    use imt_sim::bus::EnergyModel;
+    let point = run_kernel_point(Kernel::Lu, Scale::Test, &EncoderConfig::default());
+    let budget = HardwareBudget::of_schedule(&point.encoded);
+    assert!(budget.total_bytes() > 0);
+    assert!(budget.total_bytes() < 4096, "tables should be far smaller than a cache");
+    let saved = EnergyModel::OFF_CHIP.energy_joules(point.evaluation.baseline_transitions)
+        - EnergyModel::OFF_CHIP.energy_joules(point.evaluation.encoded_transitions);
+    assert!(saved > 0.0);
+}
+
+#[test]
+fn extra_kernels_run_through_the_harness() {
+    use imt_kernels::extra::ExtraKernel;
+    for kernel in ExtraKernel::ALL {
+        let spec = kernel.test_spec();
+        let run = spec.run().unwrap();
+        assert_eq!(run.stdout, spec.expected_output, "{}", spec.name);
+        let encoded = imt_core::encode_program(
+            &run.program,
+            &run.profile,
+            &EncoderConfig::default(),
+        )
+        .unwrap();
+        let eval =
+            imt_core::eval::evaluate(&run.program, &encoded, spec.max_steps).unwrap();
+        assert_eq!(eval.decode_mismatches, 0, "{}", spec.name);
+        assert!(eval.encoded_transitions <= eval.baseline_transitions, "{}", spec.name);
+    }
+}
+
+#[test]
+fn bench_table_rendering_is_stable() {
+    use imt_bench::table::{bar_chart, Table};
+    let mut table = Table::new(vec!["a".into(), "b".into()]);
+    table.row(vec!["1".into(), "22".into()]);
+    table.row(vec!["333".into(), "4".into()]);
+    let text = table.render();
+    // Columns are aligned: every line has the same width.
+    let widths: Vec<usize> = text.lines().map(|l| l.chars().count()).collect();
+    assert_eq!(widths[0], widths[2]);
+    assert_eq!(text.lines().count(), 4);
+    let chart = bar_chart(&[("x".into(), 1.0)], 10, "u");
+    assert!(chart.contains("1.0u"));
+}
+
+/// The full paper-scale Figure 6 grid — expensive, so opt-in:
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "paper-scale run (~30s release, minutes in debug)"]
+fn figure6_grid_at_paper_scale() {
+    let grid = figure6_grid(Scale::Paper);
+    // The headline trend: k=4 beats k=7 on average.
+    let mean = |ki: usize| -> f64 {
+        grid.iter().map(|points| points[ki].evaluation.reduction_percent()).sum::<f64>() / 6.0
+    };
+    assert!(mean(0) > mean(3), "k=4 mean {} <= k=7 mean {}", mean(0), mean(3));
+    for points in &grid {
+        for p in points {
+            assert_eq!(p.evaluation.decode_mismatches, 0, "{}", p.instance);
+            assert!(p.evaluation.reduction_percent() > 0.0, "{}", p.instance);
+        }
+    }
+}

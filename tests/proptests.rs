@@ -1,0 +1,309 @@
+//! Property-based tests over the codec, the lane encoder, the ISA and the
+//! hardware model.
+
+use imt::bitcode::bits::BitSeq;
+use imt::bitcode::block::{decode_block, encode_block, BlockContext, OverlapHistory};
+use imt::bitcode::lanes::{decode_words, encode_words, total_transitions};
+use imt::bitcode::stream::{StreamCodec, StreamCodecConfig};
+use imt::bitcode::TransformSet;
+use proptest::prelude::*;
+
+fn overlap_strategy() -> impl Strategy<Value = OverlapHistory> {
+    prop_oneof![Just(OverlapHistory::Stored), Just(OverlapHistory::Decoded)]
+}
+
+fn transform_set_strategy() -> impl Strategy<Value = TransformSet> {
+    prop_oneof![
+        Just(TransformSet::CANONICAL_EIGHT),
+        Just(TransformSet::ALL_SIXTEEN),
+        Just(TransformSet::IDENTITY_ONLY),
+        // Any random set that contains the identity is a valid universe.
+        any::<u16>().prop_map(|mask| {
+            TransformSet::from_mask(mask).with(imt::bitcode::Transform::IDENTITY)
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn stream_roundtrip_and_never_worse(
+        bits in proptest::collection::vec(any::<bool>(), 0..300),
+        k in 2usize..=9,
+        overlap in overlap_strategy(),
+        set in transform_set_strategy(),
+    ) {
+        let original = BitSeq::from(bits);
+        let codec = StreamCodec::new(
+            StreamCodecConfig::block_size(k).unwrap()
+                .with_overlap(overlap)
+                .with_transforms(set),
+        );
+        let encoded = codec.encode(&original);
+        prop_assert_eq!(codec.decode(&encoded).unwrap(), original.clone());
+        prop_assert!(encoded.transitions() <= original.transitions());
+    }
+
+    #[test]
+    fn block_roundtrip_all_contexts(
+        bits in proptest::collection::vec(any::<bool>(), 1..12),
+        prev_stored in any::<bool>(),
+        prev_original in any::<bool>(),
+        overlap in overlap_strategy(),
+    ) {
+        let ctx = BlockContext::Chained { prev_stored, prev_original, history: overlap };
+        let enc = encode_block(&bits, ctx, TransformSet::CANONICAL_EIGHT);
+        prop_assert_eq!(decode_block(&enc.code, enc.transform, ctx), bits.clone());
+        // Boundary accounting invariant.
+        let mut chain = vec![prev_stored];
+        chain.extend(&enc.code);
+        prop_assert_eq!(
+            chain.windows(2).filter(|w| w[0] != w[1]).count() as u64,
+            enc.code_transitions
+        );
+
+        let enc = encode_block(&bits, BlockContext::Initial, TransformSet::CANONICAL_EIGHT);
+        prop_assert_eq!(decode_block(&enc.code, enc.transform, BlockContext::Initial), bits);
+        prop_assert!(enc.code_transitions <= enc.original_transitions);
+    }
+
+    #[test]
+    fn sixteen_never_loses_to_eight(
+        bits in proptest::collection::vec(any::<bool>(), 1..10),
+    ) {
+        let eight = encode_block(&bits, BlockContext::Initial, TransformSet::CANONICAL_EIGHT);
+        let sixteen = encode_block(&bits, BlockContext::Initial, TransformSet::ALL_SIXTEEN);
+        prop_assert!(sixteen.code_transitions <= eight.code_transitions);
+    }
+
+    #[test]
+    fn lane_roundtrip_arbitrary_words(
+        words in proptest::collection::vec(any::<u32>(), 0..60),
+        k in 2usize..=8,
+    ) {
+        let wide: Vec<u64> = words.iter().map(|&w| w as u64).collect();
+        let codec = StreamCodec::new(StreamCodecConfig::block_size(k).unwrap());
+        let enc = encode_words(&wide, 32, &codec).unwrap();
+        prop_assert_eq!(decode_words(&enc, &codec).unwrap(), wide.clone());
+        prop_assert!(enc.transitions() <= total_transitions(&wide, 32));
+    }
+
+    #[test]
+    fn isa_decode_encode_fixpoint(word in any::<u32>()) {
+        // Any word that decodes must re-encode to itself (the decoder
+        // normalises nothing).
+        if let Ok(inst) = imt::isa::decode::decode(word) {
+            let reencoded = imt::isa::encode::encode(inst);
+            // Fields the decoder ignores (e.g. shamt of jr) may differ;
+            // but re-decoding must be stable.
+            prop_assert_eq!(imt::isa::decode::decode(reencoded).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn fetch_decoder_is_exact_on_random_blocks(
+        words in proptest::collection::vec(any::<u32>(), 1..40),
+        k in 2usize..=8,
+        overlap in overlap_strategy(),
+    ) {
+        use imt::core::hardware::{Bbit, BbitEntry, FetchDecoder, TransformationTable, TtEntry};
+        // Build a schedule for one synthetic basic block, then decode the
+        // sequential fetch stream through the hardware model.
+        let codec = StreamCodec::new(
+            StreamCodecConfig::block_size(k).unwrap().with_overlap(overlap),
+        );
+        let wide: Vec<u64> = words.iter().map(|&w| w as u64).collect();
+        let enc = encode_words(&wide, 32, &codec).unwrap();
+        let blocks = enc.lanes()[0].blocks().len();
+        let mut tt = TransformationTable::new();
+        for b in 0..blocks {
+            tt.push(TtEntry {
+                lane_transforms: (0..32)
+                    .map(|lane| enc.lanes()[lane].blocks()[b].transform)
+                    .collect(),
+                end: b + 1 == blocks,
+                covers: enc.lanes()[0].blocks()[b].len,
+            });
+        }
+        let mut bbit = Bbit::new();
+        bbit.push(BbitEntry { pc: 0x0040_0000, tt_index: 0 });
+        let mut decoder = FetchDecoder::new(&tt, &bbit, 32, k, overlap);
+        // Two consecutive traversals, as a loop would fetch them.
+        for _ in 0..2 {
+            for (i, &stored) in enc.words().iter().enumerate() {
+                let pc = 0x0040_0000 + (i as u32) * 4;
+                let decoded = decoder.on_fetch(pc, stored as u32);
+                prop_assert_eq!(decoded, words[i], "index {}", i);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn memory_model_matches_a_reference_map(
+        ops in proptest::collection::vec(
+            (0u32..0x2000u32, any::<u8>(), any::<bool>()),
+            1..200,
+        )
+    ) {
+        use std::collections::HashMap;
+        let mut mem = imt::sim::mem::Memory::new();
+        let mut reference: HashMap<u32, u8> = HashMap::new();
+        let base = 0x1000_0000u32;
+        for (offset, value, is_write) in ops {
+            let address = base + offset;
+            if is_write {
+                mem.write_u8(address, value).unwrap();
+                reference.insert(address, value);
+            } else {
+                let expected = reference.get(&address).copied().unwrap_or(0);
+                prop_assert_eq!(mem.read_u8(address).unwrap(), expected);
+            }
+        }
+        // Full sweep at the end.
+        for (&address, &value) in &reference {
+            prop_assert_eq!(mem.read_u8(address).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn memory_word_access_composes_from_bytes(
+        address in (0x1000u32..0x7FFF_0000u32).prop_map(|a| a & !7),
+        value in any::<u64>(),
+    ) {
+        let mut mem = imt::sim::mem::Memory::new();
+        mem.write_u64(address, value).unwrap();
+        prop_assert_eq!(mem.read_u64(address).unwrap(), value);
+        prop_assert_eq!(mem.read_u32(address).unwrap(), value as u32);
+        prop_assert_eq!(mem.read_u32(address + 4).unwrap(), (value >> 32) as u32);
+        for i in 0..8u32 {
+            prop_assert_eq!(
+                mem.read_u8(address + i).unwrap(),
+                (value >> (8 * i)) as u8
+            );
+        }
+    }
+
+    #[test]
+    fn history_blocks_roundtrip(
+        bits in proptest::collection::vec(any::<bool>(), 1..12),
+        h in 1usize..=3,
+    ) {
+        use imt::bitcode::history::{decode_history_block, encode_history_block};
+        let enc = encode_history_block(&bits, h).unwrap();
+        prop_assert_eq!(decode_history_block(&enc.code, enc.transform), bits);
+        prop_assert!(enc.code_transitions <= enc.original_transitions);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn scheduler_preserves_architectural_state(
+        ops in proptest::collection::vec((0u8..10, 0u8..6, 0u8..6, 0u8..6, any::<i16>()), 3..20),
+        seed in any::<u32>(),
+    ) {
+        // Build a random straight-line block over $t0..$t5 plus memory
+        // traffic through $sp, ending in a syscall exit; run the original
+        // and the reordered program and compare every register and the
+        // touched memory — a differential test of the Effects model.
+        use imt::isa::asm::assemble;
+        use imt::isa::Reg;
+        use imt::sim::Cpu;
+
+        let mut body = String::new();
+        for (op, a, b, c, imm) in &ops {
+            let (a, b, c) = (8 + *a as u32, 8 + *b as u32, 8 + *c as u32);
+            let imm16 = *imm as i32;
+            let line = match op {
+                0 => format!("        addu ${a}, ${b}, ${c}\n"),
+                1 => format!("        subu ${a}, ${b}, ${c}\n"),
+                2 => format!("        xor  ${a}, ${b}, ${c}\n"),
+                3 => format!("        nor  ${a}, ${b}, ${c}\n"),
+                4 => format!("        sll  ${a}, ${b}, {}\n", imm16.rem_euclid(32)),
+                5 => format!("        addiu ${a}, ${b}, {imm16}\n"),
+                6 => format!("        lw   ${a}, {}($sp)\n", (imm16.rem_euclid(16)) * 4),
+                7 => format!("        sw   ${a}, {}($sp)\n", (imm16.rem_euclid(16)) * 4),
+                8 => format!("        mult ${a}, ${b}\n"),
+                _ => format!("        mflo ${a}\n"),
+            };
+            body.push_str(&line);
+        }
+        // Wrap the block in a short loop so the scheduler (which targets
+        // hot-loop blocks) picks it up.
+        let looped = format!(
+            ".text\nmain:   li $s0, 3\n        li $t0, {seed}\n        li $t1, {}\nloop:\n{body}        addiu $s0, $s0, -1\n        bgtz $s0, loop\n        li $v0, 10\n        syscall\n",
+            seed.wrapping_mul(7)
+        );
+        let looped_program = assemble(&looped).unwrap();
+        let mut cpu = Cpu::new(&looped_program).unwrap();
+        cpu.run(1_000_000).unwrap();
+        let profile = cpu.profile().to_vec();
+        let (scheduled, _) = imt::core::schedule::schedule_program(
+            &looped_program,
+            &profile,
+            &imt::core::EncoderConfig::default(),
+        )
+        .unwrap();
+
+        // Run both to completion and compare state.
+        let mut a = Cpu::new(&looped_program).unwrap();
+        a.run(1_000_000).unwrap();
+        let mut b = Cpu::new(&scheduled).unwrap();
+        b.run(1_000_000).unwrap();
+        for r in 0..32u8 {
+            prop_assert_eq!(
+                a.reg(Reg::new(r)),
+                b.reg(Reg::new(r)),
+                "register ${} diverged",
+                r
+            );
+        }
+        for slot in 0..16u32 {
+            let address = imt::isa::program::STACK_TOP + slot * 4;
+            prop_assert_eq!(
+                a.mem().read_u32(address).unwrap(),
+                b.mem().read_u32(address).unwrap(),
+                "memory slot {} diverged",
+                slot
+            );
+        }
+    }
+
+    #[test]
+    fn random_loop_programs_survive_the_pipeline(
+        body_ops in proptest::collection::vec(0u8..6, 1..12),
+        iterations in 1u32..300,
+        k in 4usize..=7,
+    ) {
+        use imt::core::{encode_program, eval::evaluate, EncoderConfig};
+        use imt::isa::asm::assemble;
+        use imt::sim::Cpu;
+
+        // Generate a random arithmetic loop body.
+        let mut body = String::new();
+        for (i, op) in body_ops.iter().enumerate() {
+            let line = match op {
+                0 => format!("        xor  $t{}, $t{}, $s0\n", i % 6, (i + 1) % 6),
+                1 => format!("        addu $t{}, $t{}, $s0\n", i % 6, (i + 1) % 6),
+                2 => format!("        sll  $t{}, $t{}, {}\n", i % 6, (i + 1) % 6, (i % 5) + 1),
+                3 => format!("        nor  $t{}, $t{}, $s0\n", i % 6, (i + 1) % 6),
+                4 => format!("        srl  $t{}, $t{}, {}\n", i % 6, (i + 1) % 6, (i % 7) + 1),
+                _ => format!("        and  $t{}, $t{}, $s0\n", i % 6, (i + 1) % 6),
+            };
+            body.push_str(&line);
+        }
+        let source = format!(
+            ".text\nmain:   li $s0, {iterations}\nloop:\n{body}        addiu $s0, $s0, -1\n        bgtz $s0, loop\n        li $v0, 10\n        syscall\n"
+        );
+        let program = assemble(&source).unwrap();
+        let mut cpu = Cpu::new(&program).unwrap();
+        cpu.run(10_000_000).unwrap();
+        let config = EncoderConfig::default().with_block_size(k).unwrap();
+        let encoded = encode_program(&program, cpu.profile(), &config).unwrap();
+        let eval = evaluate(&program, &encoded, 10_000_000).unwrap();
+        prop_assert_eq!(eval.decode_mismatches, 0);
+        prop_assert!(eval.encoded_transitions <= eval.baseline_transitions);
+    }
+}
