@@ -31,7 +31,14 @@
 //! assert_eq!(bus.raw_transitions(), 32);
 //! ```
 
+use imt_bitcode::lanes::word_transitions;
 use imt_sim::cpu::FetchSink;
+
+/// One streaming step of the canonical transition counter over 32 lines:
+/// all the address/word monitors below account bus flips through this.
+fn step32(last: u32, next: u32) -> u64 {
+    word_transitions(&[u64::from(last), u64::from(next)], u64::from(u32::MAX))
+}
 
 /// Bus-invert coding on a data bus (Stan & Burleson, 1995).
 ///
@@ -62,7 +69,10 @@ impl BusInvert {
     /// Panics if `width` is outside `1..=63` (one line is reserved for the
     /// invert signal in the 64-bit state).
     pub fn new(width: usize) -> Self {
-        assert!((1..=63).contains(&width), "bus width {width} outside 1..=63");
+        assert!(
+            (1..=63).contains(&width),
+            "bus width {width} outside 1..=63"
+        );
         let mask = (1u64 << width) - 1;
         BusInvert {
             width,
@@ -80,8 +90,8 @@ impl BusInvert {
     pub fn observe(&mut self, word: u64) {
         let word = word & self.mask;
         if let Some(bus) = self.bus {
-            let plain = (bus ^ word).count_ones() as u64;
-            let inverted = (bus ^ (!word & self.mask)).count_ones() as u64;
+            let plain = word_transitions(&[bus, word], self.mask);
+            let inverted = word_transitions(&[bus, !word], self.mask);
             // Tie-break toward not inverting, as in the original paper.
             let (next_bus, next_invert, data_cost) = if inverted < plain {
                 (!word & self.mask, true, inverted)
@@ -97,7 +107,7 @@ impl BusInvert {
             self.invert_line = false;
         }
         if let Some(last) = self.last_raw {
-            self.raw_transitions += (last ^ word).count_ones() as u64;
+            self.raw_transitions += word_transitions(&[last, word], self.mask);
         }
         self.last_raw = Some(word);
         self.words += 1;
@@ -128,8 +138,7 @@ impl BusInvert {
         if self.raw_transitions == 0 {
             return 0.0;
         }
-        (self.raw_transitions as i64 - self.transitions as i64) as f64
-            / self.raw_transitions as f64
+        (self.raw_transitions as i64 - self.transitions as i64) as f64 / self.raw_transitions as f64
             * 100.0
     }
 }
@@ -175,10 +184,14 @@ impl PartitionedBusInvert {
     /// either parameter is out of range.
     pub fn new(width: usize, groups: usize) -> Result<Self, String> {
         if groups == 0 || width == 0 || width > 63 {
-            return Err(format!("bad partitioned bus shape: {width} lines, {groups} groups"));
+            return Err(format!(
+                "bad partitioned bus shape: {width} lines, {groups} groups"
+            ));
         }
         if !width.is_multiple_of(groups) {
-            return Err(format!("{width} lines do not split into {groups} equal groups"));
+            return Err(format!(
+                "{width} lines do not split into {groups} equal groups"
+            ));
         }
         let group_width = width / groups;
         Ok(PartitionedBusInvert {
@@ -197,7 +210,7 @@ impl PartitionedBusInvert {
             group.observe(word >> (i * self.group_width));
         }
         if let Some(last) = self.last_raw {
-            self.raw_transitions += (last ^ word).count_ones() as u64;
+            self.raw_transitions += word_transitions(&[last, word], self.mask);
         }
         self.last_raw = Some(word);
     }
@@ -273,7 +286,7 @@ impl T0 {
             } else {
                 (address, false)
             };
-            self.transitions += (lines ^ next_lines).count_ones() as u64;
+            self.transitions += step32(lines, next_lines);
             self.transitions += (next_inc != self.inc_line) as u64;
             self.lines = Some(next_lines);
             self.inc_line = next_inc;
@@ -283,7 +296,7 @@ impl T0 {
         }
         self.expected = Some(address.wrapping_add(self.stride));
         if let Some(last) = self.last_raw {
-            self.raw_transitions += (last ^ address).count_ones() as u64;
+            self.raw_transitions += step32(last, address);
         }
         self.last_raw = Some(address);
     }
@@ -303,8 +316,7 @@ impl T0 {
         if self.raw_transitions == 0 {
             return 0.0;
         }
-        (self.raw_transitions as i64 - self.transitions as i64) as f64
-            / self.raw_transitions as f64
+        (self.raw_transitions as i64 - self.transitions as i64) as f64 / self.raw_transitions as f64
             * 100.0
     }
 }
@@ -387,35 +399,37 @@ impl DictionaryBus {
         }
         let mut ranked: Vec<(u32, u64)> = freq.into_iter().collect();
         ranked.sort_by_key(|&(word, count)| (std::cmp::Reverse(count), word));
-        let dictionary: Vec<u32> =
-            ranked.into_iter().take(size.max(1)).map(|(word, _)| word).collect();
+        let dictionary: Vec<u32> = ranked
+            .into_iter()
+            .take(size.max(1))
+            .map(|(word, _)| word)
+            .collect();
         DictionaryBus::new(dictionary, 32)
     }
 
     /// Observes the next fetched word.
     pub fn observe(&mut self, word: u32) {
-        let (next_lines, next_hit) =
-            match self.dictionary.iter().position(|&w| w == word) {
-                Some(index) => {
-                    self.hits += 1;
-                    // Index driven on the low lines, all other lines frozen.
-                    let keep_mask = u32::MAX << self.index_bits;
-                    let frozen = self.lines.unwrap_or(0) & keep_mask;
-                    (frozen | index as u32, true)
-                }
-                None => {
-                    self.misses += 1;
-                    (word, false)
-                }
-            };
+        let (next_lines, next_hit) = match self.dictionary.iter().position(|&w| w == word) {
+            Some(index) => {
+                self.hits += 1;
+                // Index driven on the low lines, all other lines frozen.
+                let keep_mask = u32::MAX << self.index_bits;
+                let frozen = self.lines.unwrap_or(0) & keep_mask;
+                (frozen | index as u32, true)
+            }
+            None => {
+                self.misses += 1;
+                (word, false)
+            }
+        };
         if let Some(lines) = self.lines {
-            self.transitions += (lines ^ next_lines).count_ones() as u64;
+            self.transitions += step32(lines, next_lines);
             self.transitions += (next_hit != self.hit_line) as u64;
         }
         self.lines = Some(next_lines);
         self.hit_line = next_hit;
         if let Some(last) = self.last_raw {
-            self.raw_transitions += (last ^ word).count_ones() as u64;
+            self.raw_transitions += step32(last, word);
         }
         self.last_raw = Some(word);
     }
@@ -445,8 +459,7 @@ impl DictionaryBus {
         if self.raw_transitions == 0 {
             return 0.0;
         }
-        (self.raw_transitions as i64 - self.transitions as i64) as f64
-            / self.raw_transitions as f64
+        (self.raw_transitions as i64 - self.transitions as i64) as f64 / self.raw_transitions as f64
             * 100.0
     }
 }
@@ -481,11 +494,11 @@ impl GrayAddress {
         let index = address >> 2;
         let coded = index ^ (index >> 1);
         if let Some(last) = self.last_coded {
-            self.transitions += (last ^ coded).count_ones() as u64;
+            self.transitions += step32(last, coded);
         }
         self.last_coded = Some(coded);
         if let Some(last) = self.last_raw {
-            self.raw_transitions += (last ^ address).count_ones() as u64;
+            self.raw_transitions += step32(last, address);
         }
         self.last_raw = Some(address);
     }

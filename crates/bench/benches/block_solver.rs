@@ -3,7 +3,8 @@
 //! table and every stream encoding.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use imt_bitcode::block::{encode_block, BlockContext};
+use imt_bitcode::block::{encode_block, encode_block_exhaustive, BlockContext};
+use imt_bitcode::codebook::codebook_for;
 use imt_bitcode::TransformSet;
 use rand::{Rng, SeedableRng};
 
@@ -11,8 +12,9 @@ fn bench_block_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_solver");
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     for k in [3usize, 5, 7, 10, 13] {
-        let words: Vec<Vec<bool>> =
-            (0..256).map(|_| (0..k).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        let words: Vec<Vec<bool>> = (0..256)
+            .map(|_| (0..k).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
         group.bench_with_input(BenchmarkId::new("eight", k), &words, |b, words| {
             b.iter(|| {
                 for w in words {
@@ -39,6 +41,45 @@ fn bench_block_solver(c: &mut Criterion) {
     group.finish();
 }
 
+/// Memoized codebook lookups against the exhaustive search they replace,
+/// on the same 256-word batches. The gap is the tentpole speedup: the
+/// lookup is O(1) per block while the search enumerates candidate code
+/// words — and it widens with `k`.
+fn bench_codebook_vs_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codebook_vs_exhaustive");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for k in [5usize, 6, 7] {
+        let words: Vec<Vec<bool>> = (0..256)
+            .map(|_| (0..k).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        // Warm the table so the one-time build cost is not measured.
+        codebook_for(k, TransformSet::CANONICAL_EIGHT);
+        group.bench_with_input(BenchmarkId::new("codebook", k), &words, |b, words| {
+            b.iter(|| {
+                for w in words {
+                    black_box(encode_block(
+                        black_box(w),
+                        BlockContext::Initial,
+                        TransformSet::CANONICAL_EIGHT,
+                    ));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", k), &words, |b, words| {
+            b.iter(|| {
+                for w in words {
+                    black_box(encode_block_exhaustive(
+                        black_box(w),
+                        BlockContext::Initial,
+                        TransformSet::CANONICAL_EIGHT,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_code_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("code_table");
     for k in [5usize, 7] {
@@ -52,5 +93,10 @@ fn bench_code_tables(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_block_solver, bench_code_tables);
+criterion_group!(
+    benches,
+    bench_block_solver,
+    bench_codebook_vs_exhaustive,
+    bench_code_tables
+);
 criterion_main!(benches);

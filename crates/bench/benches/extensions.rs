@@ -20,11 +20,8 @@ fn bench_table_image(c: &mut Criterion) {
     let image = imt_core::tableimage::pack_tables(&encoded).expect("pack");
     group.bench_function("unpack", |b| {
         b.iter(|| {
-            imt_core::tableimage::unpack_tables(
-                black_box(&image),
-                encoded.config.transforms(),
-            )
-            .expect("unpack")
+            imt_core::tableimage::unpack_tables(black_box(&image), encoded.config.transforms())
+                .expect("unpack")
         })
     });
     group.finish();
@@ -68,5 +65,11 @@ fn bench_gate_synthesis(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_table_image, bench_history, bench_scheduler, bench_gate_synthesis);
+criterion_group!(
+    benches,
+    bench_table_image,
+    bench_history,
+    bench_scheduler,
+    bench_gate_synthesis
+);
 criterion_main!(benches);

@@ -49,8 +49,8 @@ fn bench_simulator(c: &mut Criterion) {
     group.bench_function("full_evaluation", |b| {
         let mut cpu = Cpu::new(&program).expect("load");
         cpu.run(10_000_000).expect("profile");
-        let encoded = encode_program(&program, cpu.profile(), &EncoderConfig::default())
-            .expect("encode");
+        let encoded =
+            encode_program(&program, cpu.profile(), &EncoderConfig::default()).expect("encode");
         b.iter(|| imt_core::eval::evaluate(&program, &encoded, 10_000_000).expect("evaluate"))
     });
     group.finish();

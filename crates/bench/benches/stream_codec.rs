@@ -5,6 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use imt_bitcode::gen::uniform;
 use imt_bitcode::lanes::encode_words;
+use imt_bitcode::packed::PackedSeq;
 use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
 use rand::{Rng, SeedableRng};
 
@@ -26,6 +27,28 @@ fn bench_stream(c: &mut Criterion) {
     group.finish();
 }
 
+/// The packed codebook fast path against the `Vec<bool>` + exhaustive
+/// reference it replaces, on the same 10 000-bit stream. Both produce
+/// bit-identical encodings (asserted by tests/equivalence.rs); this group
+/// measures what the representation + memoization buy.
+fn bench_packed_vs_bool(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let stream = uniform(&mut rng, 10_000);
+    let packed = PackedSeq::from_bitseq(&stream);
+    let mut group = c.benchmark_group("packed_vs_bool");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for k in [5usize, 7] {
+        let codec = StreamCodec::new(StreamCodecConfig::block_size(k).expect("valid"));
+        group.bench_with_input(BenchmarkId::new("packed", k), &codec, |b, codec| {
+            b.iter(|| codec.encode_packed(black_box(&packed)))
+        });
+        group.bench_with_input(BenchmarkId::new("bool_reference", k), &codec, |b, codec| {
+            b.iter(|| codec.encode_reference(black_box(&stream)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_lanes(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let words: Vec<u64> = (0..1024).map(|_| rng.gen::<u32>() as u64).collect();
@@ -38,5 +61,5 @@ fn bench_lanes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stream, bench_lanes);
+criterion_group!(benches, bench_stream, bench_packed_vs_bool, bench_lanes);
 criterion_main!(benches);

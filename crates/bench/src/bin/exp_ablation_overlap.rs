@@ -18,9 +18,21 @@ fn main() {
     println!("A2 — overlap semantics and transformation-set size, k = 5 ({scale:?} scale)\n");
     let minimal_six = minimal_optimal_subset(7).set;
     let variants: [(&str, TransformSet, OverlapHistory); 4] = [
-        ("8, stored", TransformSet::CANONICAL_EIGHT, OverlapHistory::Stored),
-        ("8, decoded", TransformSet::CANONICAL_EIGHT, OverlapHistory::Decoded),
-        ("16, stored", TransformSet::ALL_SIXTEEN, OverlapHistory::Stored),
+        (
+            "8, stored",
+            TransformSet::CANONICAL_EIGHT,
+            OverlapHistory::Stored,
+        ),
+        (
+            "8, decoded",
+            TransformSet::CANONICAL_EIGHT,
+            OverlapHistory::Decoded,
+        ),
+        (
+            "16, stored",
+            TransformSet::ALL_SIXTEEN,
+            OverlapHistory::Stored,
+        ),
         ("6, stored", minimal_six, OverlapHistory::Stored),
     ];
     let mut header = vec!["kernel".to_string()];

@@ -5,7 +5,7 @@
 //! where that sizing argument bites: small tables demote blocks of the
 //! hot loops to pass-through and reductions fall off.
 
-use imt_bench::runner::{run_kernel_point, Scale};
+use imt_bench::runner::{run_grid, Scale};
 use imt_bench::table::Table;
 use imt_core::EncoderConfig;
 use imt_kernels::Kernel;
@@ -18,17 +18,23 @@ fn main() {
     header.extend(capacities.iter().map(|c| format!("TT={c}")));
     let mut reduction_table = Table::new(header.clone());
     let mut entries_table = Table::new(header);
-    for kernel in Kernel::ALL {
+    // The 30 sweep cells fan out in parallel; run_grid's index-ordered
+    // merge keeps the rendered tables identical to the serial sweep.
+    let cells: Vec<(Kernel, EncoderConfig)> = Kernel::ALL
+        .iter()
+        .flat_map(|&kernel| {
+            capacities
+                .iter()
+                .map(move |&capacity| (kernel, EncoderConfig::default().with_tt_capacity(capacity)))
+        })
+        .collect();
+    let points = run_grid(&cells, scale);
+    for (kernel, row_points) in Kernel::ALL.iter().zip(points.chunks(capacities.len())) {
         let mut reduction_row = vec![kernel.name().to_string()];
         let mut entries_row = vec![kernel.name().to_string()];
-        for &capacity in &capacities {
-            let config = EncoderConfig::default().with_tt_capacity(capacity);
-            let point = run_kernel_point(kernel, scale, &config);
+        for (point, &capacity) in row_points.iter().zip(&capacities) {
             reduction_row.push(format!("{:.1}%", point.reduction_percent()));
-            entries_row.push(format!(
-                "{}/{}",
-                point.encoded.report.tt_used, capacity
-            ));
+            entries_row.push(format!("{}/{}", point.encoded.report.tt_used, capacity));
         }
         reduction_table.row(reduction_row);
         entries_table.row(entries_row);

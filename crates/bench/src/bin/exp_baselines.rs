@@ -6,10 +6,51 @@
 use imt_baselines::{BusInvert, DictionaryBus, GrayAddress, T0};
 use imt_bench::runner::{profiled_run, run_kernel_point, Scale};
 use imt_bench::table::Table;
+use imt_bitcode::par::par_map;
 use imt_core::EncoderConfig;
 use imt_kernels::Kernel;
 use imt_sim::cpu::Tee;
 use imt_sim::Cpu;
+
+/// Runs the IMT pipeline at k = 4 and k = 5 plus one baseline-instrumented
+/// replay for a kernel, returning its finished table row.
+fn kernel_row(kernel: Kernel, scale: Scale) -> Vec<String> {
+    let k4 = run_kernel_point(
+        kernel,
+        scale,
+        &EncoderConfig::default().with_block_size(4).expect("valid"),
+    );
+    let k5 = run_kernel_point(kernel, scale, &EncoderConfig::default());
+
+    // Replay once more with the streaming baselines attached.
+    let spec = scale.spec(kernel);
+    let run = profiled_run(&spec);
+    let mut cpu = Cpu::new(&run.program).expect("load failed");
+    let mut businv = BusInvert::new(32);
+    let mut dict = DictionaryBus::from_profile(&run.program.text, &run.profile, 16);
+    let mut t0 = T0::new(4);
+    let mut gray = GrayAddress::new();
+    let mut sinks = Tee(&mut businv, Tee(&mut dict, Tee(&mut t0, &mut gray)));
+    cpu.run_with_sink(spec.max_steps, &mut sinks)
+        .expect("replay failed");
+
+    let gray_reduction = if gray.raw_transitions() == 0 {
+        0.0
+    } else {
+        (gray.raw_transitions() as f64 - gray.total_transitions() as f64)
+            / gray.raw_transitions() as f64
+            * 100.0
+    };
+    vec![
+        kernel.name().to_string(),
+        format!("{:.1}%", k4.reduction_percent()),
+        format!("{:.1}%", k5.reduction_percent()),
+        format!("{:.1}%", businv.reduction_percent()),
+        format!("{:.1}%", dict.reduction_percent()),
+        format!("{:.1}%", t0.reduction_percent()),
+        format!("{gray_reduction:.1}%"),
+    ]
+}
 
 fn main() {
     let scale = Scale::from_args();
@@ -27,41 +68,10 @@ fn main() {
         .map(String::from)
         .to_vec(),
     );
-    for kernel in Kernel::ALL {
-        let k4 = run_kernel_point(
-            kernel,
-            scale,
-            &EncoderConfig::default().with_block_size(4).expect("valid"),
-        );
-        let k5 = run_kernel_point(kernel, scale, &EncoderConfig::default());
-
-        // Replay once more with the streaming baselines attached.
-        let spec = scale.spec(kernel);
-        let run = profiled_run(&spec);
-        let mut cpu = Cpu::new(&run.program).expect("load failed");
-        let mut businv = BusInvert::new(32);
-        let mut dict = DictionaryBus::from_profile(&run.program.text, &run.profile, 16);
-        let mut t0 = T0::new(4);
-        let mut gray = GrayAddress::new();
-        let mut sinks = Tee(&mut businv, Tee(&mut dict, Tee(&mut t0, &mut gray)));
-        cpu.run_with_sink(spec.max_steps, &mut sinks).expect("replay failed");
-
-        let gray_reduction = if gray.raw_transitions() == 0 {
-            0.0
-        } else {
-            (gray.raw_transitions() as f64 - gray.total_transitions() as f64)
-                / gray.raw_transitions() as f64
-                * 100.0
-        };
-        table.row(vec![
-            kernel.name().to_string(),
-            format!("{:.1}%", k4.reduction_percent()),
-            format!("{:.1}%", k5.reduction_percent()),
-            format!("{:.1}%", businv.reduction_percent()),
-            format!("{:.1}%", dict.reduction_percent()),
-            format!("{:.1}%", t0.reduction_percent()),
-            format!("{gray_reduction:.1}%"),
-        ]);
+    // Six independent kernel rows, rendered in kernel order regardless of
+    // which worker finishes first.
+    for row in par_map(&Kernel::ALL, 1, |_, &kernel| kernel_row(kernel, scale)) {
+        table.row(row);
     }
     print!("{}", table.render());
     println!("\nreading: on the instruction data bus the application-specific");

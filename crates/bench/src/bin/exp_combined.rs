@@ -44,14 +44,13 @@ fn main() {
         let mut businv = BusInvert::new(32);
         let mut pbusinv = PartitionedBusInvert::new(32, 4).expect("valid shape");
         let mut sinks = Tee(&mut t0, Tee(&mut businv, &mut pbusinv));
-        cpu.run_with_sink(spec.max_steps, &mut sinks).expect("replay");
+        cpu.run_with_sink(spec.max_steps, &mut sinks)
+            .expect("replay");
 
         let raw_total = point.evaluation.baseline_transitions + t0.raw_transitions();
         let coded_total = point.evaluation.encoded_transitions + t0.total_transitions();
-        let combined_reduction =
-            (raw_total - coded_total) as f64 / raw_total as f64 * 100.0;
-        let energy_saved =
-            model.energy_joules(raw_total) - model.energy_joules(coded_total);
+        let combined_reduction = (raw_total - coded_total) as f64 / raw_total as f64 * 100.0;
+        let energy_saved = model.energy_joules(raw_total) - model.energy_joules(coded_total);
         table.row(vec![
             kernel.name().to_string(),
             format!("{:.2}", raw_total as f64 / 1e6),

@@ -24,11 +24,20 @@ fn main() {
     header.extend((4..=7).map(|k| format!("red. k={k}")));
     let mut table = Table::new(header);
     for kernel in ExtraKernel::ALL {
-        let spec = if test_scale { kernel.test_spec() } else { kernel.paper_spec() };
+        let spec = if test_scale {
+            kernel.test_spec()
+        } else {
+            kernel.paper_spec()
+        };
         let program = spec.assemble();
         let mut cpu = Cpu::new(&program).expect("load");
         cpu.run(spec.max_steps).expect("profile run");
-        assert_eq!(cpu.stdout(), spec.expected_output, "{}: golden mismatch", spec.name);
+        assert_eq!(
+            cpu.stdout(),
+            spec.expected_output,
+            "{}: golden mismatch",
+            spec.name
+        );
         let profile = cpu.profile().to_vec();
         let mut row = vec![kernel.name().to_string()];
         let mut first = true;

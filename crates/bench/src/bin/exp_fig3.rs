@@ -21,9 +21,17 @@ fn main() {
         (7, "384", "234", "39.1"),
     ];
     let mut table = Table::new(
-        ["Size", "TTN", "RTN", "Impr(%)", "paper TTN", "paper RTN", "paper Impr(%)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Size",
+            "TTN",
+            "RTN",
+            "Impr(%)",
+            "paper TTN",
+            "paper RTN",
+            "paper Impr(%)",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for (k, p_ttn, p_rtn, p_impr) in paper_rows {
         let code = CodeTable::build(k, TransformSet::ALL_SIXTEEN).expect("valid size");

@@ -7,8 +7,7 @@ use imt_bitcode::tables::CodeTable;
 use imt_bitcode::TransformSet;
 
 fn main() {
-    let table =
-        CodeTable::build(5, TransformSet::CANONICAL_EIGHT).expect("block size 5 is valid");
+    let table = CodeTable::build(5, TransformSet::CANONICAL_EIGHT).expect("block size 5 is valid");
     println!("Figure 4 — power efficient transformations for five bit blocks");
     println!("(first half; the second half is the bitwise complement under the");
     println!("XOR<->XNOR / NOR<->NAND duality)\n");
@@ -21,7 +20,10 @@ fn main() {
     for i in 0..n / 2 {
         let lo = &table.entries()[i];
         let hi = &table.entries()[n - 1 - i];
-        assert_eq!(lo.code_transitions, hi.code_transitions, "symmetry broke at row {i}");
+        assert_eq!(
+            lo.code_transitions, hi.code_transitions,
+            "symmetry broke at row {i}"
+        );
     }
     println!("\nsymmetry check for the second half: ok");
     println!(

@@ -18,12 +18,36 @@ pub type PaperRow = [(f64, f64); 4];
 /// The paper's Figure 6, for side-by-side printing: per benchmark,
 /// `(name, TR_millions, rows)`.
 pub const PAPER_FIG6: [(&str, f64, PaperRow); 6] = [
-    ("mmul", 14.0, [(7.9, 44.0), (8.6, 39.2), (10.3, 26.7), (10.1, 28.5)]),
-    ("sor", 3.3, [(1.8, 44.3), (2.3, 30.5), (2.1, 35.3), (2.6, 20.1)]),
-    ("ej", 113.4, [(61.8, 45.5), (69.4, 38.8), (69.6, 38.7), (87.3, 23.1)]),
-    ("fft", 0.2, [(0.15, 20.6), (0.1, 17.5), (0.2, 13.4), (0.2, 0.0)]),
-    ("tri", 8.1, [(3.9, 51.6), (5.0, 37.8), (5.6, 31.1), (6.1, 24.4)]),
-    ("lu", 63.8, [(43.0, 32.7), (48.8, 23.6), (51.6, 19.1), (57.8, 9.4)]),
+    (
+        "mmul",
+        14.0,
+        [(7.9, 44.0), (8.6, 39.2), (10.3, 26.7), (10.1, 28.5)],
+    ),
+    (
+        "sor",
+        3.3,
+        [(1.8, 44.3), (2.3, 30.5), (2.1, 35.3), (2.6, 20.1)],
+    ),
+    (
+        "ej",
+        113.4,
+        [(61.8, 45.5), (69.4, 38.8), (69.6, 38.7), (87.3, 23.1)],
+    ),
+    (
+        "fft",
+        0.2,
+        [(0.15, 20.6), (0.1, 17.5), (0.2, 13.4), (0.2, 0.0)],
+    ),
+    (
+        "tri",
+        8.1,
+        [(3.9, 51.6), (5.0, 37.8), (5.6, 31.1), (6.1, 24.4)],
+    ),
+    (
+        "lu",
+        63.8,
+        [(43.0, 32.7), (48.8, 23.6), (51.6, 19.1), (57.8, 9.4)],
+    ),
 ];
 
 fn main() {
@@ -32,11 +56,16 @@ fn main() {
     println!("Figure 6 — transition reduction results ({scale:?} scale, TT = 16 entries)\n");
 
     let mut table = Table::new(
-        ["", "mmul", "sor", "ej", "fft", "tri", "lu"].map(String::from).to_vec(),
+        ["", "mmul", "sor", "ej", "fft", "tri", "lu"]
+            .map(String::from)
+            .to_vec(),
     );
     table.row(
         std::iter::once("#TR (M)".to_string())
-            .chain(grid.iter().map(|points| format!("{:.2}", points[0].baseline_millions())))
+            .chain(
+                grid.iter()
+                    .map(|points| format!("{:.2}", points[0].baseline_millions())),
+            )
             .collect(),
     );
     for (ki, k) in (4..=7).enumerate() {
@@ -54,7 +83,9 @@ fn main() {
 
     println!("\npaper's Figure 6 for comparison:");
     let mut paper = Table::new(
-        ["", "mmul", "sor", "ej", "fft", "tri", "lu"].map(String::from).to_vec(),
+        ["", "mmul", "sor", "ej", "fft", "tri", "lu"]
+            .map(String::from)
+            .to_vec(),
     );
     paper.row(
         std::iter::once("#TR (M)".to_string())
@@ -64,12 +95,20 @@ fn main() {
     for (ki, k) in (4..=7).enumerate() {
         paper.row(
             std::iter::once(format!("#{k}-block (M)"))
-                .chain(PAPER_FIG6.iter().map(|(_, _, rows)| format!("{:.2}", rows[ki].0)))
+                .chain(
+                    PAPER_FIG6
+                        .iter()
+                        .map(|(_, _, rows)| format!("{:.2}", rows[ki].0)),
+                )
                 .collect(),
         );
         paper.row(
             std::iter::once("Reduction(%)".to_string())
-                .chain(PAPER_FIG6.iter().map(|(_, _, rows)| format!("{:.1}", rows[ki].1)))
+                .chain(
+                    PAPER_FIG6
+                        .iter()
+                        .map(|(_, _, rows)| format!("{:.1}", rows[ki].1)),
+                )
                 .collect(),
         );
     }
@@ -77,9 +116,15 @@ fn main() {
 
     println!("\ncsv:");
     let mut csv = Table::new(
-        ["kernel", "block_size", "baseline_transitions", "encoded_transitions", "reduction_percent"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "kernel",
+            "block_size",
+            "baseline_transitions",
+            "encoded_transitions",
+            "reduction_percent",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for points in &grid {
         for p in points {

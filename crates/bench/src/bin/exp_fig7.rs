@@ -13,7 +13,12 @@ fn main() {
         println!("{}:", points[0].kernel);
         let entries: Vec<(String, f64)> = points
             .iter()
-            .map(|p| (format!("  {}-block", p.config.block_size()), p.reduction_percent()))
+            .map(|p| {
+                (
+                    format!("  {}-block", p.config.block_size()),
+                    p.reduction_percent(),
+                )
+            })
             .collect();
         print!("{}", bar_chart(&entries, 50, "%"));
         println!();
@@ -23,7 +28,9 @@ fn main() {
     // each one arises.
     if scale == Scale::Paper {
         let mean_at = |ki: usize| -> f64 {
-            grid.iter().map(|points| points[ki].reduction_percent()).sum::<f64>()
+            grid.iter()
+                .map(|points| points[ki].reduction_percent())
+                .sum::<f64>()
                 / grid.len() as f64
         };
         let k4 = mean_at(0);
@@ -46,8 +53,7 @@ fn main() {
                 );
             }
         }
-        let fft_mean: f64 =
-            grid[3].iter().map(|p| p.reduction_percent()).sum::<f64>() / 4.0;
+        let fft_mean: f64 = grid[3].iter().map(|p| p.reduction_percent()).sum::<f64>() / 4.0;
         let rest_mean: f64 = grid
             .iter()
             .enumerate()

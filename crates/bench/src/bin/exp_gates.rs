@@ -12,8 +12,11 @@ use imt_bitcode::TransformSet;
 
 fn main() {
     println!("E-G — exact NAND2 synthesis of the restore logic\n");
-    let mut table =
-        Table::new(["transform", "NAND2 gates", "depth"].map(String::from).to_vec());
+    let mut table = Table::new(
+        ["transform", "NAND2 gates", "depth"]
+            .map(String::from)
+            .to_vec(),
+    );
     for t in TransformSet::CANONICAL_EIGHT.iter() {
         let network = synthesize_nand(t);
         table.row(vec![

@@ -17,7 +17,9 @@ use rand::SeedableRng;
 fn main() {
     println!("E-H — history-depth generalisation of Figure 3 (improvement %)\n");
     let mut table = Table::new(
-        ["k", "h=1", "h=2", "h=3", "selector bits h=1/2/3"].map(String::from).to_vec(),
+        ["k", "h=1", "h=2", "h=3", "selector bits h=1/2/3"]
+            .map(String::from)
+            .to_vec(),
     );
     for k in 2..=8usize {
         let mut cells = vec![k.to_string()];

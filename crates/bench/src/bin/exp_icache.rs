@@ -45,10 +45,10 @@ fn main() {
     for kernel in Kernel::ALL {
         let spec = scale.spec(kernel);
         let run = profiled_run(&spec);
-        let encoded = encode_program(&run.program, &run.profile, &EncoderConfig::default())
-            .expect("encode");
-        let eval = imt_core::eval::evaluate(&run.program, &encoded, spec.max_steps)
-            .expect("evaluate");
+        let encoded =
+            encode_program(&run.program, &run.profile, &EncoderConfig::default()).expect("encode");
+        let eval =
+            imt_core::eval::evaluate(&run.program, &encoded, spec.max_steps).expect("evaluate");
 
         // Cached replays: baseline image vs encoded image, both placements.
         let cache = ICacheConfig::SMALL_4K;
@@ -75,7 +75,8 @@ fn main() {
         );
         let mut cpu = Cpu::new(&run.program).expect("load");
         let mut sinks = Tee(&mut base_model, Tee(&mut enc_at_core, &mut enc_at_fill));
-        cpu.run_with_sink(spec.max_steps, &mut sinks).expect("replay");
+        cpu.run_with_sink(spec.max_steps, &mut sinks)
+            .expect("replay");
 
         let core_uncached = eval.reduction_percent();
         let core_at_core = reduction(

@@ -19,12 +19,14 @@ fn main() {
     let kernel = wanted
         .and_then(|name| Kernel::ALL.into_iter().find(|k| k.name() == name))
         .unwrap_or(Kernel::Tri);
-    println!("E-L — per-line anatomy of {} ({scale:?} scale, k = 5)\n", kernel.name());
+    println!(
+        "E-L — per-line anatomy of {} ({scale:?} scale, k = 5)\n",
+        kernel.name()
+    );
 
     let point = run_kernel_point(kernel, scale, &imt_core::EncoderConfig::default());
     // Static view of the hot region the schedule actually covers.
-    let static_words: Vec<u64> =
-        point.encoded.text.iter().map(|&w| w as u64).collect();
+    let static_words: Vec<u64> = point.encoded.text.iter().map(|&w| w as u64).collect();
     let static_stats = analyze_lanes(&static_words, 32);
 
     println!("lane   static bias  dyn transitions  encoded  reduction");

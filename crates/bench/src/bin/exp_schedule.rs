@@ -37,7 +37,12 @@ fn main() {
         let program = spec.assemble();
         let mut cpu = Cpu::new(&program).expect("load");
         cpu.run(spec.max_steps).expect("profile");
-        assert_eq!(cpu.stdout(), spec.expected_output, "{}: golden mismatch", spec.name);
+        assert_eq!(
+            cpu.stdout(),
+            spec.expected_output,
+            "{}: golden mismatch",
+            spec.name
+        );
         let profile = cpu.profile().to_vec();
 
         // Plain pipeline.
@@ -45,8 +50,7 @@ fn main() {
         let plain = evaluate(&program, &encoded, spec.max_steps).expect("evaluate");
 
         // Scheduled pipeline: reorder, re-profile, encode, evaluate.
-        let (scheduled, report) =
-            schedule_program(&program, &profile, &config).expect("schedule");
+        let (scheduled, report) = schedule_program(&program, &profile, &config).expect("schedule");
         let mut cpu = Cpu::new(&scheduled).expect("load scheduled");
         cpu.run(spec.max_steps).expect("run scheduled");
         assert_eq!(

@@ -20,17 +20,22 @@ fn main() {
     let bits = 1000usize;
     println!("§6 — greedy chained encoding of {trials} random {bits}-bit streams\n");
     let mut table = Table::new(
-        ["k", "overlap", "total red(%)", "stream min", "stream max", "theory(%)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "k",
+            "overlap",
+            "total red(%)",
+            "stream min",
+            "stream max",
+            "theory(%)",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for k in [4usize, 5, 6, 7] {
-        let theory = imt_bitcode::tables::CodeTable::build(
-            k,
-            imt_bitcode::TransformSet::CANONICAL_EIGHT,
-        )
-        .expect("valid size")
-        .improvement_percent();
+        let theory =
+            imt_bitcode::tables::CodeTable::build(k, imt_bitcode::TransformSet::CANONICAL_EIGHT)
+                .expect("valid size")
+                .improvement_percent();
         for overlap in [OverlapHistory::Stored, OverlapHistory::Decoded] {
             let codec = StreamCodec::new(
                 StreamCodecConfig::block_size(k)

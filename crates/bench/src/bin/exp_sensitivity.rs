@@ -47,25 +47,37 @@ fn main() {
 
     println!("biased i.i.d. streams, P(1) = p:");
     let mut table = Table::new(
-        ["p", "raw transition density", "reduction(%)"].map(String::from).to_vec(),
+        ["p", "raw transition density", "reduction(%)"]
+            .map(String::from)
+            .to_vec(),
     );
     for p in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xB1A5);
         let streams: Vec<_> = (0..trials).map(|_| biased(&mut rng, bits, p)).collect();
         let (density, reduction) = aggregate_reduction(&codec, &streams);
-        table.row(vec![format!("{p:.2}"), format!("{density:.3}"), format!("{reduction:.1}")]);
+        table.row(vec![
+            format!("{p:.2}"),
+            format!("{density:.3}"),
+            format!("{reduction:.1}"),
+        ]);
     }
     print!("{}", table.render());
 
     println!("\nMarkov streams, flip probability q:");
     let mut table = Table::new(
-        ["q", "raw transition density", "reduction(%)"].map(String::from).to_vec(),
+        ["q", "raw transition density", "reduction(%)"]
+            .map(String::from)
+            .to_vec(),
     );
     for q in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x3A4C);
         let streams: Vec<_> = (0..trials).map(|_| markov(&mut rng, bits, q)).collect();
         let (density, reduction) = aggregate_reduction(&codec, &streams);
-        table.row(vec![format!("{q:.2}"), format!("{density:.3}"), format!("{reduction:.1}")]);
+        table.row(vec![
+            format!("{q:.2}"),
+            format!("{density:.3}"),
+            format!("{reduction:.1}"),
+        ]);
     }
     print!("{}", table.render());
 

@@ -10,7 +10,10 @@ use imt_bitcode::TransformSet;
 use rand::SeedableRng;
 
 fn check(name: &str, pass: bool, detail: String) -> bool {
-    println!("  [{}] {name}: {detail}", if pass { "PASS" } else { "FAIL" });
+    println!(
+        "  [{}] {name}: {detail}",
+        if pass { "PASS" } else { "FAIL" }
+    );
     pass
 }
 
@@ -23,7 +26,11 @@ fn main() {
     all &= check(
         "Figure 2 (k=3 table)",
         fig2.total_transitions() == 8 && fig2.reduced_transitions() == 2,
-        format!("TTN={} RTN={} (paper: 8/2)", fig2.total_transitions(), fig2.reduced_transitions()),
+        format!(
+            "TTN={} RTN={} (paper: 8/2)",
+            fig2.total_transitions(),
+            fig2.reduced_transitions()
+        ),
     );
 
     // Figure 3: TTN closed form + RTN optima for every size.
@@ -51,7 +58,11 @@ fn main() {
     all &= check(
         "Figure 4 (k=5, 8-subset optimal per word)",
         fig4_ok,
-        format!("RTN {} = {}", full.reduced_transitions(), eight.reduced_transitions()),
+        format!(
+            "RTN {} = {}",
+            full.reduced_transitions(),
+            eight.reduced_transitions()
+        ),
     );
 
     // §5.2: subset claims.
@@ -103,12 +114,9 @@ fn main() {
     let mut cpu = imt_sim::Cpu::new(&program).expect("load");
     cpu.run(spec.max_steps).expect("run");
     let golden = cpu.stdout() == spec.expected_output;
-    let encoded = imt_core::encode_program(
-        &program,
-        cpu.profile(),
-        &imt_core::EncoderConfig::default(),
-    )
-    .expect("encode");
+    let encoded =
+        imt_core::encode_program(&program, cpu.profile(), &imt_core::EncoderConfig::default())
+            .expect("encode");
     let eval = imt_core::eval::evaluate(&program, &encoded, spec.max_steps).expect("evaluate");
     all &= check(
         "end-to-end (fft-256, k=5)",
@@ -121,7 +129,11 @@ fn main() {
 
     println!(
         "\noverall: {}  (run exp_fig6/exp_fig7 for the full kernel grid)",
-        if all { "ALL CHECKS PASS" } else { "FAILURES PRESENT" }
+        if all {
+            "ALL CHECKS PASS"
+        } else {
+            "FAILURES PRESENT"
+        }
     );
     if !all {
         std::process::exit(1);

@@ -44,7 +44,8 @@ fn main() {
         let mut dict_timing = TimingSink::new(FrontEndTiming::dictionary_default());
         let mut dict_bus = DictionaryBus::from_profile(&run.program.text, &run.profile, 16);
         let mut sinks = Tee(&mut imt_timing, Tee(&mut dict_timing, &mut dict_bus));
-        cpu.run_with_sink(spec.max_steps, &mut sinks).expect("replay");
+        cpu.run_with_sink(spec.max_steps, &mut sinks)
+            .expect("replay");
 
         // The IMT front end is cycle-identical to the baseline: the gate
         // adds no stage. The dictionary front end is one stage deeper.
@@ -67,7 +68,10 @@ fn main() {
             format!("{:.2}x", base_edp / imt_edp),
             format!("{:.2}x", base_edp / dict_edp),
         ]);
-        assert_eq!(imt_cycles, base_cycles, "IMT must not change the cycle count");
+        assert_eq!(
+            imt_cycles, base_cycles,
+            "IMT must not change the cycle count"
+        );
     }
     print!("{}", table.render());
     println!("\nreading: IMT's restore gate is free in time — cycles are identical");

@@ -30,6 +30,7 @@
 //! | `exp_timing` | critical-path timing, IMT vs dictionary (E-T) |
 //! | `exp_schedule` | compiler cooperation via scheduling (E-O) |
 //! | `exp_gates` | exact NAND2 synthesis of the restore cell (E-G) |
+//! | `exp_perf` | encode-pipeline wall-time, serial vs parallel (E-P) |
 //! | `exp_summary` | one-screen PASS/FAIL reproduction scorecard |
 //!
 //! Binaries accept `--test-scale` to run on the small kernel instances

@@ -1,5 +1,6 @@
 //! Profile → encode → evaluate plumbing shared by the experiments.
 
+use imt_bitcode::par::par_map;
 use imt_core::eval::{evaluate, Evaluation};
 use imt_core::{encode_program, EncodedProgram, EncoderConfig};
 use imt_kernels::{Kernel, KernelRun, KernelSpec};
@@ -99,7 +100,9 @@ pub fn run_kernel_point(kernel: Kernel, scale: Scale, config: &EncoderConfig) ->
 ///
 /// Panics if the run faults or its output disagrees with the golden model.
 pub fn profiled_run(spec: &KernelSpec) -> KernelRun {
-    let run = spec.run().unwrap_or_else(|e| panic!("{}: run failed: {e}", spec.name));
+    let run = spec
+        .run()
+        .unwrap_or_else(|e| panic!("{}: run failed: {e}", spec.name));
     assert_eq!(
         run.stdout, spec.expected_output,
         "{}: kernel output diverged from the golden model",
@@ -110,20 +113,42 @@ pub fn profiled_run(spec: &KernelSpec) -> KernelRun {
 
 /// The Figure 6 grid: every kernel × block sizes 4–7, at the paper's TT
 /// capacity of 16 entries.
+///
+/// The 24 grid points are independent pipeline runs, so they fan out
+/// across worker threads; the index-ordered merge keeps the grid (and
+/// every artifact rendered from it) identical to the serial evaluation.
 pub fn figure6_grid(scale: Scale) -> Vec<Vec<KernelPoint>> {
-    Kernel::ALL
+    const BLOCK_SIZES: std::ops::RangeInclusive<usize> = 4..=7;
+    let cells: Vec<(Kernel, usize)> = Kernel::ALL
         .iter()
-        .map(|&kernel| {
-            (4..=7)
-                .map(|k| {
-                    let config = EncoderConfig::default()
-                        .with_block_size(k)
-                        .expect("block sizes 4..=7 are valid");
-                    run_kernel_point(kernel, scale, &config)
-                })
-                .collect()
-        })
-        .collect()
+        .flat_map(|&kernel| BLOCK_SIZES.map(move |k| (kernel, k)))
+        .collect();
+    let points = par_map(&cells, 1, |_, &(kernel, k)| {
+        let config = EncoderConfig::default()
+            .with_block_size(k)
+            .expect("block sizes 4..=7 are valid");
+        run_kernel_point(kernel, scale, &config)
+    });
+    let per_kernel = BLOCK_SIZES.count();
+    let mut grid: Vec<Vec<KernelPoint>> = Vec::with_capacity(Kernel::ALL.len());
+    let mut points = points.into_iter();
+    for _ in Kernel::ALL {
+        grid.push(points.by_ref().take(per_kernel).collect());
+    }
+    grid
+}
+
+/// Runs every `(kernel, config)` cell of an experiment grid in parallel,
+/// returning the points in the input order.
+///
+/// This is the shared fan-out for the ablation sweeps: each cell is one
+/// full profile → encode → evaluate pipeline, embarrassingly parallel and
+/// deterministic per cell, so the merged vector is byte-for-byte the
+/// serial result.
+pub fn run_grid(cells: &[(Kernel, EncoderConfig)], scale: Scale) -> Vec<KernelPoint> {
+    par_map(cells, 1, |_, &(kernel, ref config)| {
+        run_kernel_point(kernel, scale, config)
+    })
 }
 
 #[cfg(test)]

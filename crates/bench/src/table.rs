@@ -20,7 +20,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: Vec<String>) -> Self {
-        Table { header, rows: Vec::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (shorter rows are padded with empty cells).
@@ -87,7 +90,11 @@ impl Table {
 /// ```
 pub fn bar_chart(entries: &[(String, f64)], width: usize, unit: &str) -> String {
     let max = entries.iter().map(|(_, v)| *v).fold(f64::EPSILON, f64::max);
-    let label_width = entries.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_width = entries
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for (label, value) in entries {
         let bars = ((value / max) * width as f64).round().max(0.0) as usize;

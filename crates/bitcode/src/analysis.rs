@@ -91,8 +91,7 @@ pub fn analyze_lanes(words: &[u64], width: usize) -> Vec<LaneStats> {
 
 /// Renders a compact lane table: bias, density, longest run per lane.
 pub fn render_lane_table(stats: &[LaneStats]) -> String {
-    let mut out =
-        String::from("lane    ones%  trans/op  longest-run\n");
+    let mut out = String::from("lane    ones%  trans/op  longest-run\n");
     for s in stats {
         out.push_str(&format!(
             "{:>4}  {:>6.1}  {:>8.3}  {:>11}\n",
@@ -142,10 +141,16 @@ mod tests {
             .map(|i| 0x2400_0000 | (i * 37) & 0xFFFF) // addiu-shaped
             .collect();
         let stats = analyze_lanes(&words, 32);
-        let low_density: f64 =
-            stats[..8].iter().map(LaneStats::transition_density).sum::<f64>() / 8.0;
-        let high_density: f64 =
-            stats[26..].iter().map(LaneStats::transition_density).sum::<f64>() / 6.0;
+        let low_density: f64 = stats[..8]
+            .iter()
+            .map(LaneStats::transition_density)
+            .sum::<f64>()
+            / 8.0;
+        let high_density: f64 = stats[26..]
+            .iter()
+            .map(LaneStats::transition_density)
+            .sum::<f64>()
+            / 6.0;
         assert!(low_density > high_density);
         let table = render_lane_table(&stats);
         assert_eq!(table.lines().count(), 33);

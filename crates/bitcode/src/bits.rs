@@ -48,7 +48,9 @@ impl BitSeq {
     /// assert_eq!(BitSeq::repeat(true, 3).transitions(), 0);
     /// ```
     pub fn repeat(bit: bool, len: usize) -> Self {
-        BitSeq { bits: vec![bit; len] }
+        BitSeq {
+            bits: vec![bit; len],
+        }
     }
 
     /// Parses a bit string written in time order (leftmost character is the
@@ -91,7 +93,9 @@ impl BitSeq {
     /// Panics if `lane >= 64`.
     pub fn from_lane(words: &[u64], lane: usize) -> Self {
         assert!(lane < 64, "lane {lane} out of range for u64 words");
-        BitSeq { bits: words.iter().map(|w| (w >> lane) & 1 == 1).collect() }
+        BitSeq {
+            bits: words.iter().map(|w| (w >> lane) & 1 == 1).collect(),
+        }
     }
 
     /// Number of bits in the sequence.
@@ -143,12 +147,19 @@ impl BitSeq {
 
     /// Renders the sequence in the paper's convention (latest bit leftmost).
     pub fn to_paper_string(&self) -> String {
-        self.bits.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .rev()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 
     /// Renders the sequence in time order (earliest bit leftmost).
     pub fn to_time_string(&self) -> String {
-        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 }
 
@@ -181,7 +192,9 @@ impl From<BitSeq> for Vec<bool> {
 
 impl FromIterator<bool> for BitSeq {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        BitSeq { bits: iter.into_iter().collect() }
+        BitSeq {
+            bits: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -233,7 +246,13 @@ mod tests {
     #[test]
     fn parse_rejects_non_bits() {
         let err = BitSeq::from_str_time("01x1").unwrap_err();
-        assert_eq!(err, CodecError::ParseBit { position: 2, found: 'x' });
+        assert_eq!(
+            err,
+            CodecError::ParseBit {
+                position: 2,
+                found: 'x'
+            }
+        );
     }
 
     #[test]

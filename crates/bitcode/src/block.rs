@@ -134,6 +134,21 @@ pub fn encode_block(
         .expect("unconstrained encoding always has the identity fallback")
 }
 
+/// [`encode_block`] without the codebook: always runs the exhaustive
+/// candidate search. Reference oracle for the memoized path.
+///
+/// # Panics
+///
+/// As [`encode_block`].
+pub fn encode_block_exhaustive(
+    original: &[bool],
+    context: BlockContext,
+    allowed: TransformSet,
+) -> BlockEncoding {
+    encode_block_constrained_exhaustive(original, context, allowed, None)
+        .expect("unconstrained encoding always has the identity fallback")
+}
+
 /// Like [`encode_block`], but optionally pins the **final stored bit** of
 /// the code word to `final_bit`.
 ///
@@ -158,7 +173,39 @@ pub fn encode_block_constrained(
 ) -> Option<BlockEncoding> {
     let n = original.len();
     assert!(n >= 1, "cannot encode an empty block");
-    assert!(n <= MAX_BLOCK_SIZE, "block of {n} bits exceeds MAX_BLOCK_SIZE");
+    assert!(!allowed.is_empty(), "allowed transform set is empty");
+    if n <= crate::codebook::CODEBOOK_MAX_LEN {
+        // O(1) table lookup; the table is built by the exhaustive solver
+        // below, so the result is bit-identical to a fresh search.
+        let book = crate::codebook::codebook_for(n, allowed);
+        let word = crate::codebook::pack_word(original);
+        return book
+            .entry(word, context, final_bit)
+            .map(|e| e.to_encoding(n));
+    }
+    encode_block_constrained_exhaustive(original, context, allowed, final_bit)
+}
+
+/// [`encode_block_constrained`] without the codebook: always runs the
+/// exhaustive candidate search. This is both the reference oracle the
+/// equivalence tests compare against and the builder the codebook tables
+/// are populated from.
+///
+/// # Panics
+///
+/// As [`encode_block`].
+pub fn encode_block_constrained_exhaustive(
+    original: &[bool],
+    context: BlockContext,
+    allowed: TransformSet,
+    final_bit: Option<bool>,
+) -> Option<BlockEncoding> {
+    let n = original.len();
+    assert!(n >= 1, "cannot encode an empty block");
+    assert!(
+        n <= MAX_BLOCK_SIZE,
+        "block of {n} bits exceeds MAX_BLOCK_SIZE"
+    );
     assert!(!allowed.is_empty(), "allowed transform set is empty");
 
     // Transitions the original bits charge to this block.
@@ -259,16 +306,20 @@ fn try_candidate(
     // Solve for τ.
     let mut partial = PartialTransform::new();
     let feasible = match context {
-        BlockContext::Initial => (1..n)
-            .all(|i| partial.constrain(code[i], original[i - 1], original[i])),
-        BlockContext::Chained { prev_stored, prev_original, history } => {
+        BlockContext::Initial => {
+            (1..n).all(|i| partial.constrain(code[i], original[i - 1], original[i]))
+        }
+        BlockContext::Chained {
+            prev_stored,
+            prev_original,
+            history,
+        } => {
             let first_history = match history {
                 OverlapHistory::Stored => prev_stored,
                 OverlapHistory::Decoded => prev_original,
             };
             partial.constrain(code[0], first_history, original[0])
-                && (1..n)
-                    .all(|i| partial.constrain(code[i], original[i - 1], original[i]))
+                && (1..n).all(|i| partial.constrain(code[i], original[i - 1], original[i]))
         }
     };
     if !feasible {
@@ -346,7 +397,11 @@ pub fn decode_block(code: &[bool], transform: Transform, context: BlockContext) 
                 out.push(transform.apply(code[i], prev));
             }
         }
-        BlockContext::Chained { prev_stored, prev_original, history } => {
+        BlockContext::Chained {
+            prev_stored,
+            prev_original,
+            history,
+        } => {
             let mut prev = match history {
                 OverlapHistory::Stored => prev_stored,
                 OverlapHistory::Decoded => prev_original,
@@ -373,7 +428,11 @@ mod tests {
     }
 
     fn encode_paper(s: &str) -> BlockEncoding {
-        encode_block(&paper_word(s), BlockContext::Initial, TransformSet::CANONICAL_EIGHT)
+        encode_block(
+            &paper_word(s),
+            BlockContext::Initial,
+            TransformSet::CANONICAL_EIGHT,
+        )
     }
 
     fn code_as_paper(enc: &BlockEncoding) -> String {
@@ -466,8 +525,11 @@ mod tests {
         // The code word can never be worse than the original (§5.1).
         for bits in 0u32..(1 << 7) {
             let original: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
-            let enc =
-                encode_block(&original, BlockContext::Initial, TransformSet::CANONICAL_EIGHT);
+            let enc = encode_block(
+                &original,
+                BlockContext::Initial,
+                TransformSet::CANONICAL_EIGHT,
+            );
             assert!(enc.code_transitions <= enc.original_transitions);
         }
     }
@@ -493,7 +555,11 @@ mod tests {
                 for prev_original in [false, true] {
                     for bits in 0u32..(1 << 4) {
                         let original: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
-                        let ctx = BlockContext::Chained { prev_stored, prev_original, history };
+                        let ctx = BlockContext::Chained {
+                            prev_stored,
+                            prev_original,
+                            history,
+                        };
                         let enc = encode_block(&original, ctx, TransformSet::CANONICAL_EIGHT);
                         let decoded = decode_block(&enc.code, enc.transform, ctx);
                         assert_eq!(decoded, original);
@@ -529,7 +595,11 @@ mod tests {
     #[test]
     fn restricting_to_identity_only_passes_through() {
         let original = paper_word("0101");
-        let enc = encode_block(&original, BlockContext::Initial, TransformSet::IDENTITY_ONLY);
+        let enc = encode_block(
+            &original,
+            BlockContext::Initial,
+            TransformSet::IDENTITY_ONLY,
+        );
         assert_eq!(enc.code, original);
         assert_eq!(enc.transform, Transform::IDENTITY);
         assert_eq!(enc.code_transitions, enc.original_transitions);
@@ -545,7 +615,14 @@ mod tests {
         }
         assert_eq!(
             seen,
-            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3]]
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
         );
     }
 
@@ -580,8 +657,11 @@ mod tests {
             }
             // The unconstrained optimum equals the better of the two
             // constrained optima.
-            let free =
-                encode_block(&original, BlockContext::Initial, TransformSet::CANONICAL_EIGHT);
+            let free = encode_block(
+                &original,
+                BlockContext::Initial,
+                TransformSet::CANONICAL_EIGHT,
+            );
             let best_constrained = [false, true]
                 .into_iter()
                 .filter_map(|b| {

@@ -1,0 +1,336 @@
+//! Memoized block codebooks: precomputed optimal encodings for every block
+//! word.
+//!
+//! The paper's premise (§5, Figures 2–4) is that per-block optimal codes
+//! for small `k` form a tiny enumerable table, and the deployment
+//! literature (Valentini & Chiani) implements the codec as lookup
+//! hardware. This module is the software analogue: for a given block
+//! length, transformation universe, context shape and optional pinned
+//! final bit, the optimal [`BlockEncoding`] of **every** `2^len` block
+//! word is computed once by the exhaustive solver
+//! ([`crate::block::encode_block_constrained_exhaustive`]) and then served
+//! as an O(1) table lookup.
+//!
+//! Because the tables are *built by* the exhaustive solver — whose
+//! candidate enumeration order and transform preference order are
+//! deterministic — a codebook lookup is bit-identical to a fresh
+//! exhaustive solve; the exhaustive path stays available as the reference
+//! oracle and as the fallback for block lengths above
+//! [`CODEBOOK_MAX_LEN`].
+//!
+//! Layout: one leaked [`Codebook`] per `(len, TransformSet)` pair, found
+//! through a global map; inside a codebook, one lazily-built dense slot
+//! per `(context variant, final-bit constraint)` pair. There are nine
+//! context variants (one [`BlockContext::Initial`] plus the eight
+//! `Chained` combinations of `prev_stored` × `prev_original` × `history`)
+//! and three final-bit constraints (`None`, `Some(false)`, `Some(true)`),
+//! so a fully-populated codebook holds `27 · 2^len` entries — at the
+//! default `k = 5` that is 864 entries, and the greedy encoder only ever
+//! touches 5 of the 27 slots.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+use crate::block::{
+    encode_block_constrained_exhaustive, BlockContext, BlockEncoding, OverlapHistory,
+};
+use crate::transform::{Transform, TransformSet};
+
+/// Largest block length served from codebooks.
+///
+/// Above this, [`crate::block::encode_block`] falls back to the exhaustive
+/// search: a length-`L` slot holds `2^L` entries, so the table size (and
+/// one-time build cost) doubles per extra bit while the paper's sweet spot
+/// is `k = 5..7`.
+pub const CODEBOOK_MAX_LEN: usize = 9;
+
+const CONTEXT_VARIANTS: usize = 9;
+const FINAL_VARIANTS: usize = 3;
+
+/// One precomputed optimal block encoding, in packed form.
+///
+/// `code_bits` holds the stored bits with bit `i` = code bit `i` (time
+/// order), which doubles as the natural input to a packed bit-lane writer.
+/// Use [`CodebookEntry::to_encoding`] to materialise a [`BlockEncoding`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodebookEntry {
+    /// Stored code bits; bit `i` is the block's `i`-th stored bit.
+    pub code_bits: u16,
+    /// The transform the decoder should apply.
+    pub transform: Transform,
+    /// Every allowed transform consistent with the code word.
+    pub compatible: TransformSet,
+    /// Transitions charged to the block by the original bits.
+    pub original_transitions: u8,
+    /// Transitions charged to the block by the code bits.
+    pub code_transitions: u8,
+}
+
+impl CodebookEntry {
+    /// Expands the packed entry into the [`BlockEncoding`] the exhaustive
+    /// solver would have returned for the same query.
+    pub fn to_encoding(self, len: usize) -> BlockEncoding {
+        BlockEncoding {
+            code: (0..len).map(|i| self.code_bits >> i & 1 == 1).collect(),
+            transform: self.transform,
+            compatible: self.compatible,
+            original_transitions: u64::from(self.original_transitions),
+            code_transitions: u64::from(self.code_transitions),
+        }
+    }
+}
+
+/// Packs a block word (time order) into the codebook's integer index.
+///
+/// Inverse of the bit expansion in [`CodebookEntry::to_encoding`]: bit `i`
+/// of the result is `bits[i]`.
+pub fn pack_word(bits: &[bool]) -> u16 {
+    debug_assert!(bits.len() <= 16);
+    bits.iter()
+        .enumerate()
+        .fold(0u16, |acc, (i, &b)| acc | (u16::from(b) << i))
+}
+
+fn context_index(context: BlockContext) -> usize {
+    match context {
+        BlockContext::Initial => 0,
+        BlockContext::Chained {
+            prev_stored,
+            prev_original,
+            history,
+        } => {
+            let h = match history {
+                OverlapHistory::Stored => 0,
+                OverlapHistory::Decoded => 1,
+            };
+            1 + h * 4 + usize::from(prev_stored) * 2 + usize::from(prev_original)
+        }
+    }
+}
+
+#[cfg(test)]
+fn context_from_index(index: usize) -> BlockContext {
+    if index == 0 {
+        return BlockContext::Initial;
+    }
+    let index = index - 1;
+    BlockContext::Chained {
+        prev_stored: index & 2 != 0,
+        prev_original: index & 1 != 0,
+        history: if index & 4 != 0 {
+            OverlapHistory::Decoded
+        } else {
+            OverlapHistory::Stored
+        },
+    }
+}
+
+fn final_index(final_bit: Option<bool>) -> usize {
+    match final_bit {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    }
+}
+
+/// One lazily-built table: the optimal encoding of every block word for a
+/// fixed `(context variant, final-bit constraint)` slot.
+type Slot = OnceLock<Box<[Option<CodebookEntry>]>>;
+
+/// All optimal encodings for one block length under one transformation
+/// universe. Obtained from [`codebook_for`]; slots fill lazily on first
+/// use and are shared process-wide.
+pub struct Codebook {
+    len: usize,
+    allowed: TransformSet,
+    slots: [[Slot; FINAL_VARIANTS]; CONTEXT_VARIANTS],
+}
+
+impl Codebook {
+    fn new(len: usize, allowed: TransformSet) -> Self {
+        Codebook {
+            len,
+            allowed,
+            slots: std::array::from_fn(|_| std::array::from_fn(|_| OnceLock::new())),
+        }
+    }
+
+    /// The block length this codebook serves (always ≥ 1; a codebook is
+    /// never empty, so there is no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The transformation universe this codebook was built for.
+    pub fn allowed(&self) -> TransformSet {
+        self.allowed
+    }
+
+    fn slot(&self, context: BlockContext, final_bit: Option<bool>) -> &[Option<CodebookEntry>] {
+        self.slots[context_index(context)][final_index(final_bit)].get_or_init(|| {
+            let mut entries = Vec::with_capacity(1usize << self.len);
+            let mut bits = vec![false; self.len];
+            for word in 0..(1u32 << self.len) {
+                for (i, bit) in bits.iter_mut().enumerate() {
+                    *bit = word >> i & 1 == 1;
+                }
+                let entry =
+                    encode_block_constrained_exhaustive(&bits, context, self.allowed, final_bit)
+                        .map(|enc| CodebookEntry {
+                            code_bits: pack_word(&enc.code),
+                            transform: enc.transform,
+                            compatible: enc.compatible,
+                            original_transitions: enc.original_transitions as u8,
+                            code_transitions: enc.code_transitions as u8,
+                        });
+                entries.push(entry);
+            }
+            entries.into_boxed_slice()
+        })
+    }
+
+    /// O(1) lookup of the optimal encoding for `word` (packed time-order
+    /// bits) in `context`, optionally with the final stored bit pinned.
+    ///
+    /// Returns `None` exactly when the exhaustive
+    /// [`crate::block::encode_block_constrained`] would: the constraint is
+    /// infeasible under the allowed transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= 2^len`.
+    pub fn entry(
+        &self,
+        word: u16,
+        context: BlockContext,
+        final_bit: Option<bool>,
+    ) -> Option<CodebookEntry> {
+        self.slot(context, final_bit)[word as usize]
+    }
+}
+
+/// Returns the process-wide codebook for `(len, allowed)`, building the
+/// (empty) codebook on first request.
+///
+/// # Panics
+///
+/// Panics if `len` is 0 or exceeds [`CODEBOOK_MAX_LEN`], or if `allowed`
+/// is empty.
+pub fn codebook_for(len: usize, allowed: TransformSet) -> &'static Codebook {
+    assert!(
+        (1..=CODEBOOK_MAX_LEN).contains(&len),
+        "codebook length {len} outside 1..={CODEBOOK_MAX_LEN}"
+    );
+    assert!(!allowed.is_empty(), "allowed transform set is empty");
+
+    // Lock-free fast path for the three named universes, which cover every
+    // hot caller: the per-block lookup must not pay a hash + RwLock read.
+    let named = [
+        TransformSet::CANONICAL_EIGHT,
+        TransformSet::ALL_SIXTEEN,
+        TransformSet::IDENTITY_ONLY,
+    ];
+    if let Some(slot) = named.iter().position(|&set| set == allowed) {
+        static COMMON: [[OnceLock<Codebook>; 3]; CODEBOOK_MAX_LEN] =
+            [const { [const { OnceLock::new() }; 3] }; CODEBOOK_MAX_LEN];
+        return COMMON[len - 1][slot].get_or_init(|| Codebook::new(len, allowed));
+    }
+
+    static CACHE: OnceLock<RwLock<HashMap<(usize, u16), &'static Codebook>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    let key = (len, allowed.mask());
+    if let Some(book) = cache.read().expect("codebook cache poisoned").get(&key) {
+        return book;
+    }
+    let mut map = cache.write().expect("codebook cache poisoned");
+    // Double-checked: another thread may have inserted while we waited.
+    map.entry(key)
+        .or_insert_with(|| Box::leak(Box::new(Codebook::new(len, allowed))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{decode_block, encode_block_constrained_exhaustive};
+
+    fn unpack(word: u16, len: usize) -> Vec<bool> {
+        (0..len).map(|i| word >> i & 1 == 1).collect()
+    }
+
+    #[test]
+    fn context_index_roundtrips() {
+        for index in 0..CONTEXT_VARIANTS {
+            assert_eq!(context_index(context_from_index(index)), index);
+        }
+    }
+
+    #[test]
+    fn entries_match_the_exhaustive_solver_exactly() {
+        for len in 1..=6usize {
+            for allowed in [
+                TransformSet::CANONICAL_EIGHT,
+                TransformSet::ALL_SIXTEEN,
+                TransformSet::IDENTITY_ONLY,
+            ] {
+                let book = codebook_for(len, allowed);
+                for ctx_index in 0..CONTEXT_VARIANTS {
+                    let context = context_from_index(ctx_index);
+                    for final_bit in [None, Some(false), Some(true)] {
+                        for word in 0..(1u16 << len) {
+                            let bits = unpack(word, len);
+                            let oracle = encode_block_constrained_exhaustive(
+                                &bits, context, allowed, final_bit,
+                            );
+                            let entry = book.entry(word, context, final_bit);
+                            assert_eq!(
+                                entry.map(|e| e.to_encoding(len)),
+                                oracle,
+                                "len={len} {allowed} ctx={context:?} final={final_bit:?} \
+                                 word={word:b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn looked_up_codes_decode() {
+        let book = codebook_for(5, TransformSet::CANONICAL_EIGHT);
+        for word in 0..(1u16 << 5) {
+            let entry = book
+                .entry(word, BlockContext::Initial, None)
+                .expect("unconstrained");
+            let code = unpack(entry.code_bits, 5);
+            assert_eq!(
+                decode_block(&code, entry.transform, BlockContext::Initial),
+                unpack(word, 5)
+            );
+        }
+    }
+
+    #[test]
+    fn same_codebook_instance_is_shared() {
+        let a = codebook_for(4, TransformSet::CANONICAL_EIGHT);
+        let b = codebook_for(4, TransformSet::CANONICAL_EIGHT);
+        assert!(std::ptr::eq(a, b));
+        let c = codebook_for(4, TransformSet::ALL_SIXTEEN);
+        assert!(!std::ptr::eq(a, c));
+    }
+
+    #[test]
+    fn pack_word_matches_expansion() {
+        let bits = [true, false, true, true];
+        let word = pack_word(&bits);
+        assert_eq!(word, 0b1101);
+        assert_eq!(unpack(word, 4), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_oversized_lengths() {
+        codebook_for(CODEBOOK_MAX_LEN + 1, TransformSet::CANONICAL_EIGHT);
+    }
+}

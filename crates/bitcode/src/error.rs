@@ -50,7 +50,10 @@ impl fmt::Display for CodecError {
                 )
             }
             CodecError::MalformedBlocks { block_index } => {
-                write!(f, "block descriptor {block_index} does not tile the stored bits")
+                write!(
+                    f,
+                    "block descriptor {block_index} does not tile the stored bits"
+                )
             }
             CodecError::LaneWidth { requested } => {
                 write!(f, "lane width {requested} outside supported range 1..=64")
@@ -67,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let err = CodecError::ParseBit { position: 3, found: 'z' };
+        let err = CodecError::ParseBit {
+            position: 3,
+            found: 'z',
+        };
         let text = err.to_string();
         assert!(text.starts_with("invalid bit"));
         assert!(!text.ends_with('.'));

@@ -100,7 +100,11 @@ pub fn synthesize_nand(target: Transform) -> NandNetwork {
     let goal = Signal(target.table());
     let start: u16 = (1 << X.0) | (1 << Y.0);
     if start & (1 << goal.0) != 0 {
-        return NandNetwork { target, gates: Vec::new(), output: goal };
+        return NandNetwork {
+            target,
+            gates: Vec::new(),
+            output: goal,
+        };
     }
 
     // BFS over states = sets of derived functions (bitmask over the 16
@@ -113,8 +117,10 @@ pub fn synthesize_nand(target: Transform) -> NandNetwork {
     parent.insert(start, (start, NandGate { a: X, b: X, out: X })); // sentinel
     let mut goal_state = None;
     'bfs: while let Some(state) = queue.pop_front() {
-        let available: Vec<Signal> =
-            (0..16u8).filter(|&t| state & (1 << t) != 0).map(Signal).collect();
+        let available: Vec<Signal> = (0..16u8)
+            .filter(|&t| state & (1 << t) != 0)
+            .map(Signal)
+            .collect();
         for i in 0..available.len() {
             for j in i..available.len() {
                 let out = nand(available[i], available[j]);
@@ -122,7 +128,11 @@ pub fn synthesize_nand(target: Transform) -> NandNetwork {
                 if next == state || parent.contains_key(&next) {
                     continue;
                 }
-                let gate = NandGate { a: available[i], b: available[j], out };
+                let gate = NandGate {
+                    a: available[i],
+                    b: available[j],
+                    out,
+                };
                 parent.insert(next, (state, gate));
                 if next & (1 << goal.0) != 0 {
                     goal_state = Some(next);
@@ -143,7 +153,11 @@ pub fn synthesize_nand(target: Transform) -> NandNetwork {
         state = prev;
     }
     gates.reverse();
-    NandNetwork { target, gates, output: goal }
+    NandNetwork {
+        target,
+        gates,
+        output: goal,
+    }
 }
 
 /// Cost summary of the complete per-lane restore cell.
@@ -181,8 +195,7 @@ impl RestoreCellCost {
 pub fn restore_cell_cost(set: TransformSet) -> RestoreCellCost {
     let members: Vec<Transform> = set.iter().collect();
     let mut per_transform = Vec::with_capacity(members.len());
-    let mut shared: std::collections::HashSet<(Signal, Signal)> =
-        std::collections::HashSet::new();
+    let mut shared: std::collections::HashSet<(Signal, Signal)> = std::collections::HashSet::new();
     let mut naive = 0usize;
     let mut max_depth = 0usize;
     for &t in &members {

@@ -48,7 +48,10 @@ pub fn biased<R: Rng + ?Sized>(rng: &mut R, len: usize, p_one: f64) -> BitSeq {
 ///
 /// Panics if `p_flip` is not within `0.0..=1.0`.
 pub fn markov<R: Rng + ?Sized>(rng: &mut R, len: usize, p_flip: f64) -> BitSeq {
-    assert!((0.0..=1.0).contains(&p_flip), "p_flip {p_flip} outside [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p_flip),
+        "p_flip {p_flip} outside [0, 1]"
+    );
     let mut out = BitSeq::new();
     if len == 0 {
         return out;

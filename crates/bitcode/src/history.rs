@@ -69,8 +69,15 @@ impl HistoryTransform {
             return Err(CodecError::BlockSize { requested: h });
         }
         let entries = 1u32 << (h + 1);
-        let mask = if entries == 32 { u32::MAX } else { (1u32 << entries) - 1 };
-        Ok(HistoryTransform { h: h as u8, table: table & mask })
+        let mask = if entries == 32 {
+            u32::MAX
+        } else {
+            (1u32 << entries) - 1
+        };
+        Ok(HistoryTransform {
+            h: h as u8,
+            table: table & mask,
+        })
     }
 
     /// The history depth `h`.
@@ -277,8 +284,7 @@ impl HistoryStream {
         if self.original_transitions == 0 {
             return 0.0;
         }
-        (self.original_transitions - self.transitions()) as f64
-            / self.original_transitions as f64
+        (self.original_transitions - self.transitions()) as f64 / self.original_transitions as f64
             * 100.0
     }
 }
@@ -303,13 +309,19 @@ pub fn encode_history_stream(
         return Err(CodecError::BlockSize { requested: h });
     }
     if block_size <= h || block_size > MAX_BLOCK_SIZE {
-        return Err(CodecError::BlockSize { requested: block_size });
+        return Err(CodecError::BlockSize {
+            requested: block_size,
+        });
     }
     let n = original.len();
     let mut stored: Vec<bool> = Vec::with_capacity(n);
     let mut blocks = Vec::new();
     if n == 0 {
-        return Ok(HistoryStream { stored, blocks, original_transitions: 0 });
+        return Ok(HistoryStream {
+            stored,
+            blocks,
+            original_transitions: 0,
+        });
     }
 
     // First block: encode_history_block handles the verbatim seeds.
@@ -372,7 +384,11 @@ pub fn encode_history_stream(
         blocks.push((transform, len));
         pos += len;
     }
-    Ok(HistoryStream { stored, blocks, original_transitions: transitions(original) })
+    Ok(HistoryStream {
+        stored,
+        blocks,
+        original_transitions: transitions(original),
+    })
 }
 
 /// Decodes a chained `h`-history stream (the inverse of
@@ -422,8 +438,7 @@ impl HistoryTableSummary {
         if self.total_transitions == 0 {
             return 0.0;
         }
-        (self.total_transitions - self.reduced_transitions) as f64
-            / self.total_transitions as f64
+        (self.total_transitions - self.reduced_transitions) as f64 / self.total_transitions as f64
             * 100.0
     }
 }
@@ -438,7 +453,9 @@ pub fn history_table_summary(
     h: usize,
 ) -> Result<HistoryTableSummary, CodecError> {
     if !(2..=MAX_BLOCK_SIZE).contains(&block_size) {
-        return Err(CodecError::BlockSize { requested: block_size });
+        return Err(CodecError::BlockSize {
+            requested: block_size,
+        });
     }
     let mut total = 0u64;
     let mut reduced = 0u64;
@@ -469,8 +486,16 @@ mod tests {
         for k in 2..=7 {
             let reference = CodeTable::build(k, TransformSet::ALL_SIXTEEN).unwrap();
             let summary = history_table_summary(k, 1).unwrap();
-            assert_eq!(summary.total_transitions, reference.total_transitions(), "k={k}");
-            assert_eq!(summary.reduced_transitions, reference.reduced_transitions(), "k={k}");
+            assert_eq!(
+                summary.total_transitions,
+                reference.total_transitions(),
+                "k={k}"
+            );
+            assert_eq!(
+                summary.reduced_transitions,
+                reference.reduced_transitions(),
+                "k={k}"
+            );
         }
     }
 
@@ -547,8 +572,7 @@ mod tests {
                 for len in 1..=12usize {
                     let limit = 1u32 << len.min(10);
                     for value in 0..limit {
-                        let original: Vec<bool> =
-                            (0..len).map(|i| value >> i & 1 == 1).collect();
+                        let original: Vec<bool> = (0..len).map(|i| value >> i & 1 == 1).collect();
                         let stream = encode_history_stream(&original, k, h).unwrap();
                         assert_eq!(
                             decode_history_stream(&stream, h),
@@ -580,7 +604,12 @@ mod tests {
         }
         // At k = 6, h = 2 must beat h = 1 (the E-H table's static result,
         // confirmed dynamically on chained streams).
-        assert!(totals[2] < totals[1], "h2 {} vs h1 {}", totals[2], totals[1]);
+        assert!(
+            totals[2] < totals[1],
+            "h2 {} vs h1 {}",
+            totals[2],
+            totals[1]
+        );
         assert!(totals[1] < orig_total);
     }
 

@@ -6,9 +6,44 @@
 //! into lanes, encodes every lane with a [`StreamCodec`], reassembles the
 //! encoded words, and accounts transitions per lane and in total.
 
-use crate::bits::BitSeq;
+use crate::packed::PackedSeq;
+use crate::par::par_map_range;
 use crate::stream::{EncodedStream, StreamCodec};
 use crate::CodecError;
+
+/// Lane mask selecting the low `width` bits of a word.
+///
+/// # Panics
+///
+/// Panics if `width` is outside `1..=64`.
+pub fn width_mask(width: usize) -> u64 {
+    assert!((1..=64).contains(&width), "width {width} outside 1..=64");
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Transitions of a word sequence over the lanes selected by `mask`: the
+/// canonical masked XOR+popcount counter.
+///
+/// Every transition count in the workspace — bus totals here, segment
+/// costs in the pipeline, the baseline encoders' accounting — reduces to
+/// this one helper.
+///
+/// ```
+/// use imt_bitcode::lanes::word_transitions;
+/// // 0b011 → 0b110 flips lanes 0 and 2; mask out lane 2 and one remains.
+/// assert_eq!(word_transitions(&[0b011, 0b110], 0b111), 2);
+/// assert_eq!(word_transitions(&[0b011, 0b110], 0b011), 1);
+/// ```
+pub fn word_transitions(words: &[u64], mask: u64) -> u64 {
+    words
+        .windows(2)
+        .map(|p| ((p[0] ^ p[1]) & mask).count_ones() as u64)
+        .sum()
+}
 
 /// Per-lane transition counts for a word sequence.
 ///
@@ -37,9 +72,7 @@ pub fn per_lane_transitions(words: &[u64], width: usize) -> Vec<u64> {
 /// assert_eq!(total_transitions(&[0b01, 0b10], 2), 2);
 /// ```
 pub fn total_transitions(words: &[u64], width: usize) -> u64 {
-    assert!((1..=64).contains(&width), "width {width} outside 1..=64");
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-    words.windows(2).map(|p| ((p[0] ^ p[1]) & mask).count_ones() as u64).sum()
+    word_transitions(words, width_mask(width))
 }
 
 /// A word sequence encoded lane by lane.
@@ -113,17 +146,25 @@ pub fn encode_words(
     if !(1..=64).contains(&width) {
         return Err(CodecError::LaneWidth { requested: width });
     }
-    let mut lanes = Vec::with_capacity(width);
+    // Lanes are independent: fan them out for long sequences. Short
+    // sequences (the per-basic-block case, which the pipeline already
+    // parallelises one level up) stay inline to avoid nested
+    // oversubscription.
+    let min_lanes_per_thread = if words.len() >= 256 { 1 } else { usize::MAX };
+    let lanes = par_map_range(width, min_lanes_per_thread, |lane| {
+        codec.encode_packed(&PackedSeq::from_lane(words, lane))
+    });
     let mut out = vec![0u64; words.len()];
-    for lane in 0..width {
-        let original = BitSeq::from_lane(words, lane);
-        let encoded = codec.encode(&original);
+    for (lane, encoded) in lanes.iter().enumerate() {
         for (i, bit) in encoded.stored().iter().enumerate() {
-            out[i] |= (bit as u64) << lane;
+            out[i] |= u64::from(bit) << lane;
         }
-        lanes.push(encoded);
     }
-    Ok(LaneEncoding { words: out, lanes, width })
+    Ok(LaneEncoding {
+        words: out,
+        lanes,
+        width,
+    })
 }
 
 /// Decodes a lane encoding back to the original words.
@@ -187,7 +228,9 @@ mod tests {
     fn loop_like_words_reduce_substantially() {
         // A 16-instruction "loop body" fetched 1 time: structured words with
         // alternating patterns encode well.
-        let body: Vec<u64> = (0..16).map(|i| if i % 2 == 0 { 0xAAAA_5555 } else { 0x5555_AAAA }).collect();
+        let body: Vec<u64> = (0..16)
+            .map(|i| if i % 2 == 0 { 0xAAAA_5555 } else { 0x5555_AAAA })
+            .collect();
         let c = codec(5);
         let enc = encode_words(&body, 32, &c).unwrap();
         // Every lane alternates every cycle; encoding flattens nearly all.

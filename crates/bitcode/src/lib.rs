@@ -24,6 +24,14 @@
 //!   machinery used to solve for `τ`.
 //! * [`block`] — the optimal per-block encoder: given an original block word,
 //!   find the minimum-transition code word and a compatible `τ`.
+//! * [`codebook`] — memoized lookup tables of those optimal encodings, one
+//!   per (length, transform universe), making the hot encode path O(1).
+//! * [`packed`] — `u64`-word packed bit sequences with XOR+popcount
+//!   transition counting and shift/mask block extraction, plus the packed
+//!   fast path used by [`stream`] and [`lanes`].
+//! * [`par`] — the deterministic scoped-thread fan-out every parallel path
+//!   in the workspace goes through (index-ordered merges, `IMT_THREADS`
+//!   override).
 //! * [`tables`] — exhaustive enumeration over all block words of a given
 //!   size, reproducing the paper's Figures 2, 3, and 4, and the exact
 //!   set-cover derivation of the minimal transformation subset (§5.2).
@@ -64,11 +72,14 @@
 
 pub mod analysis;
 pub mod bits;
-pub mod gates;
 pub mod block;
+pub mod codebook;
+pub mod gates;
 pub mod gen;
 pub mod history;
 pub mod lanes;
+pub mod packed;
+pub mod par;
 pub mod stream;
 pub mod tables;
 pub mod transform;

@@ -1,0 +1,357 @@
+//! Packed bit sequences: `u64`-word storage with XOR+popcount transition
+//! counting and shift/mask block extraction.
+//!
+//! [`crate::bits::BitSeq`] stays the ergonomic boundary type of the codec
+//! (one `bool` per bit, easy to index and print); [`PackedSeq`] is its hot
+//! -path twin, storing 64 bits per machine word so that
+//!
+//! * transition counting is `popcount(w ^ (w >> 1))` per word instead of a
+//!   per-bit loop, and
+//! * a block of up to 16 bits is extracted with one shift/mask — and the
+//!   extracted value doubles as the word index into a
+//!   [`crate::codebook::Codebook`] slot.
+//!
+//! Invariant: bits at positions `>= len` in the last storage word are zero,
+//! which the counting and extraction masks rely on.
+
+use crate::bits::BitSeq;
+
+/// A bit sequence packed 64 bits per word, index 0 = earliest cycle =
+/// least-significant bit of `words()[0]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedSeq {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        PackedSeq::default()
+    }
+
+    /// Creates an empty sequence with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        PackedSeq {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Packs a bool slice (time order).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut seq = PackedSeq::with_capacity(bits.len());
+        for &bit in bits {
+            seq.push(bit);
+        }
+        seq
+    }
+
+    /// Packs a [`BitSeq`].
+    pub fn from_bitseq(seq: &BitSeq) -> Self {
+        PackedSeq::from_bools(seq.as_slice())
+    }
+
+    /// Extracts the vertical sequence of bit `lane` from machine words:
+    /// bit `i` of the result is bit `lane` of `words[i]`. Packed
+    /// equivalent of [`BitSeq::from_lane`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn from_lane(words: &[u64], lane: usize) -> Self {
+        assert!(lane < 64, "lane {lane} out of range for u64 words");
+        let mut packed = Vec::with_capacity(words.len().div_ceil(64));
+        let mut acc = 0u64;
+        let mut filled = 0usize;
+        for &w in words {
+            acc |= ((w >> lane) & 1) << filled;
+            filled += 1;
+            if filled == 64 {
+                packed.push(acc);
+                acc = 0;
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            packed.push(acc);
+        }
+        PackedSeq {
+            words: packed,
+            len: words.len(),
+        }
+    }
+
+    /// Unpacks into a [`BitSeq`].
+    pub fn to_bitseq(&self) -> BitSeq {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing storage words; bits at positions `>= len()` are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range for {} bits", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// The latest bit, if any.
+    pub fn last(&self) -> Option<bool> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.get(self.len - 1))
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        self.push_bits(u64::from(bit), 1);
+    }
+
+    /// Appends the low `count` bits of `value`, earliest bit in the least
+    /// significant position — the write-side dual of [`PackedSeq::extract`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn push_bits(&mut self, value: u64, count: usize) {
+        assert!(count <= 64, "cannot push {count} bits at once");
+        if count == 0 {
+            return;
+        }
+        let value = if count == 64 {
+            value
+        } else {
+            value & ((1u64 << count) - 1)
+        };
+        let offset = self.len % 64;
+        if offset == 0 {
+            self.words.push(value);
+        } else {
+            *self
+                .words
+                .last_mut()
+                .expect("offset > 0 implies a partial word") |= value << offset;
+            if offset + count > 64 {
+                self.words.push(value >> (64 - offset));
+            }
+        }
+        self.len += count;
+    }
+
+    /// Reads `count` bits starting at `start`, earliest bit in the least
+    /// significant position. For `count <= 16` the result is exactly the
+    /// word index [`crate::codebook::pack_word`] would compute for the
+    /// same bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64` or the range exceeds `len()`.
+    pub fn extract(&self, start: usize, count: usize) -> u64 {
+        assert!(count <= 64, "cannot extract {count} bits at once");
+        assert!(
+            start + count <= self.len,
+            "range {start}..{} out of bounds for {} bits",
+            start + count,
+            self.len
+        );
+        if count == 0 {
+            return 0;
+        }
+        let word = start / 64;
+        let offset = start % 64;
+        let mask = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        let low = self.words[word] >> offset;
+        if offset + count <= 64 {
+            low & mask
+        } else {
+            (low | self.words[word + 1] << (64 - offset)) & mask
+        }
+    }
+
+    /// Number of 0↔1 transitions between consecutive bits, computed one
+    /// storage word at a time: `popcount(w ^ (w >> 1))` for the internal
+    /// pairs plus one boundary comparison per word seam.
+    pub fn transitions(&self) -> u64 {
+        let mut total = 0u64;
+        let mut prev_top: Option<bool> = None;
+        for (index, &w) in self.words.iter().enumerate() {
+            let bits_here = (self.len - index * 64).min(64);
+            if bits_here >= 2 {
+                let internal = if bits_here == 64 {
+                    u64::MAX >> 1
+                } else {
+                    (1u64 << (bits_here - 1)) - 1
+                };
+                total += ((w ^ (w >> 1)) & internal).count_ones() as u64;
+            }
+            if let Some(top) = prev_top {
+                total += u64::from(top != (w & 1 == 1));
+            }
+            prev_top = Some(w >> 63 & 1 == 1);
+        }
+        total
+    }
+}
+
+impl From<&BitSeq> for PackedSeq {
+    fn from(seq: &BitSeq) -> Self {
+        PackedSeq::from_bitseq(seq)
+    }
+}
+
+impl From<&PackedSeq> for BitSeq {
+    fn from(seq: &PackedSeq) -> Self {
+        seq.to_bitseq()
+    }
+}
+
+impl FromIterator<bool> for PackedSeq {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut seq = PackedSeq::new();
+        for bit in iter {
+            seq.push(bit);
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(seed: u64, len: usize) -> Vec<bool> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_bool(0.5)).collect()
+    }
+
+    #[test]
+    fn roundtrips_with_bitseq() {
+        for len in [0usize, 1, 5, 63, 64, 65, 130, 1000] {
+            let bits = random_bits(len as u64, len);
+            let seq = BitSeq::from(bits.clone());
+            let packed = PackedSeq::from_bitseq(&seq);
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.to_bitseq(), seq, "len {len}");
+            for (i, &bit) in bits.iter().enumerate() {
+                assert_eq!(packed.get(i), bit, "bit {i} of {len}");
+            }
+            assert_eq!(packed.last(), bits.last().copied());
+        }
+    }
+
+    #[test]
+    fn transitions_match_bitseq() {
+        for len in [0usize, 1, 2, 63, 64, 65, 127, 128, 129, 500] {
+            let bits = random_bits(100 + len as u64, len);
+            let packed = PackedSeq::from_bools(&bits);
+            assert_eq!(
+                packed.transitions(),
+                crate::bits::transitions(&bits),
+                "len {len}"
+            );
+        }
+        // Alternating worst case across a word seam.
+        let alternating: PackedSeq = (0..130).map(|i| i % 2 == 0).collect();
+        assert_eq!(alternating.transitions(), 129);
+    }
+
+    #[test]
+    fn extract_matches_manual_slice() {
+        let bits = random_bits(7, 200);
+        let packed = PackedSeq::from_bools(&bits);
+        for start in [0usize, 1, 60, 63, 64, 100, 184] {
+            for count in [0usize, 1, 5, 16, 64] {
+                if start + count > bits.len() {
+                    continue;
+                }
+                let expected = bits[start..start + count]
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+                assert_eq!(packed.extract(start, count), expected, "{start}+{count}");
+            }
+        }
+    }
+
+    #[test]
+    fn extract_agrees_with_codebook_pack_word() {
+        let bits = random_bits(8, 90);
+        let packed = PackedSeq::from_bools(&bits);
+        for start in [0usize, 3, 62, 70] {
+            let word = packed.extract(start, 7) as u16;
+            assert_eq!(word, crate::codebook::pack_word(&bits[start..start + 7]));
+        }
+    }
+
+    #[test]
+    fn push_bits_crosses_word_boundaries() {
+        let mut packed = PackedSeq::new();
+        let mut reference = Vec::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let count = (rng.gen::<u64>() % 17) as usize;
+            let value = rng.gen::<u64>();
+            packed.push_bits(value, count);
+            for i in 0..count {
+                reference.push(value >> i & 1 == 1);
+            }
+        }
+        assert_eq!(packed.len(), reference.len());
+        assert_eq!(packed.to_bitseq().as_slice(), &reference[..]);
+        // The zero-padding invariant holds after mixed pushes.
+        if !packed.len().is_multiple_of(64) {
+            let top = packed.words().last().unwrap();
+            assert_eq!(top >> (packed.len() % 64), 0, "stray high bits");
+        }
+    }
+
+    #[test]
+    fn from_lane_matches_bitseq_from_lane() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let words: Vec<u64> = (0..150).map(|_| rng.gen::<u64>()).collect();
+        for lane in [0usize, 1, 31, 63] {
+            let packed = PackedSeq::from_lane(&words, lane);
+            assert_eq!(
+                packed.to_bitseq(),
+                BitSeq::from_lane(&words, lane),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_bit() {
+        let empty = PackedSeq::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.transitions(), 0);
+        assert_eq!(empty.last(), None);
+        let one: PackedSeq = [true].into_iter().collect();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.transitions(), 0);
+        assert_eq!(one.extract(0, 1), 1);
+    }
+}

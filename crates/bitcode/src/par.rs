@@ -1,0 +1,155 @@
+//! Deterministic scoped-thread fan-out used across the workspace.
+//!
+//! All parallelism in this repository goes through [`par_map`] /
+//! [`par_map_range`]: workers pull indices from a shared atomic counter
+//! (so heterogeneous item costs balance), collect `(index, result)` pairs
+//! locally, and the caller-side merge places results **by index** — the
+//! output is byte-identical to the serial map regardless of scheduling.
+//! Determinism of every `results/*.txt` artifact therefore reduces to the
+//! determinism of the per-item function itself.
+//!
+//! The worker count is `std::thread::available_parallelism`, overridable
+//! with the `IMT_THREADS` environment variable (`IMT_THREADS=1` forces
+//! serial execution, which the equivalence tests use as the reference).
+//! Work smaller than `min_per_thread` items runs inline on the calling
+//! thread: callers set that threshold so nested fan-outs (per-block over
+//! per-lane) degenerate to serial instead of oversubscribing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Number of worker threads fan-outs may use: the `IMT_THREADS`
+/// environment variable if set (minimum 1), else the machine's available
+/// parallelism.
+///
+/// The environment variable is re-read on every call so tests and
+/// experiments can toggle it at runtime; the hardware count is cached —
+/// `available_parallelism` re-reads cgroup quota files on Linux, which is
+/// far too slow to pay once per fan-out.
+pub fn thread_count() -> usize {
+    if let Ok(value) = std::env::var("IMT_THREADS") {
+        if let Ok(n) = value.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    static HARDWARE: OnceLock<usize> = OnceLock::new();
+    *HARDWARE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Maps `f` over `0..n`, in parallel when `n >= 2 * min_per_thread` and
+/// more than one thread is available. Results are returned in index order;
+/// the output is identical to `(0..n).map(|i| f(i)).collect()`.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+pub fn par_map_range<R, F>(n: usize, min_per_thread: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = thread_count();
+    let workers = threads.min(n / min_per_thread.max(1)).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+
+    // Index-ordered merge: scheduling cannot affect the output order.
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(out[i].is_none(), "index {i} computed twice");
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Maps `f` over a slice with the same guarantees as [`par_map_range`].
+pub fn par_map<T, R, F>(items: &[T], min_per_thread: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_range(items.len(), min_per_thread, |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        // Force genuine fan-out with a tiny threshold.
+        let parallel = par_map(&items, 1, |_, &x| x * x + 1);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn preserves_order_with_uneven_work() {
+        let out = par_map_range(64, 1, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        // Below the threshold the calling thread does the work itself.
+        let caller = std::thread::current().id();
+        let out = par_map_range(3, 100, |i| (i, std::thread::current().id()));
+        assert!(out.iter().all(|&(_, id)| id == caller));
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = par_map_range(0, 1, |_| unreachable!("no items"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_range(32, 1, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

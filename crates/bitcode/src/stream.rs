@@ -15,11 +15,13 @@
 //! 50 %).
 
 use crate::bits::BitSeq;
+pub use crate::block::OverlapHistory;
 use crate::block::{
-    decode_block, encode_block, encode_block_constrained, BlockContext, BlockEncoding,
+    decode_block, encode_block_constrained, encode_block_exhaustive, BlockContext, BlockEncoding,
     MAX_BLOCK_SIZE,
 };
-pub use crate::block::OverlapHistory;
+use crate::codebook::{codebook_for, CODEBOOK_MAX_LEN};
+use crate::packed::PackedSeq;
 use crate::transform::{Transform, TransformSet};
 use crate::CodecError;
 
@@ -80,7 +82,9 @@ impl StreamCodecConfig {
     /// `2..=MAX_BLOCK_SIZE`.
     pub fn block_size(block_size: usize) -> Result<Self, CodecError> {
         if !(2..=MAX_BLOCK_SIZE).contains(&block_size) {
-            return Err(CodecError::BlockSize { requested: block_size });
+            return Err(CodecError::BlockSize {
+                requested: block_size,
+            });
         }
         Ok(StreamCodecConfig {
             block_size,
@@ -183,8 +187,7 @@ impl EncodedStream {
         if self.original_transitions == 0 {
             return 0.0;
         }
-        (self.original_transitions - self.transitions()) as f64
-            / self.original_transitions as f64
+        (self.original_transitions - self.transitions()) as f64 / self.original_transitions as f64
             * 100.0
     }
 
@@ -197,7 +200,11 @@ impl EncodedStream {
         blocks: Vec<BlockDescriptor>,
         original_transitions: u64,
     ) -> Self {
-        EncodedStream { stored, blocks, original_transitions }
+        EncodedStream {
+            stored,
+            blocks,
+            original_transitions,
+        }
     }
 }
 
@@ -235,21 +242,131 @@ impl StreamCodec {
         }
     }
 
+    /// Encodes a bit line already held in packed form, avoiding the
+    /// `Vec<bool>` round trip on the input side. Bit-identical to
+    /// `self.encode(&original.to_bitseq())`.
+    pub fn encode_packed(&self, original: &PackedSeq) -> EncodedStream {
+        match self.config.strategy {
+            ChainStrategy::Greedy if self.config.block_size <= CODEBOOK_MAX_LEN => {
+                self.encode_greedy_packed(original)
+            }
+            _ => self.encode(&original.to_bitseq()),
+        }
+    }
+
+    /// Reference implementation: `Vec<bool>` streams driven by the
+    /// exhaustive block solver, bypassing both the codebook and the packed
+    /// representation. The fast paths are tested bit-identical against
+    /// this; it is also what [`StreamCodec::encode`] falls back to for
+    /// block sizes beyond [`CODEBOOK_MAX_LEN`].
+    pub fn encode_reference(&self, original: &BitSeq) -> EncodedStream {
+        match self.config.strategy {
+            ChainStrategy::Greedy => self.encode_greedy_bools(original),
+            ChainStrategy::Optimal => self.encode_optimal(original),
+        }
+    }
+
     fn encode_greedy(&self, original: &BitSeq) -> EncodedStream {
+        if self.config.block_size <= CODEBOOK_MAX_LEN {
+            return self.encode_greedy_packed(&PackedSeq::from_bitseq(original));
+        }
+        self.encode_greedy_bools(original)
+    }
+
+    /// Packed greedy encoder: every block is one shift/mask extraction,
+    /// one codebook lookup and one packed append.
+    fn encode_greedy_packed(&self, original: &PackedSeq) -> EncodedStream {
+        let k = self.config.block_size;
+        let n = original.len();
+        let mut blocks = Vec::new();
+        if n == 0 {
+            return EncodedStream {
+                stored: BitSeq::new(),
+                blocks,
+                original_transitions: 0,
+            };
+        }
+        let mut stored = PackedSeq::with_capacity(n);
+
+        // First block: seed + up to k-1 more bits.
+        let first_len = k.min(n);
+        let entry = codebook_for(first_len, self.config.allowed)
+            .entry(
+                original.extract(0, first_len) as u16,
+                BlockContext::Initial,
+                None,
+            )
+            .expect("unconstrained encoding always has the identity fallback");
+        stored.push_bits(u64::from(entry.code_bits), first_len);
+        blocks.push(BlockDescriptor {
+            transform: entry.transform,
+            len: first_len,
+        });
+        let mut pos = first_len;
+
+        // Chained blocks: k-1 new bits each, overlapping one bit back. The
+        // full-size codebook is fetched once; only a short tail block can
+        // need a different length.
+        if pos < n {
+            let mid_len = k - 1;
+            let mid_book = codebook_for(mid_len, self.config.allowed);
+            while pos < n {
+                let len = mid_len.min(n - pos);
+                let book = if len == mid_len {
+                    mid_book
+                } else {
+                    codebook_for(len, self.config.allowed)
+                };
+                let ctx = BlockContext::Chained {
+                    prev_stored: stored.get(pos - 1),
+                    prev_original: original.get(pos - 1),
+                    history: self.config.overlap,
+                };
+                let entry = book
+                    .entry(original.extract(pos, len) as u16, ctx, None)
+                    .expect("unconstrained encoding always has the identity fallback");
+                stored.push_bits(u64::from(entry.code_bits), len);
+                blocks.push(BlockDescriptor {
+                    transform: entry.transform,
+                    len,
+                });
+                pos += len;
+            }
+        }
+
+        EncodedStream {
+            stored: stored.to_bitseq(),
+            blocks,
+            original_transitions: original.transitions(),
+        }
+    }
+
+    fn encode_greedy_bools(&self, original: &BitSeq) -> EncodedStream {
         let k = self.config.block_size;
         let bits = original.as_slice();
         let n = bits.len();
         let mut stored = BitSeq::new();
         let mut blocks = Vec::new();
         if n == 0 {
-            return EncodedStream { stored, blocks, original_transitions: 0 };
+            return EncodedStream {
+                stored,
+                blocks,
+                original_transitions: 0,
+            };
         }
 
         // First block: seed + up to k-1 more bits.
         let first_len = k.min(n);
-        let enc = encode_block(&bits[..first_len], BlockContext::Initial, self.config.allowed);
+        let enc = encode_block_exhaustive(
+            &bits[..first_len],
+            BlockContext::Initial,
+            self.config.allowed,
+        );
         stored.extend(enc.code.iter().copied());
-        blocks.push(BlockDescriptor { transform: enc.transform, len: first_len });
+        blocks.push(BlockDescriptor {
+            transform: enc.transform,
+            len: first_len,
+        });
         let mut pos = first_len;
 
         // Chained blocks: k-1 new bits each, overlapping one bit back.
@@ -260,13 +377,20 @@ impl StreamCodec {
                 prev_original: bits[pos - 1],
                 history: self.config.overlap,
             };
-            let enc = encode_block(&bits[pos..pos + len], ctx, self.config.allowed);
+            let enc = encode_block_exhaustive(&bits[pos..pos + len], ctx, self.config.allowed);
             stored.extend(enc.code.iter().copied());
-            blocks.push(BlockDescriptor { transform: enc.transform, len });
+            blocks.push(BlockDescriptor {
+                transform: enc.transform,
+                len,
+            });
             pos += len;
         }
 
-        EncodedStream { stored, blocks, original_transitions: original.transitions() }
+        EncodedStream {
+            stored,
+            blocks,
+            original_transitions: original.transitions(),
+        }
     }
 
     fn encode_optimal(&self, original: &BitSeq) -> EncodedStream {
@@ -309,8 +433,11 @@ impl StreamCodec {
                 self.config.allowed,
                 Some(final_bit),
             ) {
-                first_layer[slot] =
-                    Some(Cell { cost: encoding.code_transitions, encoding, from: None });
+                first_layer[slot] = Some(Cell {
+                    cost: encoding.code_transitions,
+                    encoding,
+                    from: None,
+                });
             }
         }
         layers.push(first_layer);
@@ -320,7 +447,9 @@ impl StreamCodec {
             let previous = layers.last().expect("first layer pushed").clone();
             let mut layer: [Option<Cell>; 2] = [None, None];
             for (in_slot, prev_stored) in [false, true].into_iter().enumerate() {
-                let Some(prev_cell) = &previous[in_slot] else { continue };
+                let Some(prev_cell) = &previous[in_slot] else {
+                    continue;
+                };
                 let ctx = BlockContext::Chained {
                     prev_stored,
                     prev_original,
@@ -337,8 +466,11 @@ impl StreamCodec {
                     };
                     let cost = prev_cell.cost + encoding.code_transitions;
                     if layer[out_slot].as_ref().is_none_or(|c| cost < c.cost) {
-                        layer[out_slot] =
-                            Some(Cell { cost, encoding, from: Some(prev_stored) });
+                        layer[out_slot] = Some(Cell {
+                            cost,
+                            encoding,
+                            from: Some(prev_stored),
+                        });
                     }
                 }
             }
@@ -354,7 +486,9 @@ impl StreamCodec {
         };
         let mut chosen: Vec<BlockEncoding> = Vec::with_capacity(layers.len());
         for layer in layers.iter().rev() {
-            let cell = layer[state as usize].as_ref().expect("backtracking a feasible path");
+            let cell = layer[state as usize]
+                .as_ref()
+                .expect("backtracking a feasible path");
             chosen.push(cell.encoding.clone());
             if let Some(from) = cell.from {
                 state = from;
@@ -371,7 +505,11 @@ impl StreamCodec {
             });
             stored.extend(encoding.code.iter().copied());
         }
-        EncodedStream { stored, blocks, original_transitions: original.transitions() }
+        EncodedStream {
+            stored,
+            blocks,
+            original_transitions: original.transitions(),
+        }
     }
 
     /// Decodes an encoded stream back to the original bit line.
@@ -417,7 +555,9 @@ impl StreamCodec {
             pos += desc.len;
         }
         if pos != bits.len() {
-            return Err(CodecError::MalformedBlocks { block_index: blocks.len() });
+            return Err(CodecError::MalformedBlocks {
+                block_index: blocks.len(),
+            });
         }
         Ok(BitSeq::from(out))
     }
@@ -472,8 +612,7 @@ mod tests {
                     // Sample the space densely for short lengths.
                     let limit = 1u32 << len.min(10);
                     for value in 0..limit {
-                        let original: BitSeq =
-                            (0..len).map(|i| value >> i & 1 == 1).collect();
+                        let original: BitSeq = (0..len).map(|i| value >> i & 1 == 1).collect();
                         let enc = c.encode(&original);
                         assert_eq!(
                             c.decode(&enc).unwrap(),
@@ -503,19 +642,34 @@ mod tests {
         let stored = BitSeq::repeat(false, 4);
         // Schedule covers 5 bits but only 4 exist.
         let blocks = vec![
-            BlockDescriptor { transform: Transform::IDENTITY, len: 4 },
-            BlockDescriptor { transform: Transform::IDENTITY, len: 1 },
+            BlockDescriptor {
+                transform: Transform::IDENTITY,
+                len: 4,
+            },
+            BlockDescriptor {
+                transform: Transform::IDENTITY,
+                len: 1,
+            },
         ];
         let err = c.decode_parts(&stored, &blocks).unwrap_err();
         assert_eq!(err, CodecError::MalformedBlocks { block_index: 1 });
         // Schedule covers only 3 of 4 bits.
-        let blocks = vec![BlockDescriptor { transform: Transform::IDENTITY, len: 3 }];
+        let blocks = vec![BlockDescriptor {
+            transform: Transform::IDENTITY,
+            len: 3,
+        }];
         let err = c.decode_parts(&stored, &blocks).unwrap_err();
         assert_eq!(err, CodecError::MalformedBlocks { block_index: 1 });
         // Zero-length descriptor.
         let blocks = vec![
-            BlockDescriptor { transform: Transform::IDENTITY, len: 0 },
-            BlockDescriptor { transform: Transform::IDENTITY, len: 4 },
+            BlockDescriptor {
+                transform: Transform::IDENTITY,
+                len: 0,
+            },
+            BlockDescriptor {
+                transform: Transform::IDENTITY,
+                len: 4,
+            },
         ];
         let err = c.decode_parts(&stored, &blocks).unwrap_err();
         assert_eq!(err, CodecError::MalformedBlocks { block_index: 0 });
@@ -603,7 +757,10 @@ mod tests {
         let optimal = optimal_codec(5);
         let original = BitSeq::from_str_time("110010111000101011001101").unwrap();
         let enc = optimal.encode(&original);
-        assert_eq!(optimal.decode_parts(enc.stored(), enc.blocks()).unwrap(), original);
+        assert_eq!(
+            optimal.decode_parts(enc.stored(), enc.blocks()).unwrap(),
+            original
+        );
         // Same block layout as greedy produces.
         let lens: Vec<usize> = enc.blocks().iter().map(|b| b.len).collect();
         assert_eq!(lens, vec![5, 4, 4, 4, 4, 3]);

@@ -69,7 +69,9 @@ impl CodeTable {
     /// large to enumerate).
     pub fn build(block_size: usize, allowed: TransformSet) -> Result<Self, CodecError> {
         if !(2..=MAX_BLOCK_SIZE).contains(&block_size) {
-            return Err(CodecError::BlockSize { requested: block_size });
+            return Err(CodecError::BlockSize {
+                requested: block_size,
+            });
         }
         let mut entries = Vec::with_capacity(1 << block_size);
         for value in 0u64..(1 << block_size) {
@@ -87,7 +89,11 @@ impl CodeTable {
                 code_transitions: enc.code_transitions,
             });
         }
-        Ok(CodeTable { block_size, allowed, entries })
+        Ok(CodeTable {
+            block_size,
+            allowed,
+            entries,
+        })
     }
 
     /// The block size `k`.
@@ -251,7 +257,10 @@ pub fn minimal_optimal_subset(max_block_size: usize) -> MinimalSubset {
             }
         }
     }
-    MinimalSubset { set: best_set, count_of_minimum_size: count }
+    MinimalSubset {
+        set: best_set,
+        count_of_minimum_size: count,
+    }
 }
 
 /// Union of compatible-transform masks over all code words of optimal cost
@@ -313,7 +322,14 @@ mod tests {
     fn figure3_improvement_percentages() {
         // Paper values except k=7, where the paper's 39.1 % corresponds to
         // the unattainable RTN 234 (see figure3_rtn_values).
-        let expected = [(2, 100.0), (3, 75.0), (4, 58.3), (5, 50.0), (6, 43.8), (7, 38.5)];
+        let expected = [
+            (2, 100.0),
+            (3, 75.0),
+            (4, 58.3),
+            (5, 50.0),
+            (6, 43.8),
+            (7, 38.5),
+        ];
         for (k, pct) in expected {
             let table = CodeTable::build(k, TransformSet::ALL_SIXTEEN).unwrap();
             assert!(
@@ -455,6 +471,9 @@ mod tests {
         .collect();
         assert_eq!(minimal.set, expected);
         assert_eq!(minimal.count_of_minimum_size, 1);
-        assert_eq!(minimal.set.intersection(TransformSet::CANONICAL_EIGHT), minimal.set);
+        assert_eq!(
+            minimal.set.intersection(TransformSet::CANONICAL_EIGHT),
+            minimal.set
+        );
     }
 }

@@ -283,7 +283,9 @@ impl TransformSet {
     /// Iterates over the members in the encoder's preference order
     /// (see [`Transform::ALL`]).
     pub fn iter(self) -> impl Iterator<Item = Transform> {
-        Transform::ALL.into_iter().filter(move |t| self.contains(*t))
+        Transform::ALL
+            .into_iter()
+            .filter(move |t| self.contains(*t))
     }
 
     /// The first member in preference order, if any.
@@ -310,7 +312,8 @@ impl TransformSet {
 
 impl FromIterator<Transform> for TransformSet {
     fn from_iter<I: IntoIterator<Item = Transform>>(iter: I) -> Self {
-        iter.into_iter().fold(TransformSet::EMPTY, TransformSet::with)
+        iter.into_iter()
+            .fold(TransformSet::EMPTY, TransformSet::with)
     }
 }
 
@@ -448,7 +451,9 @@ mod tests {
 
     #[test]
     fn set_operations() {
-        let set = TransformSet::EMPTY.with(Transform::XOR).with(Transform::NOR);
+        let set = TransformSet::EMPTY
+            .with(Transform::XOR)
+            .with(Transform::NOR);
         assert_eq!(set.len(), 2);
         assert!(set.contains(Transform::XOR));
         assert!(!set.contains(Transform::IDENTITY));
@@ -466,8 +471,14 @@ mod tests {
 
     #[test]
     fn preference_order_starts_with_identity() {
-        assert_eq!(TransformSet::ALL_SIXTEEN.preferred(), Some(Transform::IDENTITY));
-        assert_eq!(TransformSet::CANONICAL_EIGHT.preferred(), Some(Transform::IDENTITY));
+        assert_eq!(
+            TransformSet::ALL_SIXTEEN.preferred(),
+            Some(Transform::IDENTITY)
+        );
+        assert_eq!(
+            TransformSet::CANONICAL_EIGHT.preferred(),
+            Some(Transform::IDENTITY)
+        );
     }
 
     #[test]

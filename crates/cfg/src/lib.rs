@@ -139,7 +139,10 @@ impl fmt::Display for CfgError {
                 write!(f, "text word {index} ({word:#010x}) does not decode")
             }
             CfgError::TargetOutOfText { index, target } => {
-                write!(f, "instruction {index} targets {target:#010x} outside the text segment")
+                write!(
+                    f,
+                    "instruction {index} targets {target:#010x} outside the text segment"
+                )
             }
             CfgError::EmptyText => write!(f, "program has no text"),
         }
@@ -180,16 +183,19 @@ impl Cfg {
         for (index, &word) in program.text.iter().enumerate() {
             insts.push(decode(word).map_err(|_| CfgError::InvalidInstruction { index, word })?);
         }
-        let target_index = |index: usize, inst: Inst| -> Result<Option<usize>, CfgError> {
-            let pc = program.address_of_index(index);
-            match inst.static_target(pc) {
-                Some(address) => program
-                    .index_of_address(address)
-                    .map(Some)
-                    .ok_or(CfgError::TargetOutOfText { index, target: address }),
-                None => Ok(None),
-            }
-        };
+        let target_index =
+            |index: usize, inst: Inst| -> Result<Option<usize>, CfgError> {
+                let pc = program.address_of_index(index);
+                match inst.static_target(pc) {
+                    Some(address) => program.index_of_address(address).map(Some).ok_or(
+                        CfgError::TargetOutOfText {
+                            index,
+                            target: address,
+                        },
+                    ),
+                    None => Ok(None),
+                }
+            };
 
         // Pass 1: leaders.
         let mut leader = vec![false; n];
@@ -268,7 +274,12 @@ impl Cfg {
             .index_of_address(program.entry)
             .map(|i| block_of_index[i])
             .unwrap_or(BlockId(0));
-        Ok(Cfg { blocks, entry, block_of_index, text_base: program.text_base })
+        Ok(Cfg {
+            blocks,
+            entry,
+            block_of_index,
+            text_base: program.text_base,
+        })
     }
 
     /// The basic blocks, ordered by start index.
@@ -441,7 +452,12 @@ impl Cfg {
                 }
             }
         }
-        loops.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
+        loops.sort_by(|a, b| {
+            b.body
+                .len()
+                .cmp(&a.body.len())
+                .then(a.header.cmp(&b.header))
+        });
         loops
     }
 }
@@ -488,7 +504,10 @@ impl Cfg {
 /// Panics if `profile` is shorter than the program text the CFG was built
 /// from.
 pub fn block_weights(cfg: &Cfg, profile: &[u64]) -> Vec<u64> {
-    cfg.blocks().iter().map(|b| b.range().map(|i| profile[i]).sum()).collect()
+    cfg.blocks()
+        .iter()
+        .map(|b| b.range().map(|i| profile[i]).sum())
+        .collect()
 }
 
 /// A natural loop ranked by its share of all instruction fetches.
@@ -519,7 +538,11 @@ pub fn hot_loops(cfg: &Cfg, profile: &[u64]) -> Vec<HotLoop> {
             HotLoop {
                 natural_loop: l,
                 fetch_weight,
-                fetch_share: if total == 0 { 0.0 } else { fetch_weight as f64 / total as f64 },
+                fetch_share: if total == 0 {
+                    0.0
+                } else {
+                    fetch_weight as f64 / total as f64
+                },
             }
         })
         .collect();
@@ -562,7 +585,10 @@ mod tests {
         let loops = cfg.natural_loops();
         assert_eq!(loops.len(), 1);
         assert_eq!(loops[0].header, BlockId(1));
-        assert_eq!(loops[0].body.iter().copied().collect::<Vec<_>>(), vec![BlockId(1)]);
+        assert_eq!(
+            loops[0].body.iter().copied().collect::<Vec<_>>(),
+            vec![BlockId(1)]
+        );
         assert_eq!(loops[0].back_edges, vec![(BlockId(1), BlockId(1))]);
     }
 

@@ -20,8 +20,16 @@ struct Options<'a> {
 }
 
 /// Flags that take a value; everything else starting with `--` is boolean.
-const VALUE_FLAGS: &[&str] =
-    &["-o", "--max-steps", "--block-size", "--tt", "--bbit", "-k", "--trace", "--emit-tables"];
+const VALUE_FLAGS: &[&str] = &[
+    "-o",
+    "--max-steps",
+    "--block-size",
+    "--tt",
+    "--bbit",
+    "-k",
+    "--trace",
+    "--emit-tables",
+];
 
 fn parse<'a>(args: &'a [String]) -> Options<'a> {
     let mut positional = Vec::new();
@@ -47,7 +55,10 @@ impl Options<'_> {
     }
 
     fn value(&self, name: &str) -> Option<&str> {
-        self.flags.iter().find(|(f, _)| *f == name).and_then(|(_, v)| *v)
+        self.flags
+            .iter()
+            .find(|(f, _)| *f == name)
+            .and_then(|(_, v)| *v)
     }
 
     fn numeric(&self, name: &str, default: u64) -> Result<u64, CliError> {
@@ -116,8 +127,12 @@ pub fn dis(args: &[String]) -> Result<String, CliError> {
                 writeln!(out, "{name}:").expect("write to String");
             }
         }
-        writeln!(out, "  {address:#010x}  {word:08x}  {}", disassemble_word(word))
-            .expect("write to String");
+        writeln!(
+            out,
+            "  {address:#010x}  {word:08x}  {}",
+            disassemble_word(word)
+        )
+        .expect("write to String");
     }
     Ok(out)
 }
@@ -218,8 +233,7 @@ pub fn encode(args: &[String]) -> Result<String, CliError> {
     if let Some(path) = opts.value("--emit-tables") {
         let image = imt_core::tableimage::pack_tables(&encoded)?;
         std::fs::write(path, &image)?;
-        writeln!(out, "wrote {}-byte table image to {path}", image.len())
-            .expect("write to String");
+        writeln!(out, "wrote {}-byte table image to {path}", image.len()).expect("write to String");
     }
     Ok(out)
 }
@@ -247,7 +261,9 @@ pub fn schedule(args: &[String]) -> Result<String, CliError> {
     let mut rescheduled = Cpu::new(&scheduled)?;
     rescheduled.run(max_steps)?;
     if original.stdout() != rescheduled.stdout() {
-        return Err(CliError::new("internal error: scheduling changed program output"));
+        return Err(CliError::new(
+            "internal error: scheduling changed program output",
+        ));
     }
     writeln!(out, "verified: scheduled program output is identical").expect("write to String");
     Ok(out)
@@ -275,8 +291,11 @@ pub fn analyze(args: &[String]) -> Result<String, CliError> {
         } else {
             (before as f64 - after as f64) / before as f64 * 100.0
         };
-        writeln!(out, "  lane {lane:>2}: {before:>10} -> {after:>10}  ({reduction:>5.1}%)")
-            .expect("write to String");
+        writeln!(
+            out,
+            "  lane {lane:>2}: {before:>10} -> {after:>10}  ({reduction:>5.1}%)"
+        )
+        .expect("write to String");
     }
     let budget = imt_core::hardware::HardwareBudget::of_schedule(&encoded);
     writeln!(
@@ -328,8 +347,11 @@ pub fn kernels(args: &[String]) -> Result<String, CliError> {
                 .into_iter()
                 .find(|k| k.name() == *name)
                 .ok_or_else(|| CliError::new(format!("unknown kernel `{name}`")))?;
-            let spec =
-                if opts.flag("--paper-scale") { kernel.paper_spec() } else { kernel.test_spec() };
+            let spec = if opts.flag("--paper-scale") {
+                kernel.paper_spec()
+            } else {
+                kernel.test_spec()
+            };
             let run = spec.run()?;
             let verified = run.stdout == spec.expected_output;
             Ok(format!(
@@ -428,11 +450,9 @@ loop:   xor $t1, $t1, $t0\n\
         assert!(out.contains("table image"));
         let bytes = std::fs::read(&img).unwrap();
         assert_eq!(&bytes[..4], b"TTB1");
-        let unpacked = imt_core::tableimage::unpack_tables(
-            &bytes,
-            imt_bitcode::TransformSet::CANONICAL_EIGHT,
-        )
-        .unwrap();
+        let unpacked =
+            imt_core::tableimage::unpack_tables(&bytes, imt_bitcode::TransformSet::CANONICAL_EIGHT)
+                .unwrap();
         assert!(!unpacked.tt.is_empty());
         std::fs::remove_file(&src).ok();
         std::fs::remove_file(&img).ok();

@@ -109,10 +109,8 @@ mod tests {
     use imt_isa::asm::assemble;
 
     fn sample() -> Program {
-        assemble(
-            ".data\nx: .word 7\n.text\nmain: la $t0, x\nlw $a0, 0($t0)\nli $v0, 10\nsyscall\n",
-        )
-        .unwrap()
+        assemble(".data\nx: .word 7\n.text\nmain: la $t0, x\nlw $a0, 0($t0)\nli $v0, 10\nsyscall\n")
+            .unwrap()
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub struct CliError {
 impl CliError {
     /// Creates an error with the given user-facing message.
     pub fn new(message: impl Into<String>) -> Self {
-        CliError { message: message.into() }
+        CliError {
+            message: message.into(),
+        }
     }
 }
 
@@ -114,7 +116,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "tables" => commands::tables(rest),
         "kernels" => commands::kernels(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::new(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::new(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 

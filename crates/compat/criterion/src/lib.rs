@@ -1,0 +1,290 @@
+//! Offline stand-in for the subset of the crates.io `criterion` API this
+//! workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! small wall-clock benchmark harness with criterion's macro and builder
+//! surface: `criterion_group!`/`criterion_main!`, [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput::Elements`] and [`black_box`].
+//!
+//! Differences from upstream, by design: no statistical analysis, plots or
+//! saved baselines — each benchmark warms up briefly, then measures batches
+//! for a fixed window and reports the best batch mean (ns/iter plus
+//! throughput when configured). Tune with `CRITERION_WARMUP_MS` /
+//! `CRITERION_MEASURE_MS` (defaults 300 / 1000).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Name of one benchmark: a function name, or `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (words, instructions, blocks …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Runs the measured closure and accumulates timing.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the best measured batch.
+    best_ns_per_iter: f64,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`: warm up, then measure batches until the
+    /// measurement window closes, keeping the fastest batch mean (least
+    /// noise-inflated).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate a batch size that lasts roughly 1 ms so the
+        // per-batch `Instant` overhead is negligible.
+        let mut batch: u64 = 1;
+        let calibrate_until = Instant::now() + self.warmup;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 2;
+            if Instant::now() >= calibrate_until {
+                break;
+            }
+        }
+        // Remaining warmup.
+        while Instant::now() < calibrate_until {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+        }
+        // Measurement window.
+        let mut best = f64::INFINITY;
+        let end = Instant::now() + self.measure;
+        let mut measured_batches = 0u32;
+        while Instant::now() < end || measured_batches == 0 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+            measured_batches += 1;
+            if measured_batches >= 10_000 {
+                break;
+            }
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(full_label: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        best_ns_per_iter: f64::NAN,
+        warmup: env_ms("CRITERION_WARMUP_MS", 300),
+        measure: env_ms("CRITERION_MEASURE_MS", 1000),
+    };
+    f(&mut bencher);
+    let ns = bencher.best_ns_per_iter;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 / ns * 1_000.0)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 / ns * 1_000.0 * 1e6 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("{full_label:<48} {:>12}/iter{rate}", format_time(ns));
+}
+
+/// A named family of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut f = f;
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores harness CLI arguments (`--bench`, filters …),
+    /// for `criterion_group!` compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut f = f;
+        run_one(&id.label, None, |b| f(b));
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_WARMUP_MS", "10");
+        std::env::set_var("CRITERION_MEASURE_MS", "20");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 5).label, "f/5");
+        assert_eq!(BenchmarkId::from_parameter("fft").label, "fft");
+    }
+}

@@ -1,0 +1,479 @@
+//! Offline stand-in for the subset of the crates.io `proptest` API this
+//! workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal property-testing harness with the same macro and strategy
+//! surface the test suites rely on: `proptest!` (with optional
+//! `#![proptest_config(..)]`), `prop_oneof!`, `prop_assert*!`, [`Just`],
+//! [`any`], integer-range strategies, tuple strategies, `prop_map`,
+//! `prop_recursive`, and [`collection::vec`].
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case panics with its case index and seed;
+//!   seeds are a pure function of (test name, case index), so reruns are
+//!   deterministic and the failure reproduces as-is.
+//! - **Case count** defaults to 64 (upstream: 256) and can be overridden
+//!   globally with the `PROPTEST_CASES` environment variable or per-block
+//!   with `ProptestConfig::with_cases`.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+pub use rand;
+
+/// Deterministic per-case random source handed to strategies.
+pub struct TestRng(pub rand::rngs::StdRng);
+
+impl TestRng {
+    /// Derives the RNG for one test case from the test name and case index.
+    pub fn for_case(test_name: &str, case: u32) -> (Self, u64) {
+        // FNV-1a over the name keeps seeds stable across runs and
+        // platforms without relying on `DefaultHasher` internals.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let seed = h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (
+            TestRng(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                seed,
+            )),
+            seed,
+        )
+    }
+
+    /// Uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.0)
+    }
+
+    /// Uniform index in `0..n` (`n > 0`).
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Strategy combinators and core trait.
+pub mod strategy {
+    use super::*;
+
+    /// A generator of test values. Object-safe so strategies can be boxed
+    /// and recombined recursively.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type. The result is cheaply
+        /// clonable ([`Rc`]-backed), which `prop_recursive` relies on.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Builds a recursive strategy: `recurse` receives a strategy for
+        /// the previous nesting level and returns one that may embed it.
+        ///
+        /// Depth is bounded by construction (`depth` levels built
+        /// eagerly), so unlike upstream there is no probabilistic decay —
+        /// `_desired_size`/`_expected_branch` are accepted for signature
+        /// compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut level = self.clone().boxed();
+            for _ in 0..depth {
+                let deeper = recurse(level).boxed();
+                // 1 part leaf to 2 parts recursion keeps generated trees
+                // bushy without exploding.
+                level = Union::new(vec![self.clone().boxed(), deeper.clone(), deeper]).boxed();
+            }
+            level
+        }
+    }
+
+    /// Clonable type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform values of a primitive type; see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+    impl<T> Copy for Any<T> {}
+
+    /// Uniform strategy over all values of `T`.
+    pub fn any<T: rand::Standard>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample(&mut rng.0)
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let arm = rng.index(self.arms.len());
+            self.arms[arm].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(&mut rng.0, self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(&mut rng.0, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Inclusive length bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for vectors of values drawn from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// Vector of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.hi - self.len.lo + 1;
+            let n = self.len.lo + rng.index(span);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration and per-case bookkeeping used by `proptest!`.
+pub mod test_runner {
+    /// Number of cases to run per property.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running exactly `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Prints the failing case's coordinates if the case body panics, so
+    /// the (deterministic) failure is easy to re-run.
+    pub struct CaseGuard {
+        pub test_name: &'static str,
+        pub case: u32,
+        pub seed: u64,
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest failure: {} case {} (seed {:#018x}); \
+                     seeds are deterministic, rerunning reproduces it",
+                    self.test_name, self.case, self.seed
+                );
+            }
+        }
+    }
+}
+
+/// One-stop import, mirroring upstream's `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `#[test] fn name(pat in strategy, ..)`
+/// becomes a normal test that samples its strategies `config.cases` times
+/// and runs the body against each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            (<$crate::test_runner::ProptestConfig as Default>::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategies = ($($strat,)*);
+            for __case in 0..__config.cases {
+                let (mut __rng, __seed) =
+                    $crate::TestRng::for_case(stringify!($name), __case);
+                let __guard = $crate::test_runner::CaseGuard {
+                    test_name: stringify!($name),
+                    case: __case,
+                    seed: __seed,
+                };
+                let ($($arg,)*) =
+                    $crate::strategy::Strategy::sample(&__strategies, &mut __rng);
+                { $body }
+                drop(__guard);
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..9, b in 5usize..=10, v in crate::collection::vec(0i16..4, 2..6)) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((5..=10).contains(&b));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0..4).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![Just(1u8), (10u8..20).prop_map(|v| v * 2)]) {
+            prop_assert!(x == 1 || (20..40).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn recursion_depth_is_bounded(
+            t in Just(Tree::Leaf(0)).prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(depth(&t) <= 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let (mut a, seed_a) = crate::TestRng::for_case("x", 5);
+        let (mut b, seed_b) = crate::TestRng::for_case("x", 5);
+        assert_eq!(seed_a, seed_b);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let (mut c, _) = crate::TestRng::for_case("x", 6);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

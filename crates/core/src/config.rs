@@ -183,8 +183,13 @@ mod tests {
     #[test]
     fn builder_validation() {
         assert!(EncoderConfig::default().with_block_size(1).is_err());
-        assert!(EncoderConfig::default().with_block_size(MAX_BLOCK_SIZE + 1).is_err());
-        let c = EncoderConfig::default().with_block_size(7).unwrap().with_tt_capacity(4);
+        assert!(EncoderConfig::default()
+            .with_block_size(MAX_BLOCK_SIZE + 1)
+            .is_err());
+        let c = EncoderConfig::default()
+            .with_block_size(7)
+            .unwrap()
+            .with_tt_capacity(4);
         assert_eq!(c.block_size(), 7);
         assert_eq!(c.tt_capacity(), 4);
     }

@@ -52,7 +52,10 @@ impl fmt::Display for CoreError {
             CoreError::BlockSize { requested } => {
                 write!(f, "block size {requested} outside the supported range")
             }
-            CoreError::ProfileLength { text_len, profile_len } => write!(
+            CoreError::ProfileLength {
+                text_len,
+                profile_len,
+            } => write!(
                 f,
                 "profile has {profile_len} entries but the text segment has {text_len} instructions"
             ),
@@ -60,7 +63,11 @@ impl fmt::Display for CoreError {
             CoreError::Codec(e) => write!(f, "bit-line encoding failed: {e}"),
             CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
             CoreError::TableImage { detail } => write!(f, "malformed table image: {detail}"),
-            CoreError::DecodeMismatch { pc, decoded, expected } => write!(
+            CoreError::DecodeMismatch {
+                pc,
+                decoded,
+                expected,
+            } => write!(
                 f,
                 "fetch decoder produced {decoded:08x} at {pc:08x}, expected {expected:08x}"
             ),
@@ -108,7 +115,11 @@ mod tests {
         let e = CoreError::from(CfgError::EmptyText);
         assert!(e.to_string().contains("control-flow"));
         assert!(e.source().is_some());
-        let e = CoreError::DecodeMismatch { pc: 0x400000, decoded: 1, expected: 2 };
+        let e = CoreError::DecodeMismatch {
+            pc: 0x400000,
+            decoded: 1,
+            expected: 2,
+        };
         assert!(e.to_string().contains("00400000"));
     }
 }

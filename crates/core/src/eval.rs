@@ -111,7 +111,11 @@ pub fn evaluate(
     };
     let summary = cpu.run_with_sink(max_steps, &mut sink)?;
     if let Some((pc, decoded, expected)) = sink.first_mismatch {
-        return Err(CoreError::DecodeMismatch { pc, decoded, expected });
+        return Err(CoreError::DecodeMismatch {
+            pc,
+            decoded,
+            expected,
+        });
     }
     Ok(Evaluation {
         fetches: summary.instructions,
@@ -229,7 +233,10 @@ mod tests {
             eval.per_lane_baseline.iter().sum::<u64>(),
             eval.baseline_transitions
         );
-        assert_eq!(eval.per_lane_encoded.iter().sum::<u64>(), eval.encoded_transitions);
+        assert_eq!(
+            eval.per_lane_encoded.iter().sum::<u64>(),
+            eval.encoded_transitions
+        );
     }
 
     #[test]

@@ -285,7 +285,10 @@ impl<'t> FetchDecoder<'t> {
         block_size: usize,
         overlap: OverlapHistory,
     ) -> Self {
-        assert!((1..=32).contains(&lanes), "lane count {lanes} outside 1..=32");
+        assert!(
+            (1..=32).contains(&lanes),
+            "lane count {lanes} outside 1..=32"
+        );
         assert!(block_size >= 2, "block size must be at least 2");
         // The schedule must have been built for this k: no entry may cover
         // more fetches than a block holds.
@@ -353,7 +356,10 @@ impl<'t> FetchDecoder<'t> {
             self.passthrough_fetches += 1;
             return stored;
         }
-        let entry = self.tt.get(run.tt_index).expect("BBIT points at a valid TT entry");
+        let entry = self
+            .tt
+            .get(run.tt_index)
+            .expect("BBIT points at a valid TT entry");
 
         // Restore lane by lane.
         let mut decoded = 0u32;
@@ -436,14 +442,22 @@ mod tests {
         let mut tt = TransformationTable::new();
         let mut first = None;
         for b in 0..blocks {
-            let lane_transforms =
-                (0..32).map(|lane| enc.lanes()[lane].blocks()[b].transform).collect();
+            let lane_transforms = (0..32)
+                .map(|lane| enc.lanes()[lane].blocks()[b].transform)
+                .collect();
             let covers = enc.lanes()[0].blocks()[b].len;
-            let index = tt.push(TtEntry { lane_transforms, end: b + 1 == blocks, covers });
+            let index = tt.push(TtEntry {
+                lane_transforms,
+                end: b + 1 == blocks,
+                covers,
+            });
             first.get_or_insert(index);
         }
         let mut bbit = Bbit::new();
-        bbit.push(BbitEntry { pc, tt_index: first.unwrap() });
+        bbit.push(BbitEntry {
+            pc,
+            tt_index: first.unwrap(),
+        });
         let stored: Vec<u32> = enc.words().iter().map(|&w| w as u32).collect();
         (tt, bbit, stored)
     }
@@ -482,8 +496,7 @@ mod tests {
 
     #[test]
     fn unencoded_fetches_pass_through() {
-        let (tt, bbit, _) =
-            schedule_for(&[0, 0, 0], 0x0040_0000, 5, OverlapHistory::Stored);
+        let (tt, bbit, _) = schedule_for(&[0, 0, 0], 0x0040_0000, 5, OverlapHistory::Stored);
         let mut dec = FetchDecoder::new(&tt, &bbit, 32, 5, OverlapHistory::Stored);
         // A fetch elsewhere never activates the schedule.
         assert_eq!(dec.on_fetch(0x0040_1000, 0xCAFE_F00D), 0xCAFE_F00D);
@@ -534,9 +547,15 @@ mod tests {
     #[test]
     fn bbit_rejects_duplicate_pcs() {
         let mut bbit = Bbit::new();
-        bbit.push(BbitEntry { pc: 0x0040_0000, tt_index: 0 });
+        bbit.push(BbitEntry {
+            pc: 0x0040_0000,
+            tt_index: 0,
+        });
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            bbit.push(BbitEntry { pc: 0x0040_0000, tt_index: 1 });
+            bbit.push(BbitEntry {
+                pc: 0x0040_0000,
+                tt_index: 1,
+            });
         }));
         assert!(result.is_err());
     }

@@ -2,7 +2,8 @@
 //! capacity-constrained block selection → encoded memory image + TT/BBIT
 //! contents.
 
-use imt_bitcode::lanes::encode_words;
+use imt_bitcode::lanes::{encode_words, width_mask, word_transitions, LaneEncoding};
+use imt_bitcode::par::par_map;
 use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
 use imt_cfg::{block_weights, hot_loops, BlockId, Cfg};
 use imt_isa::program::Program;
@@ -94,9 +95,17 @@ impl EncodedProgram {
     }
 }
 
-/// Counts within-segment bus transitions of a word slice.
-fn segment_transitions(words: &[u32]) -> u64 {
-    words.windows(2).map(|p| (p[0] ^ p[1]).count_ones() as u64).sum()
+/// A candidate block's encoding, computed before (and independently of)
+/// the capacity-constrained selection pass.
+enum PreparedCandidate {
+    /// Block never executed in the profile; nothing to encode.
+    Cold,
+    Encoded {
+        lane_encoding: LaneEncoding,
+        encoded_words: Vec<u32>,
+        original_transitions: u64,
+        encoded_transitions: u64,
+    },
 }
 
 /// Runs the full pipeline: CFG recovery, hot-loop ranking, greedy
@@ -168,25 +177,57 @@ pub fn encode_program(
             .with_strategy(config.strategy()),
     );
 
+    // Encoding a candidate depends only on its own words, so all
+    // candidates encode in parallel; the capacity-constrained selection
+    // below stays serial in candidate (weight) order, which keeps the
+    // TT/BBIT allocation — and thus the whole image — bit-identical to a
+    // serial run.
+    let bus_mask = width_mask(BUS_WIDTH);
+    let prepared: Vec<Result<PreparedCandidate, CoreError>> =
+        par_map(&candidates, 1, |_, &block_id| {
+            if weights[block_id.0] == 0 {
+                return Ok(PreparedCandidate::Cold);
+            }
+            let block = cfg.block(block_id);
+            let words = &program.text[block.range()];
+            let wide: Vec<u64> = words.iter().map(|&w| w as u64).collect();
+            let lane_encoding = encode_words(&wide, BUS_WIDTH, &codec).map_err(CoreError::Codec)?;
+            let encoded_words: Vec<u32> = lane_encoding.words().iter().map(|&w| w as u32).collect();
+            Ok(PreparedCandidate::Encoded {
+                original_transitions: word_transitions(&wide, bus_mask),
+                encoded_transitions: word_transitions(lane_encoding.words(), bus_mask),
+                lane_encoding,
+                encoded_words,
+            })
+        });
+
     let mut text = program.text.clone();
     let mut tt = TransformationTable::new();
     let mut bbit = Bbit::new();
     let mut encoded = Vec::new();
     let mut demoted = Vec::new();
 
-    for block_id in candidates {
+    for (block_id, prepared) in candidates.into_iter().zip(prepared) {
         let block = cfg.block(block_id);
         let weight = weights[block_id.0];
-        if weight == 0 {
-            demoted.push((block_id, DemotionReason::ColdBlock));
-            continue;
-        }
-        let words = &program.text[block.range()];
-        let wide: Vec<u64> = words.iter().map(|&w| w as u64).collect();
-        let lane_encoding = encode_words(&wide, BUS_WIDTH, &codec).map_err(CoreError::Codec)?;
-        let encoded_words: Vec<u32> = lane_encoding.words().iter().map(|&w| w as u32).collect();
-        let original_transitions = segment_transitions(words);
-        let encoded_transitions = segment_transitions(&encoded_words);
+        let (lane_encoding, encoded_words, original_transitions, encoded_transitions) =
+            match prepared? {
+                PreparedCandidate::Cold => {
+                    demoted.push((block_id, DemotionReason::ColdBlock));
+                    continue;
+                }
+                PreparedCandidate::Encoded {
+                    lane_encoding,
+                    encoded_words,
+                    original_transitions,
+                    encoded_transitions,
+                } => (
+                    lane_encoding,
+                    encoded_words,
+                    original_transitions,
+                    encoded_transitions,
+                ),
+            };
         if encoded_transitions >= original_transitions {
             demoted.push((block_id, DemotionReason::NoSaving));
             continue;
@@ -209,10 +250,17 @@ pub fn encode_program(
                 .map(|lane| lane_encoding.lanes()[lane].blocks()[position].transform)
                 .collect();
             let covers = lane_encoding.lanes()[0].blocks()[position].len;
-            tt.push(TtEntry { lane_transforms, end: position + 1 == tt_count, covers });
+            tt.push(TtEntry {
+                lane_transforms,
+                end: position + 1 == tt_count,
+                covers,
+            });
         }
         let start_pc = cfg.block_address(block_id);
-        bbit.push(BbitEntry { pc: start_pc, tt_index: tt_first });
+        bbit.push(BbitEntry {
+            pc: start_pc,
+            tt_index: tt_first,
+        });
         text[block.range()].copy_from_slice(&encoded_words);
         encoded.push(EncodedBlockInfo {
             block: block_id,
@@ -273,8 +321,7 @@ mod tests {
     #[test]
     fn encodes_the_hot_loop() {
         let (program, profile) = profiled(LOOP_PROGRAM);
-        let encoded =
-            encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
+        let encoded = encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
         assert_eq!(encoded.report.encoded.len(), 1);
         let info = &encoded.report.encoded[0];
         assert_eq!(info.instructions, 6); // the loop body block
@@ -324,7 +371,9 @@ mod tests {
             syscall
     "#;
         let (program, profile) = profiled(source);
-        let config = EncoderConfig::default().with_bbit_capacity(1).with_max_loops(4);
+        let config = EncoderConfig::default()
+            .with_bbit_capacity(1)
+            .with_max_loops(4);
         let encoded = encode_program(&program, &profile, &config).unwrap();
         assert_eq!(encoded.report.encoded.len(), 1);
         // loop1 runs 300 times and must win.
@@ -346,8 +395,7 @@ mod tests {
     #[test]
     fn no_loops_means_no_encoding() {
         let (program, profile) = profiled(".text\nmain: li $t0, 1\nli $v0, 10\nsyscall\n");
-        let encoded =
-            encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
+        let encoded = encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
         assert!(encoded.report.encoded.is_empty());
         assert_eq!(encoded.text, program.text);
         assert_eq!(encoded.static_saved_transitions(), 0);
@@ -374,8 +422,7 @@ mod tests {
             jr   $ra
     "#;
         let (program, profile) = profiled(source);
-        let without =
-            encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
+        let without = encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
         let with = encode_program(
             &program,
             &profile,
@@ -398,8 +445,7 @@ mod tests {
     #[test]
     fn static_saved_transitions_accumulates() {
         let (program, profile) = profiled(LOOP_PROGRAM);
-        let encoded =
-            encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
+        let encoded = encode_program(&program, &profile, &EncoderConfig::default()).unwrap();
         let info = &encoded.report.encoded[0];
         assert_eq!(
             encoded.static_saved_transitions(),

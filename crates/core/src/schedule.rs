@@ -67,8 +67,12 @@ pub fn schedule_program(
     );
 
     let mut scheduled = program.clone();
-    let mut report =
-        ScheduleReport { considered: 0, reordered: 0, encoded_before: 0, encoded_after: 0 };
+    let mut report = ScheduleReport {
+        considered: 0,
+        reordered: 0,
+        encoded_before: 0,
+        encoded_after: 0,
+    };
     let mut done = std::collections::BTreeSet::new();
     for l in loops.iter().take(config.max_loops()) {
         for &block_id in &l.natural_loop.body {
@@ -124,7 +128,10 @@ fn reorder_block(words: &[u32]) -> Result<Vec<u32>, CoreError> {
         .map(|&w| decode(w).map(Effects::of))
         .collect::<Result<_, _>>()
         .map_err(|e| {
-            CoreError::Cfg(imt_cfg::CfgError::InvalidInstruction { index: 0, word: e.word })
+            CoreError::Cfg(imt_cfg::CfgError::InvalidInstruction {
+                index: 0,
+                word: e.word,
+            })
         })?;
 
     // Dependence edges: i -> j (i before j) for every original pair with a
@@ -135,8 +142,7 @@ fn reorder_block(words: &[u32]) -> Result<Vec<u32>, CoreError> {
     let pinned_last = effects[n - 1].control || effects[n - 1].barrier;
     for i in 0..n {
         for j in i + 1..n {
-            let ordered = effects[i].must_precede(&effects[j])
-                || (pinned_last && j == n - 1);
+            let ordered = effects[i].must_precede(&effects[j]) || (pinned_last && j == n - 1);
             if ordered {
                 successors[i].push(j);
                 predecessors[j] += 1;
@@ -203,7 +209,10 @@ mod tests {
         .unwrap();
         let reordered = reorder_block(&program.text).unwrap();
         let pos = |w: u32| reordered.iter().position(|&x| x == w).unwrap();
-        assert!(pos(program.text[0]) < pos(program.text[1]), "lui before ori");
+        assert!(
+            pos(program.text[0]) < pos(program.text[1]),
+            "lui before ori"
+        );
         assert_eq!(*reordered.last().unwrap(), program.text[4], "jr stays last");
         // Same multiset of words.
         let mut a = reordered.clone();
@@ -261,13 +270,11 @@ mod tests {
         let mut cpu = Cpu::new(&program).unwrap();
         cpu.run(spec.max_steps).unwrap();
         let config = EncoderConfig::default();
-        let (scheduled, _) =
-            schedule_program(&program, cpu.profile(), &config).unwrap();
+        let (scheduled, _) = schedule_program(&program, cpu.profile(), &config).unwrap();
         // Re-profile the scheduled program (same counts, but indices moved).
         let mut cpu = Cpu::new(&scheduled).unwrap();
         cpu.run(spec.max_steps).unwrap();
-        let encoded =
-            crate::pipeline::encode_program(&scheduled, cpu.profile(), &config).unwrap();
+        let encoded = crate::pipeline::encode_program(&scheduled, cpu.profile(), &config).unwrap();
         let eval = crate::eval::evaluate(&scheduled, &encoded, spec.max_steps).unwrap();
         assert_eq!(eval.decode_mismatches, 0);
         assert_eq!(eval.stdout, spec.expected_output);

@@ -68,7 +68,9 @@ impl BitReader<'_> {
             let byte = self.position / 8;
             let bit = self.position % 8;
             let Some(&b) = self.bytes.get(byte) else {
-                return Err(CoreError::TableImage { detail: "truncated image" });
+                return Err(CoreError::TableImage {
+                    detail: "truncated image",
+                });
             };
             value |= u64::from(b >> bit & 1) << i;
             self.position += 1;
@@ -102,16 +104,23 @@ pub fn pack_tables(encoded: &EncodedProgram) -> Result<Vec<u8>, CoreError> {
     w.push(lanes as u64, 8);
     w.push(control_bits as u64, 8);
     w.push(encoded.config.block_size() as u64, 8);
-    w.push(matches!(encoded.config.overlap(), OverlapHistory::Decoded) as u64, 8);
+    w.push(
+        matches!(encoded.config.overlap(), OverlapHistory::Decoded) as u64,
+        8,
+    );
     w.push(encoded.tt.len() as u64, 16);
     w.push(encoded.bbit.len() as u64, 16);
     w.align();
 
     for entry in encoded.tt.entries() {
         for &transform in &entry.lane_transforms {
-            let index = members.iter().position(|&t| t == transform).ok_or(
-                CoreError::TableImage { detail: "transform outside the configured set" },
-            )?;
+            let index =
+                members
+                    .iter()
+                    .position(|&t| t == transform)
+                    .ok_or(CoreError::TableImage {
+                        detail: "transform outside the configured set",
+                    })?;
             w.push(index as u64, control_bits);
         }
         w.push(entry.end as u64, 1);
@@ -154,17 +163,24 @@ pub fn unpack_tables(bytes: &[u8], set: TransformSet) -> Result<UnpackedTables, 
     let members: Vec<Transform> = set.iter().collect();
     let mut r = BitReader { bytes, position: 0 };
     if r.pull(32)? != u64::from(MAGIC) {
-        return Err(CoreError::TableImage { detail: "bad magic" });
+        return Err(CoreError::TableImage {
+            detail: "bad magic",
+        });
     }
     let lanes = r.pull(8)? as usize;
     let control_bits = r.pull(8)? as usize;
     let block_size = r.pull(8)? as usize;
-    let overlap =
-        if r.pull(8)? == 1 { OverlapHistory::Decoded } else { OverlapHistory::Stored };
+    let overlap = if r.pull(8)? == 1 {
+        OverlapHistory::Decoded
+    } else {
+        OverlapHistory::Stored
+    };
     let tt_count = r.pull(16)? as usize;
     let bbit_count = r.pull(16)? as usize;
     if control_bits != set.control_bits().max(1) as usize {
-        return Err(CoreError::TableImage { detail: "selector width does not match the set" });
+        return Err(CoreError::TableImage {
+            detail: "selector width does not match the set",
+        });
     }
     r.align();
 
@@ -180,7 +196,11 @@ pub fn unpack_tables(bytes: &[u8], set: TransformSet) -> Result<UnpackedTables, 
         }
         let end = r.pull(1)? == 1;
         let covers = r.pull(8)? as usize;
-        tt.push(TtEntry { lane_transforms, end, covers });
+        tt.push(TtEntry {
+            lane_transforms,
+            end,
+            covers,
+        });
     }
     r.align();
 
@@ -189,11 +209,18 @@ pub fn unpack_tables(bytes: &[u8], set: TransformSet) -> Result<UnpackedTables, 
         let pc = r.pull(32)? as u32;
         let tt_index = r.pull(16)? as usize;
         if tt_index >= tt.len().max(1) && tt_count > 0 {
-            return Err(CoreError::TableImage { detail: "BBIT index outside the TT" });
+            return Err(CoreError::TableImage {
+                detail: "BBIT index outside the TT",
+            });
         }
         bbit.push(BbitEntry { pc, tt_index });
     }
-    Ok(UnpackedTables { tt, bbit, block_size, overlap })
+    Ok(UnpackedTables {
+        tt,
+        bbit,
+        block_size,
+        overlap,
+    })
 }
 
 #[cfg(test)]
@@ -285,7 +312,9 @@ mod tests {
         bad[0] ^= 0xFF;
         assert!(matches!(
             unpack_tables(&bad, set),
-            Err(CoreError::TableImage { detail: "bad magic" })
+            Err(CoreError::TableImage {
+                detail: "bad magic"
+            })
         ));
         // Truncation.
         assert!(unpack_tables(&image[..image.len() - 4], set).is_err());

@@ -86,7 +86,12 @@ enum Slot {
     /// Fully encoded already.
     Ready(Inst),
     /// PC-relative branch to a label; `make` receives the resolved offset.
-    Branch { label: String, make: fn(Reg, Reg, i16) -> Inst, rs: Reg, rt: Reg },
+    Branch {
+        label: String,
+        make: fn(Reg, Reg, i16) -> Inst,
+        rs: Reg,
+        rt: Reg,
+    },
     /// `bc1t`/`bc1f` to a label.
     BranchC1 { label: String, taken: bool },
     /// `j`/`jal` to a label.
@@ -141,8 +146,10 @@ impl Assembler {
 
     /// Finds or creates the literal-pool entry for `bits` of `size` bytes.
     fn pool_label(&mut self, bits: u64, size: usize) -> String {
-        if let Some((_, _, label)) =
-            self.literal_pool.iter().find(|(b, s, _)| *b == bits && *s == size)
+        if let Some((_, _, label)) = self
+            .literal_pool
+            .iter()
+            .find(|(b, s, _)| *b == bits && *s == size)
         {
             return label.clone();
         }
@@ -304,7 +311,10 @@ impl Assembler {
                 for item in split_args(args) {
                     if let Ok(v) = parse_int(&item, line) {
                         if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
-                            return Err(AsmError::new(line, format!("word value {v} out of range")));
+                            return Err(AsmError::new(
+                                line,
+                                format!("word value {v} out of range"),
+                            ));
                         }
                         self.data.extend((v as u32).to_le_bytes());
                     } else if is_identifier(&item) {
@@ -327,7 +337,12 @@ impl Assembler {
                         })?;
                         self.text.push((Slot::Ready(inst), line));
                     } else if is_identifier(&item) {
-                        self.text.push((Slot::WordSym { label: item.clone() }, line));
+                        self.text.push((
+                            Slot::WordSym {
+                                label: item.clone(),
+                            },
+                            line,
+                        ));
                     } else {
                         return Err(AsmError::new(line, format!("invalid word `{item}`")));
                     }
@@ -351,8 +366,10 @@ impl Assembler {
             Some(pos) => (&text[..pos], text[pos..].trim()),
             None => (text, ""),
         };
-        let args: Vec<String> =
-            split_args(rest).into_iter().map(|arg| self.substitute_constants(arg)).collect();
+        let args: Vec<String> = split_args(rest)
+            .into_iter()
+            .map(|arg| self.substitute_constants(arg))
+            .collect();
         let a = Operands { args: &args, line };
         self.dispatch(mnemonic, a, line)
     }
@@ -400,7 +417,10 @@ impl Assembler {
                 let sh = a.imm(2)?;
                 a.exactly(3)?;
                 if !(0..32).contains(&sh) {
-                    return Err(AsmError::new(line, format!("shift amount {sh} out of range")));
+                    return Err(AsmError::new(
+                        line,
+                        format!("shift amount {sh} out of range"),
+                    ));
                 }
                 let shamt = sh as u8;
                 let inst = match m {
@@ -424,25 +444,62 @@ impl Assembler {
             "mult" | "multu" => {
                 let (rs, rt) = (a.reg(0)?, a.reg(1)?);
                 a.exactly(2)?;
-                self.push(if m == "mult" { Mult { rs, rt } } else { Multu { rs, rt } }, line);
+                self.push(
+                    if m == "mult" {
+                        Mult { rs, rt }
+                    } else {
+                        Multu { rs, rt }
+                    },
+                    line,
+                );
             }
             "div" | "divu" if a.len() == 2 => {
                 let (rs, rt) = (a.reg(0)?, a.reg(1)?);
-                self.push(if m == "div" { Div { rs, rt } } else { Divu { rs, rt } }, line);
+                self.push(
+                    if m == "div" {
+                        Div { rs, rt }
+                    } else {
+                        Divu { rs, rt }
+                    },
+                    line,
+                );
             }
             "div" | "divu" | "rem" | "remu" => {
                 // Three-operand pseudo: div/rem rd, rs, rt.
                 let (rd, rs, rt) = (a.reg(0)?, a.reg(1)?, a.reg(2)?);
                 a.exactly(3)?;
                 let signed = !m.ends_with('u');
-                self.push(if signed { Div { rs, rt } } else { Divu { rs, rt } }, line);
+                self.push(
+                    if signed {
+                        Div { rs, rt }
+                    } else {
+                        Divu { rs, rt }
+                    },
+                    line,
+                );
                 let takes_lo = m.starts_with("div");
                 self.push(if takes_lo { Mflo { rd } } else { Mfhi { rd } }, line);
             }
-            "mfhi" => { let rd = a.reg(0)?; a.exactly(1)?; self.push(Mfhi { rd }, line); }
-            "mflo" => { let rd = a.reg(0)?; a.exactly(1)?; self.push(Mflo { rd }, line); }
-            "mthi" => { let rs = a.reg(0)?; a.exactly(1)?; self.push(Mthi { rs }, line); }
-            "mtlo" => { let rs = a.reg(0)?; a.exactly(1)?; self.push(Mtlo { rs }, line); }
+            "mfhi" => {
+                let rd = a.reg(0)?;
+                a.exactly(1)?;
+                self.push(Mfhi { rd }, line);
+            }
+            "mflo" => {
+                let rd = a.reg(0)?;
+                a.exactly(1)?;
+                self.push(Mflo { rd }, line);
+            }
+            "mthi" => {
+                let rs = a.reg(0)?;
+                a.exactly(1)?;
+                self.push(Mthi { rs }, line);
+            }
+            "mtlo" => {
+                let rs = a.reg(0)?;
+                a.exactly(1)?;
+                self.push(Mtlo { rs }, line);
+            }
             // I-format arithmetic.
             "addi" | "addiu" | "slti" | "sltiu" => {
                 let (rt, rs) = (a.reg(0)?, a.reg(1)?);
@@ -451,7 +508,11 @@ impl Assembler {
                     if let Some((reloc, label, offset)) = parse_reloc(a.raw(2)?, line)? {
                         self.text.push((
                             Slot::RelocImm {
-                                make: |rt, rs, imm| Inst::Addiu { rt, rs, imm: imm as i16 },
+                                make: |rt, rs, imm| Inst::Addiu {
+                                    rt,
+                                    rs,
+                                    imm: imm as i16,
+                                },
                                 a: rt,
                                 b: rs,
                                 reloc,
@@ -517,24 +578,52 @@ impl Assembler {
                     return Ok(());
                 }
                 let imm = a.imm(1)?;
-                self.push(Lui { rt, imm: unsigned16(imm, line)? }, line);
+                self.push(
+                    Lui {
+                        rt,
+                        imm: unsigned16(imm, line)?,
+                    },
+                    line,
+                );
             }
             // Branches.
             "beq" | "bne" => {
                 let (rs, rt) = (a.reg(0)?, a.reg(1)?);
                 let label = a.label(2)?;
                 a.exactly(3)?;
-                let make: fn(Reg, Reg, i16) -> Inst =
-                    if m == "beq" { |rs, rt, o| Beq { rs, rt, offset: o } } else { |rs, rt, o| Bne { rs, rt, offset: o } };
-                self.text.push((Slot::Branch { label, make, rs, rt }, line));
+                let make: fn(Reg, Reg, i16) -> Inst = if m == "beq" {
+                    |rs, rt, o| Beq { rs, rt, offset: o }
+                } else {
+                    |rs, rt, o| Bne { rs, rt, offset: o }
+                };
+                self.text.push((
+                    Slot::Branch {
+                        label,
+                        make,
+                        rs,
+                        rt,
+                    },
+                    line,
+                ));
             }
             "beqz" | "bnez" => {
                 let rs = a.reg(0)?;
                 let label = a.label(1)?;
                 a.exactly(2)?;
-                let make: fn(Reg, Reg, i16) -> Inst =
-                    if m == "beqz" { |rs, rt, o| Beq { rs, rt, offset: o } } else { |rs, rt, o| Bne { rs, rt, offset: o } };
-                self.text.push((Slot::Branch { label, make, rs, rt: Reg::ZERO }, line));
+                let make: fn(Reg, Reg, i16) -> Inst = if m == "beqz" {
+                    |rs, rt, o| Beq { rs, rt, offset: o }
+                } else {
+                    |rs, rt, o| Bne { rs, rt, offset: o }
+                };
+                self.text.push((
+                    Slot::Branch {
+                        label,
+                        make,
+                        rs,
+                        rt: Reg::ZERO,
+                    },
+                    line,
+                ));
             }
             "blez" | "bgtz" | "bltz" | "bgez" => {
                 let rs = a.reg(0)?;
@@ -546,7 +635,15 @@ impl Assembler {
                     "bltz" => |rs, _, o| Bltz { rs, offset: o },
                     _ => |rs, _, o| Bgez { rs, offset: o },
                 };
-                self.text.push((Slot::Branch { label, make, rs, rt: Reg::ZERO }, line));
+                self.text.push((
+                    Slot::Branch {
+                        label,
+                        make,
+                        rs,
+                        rt: Reg::ZERO,
+                    },
+                    line,
+                ));
             }
             "b" => {
                 let label = a.label(0)?;
@@ -579,9 +676,17 @@ impl Assembler {
                     _ => ((rt, rs), false),
                 };
                 let slt = if unsigned {
-                    Sltu { rd: Reg::AT, rs: first.0, rt: first.1 }
+                    Sltu {
+                        rd: Reg::AT,
+                        rs: first.0,
+                        rt: first.1,
+                    }
                 } else {
-                    Slt { rd: Reg::AT, rs: first.0, rt: first.1 }
+                    Slt {
+                        rd: Reg::AT,
+                        rs: first.0,
+                        rt: first.1,
+                    }
                 };
                 self.push(slt, line);
                 let make: fn(Reg, Reg, i16) -> Inst = if second {
@@ -589,23 +694,53 @@ impl Assembler {
                 } else {
                     |rs, rt, o| Beq { rs, rt, offset: o }
                 };
-                self.text.push((Slot::Branch { label, make, rs: Reg::AT, rt: Reg::ZERO }, line));
+                self.text.push((
+                    Slot::Branch {
+                        label,
+                        make,
+                        rs: Reg::AT,
+                        rt: Reg::ZERO,
+                    },
+                    line,
+                ));
             }
             "bc1t" | "bc1f" => {
                 let label = a.label(0)?;
                 a.exactly(1)?;
-                self.text.push((Slot::BranchC1 { label, taken: m == "bc1t" }, line));
+                self.text.push((
+                    Slot::BranchC1 {
+                        label,
+                        taken: m == "bc1t",
+                    },
+                    line,
+                ));
             }
             "j" | "jal" => {
                 let label = a.label(0)?;
                 a.exactly(1)?;
-                self.text.push((Slot::Jump { label, link: m == "jal" }, line));
+                self.text.push((
+                    Slot::Jump {
+                        label,
+                        link: m == "jal",
+                    },
+                    line,
+                ));
             }
-            "jr" => { let rs = a.reg(0)?; a.exactly(1)?; self.push(Jr { rs }, line); }
+            "jr" => {
+                let rs = a.reg(0)?;
+                a.exactly(1)?;
+                self.push(Jr { rs }, line);
+            }
             "jalr" => {
                 // jalr rs  or  jalr rd, rs
                 if a.len() == 1 {
-                    self.push(Jalr { rd: Reg::RA, rs: a.reg(0)? }, line);
+                    self.push(
+                        Jalr {
+                            rd: Reg::RA,
+                            rs: a.reg(0)?,
+                        },
+                        line,
+                    );
                 } else {
                     let (rd, rs) = (a.reg(0)?, a.reg(1)?);
                     a.exactly(2)?;
@@ -618,14 +753,46 @@ impl Assembler {
                 let rt = a.reg(0)?;
                 a.exactly(2)?;
                 let make: fn(Reg, Reg, u16) -> Inst = match m {
-                    "lb" => |rt, base, lo| Lb { rt, base, offset: lo as i16 },
-                    "lbu" => |rt, base, lo| Lbu { rt, base, offset: lo as i16 },
-                    "lh" => |rt, base, lo| Lh { rt, base, offset: lo as i16 },
-                    "lhu" => |rt, base, lo| Lhu { rt, base, offset: lo as i16 },
-                    "lw" => |rt, base, lo| Lw { rt, base, offset: lo as i16 },
-                    "sb" => |rt, base, lo| Sb { rt, base, offset: lo as i16 },
-                    "sh" => |rt, base, lo| Sh { rt, base, offset: lo as i16 },
-                    _ => |rt, base, lo| Sw { rt, base, offset: lo as i16 },
+                    "lb" => |rt, base, lo| Lb {
+                        rt,
+                        base,
+                        offset: lo as i16,
+                    },
+                    "lbu" => |rt, base, lo| Lbu {
+                        rt,
+                        base,
+                        offset: lo as i16,
+                    },
+                    "lh" => |rt, base, lo| Lh {
+                        rt,
+                        base,
+                        offset: lo as i16,
+                    },
+                    "lhu" => |rt, base, lo| Lhu {
+                        rt,
+                        base,
+                        offset: lo as i16,
+                    },
+                    "lw" => |rt, base, lo| Lw {
+                        rt,
+                        base,
+                        offset: lo as i16,
+                    },
+                    "sb" => |rt, base, lo| Sb {
+                        rt,
+                        base,
+                        offset: lo as i16,
+                    },
+                    "sh" => |rt, base, lo| Sh {
+                        rt,
+                        base,
+                        offset: lo as i16,
+                    },
+                    _ => |rt, base, lo| Sw {
+                        rt,
+                        base,
+                        offset: lo as i16,
+                    },
                 };
                 let operand = a.raw(1)?;
                 if !operand.contains('(') && Reg::from_name(operand).is_none() {
@@ -643,7 +810,14 @@ impl Assembler {
                         line,
                     ));
                     self.text.push((
-                        Slot::RelocImm { make, a: rt, b: Reg::AT, reloc: Reloc::Low, label, offset },
+                        Slot::RelocImm {
+                            make,
+                            a: rt,
+                            b: Reg::AT,
+                            reloc: Reloc::Low,
+                            label,
+                            offset,
+                        },
                         line,
                     ));
                 } else {
@@ -657,7 +831,10 @@ impl Assembler {
                 a.exactly(2)?;
                 let double = matches!(m, "ldc1" | "sdc1" | "l.d" | "s.d");
                 if double && !ft.is_even() {
-                    return Err(AsmError::new(line, format!("{ft} is odd; doubles need an even register")));
+                    return Err(AsmError::new(
+                        line,
+                        format!("{ft} is odd; doubles need an even register"),
+                    ));
                 }
                 let inst = match m {
                     "lwc1" | "l.s" => Lwc1 { ft, base, offset },
@@ -696,7 +873,10 @@ impl Assembler {
                 let (fd, fs) = (a.freg(0)?, a.freg(1)?);
                 a.exactly(2)?;
                 if !fd.is_even() {
-                    return Err(AsmError::new(line, format!("{fd} is odd; doubles need an even register")));
+                    return Err(AsmError::new(
+                        line,
+                        format!("{fd} is odd; doubles need an even register"),
+                    ));
                 }
                 self.push(CvtDW { fd, fs }, line);
             }
@@ -704,7 +884,10 @@ impl Assembler {
                 let (fd, fs) = (a.freg(0)?, a.freg(1)?);
                 a.exactly(2)?;
                 if !fs.is_even() {
-                    return Err(AsmError::new(line, format!("{fs} is odd; doubles need an even register")));
+                    return Err(AsmError::new(
+                        line,
+                        format!("{fs} is odd; doubles need an even register"),
+                    ));
                 }
                 self.push(CvtWD { fd, fs }, line);
             }
@@ -730,28 +913,65 @@ impl Assembler {
                 self.push(Mtc1 { rt, fs }, line);
             }
             // System and pseudo.
-            "syscall" => { a.exactly(0)?; self.push(Syscall, line); }
-            "break" => { a.exactly(0)?; self.push(Break, line); }
-            "nop" => { a.exactly(0)?; self.push(Inst::NOP, line); }
+            "syscall" => {
+                a.exactly(0)?;
+                self.push(Syscall, line);
+            }
+            "break" => {
+                a.exactly(0)?;
+                self.push(Break, line);
+            }
+            "nop" => {
+                a.exactly(0)?;
+                self.push(Inst::NOP, line);
+            }
             "move" => {
                 let (rd, rs) = (a.reg(0)?, a.reg(1)?);
                 a.exactly(2)?;
-                self.push(Addu { rd, rs, rt: Reg::ZERO }, line);
+                self.push(
+                    Addu {
+                        rd,
+                        rs,
+                        rt: Reg::ZERO,
+                    },
+                    line,
+                );
             }
             "neg" => {
                 let (rd, rs) = (a.reg(0)?, a.reg(1)?);
                 a.exactly(2)?;
-                self.push(Sub { rd, rs: Reg::ZERO, rt: rs }, line);
+                self.push(
+                    Sub {
+                        rd,
+                        rs: Reg::ZERO,
+                        rt: rs,
+                    },
+                    line,
+                );
             }
             "negu" => {
                 let (rd, rs) = (a.reg(0)?, a.reg(1)?);
                 a.exactly(2)?;
-                self.push(Subu { rd, rs: Reg::ZERO, rt: rs }, line);
+                self.push(
+                    Subu {
+                        rd,
+                        rs: Reg::ZERO,
+                        rt: rs,
+                    },
+                    line,
+                );
             }
             "not" => {
                 let (rd, rs) = (a.reg(0)?, a.reg(1)?);
                 a.exactly(2)?;
-                self.push(Nor { rd, rs, rt: Reg::ZERO }, line);
+                self.push(
+                    Nor {
+                        rd,
+                        rs,
+                        rt: Reg::ZERO,
+                    },
+                    line,
+                );
             }
             "li" => {
                 let rd = a.reg(0)?;
@@ -856,19 +1076,49 @@ impl Assembler {
     fn expand_li(&mut self, rd: Reg, value: i64, line: usize) -> Result<(), AsmError> {
         use Inst::*;
         if !(-(1i64 << 31)..(1i64 << 32)).contains(&value) {
-            return Err(AsmError::new(line, format!("li value {value} does not fit in 32 bits")));
+            return Err(AsmError::new(
+                line,
+                format!("li value {value} does not fit in 32 bits"),
+            ));
         }
         let v = value;
         if (-32768..=32767).contains(&v) {
-            self.push(Addiu { rt: rd, rs: Reg::ZERO, imm: v as i16 }, line);
+            self.push(
+                Addiu {
+                    rt: rd,
+                    rs: Reg::ZERO,
+                    imm: v as i16,
+                },
+                line,
+            );
         } else if (0..=0xFFFF).contains(&v) {
-            self.push(Ori { rt: rd, rs: Reg::ZERO, imm: v as u16 }, line);
+            self.push(
+                Ori {
+                    rt: rd,
+                    rs: Reg::ZERO,
+                    imm: v as u16,
+                },
+                line,
+            );
         } else {
             let bits = v as u32;
-            self.push(Lui { rt: rd, imm: (bits >> 16) as u16 }, line);
+            self.push(
+                Lui {
+                    rt: rd,
+                    imm: (bits >> 16) as u16,
+                },
+                line,
+            );
             let lo = (bits & 0xFFFF) as u16;
             if lo != 0 {
-                self.push(Ori { rt: rd, rs: rd, imm: lo }, line);
+                self.push(
+                    Ori {
+                        rt: rd,
+                        rs: rd,
+                        imm: lo,
+                    },
+                    line,
+                );
             }
         }
         Ok(())
@@ -893,7 +1143,13 @@ impl Assembler {
                 }
             }
         }
-        let Assembler { text, mut data, symbols, data_fixups, .. } = self;
+        let Assembler {
+            text,
+            mut data,
+            symbols,
+            data_fixups,
+            ..
+        } = self;
         let mut words = Vec::with_capacity(text.len());
         let mut source_lines = Vec::with_capacity(text.len());
         let lookup = |label: &str, line: usize| -> Result<u32, AsmError> {
@@ -907,14 +1163,23 @@ impl Assembler {
             let line = *line;
             let word = match slot {
                 Slot::Ready(inst) => encode(*inst),
-                Slot::Branch { label, make, rs, rt } => {
+                Slot::Branch {
+                    label,
+                    make,
+                    rs,
+                    rt,
+                } => {
                     let target = lookup(label, line)?;
                     encode(make(*rs, *rt, branch_offset(pc, target, line)?))
                 }
                 Slot::BranchC1 { label, taken } => {
                     let target = lookup(label, line)?;
                     let offset = branch_offset(pc, target, line)?;
-                    encode(if *taken { Inst::Bc1t { offset } } else { Inst::Bc1f { offset } })
+                    encode(if *taken {
+                        Inst::Bc1t { offset }
+                    } else {
+                        Inst::Bc1f { offset }
+                    })
                 }
                 Slot::Jump { label, link } => {
                     let target = lookup(label, line)?;
@@ -922,9 +1187,20 @@ impl Assembler {
                         return Err(AsmError::new(line, "jump target is not word-aligned"));
                     }
                     let field = (target >> 2) & 0x03FF_FFFF;
-                    encode(if *link { Inst::Jal { target: field } } else { Inst::J { target: field } })
+                    encode(if *link {
+                        Inst::Jal { target: field }
+                    } else {
+                        Inst::J { target: field }
+                    })
                 }
-                Slot::RelocImm { make, a, b, reloc, label, offset } => {
+                Slot::RelocImm {
+                    make,
+                    a,
+                    b,
+                    reloc,
+                    label,
+                    offset,
+                } => {
                     let address = lookup(label, line)?.wrapping_add(*offset as u32);
                     encode(make(*a, *b, reloc.apply(address)))
                 }
@@ -955,27 +1231,42 @@ fn branch_offset(pc: u32, target: u32, line: usize) -> Result<i16, AsmError> {
         return Err(AsmError::new(line, "branch target is not word-aligned"));
     }
     let delta = (i64::from(target) - i64::from(pc) - 4) / 4;
-    i16::try_from(delta)
-        .map_err(|_| AsmError::new(line, format!("branch target {delta} instructions away is out of range")))
+    i16::try_from(delta).map_err(|_| {
+        AsmError::new(
+            line,
+            format!("branch target {delta} instructions away is out of range"),
+        )
+    })
 }
 
 fn check_even(regs: &[FReg], line: usize) -> Result<(), AsmError> {
     for r in regs {
         if !r.is_even() {
-            return Err(AsmError::new(line, format!("{r} is odd; doubles need an even register")));
+            return Err(AsmError::new(
+                line,
+                format!("{r} is odd; doubles need an even register"),
+            ));
         }
     }
     Ok(())
 }
 
 fn signed16(value: i64, line: usize) -> Result<i16, AsmError> {
-    i16::try_from(value)
-        .map_err(|_| AsmError::new(line, format!("immediate {value} does not fit in 16 signed bits")))
+    i16::try_from(value).map_err(|_| {
+        AsmError::new(
+            line,
+            format!("immediate {value} does not fit in 16 signed bits"),
+        )
+    })
 }
 
 fn unsigned16(value: i64, line: usize) -> Result<u16, AsmError> {
-    u16::try_from(value)
-        .map_err(|_| AsmError::new(line, format!("immediate {value} does not fit in 16 unsigned bits")))
+    u16::try_from(value).map_err(|_| {
+        AsmError::new(
+            line,
+            format!("immediate {value} does not fit in 16 unsigned bits"),
+        )
+    })
 }
 
 // ---- lexical helpers ----
@@ -1023,7 +1314,10 @@ fn parse_reloc(text: &str, line: usize) -> Result<Option<(Reloc, String, i32)>, 
     } else if let Some(body) = rest.strip_prefix("lo(") {
         (Reloc::Low, body)
     } else {
-        return Err(AsmError::new(line, format!("unknown relocation operator `{text}`")));
+        return Err(AsmError::new(
+            line,
+            format!("unknown relocation operator `{text}`"),
+        ));
     };
     let inner = body
         .strip_suffix(')')
@@ -1043,15 +1337,21 @@ fn parse_reloc(text: &str, line: usize) -> Result<Option<(Reloc, String, i32)>, 
         }
     }
     if !is_identifier(inner) {
-        return Err(AsmError::new(line, format!("invalid relocation target `{inner}`")));
+        return Err(AsmError::new(
+            line,
+            format!("invalid relocation target `{inner}`"),
+        ));
     }
     Ok(Some((reloc, inner.to_string(), 0)))
 }
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 /// Splits an operand list on commas that are outside string literals.
@@ -1086,14 +1386,15 @@ fn parse_int(text: &str, line: usize) -> Result<i64, AsmError> {
         Some(rest) => (true, rest),
         None => (false, text),
     };
-    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
-        i64::from_str_radix(hex, 16)
-    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
-        i64::from_str_radix(bin, 2)
-    } else {
-        body.parse::<i64>()
-    }
-    .map_err(|_| AsmError::new(line, format!("invalid integer `{text}`")))?;
+    let magnitude =
+        if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+            i64::from_str_radix(hex, 16)
+        } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+            i64::from_str_radix(bin, 2)
+        } else {
+            body.parse::<i64>()
+        }
+        .map_err(|_| AsmError::new(line, format!("invalid integer `{text}`")))?;
     Ok(if negative { -magnitude } else { magnitude })
 }
 
@@ -1114,7 +1415,10 @@ fn parse_string(text: &str, line: usize) -> Result<Vec<u8>, AsmError> {
                 Some('\\') => bytes.push(b'\\'),
                 Some('"') => bytes.push(b'"'),
                 other => {
-                    return Err(AsmError::new(line, format!("unknown escape `\\{}`", other.unwrap_or(' '))))
+                    return Err(AsmError::new(
+                        line,
+                        format!("unknown escape `\\{}`", other.unwrap_or(' ')),
+                    ))
                 }
             }
         } else {
@@ -1158,7 +1462,10 @@ impl Operands<'_> {
         // Require the `$` sigil: a bare number in a register position is
         // almost always a forgotten `sll`/immediate, not register $N.
         if !text.starts_with('$') {
-            return Err(AsmError::new(self.line, format!("invalid register `{text}`")));
+            return Err(AsmError::new(
+                self.line,
+                format!("invalid register `{text}`"),
+            ));
         }
         Reg::from_name(text)
             .ok_or_else(|| AsmError::new(self.line, format!("invalid register `{text}`")))
@@ -1198,7 +1505,10 @@ impl Operands<'_> {
             }
         }
         if !is_identifier(text) {
-            return Err(AsmError::new(self.line, format!("invalid address `{text}`")));
+            return Err(AsmError::new(
+                self.line,
+                format!("invalid address `{text}`"),
+            ));
         }
         Ok((text.to_string(), 0))
     }
@@ -1207,9 +1517,9 @@ impl Operands<'_> {
     fn mem(&self, i: usize) -> Result<(i16, Reg), AsmError> {
         let text = self.raw(i)?;
         if let Some(open) = text.find('(') {
-            let close = text
-                .rfind(')')
-                .ok_or_else(|| AsmError::new(self.line, format!("unterminated memory operand `{text}`")))?;
+            let close = text.rfind(')').ok_or_else(|| {
+                AsmError::new(self.line, format!("unterminated memory operand `{text}`"))
+            })?;
             let offset_text = text[..open].trim();
             let offset = if offset_text.is_empty() {
                 0
@@ -1217,14 +1527,18 @@ impl Operands<'_> {
                 signed16(parse_int(offset_text, self.line)?, self.line)?
             };
             let reg_text = text[open + 1..close].trim();
-            let base = Reg::from_name(reg_text)
-                .ok_or_else(|| AsmError::new(self.line, format!("invalid base register `{reg_text}`")))?;
+            let base = Reg::from_name(reg_text).ok_or_else(|| {
+                AsmError::new(self.line, format!("invalid base register `{reg_text}`"))
+            })?;
             return Ok((offset, base));
         }
         if let Some(base) = Reg::from_name(text) {
             return Ok((0, base));
         }
-        Err(AsmError::new(self.line, format!("invalid memory operand `{text}`")))
+        Err(AsmError::new(
+            self.line,
+            format!("invalid memory operand `{text}`"),
+        ))
     }
 }
 
@@ -1261,7 +1575,14 @@ mod tests {
         .unwrap();
         let insts = decode_all(&p);
         // bne offset: loop is one instruction back from pc+4 of the bne.
-        assert_eq!(insts[2], Inst::Bne { rs: Reg::new(8), rt: Reg::ZERO, offset: -2 });
+        assert_eq!(
+            insts[2],
+            Inst::Bne {
+                rs: Reg::new(8),
+                rt: Reg::ZERO,
+                offset: -2
+            }
+        );
         assert_eq!(p.symbols["loop"], TEXT_BASE + 4);
     }
 
@@ -1278,7 +1599,14 @@ mod tests {
         )
         .unwrap();
         let insts = decode_all(&p);
-        assert_eq!(insts[0], Inst::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: 2 });
+        assert_eq!(
+            insts[0],
+            Inst::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: 2
+            }
+        );
     }
 
     #[test]
@@ -1286,14 +1614,47 @@ mod tests {
         let p = assemble(".text\nli $t0, 5\nli $t1, 70000\nli $t2, 0x12340000\nli $t3, 40000\n")
             .unwrap();
         let insts = decode_all(&p);
-        assert_eq!(insts[0], Inst::Addiu { rt: Reg::new(8), rs: Reg::ZERO, imm: 5 });
+        assert_eq!(
+            insts[0],
+            Inst::Addiu {
+                rt: Reg::new(8),
+                rs: Reg::ZERO,
+                imm: 5
+            }
+        );
         // 70000 = 0x11170 needs lui+ori.
-        assert_eq!(insts[1], Inst::Lui { rt: Reg::new(9), imm: 1 });
-        assert_eq!(insts[2], Inst::Ori { rt: Reg::new(9), rs: Reg::new(9), imm: 0x1170 });
+        assert_eq!(
+            insts[1],
+            Inst::Lui {
+                rt: Reg::new(9),
+                imm: 1
+            }
+        );
+        assert_eq!(
+            insts[2],
+            Inst::Ori {
+                rt: Reg::new(9),
+                rs: Reg::new(9),
+                imm: 0x1170
+            }
+        );
         // 0x12340000 has zero low half: lui only.
-        assert_eq!(insts[3], Inst::Lui { rt: Reg::new(10), imm: 0x1234 });
+        assert_eq!(
+            insts[3],
+            Inst::Lui {
+                rt: Reg::new(10),
+                imm: 0x1234
+            }
+        );
         // 40000 fits unsigned 16: single ori.
-        assert_eq!(insts[4], Inst::Ori { rt: Reg::new(11), rs: Reg::ZERO, imm: 40000 });
+        assert_eq!(
+            insts[4],
+            Inst::Ori {
+                rt: Reg::new(11),
+                rs: Reg::ZERO,
+                imm: 40000
+            }
+        );
     }
 
     #[test]
@@ -1311,10 +1672,30 @@ mod tests {
         .unwrap();
         let insts = decode_all(&p);
         let y = DATA_BASE + 12;
-        assert_eq!(insts[0], Inst::Lui { rt: Reg::new(8), imm: (y >> 16) as u16 });
-        assert_eq!(insts[1], Inst::Ori { rt: Reg::new(8), rs: Reg::new(8), imm: (y & 0xFFFF) as u16 });
+        assert_eq!(
+            insts[0],
+            Inst::Lui {
+                rt: Reg::new(8),
+                imm: (y >> 16) as u16
+            }
+        );
+        assert_eq!(
+            insts[1],
+            Inst::Ori {
+                rt: Reg::new(8),
+                rs: Reg::new(8),
+                imm: (y & 0xFFFF) as u16
+            }
+        );
         // x+8 = third word of x = address of the 3.
-        assert_eq!(insts[3], Inst::Ori { rt: Reg::new(9), rs: Reg::new(9), imm: ((DATA_BASE + 8) & 0xFFFF) as u16 });
+        assert_eq!(
+            insts[3],
+            Inst::Ori {
+                rt: Reg::new(9),
+                rs: Reg::new(9),
+                imm: ((DATA_BASE + 8) & 0xFFFF) as u16
+            }
+        );
         assert_eq!(p.data.len(), 16);
         assert_eq!(&p.data[0..4], &1u32.to_le_bytes());
     }
@@ -1375,12 +1756,45 @@ mod tests {
         )
         .unwrap();
         let insts = decode_all(&p);
-        assert_eq!(insts[0], Inst::Addu { rd: Reg::new(8), rs: Reg::new(9), rt: Reg::ZERO });
-        assert_eq!(insts[1], Inst::Nor { rd: Reg::new(10), rs: Reg::new(11), rt: Reg::ZERO });
-        assert_eq!(insts[2], Inst::Sub { rd: Reg::new(12), rs: Reg::ZERO, rt: Reg::new(13) });
-        assert_eq!(insts[3], Inst::Div { rs: Reg::new(8), rt: Reg::new(9) });
+        assert_eq!(
+            insts[0],
+            Inst::Addu {
+                rd: Reg::new(8),
+                rs: Reg::new(9),
+                rt: Reg::ZERO
+            }
+        );
+        assert_eq!(
+            insts[1],
+            Inst::Nor {
+                rd: Reg::new(10),
+                rs: Reg::new(11),
+                rt: Reg::ZERO
+            }
+        );
+        assert_eq!(
+            insts[2],
+            Inst::Sub {
+                rd: Reg::new(12),
+                rs: Reg::ZERO,
+                rt: Reg::new(13)
+            }
+        );
+        assert_eq!(
+            insts[3],
+            Inst::Div {
+                rs: Reg::new(8),
+                rt: Reg::new(9)
+            }
+        );
         assert_eq!(insts[4], Inst::Mflo { rd: Reg::new(14) });
-        assert_eq!(insts[5], Inst::Div { rs: Reg::new(8), rt: Reg::new(9) });
+        assert_eq!(
+            insts[5],
+            Inst::Div {
+                rs: Reg::new(8),
+                rt: Reg::new(9)
+            }
+        );
         assert_eq!(insts[6], Inst::Mfhi { rd: Reg::new(15) });
     }
 
@@ -1398,14 +1812,70 @@ mod tests {
         .unwrap();
         let insts = decode_all(&p);
         let (t0, t1, at) = (Reg::new(8), Reg::new(9), Reg::AT);
-        assert_eq!(insts[0], Inst::Slt { rd: at, rs: t0, rt: t1 });
-        assert_eq!(insts[1], Inst::Bne { rs: at, rt: Reg::ZERO, offset: -2 });
-        assert_eq!(insts[2], Inst::Slt { rd: at, rs: t0, rt: t1 });
-        assert_eq!(insts[3], Inst::Beq { rs: at, rt: Reg::ZERO, offset: -4 });
-        assert_eq!(insts[4], Inst::Slt { rd: at, rs: t1, rt: t0 });
-        assert_eq!(insts[5], Inst::Bne { rs: at, rt: Reg::ZERO, offset: -6 });
-        assert_eq!(insts[6], Inst::Slt { rd: at, rs: t1, rt: t0 });
-        assert_eq!(insts[7], Inst::Beq { rs: at, rt: Reg::ZERO, offset: -8 });
+        assert_eq!(
+            insts[0],
+            Inst::Slt {
+                rd: at,
+                rs: t0,
+                rt: t1
+            }
+        );
+        assert_eq!(
+            insts[1],
+            Inst::Bne {
+                rs: at,
+                rt: Reg::ZERO,
+                offset: -2
+            }
+        );
+        assert_eq!(
+            insts[2],
+            Inst::Slt {
+                rd: at,
+                rs: t0,
+                rt: t1
+            }
+        );
+        assert_eq!(
+            insts[3],
+            Inst::Beq {
+                rs: at,
+                rt: Reg::ZERO,
+                offset: -4
+            }
+        );
+        assert_eq!(
+            insts[4],
+            Inst::Slt {
+                rd: at,
+                rs: t1,
+                rt: t0
+            }
+        );
+        assert_eq!(
+            insts[5],
+            Inst::Bne {
+                rs: at,
+                rt: Reg::ZERO,
+                offset: -6
+            }
+        );
+        assert_eq!(
+            insts[6],
+            Inst::Slt {
+                rd: at,
+                rs: t1,
+                rt: t0
+            }
+        );
+        assert_eq!(
+            insts[7],
+            Inst::Beq {
+                rs: at,
+                rt: Reg::ZERO,
+                offset: -8
+            }
+        );
     }
 
     #[test]
@@ -1422,11 +1892,38 @@ mod tests {
         )
         .unwrap();
         let insts = decode_all(&p);
-        assert_eq!(insts[0], Inst::Ldc1 { ft: FReg::new(2), base: Reg::new(8), offset: 8 });
-        assert_eq!(insts[1], Inst::AddD { fd: FReg::new(4), fs: FReg::new(2), ft: FReg::new(2) });
-        assert_eq!(insts[2], Inst::CLtD { fs: FReg::new(2), ft: FReg::new(4) });
+        assert_eq!(
+            insts[0],
+            Inst::Ldc1 {
+                ft: FReg::new(2),
+                base: Reg::new(8),
+                offset: 8
+            }
+        );
+        assert_eq!(
+            insts[1],
+            Inst::AddD {
+                fd: FReg::new(4),
+                fs: FReg::new(2),
+                ft: FReg::new(2)
+            }
+        );
+        assert_eq!(
+            insts[2],
+            Inst::CLtD {
+                fs: FReg::new(2),
+                ft: FReg::new(4)
+            }
+        );
         assert_eq!(insts[3], Inst::Bc1t { offset: -4 });
-        assert_eq!(insts[4], Inst::Sdc1 { ft: FReg::new(4), base: Reg::new(8), offset: 0 });
+        assert_eq!(
+            insts[4],
+            Inst::Sdc1 {
+                ft: FReg::new(4),
+                base: Reg::new(8),
+                offset: 0
+            }
+        );
     }
 
     #[test]
@@ -1456,10 +1953,9 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines() {
-        let p = assemble(
-            "# leading comment\n\n.text\nmain: nop # trailing\n  # indented comment\n",
-        )
-        .unwrap();
+        let p =
+            assemble("# leading comment\n\n.text\nmain: nop # trailing\n  # indented comment\n")
+                .unwrap();
         assert_eq!(p.text.len(), 1);
     }
 
@@ -1483,9 +1979,30 @@ mod tests {
         )
         .unwrap();
         let insts = decode_all(&p);
-        assert_eq!(insts[0], Inst::Addiu { rt: Reg::new(8), rs: Reg::ZERO, imm: 40 });
-        assert_eq!(insts[1], Inst::Addiu { rt: Reg::new(9), rs: Reg::new(8), imm: 16 });
-        assert_eq!(insts[2], Inst::Lw { rt: Reg::new(10), base: Reg::new(8), offset: 16 });
+        assert_eq!(
+            insts[0],
+            Inst::Addiu {
+                rt: Reg::new(8),
+                rs: Reg::ZERO,
+                imm: 40
+            }
+        );
+        assert_eq!(
+            insts[1],
+            Inst::Addiu {
+                rt: Reg::new(9),
+                rs: Reg::new(8),
+                imm: 16
+            }
+        );
+        assert_eq!(
+            insts[2],
+            Inst::Lw {
+                rt: Reg::new(10),
+                base: Reg::new(8),
+                offset: 16
+            }
+        );
         let err = assemble("N = 1\nN = 2\n.text\nnop").unwrap_err();
         assert!(err.to_string().contains("duplicate equate"));
     }
@@ -1504,14 +2021,28 @@ mod tests {
         )
         .unwrap();
         let insts = decode_all(&p);
-        assert_eq!(insts[0], Inst::Lui { rt: Reg::new(8), imm: (DATA_BASE >> 16) as u16 });
+        assert_eq!(
+            insts[0],
+            Inst::Lui {
+                rt: Reg::new(8),
+                imm: (DATA_BASE >> 16) as u16
+            }
+        );
         assert_eq!(
             insts[1],
-            Inst::Ori { rt: Reg::new(8), rs: Reg::new(8), imm: (DATA_BASE & 0xFFFF) as u16 }
+            Inst::Ori {
+                rt: Reg::new(8),
+                rs: Reg::new(8),
+                imm: (DATA_BASE & 0xFFFF) as u16
+            }
         );
         assert_eq!(
             insts[2],
-            Inst::Addiu { rt: Reg::new(9), rs: Reg::ZERO, imm: ((DATA_BASE + 4) & 0xFFFF) as i16 }
+            Inst::Addiu {
+                rt: Reg::new(9),
+                rs: Reg::ZERO,
+                imm: ((DATA_BASE + 4) & 0xFFFF) as i16
+            }
         );
         let err = assemble(".text\nlui $t0, %mid(x)").unwrap_err();
         assert!(err.to_string().contains("unknown relocation"));
@@ -1533,15 +2064,26 @@ mod tests {
         // lui $at, %hi_adj(val); lw $t0, %lo(val)($at)
         assert_eq!(
             insts[0],
-            Inst::Lui { rt: Reg::AT, imm: (DATA_BASE.wrapping_add(0x8000) >> 16) as u16 }
+            Inst::Lui {
+                rt: Reg::AT,
+                imm: (DATA_BASE.wrapping_add(0x8000) >> 16) as u16
+            }
         );
         assert_eq!(
             insts[1],
-            Inst::Lw { rt: Reg::new(8), base: Reg::AT, offset: (DATA_BASE & 0xFFFF) as i16 }
+            Inst::Lw {
+                rt: Reg::new(8),
+                base: Reg::AT,
+                offset: (DATA_BASE & 0xFFFF) as i16
+            }
         );
         assert_eq!(
             insts[3],
-            Inst::Sw { rt: Reg::new(8), base: Reg::AT, offset: ((DATA_BASE + 4) & 0xFFFF) as i16 }
+            Inst::Sw {
+                rt: Reg::new(8),
+                base: Reg::AT,
+                offset: ((DATA_BASE + 4) & 0xFFFF) as i16
+            }
         );
     }
 
@@ -1673,8 +2215,11 @@ mod tests {
     "#,
         )
         .unwrap();
-        let rendered: Vec<String> =
-            p.text.iter().map(|&w| crate::disasm::disassemble_word(w)).collect();
+        let rendered: Vec<String> = p
+            .text
+            .iter()
+            .map(|&w| crate::disasm::disassemble_word(w))
+            .collect();
         assert_eq!(rendered[0], "addu $t0, $t1, $t2");
         assert_eq!(rendered[1], "lw $s0, 12($sp)");
         assert_eq!(rendered[2], "mul.d $f2, $f4, $f6");

@@ -77,8 +77,16 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
         },
         OP_J => Inst::J { target },
         OP_JAL => Inst::Jal { target },
-        OP_BEQ => Inst::Beq { rs, rt, offset: simm },
-        OP_BNE => Inst::Bne { rs, rt, offset: simm },
+        OP_BEQ => Inst::Beq {
+            rs,
+            rt,
+            offset: simm,
+        },
+        OP_BNE => Inst::Bne {
+            rs,
+            rt,
+            offset: simm,
+        },
         OP_BLEZ => Inst::Blez { rs, offset: simm },
         OP_BGTZ => Inst::Bgtz { rs, offset: simm },
         OP_ADDI => Inst::Addi { rt, rs, imm: simm },
@@ -124,18 +132,66 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 _ => return Err(DecodeError { word }),
             }
         }
-        OP_LB => Inst::Lb { rt, base: rs, offset: simm },
-        OP_LBU => Inst::Lbu { rt, base: rs, offset: simm },
-        OP_LH => Inst::Lh { rt, base: rs, offset: simm },
-        OP_LHU => Inst::Lhu { rt, base: rs, offset: simm },
-        OP_LW => Inst::Lw { rt, base: rs, offset: simm },
-        OP_SB => Inst::Sb { rt, base: rs, offset: simm },
-        OP_SH => Inst::Sh { rt, base: rs, offset: simm },
-        OP_SW => Inst::Sw { rt, base: rs, offset: simm },
-        OP_LWC1 => Inst::Lwc1 { ft: FReg::from_field(word >> 16), base: rs, offset: simm },
-        OP_SWC1 => Inst::Swc1 { ft: FReg::from_field(word >> 16), base: rs, offset: simm },
-        OP_LDC1 => Inst::Ldc1 { ft: FReg::from_field(word >> 16), base: rs, offset: simm },
-        OP_SDC1 => Inst::Sdc1 { ft: FReg::from_field(word >> 16), base: rs, offset: simm },
+        OP_LB => Inst::Lb {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        OP_LBU => Inst::Lbu {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        OP_LH => Inst::Lh {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        OP_LHU => Inst::Lhu {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        OP_LW => Inst::Lw {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        OP_SB => Inst::Sb {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        OP_SH => Inst::Sh {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        OP_SW => Inst::Sw {
+            rt,
+            base: rs,
+            offset: simm,
+        },
+        OP_LWC1 => Inst::Lwc1 {
+            ft: FReg::from_field(word >> 16),
+            base: rs,
+            offset: simm,
+        },
+        OP_SWC1 => Inst::Swc1 {
+            ft: FReg::from_field(word >> 16),
+            base: rs,
+            offset: simm,
+        },
+        OP_LDC1 => Inst::Ldc1 {
+            ft: FReg::from_field(word >> 16),
+            base: rs,
+            offset: simm,
+        },
+        OP_SDC1 => Inst::Sdc1 {
+            ft: FReg::from_field(word >> 16),
+            base: rs,
+            offset: simm,
+        },
         _ => return Err(DecodeError { word }),
     };
     Ok(inst)
@@ -157,23 +213,91 @@ mod tests {
         let f2 = FReg::new(4);
         let f3 = FReg::new(6);
         vec![
-            Add { rd: r3, rs: r1, rt: r2 },
-            Addu { rd: r3, rs: r1, rt: r2 },
-            Sub { rd: r3, rs: r1, rt: r2 },
-            Subu { rd: r3, rs: r1, rt: r2 },
-            And { rd: r3, rs: r1, rt: r2 },
-            Or { rd: r3, rs: r1, rt: r2 },
-            Xor { rd: r3, rs: r1, rt: r2 },
-            Nor { rd: r3, rs: r1, rt: r2 },
-            Slt { rd: r3, rs: r1, rt: r2 },
-            Sltu { rd: r3, rs: r1, rt: r2 },
-            Mul { rd: r3, rs: r1, rt: r2 },
-            Sll { rd: r3, rt: r2, shamt: 5 },
-            Srl { rd: r3, rt: r2, shamt: 31 },
-            Sra { rd: r3, rt: r2, shamt: 1 },
-            Sllv { rd: r3, rt: r2, rs: r1 },
-            Srlv { rd: r3, rt: r2, rs: r1 },
-            Srav { rd: r3, rt: r2, rs: r1 },
+            Add {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            Addu {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            Sub {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            Subu {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            And {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            Or {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            Xor {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            Nor {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            Slt {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            Sltu {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            Mul {
+                rd: r3,
+                rs: r1,
+                rt: r2,
+            },
+            Sll {
+                rd: r3,
+                rt: r2,
+                shamt: 5,
+            },
+            Srl {
+                rd: r3,
+                rt: r2,
+                shamt: 31,
+            },
+            Sra {
+                rd: r3,
+                rt: r2,
+                shamt: 1,
+            },
+            Sllv {
+                rd: r3,
+                rt: r2,
+                rs: r1,
+            },
+            Srlv {
+                rd: r3,
+                rt: r2,
+                rs: r1,
+            },
+            Srav {
+                rd: r3,
+                rt: r2,
+                rs: r1,
+            },
             Mult { rs: r1, rt: r2 },
             Multu { rs: r1, rt: r2 },
             Div { rs: r1, rt: r2 },
@@ -182,40 +306,150 @@ mod tests {
             Mflo { rd: r3 },
             Mthi { rs: r1 },
             Mtlo { rs: r1 },
-            Addi { rt: r2, rs: r1, imm: -7 },
-            Addiu { rt: r2, rs: r1, imm: 1234 },
-            Slti { rt: r2, rs: r1, imm: -1 },
-            Sltiu { rt: r2, rs: r1, imm: 99 },
-            Andi { rt: r2, rs: r1, imm: 0xFF00 },
-            Ori { rt: r2, rs: r1, imm: 0x00FF },
-            Xori { rt: r2, rs: r1, imm: 0xAAAA },
-            Lui { rt: r2, imm: 0x1001 },
-            Beq { rs: r1, rt: r2, offset: -5 },
-            Bne { rs: r1, rt: r2, offset: 12 },
+            Addi {
+                rt: r2,
+                rs: r1,
+                imm: -7,
+            },
+            Addiu {
+                rt: r2,
+                rs: r1,
+                imm: 1234,
+            },
+            Slti {
+                rt: r2,
+                rs: r1,
+                imm: -1,
+            },
+            Sltiu {
+                rt: r2,
+                rs: r1,
+                imm: 99,
+            },
+            Andi {
+                rt: r2,
+                rs: r1,
+                imm: 0xFF00,
+            },
+            Ori {
+                rt: r2,
+                rs: r1,
+                imm: 0x00FF,
+            },
+            Xori {
+                rt: r2,
+                rs: r1,
+                imm: 0xAAAA,
+            },
+            Lui {
+                rt: r2,
+                imm: 0x1001,
+            },
+            Beq {
+                rs: r1,
+                rt: r2,
+                offset: -5,
+            },
+            Bne {
+                rs: r1,
+                rt: r2,
+                offset: 12,
+            },
             Blez { rs: r1, offset: 3 },
             Bgtz { rs: r1, offset: -3 },
             Bltz { rs: r1, offset: 2 },
             Bgez { rs: r1, offset: -2 },
-            J { target: 0x0010_0000 },
-            Jal { target: 0x0010_0004 },
+            J {
+                target: 0x0010_0000,
+            },
+            Jal {
+                target: 0x0010_0004,
+            },
             Jr { rs: Reg::RA },
-            Jalr { rd: Reg::RA, rs: r1 },
-            Lb { rt: r2, base: r1, offset: -4 },
-            Lbu { rt: r2, base: r1, offset: 4 },
-            Lh { rt: r2, base: r1, offset: -2 },
-            Lhu { rt: r2, base: r1, offset: 2 },
-            Lw { rt: r2, base: r1, offset: 8 },
-            Sb { rt: r2, base: r1, offset: 1 },
-            Sh { rt: r2, base: r1, offset: 2 },
-            Sw { rt: r2, base: r1, offset: -8 },
-            Lwc1 { ft: f1, base: r1, offset: 16 },
-            Swc1 { ft: f1, base: r1, offset: -16 },
-            Ldc1 { ft: f2, base: r1, offset: 24 },
-            Sdc1 { ft: f2, base: r1, offset: -24 },
-            AddD { fd: f3, fs: f1, ft: f2 },
-            SubD { fd: f3, fs: f1, ft: f2 },
-            MulD { fd: f3, fs: f1, ft: f2 },
-            DivD { fd: f3, fs: f1, ft: f2 },
+            Jalr {
+                rd: Reg::RA,
+                rs: r1,
+            },
+            Lb {
+                rt: r2,
+                base: r1,
+                offset: -4,
+            },
+            Lbu {
+                rt: r2,
+                base: r1,
+                offset: 4,
+            },
+            Lh {
+                rt: r2,
+                base: r1,
+                offset: -2,
+            },
+            Lhu {
+                rt: r2,
+                base: r1,
+                offset: 2,
+            },
+            Lw {
+                rt: r2,
+                base: r1,
+                offset: 8,
+            },
+            Sb {
+                rt: r2,
+                base: r1,
+                offset: 1,
+            },
+            Sh {
+                rt: r2,
+                base: r1,
+                offset: 2,
+            },
+            Sw {
+                rt: r2,
+                base: r1,
+                offset: -8,
+            },
+            Lwc1 {
+                ft: f1,
+                base: r1,
+                offset: 16,
+            },
+            Swc1 {
+                ft: f1,
+                base: r1,
+                offset: -16,
+            },
+            Ldc1 {
+                ft: f2,
+                base: r1,
+                offset: 24,
+            },
+            Sdc1 {
+                ft: f2,
+                base: r1,
+                offset: -24,
+            },
+            AddD {
+                fd: f3,
+                fs: f1,
+                ft: f2,
+            },
+            SubD {
+                fd: f3,
+                fs: f1,
+                ft: f2,
+            },
+            MulD {
+                fd: f3,
+                fs: f1,
+                ft: f2,
+            },
+            DivD {
+                fd: f3,
+                fs: f1,
+                ft: f2,
+            },
             SqrtD { fd: f3, fs: f1 },
             AbsD { fd: f3, fs: f1 },
             MovD { fd: f3, fs: f1 },
@@ -247,12 +481,23 @@ mod tests {
         // Sweep register fields and immediates for a few shapes.
         for a in 0..32u8 {
             for b in [0u8, 1, 15, 31] {
-                let inst = Inst::Addu { rd: Reg::new(a), rs: Reg::new(b), rt: Reg::new(a ^ b) };
+                let inst = Inst::Addu {
+                    rd: Reg::new(a),
+                    rs: Reg::new(b),
+                    rt: Reg::new(a ^ b),
+                };
                 assert_eq!(decode(encode(inst)), Ok(inst));
-                let inst = Inst::Lw { rt: Reg::new(a), base: Reg::new(b), offset: -32768 };
+                let inst = Inst::Lw {
+                    rt: Reg::new(a),
+                    base: Reg::new(b),
+                    offset: -32768,
+                };
                 assert_eq!(decode(encode(inst)), Ok(inst));
-                let inst =
-                    Inst::Ldc1 { ft: FReg::new(a), base: Reg::new(b), offset: 32767 };
+                let inst = Inst::Ldc1 {
+                    ft: FReg::new(a),
+                    base: Reg::new(b),
+                    offset: 32767,
+                };
                 assert_eq!(decode(encode(inst)), Ok(inst));
             }
         }

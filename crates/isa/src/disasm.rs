@@ -136,17 +136,19 @@ pub fn listing(program: &crate::Program) -> String {
             }
         }
     };
-    writeln!(out, "        .text  # {} instructions", program.text.len())
-        .expect("write to String");
+    writeln!(out, "        .text  # {} instructions", program.text.len()).expect("write to String");
     for (index, &word) in program.text.iter().enumerate() {
         let address = program.address_of_index(index);
         labels_at(address, &mut out);
-        writeln!(out, "  {address:#010x}  {word:08x}  {}", disassemble_word(word))
-            .expect("write to String");
+        writeln!(
+            out,
+            "  {address:#010x}  {word:08x}  {}",
+            disassemble_word(word)
+        )
+        .expect("write to String");
     }
     if !program.data.is_empty() {
-        writeln!(out, "        .data  # {} bytes", program.data.len())
-            .expect("write to String");
+        writeln!(out, "        .data  # {} bytes", program.data.len()).expect("write to String");
         for (row_start, row) in program.data.chunks(16).enumerate() {
             let address = program.data_base + (row_start as u32) * 16;
             labels_at(address, &mut out);
@@ -180,11 +182,19 @@ mod tests {
     fn representative_renderings() {
         assert_eq!(disassemble(Inst::NOP), "nop");
         assert_eq!(
-            disassemble(Inst::Lw { rt: Reg::new(8), base: Reg::SP, offset: -4 }),
+            disassemble(Inst::Lw {
+                rt: Reg::new(8),
+                base: Reg::SP,
+                offset: -4
+            }),
             "lw $t0, -4($sp)"
         );
         assert_eq!(
-            disassemble(Inst::MulD { fd: FReg::new(2), fs: FReg::new(4), ft: FReg::new(6) }),
+            disassemble(Inst::MulD {
+                fd: FReg::new(2),
+                fs: FReg::new(4),
+                ft: FReg::new(6)
+            }),
             "mul.d $f2, $f4, $f6"
         );
         assert_eq!(disassemble(Inst::Bc1t { offset: -3 }), "bc1t -3");

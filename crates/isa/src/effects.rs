@@ -77,10 +77,17 @@ impl Effects {
         use Inst::*;
         let mut e = Effects::default();
         match inst {
-            Add { rd, rs, rt } | Addu { rd, rs, rt } | Sub { rd, rs, rt }
-            | Subu { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt }
-            | Xor { rd, rs, rt } | Nor { rd, rs, rt } | Slt { rd, rs, rt }
-            | Sltu { rd, rs, rt } | Mul { rd, rs, rt } => {
+            Add { rd, rs, rt }
+            | Addu { rd, rs, rt }
+            | Sub { rd, rs, rt }
+            | Subu { rd, rs, rt }
+            | And { rd, rs, rt }
+            | Or { rd, rs, rt }
+            | Xor { rd, rs, rt }
+            | Nor { rd, rs, rt }
+            | Slt { rd, rs, rt }
+            | Sltu { rd, rs, rt }
+            | Mul { rd, rs, rt } => {
                 e.int_reads = int(rs) | int(rt);
                 e.int_writes = int(rd);
             }
@@ -104,8 +111,12 @@ impl Effects {
                 e.int_reads = int(rs);
                 e.hilo_write = true;
             }
-            Addi { rt, rs, .. } | Addiu { rt, rs, .. } | Slti { rt, rs, .. }
-            | Sltiu { rt, rs, .. } | Andi { rt, rs, .. } | Ori { rt, rs, .. }
+            Addi { rt, rs, .. }
+            | Addiu { rt, rs, .. }
+            | Slti { rt, rs, .. }
+            | Sltiu { rt, rs, .. }
+            | Andi { rt, rs, .. }
+            | Ori { rt, rs, .. }
             | Xori { rt, rs, .. } => {
                 e.int_reads = int(rs);
                 e.int_writes = int(rt);
@@ -133,8 +144,11 @@ impl Effects {
                 e.int_writes = int(rd);
                 e.control = true;
             }
-            Lb { rt, base, .. } | Lbu { rt, base, .. } | Lh { rt, base, .. }
-            | Lhu { rt, base, .. } | Lw { rt, base, .. } => {
+            Lb { rt, base, .. }
+            | Lbu { rt, base, .. }
+            | Lh { rt, base, .. }
+            | Lhu { rt, base, .. }
+            | Lw { rt, base, .. } => {
                 e.int_reads = int(base);
                 e.int_writes = int(rt);
                 e.memory_load = true;
@@ -163,7 +177,9 @@ impl Effects {
                 e.fp_reads = fp_pair(ft);
                 e.memory_store = true;
             }
-            AddD { fd, fs, ft } | SubD { fd, fs, ft } | MulD { fd, fs, ft }
+            AddD { fd, fs, ft }
+            | SubD { fd, fs, ft }
+            | MulD { fd, fs, ft }
             | DivD { fd, fs, ft } => {
                 e.fp_reads = fp_pair(fs) | fp_pair(ft);
                 e.fp_writes = fp_pair(fd);
@@ -245,7 +261,11 @@ mod tests {
 
     #[test]
     fn zero_register_is_no_dependency() {
-        let a = Effects::of(Inst::Addu { rd: Reg::ZERO, rs: Reg::new(8), rt: Reg::ZERO });
+        let a = Effects::of(Inst::Addu {
+            rd: Reg::ZERO,
+            rs: Reg::new(8),
+            rt: Reg::ZERO,
+        });
         assert_eq!(a.int_writes, 0);
         assert_eq!(a.int_reads, 1 << 8);
     }
@@ -260,29 +280,60 @@ mod tests {
         assert_eq!(e.fp_writes, 0b11 << 4);
         assert_eq!(e.fp_reads, (0b11 << 2) | (0b11 << 6));
         // mtc1 to the odd half of a pair conflicts with the pair's use.
-        let m = Effects::of(Inst::Mtc1 { rt: Reg::new(8), fs: FReg::new(3) });
+        let m = Effects::of(Inst::Mtc1 {
+            rt: Reg::new(8),
+            fs: FReg::new(3),
+        });
         assert!(m.fp_writes & e.fp_reads != 0);
     }
 
     #[test]
     fn hazard_classification() {
-        let producer = Effects::of(Inst::Addiu { rt: Reg::new(8), rs: Reg::ZERO, imm: 1 });
-        let consumer = Effects::of(Inst::Addiu { rt: Reg::new(9), rs: Reg::new(8), imm: 1 });
-        let unrelated = Effects::of(Inst::Addiu { rt: Reg::new(10), rs: Reg::new(11), imm: 1 });
+        let producer = Effects::of(Inst::Addiu {
+            rt: Reg::new(8),
+            rs: Reg::ZERO,
+            imm: 1,
+        });
+        let consumer = Effects::of(Inst::Addiu {
+            rt: Reg::new(9),
+            rs: Reg::new(8),
+            imm: 1,
+        });
+        let unrelated = Effects::of(Inst::Addiu {
+            rt: Reg::new(10),
+            rs: Reg::new(11),
+            imm: 1,
+        });
         assert!(producer.must_precede(&consumer)); // RAW
         assert!(consumer.must_precede(&producer)); // WAR the other way
         assert!(!producer.must_precede(&unrelated));
         assert!(!unrelated.must_precede(&producer));
         // WAW
-        let rewriter = Effects::of(Inst::Addiu { rt: Reg::new(8), rs: Reg::ZERO, imm: 2 });
+        let rewriter = Effects::of(Inst::Addiu {
+            rt: Reg::new(8),
+            rs: Reg::ZERO,
+            imm: 2,
+        });
         assert!(producer.must_precede(&rewriter));
     }
 
     #[test]
     fn memory_ordering_rules() {
-        let load = Effects::of(Inst::Lw { rt: Reg::new(8), base: Reg::SP, offset: 0 });
-        let load2 = Effects::of(Inst::Lw { rt: Reg::new(9), base: Reg::SP, offset: 4 });
-        let store = Effects::of(Inst::Sw { rt: Reg::new(10), base: Reg::SP, offset: 8 });
+        let load = Effects::of(Inst::Lw {
+            rt: Reg::new(8),
+            base: Reg::SP,
+            offset: 0,
+        });
+        let load2 = Effects::of(Inst::Lw {
+            rt: Reg::new(9),
+            base: Reg::SP,
+            offset: 4,
+        });
+        let store = Effects::of(Inst::Sw {
+            rt: Reg::new(10),
+            base: Reg::SP,
+            offset: 8,
+        });
         assert!(!load.must_precede(&load2)); // loads commute
         assert!(load.must_precede(&store)); // load before store stays
         assert!(store.must_precede(&load)); // store before load stays
@@ -291,11 +342,17 @@ mod tests {
 
     #[test]
     fn hilo_and_fcc_are_tracked() {
-        let mult = Effects::of(Inst::Mult { rs: Reg::new(8), rt: Reg::new(9) });
+        let mult = Effects::of(Inst::Mult {
+            rs: Reg::new(8),
+            rt: Reg::new(9),
+        });
         let mflo = Effects::of(Inst::Mflo { rd: Reg::new(10) });
         assert!(mult.must_precede(&mflo));
         assert!(mflo.must_precede(&mult)); // WAR on HI/LO
-        let cmp = Effects::of(Inst::CLtD { fs: FReg::new(2), ft: FReg::new(4) });
+        let cmp = Effects::of(Inst::CLtD {
+            fs: FReg::new(2),
+            ft: FReg::new(4),
+        });
         let br = Effects::of(Inst::Bc1t { offset: 1 });
         assert!(cmp.must_precede(&br));
         assert!(br.control);
@@ -304,7 +361,11 @@ mod tests {
     #[test]
     fn barriers_pin_everything() {
         let sys = Effects::of(Inst::Syscall);
-        let alu = Effects::of(Inst::Addiu { rt: Reg::new(8), rs: Reg::ZERO, imm: 1 });
+        let alu = Effects::of(Inst::Addiu {
+            rt: Reg::new(8),
+            rs: Reg::ZERO,
+            imm: 1,
+        });
         assert!(sys.must_precede(&alu));
         assert!(alu.must_precede(&sys));
     }

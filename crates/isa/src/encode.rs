@@ -224,27 +224,48 @@ mod tests {
         // Spot-checked against the MIPS32 manual.
         // addu $t2, $t0, $t1 = 000000 01000 01001 01010 00000 100001
         assert_eq!(
-            encode(Inst::Addu { rd: Reg::new(10), rs: Reg::new(8), rt: Reg::new(9) }),
+            encode(Inst::Addu {
+                rd: Reg::new(10),
+                rs: Reg::new(8),
+                rt: Reg::new(9)
+            }),
             0x0109_5021
         );
         // lw $t0, 4($sp) = 100011 11101 01000 0000000000000100
         assert_eq!(
-            encode(Inst::Lw { rt: Reg::new(8), base: Reg::SP, offset: 4 }),
+            encode(Inst::Lw {
+                rt: Reg::new(8),
+                base: Reg::SP,
+                offset: 4
+            }),
             0x8FA8_0004
         );
         // beq $zero, $zero, -1 = 000100 00000 00000 1111111111111111
         assert_eq!(
-            encode(Inst::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: -1 }),
+            encode(Inst::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: -1
+            }),
             0x1000_FFFF
         );
         // syscall
         assert_eq!(encode(Inst::Syscall), 0x0000_000C);
         // add.d $f4, $f2, $f0 = 010001 10001 00000 00010 00100 000000
         assert_eq!(
-            encode(Inst::AddD { fd: FReg::new(4), fs: FReg::new(2), ft: FReg::new(0) }),
+            encode(Inst::AddD {
+                fd: FReg::new(4),
+                fs: FReg::new(2),
+                ft: FReg::new(0)
+            }),
             0x4620_1100
         );
         // jal 0x0040_0000 → target field 0x0010_0000
-        assert_eq!(encode(Inst::Jal { target: 0x0040_0000 >> 2 }), 0x0C10_0000);
+        assert_eq!(
+            encode(Inst::Jal {
+                target: 0x0040_0000 >> 2
+            }),
+            0x0C10_0000
+        );
     }
 }

@@ -27,7 +27,10 @@ pub struct AsmError {
 
 impl AsmError {
     pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
-        AsmError { line, message: message.into() }
+        AsmError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -48,7 +51,13 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DecodeError>();
         assert_send_sync::<AsmError>();
-        assert_eq!(DecodeError { word: 0xDEADBEEF }.to_string(), "word deadbeef is not a valid instruction");
-        assert_eq!(AsmError::new(3, "no such mnemonic").to_string(), "line 3: no such mnemonic");
+        assert_eq!(
+            DecodeError { word: 0xDEADBEEF }.to_string(),
+            "word deadbeef is not a valid instruction"
+        );
+        assert_eq!(
+            AsmError::new(3, "no such mnemonic").to_string(),
+            "line 3: no such mnemonic"
+        );
     }
 }

@@ -16,98 +16,347 @@ use crate::reg::{FReg, Reg};
 #[allow(missing_docs)] // field meanings are uniform; documented at module level
 pub enum Inst {
     // ---- integer arithmetic, R-format ----
-    Add { rd: Reg, rs: Reg, rt: Reg },
-    Addu { rd: Reg, rs: Reg, rt: Reg },
-    Sub { rd: Reg, rs: Reg, rt: Reg },
-    Subu { rd: Reg, rs: Reg, rt: Reg },
-    And { rd: Reg, rs: Reg, rt: Reg },
-    Or { rd: Reg, rs: Reg, rt: Reg },
-    Xor { rd: Reg, rs: Reg, rt: Reg },
-    Nor { rd: Reg, rs: Reg, rt: Reg },
-    Slt { rd: Reg, rs: Reg, rt: Reg },
-    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    Add {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Addu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Subu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    And {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Nor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// Three-operand multiply (SPECIAL2), low 32 bits of the product.
-    Mul { rd: Reg, rs: Reg, rt: Reg },
+    Mul {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
 
     // ---- shifts ----
-    Sll { rd: Reg, rt: Reg, shamt: u8 },
-    Srl { rd: Reg, rt: Reg, shamt: u8 },
-    Sra { rd: Reg, rt: Reg, shamt: u8 },
-    Sllv { rd: Reg, rt: Reg, rs: Reg },
-    Srlv { rd: Reg, rt: Reg, rs: Reg },
-    Srav { rd: Reg, rt: Reg, rs: Reg },
+    Sll {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Srl {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Sra {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Sllv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srlv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srav {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
 
     // ---- HI/LO multiply-divide unit ----
-    Mult { rs: Reg, rt: Reg },
-    Multu { rs: Reg, rt: Reg },
-    Div { rs: Reg, rt: Reg },
-    Divu { rs: Reg, rt: Reg },
-    Mfhi { rd: Reg },
-    Mflo { rd: Reg },
-    Mthi { rs: Reg },
-    Mtlo { rs: Reg },
+    Mult {
+        rs: Reg,
+        rt: Reg,
+    },
+    Multu {
+        rs: Reg,
+        rt: Reg,
+    },
+    Div {
+        rs: Reg,
+        rt: Reg,
+    },
+    Divu {
+        rs: Reg,
+        rt: Reg,
+    },
+    Mfhi {
+        rd: Reg,
+    },
+    Mflo {
+        rd: Reg,
+    },
+    Mthi {
+        rs: Reg,
+    },
+    Mtlo {
+        rs: Reg,
+    },
 
     // ---- integer arithmetic, I-format ----
-    Addi { rt: Reg, rs: Reg, imm: i16 },
-    Addiu { rt: Reg, rs: Reg, imm: i16 },
-    Slti { rt: Reg, rs: Reg, imm: i16 },
-    Sltiu { rt: Reg, rs: Reg, imm: i16 },
-    Andi { rt: Reg, rs: Reg, imm: u16 },
-    Ori { rt: Reg, rs: Reg, imm: u16 },
-    Xori { rt: Reg, rs: Reg, imm: u16 },
-    Lui { rt: Reg, imm: u16 },
+    Addi {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Addiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Slti {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Sltiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Andi {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Ori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Xori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Lui {
+        rt: Reg,
+        imm: u16,
+    },
 
     // ---- control flow ----
-    Beq { rs: Reg, rt: Reg, offset: i16 },
-    Bne { rs: Reg, rt: Reg, offset: i16 },
-    Blez { rs: Reg, offset: i16 },
-    Bgtz { rs: Reg, offset: i16 },
-    Bltz { rs: Reg, offset: i16 },
-    Bgez { rs: Reg, offset: i16 },
-    J { target: u32 },
-    Jal { target: u32 },
-    Jr { rs: Reg },
-    Jalr { rd: Reg, rs: Reg },
+    Beq {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
+    Bne {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
+    Blez {
+        rs: Reg,
+        offset: i16,
+    },
+    Bgtz {
+        rs: Reg,
+        offset: i16,
+    },
+    Bltz {
+        rs: Reg,
+        offset: i16,
+    },
+    Bgez {
+        rs: Reg,
+        offset: i16,
+    },
+    J {
+        target: u32,
+    },
+    Jal {
+        target: u32,
+    },
+    Jr {
+        rs: Reg,
+    },
+    Jalr {
+        rd: Reg,
+        rs: Reg,
+    },
 
     // ---- memory ----
-    Lb { rt: Reg, base: Reg, offset: i16 },
-    Lbu { rt: Reg, base: Reg, offset: i16 },
-    Lh { rt: Reg, base: Reg, offset: i16 },
-    Lhu { rt: Reg, base: Reg, offset: i16 },
-    Lw { rt: Reg, base: Reg, offset: i16 },
-    Sb { rt: Reg, base: Reg, offset: i16 },
-    Sh { rt: Reg, base: Reg, offset: i16 },
-    Sw { rt: Reg, base: Reg, offset: i16 },
-    Lwc1 { ft: FReg, base: Reg, offset: i16 },
-    Swc1 { ft: FReg, base: Reg, offset: i16 },
-    Ldc1 { ft: FReg, base: Reg, offset: i16 },
-    Sdc1 { ft: FReg, base: Reg, offset: i16 },
+    Lb {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lbu {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lh {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lhu {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lw {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sb {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sh {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sw {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lwc1 {
+        ft: FReg,
+        base: Reg,
+        offset: i16,
+    },
+    Swc1 {
+        ft: FReg,
+        base: Reg,
+        offset: i16,
+    },
+    Ldc1 {
+        ft: FReg,
+        base: Reg,
+        offset: i16,
+    },
+    Sdc1 {
+        ft: FReg,
+        base: Reg,
+        offset: i16,
+    },
 
     // ---- coprocessor 1: double-precision arithmetic ----
-    AddD { fd: FReg, fs: FReg, ft: FReg },
-    SubD { fd: FReg, fs: FReg, ft: FReg },
-    MulD { fd: FReg, fs: FReg, ft: FReg },
-    DivD { fd: FReg, fs: FReg, ft: FReg },
-    SqrtD { fd: FReg, fs: FReg },
-    AbsD { fd: FReg, fs: FReg },
-    MovD { fd: FReg, fs: FReg },
-    NegD { fd: FReg, fs: FReg },
+    AddD {
+        fd: FReg,
+        fs: FReg,
+        ft: FReg,
+    },
+    SubD {
+        fd: FReg,
+        fs: FReg,
+        ft: FReg,
+    },
+    MulD {
+        fd: FReg,
+        fs: FReg,
+        ft: FReg,
+    },
+    DivD {
+        fd: FReg,
+        fs: FReg,
+        ft: FReg,
+    },
+    SqrtD {
+        fd: FReg,
+        fs: FReg,
+    },
+    AbsD {
+        fd: FReg,
+        fs: FReg,
+    },
+    MovD {
+        fd: FReg,
+        fs: FReg,
+    },
+    NegD {
+        fd: FReg,
+        fs: FReg,
+    },
     /// Convert the 32-bit integer in `fs` to double.
-    CvtDW { fd: FReg, fs: FReg },
+    CvtDW {
+        fd: FReg,
+        fs: FReg,
+    },
     /// Convert (truncate) the double in `fs` to a 32-bit integer.
-    CvtWD { fd: FReg, fs: FReg },
+    CvtWD {
+        fd: FReg,
+        fs: FReg,
+    },
     /// Set the FP condition flag if `fs == ft`.
-    CEqD { fs: FReg, ft: FReg },
+    CEqD {
+        fs: FReg,
+        ft: FReg,
+    },
     /// Set the FP condition flag if `fs < ft`.
-    CLtD { fs: FReg, ft: FReg },
+    CLtD {
+        fs: FReg,
+        ft: FReg,
+    },
     /// Set the FP condition flag if `fs <= ft`.
-    CLeD { fs: FReg, ft: FReg },
+    CLeD {
+        fs: FReg,
+        ft: FReg,
+    },
     /// Branch if the FP condition flag is set.
-    Bc1t { offset: i16 },
+    Bc1t {
+        offset: i16,
+    },
     /// Branch if the FP condition flag is clear.
-    Bc1f { offset: i16 },
-    Mfc1 { rt: Reg, fs: FReg },
-    Mtc1 { rt: Reg, fs: FReg },
+    Bc1f {
+        offset: i16,
+    },
+    Mfc1 {
+        rt: Reg,
+        fs: FReg,
+    },
+    Mtc1 {
+        rt: Reg,
+        fs: FReg,
+    },
 
     // ---- system ----
     Syscall,
@@ -116,7 +365,11 @@ pub enum Inst {
 
 impl Inst {
     /// The canonical no-op, `sll $zero, $zero, 0` (encoding `0x0000_0000`).
-    pub const NOP: Inst = Inst::Sll { rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 };
+    pub const NOP: Inst = Inst::Sll {
+        rd: Reg::ZERO,
+        rt: Reg::ZERO,
+        shamt: 0,
+    };
 
     /// Whether this instruction can redirect control flow (conditional
     /// branch, jump, or indirect jump).
@@ -193,25 +446,46 @@ mod tests {
 
     #[test]
     fn control_flow_classification() {
-        assert!(Inst::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: -1 }.is_control_flow());
+        assert!(Inst::Beq {
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            offset: -1
+        }
+        .is_control_flow());
         assert!(Inst::Jr { rs: Reg::RA }.is_control_flow());
         assert!(Inst::Bc1t { offset: 2 }.is_control_flow());
         assert!(!Inst::Syscall.is_control_flow());
-        assert!(!Inst::Addu { rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 }.is_control_flow());
+        assert!(!Inst::Addu {
+            rd: Reg::V0,
+            rs: Reg::A0,
+            rt: Reg::A1
+        }
+        .is_control_flow());
         assert!(Inst::J { target: 0 }.is_unconditional_jump());
         assert!(Inst::Jr { rs: Reg::RA }.is_unconditional_jump());
         assert!(!Inst::Jal { target: 0 }.is_unconditional_jump());
-        assert!(!Inst::Bne { rs: Reg::ZERO, rt: Reg::ZERO, offset: 0 }.is_unconditional_jump());
+        assert!(!Inst::Bne {
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            offset: 0
+        }
+        .is_unconditional_jump());
     }
 
     #[test]
     fn branch_targets() {
         // A backward branch by 3 instructions from 0x0040_0010 lands on
         // 0x0040_0008: pc + 4 - 12.
-        let inst = Inst::Bne { rs: Reg::ZERO, rt: Reg::ZERO, offset: -3 };
+        let inst = Inst::Bne {
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            offset: -3,
+        };
         assert_eq!(inst.static_target(0x0040_0010), Some(0x0040_0008));
         // Jump targets splice into the current 256 MiB region.
-        let jump = Inst::J { target: 0x0010_0000 >> 2 };
+        let jump = Inst::J {
+            target: 0x0010_0000 >> 2,
+        };
         assert_eq!(jump.static_target(0x0040_0000), Some(0x0010_0000));
         assert_eq!(Inst::Jr { rs: Reg::RA }.static_target(0), None);
     }

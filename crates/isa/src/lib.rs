@@ -43,8 +43,8 @@
 
 pub mod asm;
 pub mod decode;
-pub mod effects;
 pub mod disasm;
+pub mod effects;
 pub mod encode;
 pub mod inst;
 pub mod reg;

@@ -72,7 +72,10 @@ impl std::fmt::Display for ExtraKernel {
 /// Direct-form FIR: `out[i] = Σⱼ coeff[j] · sample[i + j]` for
 /// `i < samples − taps`, checksummed.
 pub fn fir(taps: usize, samples: usize) -> KernelSpec {
-    assert!(taps >= 2 && samples > taps, "fir needs taps >= 2 and samples > taps");
+    assert!(
+        taps >= 2 && samples > taps,
+        "fir needs taps >= 2 and samples > taps"
+    );
     let outputs = samples - taps;
     let source = format!(
         r#"# fir: {taps}-tap direct-form FIR over {samples} samples
@@ -150,8 +153,7 @@ pub fn dct_basis() -> [[f64; 8]; 8] {
     for (u, row) in c.iter_mut().enumerate() {
         let scale = if u == 0 { (0.125f64).sqrt() } else { 0.5 };
         for (x, cell) in row.iter_mut().enumerate() {
-            *cell = scale
-                * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            *cell = scale * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
         }
     }
     c

@@ -188,7 +188,11 @@ pub fn lu(n: usize) -> String {
     let mut a = vec![0.0f64; n * n];
     for i in 0..n {
         for j in 0..n {
-            a[i * n + j] = if i == j { lcg.next_diagonal() } else { lcg.next_value() };
+            a[i * n + j] = if i == j {
+                lcg.next_diagonal()
+            } else {
+                lcg.next_value()
+            };
         }
     }
     for k in 0..n {
@@ -332,8 +336,11 @@ mod tests {
         let mut original = vec![0.0f64; n * n];
         for i in 0..n {
             for j in 0..n {
-                original[i * n + j] =
-                    if i == j { lcg.next_diagonal() } else { lcg.next_value() };
+                original[i * n + j] = if i == j {
+                    lcg.next_diagonal()
+                } else {
+                    lcg.next_value()
+                };
             }
         }
         let mut a = original.clone();

@@ -27,6 +27,7 @@ pub struct DataBusMonitor {
     mask: u64,
     last: Option<u64>,
     per_lane: Vec<u64>,
+    total: u64,
     words: u64,
 }
 
@@ -37,9 +38,23 @@ impl DataBusMonitor {
     ///
     /// Panics if `width` is outside `1..=64`.
     pub fn new(width: usize) -> Self {
-        assert!((1..=64).contains(&width), "bus width {width} outside 1..=64");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-        DataBusMonitor { width, mask, last: None, per_lane: vec![0; width], words: 0 }
+        assert!(
+            (1..=64).contains(&width),
+            "bus width {width} outside 1..=64"
+        );
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        DataBusMonitor {
+            width,
+            mask,
+            last: None,
+            per_lane: vec![0; width],
+            total: 0,
+            words: 0,
+        }
     }
 
     /// Observes the next word on the bus.
@@ -47,6 +62,9 @@ impl DataBusMonitor {
         let word = word & self.mask;
         if let Some(last) = self.last {
             let mut diff = last ^ word;
+            // The total is one popcount; only the per-lane breakdown needs
+            // the bit-scan loop, and that loop touches only the set bits.
+            self.total += u64::from(diff.count_ones());
             while diff != 0 {
                 let lane = diff.trailing_zeros() as usize;
                 self.per_lane[lane] += 1;
@@ -73,13 +91,18 @@ impl DataBusMonitor {
     }
 
     /// Total transitions across all lines — the paper's `#TR` metric.
+    ///
+    /// O(1): maintained incrementally by [`DataBusMonitor::observe`] via a
+    /// single popcount per word, independent of bus width.
     pub fn total_transitions(&self) -> u64 {
-        self.per_lane.iter().sum()
+        debug_assert_eq!(self.total, self.per_lane.iter().sum::<u64>());
+        self.total
     }
 
     /// Resets counters, keeping the width.
     pub fn reset(&mut self) {
         self.last = None;
+        self.total = 0;
         self.words = 0;
         self.per_lane.iter_mut().for_each(|c| *c = 0);
     }
@@ -104,7 +127,9 @@ pub struct AddressBusMonitor {
 impl AddressBusMonitor {
     /// Creates a monitor for a 32-line address bus.
     pub fn new() -> Self {
-        AddressBusMonitor { inner: DataBusMonitor::new(32) }
+        AddressBusMonitor {
+            inner: DataBusMonitor::new(32),
+        }
     }
 
     /// Observes the next address on the bus.
@@ -158,13 +183,17 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// An on-chip bus line (≈0.5 pF) at 1.8 V — a long on-die interconnect
     /// in the ~0.18 µm era the paper targets.
-    pub const ON_CHIP: EnergyModel =
-        EnergyModel { line_capacitance_farads: 0.5e-12, supply_volts: 1.8 };
+    pub const ON_CHIP: EnergyModel = EnergyModel {
+        line_capacitance_farads: 0.5e-12,
+        supply_volts: 1.8,
+    };
 
     /// An off-chip bus line through package pins to external flash
     /// (≈10 pF) at 3.3 V — the paper's motivating worst case.
-    pub const OFF_CHIP: EnergyModel =
-        EnergyModel { line_capacitance_farads: 10e-12, supply_volts: 3.3 };
+    pub const OFF_CHIP: EnergyModel = EnergyModel {
+        line_capacitance_farads: 10e-12,
+        supply_volts: 3.3,
+    };
 
     /// Energy dissipated by `transitions` line toggles.
     pub fn energy_joules(&self, transitions: u64) -> f64 {
@@ -232,7 +261,10 @@ mod tests {
 
     #[test]
     fn energy_scaling() {
-        let model = EnergyModel { line_capacitance_farads: 1e-12, supply_volts: 2.0 };
+        let model = EnergyModel {
+            line_capacitance_farads: 1e-12,
+            supply_volts: 2.0,
+        };
         assert!((model.energy_joules(1) - 2e-12).abs() < 1e-20);
         assert_eq!(model.average_power_watts(0, 0, 1e8), 0.0);
         // 1e6 transitions over 1e8 cycles at 100 MHz = 1 second → 2 µW.

@@ -236,7 +236,10 @@ impl Cpu {
             match self.step(sink)? {
                 StepEvent::Continue => {}
                 StepEvent::Exited(code) => {
-                    return Ok(RunSummary { exit_code: code, instructions: self.instructions })
+                    return Ok(RunSummary {
+                        exit_code: code,
+                        instructions: self.instructions,
+                    })
                 }
             }
         }
@@ -285,10 +288,22 @@ impl Cpu {
                 let v = self.reg(rs).wrapping_sub(self.reg(rt));
                 self.set_reg(rd, v);
             }
-            And { rd, rs, rt } => { let v = self.reg(rs) & self.reg(rt); self.set_reg(rd, v); }
-            Or { rd, rs, rt } => { let v = self.reg(rs) | self.reg(rt); self.set_reg(rd, v); }
-            Xor { rd, rs, rt } => { let v = self.reg(rs) ^ self.reg(rt); self.set_reg(rd, v); }
-            Nor { rd, rs, rt } => { let v = !(self.reg(rs) | self.reg(rt)); self.set_reg(rd, v); }
+            And { rd, rs, rt } => {
+                let v = self.reg(rs) & self.reg(rt);
+                self.set_reg(rd, v);
+            }
+            Or { rd, rs, rt } => {
+                let v = self.reg(rs) | self.reg(rt);
+                self.set_reg(rd, v);
+            }
+            Xor { rd, rs, rt } => {
+                let v = self.reg(rs) ^ self.reg(rt);
+                self.set_reg(rd, v);
+            }
+            Nor { rd, rs, rt } => {
+                let v = !(self.reg(rs) | self.reg(rt));
+                self.set_reg(rd, v);
+            }
             Slt { rd, rs, rt } => {
                 let v = ((self.reg(rs) as i32) < self.reg(rt) as i32) as u32;
                 self.set_reg(rd, v);
@@ -301,8 +316,14 @@ impl Cpu {
                 let v = self.reg(rs).wrapping_mul(self.reg(rt));
                 self.set_reg(rd, v);
             }
-            Sll { rd, rt, shamt } => { let v = self.reg(rt) << shamt; self.set_reg(rd, v); }
-            Srl { rd, rt, shamt } => { let v = self.reg(rt) >> shamt; self.set_reg(rd, v); }
+            Sll { rd, rt, shamt } => {
+                let v = self.reg(rt) << shamt;
+                self.set_reg(rd, v);
+            }
+            Srl { rd, rt, shamt } => {
+                let v = self.reg(rt) >> shamt;
+                self.set_reg(rd, v);
+            }
             Sra { rd, rt, shamt } => {
                 let v = (self.reg(rt) as i32 >> shamt) as u32;
                 self.set_reg(rd, v);
@@ -345,8 +366,14 @@ impl Cpu {
                 self.lo = a.checked_div(b).unwrap_or(0);
                 self.hi = a.checked_rem(b).unwrap_or(0);
             }
-            Mfhi { rd } => { let v = self.hi; self.set_reg(rd, v); }
-            Mflo { rd } => { let v = self.lo; self.set_reg(rd, v); }
+            Mfhi { rd } => {
+                let v = self.hi;
+                self.set_reg(rd, v);
+            }
+            Mflo { rd } => {
+                let v = self.lo;
+                self.set_reg(rd, v);
+            }
             Mthi { rs } => self.hi = self.reg(rs),
             Mtlo { rs } => self.lo = self.reg(rs),
             Addi { rt, rs, imm } | Addiu { rt, rs, imm } => {
@@ -361,9 +388,18 @@ impl Cpu {
                 let v = (self.reg(rs) < imm as i32 as u32) as u32;
                 self.set_reg(rt, v);
             }
-            Andi { rt, rs, imm } => { let v = self.reg(rs) & imm as u32; self.set_reg(rt, v); }
-            Ori { rt, rs, imm } => { let v = self.reg(rs) | imm as u32; self.set_reg(rt, v); }
-            Xori { rt, rs, imm } => { let v = self.reg(rs) ^ imm as u32; self.set_reg(rt, v); }
+            Andi { rt, rs, imm } => {
+                let v = self.reg(rs) & imm as u32;
+                self.set_reg(rt, v);
+            }
+            Ori { rt, rs, imm } => {
+                let v = self.reg(rs) | imm as u32;
+                self.set_reg(rt, v);
+            }
+            Xori { rt, rs, imm } => {
+                let v = self.reg(rs) ^ imm as u32;
+                self.set_reg(rt, v);
+            }
             Lui { rt, imm } => self.set_reg(rt, (imm as u32) << 16),
             Beq { rs, rt, offset } => {
                 if self.reg(rs) == self.reg(rt) {
@@ -427,20 +463,24 @@ impl Cpu {
                 self.set_reg(rt, v);
             }
             Sb { rt, base, offset } => {
-                self.mem.write_u8(ea(self.reg(base), offset), self.reg(rt) as u8)?;
+                self.mem
+                    .write_u8(ea(self.reg(base), offset), self.reg(rt) as u8)?;
             }
             Sh { rt, base, offset } => {
-                self.mem.write_u16(ea(self.reg(base), offset), self.reg(rt) as u16)?;
+                self.mem
+                    .write_u16(ea(self.reg(base), offset), self.reg(rt) as u16)?;
             }
             Sw { rt, base, offset } => {
-                self.mem.write_u32(ea(self.reg(base), offset), self.reg(rt))?;
+                self.mem
+                    .write_u32(ea(self.reg(base), offset), self.reg(rt))?;
             }
             Lwc1 { ft, base, offset } => {
                 let v = self.mem.read_u32(ea(self.reg(base), offset))?;
                 self.fpr[ft.number() as usize] = v;
             }
             Swc1 { ft, base, offset } => {
-                self.mem.write_u32(ea(self.reg(base), offset), self.fpr[ft.number() as usize])?;
+                self.mem
+                    .write_u32(ea(self.reg(base), offset), self.fpr[ft.number() as usize])?;
             }
             Ldc1 { ft, base, offset } => {
                 let v = self.mem.read_u64(ea(self.reg(base), offset))?;
@@ -469,10 +509,22 @@ impl Cpu {
                 let v = self.freg_d(fs) / self.freg_d(ft);
                 self.set_freg_d(fd, v);
             }
-            SqrtD { fd, fs } => { let v = self.freg_d(fs).sqrt(); self.set_freg_d(fd, v); }
-            AbsD { fd, fs } => { let v = self.freg_d(fs).abs(); self.set_freg_d(fd, v); }
-            MovD { fd, fs } => { let v = self.freg_d(fs); self.set_freg_d(fd, v); }
-            NegD { fd, fs } => { let v = -self.freg_d(fs); self.set_freg_d(fd, v); }
+            SqrtD { fd, fs } => {
+                let v = self.freg_d(fs).sqrt();
+                self.set_freg_d(fd, v);
+            }
+            AbsD { fd, fs } => {
+                let v = self.freg_d(fs).abs();
+                self.set_freg_d(fd, v);
+            }
+            MovD { fd, fs } => {
+                let v = self.freg_d(fs);
+                self.set_freg_d(fd, v);
+            }
+            NegD { fd, fs } => {
+                let v = -self.freg_d(fs);
+                self.set_freg_d(fd, v);
+            }
             CvtDW { fd, fs } => {
                 let int = self.fpr[fs.number() as usize] as i32;
                 self.set_freg_d(fd, int as f64);
@@ -500,7 +552,10 @@ impl Cpu {
                     next = branch_target(pc, offset);
                 }
             }
-            Mfc1 { rt, fs } => { let v = self.fpr[fs.number() as usize]; self.set_reg(rt, v); }
+            Mfc1 { rt, fs } => {
+                let v = self.fpr[fs.number() as usize];
+                self.set_reg(rt, v);
+            }
             Mtc1 { rt, fs } => self.fpr[fs.number() as usize] = self.reg(rt),
             Syscall => {
                 if let Some(code) = self.syscall()? {
@@ -568,8 +623,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_exit() {
-        let (cpu, summary) = run(
-            r#"
+        let (cpu, summary) = run(r#"
             .text
     main:   li $t0, 6
             li $t1, 7
@@ -579,24 +633,21 @@ mod tests {
             syscall
             li $v0, 10
             syscall
-    "#,
-        );
+    "#);
         assert_eq!(cpu.stdout(), "42");
         assert_eq!(summary.exit_code, 0);
     }
 
     #[test]
     fn loops_and_profile() {
-        let (cpu, _) = run(
-            r#"
+        let (cpu, _) = run(r#"
             .text
     main:   li $t0, 5
     loop:   addiu $t0, $t0, -1
             bgtz $t0, loop
             li $v0, 10
             syscall
-    "#,
-        );
+    "#);
         // The loop body (2 instructions) executes 5 times.
         assert_eq!(cpu.profile()[1], 5);
         assert_eq!(cpu.profile()[2], 5);
@@ -605,8 +656,7 @@ mod tests {
 
     #[test]
     fn memory_and_strings() {
-        let (cpu, _) = run(
-            r#"
+        let (cpu, _) = run(r#"
             .data
     msg:    .asciiz "x="
             .align 2
@@ -623,15 +673,13 @@ mod tests {
             syscall
             li $v0, 10
             syscall
-    "#,
-        );
+    "#);
         assert_eq!(cpu.stdout(), "x=123");
     }
 
     #[test]
     fn double_precision_flow() {
-        let (cpu, _) = run(
-            r#"
+        let (cpu, _) = run(r#"
             .data
     a:      .double 1.5
     b:      .double 2.25
@@ -644,15 +692,13 @@ mod tests {
             syscall
             li $v0, 10
             syscall
-    "#,
-        );
+    "#);
         assert_eq!(cpu.stdout(), "3.375000");
     }
 
     #[test]
     fn fp_compare_and_branch() {
-        let (cpu, _) = run(
-            r#"
+        let (cpu, _) = run(r#"
             .data
     a:      .double 1.0
     b:      .double 2.0
@@ -669,15 +715,13 @@ mod tests {
             syscall
             li $v0, 10
             syscall
-    "#,
-        );
+    "#);
         assert_eq!(cpu.stdout(), "1");
     }
 
     #[test]
     fn int_double_conversions() {
-        let (cpu, _) = run(
-            r#"
+        let (cpu, _) = run(r#"
             .text
     main:   li   $t0, 9
             mtc1 $t0, $f0
@@ -691,15 +735,13 @@ mod tests {
             syscall
             li $v0, 10
             syscall
-    "#,
-        );
+    "#);
         assert_eq!(cpu.stdout(), "3.0000003");
     }
 
     #[test]
     fn functions_and_stack() {
-        let (cpu, _) = run(
-            r#"
+        let (cpu, _) = run(r#"
             .text
     main:   li   $a0, 10
             jal  fact
@@ -714,15 +756,13 @@ mod tests {
             addiu $a0, $a0, -1
             b    floop
     fdone:  jr   $ra
-    "#,
-        );
+    "#);
         assert_eq!(cpu.stdout(), "3628800");
     }
 
     #[test]
     fn division_semantics() {
-        let (cpu, _) = run(
-            r#"
+        let (cpu, _) = run(r#"
             .text
     main:   li $t0, -7
             li $t1, 2
@@ -739,16 +779,14 @@ mod tests {
             syscall
             li $v0, 10
             syscall
-    "#,
-        );
+    "#);
         // C-style truncating division: -7 / 2 = -3 rem -1.
         assert_eq!(cpu.stdout(), "-3 -1");
     }
 
     #[test]
     fn zero_register_is_immutable() {
-        let (cpu, _) = run(
-            r#"
+        let (cpu, _) = run(r#"
             .text
     main:   addiu $zero, $zero, 55
             move  $a0, $zero
@@ -756,8 +794,7 @@ mod tests {
             syscall
             li $v0, 10
             syscall
-    "#,
-        );
+    "#);
         assert_eq!(cpu.stdout(), "0");
     }
 
@@ -786,7 +823,15 @@ mod tests {
         let base = program.text_base;
         assert_eq!(
             rec.0,
-            vec![base, base + 4, base + 8, base + 4, base + 8, base + 12, base + 16]
+            vec![
+                base,
+                base + 4,
+                base + 8,
+                base + 4,
+                base + 8,
+                base + 12,
+                base + 16
+            ]
         );
     }
 
@@ -815,8 +860,7 @@ mod tests {
 
     #[test]
     fn subword_memory_semantics() {
-        let (cpu, _) = run(
-            r#"
+        let (cpu, _) = run(r#"
             .data
             .align 2
     buf:    .space 8
@@ -852,15 +896,13 @@ mod tests {
             syscall
             li $v0, 10
             syscall
-    "#,
-        );
+    "#);
         assert_eq!(cpu.stdout(), "-2 254 -2 65534");
     }
 
     #[test]
     fn shift_and_compare_edge_semantics() {
-        let (cpu, _) = run(
-            r#"
+        let (cpu, _) = run(r#"
             .text
     main:   li   $t0, -8
             sra  $t1, $t0, 1      # arithmetic: -4
@@ -884,8 +926,7 @@ mod tests {
             syscall
             li $v0, 10
             syscall
-    "#,
-        );
+    "#);
         assert_eq!(cpu.stdout(), "-4 15 1");
     }
 

@@ -49,7 +49,10 @@ impl fmt::Display for SimError {
             }
             SimError::PcOutOfText { pc } => write!(f, "pc {pc:08x} outside the text segment"),
             SimError::UnalignedAccess { address, alignment } => {
-                write!(f, "access at {address:08x} not aligned to {alignment} bytes")
+                write!(
+                    f,
+                    "access at {address:08x} not aligned to {alignment} bytes"
+                )
             }
             SimError::AccessOutOfRange { address } => {
                 write!(f, "access at {address:08x} outside user address space")
@@ -72,7 +75,11 @@ mod tests {
     fn display_and_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();
-        let text = SimError::UnalignedAccess { address: 0x1001_0002, alignment: 4 }.to_string();
+        let text = SimError::UnalignedAccess {
+            address: 0x1001_0002,
+            alignment: 4,
+        }
+        .to_string();
         assert!(text.contains("10010002"));
         assert!(text.contains("4 bytes"));
     }

@@ -34,10 +34,18 @@ pub struct ICacheConfig {
 
 impl ICacheConfig {
     /// A tiny 1 KiB direct-mapped cache (32 sets × 1 way × 8-word lines).
-    pub const TINY_1K: ICacheConfig = ICacheConfig { sets: 32, ways: 1, line_words: 8 };
+    pub const TINY_1K: ICacheConfig = ICacheConfig {
+        sets: 32,
+        ways: 1,
+        line_words: 8,
+    };
 
     /// A 4 KiB 2-way cache (64 sets × 2 ways × 8-word lines).
-    pub const SMALL_4K: ICacheConfig = ICacheConfig { sets: 64, ways: 2, line_words: 8 };
+    pub const SMALL_4K: ICacheConfig = ICacheConfig {
+        sets: 64,
+        ways: 2,
+        line_words: 8,
+    };
 
     /// Bytes of payload.
     pub fn capacity_bytes(&self) -> usize {
@@ -78,7 +86,10 @@ impl ICache {
     /// parameter is zero.
     pub fn new(config: ICacheConfig) -> Self {
         assert!(config.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(config.line_words.is_power_of_two(), "line_words must be a power of two");
+        assert!(
+            config.line_words.is_power_of_two(),
+            "line_words must be a power of two"
+        );
         assert!(config.ways >= 1, "need at least one way");
         ICache {
             config,
@@ -187,7 +198,11 @@ impl CachedBusModel {
         text_base: u32,
         placement: DecoderPlacement,
     ) -> Self {
-        assert_eq!(stored_image.len(), decoded_image.len(), "image views must align");
+        assert_eq!(
+            stored_image.len(),
+            decoded_image.len(),
+            "image views must align"
+        );
         CachedBusModel {
             cache: ICache::new(config),
             stored_image,
@@ -266,7 +281,11 @@ mod tests {
 
     #[test]
     fn two_way_lru_retains_both() {
-        let mut cache = ICache::new(ICacheConfig { sets: 1, ways: 2, line_words: 4 });
+        let mut cache = ICache::new(ICacheConfig {
+            sets: 1,
+            ways: 2,
+            line_words: 4,
+        });
         assert_eq!(cache.access(0x0000_0000), CacheOutcome::Miss);
         assert_eq!(cache.access(0x0000_0010), CacheOutcome::Miss);
         assert_eq!(cache.access(0x0000_0000), CacheOutcome::Hit);
@@ -353,6 +372,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_sets() {
-        ICache::new(ICacheConfig { sets: 3, ways: 1, line_words: 8 });
+        ICache::new(ICacheConfig {
+            sets: 3,
+            ways: 1,
+            line_words: 8,
+        });
     }
 }

@@ -36,7 +36,9 @@ pub struct Memory {
 
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Memory").field("resident_bytes", &self.resident).finish()
+        f.debug_struct("Memory")
+            .field("resident_bytes", &self.resident)
+            .finish()
     }
 }
 
@@ -61,7 +63,10 @@ impl Memory {
 
     fn check(address: u32, size: u32) -> Result<(), SimError> {
         if !address.is_multiple_of(size) {
-            return Err(SimError::UnalignedAccess { address, alignment: size });
+            return Err(SimError::UnalignedAccess {
+                address,
+                alignment: size,
+            });
         }
         if address >= USER_SPACE || USER_SPACE - address < size {
             return Err(SimError::AccessOutOfRange { address });
@@ -91,7 +96,9 @@ impl Memory {
     /// Returns [`SimError::AccessOutOfRange`] above user space.
     pub fn read_u8(&self, address: u32) -> Result<u8, SimError> {
         Self::check(address, 1)?;
-        Ok(self.page(address).map_or(0, |p| p[(address as usize) & (PAGE_SIZE - 1)]))
+        Ok(self
+            .page(address)
+            .map_or(0, |p| p[(address as usize) & (PAGE_SIZE - 1)]))
     }
 
     /// Writes one byte.
@@ -254,15 +261,24 @@ mod tests {
         let mut mem = Memory::new();
         assert_eq!(
             mem.read_u32(0x1000_0002),
-            Err(SimError::UnalignedAccess { address: 0x1000_0002, alignment: 4 })
+            Err(SimError::UnalignedAccess {
+                address: 0x1000_0002,
+                alignment: 4
+            })
         );
         assert_eq!(
             mem.write_u16(0x1000_0001, 0),
-            Err(SimError::UnalignedAccess { address: 0x1000_0001, alignment: 2 })
+            Err(SimError::UnalignedAccess {
+                address: 0x1000_0001,
+                alignment: 2
+            })
         );
         assert_eq!(
             mem.read_u64(0x1000_0004),
-            Err(SimError::UnalignedAccess { address: 0x1000_0004, alignment: 8 })
+            Err(SimError::UnalignedAccess {
+                address: 0x1000_0004,
+                alignment: 8
+            })
         );
     }
 
@@ -272,11 +288,15 @@ mod tests {
         assert!(mem.write_u32(0x7FFF_FFFC, 7).is_ok());
         assert_eq!(
             mem.read_u32(0x8000_0000),
-            Err(SimError::AccessOutOfRange { address: 0x8000_0000 })
+            Err(SimError::AccessOutOfRange {
+                address: 0x8000_0000
+            })
         );
         assert_eq!(
             mem.read_u8(0xFFFF_FFFF),
-            Err(SimError::AccessOutOfRange { address: 0xFFFF_FFFF })
+            Err(SimError::AccessOutOfRange {
+                address: 0xFFFF_FFFF
+            })
         );
     }
 

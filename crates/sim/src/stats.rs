@@ -77,24 +77,59 @@ impl fmt::Display for OpClass {
 pub fn classify(inst: Inst) -> OpClass {
     use Inst::*;
     match inst {
-        Add { .. } | Addu { .. } | Sub { .. } | Subu { .. } | And { .. } | Or { .. }
-        | Xor { .. } | Nor { .. } | Slt { .. } | Sltu { .. } | Addi { .. } | Addiu { .. }
-        | Slti { .. } | Sltiu { .. } | Andi { .. } | Ori { .. } | Xori { .. } | Lui { .. } => {
-            OpClass::IntAlu
-        }
+        Add { .. }
+        | Addu { .. }
+        | Sub { .. }
+        | Subu { .. }
+        | And { .. }
+        | Or { .. }
+        | Xor { .. }
+        | Nor { .. }
+        | Slt { .. }
+        | Sltu { .. }
+        | Addi { .. }
+        | Addiu { .. }
+        | Slti { .. }
+        | Sltiu { .. }
+        | Andi { .. }
+        | Ori { .. }
+        | Xori { .. }
+        | Lui { .. } => OpClass::IntAlu,
         Sll { .. } | Srl { .. } | Sra { .. } | Sllv { .. } | Srlv { .. } | Srav { .. } => {
             OpClass::Shift
         }
-        Mult { .. } | Multu { .. } | Div { .. } | Divu { .. } | Mfhi { .. } | Mflo { .. }
-        | Mthi { .. } | Mtlo { .. } | Mul { .. } => OpClass::MulDiv,
-        Lb { .. } | Lbu { .. } | Lh { .. } | Lhu { .. } | Lw { .. } | Lwc1 { .. }
-        | Ldc1 { .. } => OpClass::Load,
+        Mult { .. }
+        | Multu { .. }
+        | Div { .. }
+        | Divu { .. }
+        | Mfhi { .. }
+        | Mflo { .. }
+        | Mthi { .. }
+        | Mtlo { .. }
+        | Mul { .. } => OpClass::MulDiv,
+        Lb { .. } | Lbu { .. } | Lh { .. } | Lhu { .. } | Lw { .. } | Lwc1 { .. } | Ldc1 { .. } => {
+            OpClass::Load
+        }
         Sb { .. } | Sh { .. } | Sw { .. } | Swc1 { .. } | Sdc1 { .. } => OpClass::Store,
-        Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. }
-        | Bc1t { .. } | Bc1f { .. } => OpClass::Branch,
+        Beq { .. }
+        | Bne { .. }
+        | Blez { .. }
+        | Bgtz { .. }
+        | Bltz { .. }
+        | Bgez { .. }
+        | Bc1t { .. }
+        | Bc1f { .. } => OpClass::Branch,
         J { .. } | Jal { .. } | Jr { .. } | Jalr { .. } => OpClass::Jump,
-        AddD { .. } | SubD { .. } | MulD { .. } | DivD { .. } | SqrtD { .. } | AbsD { .. }
-        | NegD { .. } | CEqD { .. } | CLtD { .. } | CLeD { .. } => OpClass::Fp,
+        AddD { .. }
+        | SubD { .. }
+        | MulD { .. }
+        | DivD { .. }
+        | SqrtD { .. }
+        | AbsD { .. }
+        | NegD { .. }
+        | CEqD { .. }
+        | CLtD { .. }
+        | CLeD { .. } => OpClass::Fp,
         MovD { .. } | CvtDW { .. } | CvtWD { .. } | Mfc1 { .. } | Mtc1 { .. } => OpClass::FpMove,
         Syscall | Break => OpClass::System,
     }
@@ -133,10 +168,7 @@ impl InstructionMix {
     ///
     /// Returns the word's [`imt_isa::DecodeError`] if the text does not
     /// decode (cannot happen for assembler output).
-    pub fn from_profile(
-        program: &Program,
-        profile: &[u64],
-    ) -> Result<Self, imt_isa::DecodeError> {
+    pub fn from_profile(program: &Program, profile: &[u64]) -> Result<Self, imt_isa::DecodeError> {
         let mut mix = InstructionMix::new();
         for (index, &word) in program.text.iter().enumerate() {
             let count = profile.get(index).copied().unwrap_or(0);
@@ -155,13 +187,19 @@ impl InstructionMix {
     /// Records `n` executions of an instruction.
     pub fn observe_n(&mut self, inst: Inst, n: u64) {
         let class = classify(inst);
-        let slot = OpClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+        let slot = OpClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class in ALL");
         self.counts[slot] += n;
     }
 
     /// Executions recorded for `class`.
     pub fn count(&self, class: OpClass) -> u64 {
-        let slot = OpClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+        let slot = OpClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class in ALL");
         self.counts[slot]
     }
 
@@ -210,14 +248,56 @@ mod tests {
         use imt_isa::reg::{FReg, Reg};
         let r = Reg::new(8);
         let f = FReg::new(2);
-        assert_eq!(classify(Inst::Addu { rd: r, rs: r, rt: r }), OpClass::IntAlu);
-        assert_eq!(classify(Inst::Sll { rd: r, rt: r, shamt: 1 }), OpClass::Shift);
+        assert_eq!(
+            classify(Inst::Addu {
+                rd: r,
+                rs: r,
+                rt: r
+            }),
+            OpClass::IntAlu
+        );
+        assert_eq!(
+            classify(Inst::Sll {
+                rd: r,
+                rt: r,
+                shamt: 1
+            }),
+            OpClass::Shift
+        );
         assert_eq!(classify(Inst::Mult { rs: r, rt: r }), OpClass::MulDiv);
-        assert_eq!(classify(Inst::Ldc1 { ft: f, base: r, offset: 0 }), OpClass::Load);
-        assert_eq!(classify(Inst::Sw { rt: r, base: r, offset: 0 }), OpClass::Store);
-        assert_eq!(classify(Inst::Bne { rs: r, rt: r, offset: 0 }), OpClass::Branch);
+        assert_eq!(
+            classify(Inst::Ldc1 {
+                ft: f,
+                base: r,
+                offset: 0
+            }),
+            OpClass::Load
+        );
+        assert_eq!(
+            classify(Inst::Sw {
+                rt: r,
+                base: r,
+                offset: 0
+            }),
+            OpClass::Store
+        );
+        assert_eq!(
+            classify(Inst::Bne {
+                rs: r,
+                rt: r,
+                offset: 0
+            }),
+            OpClass::Branch
+        );
         assert_eq!(classify(Inst::Jal { target: 0 }), OpClass::Jump);
-        assert_eq!(classify(Inst::MulD { fd: f, fs: f, ft: f }), OpClass::Fp);
+        assert_eq!(
+            classify(Inst::MulD {
+                fd: f,
+                fs: f,
+                ft: f
+            }),
+            OpClass::Fp
+        );
         assert_eq!(classify(Inst::Mtc1 { rt: r, fs: f }), OpClass::FpMove);
         assert_eq!(classify(Inst::Syscall), OpClass::System);
     }

@@ -49,7 +49,10 @@ impl FrontEndTiming {
     /// A dictionary/decompression front end: the table lookup adds one
     /// stage, deepening every redirect by one cycle.
     pub fn dictionary_default() -> Self {
-        FrontEndTiming { redirect_penalty: 3, ..Self::imt_default() }
+        FrontEndTiming {
+            redirect_penalty: 3,
+            ..Self::imt_default()
+        }
     }
 }
 

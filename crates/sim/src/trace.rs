@@ -96,7 +96,10 @@ impl TraceRecorder {
         let tail_start = self.tail.front().map_or(self.seen, |e| e.index);
         let head_end = self.head.last().map_or(0, |e| e.index + 1);
         if tail_start > head_end {
-            out.push_str(&format!("       ...  ({} fetches elided)\n", tail_start - head_end));
+            out.push_str(&format!(
+                "       ...  ({} fetches elided)\n",
+                tail_start - head_end
+            ));
         }
         for entry in &self.tail {
             if entry.index >= head_end {
@@ -110,7 +113,11 @@ impl TraceRecorder {
 
 impl FetchSink for TraceRecorder {
     fn on_fetch(&mut self, pc: u32, word: u32) {
-        let entry = TraceEntry { index: self.seen, pc, word };
+        let entry = TraceEntry {
+            index: self.seen,
+            pc,
+            word,
+        };
         if self.head.len() < self.head_capacity {
             self.head.push(entry);
         } else if self.tail_capacity > 0 {

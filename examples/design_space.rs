@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cpu.run(spec.max_steps)?;
     let profile = cpu.profile().to_vec();
 
-    println!("{:>7} {:>6} {:>12} {:>12} {:>10} {:>9}", "k", "TT", "baseline", "encoded", "saved(%)", "ctrl bits");
+    println!(
+        "{:>7} {:>6} {:>12} {:>12} {:>10} {:>9}",
+        "k", "TT", "baseline", "encoded", "saved(%)", "ctrl bits"
+    );
     let mut best: Option<(f64, usize, usize)> = None;
     for k in 2..=8usize {
         for tt in [4usize, 8, 16, 32] {
@@ -35,9 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let eval = evaluate(&program, &encoded, spec.max_steps)?;
             // Hardware cost: control bits per TT entry (3 per line with the
             // canonical eight) times entries in use.
-            let ctrl_bits = encoded.report.tt_used as u32
-                * 32
-                * TransformSet::CANONICAL_EIGHT.control_bits();
+            let ctrl_bits =
+                encoded.report.tt_used as u32 * 32 * TransformSet::CANONICAL_EIGHT.control_bits();
             println!(
                 "{k:>7} {tt:>6} {:>12} {:>12} {:>9.1}% {:>9}",
                 eval.baseline_transitions,

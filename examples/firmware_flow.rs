@@ -7,7 +7,7 @@
 //! Run with `cargo run --example firmware_flow`.
 
 use imt::core::tableimage::{pack_tables, unpack_tables};
-use imt::core::{encode_program, eval::evaluate, EncoderConfig, EncodedProgram};
+use imt::core::{encode_program, eval::evaluate, EncodedProgram, EncoderConfig};
 use imt::isa::asm::assemble;
 use imt::sim::Cpu;
 
@@ -83,7 +83,11 @@ phase2: lw   $t1, 0($s0)
     let unpacked = unpack_tables(&image, config.transforms())?;
     assert_eq!(unpacked.tt, encoded.tt);
     assert_eq!(unpacked.bbit, encoded.bbit);
-    let rebuilt = EncodedProgram { tt: unpacked.tt, bbit: unpacked.bbit, ..encoded };
+    let rebuilt = EncodedProgram {
+        tt: unpacked.tt,
+        bbit: unpacked.bbit,
+        ..encoded
+    };
 
     // Replay against the unpacked tables: decoder exact, both loops save.
     let eval = evaluate(&program, &rebuilt, 1_000_000)?;

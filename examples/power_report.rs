@@ -38,18 +38,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Per-line profile: instruction encodings make low lines (immediates)
     // busier than the opcode lines at the top.
     println!("per-line transitions (baseline -> encoded):");
-    for (lane, (&before, &after)) in
-        eval.per_lane_baseline.iter().zip(&eval.per_lane_encoded).enumerate()
+    for (lane, (&before, &after)) in eval
+        .per_lane_baseline
+        .iter()
+        .zip(&eval.per_lane_encoded)
+        .enumerate()
     {
-        let bar = "#".repeat((before * 40 / eval.per_lane_baseline.iter().max().unwrap().max(&1))
-            as usize);
+        let bar = "#"
+            .repeat((before * 40 / eval.per_lane_baseline.iter().max().unwrap().max(&1)) as usize);
         println!("  line {lane:>2}: {before:>8} -> {after:>8}  {bar}");
     }
 
     // Energy at the two extremes the paper motivates: long on-die wires
     // vs off-chip flash through the package pins.
     println!("\nswitching energy of the instruction bus:");
-    for (name, model) in [("on-chip", EnergyModel::ON_CHIP), ("off-chip", EnergyModel::OFF_CHIP)] {
+    for (name, model) in [
+        ("on-chip", EnergyModel::ON_CHIP),
+        ("off-chip", EnergyModel::OFF_CHIP),
+    ] {
         let before = model.energy_joules(eval.baseline_transitions);
         let after = model.energy_joules(eval.encoded_transitions);
         println!(

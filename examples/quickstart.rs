@@ -44,7 +44,11 @@ mac:    lw   $t4, 0($t0)
     // Step 1 — profile: run once, counting executions per instruction.
     let mut cpu = Cpu::new(&program)?;
     cpu.run(10_000_000)?;
-    println!("profiled {} instructions, program printed {:?}", cpu.instructions(), cpu.stdout());
+    println!(
+        "profiled {} instructions, program printed {:?}",
+        cpu.instructions(),
+        cpu.stdout()
+    );
 
     // Step 2 — encode the hot loop with the paper's default operating
     // point: 5-bit blocks, the canonical eight transformations, a

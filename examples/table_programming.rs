@@ -35,8 +35,11 @@ loop:   andi $t0, $s0, 3
 
     println!("\n== TT (transformation table, one tau per bus line) ==");
     for (i, entry) in encoded.tt.entries().iter().enumerate() {
-        let lanes: Vec<&str> =
-            entry.lane_transforms.iter().map(|t| t.ascii_name()).collect();
+        let lanes: Vec<&str> = entry
+            .lane_transforms
+            .iter()
+            .map(|t| t.ascii_name())
+            .collect();
         println!(
             "  TT[{i}]: E={} covers={} lanes[0..8]={:?}",
             entry.end as u8,

@@ -60,8 +60,7 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
                 proptest::collection::vec(inner.clone(), 1..4)
             )
                 .prop_map(|(a, b)| Stmt::If(a, b)),
-            (1u8..6, proptest::collection::vec(inner, 1..4))
-                .prop_map(|(n, b)| Stmt::Loop(n, b)),
+            (1u8..6, proptest::collection::vec(inner, 1..4)).prop_map(|(n, b)| Stmt::Loop(n, b)),
         ]
     })
 }

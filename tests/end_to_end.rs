@@ -11,12 +11,25 @@ fn pipeline_reduction(spec: &imt::kernels::KernelSpec, config: &EncoderConfig) -
     let program = spec.assemble();
     let mut cpu = Cpu::new(&program).expect("load");
     cpu.run(spec.max_steps).expect("profiling run");
-    assert_eq!(cpu.stdout(), spec.expected_output, "{}: golden mismatch", spec.name);
+    assert_eq!(
+        cpu.stdout(),
+        spec.expected_output,
+        "{}: golden mismatch",
+        spec.name
+    );
 
     let encoded = encode_program(&program, cpu.profile(), config).expect("encode");
     let eval = evaluate(&program, &encoded, spec.max_steps).expect("evaluate");
-    assert_eq!(eval.decode_mismatches, 0, "{}: decoder corrupted the stream", spec.name);
-    assert_eq!(eval.stdout, spec.expected_output, "{}: behaviour changed", spec.name);
+    assert_eq!(
+        eval.decode_mismatches, 0,
+        "{}: decoder corrupted the stream",
+        spec.name
+    );
+    assert_eq!(
+        eval.stdout, spec.expected_output,
+        "{}: behaviour changed",
+        spec.name
+    );
     assert!(
         eval.encoded_transitions <= eval.baseline_transitions,
         "{}: encoding increased transitions",
@@ -30,7 +43,9 @@ fn all_kernels_all_block_sizes_verify_and_reduce() {
     for kernel in Kernel::ALL {
         let spec = kernel.test_spec();
         for k in 4..=7 {
-            let config = EncoderConfig::default().with_block_size(k).expect("valid size");
+            let config = EncoderConfig::default()
+                .with_block_size(k)
+                .expect("valid size");
             let reduction = pipeline_reduction(&spec, &config);
             assert!(
                 reduction > 0.0,
@@ -70,7 +85,10 @@ fn widened_transform_set_never_hurts() {
         &spec,
         &EncoderConfig::default().with_transforms(TransformSet::ALL_SIXTEEN),
     );
-    assert!(sixteen >= eight - 1e-9, "16 transforms did worse: {sixteen} vs {eight}");
+    assert!(
+        sixteen >= eight - 1e-9,
+        "16 transforms did worse: {sixteen} vs {eight}"
+    );
 }
 
 #[test]

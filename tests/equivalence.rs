@@ -1,0 +1,218 @@
+//! Equivalence tests for this PR's fast paths: the memoized codebook, the
+//! packed bit-lane representation, and the parallel fan-outs must each be
+//! **bit-identical** to the reference implementation they replace — the
+//! speedups are not allowed to change a single artifact byte.
+
+use imt::bitcode::bits::BitSeq;
+use imt::bitcode::block::{
+    encode_block_constrained, encode_block_constrained_exhaustive, BlockContext, OverlapHistory,
+};
+use imt::bitcode::lanes::encode_words;
+use imt::bitcode::packed::PackedSeq;
+use imt::bitcode::stream::{ChainStrategy, StreamCodec, StreamCodecConfig};
+use imt::bitcode::{Transform, TransformSet};
+use proptest::prelude::*;
+
+fn overlap_strategy() -> impl Strategy<Value = OverlapHistory> {
+    prop_oneof![Just(OverlapHistory::Stored), Just(OverlapHistory::Decoded)]
+}
+
+fn transform_set_strategy() -> impl Strategy<Value = TransformSet> {
+    prop_oneof![
+        Just(TransformSet::CANONICAL_EIGHT),
+        Just(TransformSet::ALL_SIXTEEN),
+        Just(TransformSet::IDENTITY_ONLY),
+        // Any random set containing the identity is a valid universe.
+        any::<u16>().prop_map(|mask| TransformSet::from_mask(mask).with(Transform::IDENTITY)),
+    ]
+}
+
+fn context_strategy() -> impl Strategy<Value = BlockContext> {
+    prop_oneof![
+        Just(BlockContext::Initial),
+        (any::<bool>(), any::<bool>(), overlap_strategy()).prop_map(
+            |(prev_stored, prev_original, history)| BlockContext::Chained {
+                prev_stored,
+                prev_original,
+                history,
+            }
+        ),
+    ]
+}
+
+fn final_bit_strategy() -> impl Strategy<Value = Option<bool>> {
+    prop_oneof![Just(None), Just(Some(false)), Just(Some(true))]
+}
+
+proptest! {
+    /// (a) The memoized codebook answers every constrained block query
+    /// exactly as the exhaustive solver does, across block sizes 2..=7,
+    /// all context shapes, all final-bit constraints and arbitrary
+    /// transform universes.
+    #[test]
+    fn codebook_matches_exhaustive_solver(
+        bits in proptest::collection::vec(any::<bool>(), 2..=7),
+        context in context_strategy(),
+        final_bit in final_bit_strategy(),
+        set in transform_set_strategy(),
+    ) {
+        let via_codebook = encode_block_constrained(&bits, context, set, final_bit);
+        let via_search = encode_block_constrained_exhaustive(&bits, context, set, final_bit);
+        prop_assert_eq!(via_codebook, via_search);
+    }
+
+    /// (b) The packed greedy encoder is bit-identical to the `Vec<bool>`
+    /// reference encoder — stored bits, block schedule and transition
+    /// accounting — and both round-trip through the decoder.
+    #[test]
+    fn packed_stream_matches_bool_reference(
+        bits in proptest::collection::vec(any::<bool>(), 0..300),
+        k in 2usize..=9,
+        overlap in overlap_strategy(),
+        set in transform_set_strategy(),
+    ) {
+        let original = BitSeq::from(bits);
+        let codec = StreamCodec::new(
+            StreamCodecConfig::block_size(k).unwrap()
+                .with_overlap(overlap)
+                .with_transforms(set),
+        );
+        let reference = codec.encode_reference(&original);
+        let packed = codec.encode_packed(&PackedSeq::from_bitseq(&original));
+        prop_assert_eq!(&packed, &reference);
+        prop_assert_eq!(codec.decode(&packed).unwrap(), original);
+    }
+
+    /// The packed strategy dispatch also holds under the optimal DP
+    /// chain strategy (which routes through the codebook-backed
+    /// constrained solver rather than the packed greedy loop).
+    #[test]
+    fn packed_stream_matches_reference_under_optimal_strategy(
+        bits in proptest::collection::vec(any::<bool>(), 0..120),
+        k in 2usize..=7,
+    ) {
+        let original = BitSeq::from(bits);
+        let codec = StreamCodec::new(
+            StreamCodecConfig::block_size(k).unwrap()
+                .with_strategy(ChainStrategy::Optimal),
+        );
+        let reference = codec.encode_reference(&original);
+        let packed = codec.encode_packed(&PackedSeq::from_bitseq(&original));
+        prop_assert_eq!(&packed, &reference);
+        prop_assert_eq!(codec.decode(&packed).unwrap(), original);
+    }
+
+    /// `PackedSeq` is a faithful bit container: round trip, random access
+    /// and transition counts all agree with the `Vec<bool>` view.
+    #[test]
+    fn packed_seq_is_faithful(
+        bits in proptest::collection::vec(any::<bool>(), 0..200),
+        window in (0usize..200, 1usize..=16),
+    ) {
+        let packed: PackedSeq = bits.iter().copied().collect();
+        let seq = BitSeq::from(bits.clone());
+        prop_assert_eq!(packed.len(), bits.len());
+        prop_assert_eq!(packed.to_bitseq(), seq.clone());
+        prop_assert_eq!(packed.transitions(), seq.transitions());
+        for (i, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), bit);
+        }
+        // extract() agrees with manual bit assembly wherever it fits.
+        let (start, len) = window;
+        if start + len <= bits.len() {
+            let expected = bits[start..start + len]
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+            prop_assert_eq!(packed.extract(start, len), expected);
+        }
+    }
+}
+
+/// Forces the `IMT_THREADS` override for the duration of a closure.
+///
+/// The variable is read at every fan-out, so setting it around each encode
+/// is enough; a lock serialises the harness's concurrently-running tests
+/// so one test's override never leaks into another's measurement.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("IMT_THREADS", n.to_string());
+    let result = f();
+    std::env::remove_var("IMT_THREADS");
+    result
+}
+
+/// (c) Lane encoding merges worker results by index: a forced 4-worker
+/// fan-out produces byte-identical output to the forced-serial path.
+#[test]
+fn parallel_lane_encoding_matches_serial() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    // 400 words puts encode_words over its fan-out threshold.
+    let words: Vec<u64> = (0..400).map(|_| u64::from(rng.gen::<u32>())).collect();
+    for k in [4usize, 5, 7] {
+        let codec = StreamCodec::new(StreamCodecConfig::block_size(k).unwrap());
+        let serial = with_threads(1, || encode_words(&words, 32, &codec).unwrap());
+        let parallel = with_threads(4, || encode_words(&words, 32, &codec).unwrap());
+        assert_eq!(serial, parallel, "k = {k}");
+    }
+}
+
+/// (c) The full program pipeline — text image, Transformation Table, BBIT
+/// and selection report — is bit-identical between the forced-serial and a
+/// forced 4-worker run, for every kernel.
+#[test]
+fn parallel_pipeline_matches_serial_on_all_kernels() {
+    use imt::core::{encode_program, EncoderConfig};
+    use imt_bench::runner::{profiled_run, Scale};
+    use imt_kernels::Kernel;
+
+    let config = EncoderConfig::default();
+    for kernel in Kernel::ALL {
+        let spec = Scale::Test.spec(kernel);
+        let run = profiled_run(&spec);
+        let serial = with_threads(1, || {
+            encode_program(&run.program, &run.profile, &config).unwrap()
+        });
+        let parallel = with_threads(4, || {
+            encode_program(&run.program, &run.profile, &config).unwrap()
+        });
+        assert_eq!(
+            serial.text, parallel.text,
+            "{}: text image diverged",
+            spec.name
+        );
+        assert_eq!(serial.tt, parallel.tt, "{}: TT diverged", spec.name);
+        assert_eq!(serial.bbit, parallel.bbit, "{}: BBIT diverged", spec.name);
+        assert_eq!(
+            serial.report, parallel.report,
+            "{}: report diverged",
+            spec.name
+        );
+        assert_eq!(serial, parallel, "{}: encoded program diverged", spec.name);
+    }
+}
+
+/// (c) The experiment-grid fan-out (`figure6_grid`) is scheduling-
+/// independent too: one kernel's sub-grid, serial vs 4 workers.
+#[test]
+fn parallel_experiment_grid_matches_serial() {
+    use imt_bench::runner::{run_grid, Scale};
+    use imt_core::EncoderConfig;
+    use imt_kernels::Kernel;
+
+    let cells: Vec<(Kernel, EncoderConfig)> = (4..=7)
+        .map(|k| {
+            (
+                Kernel::Tri,
+                EncoderConfig::default()
+                    .with_block_size(k)
+                    .expect("4..=7 is valid"),
+            )
+        })
+        .collect();
+    let serial = with_threads(1, || run_grid(&cells, Scale::Test));
+    let parallel = with_threads(4, || run_grid(&cells, Scale::Test));
+    assert_eq!(serial, parallel);
+}

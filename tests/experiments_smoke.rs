@@ -32,7 +32,10 @@ fn kernel_point_energy_and_budget_reporting() {
     let point = run_kernel_point(Kernel::Lu, Scale::Test, &EncoderConfig::default());
     let budget = HardwareBudget::of_schedule(&point.encoded);
     assert!(budget.total_bytes() > 0);
-    assert!(budget.total_bytes() < 4096, "tables should be far smaller than a cache");
+    assert!(
+        budget.total_bytes() < 4096,
+        "tables should be far smaller than a cache"
+    );
     let saved = EnergyModel::OFF_CHIP.energy_joules(point.evaluation.baseline_transitions)
         - EnergyModel::OFF_CHIP.energy_joules(point.evaluation.encoded_transitions);
     assert!(saved > 0.0);
@@ -45,16 +48,16 @@ fn extra_kernels_run_through_the_harness() {
         let spec = kernel.test_spec();
         let run = spec.run().unwrap();
         assert_eq!(run.stdout, spec.expected_output, "{}", spec.name);
-        let encoded = imt_core::encode_program(
-            &run.program,
-            &run.profile,
-            &EncoderConfig::default(),
-        )
-        .unwrap();
-        let eval =
-            imt_core::eval::evaluate(&run.program, &encoded, spec.max_steps).unwrap();
+        let encoded =
+            imt_core::encode_program(&run.program, &run.profile, &EncoderConfig::default())
+                .unwrap();
+        let eval = imt_core::eval::evaluate(&run.program, &encoded, spec.max_steps).unwrap();
         assert_eq!(eval.decode_mismatches, 0, "{}", spec.name);
-        assert!(eval.encoded_transitions <= eval.baseline_transitions, "{}", spec.name);
+        assert!(
+            eval.encoded_transitions <= eval.baseline_transitions,
+            "{}",
+            spec.name
+        );
     }
 }
 
@@ -81,9 +84,17 @@ fn figure6_grid_at_paper_scale() {
     let grid = figure6_grid(Scale::Paper);
     // The headline trend: k=4 beats k=7 on average.
     let mean = |ki: usize| -> f64 {
-        grid.iter().map(|points| points[ki].evaluation.reduction_percent()).sum::<f64>() / 6.0
+        grid.iter()
+            .map(|points| points[ki].evaluation.reduction_percent())
+            .sum::<f64>()
+            / 6.0
     };
-    assert!(mean(0) > mean(3), "k=4 mean {} <= k=7 mean {}", mean(0), mean(3));
+    assert!(
+        mean(0) > mean(3),
+        "k=4 mean {} <= k=7 mean {}",
+        mean(0),
+        mean(3)
+    );
     for points in &grid {
         for p in points {
             assert_eq!(p.evaluation.decode_mismatches, 0, "{}", p.instance);

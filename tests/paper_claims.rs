@@ -8,11 +8,22 @@ fn figure3_ttn_and_rtn_for_all_sizes() {
     // TTN follows (k-1)·2^(k-1); RTN values are the exhaustive optima.
     // (Paper prints 320/180 at k=6 — twice the closed form — and 234 at
     // k=7 where 236 is the provable optimum; see EXPERIMENTS.md.)
-    let expected = [(2, 2, 0), (3, 8, 2), (4, 24, 10), (5, 64, 32), (6, 160, 90), (7, 384, 236)];
+    let expected = [
+        (2, 2, 0),
+        (3, 8, 2),
+        (4, 24, 10),
+        (5, 64, 32),
+        (6, 160, 90),
+        (7, 384, 236),
+    ];
     for (k, ttn, rtn) in expected {
         let table = CodeTable::build(k, TransformSet::ALL_SIXTEEN).unwrap();
         assert_eq!(table.total_transitions(), ttn, "TTN k={k}");
-        assert_eq!(table.total_transitions(), theoretical_ttn(k), "closed form k={k}");
+        assert_eq!(
+            table.total_transitions(),
+            theoretical_ttn(k),
+            "closed form k={k}"
+        );
         assert_eq!(table.reduced_transitions(), rtn, "RTN k={k}");
     }
 }
@@ -27,7 +38,8 @@ fn canonical_eight_suffices_for_global_optimality_up_to_seven() {
         let eight = CodeTable::build(k, TransformSet::CANONICAL_EIGHT).unwrap();
         for (a, b) in full.entries().iter().zip(eight.entries()) {
             assert_eq!(
-                a.code_transitions, b.code_transitions,
+                a.code_transitions,
+                b.code_transitions,
                 "k={k} word {} lost optimality under the 8-subset",
                 a.word.to_paper_string()
             );
@@ -51,7 +63,10 @@ fn exact_minimal_subset_is_six_and_unique_at_k7() {
     assert_eq!(minimal.set, expected);
     assert_eq!(minimal.count_of_minimum_size, 1);
     // It is a strict subset of the paper's canonical eight.
-    assert_eq!(minimal.set.intersection(TransformSet::CANONICAL_EIGHT), minimal.set);
+    assert_eq!(
+        minimal.set.intersection(TransformSet::CANONICAL_EIGHT),
+        minimal.set
+    );
     assert!(minimal.set.len() < TransformSet::CANONICAL_EIGHT.len());
 }
 
