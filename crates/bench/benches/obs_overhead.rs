@@ -1,0 +1,84 @@
+//! Asserting bench: the disabled-path cost of `imt-obs` instrumentation.
+//!
+//! With `IMT_OBS` unset every instrumentation site in the encode hot path
+//! reduces to one relaxed atomic load plus a branch (`imt_obs::enabled()`).
+//! This bench measures both sides of that claim on the packed stream
+//! encoder — the hottest instrumented path — and **fails** (exit 1) if the
+//! gate cost could exceed 2% of a packed encode:
+//!
+//! 1. median wall time of `StreamCodec::encode_packed` over a 10 000-bit
+//!    stream, observability off;
+//! 2. amortised cost of one `imt_obs::enabled()` check;
+//! 3. assert `GATE_CHECKS_PER_ENCODE × check_cost < 2% × encode_time`,
+//!    with a generous bound on checks per encode (the real path performs
+//!    one, at the end of the call).
+//!
+//! Plain `harness = false` main so `cargo bench --bench obs_overhead` runs
+//! it as a CI gate without criterion's sampling machinery.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use imt_bitcode::gen::uniform;
+use imt_bitcode::packed::PackedSeq;
+use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+use rand::SeedableRng;
+
+/// Upper bound on `enabled()` checks one packed encode performs today
+/// (actual: 1). The headroom keeps the gate honest if more sites appear.
+const GATE_CHECKS_PER_ENCODE: u64 = 16;
+
+/// Maximum tolerated gate share of one packed encode.
+const BUDGET_PERCENT: f64 = 2.0;
+
+fn median_ns(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    // Tolerates and ignores cargo-bench plumbing args (`--bench`, filters).
+    let _ = std::env::args();
+    imt_obs::set_mode(imt_obs::Mode::Off);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let stream = uniform(&mut rng, 10_000);
+    let packed = PackedSeq::from_bitseq(&stream);
+    let codec = StreamCodec::new(StreamCodecConfig::block_size(5).expect("valid"));
+
+    // Warm-up builds the memoized codebook so we time the steady state.
+    black_box(codec.encode_packed(&packed));
+
+    let mut encode_samples = [0u64; 31];
+    for sample in &mut encode_samples {
+        let start = Instant::now();
+        black_box(codec.encode_packed(black_box(&packed)));
+        *sample = start.elapsed().as_nanos() as u64;
+    }
+    let encode_ns = median_ns(&mut encode_samples);
+
+    const CHECKS: u64 = 1_000_000;
+    let mut check_samples = [0u64; 9];
+    for sample in &mut check_samples {
+        let start = Instant::now();
+        for _ in 0..CHECKS {
+            black_box(imt_obs::enabled());
+        }
+        *sample = start.elapsed().as_nanos() as u64;
+    }
+    let check_ns = median_ns(&mut check_samples) as f64 / CHECKS as f64;
+
+    let gate_ns = check_ns * GATE_CHECKS_PER_ENCODE as f64;
+    let share = gate_ns / encode_ns as f64 * 100.0;
+    println!("obs_overhead: packed encode (10k bits, k=5)  median {encode_ns} ns");
+    println!("obs_overhead: enabled() check                {check_ns:.3} ns/call");
+    println!(
+        "obs_overhead: {GATE_CHECKS_PER_ENCODE} checks/encode = {gate_ns:.1} ns \
+         = {share:.4}% of an encode (budget {BUDGET_PERCENT}%)"
+    );
+    assert!(
+        share < BUDGET_PERCENT,
+        "disabled-path observability overhead {share:.4}% exceeds {BUDGET_PERCENT}% budget"
+    );
+    println!("obs_overhead: PASS");
+}

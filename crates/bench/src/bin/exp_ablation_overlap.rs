@@ -14,6 +14,11 @@ use imt_core::EncoderConfig;
 use imt_kernels::Kernel;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_ablation_overlap");
+}
+
+fn experiment() {
     let scale = Scale::from_args();
     println!("A2 — overlap semantics and transformation-set size, k = 5 ({scale:?} scale)\n");
     let minimal_six = minimal_optimal_subset(7).set;

@@ -11,6 +11,11 @@ use imt_core::EncoderConfig;
 use imt_kernels::Kernel;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_ablation_tt");
+}
+
+fn experiment() {
     let scale = Scale::from_args();
     let capacities = [2usize, 4, 8, 16, 32];
     println!("A1 — TT capacity sweep at block size 5 ({scale:?} scale)\n");

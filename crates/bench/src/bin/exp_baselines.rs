@@ -53,6 +53,11 @@ fn kernel_row(kernel: Kernel, scale: Scale) -> Vec<String> {
 }
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_baselines");
+}
+
+fn experiment() {
     let scale = Scale::from_args();
     println!("A3 — comparison with general-purpose bus encodings ({scale:?} scale)\n");
     let mut table = Table::new(

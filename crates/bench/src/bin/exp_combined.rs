@@ -17,6 +17,11 @@ use imt_sim::cpu::Tee;
 use imt_sim::Cpu;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_combined");
+}
+
+fn experiment() {
     let scale = Scale::from_args();
     println!("E-X — combined data + address interconnect ({scale:?} scale, k = 4)\n");
     let model = EnergyModel::OFF_CHIP;

@@ -15,6 +15,11 @@ use imt_kernels::extra::ExtraKernel;
 use imt_sim::Cpu;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_extra");
+}
+
+fn experiment() {
     let test_scale = std::env::args().any(|a| a == "--test-scale");
     println!(
         "E-K — extra kernels through the same pipeline ({} scale)\n",

@@ -5,6 +5,11 @@ use imt_bitcode::tables::CodeTable;
 use imt_bitcode::TransformSet;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_fig2");
+}
+
+fn experiment() {
     let table = CodeTable::build(3, TransformSet::CANONICAL_EIGHT).expect("block size 3 is valid");
     println!("Figure 2 — power efficient transformations for three bit blocks");
     println!("(words printed latest-bit-first, as in the paper)\n");

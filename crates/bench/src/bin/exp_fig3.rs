@@ -12,6 +12,11 @@ use imt_bitcode::tables::{theoretical_ttn, CodeTable};
 use imt_bitcode::TransformSet;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_fig3");
+}
+
+fn experiment() {
     let paper_rows: [(usize, &str, &str, &str); 6] = [
         (2, "2", "0", "100.0"),
         (3, "8", "2", "75.0"),

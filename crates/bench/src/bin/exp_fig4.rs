@@ -7,6 +7,11 @@ use imt_bitcode::tables::CodeTable;
 use imt_bitcode::TransformSet;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_fig4");
+}
+
+fn experiment() {
     let table = CodeTable::build(5, TransformSet::CANONICAL_EIGHT).expect("block size 5 is valid");
     println!("Figure 4 — power efficient transformations for five bit blocks");
     println!("(first half; the second half is the bitwise complement under the");

@@ -51,6 +51,11 @@ pub const PAPER_FIG6: [(&str, f64, PaperRow); 6] = [
 ];
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_fig6");
+}
+
+fn experiment() {
     let scale = Scale::from_args();
     let grid = figure6_grid(scale);
     println!("Figure 6 — transition reduction results ({scale:?} scale, TT = 16 entries)\n");

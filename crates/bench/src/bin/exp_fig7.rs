@@ -6,6 +6,11 @@ use imt_bench::runner::{figure6_grid, Scale};
 use imt_bench::table::bar_chart;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_fig7");
+}
+
+fn experiment() {
     let scale = Scale::from_args();
     let grid = figure6_grid(scale);
     println!("Figure 7 — percentage reduction comparison ({scale:?} scale)\n");

@@ -11,6 +11,11 @@ use imt_bitcode::gates::{restore_cell_cost, synthesize_nand};
 use imt_bitcode::TransformSet;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_gates");
+}
+
+fn experiment() {
     println!("E-G — exact NAND2 synthesis of the restore logic\n");
     let mut table = Table::new(
         ["transform", "NAND2 gates", "depth"]

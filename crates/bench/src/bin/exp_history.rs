@@ -15,6 +15,11 @@ use imt_bitcode::history::{encode_history_stream, history_table_summary};
 use rand::SeedableRng;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_history");
+}
+
+fn experiment() {
     println!("E-H — history-depth generalisation of Figure 3 (improvement %)\n");
     let mut table = Table::new(
         ["k", "h=1", "h=2", "h=3", "selector bits h=1/2/3"]

@@ -28,6 +28,11 @@ fn reduction(before: u64, after: u64) -> f64 {
 }
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_icache");
+}
+
+fn experiment() {
     let scale = Scale::from_args();
     println!("E-C — instruction cache and decoder placement ({scale:?} scale, k = 5)\n");
     let mut table = Table::new(
@@ -78,6 +83,11 @@ fn main() {
         cpu.run_with_sink(spec.max_steps, &mut sinks)
             .expect("replay");
 
+        if imt_obs::enabled() {
+            base_model.publish_obs(&format!("{}/baseline", spec.name));
+            enc_at_core.publish_obs(&format!("{}/at-core", spec.name));
+            enc_at_fill.publish_obs(&format!("{}/at-fill", spec.name));
+        }
         let core_uncached = eval.reduction_percent();
         let core_at_core = reduction(
             base_model.core_bus().total_transitions(),

@@ -14,6 +14,11 @@ use imt_core::hardware::HardwareBudget;
 use imt_kernels::Kernel;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_lanes");
+}
+
+fn experiment() {
     let scale = Scale::from_args();
     let wanted = std::env::args().find(|a| Kernel::ALL.iter().any(|k| k.name() == *a));
     let kernel = wanted

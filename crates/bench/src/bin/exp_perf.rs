@@ -13,10 +13,12 @@
 //! search over `Vec<bool>` lanes) against the memoized-codebook packed
 //! path — the algorithmic speedup that holds even on one core.
 //!
+//! All timings go through `imt-obs` always-on spans (`perf.encode` and
+//! `perf.codec`, labelled `kernel/mode`), so the same numbers land in the
+//! registry, the JSON artifact, and — under `IMT_OBS` — the run manifest.
+//!
 //! The outputs of both modes are asserted identical word-for-word — the
 //! speedup is free, not a different answer.
-
-use std::time::Instant;
 
 use imt_bench::runner::{profiled_run, Scale};
 use imt_bench::table::Table;
@@ -25,6 +27,7 @@ use imt_bitcode::par::thread_count;
 use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
 use imt_core::{encode_program, EncodedProgram, EncoderConfig};
 use imt_kernels::{Kernel, KernelRun};
+use imt_obs::json::Json;
 
 /// Timed repetitions per (kernel, mode); the mean is reported.
 const REPS: u32 = 5;
@@ -62,11 +65,19 @@ impl PerfPoint {
     }
 }
 
+/// Mean milliseconds per rep recorded under `name{label}` — the span
+/// totals replace the bespoke `Instant` arithmetic the seed carried.
+fn span_mean_ms(name: &'static str, label: &str) -> f64 {
+    let stat = imt_obs::registry::span_stat_labeled(name, label);
+    debug_assert_eq!(stat.count(), u64::from(REPS), "{name}{{{label}}}");
+    stat.total_ns() as f64 / f64::from(REPS) / 1e6
+}
+
 /// Times the codec layer over all 32 lanes of the text image both ways:
 /// the seed's reference path (exhaustive search, `Vec<bool>` streams) and
 /// the memoized-codebook packed path. Returns mean ms per full-image
 /// encode, `(reference, fast)`.
-fn time_codec(text: &[u32], codec: &StreamCodec) -> (f64, f64) {
+fn time_codec(kernel: &'static str, text: &[u32], codec: &StreamCodec) -> (f64, f64) {
     let words: Vec<u64> = text.iter().map(|&w| u64::from(w)).collect();
     let lanes: Vec<PackedSeq> = (0..32)
         .map(|lane| PackedSeq::from_lane(&words, lane))
@@ -76,44 +87,45 @@ fn time_codec(text: &[u32], codec: &StreamCodec) -> (f64, f64) {
         .iter()
         .map(|lane| codec.encode_reference(&lane.to_bitseq()))
         .collect();
-    let start = Instant::now();
+    let reference_label = format!("{kernel}/reference");
     for _ in 0..REPS {
+        let _span = imt_obs::span::timed_labeled("perf.codec", &reference_label);
         for lane in &lanes {
             std::hint::black_box(codec.encode_reference(&lane.to_bitseq()));
         }
     }
-    let reference_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(REPS);
 
     let fast_streams: Vec<_> = lanes.iter().map(|lane| codec.encode_packed(lane)).collect();
-    let start = Instant::now();
+    let fast_label = format!("{kernel}/packed");
     for _ in 0..REPS {
+        let _span = imt_obs::span::timed_labeled("perf.codec", &fast_label);
         for lane in &lanes {
             std::hint::black_box(codec.encode_packed(lane));
         }
     }
-    let fast_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(REPS);
 
     assert_eq!(
         reference_streams, fast_streams,
         "packed codec diverged from reference"
     );
-    (reference_ms, fast_ms)
+    (
+        span_mean_ms("perf.codec", &reference_label),
+        span_mean_ms("perf.codec", &fast_label),
+    )
 }
 
 /// Mean encode time in milliseconds over [`REPS`] runs (after one
-/// warm-up, which also pre-builds the shared codebooks).
-fn time_encode(run: &KernelRun, config: &EncoderConfig) -> (f64, EncodedProgram) {
+/// warm-up, which also pre-builds the shared codebooks), recorded under
+/// `perf.encode{label}`.
+fn time_encode(label: &str, run: &KernelRun, config: &EncoderConfig) -> (f64, EncodedProgram) {
     let encoded = encode_program(&run.program, &run.profile, config).expect("encode failed");
-    let start = Instant::now();
     for _ in 0..REPS {
+        let _span = imt_obs::span::timed_labeled("perf.encode", label);
         std::hint::black_box(
             encode_program(&run.program, &run.profile, config).expect("encode failed"),
         );
     }
-    (
-        start.elapsed().as_secs_f64() * 1e3 / f64::from(REPS),
-        encoded,
-    )
+    (span_mean_ms("perf.encode", label), encoded)
 }
 
 fn main() {
@@ -130,9 +142,11 @@ fn main() {
         // Serial reference: the IMT_THREADS override is read per fan-out,
         // so flipping the variable around the calls is sufficient.
         std::env::set_var("IMT_THREADS", "1");
-        let (serial_ms, serial_encoded) = time_encode(&run, &config);
+        let (serial_ms, serial_encoded) =
+            time_encode(&format!("{}/serial", kernel.name()), &run, &config);
         std::env::remove_var("IMT_THREADS");
-        let (parallel_ms, parallel_encoded) = time_encode(&run, &config);
+        let (parallel_ms, parallel_encoded) =
+            time_encode(&format!("{}/parallel", kernel.name()), &run, &config);
 
         assert_eq!(
             serial_encoded, parallel_encoded,
@@ -142,7 +156,8 @@ fn main() {
         let codec = StreamCodec::new(
             StreamCodecConfig::block_size(config.block_size()).expect("default k is valid"),
         );
-        let (codec_reference_ms, codec_fast_ms) = time_codec(&run.program.text, &codec);
+        let (codec_reference_ms, codec_fast_ms) =
+            time_codec(kernel.name(), &run.program.text, &codec);
         points.push(PerfPoint {
             kernel: kernel.name(),
             text_words: run.program.text.len(),
@@ -191,36 +206,51 @@ fn main() {
     println!("time. On a single-core host the thread speedup is ~1x by");
     println!("construction and the codec columns are the ones that matter.");
 
-    let mut json = String::from("{\n  \"threads\": ");
-    json.push_str(&threads.to_string());
-    json.push_str(",\n  \"reps\": ");
-    json.push_str(&REPS.to_string());
-    json.push_str(",\n  \"kernels\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"text_words\": {}, \"encoded_blocks\": {}, \
-             \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \
-             \"blocks_per_sec\": {:.1}, \"codec_reference_ms\": {:.3}, \
-             \"codec_fast_ms\": {:.3}, \"codec_speedup\": {:.3}}}{}\n",
-            p.kernel,
-            p.text_words,
-            p.encoded_blocks,
-            p.serial_ms,
-            p.parallel_ms,
-            p.speedup(),
-            p.blocks_per_sec(),
-            p.codec_reference_ms,
-            p.codec_fast_ms,
-            p.codec_speedup(),
-            if i + 1 < points.len() { "," } else { "" },
-        ));
-    }
-    json.push_str("  ]\n}\n");
+    // The artifact embeds its own obs manifest — spans included — so the
+    // JSON is self-describing even when `IMT_OBS` is off.
+    let mut manifest = imt_obs::manifest::Manifest::new("exp_perf");
+    manifest.set(
+        "environment",
+        Json::obj(vec![
+            ("threads", Json::U64(threads as u64)),
+            ("reps", Json::U64(u64::from(REPS))),
+        ]),
+    );
+    manifest.capture();
+    let round = |ms: f64| Json::F64((ms * 1000.0).round() / 1000.0);
+    let doc = Json::obj(vec![
+        ("threads", Json::U64(threads as u64)),
+        ("reps", Json::U64(u64::from(REPS))),
+        (
+            "kernels",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("kernel", Json::str(p.kernel)),
+                            ("text_words", Json::U64(p.text_words as u64)),
+                            ("encoded_blocks", Json::U64(p.encoded_blocks as u64)),
+                            ("serial_ms", round(p.serial_ms)),
+                            ("parallel_ms", round(p.parallel_ms)),
+                            ("speedup", round(p.speedup())),
+                            ("blocks_per_sec", round(p.blocks_per_sec())),
+                            ("codec_reference_ms", round(p.codec_reference_ms)),
+                            ("codec_fast_ms", round(p.codec_fast_ms)),
+                            ("codec_speedup", round(p.codec_speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("obs", manifest.to_json()),
+    ]);
     let path = "results/BENCH_pipeline.json";
-    match std::fs::write(path, &json) {
+    match std::fs::write(path, format!("{}\n", doc.render_pretty())) {
         Ok(()) => println!("\nwrote {path}"),
         // Running from a different working directory is not an error worth
         // failing the experiment over; the numbers are on stdout too.
         Err(e) => println!("\ncould not write {path}: {e}"),
     }
+    imt_bench::finish_run("exp_perf");
 }

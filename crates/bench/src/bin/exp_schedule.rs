@@ -18,6 +18,11 @@ use imt_kernels::Kernel;
 use imt_sim::Cpu;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_schedule");
+}
+
+fn experiment() {
     let scale = Scale::from_args();
     println!("E-O — transition-aware instruction scheduling (k = 5, {scale:?} scale)\n");
     let mut table = Table::new(

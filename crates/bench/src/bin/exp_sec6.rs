@@ -16,6 +16,11 @@ use imt_bitcode::stream::{OverlapHistory, StreamCodec, StreamCodecConfig};
 use rand::SeedableRng;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_sec6");
+}
+
+fn experiment() {
     let trials = 500usize;
     let bits = 1000usize;
     println!("§6 — greedy chained encoding of {trials} random {bits}-bit streams\n");

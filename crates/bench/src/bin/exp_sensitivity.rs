@@ -39,6 +39,11 @@ fn aggregate_reduction(codec: &StreamCodec, streams: &[imt_bitcode::bits::BitSeq
 }
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_sensitivity");
+}
+
+fn experiment() {
     let codec = StreamCodec::new(StreamCodecConfig::block_size(5).expect("valid size"));
     let trials = 200usize;
     let bits = 1000usize;

@@ -11,6 +11,11 @@ use imt_bitcode::tables::{minimal_optimal_subset, CodeTable};
 use imt_bitcode::TransformSet;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_subset");
+}
+
+fn experiment() {
     println!("§5.2 — minimal transformation subsets (exact set cover)\n");
     for max_k in 2..=7 {
         let minimal = minimal_optimal_subset(max_k);

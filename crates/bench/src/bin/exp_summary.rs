@@ -18,6 +18,11 @@ fn check(name: &str, pass: bool, detail: String) -> bool {
 }
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_summary");
+}
+
+fn experiment() {
     println!("reproduction scorecard — Petrov & Orailoglu, DATE 2003\n");
     let mut all = true;
 

@@ -19,6 +19,11 @@ use imt_sim::timing::{FrontEndTiming, TimingSink};
 use imt_sim::Cpu;
 
 fn main() {
+    experiment();
+    imt_bench::finish_run("exp_timing");
+}
+
+fn experiment() {
     let scale = Scale::from_args();
     println!("E-T — front-end timing: IMT (no added stage) vs dictionary (+1 stage)");
     println!("({scale:?} scale, redirect penalty 2 vs 3, 4 KiB I-cache, 20-cycle miss)\n");

@@ -38,3 +38,32 @@
 
 pub mod runner;
 pub mod table;
+
+/// Ends an experiment run under the active `IMT_OBS` mode: no-op when
+/// off, stderr report for `report`, manifest + JSONL under `IMT_OBS_PATH`
+/// (default `results/obs`) for `json`. Never touches stdout — the
+/// `results/*.txt` artifacts stay byte-identical with observability on —
+/// and never fails the experiment over a sink I/O error.
+pub fn finish_run(run: &str) {
+    use imt_obs::json::Json;
+    let extra = vec![(
+        "environment",
+        Json::obj(vec![
+            (
+                "threads",
+                Json::U64(imt_bitcode::par::thread_count() as u64),
+            ),
+            (
+                "scale",
+                Json::str(if std::env::args().any(|a| a == "--test-scale") {
+                    "test"
+                } else {
+                    "paper"
+                }),
+            ),
+        ]),
+    )];
+    if let Err(error) = imt_obs::manifest::finish_run(run, extra) {
+        eprintln!("imt-obs: failed to write manifest for {run}: {error}");
+    }
+}

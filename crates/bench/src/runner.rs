@@ -75,16 +75,31 @@ impl KernelPoint {
 /// broken run.
 pub fn run_kernel_point(kernel: Kernel, scale: Scale, config: &EncoderConfig) -> KernelPoint {
     let spec = scale.spec(kernel);
-    let run = profiled_run(&spec);
-    let encoded = encode_program(&run.program, &run.profile, config)
-        .unwrap_or_else(|e| panic!("{}: encoding failed: {e}", spec.name));
+    // Label every metric this cell publishes with its grid coordinates
+    // (`mmul-100/k5`); cells running on worker threads land in distinct,
+    // deterministic registry slots.
+    let _cell = imt_obs::push_label(format!("{}/k{}", spec.name, config.block_size()));
+    let run = {
+        let _span = imt_obs::span!("bench.profile");
+        profiled_run(&spec)
+    };
+    let encoded = {
+        let _span = imt_obs::span!("bench.encode");
+        encode_program(&run.program, &run.profile, config)
+            .unwrap_or_else(|e| panic!("{}: encoding failed: {e}", spec.name))
+    };
+    let _span = imt_obs::span!("bench.evaluate");
     let evaluation = evaluate(&run.program, &encoded, spec.max_steps)
         .unwrap_or_else(|e| panic!("{}: evaluation failed: {e}", spec.name));
+    drop(_span);
     assert_eq!(
         evaluation.stdout, spec.expected_output,
         "{}: evaluation run diverged from the golden model",
         spec.name
     );
+    if imt_obs::enabled() {
+        imt_obs::counter!("bench.cells_done").inc();
+    }
     KernelPoint {
         kernel: kernel.name(),
         instance: spec.name,

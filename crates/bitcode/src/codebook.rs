@@ -169,6 +169,12 @@ impl Codebook {
 
     fn slot(&self, context: BlockContext, final_bit: Option<bool>) -> &[Option<CodebookEntry>] {
         self.slots[context_index(context)][final_index(final_bit)].get_or_init(|| {
+            // Slot builds are the codebook's miss events: lookups that hit a
+            // built slot are free, so hits ≈ blocks encoded − slot builds.
+            if imt_obs::enabled() {
+                imt_obs::counter!("bitcode.codebook.slot_builds").inc();
+                imt_obs::counter!("bitcode.codebook.entries_built").add(1u64 << self.len);
+            }
             let mut entries = Vec::with_capacity(1usize << self.len);
             let mut bits = vec![false; self.len];
             for word in 0..(1u32 << self.len) {

@@ -58,6 +58,11 @@ where
         return (0..n).map(f).collect();
     }
 
+    if imt_obs::enabled() {
+        imt_obs::counter!("par.fanouts").inc();
+        imt_obs::counter!("par.items").add(n as u64);
+        imt_obs::gauge!("par.workers").set_max(workers as u64);
+    }
     let next = AtomicUsize::new(0);
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)

@@ -334,6 +334,11 @@ impl StreamCodec {
             }
         }
 
+        if imt_obs::enabled() {
+            imt_obs::counter!("bitcode.codec.packed_encodes").inc();
+            imt_obs::counter!("bitcode.codec.blocks").add(blocks.len() as u64);
+            imt_obs::counter!("bitcode.codec.bits").add(n as u64);
+        }
         EncodedStream {
             stored: stored.to_bitseq(),
             blocks,
@@ -386,6 +391,11 @@ impl StreamCodec {
             pos += len;
         }
 
+        if imt_obs::enabled() {
+            imt_obs::counter!("bitcode.codec.reference_encodes").inc();
+            imt_obs::counter!("bitcode.codec.blocks").add(blocks.len() as u64);
+            imt_obs::counter!("bitcode.codec.bits").add(n as u64);
+        }
         EncodedStream {
             stored,
             blocks,
@@ -504,6 +514,11 @@ impl StreamCodec {
                 len: encoding.code.len(),
             });
             stored.extend(encoding.code.iter().copied());
+        }
+        if imt_obs::enabled() {
+            imt_obs::counter!("bitcode.codec.dp_encodes").inc();
+            imt_obs::counter!("bitcode.codec.blocks").add(blocks.len() as u64);
+            imt_obs::counter!("bitcode.codec.bits").add(n as u64);
         }
         EncodedStream {
             stored,

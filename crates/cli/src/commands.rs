@@ -28,6 +28,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--bbit",
     "-k",
     "--trace",
+    "--trace-head",
+    "--trace-tail",
     "--emit-tables",
 ];
 
@@ -141,12 +143,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let opts = parse(args);
     let program = container::load_program(opts.input()?)?;
     let max_steps = opts.numeric("--max-steps", 1_000_000_000)?;
-    let trace_depth = opts.numeric("--trace", 0)? as usize;
+    // `--trace N` keeps N fetches at each end; `--trace-head` /
+    // `--trace-tail` override one end independently.
+    let trace_depth = opts.numeric("--trace", 0)?;
+    let head = opts.numeric("--trace-head", trace_depth)? as usize;
+    let tail = opts.numeric("--trace-tail", trace_depth)? as usize;
     let mut cpu = Cpu::new(&program)?;
-    let mut trace = imt_sim::trace::TraceRecorder::new(trace_depth, trace_depth);
+    let mut trace = imt_sim::trace::TraceRecorder::new(head, tail);
     let summary = cpu.run_with_sink(max_steps, &mut trace)?;
     let mut out = String::new();
-    if trace_depth > 0 {
+    if head > 0 || tail > 0 {
         out.push_str(&trace.render());
     }
     out.push_str(cpu.stdout());
@@ -172,6 +178,9 @@ pub fn profile(args: &[String]) -> Result<String, CliError> {
     let loops = hot_loops(&cfg, cpu.profile());
     let mix = imt_sim::stats::InstructionMix::from_profile(&program, cpu.profile())
         .map_err(|e| CliError::new(e.to_string()))?;
+    if imt_obs::enabled() {
+        mix.publish_obs("profile");
+    }
     let mut out = format!(
         "{} instructions executed, {} basic blocks, {} natural loops\n",
         cpu.instructions(),
@@ -327,6 +336,179 @@ pub fn tables(args: &[String]) -> Result<String, CliError> {
         table.improvement_percent()
     )
     .expect("write to String");
+    Ok(out)
+}
+
+pub fn obs(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    match opts.positional.first().copied() {
+        Some("check") => obs_check(opts.positional.get(1).copied()),
+        Some("report") => obs_report(opts.positional.get(1).copied()),
+        _ => Err(CliError::new(
+            "usage: imt obs check [dir] | imt obs report <manifest.json>",
+        )),
+    }
+}
+
+/// Validates every `*.json` manifest in `dir` (default: the active obs
+/// directory) against the `imt-obs/v1` schema. Any invalid manifest makes
+/// the command fail — this is the CI gate behind `imt obs check`.
+fn obs_check(dir: Option<&str>) -> Result<String, CliError> {
+    use imt_obs::json::Json;
+    let dir = dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(imt_obs::manifest::obs_dir);
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| CliError::new(format!("cannot read {}: {e}", dir.display())))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::new(format!(
+            "no manifests (*.json) in {}",
+            dir.display()
+        )));
+    }
+    let mut out = String::new();
+    let mut failures = Vec::new();
+    for path in &paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+            .and_then(|doc| imt_obs::manifest::validate(&doc).map(|()| doc));
+        match verdict {
+            Ok(doc) => {
+                let count = |key: &str| {
+                    doc.get(key)
+                        .and_then(Json::as_array)
+                        .map_or(0, |items| items.len())
+                };
+                writeln!(
+                    out,
+                    "  ok    {name}  ({} metrics, {} events)",
+                    count("metrics"),
+                    count("events")
+                )
+                .expect("write to String");
+            }
+            Err(error) => {
+                writeln!(out, "  FAIL  {name}: {error}").expect("write to String");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        writeln!(
+            out,
+            "{} manifest(s) valid against {}",
+            paths.len(),
+            imt_obs::manifest::SCHEMA
+        )
+        .expect("write to String");
+        Ok(out)
+    } else {
+        Err(CliError::new(format!(
+            "{out}{} of {} manifest(s) invalid in {}",
+            failures.len(),
+            paths.len(),
+            dir.display()
+        )))
+    }
+}
+
+/// Summarises one manifest file: run identity, caller sections, and the
+/// counters/gauges/spans it captured.
+fn obs_report(path: Option<&str>) -> Result<String, CliError> {
+    use imt_obs::json::Json;
+    let path = path.ok_or_else(|| CliError::new("usage: imt obs report <manifest.json>"))?;
+    let text = std::fs::read_to_string(path)?;
+    let doc =
+        Json::parse(&text).map_err(|e| CliError::new(format!("{path}: not valid JSON: {e}")))?;
+    imt_obs::manifest::validate(&doc).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let run = doc.get("run").and_then(Json::as_str).unwrap_or("?");
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_array)
+        .map(<[Json]>::to_vec)
+        .unwrap_or_default();
+    let events = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .map_or(0, |e| e.len());
+    let mut out = format!(
+        "run `{run}` ({} metrics, {events} events, schema {})\n",
+        metrics.len(),
+        imt_obs::manifest::SCHEMA
+    );
+    if let Json::Obj(pairs) = &doc {
+        let sections: Vec<&str> = pairs
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| !matches!(*k, "schema" | "run" | "metrics" | "events"))
+            .collect();
+        if !sections.is_empty() {
+            writeln!(out, "sections: {}", sections.join(", ")).expect("write to String");
+        }
+    }
+    for (kind, header) in [
+        ("counter", "counters"),
+        ("gauge", "gauges"),
+        ("histogram", "histograms"),
+        ("span", "spans"),
+    ] {
+        let group: Vec<&Json> = metrics
+            .iter()
+            .filter(|m| m.get("kind").and_then(Json::as_str) == Some(kind))
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        writeln!(out, "{header}:").expect("write to String");
+        for metric in group {
+            let name = metric.get("name").and_then(Json::as_str).unwrap_or("?");
+            let label = metric.get("label").and_then(Json::as_str).unwrap_or("");
+            let slot = if label.is_empty() {
+                name.to_string()
+            } else {
+                format!("{name}{{{label}}}")
+            };
+            let field = |key: &str| metric.get(key).and_then(Json::as_u64).unwrap_or(0);
+            match kind {
+                "counter" | "gauge" => {
+                    writeln!(out, "  {slot} = {}", field("value")).expect("write to String");
+                }
+                "histogram" => {
+                    writeln!(
+                        out,
+                        "  {slot}: count={} sum={} min={} max={}",
+                        field("count"),
+                        field("sum"),
+                        field("min"),
+                        field("max")
+                    )
+                    .expect("write to String");
+                }
+                _ => {
+                    let count = field("count");
+                    let total = field("total_ns");
+                    let mean = total.checked_div(count).unwrap_or(0);
+                    writeln!(
+                        out,
+                        "  {slot}: count={count} total={:.3}ms mean={:.3}ms",
+                        total as f64 / 1e6,
+                        mean as f64 / 1e6
+                    )
+                    .expect("write to String");
+                }
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -497,6 +679,76 @@ loop:   xor $t1, $t1, $t0\n\
         let out = kernels(&args(&["fft"])).unwrap();
         assert!(out.contains("golden model match: true"));
         assert!(kernels(&args(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn trace_head_and_tail_flags_bound_each_end() {
+        let src = write_temp("tracehead.s", LOOP_SRC);
+        // Head only: no tail entries, so the elision marker runs to the end.
+        let out = run(&args(&[&src, "--trace-head", "2"])).unwrap();
+        let first = out.lines().next().unwrap();
+        assert!(
+            first.trim_start().starts_with('0'),
+            "head starts at fetch 0: {first}"
+        );
+        assert!(out.contains("fetches elided"));
+        assert!(!out
+            .lines()
+            .any(|l| l.contains("syscall") && l.contains("0x")));
+        // Tail only: the final syscall is visible, fetch 0 is not.
+        let out = run(&args(&[&src, "--trace-tail", "2"])).unwrap();
+        assert!(out.contains("syscall"));
+        assert!(!out.lines().next().unwrap().trim_start().starts_with("0 "));
+        // `--trace N` remains the symmetric shorthand, overridable per end.
+        let out = run(&args(&[&src, "--trace", "2", "--trace-tail", "1"])).unwrap();
+        assert!(out.contains("fetches elided"));
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn obs_check_validates_a_directory() {
+        let dir = std::env::temp_dir().join(format!("imt_cli_obs_check_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = r#"{"schema":"imt-obs/v1","run":"x","metrics":[],"events":[]}"#;
+        std::fs::write(dir.join("good.json"), good).unwrap();
+        let out = obs(&args(&["check", &dir.to_string_lossy()])).unwrap();
+        assert!(out.contains("ok    good.json"));
+        assert!(out.contains("1 manifest(s) valid"));
+        // One bad manifest fails the whole check.
+        std::fs::write(dir.join("bad.json"), r#"{"run":"x"}"#).unwrap();
+        let err = obs(&args(&["check", &dir.to_string_lossy()])).unwrap_err();
+        assert!(err.to_string().contains("FAIL  bad.json"));
+        assert!(err.to_string().contains("missing `schema`"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_report_summarises_a_manifest() {
+        let dir = std::env::temp_dir().join(format!("imt_cli_obs_report_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = r#"{"schema":"imt-obs/v1","run":"demo",
+            "environment":{"threads":4},
+            "metrics":[
+              {"name":"a.count","label":"","kind":"counter","value":3},
+              {"name":"b.time","label":"tri","kind":"span",
+               "count":2,"total_ns":4000000,"min_ns":1000000,"max_ns":3000000}],
+            "events":[]}"#;
+        let path = dir.join("demo.json");
+        std::fs::write(&path, manifest).unwrap();
+        let out = obs(&args(&["report", &path.to_string_lossy()])).unwrap();
+        assert!(out.contains("run `demo`"));
+        assert!(out.contains("sections: environment"));
+        assert!(out.contains("a.count = 3"));
+        assert!(out.contains("b.time{tri}: count=2 total=4.000ms mean=2.000ms"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_without_subcommand_shows_usage() {
+        let err = obs(&[]).unwrap_err();
+        assert!(err.to_string().contains("imt obs check"));
     }
 
     #[test]

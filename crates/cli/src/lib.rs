@@ -80,7 +80,7 @@ commands:
   asm <file.s> [-o image.imt | --listing]
                                    assemble; write an image or a listing
   dis <file>                       disassemble (accepts .s or .imt)
-  run <file> [--max-steps N] [--trace N]
+  run <file> [--max-steps N] [--trace N] [--trace-head N] [--trace-tail N]
                                    execute; print output (+head/tail trace)
   profile <file> [--max-steps N]   execute and report loops by fetch share
   encode <file> [--block-size K] [--tt N] [--bbit N] [--all-sixteen]
@@ -90,7 +90,13 @@ commands:
   tables [--block-size K] [--all-sixteen]
                                    print the optimal code table (Fig. 2/4)
   kernels [name]                   list the paper kernels, or run one
+  obs check [dir]                  validate run manifests (imt-obs/v1)
+  obs report <manifest.json>       summarise one run manifest
   help                             this text
+
+observability: set IMT_OBS=report for a stderr metrics report, or
+IMT_OBS=json to write a run manifest under IMT_OBS_PATH (default
+results/obs) after each command.
 ";
 
 /// Runs the CLI on pre-split arguments (without the program name) and
@@ -105,7 +111,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         return Ok(USAGE.to_string());
     };
     let rest = &args[1..];
-    match command.as_str() {
+    let result = match command.as_str() {
         "asm" => commands::asm(rest),
         "dis" => commands::dis(rest),
         "run" => commands::run(rest),
@@ -115,11 +121,24 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "schedule" => commands::schedule(rest),
         "tables" => commands::tables(rest),
         "kernels" => commands::kernels(rest),
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::new(format!(
-            "unknown command `{other}`\n\n{USAGE}"
-        ))),
+        "obs" => return commands::obs(rest),
+        "help" | "--help" | "-h" => return Ok(USAGE.to_string()),
+        other => {
+            return Err(CliError::new(format!(
+                "unknown command `{other}`\n\n{USAGE}"
+            )))
+        }
+    };
+    // Under `IMT_OBS`, a successful command ends with its run manifest
+    // (stderr/file only — the command's stdout is untouched). `obs` and
+    // `help` return above: inspecting manifests should not write new ones.
+    if result.is_ok() && imt_obs::enabled() {
+        let extra = vec![("command", imt_obs::json::Json::str(command))];
+        if let Err(error) = imt_obs::manifest::finish_run(&format!("cli-{command}"), extra) {
+            eprintln!("imt-obs: failed to write manifest for {command}: {error}");
+        }
     }
+    result
 }
 
 #[cfg(test)]

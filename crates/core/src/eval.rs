@@ -117,7 +117,7 @@ pub fn evaluate(
             expected,
         });
     }
-    Ok(Evaluation {
+    let evaluation = Evaluation {
         fetches: summary.instructions,
         baseline_transitions: sink.baseline.total_transitions(),
         encoded_transitions: sink.encoded.total_transitions(),
@@ -128,7 +128,55 @@ pub fn evaluate(
         passthrough_fetches: sink.decoder.passthrough_fetches(),
         exit_code: summary.exit_code,
         stdout: cpu.stdout().to_string(),
-    })
+    };
+    if imt_obs::enabled() {
+        publish_eval_obs(&evaluation, &sink);
+    }
+    Ok(evaluation)
+}
+
+/// Publishes one evaluation under the thread's current context label:
+/// labelled transition gauges plus a structured `eval` event carrying the
+/// per-lane breakdown (validated lane-sum-equals-total by `imt obs check`).
+fn publish_eval_obs(eval: &Evaluation, sink: &EvalSink<'_>) {
+    use imt_obs::json::Json;
+    let label = imt_obs::current_label();
+    imt_obs::counter!("core.eval.runs").inc();
+    imt_obs::counter!("core.eval.fetches").add(eval.fetches);
+    imt_obs::gauge_labeled("core.eval.baseline_transitions", &label).set(eval.baseline_transitions);
+    imt_obs::gauge_labeled("core.eval.encoded_transitions", &label).set(eval.encoded_transitions);
+    sink.baseline.publish_obs(&format!("{label}/baseline"));
+    sink.encoded.publish_obs(&format!("{label}/encoded"));
+    imt_obs::event(
+        "eval",
+        label,
+        Json::obj(vec![
+            ("fetches", Json::U64(eval.fetches)),
+            ("baseline_transitions", Json::U64(eval.baseline_transitions)),
+            ("encoded_transitions", Json::U64(eval.encoded_transitions)),
+            ("reduction_percent", Json::F64(eval.reduction_percent())),
+            ("decoded_fetches", Json::U64(eval.decoded_fetches)),
+            ("passthrough_fetches", Json::U64(eval.passthrough_fetches)),
+            (
+                "per_lane_baseline",
+                Json::Arr(
+                    eval.per_lane_baseline
+                        .iter()
+                        .map(|&t| Json::U64(t))
+                        .collect(),
+                ),
+            ),
+            (
+                "per_lane_encoded",
+                Json::Arr(
+                    eval.per_lane_encoded
+                        .iter()
+                        .map(|&t| Json::U64(t))
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
 }
 
 #[cfg(test)]

@@ -50,6 +50,18 @@ pub enum DemotionReason {
     ColdBlock,
 }
 
+impl DemotionReason {
+    /// A short stable name (used as a metric label suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            DemotionReason::TtCapacity => "tt-capacity",
+            DemotionReason::BbitCapacity => "bbit-capacity",
+            DemotionReason::NoSaving => "no-saving",
+            DemotionReason::ColdBlock => "cold-block",
+        }
+    }
+}
+
 /// Summary of the region-selection pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionReport {
@@ -132,6 +144,7 @@ pub fn encode_program(
     profile: &[u64],
     config: &EncoderConfig,
 ) -> Result<EncodedProgram, CoreError> {
+    let _span = imt_obs::span!("core.encode_program");
     if profile.len() < program.text.len() {
         return Err(CoreError::ProfileLength {
             text_len: program.text.len(),
@@ -183,6 +196,7 @@ pub fn encode_program(
     // TT/BBIT allocation — and thus the whole image — bit-identical to a
     // serial run.
     let bus_mask = width_mask(BUS_WIDTH);
+    let prepare_span = imt_obs::span!("core.prepare_candidates");
     let prepared: Vec<Result<PreparedCandidate, CoreError>> =
         par_map(&candidates, 1, |_, &block_id| {
             if weights[block_id.0] == 0 {
@@ -200,6 +214,7 @@ pub fn encode_program(
                 encoded_words,
             })
         });
+    drop(prepare_span);
 
     let mut text = program.text.clone();
     let mut tt = TransformationTable::new();
@@ -281,6 +296,9 @@ pub fn encode_program(
         tt_used: tt.len(),
         bbit_used: bbit.len(),
     };
+    if imt_obs::enabled() {
+        publish_report_obs(&report);
+    }
     Ok(EncodedProgram {
         text,
         tt,
@@ -289,6 +307,39 @@ pub fn encode_program(
         report,
         text_base: program.text_base,
     })
+}
+
+/// Publishes one selection pass into the registry under the thread's
+/// current context label. Gauges (idempotent set), not counters, so a
+/// re-run of the same labelled region overwrites instead of accumulating
+/// — manifests stay deterministic under the parallel experiment grids.
+fn publish_report_obs(report: &RegionReport) {
+    let label = imt_obs::current_label();
+    imt_obs::counter!("core.encode.runs").inc();
+    imt_obs::gauge_labeled("core.encode.blocks_encoded", &label).set(report.encoded.len() as u64);
+    imt_obs::gauge_labeled("core.encode.tt_used", &label).set(report.tt_used as u64);
+    imt_obs::gauge_labeled("core.encode.bbit_used", &label).set(report.bbit_used as u64);
+    let original: u64 = report.encoded.iter().map(|b| b.original_transitions).sum();
+    let encoded: u64 = report.encoded.iter().map(|b| b.encoded_transitions).sum();
+    imt_obs::gauge_labeled("core.encode.static_original_transitions", &label).set(original);
+    imt_obs::gauge_labeled("core.encode.static_encoded_transitions", &label).set(encoded);
+    imt_obs::gauge_labeled("core.encode.static_saved_transitions", &label).set(original - encoded);
+    for reason in [
+        DemotionReason::TtCapacity,
+        DemotionReason::BbitCapacity,
+        DemotionReason::NoSaving,
+        DemotionReason::ColdBlock,
+    ] {
+        let n = report.demoted.iter().filter(|(_, r)| *r == reason).count();
+        if n > 0 {
+            let sub = if label.is_empty() {
+                reason.name().to_string()
+            } else {
+                format!("{label}/{}", reason.name())
+            };
+            imt_obs::gauge_labeled("core.encode.demoted", &sub).set(n as u64);
+        }
+    }
 }
 
 #[cfg(test)]

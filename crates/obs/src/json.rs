@@ -1,0 +1,606 @@
+//! A minimal JSON document model, renderer and parser.
+//!
+//! Hand-rolled (no serde — the workspace is offline and dependency-free)
+//! and small on purpose: just enough to write run manifests, read them
+//! back for `imt obs check`, and let tests assert on emitted values.
+//!
+//! Design choices that matter for observability:
+//!
+//! * integers keep their exactness — [`Json::U64`] / [`Json::I64`] are
+//!   separate from [`Json::F64`], so a 64-bit transition count never
+//!   round-trips through a double;
+//! * objects are ordered ([`Json::Obj`] is a `Vec` of pairs), so a
+//!   rendered manifest is byte-deterministic for a given input.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact unsigned integer.
+    U64(u64),
+    /// An exact signed integer (used for negative values).
+    I64(i64),
+    /// A double; non-finite values render as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs; keys may be `&str`.
+    pub fn obj<K: Into<String>>(pairs: Vec<(K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// The value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The unsigned-integer value, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The signed-integer value, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::I64(v) => Some(*v),
+            Json::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value widened to a double.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(v) => Some(*v),
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object pairs.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Renders with two-space indentation, one key per line.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => render_f64(*v, out),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn render_pretty_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    item.render_pretty_into(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    indent(out, depth + 1);
+                    render_string(key, out);
+                    out.push_str(": ");
+                    value.render_pretty_into(out, depth + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.render_into(out),
+        }
+    }
+
+    /// Parses a JSON document. Returns a human-readable error with a byte
+    /// offset on malformed input.
+    pub fn parse(input: &str) -> Result<Json, ParseError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Rust's shortest round-trip Display is valid JSON except that whole
+    // doubles print without a fraction ("2" not "2.0"); keep the marker so
+    // readers can tell doubles from exact integers.
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What the parser expected or found.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // Combine surrogate pairs when both halves are
+                            // present; otherwise substitute U+FFFD.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(code).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so slicing at
+                    // char boundaries is safe via char_indices).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.error("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::F64)
+                .map_err(|_| self.error("invalid number"))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            // Negative integer: keep exactness via I64, widen on overflow.
+            if stripped.parse::<u64>().is_ok() {
+                text.parse::<i64>()
+                    .map(Json::I64)
+                    .or_else(|_| text.parse::<f64>().map(Json::F64))
+                    .map_err(|_| self.error("invalid number"))
+            } else {
+                Err(self.error("invalid number"))
+            }
+        } else {
+            text.parse::<u64>()
+                .map(Json::U64)
+                .or_else(|_| text.parse::<f64>().map(Json::F64))
+                .map_err(|_| self.error("invalid number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_documents() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("mmul")),
+            ("k", Json::U64(5)),
+            ("ratio", Json::F64(0.25)),
+            ("lanes", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            ("neg", Json::I64(-3)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+        ]);
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"mmul","k":5,"ratio":0.25,"lanes":[1,2],"neg":-3,"ok":true,"none":null}"#
+        );
+    }
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        for v in [0u64, 1, u64::MAX, (1 << 53) + 1] {
+            let parsed = Json::parse(&Json::U64(v).render()).unwrap();
+            assert_eq!(parsed.as_u64(), Some(v), "u64 {v} must stay exact");
+        }
+        let parsed = Json::parse("-9223372036854775808").unwrap();
+        assert_eq!(parsed.as_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn doubles_keep_a_fraction_marker() {
+        assert_eq!(Json::F64(2.0).render(), "2.0");
+        assert_eq!(Json::F64(0.5).render(), "0.5");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        let parsed = Json::parse("2.0").unwrap();
+        assert_eq!(parsed, Json::F64(2.0));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line\nquote\" back\\ tab\t unicode\u{1F600} ctrl\u{1}";
+        let rendered = Json::Str(s.to_string()).render();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(parsed.as_str(), Some(s));
+        // Escape sequences from other writers parse too.
+        let parsed = Json::parse(r#""aA😀\/b""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("aA\u{1F600}/b"));
+    }
+
+    #[test]
+    fn parse_round_trips_nested_documents() {
+        let src = r#" { "a" : [ 1 , { "b" : [ ] } , null ] , "c" : { } } "#;
+        let doc = Json::parse(src).unwrap();
+        let compact = doc.render();
+        assert_eq!(Json::parse(&compact).unwrap(), doc);
+        assert_eq!(compact, r#"{"a":[1,{"b":[]},null],"c":{}}"#);
+    }
+
+    #[test]
+    fn object_accessors() {
+        let doc = Json::parse(r#"{"x":{"y":7},"z":[true]}"#).unwrap();
+        assert_eq!(
+            doc.get("x").and_then(|x| x.get("y")).and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            doc.get("z").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(doc.as_object().map(<[(String, Json)]>::len), Some(2));
+    }
+
+    #[test]
+    fn malformed_input_reports_offsets() {
+        for (src, fragment) in [
+            ("{", "expected"),
+            (r#"{"a" 1}"#, "expected `:`"),
+            ("[1,]", "unexpected `]`"),
+            ("01x", "trailing"),
+            (r#""unterminated"#, "unterminated"),
+            ("nul", "expected `null`"),
+        ] {
+            let err = Json::parse(src).unwrap_err();
+            assert!(
+                err.message.contains(fragment),
+                "{src:?}: got {:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn pretty_rendering_parses_back() {
+        let doc = Json::obj(vec![
+            ("a", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            ("b", Json::obj(vec![("c", Json::Null)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let pretty = doc.render_pretty();
+        assert!(pretty.contains("\n  \"a\": [\n"));
+        assert_eq!(Json::parse(&pretty).unwrap(), doc);
+    }
+}

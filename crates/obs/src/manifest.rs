@@ -1,0 +1,484 @@
+//! Run manifests: one JSON document per run capturing configuration, the
+//! full metric/span snapshot and recorded events, plus the validator
+//! behind `imt obs check`.
+//!
+//! Schema `imt-obs/v1` (see EXPERIMENTS.md for the prose version):
+//!
+//! ```json
+//! {
+//!   "schema": "imt-obs/v1",
+//!   "run": "exp_fig6",
+//!   "<caller sections>": { ... },
+//!   "metrics": [
+//!     {"name": "...", "label": "...", "kind": "counter", "value": 0},
+//!     {"name": "...", "label": "...", "kind": "gauge", "value": 0},
+//!     {"name": "...", "label": "...", "kind": "histogram",
+//!      "count": 0, "sum": 0, "min": 0, "max": 0, "buckets": [[1, 3]]},
+//!     {"name": "...", "label": "...", "kind": "span",
+//!      "count": 0, "total_ns": 0, "min_ns": 0, "max_ns": 0}
+//!   ],
+//!   "events": [{"kind": "...", "label": "...", "fields": { ... }}]
+//! }
+//! ```
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::registry::{MetricSnapshot, SnapshotValue};
+use crate::{event, registry, sink, Mode};
+
+/// The manifest schema identifier.
+pub const SCHEMA: &str = "imt-obs/v1";
+
+/// Where manifests and JSONL snapshots go: `IMT_OBS_PATH`, defaulting to
+/// `results/obs`.
+pub fn obs_dir() -> PathBuf {
+    std::env::var("IMT_OBS_PATH")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results/obs"))
+}
+
+/// One metric snapshot as its manifest JSON object.
+pub fn metric_to_json(metric: &MetricSnapshot) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::str(metric.name)),
+        ("label".to_string(), Json::str(&metric.label)),
+        ("kind".to_string(), Json::str(metric.value.kind())),
+    ];
+    match &metric.value {
+        SnapshotValue::Counter(v) | SnapshotValue::Gauge(v) => {
+            pairs.push(("value".to_string(), Json::U64(*v)));
+        }
+        SnapshotValue::Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        } => {
+            pairs.push(("count".to_string(), Json::U64(*count)));
+            pairs.push(("sum".to_string(), Json::U64(*sum)));
+            pairs.push(("min".to_string(), Json::U64(*min)));
+            pairs.push(("max".to_string(), Json::U64(*max)));
+            pairs.push((
+                "buckets".to_string(),
+                Json::Arr(
+                    buckets
+                        .iter()
+                        .map(|(i, n)| Json::Arr(vec![Json::U64(*i as u64), Json::U64(*n)]))
+                        .collect(),
+                ),
+            ));
+        }
+        SnapshotValue::Span {
+            count,
+            total_ns,
+            min_ns,
+            max_ns,
+        } => {
+            pairs.push(("count".to_string(), Json::U64(*count)));
+            pairs.push(("total_ns".to_string(), Json::U64(*total_ns)));
+            pairs.push(("min_ns".to_string(), Json::U64(*min_ns)));
+            pairs.push(("max_ns".to_string(), Json::U64(*max_ns)));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+/// A run manifest under construction.
+pub struct Manifest {
+    run: String,
+    sections: Vec<(String, Json)>,
+    metrics: Vec<MetricSnapshot>,
+    events: Vec<event::Event>,
+    captured: bool,
+}
+
+impl Manifest {
+    /// Starts a manifest for the run named `run` (becomes the file stem).
+    pub fn new(run: impl Into<String>) -> Manifest {
+        Manifest {
+            run: run.into(),
+            sections: Vec::new(),
+            metrics: Vec::new(),
+            events: Vec::new(),
+            captured: false,
+        }
+    }
+
+    /// The run name.
+    pub fn run(&self) -> &str {
+        &self.run
+    }
+
+    /// Adds (or replaces) a caller section, e.g. `"config"`.
+    pub fn set(&mut self, key: impl Into<String>, value: Json) {
+        let key = key.into();
+        if let Some(slot) = self.sections.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.sections.push((key, value));
+        }
+    }
+
+    /// Snapshots the registry and event buffer into the manifest.
+    pub fn capture(&mut self) {
+        self.metrics = registry::snapshot();
+        self.events = event::snapshot();
+        self.captured = true;
+    }
+
+    /// The manifest as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("schema".to_string(), Json::str(SCHEMA)),
+            ("run".to_string(), Json::str(&self.run)),
+        ];
+        for (key, value) in &self.sections {
+            pairs.push((key.clone(), value.clone()));
+        }
+        pairs.push((
+            "metrics".to_string(),
+            Json::Arr(self.metrics.iter().map(metric_to_json).collect()),
+        ));
+        pairs.push((
+            "events".to_string(),
+            Json::Arr(self.events.iter().map(event::Event::to_json).collect()),
+        ));
+        Json::Obj(pairs)
+    }
+
+    /// The manifest rendered as pretty JSON.
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Writes `<obs_dir>/<run>.json`, creating the directory.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        self.write_to(&obs_dir())
+    }
+
+    /// Writes `<dir>/<run>.json`, creating the directory.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.run));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.render().as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(path)
+    }
+
+    /// Writes `<dir>/<run>.jsonl` — one `{"type": "metric" | "event"}`
+    /// line per snapshot entry — creating the directory.
+    pub fn write_jsonl_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.jsonl", self.run));
+        std::fs::write(&path, sink::snapshot_jsonl(&self.metrics, &self.events))?;
+        Ok(path)
+    }
+}
+
+/// Ends a run according to the active [`Mode`]:
+///
+/// * [`Mode::Off`] — does nothing, returns `None`;
+/// * [`Mode::Report`] — prints the human-readable report to stderr;
+/// * [`Mode::Json`] — captures a manifest with the given extra sections,
+///   writes `<run>.json` and `<run>.jsonl` under [`obs_dir`], and
+///   returns the manifest path.
+///
+/// Output goes to stderr/files only; stdout is reserved for experiment
+/// artifacts, which must stay byte-identical with observability on.
+pub fn finish_run<K: Into<String>>(
+    run: &str,
+    extra: Vec<(K, Json)>,
+) -> std::io::Result<Option<PathBuf>> {
+    match crate::mode() {
+        Mode::Off => Ok(None),
+        Mode::Report => {
+            eprintln!("{}", sink::render_report(run));
+            Ok(None)
+        }
+        Mode::Json => {
+            let mut manifest = Manifest::new(run);
+            for (key, value) in extra {
+                manifest.set(key, value);
+            }
+            manifest.capture();
+            let dir = obs_dir();
+            let path = manifest.write_to(&dir)?;
+            manifest.write_jsonl_to(&dir)?;
+            eprintln!("imt-obs: wrote {}", path.display());
+            Ok(Some(path))
+        }
+    }
+}
+
+fn field<'a>(doc: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{ctx}: missing `{key}`"))
+}
+
+fn u64_field(doc: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    field(doc, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not a u64"))
+}
+
+fn str_field<'a>(doc: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+    field(doc, key, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not a string"))
+}
+
+/// Validates a parsed document against the `imt-obs/v1` schema.
+///
+/// Beyond shape checks, it cross-checks internal consistency: histogram
+/// bucket counts must sum to `count`, span `min_ns <= max_ns`, and any
+/// `eval` event's per-lane transition arrays must sum to its totals — the
+/// same invariant the e2e test asserts against
+/// `EncodedProgram::static_saved_transitions()`.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let schema = str_field(doc, "schema", "manifest")?;
+    if schema != SCHEMA {
+        return Err(format!("manifest: schema `{schema}`, expected `{SCHEMA}`"));
+    }
+    let run = str_field(doc, "run", "manifest")?;
+    if run.is_empty() {
+        return Err("manifest: empty `run`".to_string());
+    }
+
+    let metrics = field(doc, "metrics", "manifest")?
+        .as_array()
+        .ok_or("manifest: `metrics` is not an array")?;
+    for (i, metric) in metrics.iter().enumerate() {
+        let name = str_field(metric, "name", "metric")?;
+        let ctx = format!("metric[{i}] `{name}`");
+        str_field(metric, "label", &ctx)?;
+        match str_field(metric, "kind", &ctx)? {
+            "counter" | "gauge" => {
+                u64_field(metric, "value", &ctx)?;
+            }
+            "histogram" => {
+                let count = u64_field(metric, "count", &ctx)?;
+                u64_field(metric, "sum", &ctx)?;
+                let min = u64_field(metric, "min", &ctx)?;
+                let max = u64_field(metric, "max", &ctx)?;
+                if count > 0 && min > max {
+                    return Err(format!("{ctx}: min {min} > max {max}"));
+                }
+                let buckets = field(metric, "buckets", &ctx)?
+                    .as_array()
+                    .ok_or_else(|| format!("{ctx}: `buckets` is not an array"))?;
+                let mut total = 0u64;
+                for bucket in buckets {
+                    let pair = bucket
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| format!("{ctx}: bucket is not an [index, count] pair"))?;
+                    let index = pair[0]
+                        .as_u64()
+                        .ok_or_else(|| format!("{ctx}: bucket index is not a u64"))?;
+                    if index as usize >= registry::HISTOGRAM_BUCKETS {
+                        return Err(format!("{ctx}: bucket index {index} out of range"));
+                    }
+                    total += pair[1]
+                        .as_u64()
+                        .ok_or_else(|| format!("{ctx}: bucket count is not a u64"))?;
+                }
+                if total != count {
+                    return Err(format!("{ctx}: buckets sum to {total}, count is {count}"));
+                }
+            }
+            "span" => {
+                let count = u64_field(metric, "count", &ctx)?;
+                let total = u64_field(metric, "total_ns", &ctx)?;
+                let min = u64_field(metric, "min_ns", &ctx)?;
+                let max = u64_field(metric, "max_ns", &ctx)?;
+                if count > 0 && (min > max || total < max) {
+                    return Err(format!(
+                        "{ctx}: inconsistent span stats (total {total}, min {min}, max {max})"
+                    ));
+                }
+            }
+            other => return Err(format!("{ctx}: unknown kind `{other}`")),
+        }
+    }
+
+    let events = field(doc, "events", "manifest")?
+        .as_array()
+        .ok_or("manifest: `events` is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let kind = str_field(ev, "kind", &format!("event[{i}]"))?;
+        let ctx = format!("event[{i}] `{kind}`");
+        str_field(ev, "label", &ctx)?;
+        let fields = field(ev, "fields", &ctx)?;
+        if kind == "eval" {
+            for (lanes_key, total_key) in [
+                ("per_lane_baseline", "baseline_transitions"),
+                ("per_lane_encoded", "encoded_transitions"),
+            ] {
+                let (Some(lanes), Some(total)) = (fields.get(lanes_key), fields.get(total_key))
+                else {
+                    continue;
+                };
+                let lanes = lanes
+                    .as_array()
+                    .ok_or_else(|| format!("{ctx}: `{lanes_key}` is not an array"))?;
+                let total = total
+                    .as_u64()
+                    .ok_or_else(|| format!("{ctx}: `{total_key}` is not a u64"))?;
+                let mut sum = 0u64;
+                for lane in lanes {
+                    sum += lane
+                        .as_u64()
+                        .ok_or_else(|| format!("{ctx}: `{lanes_key}` entry is not a u64"))?;
+                }
+                if sum != total {
+                    return Err(format!(
+                        "{ctx}: `{lanes_key}` sums to {sum}, `{total_key}` is {total}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SnapshotValue;
+
+    fn sample_manifest() -> Manifest {
+        crate::counter_labeled("manifest.test.counter", "mmul/k5").add(7);
+        crate::histogram("manifest.test.hist").observe(9);
+        let mut m = Manifest::new("manifest-test");
+        m.set("config", Json::obj(vec![("k", Json::U64(5))]));
+        m.capture();
+        m
+    }
+
+    #[test]
+    fn manifest_round_trips_and_validates() {
+        let m = sample_manifest();
+        let doc = Json::parse(&m.render()).unwrap();
+        validate(&doc).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(doc.get("run").and_then(Json::as_str), Some("manifest-test"));
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("k"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+        let metrics = doc.get("metrics").and_then(Json::as_array).unwrap();
+        let mine = metrics
+            .iter()
+            .find(|m| m.get("name").and_then(Json::as_str) == Some("manifest.test.counter"))
+            .expect("captured counter present");
+        assert_eq!(mine.get("label").and_then(Json::as_str), Some("mmul/k5"));
+        assert_eq!(mine.get("value").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn set_replaces_existing_sections() {
+        let mut m = Manifest::new("x");
+        m.set("config", Json::U64(1));
+        m.set("config", Json::U64(2));
+        let doc = m.to_json();
+        assert_eq!(doc.get("config").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn validate_rejects_bad_documents() {
+        for (src, fragment) in [
+            (
+                r#"{"run":"x","metrics":[],"events":[]}"#,
+                "missing `schema`",
+            ),
+            (
+                r#"{"schema":"imt-obs/v0","run":"x","metrics":[],"events":[]}"#,
+                "expected `imt-obs/v1`",
+            ),
+            (
+                r#"{"schema":"imt-obs/v1","run":"","metrics":[],"events":[]}"#,
+                "empty `run`",
+            ),
+            (
+                r#"{"schema":"imt-obs/v1","run":"x","metrics":[
+                    {"name":"a","label":"","kind":"counter"}],"events":[]}"#,
+                "missing `value`",
+            ),
+            (
+                r#"{"schema":"imt-obs/v1","run":"x","metrics":[
+                    {"name":"a","label":"","kind":"histogram",
+                     "count":3,"sum":1,"min":0,"max":1,"buckets":[[0,1]]}],"events":[]}"#,
+                "buckets sum to 1",
+            ),
+            (
+                r#"{"schema":"imt-obs/v1","run":"x","metrics":[],"events":[
+                    {"kind":"eval","label":"t","fields":{
+                     "per_lane_baseline":[1,2],"baseline_transitions":5}}]}"#,
+                "sums to 3",
+            ),
+        ] {
+            let doc = Json::parse(src).unwrap();
+            let err = validate(&doc).unwrap_err();
+            assert!(err.contains(fragment), "{src}: got {err}");
+        }
+    }
+
+    #[test]
+    fn metric_json_covers_every_kind() {
+        let hist = MetricSnapshot {
+            name: "h",
+            label: String::new(),
+            value: SnapshotValue::Histogram {
+                count: 2,
+                sum: 10,
+                min: 2,
+                max: 8,
+                buckets: vec![(2, 1), (4, 1)],
+            },
+        };
+        assert_eq!(
+            metric_to_json(&hist).render(),
+            r#"{"name":"h","label":"","kind":"histogram","count":2,"sum":10,"min":2,"max":8,"buckets":[[2,1],[4,1]]}"#
+        );
+        let span = MetricSnapshot {
+            name: "s",
+            label: "l".to_string(),
+            value: SnapshotValue::Span {
+                count: 1,
+                total_ns: 5,
+                min_ns: 5,
+                max_ns: 5,
+            },
+        };
+        assert_eq!(
+            metric_to_json(&span).render(),
+            r#"{"name":"s","label":"l","kind":"span","count":1,"total_ns":5,"min_ns":5,"max_ns":5}"#
+        );
+    }
+
+    #[test]
+    fn write_creates_files_under_dir() {
+        let dir = std::env::temp_dir().join("imt-obs-manifest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = sample_manifest();
+        let json_path = m.write_to(&dir).unwrap();
+        let jsonl_path = m.write_jsonl_to(&dir).unwrap();
+        assert_eq!(json_path, dir.join("manifest-test.json"));
+        let doc = Json::parse(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        validate(&doc).unwrap();
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        assert!(jsonl.lines().count() >= 2);
+        for line in jsonl.lines() {
+            let line_doc = Json::parse(line).unwrap();
+            let ty = line_doc.get("type").and_then(Json::as_str).unwrap();
+            assert!(ty == "metric" || ty == "event", "unexpected type {ty}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -106,6 +106,16 @@ impl DataBusMonitor {
         self.words = 0;
         self.per_lane.iter_mut().for_each(|c| *c = 0);
     }
+
+    /// Publishes the monitor's totals into the `imt-obs` registry under
+    /// `label` (no-op when observability is disabled).
+    pub fn publish_obs(&self, label: &str) {
+        if !imt_obs::enabled() {
+            return;
+        }
+        imt_obs::gauge_labeled("sim.bus.words", label).set(self.words);
+        imt_obs::gauge_labeled("sim.bus.transitions", label).set(self.total);
+    }
 }
 
 impl FetchSink for DataBusMonitor {
@@ -145,6 +155,12 @@ impl AddressBusMonitor {
     /// Transitions per line.
     pub fn per_lane(&self) -> &[u64] {
         self.inner.per_lane()
+    }
+
+    /// Publishes the monitor's totals into the `imt-obs` registry under
+    /// `label` (no-op when observability is disabled).
+    pub fn publish_obs(&self, label: &str) {
+        self.inner.publish_obs(label);
     }
 }
 

@@ -232,18 +232,28 @@ impl Cpu {
         max_steps: u64,
         sink: &mut S,
     ) -> Result<RunSummary, SimError> {
-        for _ in 0..max_steps {
-            match self.step(sink)? {
-                StepEvent::Continue => {}
-                StepEvent::Exited(code) => {
-                    return Ok(RunSummary {
-                        exit_code: code,
-                        instructions: self.instructions,
-                    })
+        let start = self.instructions;
+        let result = (|| {
+            for _ in 0..max_steps {
+                match self.step(sink)? {
+                    StepEvent::Continue => {}
+                    StepEvent::Exited(code) => {
+                        return Ok(RunSummary {
+                            exit_code: code,
+                            instructions: self.instructions,
+                        })
+                    }
                 }
             }
+            Err(SimError::MaxStepsExceeded { limit: max_steps })
+        })();
+        // One gated check per run (not per step): fetches equal executed
+        // instructions on this single-issue core, on every exit path.
+        if imt_obs::enabled() {
+            imt_obs::counter!("sim.runs").inc();
+            imt_obs::counter!("sim.fetches").add(self.instructions - start);
         }
-        Err(SimError::MaxStepsExceeded { limit: max_steps })
+        result
     }
 
     /// Executes one instruction.

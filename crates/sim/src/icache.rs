@@ -70,9 +70,9 @@ pub struct ICache {
     config: ICacheConfig,
     /// `tags[set][way]` — line address (address >> line bits) or None.
     tags: Vec<Vec<Option<u32>>>,
-    /// Last-use tick per way, for LRU.
+    /// Last-use tick per way, for LRU. The tick is the access ordinal,
+    /// i.e. `hits + misses` — derived, not stored separately.
     last_use: Vec<Vec<u64>>,
-    tick: u64,
     hits: u64,
     misses: u64,
 }
@@ -95,7 +95,6 @@ impl ICache {
             config,
             tags: vec![vec![None; config.ways]; config.sets],
             last_use: vec![vec![0; config.ways]; config.sets],
-            tick: 0,
             hits: 0,
             misses: 0,
         }
@@ -108,11 +107,11 @@ impl ICache {
 
     /// Accesses the word at `address`, updating LRU state.
     pub fn access(&mut self, address: u32) -> CacheOutcome {
-        self.tick += 1;
+        let tick = self.hits + self.misses + 1;
         let line = address / 4 / self.config.line_words as u32;
         let set = (line as usize) & (self.config.sets - 1);
         if let Some(way) = self.tags[set].iter().position(|&t| t == Some(line)) {
-            self.last_use[set][way] = self.tick;
+            self.last_use[set][way] = tick;
             self.hits += 1;
             return CacheOutcome::Hit;
         }
@@ -121,7 +120,7 @@ impl ICache {
             .min_by_key(|&w| (self.tags[set][w].is_some() as u64, self.last_use[set][w]))
             .expect("at least one way");
         self.tags[set][victim] = Some(line);
-        self.last_use[set][victim] = self.tick;
+        self.last_use[set][victim] = tick;
         self.misses += 1;
         CacheOutcome::Miss
     }
@@ -143,6 +142,18 @@ impl ICache {
             return 0.0;
         }
         self.hits as f64 / total as f64
+    }
+
+    /// Publishes hit/miss totals (and the hit rate in basis points) into
+    /// the `imt-obs` registry under `label`; no-op when disabled.
+    pub fn publish_obs(&self, label: &str) {
+        if !imt_obs::enabled() {
+            return;
+        }
+        imt_obs::gauge_labeled("sim.icache.hits", label).set(self.hits);
+        imt_obs::gauge_labeled("sim.icache.misses", label).set(self.misses);
+        imt_obs::gauge_labeled("sim.icache.hit_rate_bp", label)
+            .set((self.hit_rate() * 10_000.0).round() as u64);
     }
 }
 
@@ -227,6 +238,18 @@ impl CachedBusModel {
     /// The memory→cache bus monitor.
     pub fn memory_bus(&self) -> &DataBusMonitor {
         &self.memory_bus
+    }
+
+    /// Publishes cache statistics and both bus monitors into the
+    /// `imt-obs` registry under `label` (`/core` and `/mem` sub-labels for
+    /// the buses); no-op when disabled.
+    pub fn publish_obs(&self, label: &str) {
+        if !imt_obs::enabled() {
+            return;
+        }
+        self.cache.publish_obs(label);
+        self.core_bus.publish_obs(&format!("{label}/core"));
+        self.memory_bus.publish_obs(&format!("{label}/mem"));
     }
 }
 

@@ -217,6 +217,22 @@ impl InstructionMix {
         self.count(class) as f64 / total as f64
     }
 
+    /// Publishes the mix into the `imt-obs` registry: one
+    /// `sim.mix{label/class}` gauge per non-zero class plus
+    /// `sim.mix.total`; no-op when disabled.
+    pub fn publish_obs(&self, label: &str) {
+        if !imt_obs::enabled() {
+            return;
+        }
+        for &class in &OpClass::ALL {
+            let count = self.count(class);
+            if count > 0 {
+                imt_obs::gauge_labeled("sim.mix", &format!("{label}/{}", class.name())).set(count);
+            }
+        }
+        imt_obs::gauge_labeled("sim.mix.total", label).set(self.total());
+    }
+
     /// Renders a percentage table, densest class first.
     pub fn render(&self) -> String {
         let mut rows: Vec<(OpClass, u64)> =

@@ -23,7 +23,9 @@
 //! * [`baselines`] — bus-invert, T0 and Gray-code encodings for
 //!   comparison;
 //! * [`kernels`] — the six benchmark kernels (mmul, sor, ej, fft, tri,
-//!   lu) as assembly programs with host golden models.
+//!   lu) as assembly programs with host golden models;
+//! * [`obs`] — the zero-dependency observability layer: metrics registry,
+//!   spans, and `imt-obs/v1` run manifests (`IMT_OBS=report|json`).
 //!
 //! ## End-to-end example
 //!
@@ -65,4 +67,5 @@ pub use imt_cfg as cfg;
 pub use imt_core as core;
 pub use imt_isa as isa;
 pub use imt_kernels as kernels;
+pub use imt_obs as obs;
 pub use imt_sim as sim;

@@ -1,0 +1,153 @@
+//! End-to-end observability: a real kernel through the full pipeline with
+//! `IMT_OBS=json` semantics, cross-checking the emitted manifest against
+//! the pipeline's own numbers, plus registry behaviour under the
+//! `imt-bitcode::par` worker fan-out.
+//!
+//! All mode/env mutation lives in the single `json_mode_*` test — the
+//! registry and `IMT_OBS_PATH` are process-global, and integration test
+//! binaries run their `#[test]` fns on parallel threads.
+
+use imt::obs;
+use imt::obs::json::Json;
+use imt_bench::runner::{run_kernel_point, Scale};
+
+fn find_metric<'a>(metrics: &'a [Json], name: &str, label: &str) -> &'a Json {
+    metrics
+        .iter()
+        .find(|m| {
+            m.get("name").and_then(Json::as_str) == Some(name)
+                && m.get("label").and_then(Json::as_str) == Some(label)
+        })
+        .unwrap_or_else(|| panic!("manifest is missing {name}{{{label}}}"))
+}
+
+fn gauge_value(metrics: &[Json], name: &str, label: &str) -> u64 {
+    find_metric(metrics, name, label)
+        .get("value")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("{name}{{{label}}} has no u64 value"))
+}
+
+#[test]
+fn json_mode_emits_a_manifest_matching_the_pipeline() {
+    let dir = std::env::temp_dir().join(format!("imt_obs_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("IMT_OBS_PATH", &dir);
+    obs::set_mode(obs::Mode::Json);
+
+    let config = imt::core::EncoderConfig::default();
+    let point = run_kernel_point(imt::kernels::Kernel::Tri, Scale::Test, &config);
+    imt_bench::finish_run("obs-e2e");
+
+    obs::set_mode(obs::Mode::Off);
+    std::env::remove_var("IMT_OBS_PATH");
+
+    let text = std::fs::read_to_string(dir.join("obs-e2e.json")).expect("manifest written");
+    let doc = Json::parse(&text).expect("manifest is valid JSON");
+    obs::manifest::validate(&doc).expect("manifest validates against imt-obs/v1");
+    assert_eq!(doc.get("run").and_then(Json::as_str), Some("obs-e2e"));
+    assert!(
+        doc.get("environment")
+            .and_then(|e| e.get("threads"))
+            .and_then(Json::as_u64)
+            .is_some_and(|t| t >= 1),
+        "environment section records the thread count"
+    );
+
+    // The per-cell gauges agree exactly with the pipeline's own numbers.
+    let label = format!("{}/k{}", point.instance, config.block_size());
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_array)
+        .expect("metrics array");
+    assert_eq!(
+        gauge_value(metrics, "core.encode.static_saved_transitions", &label),
+        point.encoded.static_saved_transitions(),
+        "manifest gauge diverges from EncodedProgram::static_saved_transitions()"
+    );
+    assert_eq!(
+        gauge_value(metrics, "core.eval.baseline_transitions", &label),
+        point.evaluation.baseline_transitions
+    );
+    assert_eq!(
+        gauge_value(metrics, "core.eval.encoded_transitions", &label),
+        point.evaluation.encoded_transitions
+    );
+    assert_eq!(
+        gauge_value(metrics, "sim.bus.transitions", &format!("{label}/encoded")),
+        point.evaluation.encoded_transitions,
+        "the DataBusMonitor gauge and the evaluation disagree"
+    );
+
+    // The eval event carries the per-lane anatomy, summing to the totals
+    // (validate() already enforced the sum; here we pin the exact values).
+    let events = doc.get("events").and_then(Json::as_array).expect("events");
+    let eval_event = events
+        .iter()
+        .find(|e| {
+            e.get("kind").and_then(Json::as_str) == Some("eval")
+                && e.get("label").and_then(Json::as_str) == Some(label.as_str())
+        })
+        .expect("eval event recorded");
+    let lanes = eval_event
+        .get("fields")
+        .and_then(|f| f.get("per_lane_encoded"))
+        .and_then(Json::as_array)
+        .expect("per-lane array");
+    assert_eq!(lanes.len(), 32);
+    let lane_sum: u64 = lanes.iter().map(|l| l.as_u64().unwrap()).sum();
+    assert_eq!(lane_sum, point.evaluation.encoded_transitions);
+
+    // Spans from all three layers nested correctly under the fan-out.
+    for span in ["bench.encode", "core.encode_program", "bench.evaluate"] {
+        let metric = find_metric(metrics, span, "");
+        assert!(
+            metric.get("count").and_then(Json::as_u64).unwrap_or(0) >= 1,
+            "span {span} never closed"
+        );
+    }
+
+    // The JSONL sidecar mirrors the manifest line-for-line.
+    let jsonl = std::fs::read_to_string(dir.join("obs-e2e.jsonl")).expect("jsonl written");
+    let mut metric_lines = 0;
+    for line in jsonl.lines() {
+        let line_doc = Json::parse(line).expect("every JSONL line parses");
+        if line_doc.get("type").and_then(Json::as_str) == Some("metric") {
+            metric_lines += 1;
+        }
+    }
+    assert_eq!(metric_lines, metrics.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_counter_increments_under_par_are_lossless() {
+    // Registry handles work regardless of mode; the gate lives at the
+    // instrumentation sites. 8×1000 increments from the worker pool must
+    // all land.
+    let results = imt::bitcode::par::par_map_range(8, 1, |i| {
+        for _ in 0..1000 {
+            obs::counter_labeled("obs_e2e.concurrent", "lossless").inc();
+        }
+        i
+    });
+    assert_eq!(results.len(), 8);
+    assert_eq!(
+        obs::counter_labeled("obs_e2e.concurrent", "lossless").get(),
+        8_000
+    );
+}
+
+#[test]
+fn labels_nest_and_unwind_on_one_thread() {
+    let outer = obs::push_label("outer");
+    {
+        let inner = obs::push_label("inner");
+        assert_eq!(obs::current_label(), "outer/inner");
+        drop(inner);
+    }
+    assert_eq!(obs::current_label(), "outer");
+    drop(outer);
+    assert_eq!(obs::current_label(), "");
+}
