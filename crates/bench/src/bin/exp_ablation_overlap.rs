@@ -48,6 +48,7 @@ fn experiment() {
         for (_, transforms, overlap) in variants {
             let config = EncoderConfig::default()
                 .with_transforms(transforms)
+                .expect("every variant set includes the identity")
                 .with_overlap(overlap);
             let point = run_kernel_point(kernel, scale, &config);
             row.push(format!("{:.2}%", point.reduction_percent()));

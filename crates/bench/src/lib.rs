@@ -31,6 +31,7 @@
 //! | `exp_schedule` | compiler cooperation via scheduling (E-O) |
 //! | `exp_gates` | exact NAND2 synthesis of the restore cell (E-G) |
 //! | `exp_perf` | encode-pipeline wall-time, serial vs parallel (E-P) |
+//! | `exp_fault` | TT/BBIT upset campaigns, protection sweep (E-F) |
 //! | `exp_summary` | one-screen PASS/FAIL reproduction scorecard |
 //!
 //! Binaries accept `--test-scale` to run on the small kernel instances
@@ -44,6 +45,15 @@ pub mod table;
 /// (default `results/obs`) for `json`. Never touches stdout — the
 /// `results/*.txt` artifacts stay byte-identical with observability on —
 /// and never fails the experiment over a sink I/O error.
+/// Arms a crash guard for `run`: if the experiment panics before
+/// [`finish_run`] defuses it, a partial manifest with
+/// `status: "aborted"` is flushed under the obs dir (JSON mode only),
+/// so half-finished runs are visible to `imt obs check` instead of
+/// vanishing. Call first thing in `main` and keep the guard alive.
+pub fn begin_run(run: &str) -> imt_obs::manifest::RunGuard {
+    imt_obs::manifest::RunGuard::begin(run)
+}
+
 pub fn finish_run(run: &str) {
     use imt_obs::json::Json;
     let extra = vec![(

@@ -224,7 +224,7 @@ pub fn encode_block_constrained_exhaustive(
             }
             return Some(BlockEncoding {
                 code: vec![original[0]],
-                transform: allowed.preferred().expect("non-empty set"),
+                transform: allowed.preferred()?,
                 compatible: allowed,
                 original_transitions,
                 code_transitions: 0,

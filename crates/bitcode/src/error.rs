@@ -34,6 +34,15 @@ pub enum CodecError {
         /// The rejected width.
         requested: usize,
     },
+    /// A transformation set without the identity function was configured.
+    ///
+    /// The stream encoder's feasibility guarantee — any block can always
+    /// be stored verbatim — hangs on the identity transform; a set
+    /// without it can leave a block with no valid code word.
+    TransformSet {
+        /// The rejected set's 16-bit membership mask.
+        mask: u16,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -57,6 +66,13 @@ impl fmt::Display for CodecError {
             }
             CodecError::LaneWidth { requested } => {
                 write!(f, "lane width {requested} outside supported range 1..=64")
+            }
+            CodecError::TransformSet { mask } => {
+                write!(
+                    f,
+                    "transformation set {mask:#06x} lacks the identity transform \
+                     required as the encode fallback"
+                )
             }
         }
     }

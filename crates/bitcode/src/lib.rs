@@ -70,6 +70,10 @@
 //! # }
 //! ```
 
+// Library code must not panic on caller input: unwraps are reserved for
+// tests (see clippy.toml), and fallible paths return typed errors.
+#![warn(clippy::unwrap_used)]
+
 pub mod analysis;
 pub mod bits;
 pub mod block;

@@ -57,7 +57,7 @@ pub enum ChainStrategy {
 ///
 /// # fn main() -> Result<(), imt_bitcode::CodecError> {
 /// let config = StreamCodecConfig::block_size(5)?
-///     .with_transforms(TransformSet::ALL_SIXTEEN)
+///     .with_transforms(TransformSet::ALL_SIXTEEN)?
 ///     .with_overlap(OverlapHistory::Decoded);
 /// assert_eq!(config.block_len(), 5);
 /// # Ok(())
@@ -95,10 +95,19 @@ impl StreamCodecConfig {
     }
 
     /// Replaces the allowed transformation set.
-    #[must_use]
-    pub fn with_transforms(mut self, allowed: TransformSet) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::TransformSet`] if `allowed` does not contain
+    /// [`Transform::IDENTITY`] — the encoder's feasibility fallback.
+    pub fn with_transforms(mut self, allowed: TransformSet) -> Result<Self, CodecError> {
+        if !allowed.contains(Transform::IDENTITY) {
+            return Err(CodecError::TransformSet {
+                mask: allowed.mask(),
+            });
+        }
         self.allowed = allowed;
-        self
+        Ok(self)
     }
 
     /// Replaces the overlap-history semantics.
@@ -694,7 +703,8 @@ mod tests {
     fn identity_only_set_is_transparent() {
         let config = StreamCodecConfig::block_size(5)
             .unwrap()
-            .with_transforms(TransformSet::IDENTITY_ONLY);
+            .with_transforms(TransformSet::IDENTITY_ONLY)
+            .unwrap();
         let c = StreamCodec::new(config);
         let original = BitSeq::from_str_time("110100111000101").unwrap();
         let enc = c.encode(&original);

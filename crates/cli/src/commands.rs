@@ -31,6 +31,13 @@ const VALUE_FLAGS: &[&str] = &[
     "--trace-head",
     "--trace-tail",
     "--emit-tables",
+    "--plan",
+    "--protection",
+    "--targets",
+    "--trials",
+    "--seed",
+    "--bits",
+    "--window",
 ];
 
 fn parse<'a>(args: &'a [String]) -> Options<'a> {
@@ -88,7 +95,7 @@ fn encoder_config(opts: &Options<'_>) -> Result<EncoderConfig, CliError> {
         .with_block_size(opts.numeric("--block-size", 5)? as usize)
         .map_err(|e| CliError::new(e.to_string()))?;
     if opts.flag("--all-sixteen") {
-        config = config.with_transforms(TransformSet::ALL_SIXTEEN);
+        config = config.with_transforms(TransformSet::ALL_SIXTEEN)?;
     }
     Ok(config)
 }
@@ -373,6 +380,7 @@ fn obs_check(dir: Option<&str>) -> Result<String, CliError> {
     }
     let mut out = String::new();
     let mut failures = Vec::new();
+    let mut aborted = 0usize;
     for path in &paths {
         let name = path
             .file_name()
@@ -389,9 +397,19 @@ fn obs_check(dir: Option<&str>) -> Result<String, CliError> {
                         .and_then(Json::as_array)
                         .map_or(0, |items| items.len())
                 };
+                // An aborted manifest is schema-valid — it was flushed
+                // on purpose by the crash guard — but worth flagging:
+                // the run it describes never finished.
+                let status = doc.get("status").and_then(Json::as_str);
+                let tag = if status == Some("aborted") {
+                    aborted += 1;
+                    "ABRT"
+                } else {
+                    "ok  "
+                };
                 writeln!(
                     out,
-                    "  ok    {name}  ({} metrics, {} events)",
+                    "  {tag}  {name}  ({} metrics, {} events)",
                     count("metrics"),
                     count("events")
                 )
@@ -411,6 +429,13 @@ fn obs_check(dir: Option<&str>) -> Result<String, CliError> {
             imt_obs::manifest::SCHEMA
         )
         .expect("write to String");
+        if aborted > 0 {
+            writeln!(
+                out,
+                "warning: {aborted} aborted run(s) — crashed before finish_run; rerun or delete"
+            )
+            .expect("write to String");
+        }
         Ok(out)
     } else {
         Err(CliError::new(format!(
@@ -544,6 +569,235 @@ pub fn kernels(args: &[String]) -> Result<String, CliError> {
             ))
         }
     }
+}
+
+pub fn fault(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    match opts.positional.first().copied() {
+        Some("inject") => fault_inject(&opts),
+        Some("campaign") => fault_campaign(&opts),
+        Some("report") => fault_report(opts.positional.get(1).copied()),
+        _ => Err(CliError::new(
+            "usage: imt fault inject <file> --plan AT:TARGET[,..] [--protection P] |\n\
+             \x20      imt fault campaign <file> [--trials N] [--seed S] [--protection P|all]\n\
+             \x20          [--targets tables|text|bus] [--bits N] |\n\
+             \x20      imt fault report [BENCH_fault.json]",
+        )),
+    }
+}
+
+/// Shared front half of `fault inject` / `fault campaign`: simulate,
+/// encode with the standard encoder flags, and record the fetch trace the
+/// faults replay against.
+fn fault_prepare(
+    opts: &Options<'_>,
+) -> Result<(imt_core::EncodedProgram, imt_fault::trace::FetchTrace), CliError> {
+    let path = opts
+        .positional
+        .get(1)
+        .copied()
+        .ok_or_else(|| CliError::new("expected an input file after the fault subcommand"))?;
+    let program = container::load_program(path)?;
+    let max_steps = opts.numeric("--max-steps", 1_000_000_000)?;
+    let window = opts.numeric("--window", 50_000)? as usize;
+    let config = encoder_config(opts)?;
+    let mut cpu = Cpu::new(&program)?;
+    cpu.run(max_steps)?;
+    let encoded = encode_program(&program, cpu.profile(), &config)?;
+    let trace = imt_fault::trace::FetchTrace::record(&program, &encoded, max_steps, window)
+        .map_err(|e| CliError::new(e.to_string()))?;
+    Ok((encoded, trace))
+}
+
+fn fault_protection(opts: &Options<'_>, default: &str) -> Result<imt_core::Protection, CliError> {
+    let name = opts.value("--protection").unwrap_or(default);
+    imt_core::Protection::parse(name).ok_or_else(|| {
+        CliError::new(format!(
+            "--protection expects none|parity|sec, got `{name}`"
+        ))
+    })
+}
+
+/// Replays one explicit fault plan and reports exactly what happened.
+fn fault_inject(opts: &Options<'_>) -> Result<String, CliError> {
+    let plan_spec = opts
+        .value("--plan")
+        .ok_or_else(|| CliError::new("fault inject requires --plan AT:TARGET[,AT:TARGET...]"))?;
+    let plan =
+        imt_fault::plan::FaultPlan::parse(plan_spec).map_err(|e| CliError::new(e.to_string()))?;
+    let protection = fault_protection(opts, "parity")?;
+    let (encoded, trace) = fault_prepare(opts)?;
+    let outcome = imt_fault::trace::replay(&trace, &encoded, protection, &plan)
+        .map_err(|e| CliError::new(e.to_string()))?;
+    let mut out = format!(
+        "protection {protection}, {} fetches replayed, {} fault(s) applied:\n",
+        outcome.fetches, outcome.injected
+    );
+    for f in plan.faults() {
+        writeln!(out, "  fetch {:>8}: {}", f.at_fetch, f.target).expect("write to String");
+    }
+    writeln!(
+        out,
+        "corrected {} entries, detected {} entries, {} fetches degraded to original words",
+        outcome.corrected, outcome.detected, outcome.degraded_fetches
+    )
+    .expect("write to String");
+    writeln!(
+        out,
+        "bus transitions {} -> {} ({:.2}% reduction retained)",
+        outcome.baseline_transitions,
+        outcome.bus_transitions,
+        outcome.reduction_percent()
+    )
+    .expect("write to String");
+    let verdict = if outcome.wrong_words > 0 {
+        format!(
+            "SILENT CORRUPTION: {} wrong word(s) reached the core",
+            outcome.wrong_words
+        )
+    } else if outcome.degraded_fetches > 0 || outcome.detected > 0 {
+        "degraded gracefully: zero wrong words reached the core".to_string()
+    } else if outcome.corrected > 0 {
+        "corrected in place: full reduction kept, zero wrong words".to_string()
+    } else {
+        "no observable effect".to_string()
+    };
+    writeln!(out, "verdict: {verdict}").expect("write to String");
+    Ok(out)
+}
+
+/// Runs a seeded upset campaign; `--protection all` sweeps every level.
+fn fault_campaign(opts: &Options<'_>) -> Result<String, CliError> {
+    let targets_name = opts.value("--targets").unwrap_or("tables");
+    let targets = imt_fault::plan::TargetClass::parse(targets_name).ok_or_else(|| {
+        CliError::new(format!(
+            "--targets expects tables|text|bus, got `{targets_name}`"
+        ))
+    })?;
+    let levels: Vec<imt_core::Protection> = if opts.value("--protection") == Some("all") {
+        imt_core::Protection::ALL.to_vec()
+    } else {
+        vec![fault_protection(opts, "none")?]
+    };
+    let trials = opts.numeric("--trials", 32)? as usize;
+    let seed = opts.numeric("--seed", 0x1317_2003)?;
+    let bits = opts.numeric("--bits", 1)? as usize;
+    let (encoded, trace) = fault_prepare(opts)?;
+    let mut out = format!(
+        "{trials} trial(s) of {bits} {targets_name} upset bit(s) over {} recorded fetches (seed {seed:#x}):\n",
+        trace.len()
+    );
+    writeln!(
+        out,
+        "{:<10}  {:>6}  {:>9}  {:>8}  {:>6}  {:>8}  {:>9}  {:>12}",
+        "protection",
+        "benign",
+        "corrected",
+        "degraded",
+        "silent",
+        "SDC rate",
+        "coverage%",
+        "retained red%"
+    )
+    .expect("write to String");
+    for protection in levels {
+        let spec = imt_fault::campaign::CampaignSpec {
+            trials,
+            seed,
+            protection,
+            targets,
+            bits_per_trial: bits,
+        };
+        let s = imt_fault::campaign::run_campaign(&trace, &encoded, &spec)
+            .map_err(|e| CliError::new(e.to_string()))?;
+        writeln!(
+            out,
+            "{:<10}  {:>6}  {:>9}  {:>8}  {:>6}  {:>8.3}  {:>9.1}  {:>12.2}",
+            protection.name(),
+            s.benign,
+            s.corrected,
+            s.degraded,
+            s.silent,
+            s.sdc_rate(),
+            s.coverage() * 100.0,
+            s.retained_reduction_percent,
+        )
+        .expect("write to String");
+    }
+    Ok(out)
+}
+
+/// Summarises a `BENCH_fault.json` produced by the `exp_fault` experiment.
+fn fault_report(path: Option<&str>) -> Result<String, CliError> {
+    use imt_obs::json::Json;
+    let path = path.unwrap_or("results/BENCH_fault.json");
+    let text = std::fs::read_to_string(path)?;
+    let doc =
+        Json::parse(&text).map_err(|e| CliError::new(format!("{path}: not valid JSON: {e}")))?;
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or_else(|| CliError::new(format!("{path}: missing `cells` array")))?;
+    let mut out = format!("{path}: {} campaign cell(s)\n", cells.len());
+    for protection in imt_core::Protection::ALL {
+        let group: Vec<&Json> = cells
+            .iter()
+            .filter(|c| c.get("protection").and_then(Json::as_str) == Some(protection.name()))
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        let sum = |key: &str| -> u64 {
+            group
+                .iter()
+                .map(|c| c.get(key).and_then(Json::as_u64).unwrap_or(0))
+                .sum()
+        };
+        let mean = |key: &str| -> f64 {
+            group
+                .iter()
+                .filter_map(|c| c.get(key).and_then(Json::as_f64))
+                .sum::<f64>()
+                / group.len() as f64
+        };
+        let trials = sum("trials");
+        let silent = sum("silent");
+        writeln!(
+            out,
+            "  {:<6}  {} cells, {} trials: {} silent ({:.1}% SDC), {} corrected, {} degraded; \
+             mean retained reduction {:.2}% of clean {:.2}%",
+            protection.name(),
+            group.len(),
+            trials,
+            silent,
+            if trials == 0 {
+                0.0
+            } else {
+                silent as f64 / trials as f64 * 100.0
+            },
+            sum("corrected"),
+            sum("degraded"),
+            mean("retained_reduction_percent"),
+            mean("clean_reduction_percent"),
+        )
+        .expect("write to String");
+    }
+    let protected_silent: u64 = cells
+        .iter()
+        .filter(|c| c.get("protection").and_then(Json::as_str) != Some("none"))
+        .map(|c| c.get("silent").and_then(Json::as_u64).unwrap_or(0))
+        .sum();
+    writeln!(
+        out,
+        "verdict: {}",
+        if protected_silent == 0 {
+            "no silent corruption under any protected cell"
+        } else {
+            "SILENT CORRUPTION under a protected cell — investigate"
+        }
+    )
+    .expect("write to String");
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -715,6 +969,14 @@ loop:   xor $t1, $t1, $t0\n\
         let out = obs(&args(&["check", &dir.to_string_lossy()])).unwrap();
         assert!(out.contains("ok    good.json"));
         assert!(out.contains("1 manifest(s) valid"));
+        // A crash-guard manifest is valid but flagged as aborted.
+        let crashed = r#"{"schema":"imt-obs/v1","run":"y","status":"aborted",
+            "metrics":[],"events":[]}"#;
+        std::fs::write(dir.join("crashed.json"), crashed).unwrap();
+        let out = obs(&args(&["check", &dir.to_string_lossy()])).unwrap();
+        assert!(out.contains("ABRT  crashed.json"), "{out}");
+        assert!(out.contains("2 manifest(s) valid"), "{out}");
+        assert!(out.contains("warning: 1 aborted run(s)"), "{out}");
         // One bad manifest fails the whole check.
         std::fs::write(dir.join("bad.json"), r#"{"run":"x"}"#).unwrap();
         let err = obs(&args(&["check", &dir.to_string_lossy()])).unwrap_err();
@@ -749,6 +1011,82 @@ loop:   xor $t1, $t1, $t0\n\
     fn obs_without_subcommand_shows_usage() {
         let err = obs(&[]).unwrap_err();
         assert!(err.to_string().contains("imt obs check"));
+    }
+
+    #[test]
+    fn fault_without_subcommand_shows_usage() {
+        let err = fault(&[]).unwrap_err();
+        assert!(err.to_string().contains("imt fault campaign"));
+    }
+
+    #[test]
+    fn fault_inject_degrades_under_parity() {
+        let src = write_temp("fault_inject.s", LOOP_SRC);
+        let out = fault(&args(&[
+            "inject",
+            &src,
+            "--plan",
+            "10:tt:0:3",
+            "--protection",
+            "parity",
+        ]))
+        .unwrap();
+        assert!(out.contains("verdict: degraded gracefully"), "{out}");
+        assert!(out.contains("tt:0:3"));
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn fault_inject_requires_a_plan() {
+        let src = write_temp("fault_noplan.s", LOOP_SRC);
+        let err = fault(&args(&["inject", &src])).unwrap_err();
+        assert!(err.to_string().contains("--plan"));
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn fault_campaign_sweeps_all_protections() {
+        let src = write_temp("fault_campaign.s", LOOP_SRC);
+        let out = fault(&args(&[
+            "campaign",
+            &src,
+            "--protection",
+            "all",
+            "--trials",
+            "6",
+        ]))
+        .unwrap();
+        for level in ["none", "parity", "sec"] {
+            assert!(out.contains(level), "missing {level} row:\n{out}");
+        }
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn fault_report_summarises_bench_json() {
+        let doc = r#"{"cells": [
+            {"protection": "none", "trials": 4, "silent": 2, "corrected": 0,
+             "degraded": 0, "clean_reduction_percent": 30.0,
+             "retained_reduction_percent": 30.0},
+            {"protection": "parity", "trials": 4, "silent": 0, "corrected": 0,
+             "degraded": 4, "clean_reduction_percent": 30.0,
+             "retained_reduction_percent": 25.0}
+        ]}"#;
+        let path = write_temp("fault_report.json", doc);
+        let out = fault(&["report".to_string(), path.clone()]).unwrap();
+        assert!(out.contains("2 campaign cell(s)"));
+        assert!(out.contains("no silent corruption under any protected cell"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_rejects_bad_protection_and_targets() {
+        let src = write_temp("fault_bad.s", LOOP_SRC);
+        let err = fault(&args(&["campaign", &src, "--protection", "ecc"])).unwrap_err();
+        assert!(err.to_string().contains("none|parity|sec"));
+        let err = fault(&args(&["campaign", &src, "--targets", "cache"])).unwrap_err();
+        assert!(err.to_string().contains("tables|text|bus"));
+        std::fs::remove_file(&src).ok();
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! imt encode <file> [opts]               full pipeline; reduction report
 //! imt tables [-k N]                      print the optimal code table
 //! imt kernels [name]                     list / run the paper benchmarks
+//! imt fault <inject|campaign|report>     upset injection and campaigns
 //! ```
 //!
 //! All command logic lives in this library and returns its output as a
@@ -90,6 +91,14 @@ commands:
   tables [--block-size K] [--all-sixteen]
                                    print the optimal code table (Fig. 2/4)
   kernels [name]                   list the paper kernels, or run one
+  fault inject <file> --plan AT:TARGET[,..] [--protection none|parity|sec]
+                                   apply named upsets and replay the fetch
+                                   stream (targets: tt:E:B bbit:E:B
+                                   text:W:B bus:B)
+  fault campaign <file> [--trials N] [--seed S] [--protection P|all]
+        [--targets tables|text|bus] [--bits N] [--window N]
+                                   seeded upset campaign; SDC/coverage
+  fault report [BENCH_fault.json]  summarise an exp_fault result file
   obs check [dir]                  validate run manifests (imt-obs/v1)
   obs report <manifest.json>       summarise one run manifest
   help                             this text
@@ -111,6 +120,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         return Ok(USAGE.to_string());
     };
     let rest = &args[1..];
+    // Crash bracket: if a command panics mid-run under IMT_OBS=json, the
+    // guard flushes a partial manifest with status "aborted" so `imt obs
+    // check` can report the crashed run. Commands that end normally —
+    // success or a reported error — defuse it below.
+    let guard = imt_obs::manifest::RunGuard::begin(format!("cli-{command}"));
     let result = match command.as_str() {
         "asm" => commands::asm(rest),
         "dis" => commands::dis(rest),
@@ -121,12 +135,20 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "schedule" => commands::schedule(rest),
         "tables" => commands::tables(rest),
         "kernels" => commands::kernels(rest),
-        "obs" => return commands::obs(rest),
-        "help" | "--help" | "-h" => return Ok(USAGE.to_string()),
+        "fault" => commands::fault(rest),
+        "obs" => {
+            guard.complete();
+            return commands::obs(rest);
+        }
+        "help" | "--help" | "-h" => {
+            guard.complete();
+            return Ok(USAGE.to_string());
+        }
         other => {
+            guard.complete();
             return Err(CliError::new(format!(
                 "unknown command `{other}`\n\n{USAGE}"
-            )))
+            )));
         }
     };
     // Under `IMT_OBS`, a successful command ends with its run manifest
@@ -138,6 +160,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             eprintln!("imt-obs: failed to write manifest for {command}: {error}");
         }
     }
+    // Reaching here means the command ran to completion (ok, or an error
+    // already reported to the caller) — not a crash.
+    guard.complete();
     result
 }
 

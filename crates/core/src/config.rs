@@ -18,7 +18,7 @@ use imt_bitcode::TransformSet;
 /// # fn main() -> Result<(), imt_core::CoreError> {
 /// let config = EncoderConfig::default()
 ///     .with_block_size(6)?
-///     .with_transforms(TransformSet::ALL_SIXTEEN)
+///     .with_transforms(TransformSet::ALL_SIXTEEN)?
 ///     .with_tt_capacity(32);
 /// assert_eq!(config.block_size(), 6);
 /// # Ok(())
@@ -72,10 +72,22 @@ impl EncoderConfig {
     }
 
     /// Sets the allowed transformation set.
-    #[must_use]
-    pub fn with_transforms(mut self, transforms: TransformSet) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::Codec`] if `transforms` does not
+    /// contain the identity transform, the encoder's feasibility
+    /// fallback.
+    pub fn with_transforms(mut self, transforms: TransformSet) -> Result<Self, crate::CoreError> {
+        if !transforms.contains(imt_bitcode::Transform::IDENTITY) {
+            return Err(crate::CoreError::Codec(
+                imt_bitcode::CodecError::TransformSet {
+                    mask: transforms.mask(),
+                },
+            ));
+        }
         self.transforms = transforms;
-        self
+        Ok(self)
     }
 
     /// Sets the overlap-history semantics (§6).

@@ -60,7 +60,7 @@ struct EvalSink<'a> {
     text_base: u32,
     baseline: DataBusMonitor,
     encoded: DataBusMonitor,
-    decoder: FetchDecoder<'a>,
+    decoder: FetchDecoder,
     mismatches: u64,
     first_mismatch: Option<(u32, u32, u32)>,
 }
@@ -266,7 +266,7 @@ mod tests {
     fn all_sixteen_transforms_do_no_worse_than_eight() {
         let base = EncoderConfig::default();
         let (program, encoded8) = pipeline(LOOP_PROGRAM, &base);
-        let config16 = base.with_transforms(TransformSet::ALL_SIXTEEN);
+        let config16 = base.with_transforms(TransformSet::ALL_SIXTEEN).unwrap();
         let (_, encoded16) = pipeline(LOOP_PROGRAM, &config16);
         let eval8 = evaluate(&program, &encoded8, 10_000_000).unwrap();
         let eval16 = evaluate(&program, &encoded16, 10_000_000).unwrap();

@@ -19,9 +19,23 @@
 //! through untouched until the next BBIT hit. Fetches with no active
 //! schedule (code outside the encoded region) pass through untouched —
 //! instruction memory holds original words there.
+//!
+//! Both tables live behind [`crate::protect::ProtectedTables`]: SRAM
+//! modelled at the bit level, optionally guarded by a per-entry parity or
+//! SEC Hamming code (DESIGN.md §11). A clean run never pays for this —
+//! the decoder reads materialized decoded views — but when a fault
+//! injector flips a stored bit the decoder scrubs the arrays, corrects
+//! what the code can correct, and *degrades* blocks it can no longer
+//! trust: their fetches are flagged [`FetchKind::Degraded`] so the memory
+//! system falls back to the original words instead of decoding garbage.
 
 use imt_bitcode::block::OverlapHistory;
-use imt_bitcode::Transform;
+use imt_bitcode::{Transform, TransformSet};
+
+use crate::protect::{
+    EntryLayout, FaultEvent, FaultOutcome, ProtectedTables, Protection, TableKind,
+};
+use crate::CoreError;
 
 /// One Transformation Table entry: the per-line transformation selectors
 /// for one block of instructions (Figure 5a).
@@ -82,6 +96,12 @@ impl TransformationTable {
     }
 
     /// The entry at `index`, if any.
+    ///
+    /// Out-of-range indices return `None` — never panic. The fetch
+    /// decoder treats a dangling index (a corrupted BBIT entry, or a
+    /// walker running past the table because an `E` bit was flipped
+    /// away) as a detected structural fault and degrades the affected
+    /// block instead of indexing blindly.
     pub fn get(&self, index: usize) -> Option<&TtEntry> {
         self.entries.get(index)
     }
@@ -92,12 +112,18 @@ impl TransformationTable {
 ///
 /// ```
 /// use imt_core::hardware::HardwareBudget;
+/// use imt_core::protect::Protection;
 ///
 /// // The paper's operating point: 16 TT entries, 10 BBIT entries,
 /// // 32 lines, 8 transformations, block size 5.
 /// let budget = HardwareBudget::new(16, 10, 32, 8, 5);
 /// assert_eq!(budget.tt_bits_per_entry, 32 * 3 + 1 + 3);
 /// assert!(budget.total_bits() < 3000); // well under half a kilobyte
+///
+/// // Protecting the arrays charges the check bits to the same account.
+/// let sec = budget.with_protection(Protection::Sec);
+/// assert_eq!(sec.tt_check_bits_per_entry, 7); // 2^7 ≥ 100 + 7 + 1
+/// assert!(sec.total_bits() > budget.total_bits());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HardwareBudget {
@@ -112,10 +138,16 @@ pub struct HardwareBudget {
     /// Two-input gates in the restore path (one per line per member of the
     /// transformation set, plus a per-line mux).
     pub restore_gates: u64,
+    /// The check code protecting each entry (§11 fault model).
+    pub protection: Protection,
+    /// Check bits appended to each TT entry by `protection`.
+    pub tt_check_bits_per_entry: u64,
+    /// Check bits appended to each BBIT entry by `protection`.
+    pub bbit_check_bits_per_entry: u64,
 }
 
 impl HardwareBudget {
-    /// Computes the budget for a configuration.
+    /// Computes the budget for a configuration (unprotected arrays).
     pub fn new(
         tt_entries: usize,
         bbit_entries: usize,
@@ -135,6 +167,9 @@ impl HardwareBudget {
             // One gate per transformation per line plus an 8:1 (or smaller)
             // selection mux, counted as `transforms` gate-equivalents.
             restore_gates: (lanes * transforms * 2) as u64,
+            protection: Protection::None,
+            tt_check_bits_per_entry: 0,
+            bbit_check_bits_per_entry: 0,
         }
     }
 
@@ -149,10 +184,22 @@ impl HardwareBudget {
         )
     }
 
-    /// Total table storage in bits.
+    /// Charges `protection`'s per-entry check bits to the budget, so the
+    /// cost of parity/SEC shows up in the paper's storage accounting.
+    #[must_use]
+    pub fn with_protection(mut self, protection: Protection) -> Self {
+        self.protection = protection;
+        self.tt_check_bits_per_entry =
+            protection.check_bits(self.tt_bits_per_entry as usize) as u64;
+        self.bbit_check_bits_per_entry =
+            protection.check_bits(self.bbit_bits_per_entry as usize) as u64;
+        self
+    }
+
+    /// Total table storage in bits, check bits included.
     pub fn total_bits(&self) -> u64 {
-        self.tt_entries as u64 * self.tt_bits_per_entry
-            + self.bbit_entries as u64 * self.bbit_bits_per_entry
+        self.tt_entries as u64 * (self.tt_bits_per_entry + self.tt_check_bits_per_entry)
+            + self.bbit_entries as u64 * (self.bbit_bits_per_entry + self.bbit_check_bits_per_entry)
     }
 
     /// Total table storage in bytes (rounded up).
@@ -218,6 +265,32 @@ impl Bbit {
     }
 }
 
+/// How the decoder handled one fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Restored through an active TT schedule.
+    Decoded,
+    /// Outside any schedule: instruction memory holds the original word,
+    /// which passed through untouched.
+    Passthrough,
+    /// Inside a block whose schedule was lost to a detected fault: the
+    /// decoder refuses to decode and the memory system must deliver the
+    /// original word through the fallback path (at baseline switching
+    /// cost).
+    Degraded,
+}
+
+/// The PC footprint and TT range of one scheduled basic block, computed
+/// from the clean tables at decoder construction. When an entry is lost
+/// to a fault, the span maps it back to the block(s) that must degrade.
+#[derive(Debug, Clone, Copy)]
+struct BlockSpan {
+    start_pc: u32,
+    end_pc: u32,
+    tt_first: usize,
+    tt_last: usize,
+}
+
 /// The fetch-side decoder: restores original instruction words from the
 /// encoded fetch stream, cycle by cycle.
 ///
@@ -227,6 +300,13 @@ impl Bbit {
 /// lookup when crossing into a basic block. One deliberate simplification
 /// is documented in DESIGN.md: cold basic blocks get no BBIT entry and
 /// pass through untouched, instead of sharing a single identity TT entry.
+///
+/// The decoder owns a bit-level copy of both tables (they are a few
+/// hundred bits; cloning is free at this scale), so a fault injector can
+/// flip stored bits mid-run without aliasing the caller's schedule.
+/// Detected faults quarantine the affected blocks: their fetches come
+/// back [`FetchKind::Degraded`] and every decision is recorded as a
+/// [`FaultEvent`] retrievable with [`FetchDecoder::take_events`].
 ///
 /// ```
 /// use imt_core::hardware::{Bbit, FetchDecoder, TransformationTable};
@@ -239,24 +319,33 @@ impl Bbit {
 /// assert_eq!(dec.on_fetch(0x0040_0000, 0xDEAD_BEEF), 0xDEAD_BEEF);
 /// ```
 #[derive(Debug)]
-pub struct FetchDecoder<'t> {
-    tt: &'t TransformationTable,
-    bbit: &'t Bbit,
+pub struct FetchDecoder {
+    tables: ProtectedTables,
     lanes: usize,
     /// The block size the schedule was built for (validated against the
     /// TT entries at construction).
     block_size: usize,
     overlap: OverlapHistory,
     state: Option<ActiveRun>,
+    /// Clean-schedule footprints, for mapping lost entries to PC ranges.
+    spans: Vec<BlockSpan>,
+    /// PC ranges whose schedule was lost: fetches here degrade.
+    degraded: Vec<(u32, u32)>,
+    /// Detection/correction/quarantine decisions not yet collected.
+    events: Vec<FaultEvent>,
     /// Fetches decoded through an active schedule (diagnostics).
     decoded_fetches: u64,
     /// Fetches passed through untouched (diagnostics).
     passthrough_fetches: u64,
+    /// Fetches refused after a detected fault (diagnostics).
+    degraded_fetches: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct ActiveRun {
     tt_index: usize,
+    /// Index of the BBIT entry that activated this run.
+    bbit_index: usize,
     /// 0-based block number within the basic block.
     block_index: usize,
     /// Fetches already consumed from the current entry.
@@ -269,33 +358,70 @@ struct ActiveRun {
     prev_decoded: u32,
 }
 
-impl<'t> FetchDecoder<'t> {
-    /// Creates a decoder over the given tables.
+impl FetchDecoder {
+    /// Creates an unprotected decoder over the given tables.
     ///
     /// `lanes` is the bus width, `block_size` the `k` the schedule was
-    /// built with, `overlap` the §6 history semantics.
+    /// built with, `overlap` the §6 history semantics. Entries are stored
+    /// under the universal sixteen-transform layout with no check code —
+    /// the configuration every schedule fits.
     ///
     /// # Panics
     ///
-    /// Panics if `lanes` is outside `1..=32` or `block_size < 2`.
+    /// Panics if `lanes` is outside `1..=32`, `block_size < 2`, or the
+    /// tables were built for a different `k`/lane count.
     pub fn new(
-        tt: &'t TransformationTable,
-        bbit: &'t Bbit,
+        tt: &TransformationTable,
+        bbit: &Bbit,
         lanes: usize,
         block_size: usize,
         overlap: OverlapHistory,
     ) -> Self {
+        Self::with_protection(
+            tt,
+            bbit,
+            lanes,
+            block_size,
+            overlap,
+            TransformSet::ALL_SIXTEEN,
+            Protection::None,
+        )
+        .expect("every transform fits the sixteen-transform layout")
+    }
+
+    /// Creates a decoder whose tables are stored under `set`'s selector
+    /// layout and guarded by `protection` — the configuration the
+    /// `HardwareBudget` charges for.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TableImage`] if a TT entry uses a transform outside
+    /// `set` (the schedule cannot be expressed in this hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is outside `1..=32`, `block_size < 2`, or the
+    /// tables were built for a different `k`/lane count.
+    pub fn with_protection(
+        tt: &TransformationTable,
+        bbit: &Bbit,
+        lanes: usize,
+        block_size: usize,
+        overlap: OverlapHistory,
+        set: TransformSet,
+        protection: Protection,
+    ) -> Result<Self, CoreError> {
         assert!(
             (1..=32).contains(&lanes),
             "lane count {lanes} outside 1..=32"
         );
         assert!(block_size >= 2, "block size must be at least 2");
         // The schedule must have been built for this k: no entry may cover
-        // more fetches than a block holds.
+        // more fetches than a block holds (or zero).
         for (i, entry) in tt.entries().iter().enumerate() {
             assert!(
-                entry.covers <= block_size,
-                "TT[{i}] covers {} fetches, more than block size {block_size}",
+                (1..=block_size).contains(&entry.covers),
+                "TT[{i}] covers {} fetches, outside 1..={block_size}",
                 entry.covers
             );
             assert_eq!(
@@ -305,16 +431,22 @@ impl<'t> FetchDecoder<'t> {
                 entry.lane_transforms.len()
             );
         }
-        FetchDecoder {
-            tt,
-            bbit,
+        let layout = EntryLayout::new(set, lanes, block_size, tt.len());
+        let tables = ProtectedTables::new(tt, bbit, layout, protection)?;
+        let spans = compute_spans(tt, bbit);
+        Ok(FetchDecoder {
+            tables,
             lanes,
             block_size,
             overlap,
             state: None,
+            spans,
+            degraded: Vec::new(),
+            events: Vec::new(),
             decoded_fetches: 0,
             passthrough_fetches: 0,
-        }
+            degraded_fetches: 0,
+        })
     }
 
     /// Fetches decoded through an active TT schedule so far.
@@ -327,15 +459,82 @@ impl<'t> FetchDecoder<'t> {
         self.passthrough_fetches
     }
 
+    /// Fetches refused after a detected fault so far.
+    pub fn degraded_fetches(&self) -> u64 {
+        self.degraded_fetches
+    }
+
+    /// The check code guarding the table SRAM.
+    pub fn protection(&self) -> Protection {
+        self.tables.protection()
+    }
+
+    /// The protected table store (the fault injector's view).
+    pub fn tables(&self) -> &ProtectedTables {
+        &self.tables
+    }
+
+    /// Flips stored bit `bit` of TT entry `entry`, as an SEU would; the
+    /// decoder scrubs the arrays before its next fetch.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TableImage`] if the target is out of range.
+    pub fn inject_tt_bit(&mut self, entry: usize, bit: usize) -> Result<(), CoreError> {
+        self.tables.flip_tt_bit(entry, bit)
+    }
+
+    /// Flips stored bit `bit` of BBIT entry `entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TableImage`] if the target is out of range.
+    pub fn inject_bbit_bit(&mut self, entry: usize, bit: usize) -> Result<(), CoreError> {
+        self.tables.flip_bbit_bit(entry, bit)
+    }
+
+    /// Drains the fault events recorded since the last call.
+    pub fn take_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// PC ranges currently degraded to the fallback path.
+    pub fn degraded_ranges(&self) -> &[(u32, u32)] {
+        &self.degraded
+    }
+
     /// Processes one fetch: `stored` is the word instruction memory put on
     /// the bus at `pc`; the return value is the restored original word.
+    ///
+    /// Callers that model the fault fallback path should use
+    /// [`FetchDecoder::on_fetch_classified`]: for a degraded fetch this
+    /// method returns `stored` unchanged, which inside an encoded block
+    /// is *not* the original word.
     pub fn on_fetch(&mut self, pc: u32, stored: u32) -> u32 {
+        self.on_fetch_classified(pc, stored).0
+    }
+
+    /// Processes one fetch and reports how it was handled.
+    ///
+    /// [`FetchKind::Degraded`] fetches return `stored` unchanged and the
+    /// memory system is expected to refetch the original word through the
+    /// fallback path — never execute the encoded bits.
+    pub fn on_fetch_classified(&mut self, pc: u32, stored: u32) -> (u32, FetchKind) {
+        if self.tables.is_dirty() {
+            self.absorb_scrub();
+        }
+        if self.in_degraded(pc) {
+            self.state = None;
+            self.degraded_fetches += 1;
+            return (stored, FetchKind::Degraded);
+        }
         // BBIT hit (re)starts a schedule — also when a schedule is active:
         // a branch back to the loop header lands on a BBIT pc while the
         // previous block's schedule just ended.
-        if let Some(tt_index) = self.bbit.lookup(pc) {
+        if let Some((bbit_index, tt_index)) = self.tables.bbit_lookup(pc) {
             self.state = Some(ActiveRun {
                 tt_index,
+                bbit_index,
                 block_index: 0,
                 fetch_in_block: 0,
                 expected_pc: pc,
@@ -345,7 +544,7 @@ impl<'t> FetchDecoder<'t> {
         }
         let Some(mut run) = self.state else {
             self.passthrough_fetches += 1;
-            return stored;
+            return (stored, FetchKind::Passthrough);
         };
         // A non-sequential fetch with no BBIT hit means control left the
         // encoded region mid-schedule; structurally impossible for
@@ -354,12 +553,15 @@ impl<'t> FetchDecoder<'t> {
         if run.expected_pc != pc {
             self.state = None;
             self.passthrough_fetches += 1;
-            return stored;
+            return (stored, FetchKind::Passthrough);
         }
-        let entry = self
-            .tt
-            .get(run.tt_index)
-            .expect("BBIT points at a valid TT entry");
+        // A dangling TT index — a corrupted BBIT entry pointing past the
+        // table, a walker crossing the end because an `E` bit flipped
+        // away, or an entry quarantined mid-run — is a detected
+        // structural fault: degrade the block, never index blindly.
+        let Some(entry) = self.tables.tt_entry(run.tt_index) else {
+            return self.degrade_run(run, stored);
+        };
 
         // Restore lane by lane.
         let mut decoded = 0u32;
@@ -382,14 +584,16 @@ impl<'t> FetchDecoder<'t> {
             };
             decoded |= (bit as u32) << lane;
         }
+        let covers = entry.covers;
+        let end = entry.end;
 
         // Advance the walker.
         run.prev_stored = stored;
         run.prev_decoded = decoded;
         run.fetch_in_block += 1;
         run.expected_pc = pc.wrapping_add(4);
-        if run.fetch_in_block >= entry.covers {
-            if entry.end {
+        if run.fetch_in_block >= covers {
+            if end {
                 self.state = None;
             } else {
                 run.tt_index += 1;
@@ -401,7 +605,7 @@ impl<'t> FetchDecoder<'t> {
             self.state = Some(run);
         }
         self.decoded_fetches += 1;
-        decoded
+        (decoded, FetchKind::Decoded)
     }
 
     /// The block size the schedule was built for.
@@ -410,9 +614,115 @@ impl<'t> FetchDecoder<'t> {
     }
 
     /// Drops any active schedule (e.g. between independent replays).
+    /// Quarantines and degraded ranges persist — damage does not heal.
     pub fn reset(&mut self) {
         self.state = None;
     }
+
+    /// Whether `pc` lies inside a degraded block.
+    fn in_degraded(&self, pc: u32) -> bool {
+        self.degraded.iter().any(|&(s, e)| pc >= s && pc < e)
+    }
+
+    /// Runs a scrub pass over the protected arrays and translates its
+    /// verdicts into quarantined blocks and degraded PC ranges.
+    fn absorb_scrub(&mut self) {
+        let events = self.tables.scrub();
+        for event in &events {
+            match event.outcome {
+                FaultOutcome::Corrected { .. } => {
+                    if imt_obs::enabled() {
+                        imt_obs::counter!("fault.corrected").inc();
+                    }
+                }
+                FaultOutcome::Detected | FaultOutcome::Structural => {
+                    if imt_obs::enabled() {
+                        imt_obs::counter!("fault.detected").inc();
+                    }
+                    match event.table {
+                        TableKind::Tt => self.degrade_tt_entry(event.index),
+                        TableKind::Bbit => self.degrade_block(event.index),
+                    }
+                }
+            }
+        }
+        self.events.extend(events);
+    }
+
+    /// Degrades every block whose clean schedule used TT entry `index`.
+    fn degrade_tt_entry(&mut self, index: usize) {
+        let affected: Vec<usize> = self
+            .spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| (s.tt_first..=s.tt_last).contains(&index))
+            .map(|(b, _)| b)
+            .collect();
+        for bbit_index in affected {
+            self.degrade_block(bbit_index);
+        }
+    }
+
+    /// Quarantines BBIT entry `bbit_index` and marks its clean PC
+    /// footprint as degraded.
+    fn degrade_block(&mut self, bbit_index: usize) {
+        self.tables.quarantine_bbit(bbit_index);
+        let Some(span) = self.spans.get(bbit_index) else {
+            return;
+        };
+        let range = (span.start_pc, span.end_pc);
+        if !self.degraded.contains(&range) {
+            self.degraded.push(range);
+            if imt_obs::enabled() {
+                imt_obs::counter!("fault.degraded").inc();
+            }
+        }
+    }
+
+    /// Handles a dangling TT index discovered mid-run: record a
+    /// structural event, degrade the run's block, refuse the fetch.
+    fn degrade_run(&mut self, run: ActiveRun, stored: u32) -> (u32, FetchKind) {
+        if !self.tables.tt_quarantined(run.tt_index) {
+            self.events.push(FaultEvent {
+                table: TableKind::Tt,
+                index: run.tt_index,
+                outcome: FaultOutcome::Structural,
+            });
+            if imt_obs::enabled() {
+                imt_obs::counter!("fault.detected").inc();
+            }
+        }
+        self.degrade_block(run.bbit_index);
+        self.state = None;
+        self.degraded_fetches += 1;
+        (stored, FetchKind::Degraded)
+    }
+}
+
+/// Walks the clean tables once to record each scheduled block's PC
+/// footprint and TT entry range.
+fn compute_spans(tt: &TransformationTable, bbit: &Bbit) -> Vec<BlockSpan> {
+    bbit.entries()
+        .iter()
+        .map(|entry| {
+            let tt_first = entry.tt_index;
+            let mut index = tt_first;
+            let mut words = 0usize;
+            while let Some(e) = tt.get(index) {
+                words += e.covers;
+                if e.end {
+                    break;
+                }
+                index += 1;
+            }
+            BlockSpan {
+                start_pc: entry.pc,
+                end_pc: entry.pc.wrapping_add(4 * words as u32),
+                tt_first,
+                tt_last: index,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -434,6 +744,7 @@ mod tests {
             StreamCodecConfig::block_size(k)
                 .unwrap()
                 .with_transforms(TransformSet::CANONICAL_EIGHT)
+                .unwrap()
                 .with_overlap(overlap),
         );
         let wide: Vec<u64> = words.iter().map(|&w| w as u64).collect();
@@ -475,6 +786,31 @@ mod tests {
                 }
                 assert_eq!(dec.decoded_fetches(), 13);
             }
+        }
+    }
+
+    #[test]
+    fn protected_decoders_match_the_unprotected_decode() {
+        let words: Vec<u32> = (0..17).map(|i| 0x0F1E_2D3Cu32.rotate_left(i)).collect();
+        let (tt, bbit, stored) = schedule_for(&words, 0x0040_0000, 5, OverlapHistory::Stored);
+        for protection in Protection::ALL {
+            let mut dec = FetchDecoder::with_protection(
+                &tt,
+                &bbit,
+                32,
+                5,
+                OverlapHistory::Stored,
+                TransformSet::CANONICAL_EIGHT,
+                protection,
+            )
+            .unwrap();
+            for (i, (&s, &w)) in stored.iter().zip(&words).enumerate() {
+                let pc = 0x0040_0000 + (i as u32) * 4;
+                let (decoded, kind) = dec.on_fetch_classified(pc, s);
+                assert_eq!(decoded, w, "{protection} i={i}");
+                assert_eq!(kind, FetchKind::Decoded);
+            }
+            assert!(dec.take_events().is_empty());
         }
     }
 
@@ -564,5 +900,167 @@ mod tests {
     fn tt_storage_accounting() {
         // 32 lines × 3 control bits + E + 3-bit CT = 100 bits per entry.
         assert_eq!(TtEntry::storage_bits(32, 3, 3), 100);
+    }
+
+    #[test]
+    fn budget_charges_protection_check_bits() {
+        let base = HardwareBudget::new(16, 10, 32, 8, 5);
+        let parity = base.with_protection(Protection::Parity);
+        assert_eq!(parity.tt_check_bits_per_entry, 1);
+        assert_eq!(parity.bbit_check_bits_per_entry, 1);
+        assert_eq!(parity.total_bits(), base.total_bits() + 16 + 10);
+        let sec = base.with_protection(Protection::Sec);
+        assert_eq!(sec.tt_check_bits_per_entry, 7); // 100 data bits
+        assert_eq!(sec.bbit_check_bits_per_entry, 6); // 36 data bits
+    }
+
+    #[test]
+    fn dangling_tt_index_degrades_instead_of_panicking() {
+        // A BBIT entry pointing past the table end: the seed repo panicked
+        // ("BBIT points at a valid TT entry"); now the block degrades.
+        let (tt, _, stored) =
+            schedule_for(&[1, 2, 3, 4, 5, 6], 0x0040_0000, 5, OverlapHistory::Stored);
+        let mut bbit = Bbit::new();
+        bbit.push(BbitEntry {
+            pc: 0x0040_0000,
+            tt_index: tt.len() + 3,
+        });
+        let mut dec = FetchDecoder::new(&tt, &bbit, 32, 5, OverlapHistory::Stored);
+        let (word, kind) = dec.on_fetch_classified(0x0040_0000, stored[0]);
+        assert_eq!(kind, FetchKind::Degraded);
+        assert_eq!(word, stored[0]);
+        assert_eq!(dec.degraded_fetches(), 1);
+        let events = dec.take_events();
+        assert!(
+            matches!(
+                events.as_slice(),
+                [FaultEvent {
+                    table: TableKind::Tt,
+                    outcome: FaultOutcome::Structural,
+                    ..
+                }]
+            ),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn parity_detects_injected_tt_fault_and_degrades_the_block() {
+        let words: Vec<u32> = (0..10).map(|i| 0xC3A5_1E78u32.rotate_left(i)).collect();
+        let (tt, bbit, stored) = schedule_for(&words, 0x0040_0000, 5, OverlapHistory::Stored);
+        let mut dec = FetchDecoder::with_protection(
+            &tt,
+            &bbit,
+            32,
+            5,
+            OverlapHistory::Stored,
+            TransformSet::CANONICAL_EIGHT,
+            Protection::Parity,
+        )
+        .unwrap();
+        // Decode the first word cleanly, then hit a selector bit.
+        assert_eq!(dec.on_fetch(0x0040_0000, stored[0]), words[0]);
+        dec.inject_tt_bit(0, 5).unwrap();
+        // Every remaining fetch of the block degrades — no wrong word is
+        // ever returned as "decoded".
+        for (i, &s) in stored.iter().enumerate().skip(1) {
+            let (word, kind) = dec.on_fetch_classified(0x0040_0000 + (i as u32) * 4, s);
+            assert_eq!(kind, FetchKind::Degraded, "i={i}");
+            assert_eq!(word, s);
+        }
+        assert!(dec
+            .take_events()
+            .iter()
+            .any(|e| e.table == TableKind::Tt && e.outcome == FaultOutcome::Detected));
+    }
+
+    #[test]
+    fn sec_corrects_injected_tt_fault_transparently() {
+        let words: Vec<u32> = (0..10).map(|i| 0x9D82_44F1u32.rotate_left(i)).collect();
+        let (tt, bbit, stored) = schedule_for(&words, 0x0040_0000, 5, OverlapHistory::Stored);
+        let mut dec = FetchDecoder::with_protection(
+            &tt,
+            &bbit,
+            32,
+            5,
+            OverlapHistory::Stored,
+            TransformSet::CANONICAL_EIGHT,
+            Protection::Sec,
+        )
+        .unwrap();
+        dec.inject_tt_bit(0, 40).unwrap();
+        for (i, (&s, &w)) in stored.iter().zip(&words).enumerate() {
+            let (word, kind) = dec.on_fetch_classified(0x0040_0000 + (i as u32) * 4, s);
+            assert_eq!(kind, FetchKind::Decoded, "i={i}");
+            assert_eq!(word, w, "i={i}");
+        }
+        let events = dec.take_events();
+        assert!(
+            matches!(
+                events.as_slice(),
+                [FaultEvent {
+                    table: TableKind::Tt,
+                    index: 0,
+                    outcome: FaultOutcome::Corrected { .. },
+                }]
+            ),
+            "{events:?}"
+        );
+        assert_eq!(dec.degraded_fetches(), 0);
+    }
+
+    #[test]
+    fn detected_bbit_fault_degrades_its_block() {
+        let words: Vec<u32> = (0..8).map(|i| 0x5A5A_5A5Au32.rotate_left(i)).collect();
+        let (tt, bbit, stored) = schedule_for(&words, 0x0040_0000, 5, OverlapHistory::Stored);
+        let mut dec = FetchDecoder::with_protection(
+            &tt,
+            &bbit,
+            32,
+            5,
+            OverlapHistory::Stored,
+            TransformSet::CANONICAL_EIGHT,
+            Protection::Parity,
+        )
+        .unwrap();
+        // Corrupt the PC tag before any fetch: without detection the
+        // block would silently pass encoded words through.
+        dec.inject_bbit_bit(0, 3).unwrap();
+        let (word, kind) = dec.on_fetch_classified(0x0040_0000, stored[0]);
+        assert_eq!(kind, FetchKind::Degraded);
+        assert_eq!(word, stored[0]);
+        assert!(dec
+            .take_events()
+            .iter()
+            .any(|e| e.table == TableKind::Bbit && e.outcome == FaultOutcome::Detected));
+    }
+
+    #[test]
+    fn unprotected_tt_fault_decodes_garbage_silently() {
+        // The negative control the campaign measures: with no check code a
+        // selector flip yields wrong decoded words and no event.
+        let words: Vec<u32> = (0..10).map(|i| 0x1357_9BDFu32.rotate_left(i)).collect();
+        let (tt, bbit, stored) = schedule_for(&words, 0x0040_0000, 5, OverlapHistory::Stored);
+        let mut dec = FetchDecoder::with_protection(
+            &tt,
+            &bbit,
+            32,
+            5,
+            OverlapHistory::Stored,
+            TransformSet::CANONICAL_EIGHT,
+            Protection::None,
+        )
+        .unwrap();
+        dec.inject_tt_bit(0, 6).unwrap();
+        let mut wrong = 0;
+        for (i, (&s, &w)) in stored.iter().zip(&words).enumerate() {
+            let (word, kind) = dec.on_fetch_classified(0x0040_0000 + (i as u32) * 4, s);
+            assert_ne!(kind, FetchKind::Degraded);
+            if word != w {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 0, "selector flip should corrupt decoded words");
+        assert!(dec.take_events().is_empty());
     }
 }

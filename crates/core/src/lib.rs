@@ -54,9 +54,14 @@
 //! # }
 //! ```
 
+// Library code must not panic on caller input: unwraps are reserved for
+// tests (see clippy.toml), and fallible paths return typed errors.
+#![warn(clippy::unwrap_used)]
+
 pub mod eval;
 pub mod hardware;
 pub mod pipeline;
+pub mod protect;
 pub mod schedule;
 pub mod tableimage;
 
@@ -66,3 +71,4 @@ mod error;
 pub use config::EncoderConfig;
 pub use error::CoreError;
 pub use pipeline::{encode_program, EncodedProgram, RegionReport};
+pub use protect::{FaultEvent, FaultOutcome, Protection, TableKind};

@@ -186,6 +186,7 @@ pub fn encode_program(
         StreamCodecConfig::block_size(config.block_size())
             .map_err(CoreError::Codec)?
             .with_transforms(config.transforms())
+            .map_err(CoreError::Codec)?
             .with_overlap(config.overlap())
             .with_strategy(config.strategy()),
     );

@@ -258,6 +258,7 @@ mod tests {
             EncoderConfig::default(),
             EncoderConfig::default()
                 .with_transforms(imt_bitcode::TransformSet::ALL_SIXTEEN)
+                .unwrap()
                 .with_overlap(OverlapHistory::Decoded),
             EncoderConfig::default().with_block_size(7).unwrap(),
         ] {

@@ -1,0 +1,114 @@
+//! # imt-fault — fault injection and resilience measurement
+//!
+//! The paper's whole mechanism lives in two tiny fetch-stage SRAM arrays
+//! (the TT and the BBIT) and a stateful per-lane decoder: one flipped
+//! selector bit silently corrupts every later decoded word of its block.
+//! This crate asks the ASIC-evaluation question the reproduction was
+//! missing — *what happens when that state goes bad?* — deterministically
+//! and at campaign scale:
+//!
+//! * [`plan`] — named fault targets (`tt:ENTRY:BIT`, `bbit:ENTRY:BIT`,
+//!   `text:WORD:BIT`, `bus:BIT`), single- and multi-bit [`plan::FaultPlan`]s
+//!   triggered at exact fetch counts, and the sampling surface campaigns
+//!   draw from;
+//! * [`trace`] — records a program's fetch stream once (PC, stored word,
+//!   original word) and replays it through a
+//!   [`imt_core::hardware::FetchDecoder`] with faults applied, measuring
+//!   wrong-word deliveries, degradations, corrections and the bus
+//!   transition cost of the fallback path;
+//! * [`campaign`] — seeded Monte-Carlo upset campaigns over a kernel ×
+//!   protection cell, classifying every trial as benign / corrected /
+//!   degraded / silent and reporting SDC rate, detection coverage and the
+//!   transition reduction retained under degradation.
+//!
+//! Everything is deterministic: campaigns use the compat
+//! [`rand::rngs::StdRng`] with per-trial seeds derived from the campaign
+//! seed, and replay never consults wall-clock state, so a (kernel, block
+//! size, protection, seed) cell always reproduces bit-identically.
+//!
+//! ```
+//! use imt_core::{encode_program, EncoderConfig, Protection};
+//! use imt_fault::plan::{FaultPlan, FaultTarget};
+//! use imt_fault::trace::FetchTrace;
+//! use imt_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(r#"
+//!         .text
+//! main:   li   $t0, 200
+//! loop:   xor  $t1, $t1, $t0
+//!         sll  $t2, $t1, 3
+//!         addiu $t0, $t0, -1
+//!         bgtz $t0, loop
+//!         li   $v0, 10
+//!         syscall
+//! "#)?;
+//! let mut cpu = imt_sim::Cpu::new(&program)?;
+//! cpu.run(100_000)?;
+//! let encoded = encode_program(&program, cpu.profile(), &EncoderConfig::default())?;
+//! let trace = FetchTrace::record(&program, &encoded, 100_000, 10_000)?;
+//!
+//! // Hit TT entry 0, stored bit 5, at fetch 50 — under parity the block
+//! // degrades and not one wrong word reaches the core.
+//! let plan = FaultPlan::single(50, FaultTarget::Tt { entry: 0, bit: 5 });
+//! let outcome = imt_fault::trace::replay(&trace, &encoded, Protection::Parity, &plan)?;
+//! assert_eq!(outcome.wrong_words, 0);
+//! assert!(outcome.degraded_fetches > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(clippy::unwrap_used)]
+
+pub mod campaign;
+pub mod plan;
+pub mod trace;
+
+use std::error::Error;
+use std::fmt;
+
+use imt_core::CoreError;
+
+/// Errors raised by fault planning, replay and campaigns.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// The underlying encode/decode machinery failed.
+    Core(CoreError),
+    /// A fault specification could not be parsed or addresses a target
+    /// outside the configured hardware.
+    Plan {
+        /// What was wrong with the specification.
+        detail: String,
+    },
+    /// The campaign's target class has no bits to hit (e.g. table upsets
+    /// against an empty schedule).
+    EmptySurface,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Core(e) => write!(f, "fault replay failed: {e}"),
+            FaultError::Plan { detail } => write!(f, "bad fault plan: {detail}"),
+            FaultError::EmptySurface => {
+                write!(f, "fault campaign has no target bits (empty schedule?)")
+            }
+        }
+    }
+}
+
+impl Error for FaultError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FaultError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for FaultError {
+    fn from(e: CoreError) -> Self {
+        FaultError::Core(e)
+    }
+}

@@ -1,0 +1,392 @@
+//! Fault targets, plans, and the sampling surface campaigns draw from.
+//!
+//! A fault names *where* an upset lands and *when* it strikes, in units
+//! the hardware model understands: a stored bit of a TT or BBIT entry
+//! (check bits included — real SEUs do not respect field boundaries), a
+//! bit of an encoded word in instruction memory, or a transient flip on
+//! one bus line for a single fetch. Triggers are exact fetch counts, so a
+//! plan replays identically every time.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::FaultError;
+use imt_core::hardware::FetchDecoder;
+
+/// One injectable fault location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// Stored bit `bit` of TT entry `entry` (selectors, `E`, `CT`, then
+    /// check bits, in [`imt_core::protect::EntryLayout`] order).
+    Tt {
+        /// Entry index in the Transformation Table.
+        entry: usize,
+        /// Bit position within the stored code word.
+        bit: usize,
+    },
+    /// Stored bit `bit` of BBIT entry `entry` (PC tag, TT index, check
+    /// bits).
+    Bbit {
+        /// Entry index in the BBIT.
+        entry: usize,
+        /// Bit position within the stored code word.
+        bit: usize,
+    },
+    /// Bit `bit` of encoded text word `word` — a persistent upset in
+    /// instruction memory.
+    Text {
+        /// Word index into the encoded text image.
+        word: usize,
+        /// Bit position within the 32-bit word.
+        bit: u32,
+    },
+    /// A transient flip of bus line `bit` during exactly one fetch.
+    Bus {
+        /// The affected bus line.
+        bit: u32,
+    },
+}
+
+impl FaultTarget {
+    /// Parses a target specification: `tt:ENTRY:BIT`, `bbit:ENTRY:BIT`,
+    /// `text:WORD:BIT` or `bus:BIT`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::Plan`] on unknown kinds or malformed numbers.
+    pub fn parse(spec: &str) -> Result<FaultTarget, FaultError> {
+        let bad = |detail: String| FaultError::Plan { detail };
+        let fields: Vec<&str> = spec.split(':').collect();
+        let number = |s: &str| -> Result<usize, FaultError> {
+            s.parse()
+                .map_err(|_| bad(format!("`{s}` is not a number in target `{spec}`")))
+        };
+        match fields.as_slice() {
+            ["tt", entry, bit] => Ok(FaultTarget::Tt {
+                entry: number(entry)?,
+                bit: number(bit)?,
+            }),
+            ["bbit", entry, bit] => Ok(FaultTarget::Bbit {
+                entry: number(entry)?,
+                bit: number(bit)?,
+            }),
+            ["text", word, bit] => {
+                let bit = number(bit)?;
+                if bit >= 32 {
+                    return Err(bad(format!("text bit {bit} outside 0..32 in `{spec}`")));
+                }
+                Ok(FaultTarget::Text {
+                    word: number(word)?,
+                    bit: bit as u32,
+                })
+            }
+            ["bus", bit] => {
+                let bit = number(bit)?;
+                if bit >= 32 {
+                    return Err(bad(format!("bus line {bit} outside 0..32 in `{spec}`")));
+                }
+                Ok(FaultTarget::Bus { bit: bit as u32 })
+            }
+            _ => Err(bad(format!(
+                "target `{spec}` is not tt:E:B, bbit:E:B, text:W:B or bus:B"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTarget::Tt { entry, bit } => write!(f, "tt:{entry}:{bit}"),
+            FaultTarget::Bbit { entry, bit } => write!(f, "bbit:{entry}:{bit}"),
+            FaultTarget::Text { word, bit } => write!(f, "text:{word}:{bit}"),
+            FaultTarget::Bus { bit } => write!(f, "bus:{bit}"),
+        }
+    }
+}
+
+/// One scheduled upset: strike `target` just before fetch `at_fetch`
+/// (0-based) of the replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The fetch count at which the upset lands.
+    pub at_fetch: u64,
+    /// Where it lands.
+    pub target: FaultTarget,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.at_fetch, self.target)
+    }
+}
+
+/// A deterministic injection schedule: faults sorted by trigger.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (a clean replay).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan of one fault.
+    pub fn single(at_fetch: u64, target: FaultTarget) -> Self {
+        FaultPlan::new(vec![Fault { at_fetch, target }])
+    }
+
+    /// Builds a plan, sorting by trigger (stable: same-trigger faults
+    /// apply in the order given).
+    pub fn new(mut faults: Vec<Fault>) -> Self {
+        faults.sort_by_key(|f| f.at_fetch);
+        FaultPlan { faults }
+    }
+
+    /// Parses a comma-separated plan: `AT:TARGET[,AT:TARGET...]`, e.g.
+    /// `1200:tt:0:5,9000:bus:14`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::Plan`] on any malformed element.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultError> {
+        let mut faults = Vec::new();
+        for element in spec.split(',').filter(|s| !s.is_empty()) {
+            let (at, target) = element.split_once(':').ok_or_else(|| FaultError::Plan {
+                detail: format!("fault `{element}` is missing its AT: trigger"),
+            })?;
+            let at_fetch = at.parse().map_err(|_| FaultError::Plan {
+                detail: format!("`{at}` is not a fetch count in `{element}`"),
+            })?;
+            faults.push(Fault {
+                at_fetch,
+                target: FaultTarget::parse(target)?,
+            });
+        }
+        Ok(FaultPlan::new(faults))
+    }
+
+    /// The faults, sorted by trigger.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Which bits a sampled campaign draws its upsets from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetClass {
+    /// TT and BBIT stored bits (weighted by array size) — the class the
+    /// protection codes cover.
+    Tables,
+    /// Encoded words in instruction memory.
+    Text,
+    /// Transient single-fetch bus-line flips.
+    Bus,
+}
+
+impl TargetClass {
+    /// The class's canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetClass::Tables => "tables",
+            TargetClass::Text => "text",
+            TargetClass::Bus => "bus",
+        }
+    }
+
+    /// Parses a class name.
+    pub fn parse(s: &str) -> Option<TargetClass> {
+        match s {
+            "tables" => Some(TargetClass::Tables),
+            "text" => Some(TargetClass::Text),
+            "bus" => Some(TargetClass::Bus),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TargetClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The injectable bit surface of one configuration — what a campaign's
+/// uniform sampling is uniform *over*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSurface {
+    /// TT entries in the schedule.
+    pub tt_entries: usize,
+    /// Stored bits per TT entry (check bits included).
+    pub tt_bits_per_entry: usize,
+    /// BBIT entries in the schedule.
+    pub bbit_entries: usize,
+    /// Stored bits per BBIT entry (check bits included).
+    pub bbit_bits_per_entry: usize,
+    /// Words in the encoded text image.
+    pub text_words: usize,
+}
+
+impl FaultSurface {
+    /// Reads the surface off a constructed decoder and its text image.
+    pub fn of(decoder: &FetchDecoder, text_words: usize) -> Self {
+        let tables = decoder.tables();
+        FaultSurface {
+            tt_entries: tables.tt_len(),
+            tt_bits_per_entry: tables.tt_stored_bits(),
+            bbit_entries: tables.bbit_len(),
+            bbit_bits_per_entry: tables.bbit_stored_bits(),
+            text_words,
+        }
+    }
+
+    /// Total injectable table bits.
+    pub fn table_bits(&self) -> usize {
+        self.tt_entries * self.tt_bits_per_entry + self.bbit_entries * self.bbit_bits_per_entry
+    }
+
+    /// Draws one target uniformly from `class`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::EmptySurface`] if the class has no bits here.
+    pub fn sample<R: Rng>(
+        &self,
+        rng: &mut R,
+        class: TargetClass,
+    ) -> Result<FaultTarget, FaultError> {
+        match class {
+            TargetClass::Tables => {
+                let total = self.table_bits();
+                if total == 0 {
+                    return Err(FaultError::EmptySurface);
+                }
+                let flat = rng.gen_range(0..total);
+                let tt_total = self.tt_entries * self.tt_bits_per_entry;
+                if flat < tt_total {
+                    Ok(FaultTarget::Tt {
+                        entry: flat / self.tt_bits_per_entry,
+                        bit: flat % self.tt_bits_per_entry,
+                    })
+                } else {
+                    let flat = flat - tt_total;
+                    Ok(FaultTarget::Bbit {
+                        entry: flat / self.bbit_bits_per_entry,
+                        bit: flat % self.bbit_bits_per_entry,
+                    })
+                }
+            }
+            TargetClass::Text => {
+                if self.text_words == 0 {
+                    return Err(FaultError::EmptySurface);
+                }
+                Ok(FaultTarget::Text {
+                    word: rng.gen_range(0..self.text_words),
+                    bit: rng.gen_range(0..32u32),
+                })
+            }
+            TargetClass::Bus => Ok(FaultTarget::Bus {
+                bit: rng.gen_range(0..32u32),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn targets_parse_and_round_trip() {
+        for spec in ["tt:0:5", "bbit:3:37", "text:120:7", "bus:14"] {
+            let target = FaultTarget::parse(spec).unwrap();
+            assert_eq!(target.to_string(), spec);
+        }
+        assert!(FaultTarget::parse("tt:0").is_err());
+        assert!(FaultTarget::parse("cache:0:1").is_err());
+        assert!(FaultTarget::parse("bus:32").is_err());
+        assert!(FaultTarget::parse("tt:x:1").is_err());
+    }
+
+    #[test]
+    fn plans_parse_and_sort() {
+        let plan = FaultPlan::parse("900:bus:3,100:tt:0:5").unwrap();
+        assert_eq!(plan.faults().len(), 2);
+        assert_eq!(plan.faults()[0].at_fetch, 100);
+        assert_eq!(plan.faults()[1].target, FaultTarget::Bus { bit: 3 });
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("abc:tt:0:1").is_err());
+    }
+
+    #[test]
+    fn surface_sampling_is_uniform_and_in_range() {
+        let surface = FaultSurface {
+            tt_entries: 4,
+            tt_bits_per_entry: 101,
+            bbit_entries: 3,
+            bbit_bits_per_entry: 37,
+            text_words: 256,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut saw_tt = false;
+        let mut saw_bbit = false;
+        for _ in 0..200 {
+            match surface.sample(&mut rng, TargetClass::Tables).unwrap() {
+                FaultTarget::Tt { entry, bit } => {
+                    assert!(entry < 4 && bit < 101);
+                    saw_tt = true;
+                }
+                FaultTarget::Bbit { entry, bit } => {
+                    assert!(entry < 3 && bit < 37);
+                    saw_bbit = true;
+                }
+                other => panic!("tables class sampled {other}"),
+            }
+        }
+        assert!(saw_tt && saw_bbit);
+        match surface.sample(&mut rng, TargetClass::Text).unwrap() {
+            FaultTarget::Text { word, bit } => assert!(word < 256 && bit < 32),
+            other => panic!("text class sampled {other}"),
+        }
+        let empty = FaultSurface {
+            tt_entries: 0,
+            tt_bits_per_entry: 0,
+            bbit_entries: 0,
+            bbit_bits_per_entry: 0,
+            text_words: 0,
+        };
+        assert_eq!(
+            empty.sample(&mut rng, TargetClass::Tables),
+            Err(FaultError::EmptySurface)
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let surface = FaultSurface {
+            tt_entries: 8,
+            tt_bits_per_entry: 108,
+            bbit_entries: 5,
+            bbit_bits_per_entry: 43,
+            text_words: 64,
+        };
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..16)
+                .map(|_| surface.sample(&mut rng, TargetClass::Tables).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+}

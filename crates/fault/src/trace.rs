@@ -1,0 +1,389 @@
+//! Fetch-trace recording and fault replay.
+//!
+//! Campaigns need many replays of the same execution, so the fetch stream
+//! is recorded once — `(pc, stored word, original word)` per fetch — and
+//! each trial replays the records through a fresh
+//! [`FetchDecoder`], applying its [`FaultPlan`] at the
+//! scheduled fetch counts. Replay is pure table/decoder work (no
+//! simulator), which keeps paper-scale campaigns tractable, and the
+//! bounded window keeps a single trial's cost independent of kernel run
+//! length.
+//!
+//! Degradation semantics: a fetch the decoder flags
+//! [`FetchKind::Degraded`] is refused, and the memory system delivers the
+//! *original* word through the fallback path — modelled here by charging
+//! the original word's transitions to the bus and handing the original
+//! word to the core. A degraded block can therefore never execute wrong
+//! instructions; it only gives back its share of the transition
+//! reduction.
+
+use std::collections::HashMap;
+
+use imt_core::hardware::{FetchDecoder, FetchKind};
+use imt_core::pipeline::BUS_WIDTH;
+use imt_core::protect::FaultOutcome;
+use imt_core::{EncodedProgram, Protection};
+use imt_isa::program::Program;
+use imt_sim::bus::DataBusMonitor;
+use imt_sim::cpu::{Cpu, FetchSink};
+
+use crate::plan::{FaultPlan, FaultTarget};
+use crate::FaultError;
+
+/// One recorded fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchRecord {
+    /// Fetch address.
+    pub pc: u32,
+    /// Word the encoded image holds at `pc`.
+    pub stored: u32,
+    /// Word the original program holds at `pc`.
+    pub original: u32,
+}
+
+/// A recorded fetch stream, capped at a replay window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchTrace {
+    records: Vec<FetchRecord>,
+    /// Fetches the execution performed beyond the window.
+    pub truncated_fetches: u64,
+}
+
+struct TraceSink<'a> {
+    encoded_text: &'a [u32],
+    text_base: u32,
+    window: usize,
+    records: Vec<FetchRecord>,
+    overflow: u64,
+}
+
+impl FetchSink for TraceSink<'_> {
+    #[inline]
+    fn on_fetch(&mut self, pc: u32, word: u32) {
+        if self.records.len() < self.window {
+            let index = (pc.wrapping_sub(self.text_base) / 4) as usize;
+            self.records.push(FetchRecord {
+                pc,
+                stored: self.encoded_text[index],
+                original: word,
+            });
+        } else {
+            self.overflow += 1;
+        }
+    }
+}
+
+impl FetchTrace {
+    /// Runs `program` for up to `max_steps` instructions and records its
+    /// first `window` fetches against `encoded`'s image.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::Core`] if the program faults or exceeds `max_steps`.
+    pub fn record(
+        program: &Program,
+        encoded: &EncodedProgram,
+        max_steps: u64,
+        window: usize,
+    ) -> Result<FetchTrace, FaultError> {
+        let mut cpu = Cpu::new(program).map_err(imt_core::CoreError::from)?;
+        let mut sink = TraceSink {
+            encoded_text: &encoded.text,
+            text_base: encoded.text_base,
+            window,
+            records: Vec::with_capacity(window.min(1 << 20)),
+            overflow: 0,
+        };
+        cpu.run_with_sink(max_steps, &mut sink)
+            .map_err(imt_core::CoreError::from)?;
+        Ok(FetchTrace {
+            records: sink.records,
+            truncated_fetches: sink.overflow,
+        })
+    }
+
+    /// The recorded fetches, in execution order.
+    pub fn records(&self) -> &[FetchRecord] {
+        &self.records
+    }
+
+    /// Fetches inside the replay window.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// What one replay of a trace (clean or faulted) measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Fetches replayed.
+    pub fetches: u64,
+    /// Faults actually applied (triggers inside the window).
+    pub injected: u64,
+    /// Fetches whose delivered word differed from the original — silent
+    /// data corruption reaching the core.
+    pub wrong_words: u64,
+    /// Fetches refused and served through the fallback path.
+    pub degraded_fetches: u64,
+    /// Table entries the check code repaired.
+    pub corrected: u64,
+    /// Table entries detected as bad (check code or structure) and
+    /// quarantined.
+    pub detected: u64,
+    /// Bus transitions with the original image — the paper's baseline.
+    pub baseline_transitions: u64,
+    /// Bus transitions actually paid: encoded words where decode held,
+    /// original words over the fallback path where it degraded.
+    pub bus_transitions: u64,
+}
+
+impl ReplayOutcome {
+    /// Transition reduction achieved by this replay, in percent of the
+    /// baseline — the clean value of the paper's Figure 6 metric, and
+    /// under faults the reduction *retained* through degradation.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.baseline_transitions == 0 {
+            return 0.0;
+        }
+        (self.baseline_transitions as f64 - self.bus_transitions as f64)
+            / self.baseline_transitions as f64
+            * 100.0
+    }
+}
+
+/// Replays `trace` through a fresh decoder under `protection`, applying
+/// `plan`'s faults at their trigger fetch counts.
+///
+/// # Errors
+///
+/// [`FaultError::Plan`] if a fault addresses a target outside the
+/// configured hardware (entry/bit out of range, text word out of image);
+/// [`FaultError::Core`] if the decoder cannot be built for `encoded`'s
+/// configuration.
+pub fn replay(
+    trace: &FetchTrace,
+    encoded: &EncodedProgram,
+    protection: Protection,
+    plan: &FaultPlan,
+) -> Result<ReplayOutcome, FaultError> {
+    let mut decoder = FetchDecoder::with_protection(
+        &encoded.tt,
+        &encoded.bbit,
+        BUS_WIDTH,
+        encoded.config.block_size(),
+        encoded.config.overlap(),
+        encoded.config.transforms(),
+        protection,
+    )?;
+    let mut baseline = DataBusMonitor::new(BUS_WIDTH);
+    let mut bus = DataBusMonitor::new(BUS_WIDTH);
+    let mut text_overlay: HashMap<usize, u32> = HashMap::new();
+    let faults = plan.faults();
+    let mut next_fault = 0usize;
+    let mut injected = 0u64;
+    let mut wrong_words = 0u64;
+
+    for (n, record) in trace.records.iter().enumerate() {
+        let mut bus_mask = 0u32;
+        while next_fault < faults.len() && faults[next_fault].at_fetch == n as u64 {
+            let fault = faults[next_fault];
+            next_fault += 1;
+            injected += 1;
+            if imt_obs::enabled() {
+                imt_obs::counter!("fault.injected").inc();
+            }
+            match fault.target {
+                FaultTarget::Tt { entry, bit } => {
+                    decoder
+                        .inject_tt_bit(entry, bit)
+                        .map_err(|e| FaultError::Plan {
+                            detail: format!("{}: {e}", fault.target),
+                        })?;
+                }
+                FaultTarget::Bbit { entry, bit } => {
+                    decoder
+                        .inject_bbit_bit(entry, bit)
+                        .map_err(|e| FaultError::Plan {
+                            detail: format!("{}: {e}", fault.target),
+                        })?;
+                }
+                FaultTarget::Text { word, bit } => {
+                    if word >= encoded.text.len() {
+                        return Err(FaultError::Plan {
+                            detail: format!(
+                                "{}: word outside the {}-word text image",
+                                fault.target,
+                                encoded.text.len()
+                            ),
+                        });
+                    }
+                    *text_overlay.entry(word).or_insert(0) ^= 1 << bit;
+                }
+                FaultTarget::Bus { bit } => bus_mask ^= 1 << bit,
+            }
+        }
+        let word_index = (record.pc.wrapping_sub(encoded.text_base) / 4) as usize;
+        let stored = record.stored ^ text_overlay.get(&word_index).copied().unwrap_or(0) ^ bus_mask;
+        let (decoded, kind) = decoder.on_fetch_classified(record.pc, stored);
+        baseline.observe(record.original as u64);
+        // The fallback path refetches the original word; otherwise the
+        // stored (possibly corrupted) word was on the bus.
+        let (delivered, on_bus) = match kind {
+            FetchKind::Degraded => (record.original, record.original),
+            _ => (decoded, stored),
+        };
+        bus.observe(on_bus as u64);
+        if delivered != record.original {
+            wrong_words += 1;
+        }
+    }
+
+    let mut corrected = 0u64;
+    let mut detected = 0u64;
+    for event in decoder.take_events() {
+        match event.outcome {
+            FaultOutcome::Corrected { .. } => corrected += 1,
+            FaultOutcome::Detected | FaultOutcome::Structural => detected += 1,
+        }
+    }
+    Ok(ReplayOutcome {
+        fetches: trace.records.len() as u64,
+        injected,
+        wrong_words,
+        degraded_fetches: decoder.degraded_fetches(),
+        corrected,
+        detected,
+        baseline_transitions: baseline.total_transitions(),
+        bus_transitions: bus.total_transitions(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_core::{encode_program, EncoderConfig};
+    use imt_isa::asm::assemble;
+
+    const LOOP_SRC: &str = r#"
+            .text
+    main:   li   $t0, 300
+    loop:   xor  $t1, $t1, $t0
+            sll  $t2, $t1, 3
+            srl  $t3, $t1, 7
+            addu $t4, $t2, $t3
+            addiu $t0, $t0, -1
+            bgtz $t0, loop
+            li   $v0, 10
+            syscall
+    "#;
+
+    fn fixture() -> (Program, EncodedProgram, FetchTrace) {
+        let program = assemble(LOOP_SRC).expect("assemble");
+        let mut cpu = Cpu::new(&program).expect("load");
+        cpu.run(1_000_000).expect("run");
+        let encoded =
+            encode_program(&program, cpu.profile(), &EncoderConfig::default()).expect("encode");
+        let trace = FetchTrace::record(&program, &encoded, 1_000_000, 5_000).expect("trace");
+        (program, encoded, trace)
+    }
+
+    #[test]
+    fn clean_replay_matches_the_paper_metric_and_delivers_no_wrong_words() {
+        let (_, encoded, trace) = fixture();
+        for protection in Protection::ALL {
+            let out = replay(&trace, &encoded, protection, &FaultPlan::none()).unwrap();
+            assert_eq!(out.wrong_words, 0, "{protection}");
+            assert_eq!(out.degraded_fetches, 0);
+            assert_eq!(out.injected, 0);
+            assert!(out.reduction_percent() > 5.0, "{protection}");
+        }
+    }
+
+    #[test]
+    fn unprotected_tt_upset_corrupts_silently() {
+        let (_, encoded, trace) = fixture();
+        let plan = FaultPlan::single(40, FaultTarget::Tt { entry: 0, bit: 4 });
+        let out = replay(&trace, &encoded, Protection::None, &plan).unwrap();
+        assert_eq!(out.injected, 1);
+        assert!(out.wrong_words > 0, "selector flip must corrupt the stream");
+        assert_eq!(out.detected, 0);
+    }
+
+    #[test]
+    fn parity_degrades_the_same_upset_with_zero_wrong_words() {
+        let (_, encoded, trace) = fixture();
+        let plan = FaultPlan::single(40, FaultTarget::Tt { entry: 0, bit: 4 });
+        let out = replay(&trace, &encoded, Protection::Parity, &plan).unwrap();
+        assert_eq!(out.wrong_words, 0);
+        assert_eq!(out.detected, 1);
+        assert!(out.degraded_fetches > 0);
+        // Degradation keeps execution correct but gives back reduction.
+        let clean = replay(&trace, &encoded, Protection::Parity, &FaultPlan::none()).unwrap();
+        assert!(out.reduction_percent() < clean.reduction_percent());
+    }
+
+    #[test]
+    fn sec_corrects_the_same_upset_and_keeps_the_reduction() {
+        let (_, encoded, trace) = fixture();
+        let plan = FaultPlan::single(40, FaultTarget::Tt { entry: 0, bit: 4 });
+        let out = replay(&trace, &encoded, Protection::Sec, &plan).unwrap();
+        assert_eq!(out.wrong_words, 0);
+        assert_eq!(out.corrected, 1);
+        assert_eq!(out.degraded_fetches, 0);
+        let clean = replay(&trace, &encoded, Protection::Sec, &FaultPlan::none()).unwrap();
+        assert_eq!(out.bus_transitions, clean.bus_transitions);
+    }
+
+    #[test]
+    fn bus_transient_is_a_single_fetch_upset() {
+        let (_, encoded, trace) = fixture();
+        let plan = FaultPlan::single(10, FaultTarget::Bus { bit: 7 });
+        let out = replay(&trace, &encoded, Protection::Sec, &plan).unwrap();
+        // One flipped line for one fetch: at most a handful of wrong
+        // words (the flip plus history pollution until the end of its
+        // basic block), and no table event — the codes do not cover the
+        // bus.
+        assert!(out.wrong_words >= 1);
+        assert!(out.wrong_words <= 16, "wrong={}", out.wrong_words);
+        assert_eq!(out.detected + out.corrected, 0);
+    }
+
+    #[test]
+    fn text_upset_is_persistent() {
+        let (_, encoded, trace) = fixture();
+        // Find the word index of the first recorded fetch inside the
+        // encoded region (a decoded one), then corrupt it early.
+        let hot = encoded.report.encoded[0].clone();
+        let word = ((hot.start_pc - encoded.text_base) / 4) as usize;
+        let plan = FaultPlan::single(0, FaultTarget::Text { word, bit: 3 });
+        let out = replay(&trace, &encoded, Protection::None, &plan).unwrap();
+        // The block is fetched every loop iteration; a persistent image
+        // fault corrupts many fetches, not one.
+        assert!(out.wrong_words > 10, "wrong={}", out.wrong_words);
+    }
+
+    #[test]
+    fn out_of_range_targets_are_plan_errors() {
+        let (_, encoded, trace) = fixture();
+        for target in [
+            FaultTarget::Tt { entry: 999, bit: 0 },
+            FaultTarget::Bbit {
+                entry: 0,
+                bit: 9999,
+            },
+            FaultTarget::Text {
+                word: usize::MAX,
+                bit: 0,
+            },
+        ] {
+            let plan = FaultPlan::single(0, target);
+            let err = replay(&trace, &encoded, Protection::None, &plan).unwrap_err();
+            assert!(matches!(err, FaultError::Plan { .. }), "{target}: {err}");
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! {
 //!   "schema": "imt-obs/v1",
 //!   "run": "exp_fig6",
+//!   "status": "completed",
 //!   "<caller sections>": { ... },
 //!   "metrics": [
 //!     {"name": "...", "label": "...", "kind": "counter", "value": 0},
@@ -20,6 +21,10 @@
 //!   "events": [{"kind": "...", "label": "...", "fields": { ... }}]
 //! }
 //! ```
+//!
+//! `status` is `"completed"` for manifests written by [`finish_run`] and
+//! `"aborted"` for partial manifests flushed by a [`RunGuard`] whose run
+//! crashed before finishing; older manifests may omit it.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -193,6 +198,7 @@ pub fn finish_run<K: Into<String>>(
     run: &str,
     extra: Vec<(K, Json)>,
 ) -> std::io::Result<Option<PathBuf>> {
+    defuse(run);
     match crate::mode() {
         Mode::Off => Ok(None),
         Mode::Report => {
@@ -204,6 +210,7 @@ pub fn finish_run<K: Into<String>>(
             for (key, value) in extra {
                 manifest.set(key, value);
             }
+            manifest.set("status", Json::str("completed"));
             manifest.capture();
             let dir = obs_dir();
             let path = manifest.write_to(&dir)?;
@@ -212,6 +219,86 @@ pub fn finish_run<K: Into<String>>(
             Ok(Some(path))
         }
     }
+}
+
+/// Run names whose [`RunGuard`] has not been defused yet. A poisoned lock
+/// only means another thread panicked while armed — exactly the situation
+/// the guard exists for — so poisoning is ignored.
+static ARMED: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+
+/// Removes `run` from the armed list; returns whether it was armed.
+fn defuse(run: &str) -> bool {
+    let mut armed = ARMED.lock().unwrap_or_else(|p| p.into_inner());
+    let before = armed.len();
+    armed.retain(|r| r != run);
+    armed.len() != before
+}
+
+/// Crash bracket for a run: arm it first thing, and if the process
+/// panics (or otherwise drops the guard) before [`finish_run`] or
+/// [`RunGuard::complete`] defuses it, a partial manifest with
+/// `"status": "aborted"` is flushed under [`obs_dir`] so `imt obs check`
+/// reports the crashed run instead of finding nothing.
+///
+/// Only [`Mode::Json`] writes anything; in other modes the guard is
+/// bookkeeping-only. `finish_run` defuses by run name, so the usual
+/// pattern needs no explicit hand-off:
+///
+/// ```no_run
+/// let _guard = imt_obs::manifest::RunGuard::begin("exp_fault");
+/// // ... the run; a panic here flushes an aborted manifest ...
+/// imt_obs::manifest::finish_run::<&str>("exp_fault", vec![]).unwrap();
+/// ```
+pub struct RunGuard {
+    run: String,
+}
+
+impl RunGuard {
+    /// Arms a guard for the run named `run`.
+    pub fn begin(run: impl Into<String>) -> RunGuard {
+        let run = run.into();
+        ARMED
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(run.clone());
+        RunGuard { run }
+    }
+
+    /// Defuses the guard without writing anything — for runs that end
+    /// without calling [`finish_run`] (e.g. an error path that already
+    /// reported failure to the user).
+    pub fn complete(self) {
+        defuse(&self.run);
+    }
+}
+
+impl Drop for RunGuard {
+    fn drop(&mut self) {
+        if !defuse(&self.run) || crate::mode() != Mode::Json {
+            return;
+        }
+        // Best-effort: a failed flush during a crash must not mask the
+        // original panic with a second one.
+        match write_aborted(&self.run, &obs_dir()) {
+            Ok(path) => eprintln!(
+                "imt-obs: run `{}` aborted; partial manifest at {}",
+                self.run,
+                path.display()
+            ),
+            Err(err) => eprintln!("imt-obs: run `{}` aborted; flush failed: {err}", self.run),
+        }
+    }
+}
+
+/// Captures whatever the registry holds right now into
+/// `<dir>/<run>.json` with `"status": "aborted"`.
+fn write_aborted(run: &str, dir: &Path) -> std::io::Result<PathBuf> {
+    let mut manifest = Manifest::new(run);
+    manifest.set("status", Json::str("aborted"));
+    manifest.capture();
+    let path = manifest.write_to(dir)?;
+    manifest.write_jsonl_to(dir)?;
+    Ok(path)
 }
 
 fn field<'a>(doc: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
@@ -234,10 +321,11 @@ fn str_field<'a>(doc: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String>
 /// Validates a parsed document against the `imt-obs/v1` schema.
 ///
 /// Beyond shape checks, it cross-checks internal consistency: histogram
-/// bucket counts must sum to `count`, span `min_ns <= max_ns`, and any
+/// bucket counts must sum to `count`, span `min_ns <= max_ns`, any
 /// `eval` event's per-lane transition arrays must sum to its totals — the
 /// same invariant the e2e test asserts against
-/// `EncodedProgram::static_saved_transitions()`.
+/// `EncodedProgram::static_saved_transitions()` — and an optional
+/// `status` must be `"completed"` or `"aborted"`.
 pub fn validate(doc: &Json) -> Result<(), String> {
     let schema = str_field(doc, "schema", "manifest")?;
     if schema != SCHEMA {
@@ -246,6 +334,18 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     let run = str_field(doc, "run", "manifest")?;
     if run.is_empty() {
         return Err("manifest: empty `run`".to_string());
+    }
+    // `status` is optional (pre-existing manifests omit it) but, when
+    // present, must be one of the two states a run can end in.
+    if let Some(status) = doc.get("status") {
+        let status = status
+            .as_str()
+            .ok_or("manifest: `status` is not a string")?;
+        if status != "completed" && status != "aborted" {
+            return Err(format!(
+                "manifest: status `{status}`, expected `completed` or `aborted`"
+            ));
+        }
     }
 
     let metrics = field(doc, "metrics", "manifest")?
@@ -427,6 +527,66 @@ mod tests {
             let err = validate(&doc).unwrap_err();
             assert!(err.contains(fragment), "{src}: got {err}");
         }
+    }
+
+    #[test]
+    fn validate_checks_the_status_field() {
+        let ok = |status: &str| {
+            format!(
+                r#"{{"schema":"imt-obs/v1","run":"x","status":"{status}","metrics":[],"events":[]}}"#
+            )
+        };
+        validate(&Json::parse(&ok("completed")).unwrap()).unwrap();
+        validate(&Json::parse(&ok("aborted")).unwrap()).unwrap();
+        let err = validate(&Json::parse(&ok("running")).unwrap()).unwrap_err();
+        assert!(err.contains("status `running`"), "{err}");
+        let err = validate(
+            &Json::parse(
+                r#"{"schema":"imt-obs/v1","run":"x","status":3,"metrics":[],"events":[]}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("not a string"), "{err}");
+    }
+
+    #[test]
+    fn guard_is_defused_by_finish_run_and_complete() {
+        let before = crate::mode();
+        crate::set_mode(Mode::Off);
+        let guard = RunGuard::begin("guard-defuse-finish");
+        // Off mode writes nothing, but still marks the run as ended.
+        finish_run::<&str>("guard-defuse-finish", vec![]).unwrap();
+        drop(guard); // must not re-defuse (finish_run already did)
+        assert!(!defuse("guard-defuse-finish"));
+
+        let guard = RunGuard::begin("guard-defuse-complete");
+        guard.complete();
+        assert!(!defuse("guard-defuse-complete"));
+        crate::set_mode(before);
+    }
+
+    #[test]
+    fn dropped_guard_flushes_an_aborted_manifest() {
+        let dir = std::env::temp_dir().join("imt-obs-guard-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_aborted("guard-abort-test", &dir).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        validate(&doc).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("aborted"));
+        assert_eq!(
+            doc.get("run").and_then(Json::as_str),
+            Some("guard-abort-test")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The Drop path goes through the same flush; armed + non-Json
+        // drop must stay silent (nothing to clean up afterwards).
+        let before = crate::mode();
+        crate::set_mode(Mode::Off);
+        drop(RunGuard::begin("guard-abort-off"));
+        assert!(!defuse("guard-abort-off"));
+        crate::set_mode(before);
     }
 
     #[test]

@@ -83,7 +83,9 @@ fn widened_transform_set_never_hurts() {
     let eight = pipeline_reduction(&spec, &EncoderConfig::default());
     let sixteen = pipeline_reduction(
         &spec,
-        &EncoderConfig::default().with_transforms(TransformSet::ALL_SIXTEEN),
+        &EncoderConfig::default()
+            .with_transforms(TransformSet::ALL_SIXTEEN)
+            .unwrap(),
     );
     assert!(
         sixteen >= eight - 1e-9,
@@ -95,7 +97,9 @@ fn widened_transform_set_never_hurts() {
 fn identity_only_configuration_is_a_no_op() {
     use imt::bitcode::TransformSet;
     let spec = Kernel::Tri.test_spec();
-    let config = EncoderConfig::default().with_transforms(TransformSet::IDENTITY_ONLY);
+    let config = EncoderConfig::default()
+        .with_transforms(TransformSet::IDENTITY_ONLY)
+        .unwrap();
     let program = spec.assemble();
     let mut cpu = Cpu::new(&program).expect("load");
     cpu.run(spec.max_steps).expect("run");

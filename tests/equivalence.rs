@@ -75,7 +75,8 @@ proptest! {
         let codec = StreamCodec::new(
             StreamCodecConfig::block_size(k).unwrap()
                 .with_overlap(overlap)
-                .with_transforms(set),
+                .with_transforms(set)
+                .unwrap(),
         );
         let reference = codec.encode_reference(&original);
         let packed = codec.encode_packed(&PackedSeq::from_bitseq(&original));

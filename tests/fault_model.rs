@@ -1,0 +1,289 @@
+//! Integration tests for the fault model's decode-path edges: BBIT
+//! misses at block boundaries, back-to-back blocks sharing the overlap
+//! bit, CT tail exhaustion, and the protection guarantee that a detected
+//! single-bit fault degrades to the fallback path — never to wrong
+//! instructions.
+
+use std::sync::OnceLock;
+
+use imt_bitcode::block::OverlapHistory;
+use imt_bitcode::transform::Transform;
+use imt_core::hardware::{Bbit, BbitEntry, FetchDecoder, FetchKind, TransformationTable, TtEntry};
+use imt_core::pipeline::BUS_WIDTH;
+use imt_core::{encode_program, EncodedProgram, EncoderConfig, Protection};
+use imt_fault::plan::{FaultPlan, FaultSurface, TargetClass};
+use imt_fault::trace::{replay, FetchTrace};
+use imt_isa::asm::assemble;
+use imt_isa::program::Program;
+use imt_sim::Cpu;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A hot loop whose 11-instruction body forces every schedule at the
+/// default block sizes to chain multiple TT entries (back-to-back
+/// blocks) and end on a partial CT tail.
+const CHAIN_SRC: &str = r#"
+        .text
+main:   li   $t0, 400
+loop:   xor  $t1, $t1, $t0
+        sll  $t2, $t1, 3
+        srl  $t3, $t1, 7
+        addu $t4, $t2, $t3
+        xor  $t5, $t4, $t1
+        sll  $t6, $t5, 2
+        srl  $t7, $t5, 5
+        addu $t8, $t6, $t7
+        xor  $t9, $t8, $t2
+        addiu $t0, $t0, -1
+        bgtz $t0, loop
+        li   $v0, 10
+        syscall
+"#;
+
+fn fixture(config: &EncoderConfig) -> (Program, EncodedProgram) {
+    let program = assemble(CHAIN_SRC).expect("assemble");
+    let mut cpu = Cpu::new(&program).expect("load");
+    cpu.run(1_000_000).expect("run");
+    let encoded = encode_program(&program, cpu.profile(), config).expect("encode");
+    (program, encoded)
+}
+
+fn decoder(encoded: &EncodedProgram, protection: Protection) -> FetchDecoder {
+    FetchDecoder::with_protection(
+        &encoded.tt,
+        &encoded.bbit,
+        BUS_WIDTH,
+        encoded.config.block_size(),
+        encoded.config.overlap(),
+        encoded.config.transforms(),
+        protection,
+    )
+    .expect("schedule fits its own configuration")
+}
+
+fn word_at(image: &[u32], base: u32, pc: u32) -> u32 {
+    image[(pc.wrapping_sub(base) / 4) as usize]
+}
+
+/// Walks a TT chain from `tt_first`: (entries in the chain, fetches it
+/// covers).
+fn chain(encoded: &EncodedProgram, tt_first: usize) -> (usize, usize) {
+    let mut index = tt_first;
+    let mut links = 0;
+    let mut covers = 0;
+    loop {
+        let entry = encoded.tt.get(index).expect("chain stays inside the TT");
+        links += 1;
+        covers += entry.covers;
+        if entry.end {
+            return (links, covers);
+        }
+        index += 1;
+    }
+}
+
+#[test]
+fn bbit_miss_at_block_boundaries_passes_through() {
+    let (program, encoded) = fixture(&EncoderConfig::default());
+    let entry = encoded
+        .bbit
+        .entries()
+        .first()
+        .copied()
+        .expect("the hot loop must be scheduled");
+    let stored = |pc: u32| word_at(&encoded.text, encoded.text_base, pc);
+    let original = |pc: u32| word_at(&program.text, encoded.text_base, pc);
+
+    // One word before the block's tag: BBIT miss, the decoder stays idle
+    // and the word passes through untouched.
+    let before = entry.pc.wrapping_sub(4);
+    if encoded.bbit.lookup(before).is_none() {
+        let mut dec = decoder(&encoded, Protection::None);
+        let (word, kind) = dec.on_fetch_classified(before, stored(before));
+        assert_eq!(kind, FetchKind::Passthrough);
+        assert_eq!(word, stored(before));
+    }
+
+    // Entering at an interior pc (no tag, fresh decoder): a BBIT miss
+    // even though the pc lies inside an encoded block; the decoder must
+    // not engage a schedule it was never pointed at.
+    let mid = entry.pc + 4;
+    assert!(
+        encoded.bbit.lookup(mid).is_none(),
+        "interior pcs carry no tag"
+    );
+    let mut dec = decoder(&encoded, Protection::None);
+    let (word, kind) = dec.on_fetch_classified(mid, stored(mid));
+    assert_eq!(kind, FetchKind::Passthrough);
+    assert_eq!(word, stored(mid));
+    assert_eq!(dec.decoded_fetches(), 0);
+
+    // Walking from the tag restores originals for exactly the fetches
+    // the chain covers, then the end boundary drops back to passthrough.
+    let (_, covers) = chain(&encoded, entry.tt_index);
+    let mut dec = decoder(&encoded, Protection::None);
+    let mut pc = entry.pc;
+    for i in 0..covers {
+        let (word, kind) = dec.on_fetch_classified(pc, stored(pc));
+        assert_eq!(kind, FetchKind::Decoded, "fetch {i}");
+        assert_eq!(word, original(pc), "fetch {i} must restore the original");
+        pc += 4;
+    }
+    if encoded.bbit.lookup(pc).is_none() {
+        let (word, kind) = dec.on_fetch_classified(pc, stored(pc));
+        assert_eq!(
+            kind,
+            FetchKind::Passthrough,
+            "schedule ends at the boundary"
+        );
+        assert_eq!(word, stored(pc));
+    }
+}
+
+#[test]
+fn back_to_back_blocks_share_the_overlap_bit() {
+    for overlap in [OverlapHistory::Stored, OverlapHistory::Decoded] {
+        let config = EncoderConfig::default().with_overlap(overlap);
+        let (program, encoded) = fixture(&config);
+        let stored = |pc: u32| word_at(&encoded.text, encoded.text_base, pc);
+        let original = |pc: u32| word_at(&program.text, encoded.text_base, pc);
+        // A chained schedule: the first entry is not the last, so the
+        // second block's first fetch decodes against the overlap bit.
+        let entry = encoded
+            .bbit
+            .entries()
+            .iter()
+            .copied()
+            .find(|e| {
+                !encoded
+                    .tt
+                    .get(e.tt_index)
+                    .expect("tag points into the TT")
+                    .end
+            })
+            .expect("an 11-instruction body must chain blocks");
+        let (links, covers) = chain(&encoded, entry.tt_index);
+        assert!(links >= 2, "chain must span back-to-back blocks");
+        let k = encoded.config.block_size();
+        assert!(covers > k, "the chain must cross a block boundary");
+
+        let mut dec = decoder(&encoded, Protection::None);
+        let mut pc = entry.pc;
+        for i in 0..covers {
+            let (word, kind) = dec.on_fetch_classified(pc, stored(pc));
+            assert_eq!(kind, FetchKind::Decoded, "{overlap:?} fetch {i}");
+            assert_eq!(
+                word,
+                original(pc),
+                "{overlap:?} fetch {i}: the overlap hand-off must agree \
+                 between encoder and decoder"
+            );
+            pc += 4;
+        }
+        assert_eq!(dec.decoded_fetches(), covers as u64);
+    }
+}
+
+#[test]
+fn ct_tail_exhaustion_returns_to_passthrough() {
+    // Hand-built schedule: one basic block of 7 instructions at k = 5 —
+    // a full first block plus a CT tail of 2. Identity transforms make
+    // the decoded word equal the stored word, so only the walker's
+    // counters are under test.
+    let lanes = BUS_WIDTH;
+    let k = 5;
+    let mut tt = TransformationTable::new();
+    tt.push(TtEntry {
+        lane_transforms: vec![Transform::IDENTITY; lanes],
+        end: false,
+        covers: k,
+    });
+    tt.push(TtEntry {
+        lane_transforms: vec![Transform::IDENTITY; lanes],
+        end: true,
+        covers: 2,
+    });
+    let mut bbit = Bbit::new();
+    bbit.push(BbitEntry {
+        pc: 0x0040_0100,
+        tt_index: 0,
+    });
+    let mut dec = FetchDecoder::new(&tt, &bbit, lanes, k, OverlapHistory::Stored);
+
+    let mut pc = 0x0040_0100u32;
+    for i in 0..7u32 {
+        let stored = 0x1234_5678 ^ i;
+        let (word, kind) = dec.on_fetch_classified(pc, stored);
+        assert_eq!(kind, FetchKind::Decoded, "fetch {i}");
+        assert_eq!(word, stored, "identity transforms restore the stored word");
+        pc += 4;
+    }
+    // The CT counter ran out with `E` set mid-k: the schedule is over
+    // and the next sequential fetch is plain memory.
+    let (word, kind) = dec.on_fetch_classified(pc, 0xDEAD_BEEF);
+    assert_eq!(kind, FetchKind::Passthrough);
+    assert_eq!(word, 0xDEAD_BEEF);
+    assert_eq!(dec.decoded_fetches(), 7);
+    assert_eq!(dec.passthrough_fetches(), 1);
+
+    // Branching back to the tag restarts the schedule from the top.
+    let (_, kind) = dec.on_fetch_classified(0x0040_0100, 0x1234_5678);
+    assert_eq!(kind, FetchKind::Decoded);
+}
+
+static TRACED: OnceLock<(EncodedProgram, FetchTrace)> = OnceLock::new();
+
+fn traced() -> &'static (EncodedProgram, FetchTrace) {
+    TRACED.get_or_init(|| {
+        let (program, encoded) = fixture(&EncoderConfig::default());
+        let trace = FetchTrace::record(&program, &encoded, 1_000_000, 4_000).expect("trace");
+        assert!(trace.len() >= 1_000, "the loop must fill the window");
+        (encoded, trace)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The protection guarantee: under parity or SEC, any single
+    /// injected table upset is detected (or corrected) and the affected
+    /// fetches degrade to the fallback path — the delivered stream never
+    /// contains a wrong instruction.
+    #[test]
+    fn detected_single_fault_never_delivers_wrong_words(
+        seed in any::<u64>(),
+        at in 0u64..3_000,
+        use_parity in any::<bool>(),
+    ) {
+        let (encoded, trace) = traced();
+        let protection = if use_parity { Protection::Parity } else { Protection::Sec };
+        let surface = FaultSurface::of(
+            &decoder(encoded, protection),
+            encoded.text.len(),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = surface
+            .sample(&mut rng, TargetClass::Tables)
+            .expect("schedule has table bits");
+        let plan = FaultPlan::single(at % trace.len() as u64, target);
+        let out = replay(trace, encoded, protection, &plan).unwrap();
+
+        prop_assert_eq!(out.injected, 1);
+        prop_assert_eq!(
+            out.wrong_words, 0,
+            "{} upset {} leaked wrong instructions", protection, target
+        );
+        // SEC repairs every single-bit upset in place: nothing degrades.
+        if protection == Protection::Sec {
+            prop_assert_eq!(out.detected, 0, "SEC must correct, not quarantine");
+            prop_assert_eq!(out.degraded_fetches, 0);
+            prop_assert_eq!(out.corrected, 1);
+        } else {
+            // Parity can only detect; whatever it flags must have been
+            // quarantined before any use.
+            prop_assert_eq!(out.corrected, 0);
+        }
+    }
+}

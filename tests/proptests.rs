@@ -36,7 +36,8 @@ proptest! {
         let codec = StreamCodec::new(
             StreamCodecConfig::block_size(k).unwrap()
                 .with_overlap(overlap)
-                .with_transforms(set),
+                .with_transforms(set)
+                .unwrap(),
         );
         let encoded = codec.encode(&original);
         prop_assert_eq!(codec.decode(&encoded).unwrap(), original.clone());
