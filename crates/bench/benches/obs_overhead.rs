@@ -80,5 +80,39 @@ fn main() {
         share < BUDGET_PERCENT,
         "disabled-path observability overhead {share:.4}% exceeds {BUDGET_PERCENT}% budget"
     );
+
+    // With obs off, `push_label_lazy` must not even build its label — the
+    // grid cells pay one mode check instead of a `format!` allocation.
+    const LABELS: u64 = 100_000;
+    let mut eager_samples = [0u64; 9];
+    for sample in &mut eager_samples {
+        let start = Instant::now();
+        for i in 0..LABELS {
+            drop(black_box(imt_obs::push_label(format!(
+                "mmul-100/k{}",
+                black_box(i) % 8
+            ))));
+        }
+        *sample = start.elapsed().as_nanos() as u64;
+    }
+    let eager_ns = median_ns(&mut eager_samples) as f64 / LABELS as f64;
+    let mut lazy_samples = [0u64; 9];
+    for sample in &mut lazy_samples {
+        let start = Instant::now();
+        for i in 0..LABELS {
+            drop(black_box(imt_obs::push_label_lazy(|| {
+                format!("mmul-100/k{}", black_box(i) % 8)
+            })));
+        }
+        *sample = start.elapsed().as_nanos() as u64;
+    }
+    let lazy_ns = median_ns(&mut lazy_samples) as f64 / LABELS as f64;
+    println!("obs_overhead: push_label(format!) eager      {eager_ns:.3} ns/call");
+    println!("obs_overhead: push_label_lazy, obs off       {lazy_ns:.3} ns/call");
+    assert!(
+        lazy_ns < eager_ns,
+        "lazy label ({lazy_ns:.3} ns) must undercut the eager push + format ({eager_ns:.3} ns) \
+         while observability is off"
+    );
     println!("obs_overhead: PASS");
 }

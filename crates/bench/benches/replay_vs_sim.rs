@@ -1,0 +1,111 @@
+//! Asserting bench: replay evaluation cost is O(static edges), not
+//! O(dynamic fetches).
+//!
+//! The same kernel at two problem sizes (fft at Test and Paper scale) has
+//! nearly the same static text — and therefore nearly the same fetch-edge
+//! profile size — while executing vastly more dynamic instructions at
+//! Paper scale. Full simulation scales with the dynamic count; replay must
+//! not. This bench measures both evaluators at both scales and **fails**
+//! (exit 1) unless:
+//!
+//! 1. the dynamic/static separation is real (Paper-scale fetches ≥ 10×
+//!    Test-scale fetches — a deterministic backstop that does not depend
+//!    on timing noise), and
+//! 2. Paper-scale replay stays within 2× of Test-scale replay (median
+//!    wall time), pinning the asymptotic claim.
+//!
+//! Plain `harness = false` main so `cargo bench --bench replay_vs_sim`
+//! runs it as a CI gate without criterion's sampling machinery.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use imt_core::eval::{evaluate, evaluate_replay};
+use imt_core::{encode_program, EncoderConfig};
+use imt_kernels::Kernel;
+use imt_sim::edge::FetchEdgeProfile;
+
+fn median_ns(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Measured {
+    fetches: u64,
+    distinct_edges: usize,
+    full_ns: u64,
+    replay_ns: u64,
+}
+
+fn measure(spec: &imt_kernels::KernelSpec) -> Measured {
+    let program = spec.assemble();
+    let edges = FetchEdgeProfile::record(&program, spec.max_steps)
+        .unwrap_or_else(|e| panic!("{}: recording failed: {e}", spec.name));
+    assert_eq!(edges.stdout(), spec.expected_output, "{}", spec.name);
+    let counts = edges.per_index_counts();
+    let encoded =
+        encode_program(&program, &counts, &EncoderConfig::default()).expect("encode failed");
+
+    // Both paths must agree before their costs are worth comparing.
+    let full = evaluate(&program, &encoded, spec.max_steps).expect("full evaluation failed");
+    let replay = evaluate_replay(&program, &encoded, &edges).expect("replay failed");
+    assert_eq!(replay, full, "{}: replay diverged", spec.name);
+
+    let mut full_samples = [0u64; 11];
+    for sample in &mut full_samples {
+        let start = Instant::now();
+        black_box(evaluate(black_box(&program), black_box(&encoded), spec.max_steps).unwrap());
+        *sample = start.elapsed().as_nanos() as u64;
+    }
+    let mut replay_samples = [0u64; 31];
+    for sample in &mut replay_samples {
+        let start = Instant::now();
+        black_box(
+            evaluate_replay(black_box(&program), black_box(&encoded), black_box(&edges)).unwrap(),
+        );
+        *sample = start.elapsed().as_nanos() as u64;
+    }
+    Measured {
+        fetches: edges.fetches(),
+        distinct_edges: edges.distinct_edges(),
+        full_ns: median_ns(&mut full_samples),
+        replay_ns: median_ns(&mut replay_samples),
+    }
+}
+
+fn main() {
+    // Tolerates and ignores cargo-bench plumbing args (`--bench`, filters).
+    let _ = std::env::args();
+    imt_obs::set_mode(imt_obs::Mode::Off);
+
+    let test = measure(&Kernel::Fft.test_spec());
+    let paper = measure(&Kernel::Fft.paper_spec());
+
+    let fetch_ratio = paper.fetches as f64 / test.fetches as f64;
+    let replay_ratio = paper.replay_ns as f64 / test.replay_ns as f64;
+    println!(
+        "replay_vs_sim: fft test   {:>9} fetches, {:>4} edges — full {:>9} ns, replay {:>7} ns",
+        test.fetches, test.distinct_edges, test.full_ns, test.replay_ns
+    );
+    println!(
+        "replay_vs_sim: fft paper  {:>9} fetches, {:>4} edges — full {:>9} ns, replay {:>7} ns",
+        paper.fetches, paper.distinct_edges, paper.full_ns, paper.replay_ns
+    );
+    println!(
+        "replay_vs_sim: paper/test ratios — fetches {fetch_ratio:.1}x, replay time {replay_ratio:.2}x"
+    );
+    println!(
+        "replay_vs_sim: paper-scale full-sim/replay speedup {:.1}x",
+        paper.full_ns as f64 / paper.replay_ns as f64
+    );
+    assert!(
+        fetch_ratio >= 10.0,
+        "scales are too close to separate asymptotics (fetches ratio {fetch_ratio:.1}x < 10x)"
+    );
+    assert!(
+        replay_ratio < 2.0,
+        "replay cost grew {replay_ratio:.2}x from Test to Paper scale — it must track static \
+         edges, not the {fetch_ratio:.1}x dynamic fetch growth"
+    );
+    println!("replay_vs_sim: PASS");
+}

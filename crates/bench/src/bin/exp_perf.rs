@@ -13,9 +13,18 @@
 //! search over `Vec<bool>` lanes) against the memoized-codebook packed
 //! path — the algorithmic speedup that holds even on one core.
 //!
-//! All timings go through `imt-obs` always-on spans (`perf.encode` and
-//! `perf.codec`, labelled `kernel/mode`), so the same numbers land in the
-//! registry, the JSON artifact, and — under `IMT_OBS` — the run manifest.
+//! All timings go through `imt-obs` always-on spans (`perf.encode`,
+//! `perf.codec` and `perf.grid`, labelled `kernel/mode`), so the same
+//! numbers land in the registry, the JSON artifact, and — under
+//! `IMT_OBS` — the run manifest.
+//!
+//! The second section times the Figure 6 grid both ways: the seed's
+//! per-cell path (one profiling simulation plus one full evaluation
+//! simulation per cell) against the replay path (one fetch-edge recording
+//! per kernel, closed-form replay per cell). Before any timing, every one
+//! of the 24 grid evaluations is asserted **bit-identical** between the
+//! two paths — total and per-lane transition counts, fetch split,
+//! behaviour — and the grid speedup lands in `results/BENCH_replay.json`.
 //!
 //! The outputs of both modes are asserted identical word-for-word — the
 //! speedup is free, not a different answer.
@@ -25,9 +34,11 @@ use imt_bench::table::Table;
 use imt_bitcode::packed::PackedSeq;
 use imt_bitcode::par::thread_count;
 use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+use imt_core::eval::{evaluate, evaluate_replay};
 use imt_core::{encode_program, EncodedProgram, EncoderConfig};
 use imt_kernels::{Kernel, KernelRun};
 use imt_obs::json::Json;
+use imt_sim::edge::FetchEdgeProfile;
 
 /// Timed repetitions per (kernel, mode); the mean is reported.
 const REPS: u32 = 5;
@@ -71,6 +82,106 @@ fn span_mean_ms(name: &'static str, label: &str) -> f64 {
     let stat = imt_obs::registry::span_stat_labeled(name, label);
     debug_assert_eq!(stat.count(), u64::from(REPS), "{name}{{{label}}}");
     stat.total_ns() as f64 / f64::from(REPS) / 1e6
+}
+
+/// Total milliseconds recorded under `name{label}` (single-shot spans).
+fn span_total_ms(name: &'static str, label: &str) -> f64 {
+    imt_obs::registry::span_stat_labeled(name, label).total_ns() as f64 / 1e6
+}
+
+struct ReplayPoint {
+    kernel: &'static str,
+    fetches: u64,
+    distinct_edges: usize,
+    full_ms: f64,
+    replay_ms: f64,
+}
+
+impl ReplayPoint {
+    fn speedup(&self) -> f64 {
+        if self.replay_ms == 0.0 {
+            return 1.0;
+        }
+        self.full_ms / self.replay_ms
+    }
+}
+
+/// One kernel's slice of the Figure 6 grid (block sizes 4–7), timed both
+/// ways. The bit-identity of every cell is asserted first, outside the
+/// timed regions, so the comparison times equal answers.
+fn time_grid_slice(kernel: Kernel, scale: Scale, block_sizes: &[usize]) -> ReplayPoint {
+    let spec = scale.spec(kernel);
+    let program = spec.assemble();
+    let edges = FetchEdgeProfile::record(&program, spec.max_steps)
+        .unwrap_or_else(|e| panic!("{}: recording failed: {e}", spec.name));
+    assert_eq!(
+        edges.stdout(),
+        spec.expected_output,
+        "{}: kernel output diverged from the golden model",
+        spec.name
+    );
+    let counts = edges.per_index_counts();
+    let configs: Vec<EncoderConfig> = block_sizes
+        .iter()
+        .map(|&k| {
+            EncoderConfig::default()
+                .with_block_size(k)
+                .expect("block sizes 4..=7 are valid")
+        })
+        .collect();
+
+    // Correctness first: every grid cell must be bit-identical between
+    // replay and full simulation — totals, all 32 lanes, fetch split.
+    for config in &configs {
+        let encoded = encode_program(&program, &counts, config).expect("encode failed");
+        let full = evaluate(&program, &encoded, spec.max_steps).expect("full evaluation failed");
+        let replay = evaluate_replay(&program, &encoded, &edges).expect("replay failed");
+        assert_eq!(
+            replay,
+            full,
+            "{} k={}: replay diverged from full simulation",
+            spec.name,
+            config.block_size()
+        );
+    }
+
+    // The seed's per-cell path: one profiling simulation plus one full
+    // evaluation simulation for every cell.
+    let full_label = format!("{}/full", kernel.name());
+    {
+        let _span = imt_obs::span::timed_labeled("perf.grid", &full_label);
+        for config in &configs {
+            let run = spec.run().expect("profiling run failed");
+            let encoded =
+                encode_program(&run.program, &run.profile, config).expect("encode failed");
+            std::hint::black_box(
+                evaluate(&run.program, &encoded, spec.max_steps).expect("full evaluation failed"),
+            );
+        }
+    }
+
+    // The replay path: one recording per kernel, closed-form replay per
+    // cell.
+    let replay_label = format!("{}/replay", kernel.name());
+    {
+        let _span = imt_obs::span::timed_labeled("perf.grid", &replay_label);
+        let edges = FetchEdgeProfile::record(&program, spec.max_steps).expect("recording failed");
+        let counts = edges.per_index_counts();
+        for config in &configs {
+            let encoded = encode_program(&program, &counts, config).expect("encode failed");
+            std::hint::black_box(
+                evaluate_replay(&program, &encoded, &edges).expect("replay failed"),
+            );
+        }
+    }
+
+    ReplayPoint {
+        kernel: kernel.name(),
+        fetches: edges.fetches(),
+        distinct_edges: edges.distinct_edges(),
+        full_ms: span_total_ms("perf.grid", &full_label),
+        replay_ms: span_total_ms("perf.grid", &replay_label),
+    }
 }
 
 /// Times the codec layer over all 32 lanes of the text image both ways:
@@ -206,6 +317,58 @@ fn main() {
     println!("time. On a single-core host the thread speedup is ~1x by");
     println!("construction and the codec columns are the ones that matter.");
 
+    println!("\nreplay evaluation vs full simulation — Figure 6 grid (k = 4..7)\n");
+    let block_sizes = [4usize, 5, 6, 7];
+    let replay_points: Vec<ReplayPoint> = Kernel::ALL
+        .iter()
+        .map(|&kernel| time_grid_slice(kernel, scale, &block_sizes))
+        .collect();
+    let mut replay_table = Table::new(
+        [
+            "kernel",
+            "fetches",
+            "edges",
+            "full sim (ms)",
+            "replay (ms)",
+            "speedup",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for p in &replay_points {
+        replay_table.row(vec![
+            p.kernel.to_string(),
+            p.fetches.to_string(),
+            p.distinct_edges.to_string(),
+            format!("{:.2}", p.full_ms),
+            format!("{:.2}", p.replay_ms),
+            format!("{:.2}x", p.speedup()),
+        ]);
+    }
+    print!("{}", replay_table.render());
+    let grid_full_ms: f64 = replay_points.iter().map(|p| p.full_ms).sum();
+    let grid_replay_ms: f64 = replay_points.iter().map(|p| p.replay_ms).sum();
+    let grid_speedup = if grid_replay_ms == 0.0 {
+        1.0
+    } else {
+        grid_full_ms / grid_replay_ms
+    };
+    println!(
+        "\ngrid total: full sim {grid_full_ms:.1} ms, replay {grid_replay_ms:.1} ms \
+         ({grid_speedup:.2}x)"
+    );
+    println!("all 24 grid cells asserted bit-identical between the two paths");
+    println!("(total and per-lane transitions, fetch split, program behaviour).");
+    if scale == Scale::Paper {
+        // The whole point of the replay engine: the grid must get at least
+        // 5x cheaper at paper scale. At test scale the simulations are so
+        // short that fixed costs dominate, so the floor applies here only.
+        assert!(
+            grid_speedup >= 5.0,
+            "replay grid speedup {grid_speedup:.2}x is below the 5x floor"
+        );
+    }
+
     // The artifact embeds its own obs manifest — spans included — so the
     // JSON is self-describing even when `IMT_OBS` is off.
     let mut manifest = imt_obs::manifest::Manifest::new("exp_perf");
@@ -251,6 +414,56 @@ fn main() {
         // Running from a different working directory is not an error worth
         // failing the experiment over; the numbers are on stdout too.
         Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+
+    let mut replay_manifest = imt_obs::manifest::Manifest::new("exp_perf_replay");
+    replay_manifest.set(
+        "environment",
+        Json::obj(vec![
+            ("threads", Json::U64(threads as u64)),
+            ("scale", Json::str(format!("{scale:?}"))),
+        ]),
+    );
+    replay_manifest.capture();
+    let replay_doc = Json::obj(vec![
+        ("scale", Json::str(format!("{scale:?}"))),
+        (
+            "block_sizes",
+            Json::Arr(block_sizes.iter().map(|&k| Json::U64(k as u64)).collect()),
+        ),
+        (
+            "kernels",
+            Json::Arr(
+                replay_points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("kernel", Json::str(p.kernel)),
+                            ("fetches", Json::U64(p.fetches)),
+                            ("distinct_edges", Json::U64(p.distinct_edges as u64)),
+                            ("full_ms", round(p.full_ms)),
+                            ("replay_ms", round(p.replay_ms)),
+                            ("speedup", round(p.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "grid",
+            Json::obj(vec![
+                ("full_ms", round(grid_full_ms)),
+                ("replay_ms", round(grid_replay_ms)),
+                ("speedup", round(grid_speedup)),
+                ("cells_bit_identical", Json::Bool(true)),
+            ]),
+        ),
+        ("obs", replay_manifest.to_json()),
+    ]);
+    let replay_path = "results/BENCH_replay.json";
+    match std::fs::write(replay_path, format!("{}\n", replay_doc.render_pretty())) {
+        Ok(()) => println!("wrote {replay_path}"),
+        Err(e) => println!("could not write {replay_path}: {e}"),
     }
     imt_bench::finish_run("exp_perf");
 }

@@ -571,6 +571,77 @@ pub fn kernels(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+pub fn bench(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    // The runner consults the process environment/arguments, so a flag on
+    // `imt bench` maps onto the same switch the experiment binaries use.
+    if opts.flag("--no-profile-cache") {
+        std::env::set_var(imt_core::profile_cache::MODE_ENV, "off");
+    }
+    let scale = if opts.flag("--test-scale") {
+        imt_bench::runner::Scale::Test
+    } else {
+        imt_bench::runner::Scale::Paper
+    };
+    let grid = imt_bench::runner::figure6_grid(scale);
+    let mut table = imt_bench::table::Table::new(
+        ["kernel", "baseline (M)", "k=4", "k=5", "k=6", "k=7"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for row in &grid {
+        let mut cells = vec![
+            row[0].instance.clone(),
+            format!("{:.2}", row[0].baseline_millions()),
+        ];
+        cells.extend(
+            row.iter()
+                .map(|point| format!("{:.1}%", point.reduction_percent())),
+        );
+        table.row(cells);
+    }
+    let mut out = format!(
+        "figure 6 grid at {scale:?} scale (replay evaluation, profile cache {}):\n",
+        if imt_bench::runner::profile_cache_enabled() {
+            "on"
+        } else {
+            "off"
+        }
+    );
+    out.push_str(&table.render());
+    Ok(out)
+}
+
+pub fn cache(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        None | Some("stats") => {
+            let stats = imt_core::profile_cache::stats();
+            let state = if imt_core::profile_cache::enabled() {
+                "enabled"
+            } else {
+                "disabled (IMT_PROFILE_CACHE=off)"
+            };
+            Ok(format!(
+                "profile cache: {state}\n  dir:     {}\n  entries: {}\n  bytes:   {}\n",
+                stats.dir.display(),
+                stats.entries,
+                stats.bytes
+            ))
+        }
+        Some("clear") => {
+            let dir = imt_core::profile_cache::stats().dir;
+            let removed = imt_core::profile_cache::clear()?;
+            Ok(format!(
+                "removed {removed} cached profile(s) from {}\n",
+                dir.display()
+            ))
+        }
+        Some(other) => Err(CliError::new(format!(
+            "unknown cache subcommand `{other}` (expected `stats` or `clear`)"
+        ))),
+    }
+}
+
 pub fn fault(args: &[String]) -> Result<String, CliError> {
     let opts = parse(args);
     match opts.positional.first().copied() {
@@ -1097,5 +1168,26 @@ loop:   xor $t1, $t1, $t0\n\
         let err = run(&args(&[&src, "--max-steps", "many"])).unwrap_err();
         assert!(err.to_string().contains("expects a number"));
         std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn bench_renders_the_grid_at_test_scale() {
+        let out = bench(&args(&["--test-scale"])).unwrap();
+        assert!(out.contains("figure 6 grid at Test scale"));
+        assert!(out.contains("k=7"));
+        for kernel in imt_kernels::Kernel::ALL {
+            assert!(out.contains(kernel.name()), "missing {}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn cache_stats_and_bad_subcommand() {
+        let out = cache(&args(&["stats"])).unwrap();
+        assert!(out.contains("profile cache"));
+        assert!(out.contains("imt-profile-cache"));
+        // Bare `imt cache` is stats too.
+        assert!(cache(&[]).unwrap().contains("entries:"));
+        let err = cache(&args(&["purge"])).unwrap_err();
+        assert!(err.to_string().contains("stats"));
     }
 }

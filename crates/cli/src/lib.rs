@@ -10,6 +10,8 @@
 //! imt encode <file> [opts]               full pipeline; reduction report
 //! imt tables [-k N]                      print the optimal code table
 //! imt kernels [name]                     list / run the paper benchmarks
+//! imt bench [opts]                       figure 6 grid via replay eval
+//! imt cache [stats|clear]                inspect / wipe the profile cache
 //! imt fault <inject|campaign|report>     upset injection and campaigns
 //! ```
 //!
@@ -91,6 +93,9 @@ commands:
   tables [--block-size K] [--all-sixteen]
                                    print the optimal code table (Fig. 2/4)
   kernels [name]                   list the paper kernels, or run one
+  bench [--test-scale] [--no-profile-cache]
+                                   figure 6 grid via replay evaluation
+  cache [stats | clear]            profile-cache location, size, wipe
   fault inject <file> --plan AT:TARGET[,..] [--protection none|parity|sec]
                                    apply named upsets and replay the fetch
                                    stream (targets: tt:E:B bbit:E:B
@@ -135,6 +140,8 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "schedule" => commands::schedule(rest),
         "tables" => commands::tables(rest),
         "kernels" => commands::kernels(rest),
+        "bench" => commands::bench(rest),
+        "cache" => commands::cache(rest),
         "fault" => commands::fault(rest),
         "obs" => {
             guard.complete();

@@ -44,6 +44,15 @@ pub enum CoreError {
         /// What the original program holds.
         expected: u32,
     },
+    /// The fetch-edge profile records a non-sequential entry into the
+    /// middle of an encoded block, so closed-form replay cannot reproduce
+    /// the decoder's history state there. Structurally impossible for
+    /// schedules built from real basic blocks; surfaced so callers can
+    /// fall back to full simulation instead of reporting wrong numbers.
+    ReplayInfeasible {
+        /// Address of the mid-block entry point.
+        pc: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -70,6 +79,10 @@ impl fmt::Display for CoreError {
             } => write!(
                 f,
                 "fetch decoder produced {decoded:08x} at {pc:08x}, expected {expected:08x}"
+            ),
+            CoreError::ReplayInfeasible { pc } => write!(
+                f,
+                "fetch profile enters an encoded block mid-stream at {pc:08x}; replay evaluation is infeasible"
             ),
         }
     }

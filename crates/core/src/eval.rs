@@ -7,10 +7,26 @@
 //! checking bit-for-bit that the decoded stream equals the original
 //! instruction stream. A schedule that decodes incorrectly can therefore
 //! never report savings.
+//!
+//! Two evaluation paths produce bit-identical [`Evaluation`]s:
+//!
+//! * [`evaluate`] — full simulation, O(dynamic fetches);
+//! * [`evaluate_replay`] — closed-form replay over a recorded
+//!   [`FetchEdgeProfile`], O(static edges): the transition totals are
+//!   `Σ_edges weight(e) · popcount(stored[src] ^ stored[dst])`, and the
+//!   decoder is verified once per scheduled block instead of once per
+//!   dynamic traversal (sound because blocks are single-entry and a BBIT
+//!   hit resets the decoder, so every traversal decodes identically).
+//!
+//! [`evaluate_auto`] picks between them from a typed [`EvalNeeds`]:
+//! anything beyond data-bus transition counts (icache, timing, address
+//! bus) requires the full simulator and is routed there explicitly.
 
+use imt_bitcode::packed::PackedSeq;
 use imt_isa::program::Program;
 use imt_sim::bus::DataBusMonitor;
 use imt_sim::cpu::{Cpu, FetchSink};
+use imt_sim::edge::FetchEdgeProfile;
 
 use crate::error::CoreError;
 use crate::hardware::FetchDecoder;
@@ -130,23 +146,317 @@ pub fn evaluate(
         stdout: cpu.stdout().to_string(),
     };
     if imt_obs::enabled() {
-        publish_eval_obs(&evaluation, &sink);
+        publish_eval_obs(&evaluation);
     }
     Ok(evaluation)
+}
+
+/// Replays a recorded fetch-edge profile against the encoded image in
+/// closed form — O(distinct edges) instead of O(dynamic fetches) — and
+/// returns an [`Evaluation`] bit-identical to [`evaluate`]'s on the same
+/// program.
+///
+/// The transition totals (total *and* per lane) are weighted XOR+popcount
+/// sums over the edge multiset; the per-lane breakdown reuses the
+/// lane-transposed popcount machinery of [`imt_bitcode::packed`]. The
+/// decode check walks every scheduled block once through the real
+/// [`FetchDecoder`]: a BBIT hit resets the decoder state, blocks are
+/// strictly sequential inside, and the profile is checked to contain no
+/// mid-block entries — so one walk per block witnesses every dynamic
+/// traversal, and a corrupted image or table is still refused.
+///
+/// # Errors
+///
+/// [`CoreError::ProfileLength`] if the profile covers a different text
+/// length; [`CoreError::TableImage`] if the encoded image is malformed;
+/// [`CoreError::DecodeMismatch`] if the hardware model restores any word
+/// incorrectly; [`CoreError::ReplayInfeasible`] if the profile enters an
+/// encoded block mid-stream (fall back to [`evaluate`]).
+pub fn evaluate_replay(
+    program: &Program,
+    encoded: &EncodedProgram,
+    profile: &FetchEdgeProfile,
+) -> Result<Evaluation, CoreError> {
+    let text_len = program.text.len();
+    if profile.text_len() != text_len {
+        return Err(CoreError::ProfileLength {
+            text_len,
+            profile_len: profile.text_len(),
+        });
+    }
+    if encoded.text.len() != text_len {
+        return Err(CoreError::TableImage {
+            detail: "encoded image length differs from the program text",
+        });
+    }
+
+    // Static decode verification: walk each scheduled block's fetch
+    // sequence once through the hardware model.
+    let mut decoder = FetchDecoder::new(
+        &encoded.tt,
+        &encoded.bbit,
+        BUS_WIDTH,
+        encoded.config.block_size(),
+        encoded.config.overlap(),
+    );
+    let mut in_span = vec![false; text_len];
+    let mut span_start = vec![false; text_len];
+    for (start_pc, end_pc) in decoder.scheduled_spans() {
+        let start = pc_to_index(start_pc, encoded.text_base, text_len)?;
+        let end = pc_to_index(end_pc.wrapping_sub(4), encoded.text_base, text_len)? + 1;
+        span_start[start] = true;
+        decoder.reset();
+        for (index, inside) in in_span.iter_mut().enumerate().take(end).skip(start) {
+            *inside = true;
+            let pc = encoded.text_base + 4 * index as u32;
+            let decoded = decoder.on_fetch(pc, encoded.text[index]);
+            if decoded != program.text[index] {
+                return Err(CoreError::DecodeMismatch {
+                    pc,
+                    decoded,
+                    expected: program.text[index],
+                });
+            }
+        }
+    }
+    // Outside every scheduled block the image must be the original words
+    // (they pass through the decoder untouched).
+    for (index, _) in in_span.iter().enumerate().filter(|&(_, &inside)| !inside) {
+        if encoded.text[index] != program.text[index] {
+            return Err(CoreError::DecodeMismatch {
+                pc: encoded.text_base + 4 * index as u32,
+                decoded: encoded.text[index],
+                expected: program.text[index],
+            });
+        }
+    }
+
+    // The soundness precondition: every dynamic entry into a scheduled
+    // block lands on its start PC (single-entry basic blocks). The
+    // recorded edges witness every entry, so this is checkable exactly.
+    let interior = |index: usize| in_span[index] && !span_start[index];
+    if let Some(seed) = profile.seed_index() {
+        if interior(seed) {
+            return Err(CoreError::ReplayInfeasible {
+                pc: encoded.text_base + 4 * seed as u32,
+            });
+        }
+    }
+    for (src, dst, _) in profile.edges() {
+        if interior(dst) && src + 1 != dst {
+            return Err(CoreError::ReplayInfeasible {
+                pc: encoded.text_base + 4 * dst as u32,
+            });
+        }
+    }
+
+    // Closed-form transition counts over the weighted edge multiset.
+    let (baseline_total, per_lane_baseline) = weighted_transitions(&program.text, profile);
+    let (encoded_total, per_lane_encoded) = weighted_transitions(&encoded.text, profile);
+
+    // Every fetch of a scheduled index decodes through the TT (entries are
+    // always via the BBIT'd start PC, interiors always sequential — both
+    // just verified), so the decoded/passthrough split follows from the
+    // per-index counts.
+    let per_index = profile.per_index_counts();
+    let decoded_fetches: u64 = per_index
+        .iter()
+        .zip(&in_span)
+        .filter(|&(_, &inside)| inside)
+        .map(|(&count, _)| count)
+        .sum();
+
+    let evaluation = Evaluation {
+        fetches: profile.fetches(),
+        baseline_transitions: baseline_total,
+        encoded_transitions: encoded_total,
+        per_lane_baseline,
+        per_lane_encoded,
+        decode_mismatches: 0,
+        decoded_fetches,
+        passthrough_fetches: profile.fetches() - decoded_fetches,
+        exit_code: profile.exit_code(),
+        stdout: profile.stdout().to_string(),
+    };
+    if imt_obs::enabled() {
+        imt_obs::counter!("core.eval.replays").inc();
+        publish_eval_obs(&evaluation);
+    }
+    Ok(evaluation)
+}
+
+fn pc_to_index(pc: u32, text_base: u32, text_len: usize) -> Result<usize, CoreError> {
+    let offset = pc.wrapping_sub(text_base);
+    let index = (offset / 4) as usize;
+    if pc < text_base || !offset.is_multiple_of(4) || index >= text_len {
+        return Err(CoreError::TableImage {
+            detail: "scheduled span outside the text image",
+        });
+    }
+    Ok(index)
+}
+
+/// Total and per-lane weighted transitions of `words` over the profile's
+/// edge multiset.
+///
+/// The total is a direct weighted popcount. The per-lane breakdown uses
+/// the lane-transposed machinery of [`PackedSeq`]: transpose the per-edge
+/// XOR words into one bitset per bus lane and each edge weight into one
+/// bitset per weight bit, then
+/// `per_lane[l] = Σ_b 2^b · popcount(lane_l & weight_plane_b)` — pure
+/// word-wide AND+popcount, no per-bit loops.
+fn weighted_transitions(words: &[u32], profile: &FetchEdgeProfile) -> (u64, Vec<u64>) {
+    let mut diffs = Vec::with_capacity(profile.distinct_edges());
+    let mut weights = Vec::with_capacity(profile.distinct_edges());
+    let mut total = 0u64;
+    for (src, dst, weight) in profile.edges() {
+        let diff = u64::from(words[src] ^ words[dst]);
+        total += weight * u64::from(diff.count_ones());
+        diffs.push(diff);
+        weights.push(weight);
+    }
+    let weight_bits = 64 - weights.iter().fold(0u64, |acc, &w| acc | w).leading_zeros();
+    let planes: Vec<PackedSeq> = (0..weight_bits as usize)
+        .map(|bit| PackedSeq::from_lane(&weights, bit))
+        .collect();
+    let mut per_lane = vec![0u64; BUS_WIDTH];
+    for (lane, slot) in per_lane.iter_mut().enumerate() {
+        let lane_diffs = PackedSeq::from_lane(&diffs, lane);
+        let mut sum = 0u64;
+        for (bit, plane) in planes.iter().enumerate() {
+            let overlap: u64 = lane_diffs
+                .words()
+                .iter()
+                .zip(plane.words())
+                .map(|(&d, &p)| u64::from((d & p).count_ones()))
+                .sum();
+            sum += overlap << bit;
+        }
+        *slot = sum;
+    }
+    debug_assert_eq!(per_lane.iter().sum::<u64>(), total);
+    (total, per_lane)
+}
+
+/// What an evaluation's caller needs beyond data-bus transition counts.
+/// Replay covers transitions only; everything else requires the full
+/// simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalNeeds {
+    /// Instruction-cache statistics (hit rates, hierarchy traffic).
+    pub icache: bool,
+    /// Front-end timing (redirect bubbles, stall cycles).
+    pub timing: bool,
+    /// Address-bus transition counts.
+    pub address_bus: bool,
+}
+
+impl EvalNeeds {
+    /// Data-bus transition counts only — the replay-eligible need set.
+    pub const fn transitions_only() -> EvalNeeds {
+        EvalNeeds {
+            icache: false,
+            timing: false,
+            address_bus: false,
+        }
+    }
+
+    /// Why these needs force full simulation, if they do.
+    pub fn full_sim_reason(self) -> Option<FullSimReason> {
+        if self.icache {
+            Some(FullSimReason::Icache)
+        } else if self.timing {
+            Some(FullSimReason::Timing)
+        } else if self.address_bus {
+            Some(FullSimReason::AddressBus)
+        } else {
+            None
+        }
+    }
+}
+
+/// Why [`evaluate_auto`] took the full-simulation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FullSimReason {
+    /// Instruction-cache statistics were requested.
+    Icache,
+    /// Front-end timing was requested.
+    Timing,
+    /// Address-bus statistics were requested.
+    AddressBus,
+    /// No fetch-edge profile was supplied.
+    NoProfile,
+    /// The profile enters an encoded block mid-stream
+    /// ([`CoreError::ReplayInfeasible`]).
+    ReplayInfeasible,
+}
+
+/// Which path [`evaluate_auto`] took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPath {
+    /// Closed-form replay over the edge profile.
+    Replay,
+    /// Full simulation, and why.
+    FullSim(FullSimReason),
+}
+
+/// Evaluates via replay when `needs` allow it and a profile is available,
+/// falling back to full simulation otherwise — the two paths return
+/// bit-identical [`Evaluation`]s, so callers choose on cost, not result.
+///
+/// # Errors
+///
+/// As [`evaluate`] / [`evaluate_replay`] (a replay-infeasible profile is
+/// not an error: it falls back to full simulation).
+pub fn evaluate_auto(
+    program: &Program,
+    encoded: &EncodedProgram,
+    max_steps: u64,
+    profile: Option<&FetchEdgeProfile>,
+    needs: EvalNeeds,
+) -> Result<(Evaluation, EvalPath), CoreError> {
+    if let Some(reason) = needs.full_sim_reason() {
+        return Ok((
+            evaluate(program, encoded, max_steps)?,
+            EvalPath::FullSim(reason),
+        ));
+    }
+    let Some(profile) = profile else {
+        return Ok((
+            evaluate(program, encoded, max_steps)?,
+            EvalPath::FullSim(FullSimReason::NoProfile),
+        ));
+    };
+    match evaluate_replay(program, encoded, profile) {
+        Ok(evaluation) => Ok((evaluation, EvalPath::Replay)),
+        Err(CoreError::ReplayInfeasible { .. }) => Ok((
+            evaluate(program, encoded, max_steps)?,
+            EvalPath::FullSim(FullSimReason::ReplayInfeasible),
+        )),
+        Err(e) => Err(e),
+    }
 }
 
 /// Publishes one evaluation under the thread's current context label:
 /// labelled transition gauges plus a structured `eval` event carrying the
 /// per-lane breakdown (validated lane-sum-equals-total by `imt obs check`).
-fn publish_eval_obs(eval: &Evaluation, sink: &EvalSink<'_>) {
+/// Both evaluation paths publish the same metrics, including the bus
+/// gauges [`DataBusMonitor::publish_obs`] would emit.
+fn publish_eval_obs(eval: &Evaluation) {
     use imt_obs::json::Json;
     let label = imt_obs::current_label();
     imt_obs::counter!("core.eval.runs").inc();
     imt_obs::counter!("core.eval.fetches").add(eval.fetches);
     imt_obs::gauge_labeled("core.eval.baseline_transitions", &label).set(eval.baseline_transitions);
     imt_obs::gauge_labeled("core.eval.encoded_transitions", &label).set(eval.encoded_transitions);
-    sink.baseline.publish_obs(&format!("{label}/baseline"));
-    sink.encoded.publish_obs(&format!("{label}/encoded"));
+    for (suffix, words, transitions) in [
+        ("baseline", eval.fetches, eval.baseline_transitions),
+        ("encoded", eval.fetches, eval.encoded_transitions),
+    ] {
+        let bus_label = format!("{label}/{suffix}");
+        imt_obs::gauge_labeled("sim.bus.words", &bus_label).set(words);
+        imt_obs::gauge_labeled("sim.bus.transitions", &bus_label).set(transitions);
+    }
     imt_obs::event(
         "eval",
         label,
@@ -324,6 +634,132 @@ mod tests {
         encoded.text[index] ^= 1 << 7;
         let err = evaluate(&program, &encoded, 10_000_000).unwrap_err();
         assert!(matches!(err, crate::CoreError::DecodeMismatch { .. }));
+    }
+
+    fn record(program: &Program) -> FetchEdgeProfile {
+        FetchEdgeProfile::record(program, 10_000_000).expect("recording failed")
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_full_simulation() {
+        for k in [4usize, 5, 6, 7] {
+            for overlap in [OverlapHistory::Stored, OverlapHistory::Decoded] {
+                let config = EncoderConfig::default()
+                    .with_block_size(k)
+                    .unwrap()
+                    .with_overlap(overlap);
+                let (program, encoded) = pipeline(LOOP_PROGRAM, &config);
+                let profile = record(&program);
+                let full = evaluate(&program, &encoded, 10_000_000).unwrap();
+                let replay = evaluate_replay(&program, &encoded, &profile).unwrap();
+                // Full struct equality: totals, all 32 lanes, fetch split,
+                // behaviour — nothing may drift between the paths.
+                assert_eq!(replay, full, "k={k} {overlap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_handles_branchy_control_flow() {
+        let source = r#"
+            .text
+    main:   li   $t0, 400
+    loop:   andi $t1, $t0, 1
+            beq  $t1, $zero, even
+    odd:    xor  $t2, $t2, $t0
+            b    next
+    even:   addu $t3, $t3, $t0
+    next:   addiu $t0, $t0, -1
+            bgtz $t0, loop
+            li   $v0, 10
+            syscall
+    "#;
+        let (program, encoded) = pipeline(source, &EncoderConfig::default());
+        let profile = record(&program);
+        let full = evaluate(&program, &encoded, 10_000_000).unwrap();
+        let replay = evaluate_replay(&program, &encoded, &profile).unwrap();
+        assert_eq!(replay, full);
+    }
+
+    #[test]
+    fn replay_refuses_a_corrupted_image() {
+        // The regression guard for the replay path: a bit flipped in the
+        // stored image must surface as DecodeMismatch, exactly as the
+        // full-simulation path refuses it — replay must never be a way to
+        // report savings from an image that would not decode.
+        let (program, mut encoded) = pipeline(LOOP_PROGRAM, &EncoderConfig::default());
+        let profile = record(&program);
+        let hot = encoded.report.encoded[0].clone();
+        let index = (hot.start_pc - encoded.text_base) as usize / 4 + 1;
+        encoded.text[index] ^= 1 << 7;
+        let err = evaluate_replay(&program, &encoded, &profile).unwrap_err();
+        assert!(matches!(err, crate::CoreError::DecodeMismatch { .. }));
+    }
+
+    #[test]
+    fn replay_refuses_a_corrupted_schedule() {
+        let (program, mut encoded) = pipeline(LOOP_PROGRAM, &EncoderConfig::default());
+        let profile = record(&program);
+        let mut tt = crate::hardware::TransformationTable::new();
+        for (i, entry) in encoded.tt.entries().iter().enumerate() {
+            let mut entry = entry.clone();
+            if i == 0 {
+                entry.lane_transforms[3] =
+                    if entry.lane_transforms[3] == imt_bitcode::Transform::NOT_X {
+                        imt_bitcode::Transform::XOR
+                    } else {
+                        imt_bitcode::Transform::NOT_X
+                    };
+            }
+            tt.push(entry);
+        }
+        encoded.tt = tt;
+        let err = evaluate_replay(&program, &encoded, &profile).unwrap_err();
+        assert!(matches!(err, crate::CoreError::DecodeMismatch { .. }));
+    }
+
+    #[test]
+    fn replay_refuses_an_untouched_word_changed_outside_any_span() {
+        // Outside every scheduled block the stored image must equal the
+        // original — fetched or not, the replay check is total.
+        let (program, mut encoded) = pipeline(LOOP_PROGRAM, &EncoderConfig::default());
+        let profile = record(&program);
+        let last = encoded.text.len() - 1;
+        encoded.text[last] ^= 1;
+        let err = evaluate_replay(&program, &encoded, &profile).unwrap_err();
+        assert!(matches!(err, crate::CoreError::DecodeMismatch { .. }));
+    }
+
+    #[test]
+    fn replay_rejects_a_profile_for_a_different_program() {
+        let (program, encoded) = pipeline(LOOP_PROGRAM, &EncoderConfig::default());
+        let other = assemble("    .text\nmain: li $v0, 10\n    syscall\n").unwrap();
+        let profile = record(&other);
+        let err = evaluate_replay(&program, &encoded, &profile).unwrap_err();
+        assert!(matches!(err, crate::CoreError::ProfileLength { .. }));
+    }
+
+    #[test]
+    fn evaluate_auto_routes_and_reports_its_path() {
+        let (program, encoded) = pipeline(LOOP_PROGRAM, &EncoderConfig::default());
+        let profile = record(&program);
+        let needs = EvalNeeds::transitions_only();
+
+        let (via_replay, path) =
+            evaluate_auto(&program, &encoded, 10_000_000, Some(&profile), needs).unwrap();
+        assert_eq!(path, EvalPath::Replay);
+
+        let (via_sim, path) = evaluate_auto(&program, &encoded, 10_000_000, None, needs).unwrap();
+        assert_eq!(path, EvalPath::FullSim(FullSimReason::NoProfile));
+        assert_eq!(via_replay, via_sim);
+
+        let icache = EvalNeeds {
+            icache: true,
+            ..EvalNeeds::default()
+        };
+        let (_, path) =
+            evaluate_auto(&program, &encoded, 10_000_000, Some(&profile), icache).unwrap();
+        assert_eq!(path, EvalPath::FullSim(FullSimReason::Icache));
     }
 
     #[test]

@@ -613,6 +613,13 @@ impl FetchDecoder {
         self.block_size
     }
 
+    /// The PC footprint of every scheduled basic block, as
+    /// `(start_pc, end_pc)` half-open ranges in BBIT order — the regions
+    /// whose fetches decode through the TT when entered at `start_pc`.
+    pub fn scheduled_spans(&self) -> Vec<(u32, u32)> {
+        self.spans.iter().map(|s| (s.start_pc, s.end_pc)).collect()
+    }
+
     /// Drops any active schedule (e.g. between independent replays).
     /// Quarantines and degraded ranges persist — damage does not heal.
     pub fn reset(&mut self) {

@@ -61,6 +61,7 @@
 pub mod eval;
 pub mod hardware;
 pub mod pipeline;
+pub mod profile_cache;
 pub mod protect;
 pub mod schedule;
 pub mod tableimage;

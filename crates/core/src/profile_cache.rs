@@ -1,0 +1,286 @@
+//! On-disk fetch-profile cache shared by every experiment binary and the
+//! CLI.
+//!
+//! A [`FetchEdgeProfile`] captures everything the replay evaluator
+//! ([`crate::eval::evaluate_replay`]) needs about one program run, and the
+//! run it summarises is deterministic — so one recording can serve all 21
+//! `exp_*` bins and the CLI across processes. Entries live under
+//! `<target>/imt-profile-cache/`, keyed by an FNV-1a content hash of the
+//! program image (text words, data bytes, load addresses, entry point),
+//! the step budget, and the simulator's recording-semantics version
+//! ([`imt_sim::edge::PROFILE_SEMANTICS_VERSION`]).
+//!
+//! Invalidation rules:
+//!
+//! * any change to the program bytes or step budget changes the key;
+//! * any change to fetch semantics must bump `PROFILE_SEMANTICS_VERSION`,
+//!   which changes every key;
+//! * a malformed or stale entry (format error, wrong text length) is a
+//!   miss — the caller re-records and overwrites;
+//! * `IMT_PROFILE_CACHE=off` (or `0`/`no`) disables the cache, and
+//!   `imt cache clear` / [`clear`] wipes it.
+//!
+//! Writes are atomic (temp file + rename), so concurrent processes racing
+//! on the same key at worst both record and one wins the rename.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use imt_isa::program::Program;
+use imt_sim::edge::{FetchEdgeProfile, PROFILE_SEMANTICS_VERSION};
+
+/// Environment variable overriding the cache directory.
+pub const DIR_ENV: &str = "IMT_PROFILE_CACHE_DIR";
+
+/// Environment variable disabling the cache (`off`, `0`, or `no`).
+pub const MODE_ENV: &str = "IMT_PROFILE_CACHE";
+
+/// Whether the on-disk cache is enabled by the environment. Binaries may
+/// additionally honour a `--no-profile-cache` flag on top of this.
+pub fn enabled() -> bool {
+    !matches!(
+        std::env::var(MODE_ENV).ok().as_deref(),
+        Some("off") | Some("0") | Some("no")
+    )
+}
+
+/// The cache directory: `$IMT_PROFILE_CACHE_DIR` if set, otherwise
+/// `imt-profile-cache/` inside the cargo target directory that built the
+/// running executable (found by walking up from `current_exe`), falling
+/// back to `target/imt-profile-cache` under the working directory.
+pub fn dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os(DIR_ENV) {
+        return PathBuf::from(dir);
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for ancestor in exe.ancestors() {
+            if ancestor.file_name().is_some_and(|n| n == "target") {
+                return ancestor.join("imt-profile-cache");
+            }
+        }
+    }
+    PathBuf::from("target").join("imt-profile-cache")
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(PRIME);
+    }
+}
+
+/// Content key for `(program, max_steps)` under the current simulator
+/// semantics: 16 lowercase hex digits.
+pub fn content_key(program: &Program, max_steps: u64) -> String {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    fnv1a(&mut hash, &PROFILE_SEMANTICS_VERSION.to_le_bytes());
+    fnv1a(&mut hash, &(program.text.len() as u64).to_le_bytes());
+    for &word in &program.text {
+        fnv1a(&mut hash, &word.to_le_bytes());
+    }
+    fnv1a(&mut hash, &(program.data.len() as u64).to_le_bytes());
+    fnv1a(&mut hash, &program.data);
+    fnv1a(&mut hash, &program.text_base.to_le_bytes());
+    fnv1a(&mut hash, &program.data_base.to_le_bytes());
+    fnv1a(&mut hash, &program.entry.to_le_bytes());
+    fnv1a(&mut hash, &max_steps.to_le_bytes());
+    format!("{hash:016x}")
+}
+
+fn entry_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.edges"))
+}
+
+/// Loads the cached profile for `(program, max_steps)` from `dir`, or
+/// `None` on a miss (absent, malformed, or recorded over a different text
+/// length — any of which means "re-record").
+pub fn load_from(dir: &Path, program: &Program, max_steps: u64) -> Option<FetchEdgeProfile> {
+    let path = entry_path(dir, &content_key(program, max_steps));
+    let bytes = fs::read(path).ok()?;
+    let profile = FetchEdgeProfile::from_bytes(&bytes).ok()?;
+    if profile.text_len() != program.text.len() {
+        return None;
+    }
+    if imt_obs::enabled() {
+        imt_obs::counter!("cache.profile.disk_hits").inc();
+    }
+    Some(profile)
+}
+
+/// [`load_from`] against the default [`dir`].
+pub fn load(program: &Program, max_steps: u64) -> Option<FetchEdgeProfile> {
+    load_from(&dir(), program, max_steps)
+}
+
+/// Stores `profile` for `(program, max_steps)` in `dir`, atomically
+/// (temp file + rename).
+///
+/// # Errors
+///
+/// Any I/O error creating the directory or writing the entry.
+pub fn store_in(
+    dir: &Path,
+    program: &Program,
+    max_steps: u64,
+    profile: &FetchEdgeProfile,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let key = content_key(program, max_steps);
+    let path = entry_path(dir, &key);
+    let tmp = dir.join(format!("{key}.{}.tmp", std::process::id()));
+    fs::write(&tmp, profile.to_bytes())?;
+    fs::rename(&tmp, &path)?;
+    if imt_obs::enabled() {
+        imt_obs::counter!("cache.profile.stores").inc();
+    }
+    Ok(path)
+}
+
+/// [`store_in`] against the default [`dir`].
+///
+/// # Errors
+///
+/// Any I/O error creating the directory or writing the entry.
+pub fn store(program: &Program, max_steps: u64, profile: &FetchEdgeProfile) -> io::Result<PathBuf> {
+    store_in(&dir(), program, max_steps, profile)
+}
+
+/// What [`stats`] reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// The directory inspected.
+    pub dir: PathBuf,
+    /// Cached profiles present.
+    pub entries: usize,
+    /// Total size of those entries in bytes.
+    pub bytes: u64,
+}
+
+/// Counts the entries in `dir` (a missing directory is an empty cache).
+pub fn stats_of(dir: &Path) -> CacheStats {
+    let mut entries = 0usize;
+    let mut bytes = 0u64;
+    if let Ok(read) = fs::read_dir(dir) {
+        for entry in read.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "edges") {
+                entries += 1;
+                bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    CacheStats {
+        dir: dir.to_path_buf(),
+        entries,
+        bytes,
+    }
+}
+
+/// [`stats_of`] against the default [`dir`].
+pub fn stats() -> CacheStats {
+    stats_of(&dir())
+}
+
+/// Deletes every cached profile in `dir`, returning how many were
+/// removed. A missing directory is an empty cache, not an error.
+///
+/// # Errors
+///
+/// Any I/O error while deleting an entry.
+pub fn clear_of(dir: &Path) -> io::Result<usize> {
+    let mut removed = 0usize;
+    let read = match fs::read_dir(dir) {
+        Ok(read) => read,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    for entry in read {
+        let path = entry?.path();
+        let stale = path.extension().is_some_and(|e| e == "edges" || e == "tmp");
+        if stale {
+            fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// [`clear_of`] against the default [`dir`].
+///
+/// # Errors
+///
+/// Any I/O error while deleting an entry.
+pub fn clear() -> io::Result<usize> {
+    clear_of(&dir())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_isa::asm::assemble;
+
+    fn program(iterations: u32) -> Program {
+        assemble(&format!(
+            ".text\nmain:   li $t0, {iterations}\nloop:   addiu $t0, $t0, -1\n        bgtz $t0, loop\n        li $v0, 10\n        syscall\n"
+        ))
+        .expect("assembly failed")
+    }
+
+    fn temp_cache(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "imt-profile-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_stats() {
+        let dir = temp_cache("roundtrip");
+        let program = program(10);
+        let profile = FetchEdgeProfile::record(&program, 1_000).unwrap();
+        assert_eq!(load_from(&dir, &program, 1_000), None);
+        store_in(&dir, &program, 1_000, &profile).unwrap();
+        assert_eq!(load_from(&dir, &program, 1_000), Some(profile));
+        let stats = stats_of(&dir);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        assert_eq!(clear_of(&dir).unwrap(), 1);
+        assert_eq!(stats_of(&dir).entries, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_separates_programs_budgets_and_versions() {
+        let a = content_key(&program(10), 1_000);
+        let b = content_key(&program(11), 1_000);
+        let c = content_key(&program(10), 2_000);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, content_key(&program(10), 1_000));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = temp_cache("corrupt");
+        let program = program(10);
+        let profile = FetchEdgeProfile::record(&program, 1_000).unwrap();
+        let path = store_in(&dir, &program, 1_000, &profile).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        fs::write(&path, bytes).unwrap();
+        assert_eq!(load_from(&dir, &program, 1_000), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_of_missing_dir_is_empty() {
+        let dir = temp_cache("missing");
+        assert_eq!(clear_of(&dir).unwrap(), 0);
+        assert_eq!(stats_of(&dir).entries, 0);
+    }
+}

@@ -156,14 +156,16 @@ thread_local! {
 /// completion order.
 #[must_use = "the label pops when this guard drops"]
 pub struct LabelGuard {
-    _priv: (),
+    pushed: bool,
 }
 
 impl Drop for LabelGuard {
     fn drop(&mut self) {
-        LABEL_STACK.with(|stack| {
-            stack.borrow_mut().pop();
-        });
+        if self.pushed {
+            LABEL_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
     }
 }
 
@@ -171,7 +173,19 @@ impl Drop for LabelGuard {
 /// it. Nested labels join with `/` in [`current_label`].
 pub fn push_label(label: impl Into<String>) -> LabelGuard {
     LABEL_STACK.with(|stack| stack.borrow_mut().push(label.into()));
-    LabelGuard { _priv: () }
+    LabelGuard { pushed: true }
+}
+
+/// Like [`push_label`], but the label is only built — and pushed — when
+/// observability is [`enabled`]. Use on hot paths where even formatting
+/// the label (one `String` allocation) is unwanted overhead while obs is
+/// off; the disabled cost is the mode load plus a branch.
+pub fn push_label_lazy(label: impl FnOnce() -> String) -> LabelGuard {
+    if enabled() {
+        push_label(label())
+    } else {
+        LabelGuard { pushed: false }
+    }
 }
 
 /// The current thread's context label (`""` outside any
@@ -241,9 +255,24 @@ mod tests {
         set_mode(Mode::Report);
         assert_eq!(mode(), Mode::Report);
         assert!(enabled());
+        {
+            let _g = push_label_lazy(|| "lazy".to_string());
+            assert_eq!(current_label(), "lazy");
+        }
+        assert_eq!(current_label(), "");
         set_mode(Mode::Off);
         assert_eq!(mode(), Mode::Off);
         assert!(!enabled());
+        {
+            // Disabled: the closure must never run (no allocation), and
+            // the guard must not pop anything it never pushed.
+            let outer = push_label("outer");
+            let _g = push_label_lazy(|| unreachable!("label built while obs is off"));
+            assert_eq!(current_label(), "outer");
+            drop(_g);
+            assert_eq!(current_label(), "outer");
+            drop(outer);
+        }
         set_mode(before);
     }
 

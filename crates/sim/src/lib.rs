@@ -14,6 +14,9 @@
 //! * [`bus`] — transition monitors for the instruction data bus and the
 //!   address bus, plus the analytic energy model (`E = ½·C·V²` per
 //!   transition per line);
+//! * [`edge`] — the fetch stream folded into a weighted multiset of
+//!   consecutive `(pc_prev → pc)` edges, the input to `imt-core`'s
+//!   O(static) replay evaluator and its on-disk profile cache;
 //! * [`icache`] — a set-associative LRU instruction cache and a two-bus
 //!   hierarchy model for the paper's storage-type claim (§8);
 //! * [`stats`] — dynamic instruction-mix accounting;
@@ -58,6 +61,7 @@
 
 pub mod bus;
 pub mod cpu;
+pub mod edge;
 pub mod icache;
 pub mod mem;
 pub mod stats;

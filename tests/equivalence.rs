@@ -1,7 +1,8 @@
-//! Equivalence tests for this PR's fast paths: the memoized codebook, the
-//! packed bit-lane representation, and the parallel fan-outs must each be
-//! **bit-identical** to the reference implementation they replace — the
-//! speedups are not allowed to change a single artifact byte.
+//! Equivalence tests for the fast paths: the memoized codebook, the
+//! packed bit-lane representation, the parallel fan-outs, and the
+//! closed-form replay evaluator must each be **bit-identical** to the
+//! reference implementation they replace — the speedups are not allowed
+//! to change a single artifact byte.
 
 use imt::bitcode::bits::BitSeq;
 use imt::bitcode::block::{
@@ -192,6 +193,88 @@ fn parallel_pipeline_matches_serial_on_all_kernels() {
             spec.name
         );
         assert_eq!(serial, parallel, "{}: encoded program diverged", spec.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (d) The replay evaluator is bit-identical to full simulation on
+    /// random programs and schedules: the whole `Evaluation` struct —
+    /// **total and per-lane** transition counts, fetch split, exit code
+    /// and output — must match exactly.
+    #[test]
+    fn replay_evaluation_matches_full_simulation(
+        body_ops in proptest::collection::vec(0u8..6, 1..12),
+        iterations in 1u32..300,
+        k in 4usize..=7,
+        overlap in overlap_strategy(),
+    ) {
+        use imt::core::eval::{evaluate, evaluate_replay};
+        use imt::core::{encode_program, EncoderConfig};
+        use imt::isa::asm::assemble;
+        use imt::sim::edge::FetchEdgeProfile;
+
+        // Random arithmetic loop body (the generator the pipeline
+        // proptests use).
+        let mut body = String::new();
+        for (i, op) in body_ops.iter().enumerate() {
+            let line = match op {
+                0 => format!("        xor  $t{}, $t{}, $s0\n", i % 6, (i + 1) % 6),
+                1 => format!("        addu $t{}, $t{}, $s0\n", i % 6, (i + 1) % 6),
+                2 => format!("        sll  $t{}, $t{}, {}\n", i % 6, (i + 1) % 6, (i % 5) + 1),
+                3 => format!("        nor  $t{}, $t{}, $s0\n", i % 6, (i + 1) % 6),
+                4 => format!("        srl  $t{}, $t{}, {}\n", i % 6, (i + 1) % 6, (i % 7) + 1),
+                _ => format!("        and  $t{}, $t{}, $s0\n", i % 6, (i + 1) % 6),
+            };
+            body.push_str(&line);
+        }
+        let source = format!(
+            ".text\nmain:   li $s0, {iterations}\nloop:\n{body}        addiu $s0, $s0, -1\n        bgtz $s0, loop\n        li $v0, 10\n        syscall\n"
+        );
+        let program = assemble(&source).unwrap();
+        let edges = FetchEdgeProfile::record(&program, 10_000_000).unwrap();
+        let config = EncoderConfig::default()
+            .with_block_size(k)
+            .unwrap()
+            .with_overlap(overlap);
+        let encoded = encode_program(&program, &edges.per_index_counts(), &config).unwrap();
+        let full = evaluate(&program, &encoded, 10_000_000).unwrap();
+        let replay = evaluate_replay(&program, &encoded, &edges).unwrap();
+        prop_assert_eq!(&replay, &full);
+        // Spell the load-bearing fields out so a future `Evaluation` field
+        // with looser equality cannot silently weaken this test.
+        prop_assert_eq!(replay.baseline_transitions, full.baseline_transitions);
+        prop_assert_eq!(replay.encoded_transitions, full.encoded_transitions);
+        prop_assert_eq!(&replay.per_lane_baseline, &full.per_lane_baseline);
+        prop_assert_eq!(&replay.per_lane_encoded, &full.per_lane_encoded);
+    }
+}
+
+/// (d) Exhaustive replay-vs-simulation check over the experiment domain:
+/// every kernel × block sizes 4..=7 at Test scale, one recording per
+/// kernel exactly as the grid runners use it.
+#[test]
+fn replay_matches_full_simulation_on_all_kernels() {
+    use imt::core::eval::{evaluate, evaluate_replay};
+    use imt::core::{encode_program, EncoderConfig};
+    use imt::sim::edge::FetchEdgeProfile;
+    use imt_kernels::Kernel;
+
+    for kernel in Kernel::ALL {
+        let spec = kernel.test_spec();
+        let program = spec.assemble();
+        let edges = FetchEdgeProfile::record(&program, spec.max_steps)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(edges.stdout(), spec.expected_output, "{}", spec.name);
+        let counts = edges.per_index_counts();
+        for k in 4..=7 {
+            let config = EncoderConfig::default().with_block_size(k).unwrap();
+            let encoded = encode_program(&program, &counts, &config).unwrap();
+            let full = evaluate(&program, &encoded, spec.max_steps).unwrap();
+            let replay = evaluate_replay(&program, &encoded, &edges).unwrap();
+            assert_eq!(replay, full, "{} k={k}", spec.name);
+        }
     }
 }
 
