@@ -299,6 +299,7 @@ fn main() {
     );
     manifest.capture();
     let doc = Json::obj(vec![
+        ("scale", Json::str(scale.name())),
         ("trials", Json::U64(trials as u64)),
         ("window", Json::U64(window as u64)),
         ("cells", Json::Arr(cells.iter().map(cell_json).collect())),

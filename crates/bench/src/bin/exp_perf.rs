@@ -382,6 +382,7 @@ fn main() {
     manifest.capture();
     let round = |ms: f64| Json::F64((ms * 1000.0).round() / 1000.0);
     let doc = Json::obj(vec![
+        ("scale", Json::str(scale.name())),
         ("threads", Json::U64(threads as u64)),
         ("reps", Json::U64(u64::from(REPS))),
         (
@@ -421,12 +422,12 @@ fn main() {
         "environment",
         Json::obj(vec![
             ("threads", Json::U64(threads as u64)),
-            ("scale", Json::str(format!("{scale:?}"))),
+            ("scale", Json::str(scale.name())),
         ]),
     );
     replay_manifest.capture();
     let replay_doc = Json::obj(vec![
-        ("scale", Json::str(format!("{scale:?}"))),
+        ("scale", Json::str(scale.name())),
         (
             "block_sizes",
             Json::Arr(block_sizes.iter().map(|&k| Json::U64(k as u64)).collect()),

@@ -32,6 +32,7 @@
 //! | `exp_gates` | exact NAND2 synthesis of the restore cell (E-G) |
 //! | `exp_perf` | encode-pipeline wall-time, serial vs parallel (E-P) |
 //! | `exp_fault` | TT/BBIT upset campaigns, protection sweep (E-F) |
+//! | `exp_serve` | batched service-layer load generator (E-V) |
 //! | `exp_summary` | one-screen PASS/FAIL reproduction scorecard |
 //!
 //! Binaries accept `--test-scale` to run on the small kernel instances

@@ -46,6 +46,16 @@ impl Scale {
             Scale::Test => kernel.test_spec(),
         }
     }
+
+    /// The canonical lowercase name embedded in every `BENCH_*.json`
+    /// (`"scale"` field) and asserted by `tests/results_scale.rs`:
+    /// committed artifacts must say `"paper"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Test => "test",
+        }
+    }
 }
 
 /// One kernel's recorded run: the assembled program, its fetch-edge

@@ -38,6 +38,13 @@ const VALUE_FLAGS: &[&str] = &[
     "--seed",
     "--bits",
     "--window",
+    "--workers",
+    "--queue",
+    "--max-batch",
+    "--requests",
+    "--block-sizes",
+    "--deadline-ms",
+    "--delivery-ms",
 ];
 
 fn parse<'a>(args: &'a [String]) -> Options<'a> {
@@ -871,6 +878,254 @@ fn fault_report(path: Option<&str>) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Scale switch shared by the service commands: the paper instances by
+/// default, `--test-scale` for the small ones (mirrors `imt bench`).
+fn serve_scale(opts: &Options<'_>) -> imt_bench::runner::Scale {
+    if opts.flag("--test-scale") {
+        imt_bench::runner::Scale::Test
+    } else {
+        imt_bench::runner::Scale::Paper
+    }
+}
+
+/// Resolves positional kernel names (empty → all six paper kernels).
+fn resolve_kernels(names: &[&str]) -> Result<Vec<imt_kernels::Kernel>, CliError> {
+    if names.is_empty() {
+        return Ok(imt_kernels::Kernel::ALL.to_vec());
+    }
+    names
+        .iter()
+        .map(|name| {
+            imt_kernels::Kernel::ALL
+                .into_iter()
+                .find(|k| k.name() == *name)
+                .ok_or_else(|| CliError::new(format!("unknown kernel `{name}`")))
+        })
+        .collect()
+}
+
+/// Parses `--block-sizes 4,5,7` style lists.
+fn parse_block_sizes(list: &str) -> Result<Vec<usize>, CliError> {
+    list.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|_| CliError::new(format!("--block-sizes expects numbers, got `{part}`")))
+        })
+        .collect()
+}
+
+/// `imt batch`: submit kernel × block-size encode/eval requests through
+/// the `imt-serve` service and print each result as it is answered.
+pub fn batch(args: &[String]) -> Result<String, CliError> {
+    use imt_serve::request::Request;
+    use imt_serve::service::{Service, ServiceConfig};
+
+    let opts = parse(args);
+    let scale = serve_scale(&opts);
+    let kernels = resolve_kernels(&opts.positional)?;
+    let block_sizes = parse_block_sizes(opts.value("--block-sizes").unwrap_or("4,5,6,7"))?;
+    let workers = opts.numeric("--workers", 2)? as usize;
+    let jobs = kernels.len() * block_sizes.len();
+    let service = Service::start(
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity(jobs.max(1))
+            .with_max_batch(block_sizes.len().max(1)),
+    );
+    let mut tickets = Vec::with_capacity(jobs);
+    for &kernel in &kernels {
+        for &k in &block_sizes {
+            let config = EncoderConfig::default()
+                .with_block_size(k)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            let request = Request::new(scale.spec(kernel), config);
+            tickets.push(
+                service
+                    .submit(request)
+                    .map_err(|e| CliError::new(e.to_string()))?,
+            );
+        }
+    }
+    let mut table = imt_bench::table::Table::new(
+        [
+            "kernel",
+            "k",
+            "reduction%",
+            "blocks",
+            "batch",
+            "queue ms",
+            "service ms",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut failures: Vec<String> = Vec::new();
+    for ticket in tickets {
+        let response = ticket.wait();
+        match &response.outcome {
+            Ok(done) => table.row(vec![
+                response.kernel.clone(),
+                response.block_size.to_string(),
+                format!("{:.2}", done.evaluation.reduction_percent()),
+                done.encoded_blocks.to_string(),
+                response.batch_size.to_string(),
+                format!("{:.1}", response.queue_ns as f64 / 1e6),
+                format!("{:.1}", response.service_ns as f64 / 1e6),
+            ]),
+            Err(e) => failures.push(format!(
+                "{} k={}: {e}",
+                response.kernel, response.block_size
+            )),
+        }
+    }
+    let stats = service.stats();
+    service.shutdown();
+    let mut out = format!(
+        "batched {jobs} encode/eval request(s) over {workers} worker(s) ({} scale):\n",
+        scale.name()
+    );
+    out.push_str(&table.render());
+    writeln!(
+        out,
+        "served in {} batch(es), mean batch size {:.2}",
+        stats.batches,
+        stats.mean_batch_size()
+    )
+    .expect("write to String");
+    for failure in &failures {
+        writeln!(out, "FAILED: {failure}").expect("write to String");
+    }
+    Ok(out)
+}
+
+/// `imt serve`: run a closed-loop load session against an in-process
+/// service and report throughput, latency percentiles, and batching.
+pub fn serve(args: &[String]) -> Result<String, CliError> {
+    use imt_serve::request::Request;
+    use imt_serve::service::{Admission, Service, ServiceConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let opts = parse(args);
+    let scale = serve_scale(&opts);
+    let workers = opts.numeric("--workers", 2)? as usize;
+    let queue = opts.numeric("--queue", 32)? as usize;
+    let max_batch = opts.numeric("--max-batch", 8)? as usize;
+    let requests = opts.numeric("--requests", 24)? as usize;
+    let deadline_ms = opts.numeric("--deadline-ms", 0)?;
+    let delivery_ms = opts.numeric("--delivery-ms", 0)?;
+    let admission = if opts.flag("--reject") {
+        Admission::Reject
+    } else {
+        Admission::Block
+    };
+    let mut config = ServiceConfig::default()
+        .with_workers(workers)
+        .with_queue_capacity(queue)
+        .with_max_batch(max_batch)
+        .with_admission(admission);
+    if delivery_ms > 0 {
+        config = config.with_delivery_latency(std::time::Duration::from_millis(delivery_ms));
+    }
+    if deadline_ms > 0 {
+        config = config.with_default_deadline(std::time::Duration::from_millis(deadline_ms));
+    }
+    let service = Service::start(config);
+
+    // Deterministic request sequence: kernels × block sizes 4–7, cycled.
+    let cells: Vec<(imt_kernels::Kernel, usize)> = imt_kernels::Kernel::ALL
+        .iter()
+        .flat_map(|&kernel| (4..=7).map(move |k| (kernel, k)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    let latencies = std::sync::Mutex::new(Vec::with_capacity(requests));
+    let clients = workers.max(4).min(requests.max(1));
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= requests {
+                    break;
+                }
+                let (kernel, k) = cells[i % cells.len()];
+                let config = EncoderConfig::default()
+                    .with_block_size(k)
+                    .expect("block sizes 4..=7 are valid");
+                match service.submit(Request::new(scale.spec(kernel), config)) {
+                    Ok(ticket) => {
+                        let response = ticket.wait();
+                        latencies
+                            .lock()
+                            .expect("latency collection lock")
+                            .push(response.latency_ns());
+                    }
+                    Err(imt_serve::ServeError::Overloaded { .. }) => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => break,
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let stats = service.stats();
+    service.shutdown();
+
+    let mut latencies = latencies.into_inner().expect("latency collection lock");
+    latencies.sort_unstable();
+    let pct = |p: f64| {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+            latencies[rank] as f64 / 1e6
+        }
+    };
+    let mut out = format!(
+        "closed-loop session, {requests} request(s), {clients} client(s), {} scale:\n\
+         \x20 workers={workers} queue={queue} max-batch={max_batch} admission={}\n",
+        scale.name(),
+        match admission {
+            Admission::Block => "block",
+            Admission::Reject => "reject",
+        },
+    );
+    writeln!(
+        out,
+        "  completed = {}, failed = {}, rejected = {}",
+        stats.completed,
+        stats.failed,
+        rejected.load(Ordering::Relaxed)
+    )
+    .expect("write to String");
+    writeln!(
+        out,
+        "  wall = {:.0} ms, throughput = {:.1} req/s",
+        wall.as_secs_f64() * 1e3,
+        stats.completed as f64 / wall.as_secs_f64()
+    )
+    .expect("write to String");
+    writeln!(
+        out,
+        "  latency p50/p90/p99 = {:.1}/{:.1}/{:.1} ms",
+        pct(50.0),
+        pct(90.0),
+        pct(99.0)
+    )
+    .expect("write to String");
+    writeln!(
+        out,
+        "  batches = {} (mean size {:.2}), peak queue depth = {}",
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.peak_depth
+    )
+    .expect("write to String");
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1178,6 +1433,38 @@ loop:   xor $t1, $t1, $t0\n\
         for kernel in imt_kernels::Kernel::ALL {
             assert!(out.contains(kernel.name()), "missing {}", kernel.name());
         }
+    }
+
+    #[test]
+    fn batch_serves_requests_through_the_service() {
+        let out = batch(&args(&["tri", "--test-scale", "--block-sizes", "5,6"])).unwrap();
+        assert!(out.contains("batched 2 encode/eval request(s)"));
+        assert!(out.contains("tri-"), "instance name missing: {out}");
+        assert!(out.contains("batch(es), mean batch size"));
+        assert!(!out.contains("FAILED"), "no request should fail: {out}");
+    }
+
+    #[test]
+    fn batch_rejects_unknown_kernels_and_bad_block_sizes() {
+        let err = batch(&args(&["warp", "--test-scale"])).unwrap_err();
+        assert!(err.to_string().contains("unknown kernel"));
+        let err = batch(&args(&["tri", "--test-scale", "--block-sizes", "five"])).unwrap_err();
+        assert!(err.to_string().contains("--block-sizes expects numbers"));
+    }
+
+    #[test]
+    fn serve_runs_a_closed_loop_session() {
+        let out = serve(&args(&[
+            "--test-scale",
+            "--requests",
+            "6",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("closed-loop session, 6 request(s)"));
+        assert!(out.contains("completed = 6, failed = 0, rejected = 0"));
+        assert!(out.contains("latency p50/p90/p99"));
     }
 
     #[test]

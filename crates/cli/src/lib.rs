@@ -11,6 +11,8 @@
 //! imt tables [-k N]                      print the optimal code table
 //! imt kernels [name]                     list / run the paper benchmarks
 //! imt bench [opts]                       figure 6 grid via replay eval
+//! imt serve [opts]                       load session vs the job service
+//! imt batch [kernels..] [opts]           request set through the service
 //! imt cache [stats|clear]                inspect / wipe the profile cache
 //! imt fault <inject|campaign|report>     upset injection and campaigns
 //! ```
@@ -95,6 +97,13 @@ commands:
   kernels [name]                   list the paper kernels, or run one
   bench [--test-scale] [--no-profile-cache]
                                    figure 6 grid via replay evaluation
+  serve [--workers N] [--queue N] [--max-batch N] [--requests N] [--reject]
+        [--deadline-ms N] [--delivery-ms N] [--test-scale]
+                                   closed-loop load session against the
+                                   batched job service; latency report
+  batch [kernels..] [--block-sizes 4,5,..] [--workers N] [--test-scale]
+                                   encode/eval a request set through the
+                                   service; one result row per request
   cache [stats | clear]            profile-cache location, size, wipe
   fault inject <file> --plan AT:TARGET[,..] [--protection none|parity|sec]
                                    apply named upsets and replay the fetch
@@ -141,6 +150,8 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "tables" => commands::tables(rest),
         "kernels" => commands::kernels(rest),
         "bench" => commands::bench(rest),
+        "serve" => commands::serve(rest),
+        "batch" => commands::batch(rest),
         "cache" => commands::cache(rest),
         "fault" => commands::fault(rest),
         "obs" => {

@@ -20,8 +20,9 @@
 //! * `IMT_PROFILE_CACHE=off` (or `0`/`no`) disables the cache, and
 //!   `imt cache clear` / [`clear`] wipes it.
 //!
-//! Writes are atomic (temp file + rename), so concurrent processes racing
-//! on the same key at worst both record and one wins the rename.
+//! Writes are atomic (unique temp file + rename), so concurrent writers —
+//! threads or processes — racing on the same key at worst both record and
+//! one wins the rename; readers always see a complete entry.
 
 use std::fs;
 use std::io;
@@ -129,7 +130,14 @@ pub fn store_in(
     fs::create_dir_all(dir)?;
     let key = content_key(program, max_steps);
     let path = entry_path(dir, &key);
-    let tmp = dir.join(format!("{key}.{}.tmp", std::process::id()));
+    // The temp name must be unique per *call*, not just per process:
+    // threads racing a cold miss on the same key would otherwise share
+    // one temp path, and the loser's rename fails (or ships the winner's
+    // half-written bytes). pid + a process-wide counter keeps both
+    // cross-process and cross-thread writers disjoint.
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = dir.join(format!("{key}.{}.{seq}.tmp", std::process::id()));
     fs::write(&tmp, profile.to_bytes())?;
     fs::rename(&tmp, &path)?;
     if imt_obs::enabled() {

@@ -1,0 +1,218 @@
+//! Concurrency tests for the on-disk profile cache.
+//!
+//! The serve layer (and any parallel experiment runner) can race many
+//! threads through a cold miss on the same content key: each records the
+//! profile itself, then calls `store_in`. The contract: however many
+//! writers collide, the directory ends up with exactly one valid entry
+//! per key, every concurrent `load_from` sees either a miss or a
+//! *complete, bit-identical* profile — never a torn file — and no
+//! writer's rename errors out from a shared temp path.
+//!
+//! These tests use `store_in`/`load_from` against private temp
+//! directories rather than the `IMT_PROFILE_CACHE_DIR` environment
+//! variable, so they are safe under any `--test-threads` setting
+//! (env vars are process-global; directories are not).
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use imt_core::profile_cache::{content_key, load_from, store_in};
+use imt_isa::asm::assemble;
+use imt_isa::program::Program;
+use imt_sim::edge::FetchEdgeProfile;
+
+const MAX_STEPS: u64 = 100_000;
+
+fn test_program() -> Program {
+    assemble(
+        r#"
+        .text
+main:   li   $t0, 200
+loop:   xor  $t1, $t1, $t0
+        sll  $t2, $t1, 3
+        addiu $t0, $t0, -1
+        bgtz $t0, loop
+        li   $v0, 10
+        syscall
+"#,
+    )
+    .expect("test program assembles")
+}
+
+/// A second program (different key) for the mixed-key race.
+fn other_program() -> Program {
+    assemble(
+        r#"
+        .text
+main:   li   $t0, 100
+loop:   addiu $t0, $t0, -1
+        bgtz $t0, loop
+        li   $v0, 10
+        syscall
+"#,
+    )
+    .expect("test program assembles")
+}
+
+/// A fresh private cache directory under the target tmpdir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "imt-cache-test-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn racing_cold_miss_writers_leave_one_valid_entry() {
+    let dir = scratch_dir("cold-miss");
+    let program = test_program();
+    let reference = FetchEdgeProfile::record(&program, MAX_STEPS).expect("recording succeeds");
+
+    const WRITERS: usize = 8;
+    thread::scope(|s| {
+        for _ in 0..WRITERS {
+            s.spawn(|| {
+                // Each thread plays a full cold-miss client: probe (a
+                // racing winner's entry may already be visible — either
+                // answer is fine), record its own copy, store. All
+                // stores hit the same key.
+                let _ = load_from(&dir, &program, MAX_STEPS);
+                let profile =
+                    FetchEdgeProfile::record(&program, MAX_STEPS).expect("recording succeeds");
+                store_in(&dir, &program, MAX_STEPS, &profile)
+                    .expect("a racing store must not error");
+            });
+        }
+    });
+
+    // Exactly one entry file, zero leftover temp files.
+    let mut entries = Vec::new();
+    let mut leftovers = Vec::new();
+    for item in fs::read_dir(&dir).expect("cache dir exists") {
+        let name = item.unwrap().file_name().to_string_lossy().into_owned();
+        if name.ends_with(".edges") {
+            entries.push(name);
+        } else {
+            leftovers.push(name);
+        }
+    }
+    assert_eq!(
+        entries.len(),
+        1,
+        "one key must map to one entry: {entries:?}"
+    );
+    assert_eq!(leftovers, Vec::<String>::new(), "temp files must not leak");
+    assert_eq!(
+        entries[0],
+        format!("{}.edges", content_key(&program, MAX_STEPS))
+    );
+
+    // The surviving entry is complete and bit-identical to a fresh
+    // recording (recording is deterministic, so every writer wrote the
+    // same bytes — any torn interleaving would diverge).
+    let loaded = load_from(&dir, &program, MAX_STEPS).expect("entry loads");
+    assert_eq!(loaded, reference);
+    let on_disk = fs::read(dir.join(&entries[0])).unwrap();
+    assert_eq!(on_disk, reference.to_bytes());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_readers_see_complete_profiles_or_misses() {
+    let dir = scratch_dir("read-write");
+    let program = test_program();
+    let reference = FetchEdgeProfile::record(&program, MAX_STEPS).expect("recording succeeds");
+
+    // Pre-populate so every read races an *overwrite*, the worst case
+    // for tearing: rename must swap complete files, never expose a
+    // partial write.
+    store_in(&dir, &program, MAX_STEPS, &reference).expect("initial store");
+
+    const WRITERS: usize = 4;
+    const READERS: usize = 4;
+    const READS: usize = 200;
+    let torn = AtomicUsize::new(0);
+
+    thread::scope(|s| {
+        for _ in 0..WRITERS {
+            s.spawn(|| {
+                for _ in 0..25 {
+                    store_in(&dir, &program, MAX_STEPS, &reference)
+                        .expect("store must not error while readers poll");
+                }
+            });
+        }
+        for _ in 0..READERS {
+            s.spawn(|| {
+                for _ in 0..READS {
+                    // The entry exists before the scope starts, so every
+                    // read must hit — and hit a bit-identical profile.
+                    match load_from(&dir, &program, MAX_STEPS) {
+                        Some(profile) if profile == reference => {}
+                        _ => {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        torn.load(Ordering::Relaxed),
+        0,
+        "a reader saw a torn or missing profile during overwrites"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn racing_writers_on_distinct_keys_do_not_interfere() {
+    let dir = scratch_dir("mixed-keys");
+    let a = test_program();
+    let b = other_program();
+    assert_ne!(
+        content_key(&a, MAX_STEPS),
+        content_key(&b, MAX_STEPS),
+        "the two fixture programs must hash to different keys"
+    );
+    let ref_a = FetchEdgeProfile::record(&a, MAX_STEPS).unwrap();
+    let ref_b = FetchEdgeProfile::record(&b, MAX_STEPS).unwrap();
+
+    thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| store_in(&dir, &a, MAX_STEPS, &ref_a).expect("store a"));
+            s.spawn(|| store_in(&dir, &b, MAX_STEPS, &ref_b).expect("store b"));
+        }
+    });
+
+    assert_eq!(
+        load_from(&dir, &a, MAX_STEPS).expect("entry a loads"),
+        ref_a
+    );
+    assert_eq!(
+        load_from(&dir, &b, MAX_STEPS).expect("entry b loads"),
+        ref_b
+    );
+    let entries = fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .ends_with(".edges")
+        })
+        .count();
+    assert_eq!(entries, 2);
+
+    let _ = fs::remove_dir_all(&dir);
+}

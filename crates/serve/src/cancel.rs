@@ -1,0 +1,78 @@
+//! Cooperative cancellation: a cheap, cloneable flag shared between a
+//! caller's [`crate::request::Ticket`] and the worker that will execute
+//! the job. Cancellation is *advisory* — the worker checks it at defined
+//! points (dequeue, pre-execution) and fails the job closed with
+//! [`crate::ServeError::Cancelled`]; a job already executing runs to
+//! completion (evaluation is not observably side-effecting, so there is
+//! nothing to roll back).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning shares the flag, not a copy.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancellationToken {
+        CancellationToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancellationToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        // Idempotent.
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn tokens_are_independent() {
+        let a = CancellationToken::new();
+        let b = CancellationToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_threads() {
+        let token = CancellationToken::new();
+        let seen = std::thread::scope(|scope| {
+            let worker = {
+                let token = token.clone();
+                scope.spawn(move || {
+                    while !token.is_cancelled() {
+                        std::hint::spin_loop();
+                    }
+                    true
+                })
+            };
+            token.cancel();
+            worker.join().expect("worker panicked")
+        });
+        assert!(seen);
+    }
+}

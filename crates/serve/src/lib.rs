@@ -1,0 +1,230 @@
+//! # imt-serve — a batched, backpressured encode/eval job service
+//!
+//! The paper's premise is that TT/BBIT tables are *reprogrammed per
+//! application*: in a fleet, many applications' encode/eval jobs arrive
+//! concurrently, and codebook/profile construction is an amortizable cost
+//! shared by every job against the same kernel. This crate is the
+//! request-serving shape of that scenario — the orchestration layer the
+//! replay engine (`imt_core::eval::evaluate_replay`) made worthwhile,
+//! because per-request compute is now cheap enough that throughput is
+//! bounded by how work is fed, not by the evaluation itself:
+//!
+//! * [`request`] — the typed job surface: a [`request::Request`] names a
+//!   kernel instance, an encoder configuration, evaluation needs, an
+//!   optional deadline and an optional fault plan; a [`request::Ticket`]
+//!   is the caller's handle to await, poll or cancel the response.
+//! * [`queue`] — a bounded MPMC job queue with admission control:
+//!   [`service::Admission::Reject`] sheds load with a typed
+//!   [`ServeError::Overloaded`] when the queue is full (backpressure the
+//!   caller can see), [`service::Admission::Block`] applies backpressure
+//!   by blocking the producer.
+//! * [`service`] — the worker pool. Workers dequeue *batches* coalesced
+//!   by kernel key, so one profile-cache warm (shared in process and via
+//!   [`imt_core::profile_cache`] on disk) serves every request in the
+//!   batch; requests then encode + replay-evaluate independently.
+//!
+//! ## Semantics
+//!
+//! * **Bit-identical to serial.** A response's
+//!   [`request::Completed::evaluation`] is exactly what a direct
+//!   `encode_program` + `evaluate_auto` call produces for the same spec
+//!   and configuration — batching and scheduling change wall-clock only,
+//!   never the answer. `exp_serve` asserts this for every response.
+//! * **Deadlines.** A request past its deadline when a worker picks it up
+//!   is failed with [`ServeError::DeadlineExceeded`] without executing; a
+//!   request that *completes* after its deadline is delivered but flagged
+//!   ([`request::Response::missed_deadline`]).
+//! * **Cancellation** is cooperative: [`request::Ticket::cancel`] marks
+//!   the job, and the worker drops it at the next check point
+//!   ([`ServeError::Cancelled`]).
+//! * **Poisoned jobs fail closed.** A request whose fault plan produces
+//!   silent corruption (wrong words reaching the core under
+//!   `imt-fault` replay) is refused with [`ServeError::Poisoned`] — no
+//!   numbers are published for it — and a panicking job is caught and
+//!   mapped to [`ServeError::Panicked`]; in both cases the rest of the
+//!   batch completes normally.
+//!
+//! ## Example
+//!
+//! ```
+//! use imt_core::eval::EvalNeeds;
+//! use imt_core::EncoderConfig;
+//! use imt_kernels::Kernel;
+//! use imt_serve::request::Request;
+//! use imt_serve::service::{Service, ServiceConfig};
+//!
+//! let service = Service::start(ServiceConfig::default().with_workers(2));
+//! let ticket = service
+//!     .submit(Request::new(Kernel::Tri.test_spec(), EncoderConfig::default()))
+//!     .expect("queue accepts while below capacity");
+//! let response = ticket.wait();
+//! let done = response.outcome.expect("tri encodes and evaluates");
+//! assert_eq!(done.evaluation.decode_mismatches, 0);
+//! service.shutdown();
+//! ```
+
+#![warn(clippy::unwrap_used)]
+
+pub mod cancel;
+pub mod queue;
+pub mod request;
+pub mod service;
+
+use std::error::Error;
+use std::fmt;
+
+use imt_core::CoreError;
+
+/// Why a request was not served, or was served degraded. Every variant is
+/// a *per-request* outcome: the service itself never dies with a job.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Admission control refused the request: the queue was at capacity
+    /// under [`service::Admission::Reject`]. Retry later or switch to
+    /// blocking admission.
+    Overloaded {
+        /// Jobs queued when the request arrived.
+        depth: usize,
+        /// The queue's configured bound.
+        capacity: usize,
+    },
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The request's deadline passed before a worker picked it up; it was
+    /// failed without executing.
+    DeadlineExceeded,
+    /// The request was cancelled via [`request::Ticket::cancel`] before
+    /// execution.
+    Cancelled,
+    /// The job panicked in the worker. The panic was contained: the rest
+    /// of its batch completed normally.
+    Panicked {
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+    /// The request's fault plan produced silent corruption (wrong words
+    /// delivered under `imt-fault` replay). The job fails closed: no
+    /// evaluation is published for a decode path that lies.
+    Poisoned {
+        /// Wrong words the faulty decode delivered.
+        wrong_words: u64,
+    },
+    /// The kernel's recorded output diverged from its golden model — the
+    /// profile is untrustworthy, so every job against it is refused.
+    ProfileMismatch {
+        /// The kernel spec name.
+        kernel: String,
+    },
+    /// The profiling run itself failed (simulation fault, step budget).
+    ProfileFailed {
+        /// The kernel spec name.
+        kernel: String,
+        /// The simulator's error text.
+        detail: String,
+    },
+    /// Encoding or evaluation failed with a typed core error.
+    Core(CoreError),
+    /// Fault-plan replay failed (bad plan, empty surface).
+    Fault {
+        /// The fault layer's error text.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "queue overloaded ({depth}/{capacity} jobs); retry later")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline passed while the request was queued")
+            }
+            ServeError::Cancelled => write!(f, "request cancelled before execution"),
+            ServeError::Panicked { detail } => write!(f, "job panicked in the worker: {detail}"),
+            ServeError::Poisoned { wrong_words } => write!(
+                f,
+                "fault plan produced silent corruption ({wrong_words} wrong words); failing closed"
+            ),
+            ServeError::ProfileMismatch { kernel } => {
+                write!(
+                    f,
+                    "{kernel}: recorded output diverged from the golden model"
+                )
+            }
+            ServeError::ProfileFailed { kernel, detail } => {
+                write!(f, "{kernel}: profiling run failed: {detail}")
+            }
+            ServeError::Core(e) => write!(f, "encode/evaluate failed: {e}"),
+            ServeError::Fault { detail } => write!(f, "fault replay failed: {detail}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<imt_fault::FaultError> for ServeError {
+    fn from(e: imt_fault::FaultError) -> Self {
+        match e {
+            imt_fault::FaultError::Core(e) => ServeError::Core(e),
+            other => ServeError::Fault {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_usefully() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (
+                ServeError::Overloaded {
+                    depth: 8,
+                    capacity: 8,
+                },
+                "overloaded",
+            ),
+            (ServeError::ShuttingDown, "shutting down"),
+            (ServeError::DeadlineExceeded, "deadline"),
+            (ServeError::Cancelled, "cancelled"),
+            (
+                ServeError::Panicked {
+                    detail: "boom".into(),
+                },
+                "boom",
+            ),
+            (ServeError::Poisoned { wrong_words: 3 }, "failing closed"),
+            (
+                ServeError::ProfileMismatch {
+                    kernel: "mmul-8".into(),
+                },
+                "golden model",
+            ),
+        ];
+        for (error, needle) in cases {
+            assert!(
+                error.to_string().contains(needle),
+                "{error:?} missing `{needle}`"
+            );
+        }
+    }
+}

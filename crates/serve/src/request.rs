@@ -1,0 +1,301 @@
+//! The job surface: what a caller submits ([`Request`]), what comes back
+//! ([`Response`] / [`Completed`]), and the handle in between ([`Ticket`]).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use imt_core::eval::{EvalNeeds, EvalPath, Evaluation};
+use imt_core::{EncoderConfig, Protection};
+use imt_fault::plan::FaultPlan;
+use imt_kernels::KernelSpec;
+
+use crate::cancel::CancellationToken;
+use crate::ServeError;
+
+/// One encode/eval job: which kernel instance, how to encode it, what the
+/// evaluation must cover, and how long the caller is willing to wait.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The kernel instance to encode and evaluate. The spec *is* the
+    /// batching key: requests naming the same spec share one profile
+    /// warm per batch.
+    pub spec: KernelSpec,
+    /// The encoder configuration (block size, table capacities,
+    /// transform set).
+    pub config: EncoderConfig,
+    /// What the evaluation must cover; anything beyond data-bus
+    /// transitions routes to full simulation (see
+    /// [`imt_core::eval::evaluate_auto`]).
+    pub needs: EvalNeeds,
+    /// Deadline relative to submission. `None` falls back to the
+    /// service's default. A job past its deadline at pickup is failed
+    /// without executing.
+    pub deadline: Option<Duration>,
+    /// Optional upsets to replay against the encoded image under
+    /// [`Request::protection`]. Silent corruption fails the job closed
+    /// ([`ServeError::Poisoned`]); detected-and-degraded decode is
+    /// reported in [`Completed::fault`].
+    pub fault_plan: Option<FaultPlan>,
+    /// Table protection assumed by the fault replay.
+    pub protection: Protection,
+    /// Fetch window the fault replay records (bounded so a fault request
+    /// costs O(window), not O(run)).
+    pub fault_window: usize,
+    /// Test hook: panic inside the worker instead of executing. Stands in
+    /// for a poisoned job so tests and the load generator can prove the
+    /// batch survives ([`ServeError::Panicked`] for this job only).
+    pub panic_in_worker: bool,
+}
+
+impl Request {
+    /// A plain transitions-only request with no deadline and no faults.
+    pub fn new(spec: KernelSpec, config: EncoderConfig) -> Request {
+        Request {
+            spec,
+            config,
+            needs: EvalNeeds::transitions_only(),
+            deadline: None,
+            fault_plan: None,
+            protection: Protection::None,
+            fault_window: 20_000,
+            panic_in_worker: false,
+        }
+    }
+
+    /// Sets a relative deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a fault plan replayed under `protection`.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan, protection: Protection) -> Request {
+        self.fault_plan = Some(plan);
+        self.protection = protection;
+        self
+    }
+
+    /// The key batches coalesce on: requests with equal keys share one
+    /// profile warm. Spec names encode their parameters (`mmul-100`), so
+    /// name + step budget identifies the recorded run.
+    pub fn batch_key(&self) -> String {
+        format!("{}#{}", self.spec.name, self.spec.max_steps)
+    }
+}
+
+/// Fault-replay outcome attached to a completed request that carried a
+/// fault plan: the decode degraded gracefully (zero wrong words — a
+/// silent outcome would have failed the job instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSummary {
+    /// Upsets injected by the plan.
+    pub injected: u64,
+    /// Upsets the check codes detected.
+    pub detected: u64,
+    /// Upsets corrected in place (SEC).
+    pub corrected: u64,
+    /// Fetches served from the degraded (original-word) path.
+    pub degraded_fetches: u64,
+    /// Transition reduction retained under the fault, in percent.
+    pub retained_reduction_percent: f64,
+}
+
+/// The successful payload of a [`Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completed {
+    /// The evaluation — bit-identical to a direct serial call for the
+    /// same spec and configuration.
+    pub evaluation: Evaluation,
+    /// Which evaluation path served it.
+    pub path: EvalPath,
+    /// Blocks the schedule encoded.
+    pub encoded_blocks: usize,
+    /// Present when the request carried a fault plan: the graceful
+    /// degradation measurement.
+    pub fault: Option<FaultSummary>,
+}
+
+/// What the service returns for one request, success or not.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The id [`crate::service::Service::submit`] assigned.
+    pub id: u64,
+    /// The kernel spec name, for correlation.
+    pub kernel: String,
+    /// The configured block size, for correlation.
+    pub block_size: usize,
+    /// The job's result: a completed evaluation or a typed refusal.
+    pub outcome: Result<Completed, ServeError>,
+    /// Nanoseconds from submission to worker pickup.
+    pub queue_ns: u64,
+    /// Nanoseconds spent executing (0 for jobs refused before execution).
+    pub service_ns: u64,
+    /// Requests in the batch this job was served in (1 for refusals at
+    /// admission).
+    pub batch_size: usize,
+    /// Index of the worker that served it.
+    pub worker: usize,
+    /// The job completed, but after its deadline. Refusals *before*
+    /// execution surface as [`ServeError::DeadlineExceeded`] instead.
+    pub missed_deadline: bool,
+}
+
+impl Response {
+    /// Total latency the caller observed, in nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.queue_ns + self.service_ns
+    }
+}
+
+/// The slot a worker fulfills and a caller waits on. One response per
+/// job, exactly once.
+#[derive(Debug, Default)]
+pub(crate) struct Slot {
+    response: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    pub(crate) fn fulfill(&self, response: Response) {
+        let mut slot = self
+            .response
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        debug_assert!(slot.is_none(), "job fulfilled twice");
+        *slot = Some(response);
+        self.ready.notify_all();
+    }
+}
+
+/// The caller's handle to one submitted job: await it, poll it, or cancel
+/// it.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    slot: Arc<Slot>,
+    cancel: CancellationToken,
+}
+
+impl Ticket {
+    pub(crate) fn new(id: u64, slot: Arc<Slot>, cancel: CancellationToken) -> Ticket {
+        Ticket { id, slot, cancel }
+    }
+
+    /// The id the service assigned; matches [`Response::id`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cooperative cancellation. A job not yet picked up is
+    /// failed with [`ServeError::Cancelled`]; a job already executing
+    /// completes normally.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was torn down without fulfilling the job —
+    /// a service bug by construction ([`crate::service::Service`] drains
+    /// its queue and fails leftover jobs closed on shutdown).
+    pub fn wait(self) -> Response {
+        let mut slot = self
+            .slot
+            .response
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(response) = slot.take() {
+                return response;
+            }
+            slot = self
+                .slot
+                .ready
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Returns the response if it has already arrived, without blocking.
+    pub fn try_take(&self) -> Option<Response> {
+        self.slot
+            .response
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_kernels::Kernel;
+
+    fn request() -> Request {
+        Request::new(Kernel::Tri.test_spec(), EncoderConfig::default())
+    }
+
+    fn response(id: u64) -> Response {
+        Response {
+            id,
+            kernel: "tri-test".into(),
+            block_size: 5,
+            outcome: Err(ServeError::Cancelled),
+            queue_ns: 10,
+            service_ns: 5,
+            batch_size: 1,
+            worker: 0,
+            missed_deadline: false,
+        }
+    }
+
+    #[test]
+    fn batch_key_separates_specs_not_configs() {
+        let a = request();
+        let mut b = request();
+        b.config = EncoderConfig::default()
+            .with_block_size(6)
+            .expect("6 is a valid block size");
+        assert_eq!(a.batch_key(), b.batch_key());
+        let other = Request::new(Kernel::Fft.test_spec(), EncoderConfig::default());
+        assert_ne!(a.batch_key(), other.batch_key());
+    }
+
+    #[test]
+    fn ticket_try_take_then_wait() {
+        let slot = Arc::new(Slot::default());
+        let ticket = Ticket::new(7, Arc::clone(&slot), CancellationToken::new());
+        assert!(ticket.try_take().is_none());
+        slot.fulfill(response(7));
+        let got = ticket.wait();
+        assert_eq!(got.id, 7);
+        assert_eq!(got.latency_ns(), 15);
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilled_from_another_thread() {
+        let slot = Arc::new(Slot::default());
+        let ticket = Ticket::new(3, Arc::clone(&slot), CancellationToken::new());
+        let got = std::thread::scope(|scope| {
+            let waiter = scope.spawn(move || ticket.wait());
+            // Fulfill after the waiter has (very likely) parked; the wait
+            // loop is correct either way.
+            std::thread::sleep(Duration::from_millis(5));
+            slot.fulfill(response(3));
+            waiter.join().expect("waiter panicked")
+        });
+        assert_eq!(got.id, 3);
+    }
+
+    #[test]
+    fn cancel_reaches_the_shared_token() {
+        let token = CancellationToken::new();
+        let ticket = Ticket::new(1, Arc::new(Slot::default()), token.clone());
+        ticket.cancel();
+        assert!(token.is_cancelled());
+    }
+}

@@ -1,0 +1,895 @@
+//! The worker pool: admission, batch-coalesced dispatch, per-request
+//! execution, and shutdown.
+//!
+//! A [`Service`] owns a [`crate::queue::JobQueue`] and a fixed set of
+//! worker threads. Each worker repeatedly pops a batch (oldest job plus
+//! everything queued against the same kernel key), warms that kernel's
+//! fetch-edge profile *once* — shared in process via a memo and across
+//! processes via [`imt_core::profile_cache`] — and then serves each
+//! request in the batch independently: encode, replay-evaluate, and
+//! (when the request carries a fault plan) fault-replay with fail-closed
+//! semantics. A panicking request is contained with `catch_unwind` and
+//! answered as [`ServeError::Panicked`]; its batch-mates are unaffected.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use imt_core::eval::evaluate_auto;
+use imt_core::{encode_program, profile_cache};
+use imt_fault::trace::{self, FetchTrace};
+use imt_isa::Program;
+use imt_kernels::KernelSpec;
+use imt_sim::edge::FetchEdgeProfile;
+
+use crate::cancel::CancellationToken;
+use crate::queue::{Job, JobQueue, PushRefusal};
+use crate::request::{Completed, FaultSummary, Request, Response, Slot, Ticket};
+use crate::ServeError;
+
+/// What happens when a request arrives and the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Admission {
+    /// Block the submitting thread until space opens — backpressure by
+    /// stalling the producer. The default.
+    #[default]
+    Block,
+    /// Refuse immediately with [`ServeError::Overloaded`] — load
+    /// shedding the caller can react to (retry, divert, drop).
+    Reject,
+}
+
+/// Service tuning. Built with the `with_*` methods; every default is
+/// safe for tests and small deployments.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    workers: usize,
+    queue_capacity: usize,
+    max_batch: usize,
+    admission: Admission,
+    default_deadline: Option<Duration>,
+    delivery_latency: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            admission: Admission::Block,
+            default_deadline: None,
+            delivery_latency: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Worker threads (minimum 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> ServiceConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Queue bound (minimum 1). This is the backpressure point: work
+    /// beyond it blocks or is shed per [`ServiceConfig::with_admission`].
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Most requests one dequeue will coalesce into a batch (minimum 1).
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> ServiceConfig {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Admission discipline when the queue is full.
+    #[must_use]
+    pub fn with_admission(mut self, admission: Admission) -> ServiceConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// Deadline applied to requests that do not carry their own.
+    #[must_use]
+    pub fn with_default_deadline(mut self, deadline: Duration) -> ServiceConfig {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Models the blocking delivery leg: after a successful job, the
+    /// worker stays occupied for this long, standing in for streaming
+    /// the TT/BBIT images out over a device-programming link. The
+    /// compute stays on one core either way; extra workers buy
+    /// throughput exactly by overlapping this stall. `exp_serve` uses it
+    /// to make worker-count scaling measurable and honest on a
+    /// single-core host.
+    #[must_use]
+    pub fn with_delivery_latency(mut self, latency: Duration) -> ServiceConfig {
+        self.delivery_latency = Some(latency);
+        self
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Configured queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Configured batch cap.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+}
+
+/// Monotonic counters the service keeps regardless of `IMT_OBS` — the
+/// load generator and tests read these directly.
+#[derive(Debug, Default)]
+struct ServiceStats {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    expired: AtomicU64,
+    panicked: AtomicU64,
+    poisoned: AtomicU64,
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+    deadline_missed: AtomicU64,
+    peak_depth: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests refused at admission ([`ServeError::Overloaded`]).
+    pub rejected: u64,
+    /// Responses delivered with an `Ok` outcome.
+    pub completed: u64,
+    /// Responses delivered with an `Err` outcome (all causes).
+    pub failed: u64,
+    /// Jobs dropped via [`crate::request::Ticket::cancel`].
+    pub cancelled: u64,
+    /// Jobs whose deadline passed before pickup.
+    pub expired: u64,
+    /// Jobs that panicked in the worker (contained).
+    pub panicked: u64,
+    /// Jobs refused fail-closed after fault replay delivered wrong words.
+    pub poisoned: u64,
+    /// Batches dequeued.
+    pub batches: u64,
+    /// Jobs across all dequeued batches.
+    pub batched_jobs: u64,
+    /// Completed jobs that finished after their deadline.
+    pub deadline_missed: u64,
+    /// Deepest the queue has been.
+    pub peak_depth: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean jobs per dequeued batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_jobs as f64 / self.batches as f64
+    }
+}
+
+/// One kernel's warmed execution context, shared by every request in
+/// every batch against that kernel.
+#[derive(Debug)]
+struct WarmProfile {
+    program: Program,
+    per_index: Vec<u64>,
+    edges: FetchEdgeProfile,
+}
+
+#[derive(Debug)]
+struct ServiceInner {
+    config: ServiceConfig,
+    queue: JobQueue,
+    next_id: AtomicU64,
+    stats: ServiceStats,
+    profiles: Mutex<HashMap<String, Arc<Result<WarmProfile, ServeError>>>>,
+}
+
+/// The running service: submit jobs, read stats, shut down.
+#[derive(Debug)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker pool.
+    pub fn start(config: ServiceConfig) -> Service {
+        let inner = Arc::new(ServiceInner {
+            queue: JobQueue::new(config.queue_capacity),
+            config,
+            next_id: AtomicU64::new(0),
+            stats: ServiceStats::default(),
+            profiles: Mutex::new(HashMap::new()),
+        });
+        let workers = (0..inner.config.workers)
+            .map(|index| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("imt-serve-{index}"))
+                    .spawn(move || worker_loop(&inner, index))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Service { inner, workers }
+    }
+
+    /// Submits one request. Under [`Admission::Block`] this waits for
+    /// queue space; under [`Admission::Reject`] a full queue returns
+    /// [`ServeError::Overloaded`] immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] (rejecting admission, queue full) or
+    /// [`ServeError::ShuttingDown`].
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        let inner = &self.inner;
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot::default());
+        let cancel = CancellationToken::new();
+        let now = Instant::now();
+        let deadline = request
+            .deadline
+            .or(inner.config.default_deadline)
+            .map(|d| now + d);
+        let job = Job {
+            id,
+            batch_key: request.batch_key(),
+            request,
+            slot: Arc::clone(&slot),
+            cancel: cancel.clone(),
+            submitted: now,
+            deadline,
+        };
+        match inner.config.admission {
+            Admission::Reject => {
+                if let Err((_, refusal)) = inner.queue.try_push(job) {
+                    return Err(match refusal {
+                        PushRefusal::Full { depth, capacity } => {
+                            inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            if imt_obs::enabled() {
+                                imt_obs::counter!("serve.rejected").inc();
+                            }
+                            ServeError::Overloaded { depth, capacity }
+                        }
+                        PushRefusal::Closed => ServeError::ShuttingDown,
+                    });
+                }
+            }
+            Admission::Block => {
+                if inner.queue.push_wait(job).is_err() {
+                    return Err(ServeError::ShuttingDown);
+                }
+            }
+        }
+        inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = inner.queue.depth() as u64;
+        inner.stats.peak_depth.fetch_max(depth, Ordering::Relaxed);
+        if imt_obs::enabled() {
+            imt_obs::counter!("serve.submitted").inc();
+            imt_obs::gauge!("serve.queue_depth").set(depth);
+            imt_obs::gauge!("serve.queue_peak").set_max(depth);
+        }
+        Ok(Ticket::new(id, slot, cancel))
+    }
+
+    /// Jobs currently queued (not yet picked up).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    /// A copy of the service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.inner.stats;
+        StatsSnapshot {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            expired: s.expired.load(Ordering::Relaxed),
+            panicked: s.panicked.load(Ordering::Relaxed),
+            poisoned: s.poisoned.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            batched_jobs: s.batched_jobs.load(Ordering::Relaxed),
+            deadline_missed: s.deadline_missed.load(Ordering::Relaxed),
+            peak_depth: s.peak_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting work, fails still-queued jobs with
+    /// [`ServeError::ShuttingDown`], waits for in-flight batches to
+    /// finish, and joins the workers. Every outstanding
+    /// [`Ticket`] is fulfilled — with its result if the job was already
+    /// executing, with the shutdown refusal otherwise.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.inner.queue.close();
+        for job in self.inner.queue.drain() {
+            self.inner.refuse(job, ServeError::ShuttingDown, usize::MAX);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl ServiceInner {
+    /// Fails a job before execution and fulfills its ticket. Every
+    /// refusal counts as `failed`; cancellations and expiries also keep
+    /// their own counter.
+    fn refuse(&self, job: Job, error: ServeError, worker: usize) {
+        self.stats.failed.fetch_add(1, Ordering::Relaxed);
+        match &error {
+            ServeError::Cancelled => {
+                self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            ServeError::DeadlineExceeded => {
+                self.stats.expired.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        if imt_obs::enabled() {
+            imt_obs::counter!("serve.failed").inc();
+            match &error {
+                ServeError::Cancelled => imt_obs::counter!("serve.cancelled").inc(),
+                ServeError::DeadlineExceeded => {
+                    imt_obs::counter!("serve.deadline_expired").inc();
+                }
+                _ => {}
+            }
+        }
+        let queue_ns = job.submitted.elapsed().as_nanos() as u64;
+        job.slot.fulfill(Response {
+            id: job.id,
+            kernel: job.request.spec.name.clone(),
+            block_size: job.request.config.block_size(),
+            outcome: Err(error),
+            queue_ns,
+            service_ns: 0,
+            batch_size: 1,
+            worker,
+            missed_deadline: false,
+        });
+    }
+
+    /// The kernel's warmed profile, memoized per batch key. Both
+    /// successes and failures are memoized: profiling is deterministic,
+    /// so a kernel that failed once will fail identically again.
+    fn warm(&self, key: &str, spec: &KernelSpec) -> Arc<Result<WarmProfile, ServeError>> {
+        if let Some(hit) = self
+            .profiles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+        {
+            if imt_obs::enabled() {
+                imt_obs::counter!("serve.profile_memo_hits").inc();
+            }
+            return Arc::clone(hit);
+        }
+        let warmed = {
+            let _span = imt_obs::span!("serve.profile_warm");
+            // `assemble` panics on malformed source; contain it as a
+            // typed profile failure so the batch is answered, not lost.
+            match catch_unwind(AssertUnwindSafe(|| warm_uncached(spec))) {
+                Ok(result) => result,
+                Err(payload) => Err(ServeError::ProfileFailed {
+                    kernel: spec.name.clone(),
+                    detail: panic_detail(payload.as_ref()),
+                }),
+            }
+        };
+        let warmed = Arc::new(warmed);
+        // Two workers can race the same cold key; either result is
+        // valid (profiling is deterministic), keep the first inserted.
+        self.profiles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key.to_string())
+            .or_insert_with(|| Arc::clone(&warmed))
+            .clone()
+    }
+}
+
+/// Records (or loads from the on-disk cache) one kernel's fetch-edge
+/// profile and checks its output against the golden model. The service's
+/// fallible counterpart to `imt_bench::kernel_profile`, which panics
+/// instead — a server refuses the job, it does not die.
+fn warm_uncached(spec: &KernelSpec) -> Result<WarmProfile, ServeError> {
+    let program = spec.assemble();
+    let caching = profile_cache::enabled();
+    let disk_hit = if caching {
+        profile_cache::load(&program, spec.max_steps)
+            .filter(|edges| edges.stdout() == spec.expected_output)
+    } else {
+        None
+    };
+    let edges = match disk_hit {
+        Some(edges) => edges,
+        None => {
+            let recorded = FetchEdgeProfile::record(&program, spec.max_steps).map_err(|e| {
+                ServeError::ProfileFailed {
+                    kernel: spec.name.clone(),
+                    detail: e.to_string(),
+                }
+            })?;
+            if recorded.stdout() != spec.expected_output {
+                return Err(ServeError::ProfileMismatch {
+                    kernel: spec.name.clone(),
+                });
+            }
+            if caching {
+                if let Err(e) = profile_cache::store(&program, spec.max_steps, &recorded) {
+                    eprintln!("imt-serve: could not cache profile for {}: {e}", spec.name);
+                }
+            }
+            recorded
+        }
+    };
+    Ok(WarmProfile {
+        per_index: edges.per_index_counts(),
+        program,
+        edges,
+    })
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(inner: &ServiceInner, worker: usize) {
+    while let Some(batch) = inner.queue.pop_batch(inner.config.max_batch) {
+        if imt_obs::enabled() {
+            imt_obs::gauge!("serve.queue_depth").set(inner.queue.depth() as u64);
+            imt_obs::counter!("serve.batches").inc();
+            imt_obs::registry::histogram("serve.batch_size").observe(batch.len() as u64);
+        }
+        inner.stats.batches.fetch_add(1, Ordering::Relaxed);
+        inner
+            .stats
+            .batched_jobs
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let _span = imt_obs::span!("serve.batch");
+
+        // Triage before warming: cancelled and already-expired jobs are
+        // answered without paying for the profile.
+        let now = Instant::now();
+        let mut runnable: Vec<Job> = Vec::with_capacity(batch.len());
+        for job in batch {
+            if job.cancel.is_cancelled() {
+                inner.refuse(job, ServeError::Cancelled, worker);
+            } else if job.deadline.is_some_and(|d| now > d) {
+                inner.refuse(job, ServeError::DeadlineExceeded, worker);
+            } else {
+                runnable.push(job);
+            }
+        }
+        let Some(first) = runnable.first() else {
+            continue;
+        };
+        let warmed = inner.warm(&first.batch_key, &first.request.spec);
+        let batch_size = runnable.len();
+        for job in runnable {
+            serve_job(inner, job, &warmed, batch_size, worker);
+        }
+    }
+}
+
+fn serve_job(
+    inner: &ServiceInner,
+    job: Job,
+    warmed: &Result<WarmProfile, ServeError>,
+    batch_size: usize,
+    worker: usize,
+) {
+    // Last cancellation / deadline check point: the warm may have taken
+    // a while, and batch-mates before this job may have too.
+    if job.cancel.is_cancelled() {
+        inner.refuse(job, ServeError::Cancelled, worker);
+        return;
+    }
+    if job.deadline.is_some_and(|d| Instant::now() > d) {
+        inner.refuse(job, ServeError::DeadlineExceeded, worker);
+        return;
+    }
+    let picked = Instant::now();
+    let queue_ns = (picked - job.submitted).as_nanos() as u64;
+    let _span = imt_obs::span!("serve.request");
+    let outcome = match warmed {
+        Err(profile_error) => Err(profile_error.clone()),
+        Ok(warm) => match catch_unwind(AssertUnwindSafe(|| execute(warm, &job.request))) {
+            Ok(result) => result,
+            Err(payload) => Err(ServeError::Panicked {
+                detail: panic_detail(payload.as_ref()),
+            }),
+        },
+    };
+    if outcome.is_ok() {
+        if let Some(latency) = inner.config.delivery_latency {
+            std::thread::sleep(latency);
+        }
+    }
+    let service_ns = picked.elapsed().as_nanos() as u64;
+    let missed_deadline = job.deadline.is_some_and(|d| Instant::now() > d);
+    match &outcome {
+        Ok(_) => {
+            inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+            if missed_deadline {
+                inner.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Err(e) => {
+            inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+            match e {
+                ServeError::Panicked { .. } => {
+                    inner.stats.panicked.fetch_add(1, Ordering::Relaxed);
+                }
+                ServeError::Poisoned { .. } => {
+                    inner.stats.poisoned.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
+    }
+    if imt_obs::enabled() {
+        match &outcome {
+            Ok(_) => imt_obs::counter!("serve.completed").inc(),
+            Err(e) => {
+                imt_obs::counter!("serve.failed").inc();
+                if matches!(e, ServeError::Panicked { .. }) {
+                    imt_obs::counter!("serve.panicked").inc();
+                }
+            }
+        }
+        if missed_deadline {
+            imt_obs::counter!("serve.deadline_missed").inc();
+        }
+        imt_obs::registry::histogram("serve.queue_ns").observe(queue_ns);
+        imt_obs::registry::histogram("serve.service_ns").observe(service_ns);
+    }
+    job.slot.fulfill(Response {
+        id: job.id,
+        kernel: job.request.spec.name.clone(),
+        block_size: job.request.config.block_size(),
+        outcome,
+        queue_ns,
+        service_ns,
+        batch_size,
+        worker,
+        missed_deadline,
+    });
+}
+
+/// One request's actual work, given its kernel's warmed profile. Pure
+/// with respect to the service: everything it needs is in its arguments,
+/// and its only effect is the returned outcome.
+fn execute(warm: &WarmProfile, request: &Request) -> Result<Completed, ServeError> {
+    if request.panic_in_worker {
+        panic!("poisoned job (panic_in_worker test hook)");
+    }
+    let encoded = encode_program(&warm.program, &warm.per_index, &request.config)?;
+    let (evaluation, path) = evaluate_auto(
+        &warm.program,
+        &encoded,
+        request.spec.max_steps,
+        Some(&warm.edges),
+        request.needs,
+    )?;
+    let fault = match &request.fault_plan {
+        None => None,
+        Some(plan) => {
+            let fault_trace = FetchTrace::record(
+                &warm.program,
+                &encoded,
+                request.spec.max_steps,
+                request.fault_window,
+            )?;
+            let replayed = trace::replay(&fault_trace, &encoded, request.protection, plan)?;
+            if replayed.wrong_words > 0 {
+                return Err(ServeError::Poisoned {
+                    wrong_words: replayed.wrong_words,
+                });
+            }
+            Some(FaultSummary {
+                injected: replayed.injected,
+                detected: replayed.detected,
+                corrected: replayed.corrected,
+                degraded_fetches: replayed.degraded_fetches,
+                retained_reduction_percent: replayed.reduction_percent(),
+            })
+        }
+    };
+    Ok(Completed {
+        evaluation,
+        path,
+        encoded_blocks: encoded.report.encoded.len(),
+        fault,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imt_core::eval::EvalNeeds;
+    use imt_core::EncoderConfig;
+    use imt_kernels::Kernel;
+
+    fn request(kernel: Kernel) -> Request {
+        Request::new(kernel.test_spec(), EncoderConfig::default())
+    }
+
+    /// What a direct serial pipeline produces for the same request — the
+    /// reference the service must match bit for bit.
+    fn serial_reference(req: &Request) -> imt_core::eval::Evaluation {
+        let program = req.spec.assemble();
+        let edges =
+            FetchEdgeProfile::record(&program, req.spec.max_steps).expect("reference run succeeds");
+        let encoded = encode_program(&program, &edges.per_index_counts(), &req.config)
+            .expect("reference encode succeeds");
+        let (evaluation, _) = evaluate_auto(
+            &program,
+            &encoded,
+            req.spec.max_steps,
+            Some(&edges),
+            EvalNeeds::transitions_only(),
+        )
+        .expect("reference evaluation succeeds");
+        evaluation
+    }
+
+    #[test]
+    fn serves_a_request_bit_identically_to_serial() {
+        let req = request(Kernel::Tri);
+        let reference = serial_reference(&req);
+        let service = Service::start(ServiceConfig::default().with_workers(1));
+        let ticket = service.submit(req).expect("queue open");
+        let response = ticket.wait();
+        let done = response.outcome.expect("tri serves");
+        assert_eq!(done.evaluation, reference);
+        assert_eq!(done.evaluation.decode_mismatches, 0);
+        assert!(done.encoded_blocks > 0);
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn coalesces_same_kernel_jobs_into_one_batch() {
+        // One worker held busy by the delivery stall while four same-key
+        // jobs queue behind it: the next dequeue must take all four.
+        let service = Service::start(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_delivery_latency(Duration::from_millis(150)),
+        );
+        let head = service.submit(request(Kernel::Tri)).expect("queue open");
+        std::thread::sleep(Duration::from_millis(30));
+        let tickets: Vec<_> = (0..4)
+            .map(|_| service.submit(request(Kernel::Tri)).expect("queue open"))
+            .collect();
+        assert_eq!(head.wait().batch_size, 1);
+        for ticket in tickets {
+            let response = ticket.wait();
+            response.outcome.expect("tri serves");
+            assert_eq!(response.batch_size, 4, "jobs should share one batch");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.batched_jobs, 5);
+        service.shutdown();
+    }
+
+    #[test]
+    fn rejecting_admission_sheds_load_with_typed_overload() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_admission(Admission::Reject)
+                .with_delivery_latency(Duration::from_millis(150)),
+        );
+        let head = service.submit(request(Kernel::Tri)).expect("accepted");
+        std::thread::sleep(Duration::from_millis(30));
+        let queued = service.submit(request(Kernel::Tri)).expect("fills queue");
+        let refused = service
+            .submit(request(Kernel::Tri))
+            .expect_err("queue full");
+        assert_eq!(
+            refused,
+            ServeError::Overloaded {
+                depth: 1,
+                capacity: 1
+            }
+        );
+        assert_eq!(service.stats().rejected, 1);
+        head.wait().outcome.expect("head serves");
+        queued.wait().outcome.expect("queued job serves");
+        service.shutdown();
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_fails_without_executing() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_delivery_latency(Duration::from_millis(120)),
+        );
+        let head = service.submit(request(Kernel::Tri)).expect("accepted");
+        std::thread::sleep(Duration::from_millis(30));
+        let doomed = service
+            .submit(request(Kernel::Tri).with_deadline(Duration::from_millis(1)))
+            .expect("accepted");
+        let response = doomed.wait();
+        assert_eq!(response.outcome, Err(ServeError::DeadlineExceeded));
+        assert_eq!(response.service_ns, 0, "must not have executed");
+        head.wait().outcome.expect("head serves");
+        let stats = service.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.failed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancellation_drops_a_queued_job() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_delivery_latency(Duration::from_millis(120)),
+        );
+        let head = service.submit(request(Kernel::Tri)).expect("accepted");
+        std::thread::sleep(Duration::from_millis(30));
+        let ticket = service.submit(request(Kernel::Tri)).expect("accepted");
+        ticket.cancel();
+        let response = ticket.wait();
+        assert_eq!(response.outcome, Err(ServeError::Cancelled));
+        head.wait().outcome.expect("head serves");
+        assert_eq!(service.stats().cancelled, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_take_down_its_batch() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_delivery_latency(Duration::from_millis(150)),
+        );
+        let head = service.submit(request(Kernel::Tri)).expect("accepted");
+        std::thread::sleep(Duration::from_millis(30));
+        let mut poisoned_req = request(Kernel::Tri);
+        poisoned_req.panic_in_worker = true;
+        let poisoned = service.submit(poisoned_req).expect("accepted");
+        let mates: Vec<_> = (0..2)
+            .map(|_| service.submit(request(Kernel::Tri)).expect("accepted"))
+            .collect();
+        head.wait().outcome.expect("head serves");
+        let response = poisoned.wait();
+        match response.outcome {
+            Err(ServeError::Panicked { detail }) => {
+                assert!(detail.contains("panic_in_worker"), "got: {detail}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        for mate in mates {
+            let mate = mate.wait();
+            assert_eq!(mate.batch_size, 3, "all three shared the batch");
+            mate.outcome.expect("batch-mates unaffected by the panic");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.completed, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn golden_divergence_refuses_the_whole_batch_typed() {
+        let mut spec = Kernel::Tri.test_spec();
+        spec.name = "tri-tampered".to_string();
+        spec.expected_output = "not what tri prints".to_string();
+        let service = Service::start(ServiceConfig::default().with_workers(1));
+        let ticket = service
+            .submit(Request::new(spec, EncoderConfig::default()))
+            .expect("accepted");
+        match ticket.wait().outcome {
+            Err(ServeError::ProfileMismatch { kernel }) => assert_eq!(kernel, "tri-tampered"),
+            other => panic!("expected ProfileMismatch, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_queued_jobs_closed_and_finishes_in_flight_work() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_delivery_latency(Duration::from_millis(150)),
+        );
+        let in_flight = service.submit(request(Kernel::Tri)).expect("accepted");
+        std::thread::sleep(Duration::from_millis(30));
+        let queued = service.submit(request(Kernel::Tri)).expect("accepted");
+        service.shutdown();
+        in_flight.wait().outcome.expect("in-flight job completed");
+        assert_eq!(queued.wait().outcome, Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn fault_plan_with_detection_degrades_gracefully() {
+        use imt_core::Protection;
+        use imt_fault::plan::{FaultPlan, FaultTarget};
+        // Parity protection detects a single TT data bit flip: the entry
+        // is quarantined, fetches degrade to original words, and the job
+        // still completes with a fault summary attached.
+        let req = request(Kernel::Tri).with_faults(
+            FaultPlan::single(0, FaultTarget::Tt { entry: 0, bit: 0 }),
+            Protection::Parity,
+        );
+        let service = Service::start(ServiceConfig::default().with_workers(1));
+        let ticket = service.submit(req).expect("accepted");
+        let done = ticket.wait().outcome.expect("detected fault degrades");
+        let fault = done.fault.expect("fault summary attached");
+        assert_eq!(fault.injected, 1);
+        assert_eq!(fault.detected, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn unprotected_fault_fails_closed_as_poisoned() {
+        use imt_core::Protection;
+        use imt_fault::plan::{FaultPlan, FaultTarget};
+        let req = request(Kernel::Tri).with_faults(
+            FaultPlan::single(0, FaultTarget::Tt { entry: 0, bit: 0 }),
+            Protection::None,
+        );
+        let service = Service::start(ServiceConfig::default().with_workers(1));
+        let ticket = service.submit(req).expect("accepted");
+        match ticket.wait().outcome {
+            Err(ServeError::Poisoned { wrong_words }) => assert!(wrong_words > 0),
+            // An unprotected flip that happens to land on an unused
+            // entry would not corrupt; entry 0 of tri's TT is used.
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        assert_eq!(service.stats().poisoned, 1);
+        service.shutdown();
+    }
+}

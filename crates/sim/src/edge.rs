@@ -293,11 +293,24 @@ impl FetchEdgeProfile {
                 detail: "stdout is not UTF-8",
             }
         })?;
+        // Bound both pre-allocations by the bytes actually present: a
+        // corrupted length field must yield a `truncated` error, not a
+        // multi-gigabyte allocation attempt.
+        if bytes.len().saturating_sub(r.pos) < text_len.saturating_mul(8) {
+            return Err(EdgeProfileFormatError {
+                detail: "truncated",
+            });
+        }
         let mut seq = Vec::with_capacity(text_len);
         for _ in 0..text_len {
             seq.push(r.u64()?);
         }
         let other_len = r.u32()? as usize;
+        if bytes.len().saturating_sub(r.pos) < other_len.saturating_mul(16) {
+            return Err(EdgeProfileFormatError {
+                detail: "truncated",
+            });
+        }
         let mut other = Vec::with_capacity(other_len);
         for _ in 0..other_len {
             let src = r.u32()?;

@@ -1,0 +1,94 @@
+//! Guard: every committed `results/BENCH_*.json` declares paper scale.
+//!
+//! Each benchmark binary stamps a top-level `"scale"` field into its JSON
+//! artifact ([`imt_bench::runner::Scale::name`]). Committed artifacts must
+//! be produced at paper scale; an artifact declaring `"test"` means a CI
+//! smoke run (`--test-scale`) overwrote a published result — exactly the
+//! incident this suite exists to catch. The same check runs as a CI step
+//! so a bad artifact fails the build, not just a local `cargo test`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use imt_obs::json::Json;
+
+/// The workspace root (this test lives in the root package).
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// All committed machine-readable benchmark artifacts.
+fn bench_artifacts() -> Vec<PathBuf> {
+    let results = repo_root().join("results");
+    let mut paths: Vec<PathBuf> = fs::read_dir(&results)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", results.display()))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("BENCH_") && name.ends_with(".json")
+        })
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn the_expected_artifacts_are_present() {
+    let names: Vec<String> = bench_artifacts()
+        .iter()
+        .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(String::from))
+        .collect();
+    for expected in [
+        "BENCH_fault.json",
+        "BENCH_pipeline.json",
+        "BENCH_replay.json",
+        "BENCH_serve.json",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing committed artifact results/{expected} (found: {names:?})"
+        );
+    }
+}
+
+#[test]
+fn every_bench_artifact_declares_a_scale() {
+    let artifacts = bench_artifacts();
+    assert!(!artifacts.is_empty(), "no results/BENCH_*.json found");
+    for path in &artifacts {
+        let text = fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let doc = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()));
+        let scale = doc
+            .get("scale")
+            .unwrap_or_else(|| panic!("{}: no top-level \"scale\" field", path.display()));
+        let scale = scale
+            .as_str()
+            .unwrap_or_else(|| panic!("{}: \"scale\" is not a string: {scale:?}", path.display()));
+        assert!(
+            matches!(scale, "paper" | "test"),
+            "{}: unknown scale {scale:?} (expected \"paper\" or \"test\")",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn committed_artifacts_are_paper_scale() {
+    for path in bench_artifacts() {
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let doc = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()));
+        let scale = doc.get("scale").and_then(Json::as_str).unwrap_or("missing");
+        assert_eq!(
+            scale,
+            "paper",
+            "{}: committed benchmark artifacts must be regenerated at paper \
+             scale — a \"test\" scale here means a smoke run overwrote a \
+             published result",
+            path.display()
+        );
+    }
+}
