@@ -1,0 +1,66 @@
+//! Criterion bench: the bit-sliced streaming encoder against the
+//! per-lane packed oracle it replaces, on a 32-lane text image.
+//!
+//! Both paths produce bit-identical encodings (asserted by
+//! tests/equivalence.rs and in-binary by exp_perf); this group measures
+//! what the transposed representation buys — one codebook solve per block
+//! position covering all 32 lanes instead of 32 per-lane walks — and what
+//! the SIMD transpose/popcount kernels add on top of the scalar slicing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imt_bitcode::lanes::encode_words;
+use imt_bitcode::simd::{self, SimdPath};
+use imt_bitcode::slice::encode_words_sliced_with;
+use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+use rand::{Rng, SeedableRng};
+
+fn bench_sliced_vs_lanes(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let words: Vec<u64> = (0..16_384).map(|_| u64::from(rng.gen::<u32>())).collect();
+    let mut group = c.benchmark_group("sliced_vs_lanes");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    for k in [5usize, 7] {
+        let codec = StreamCodec::new(StreamCodecConfig::block_size(k).expect("valid"));
+        group.bench_with_input(
+            BenchmarkId::new("per_lane_oracle", k),
+            &codec,
+            |b, codec| b.iter(|| encode_words(black_box(&words), 32, codec).expect("valid width")),
+        );
+        for path in SimdPath::ALL {
+            if !simd::available(path) {
+                continue;
+            }
+            let id = BenchmarkId::new(format!("sliced_{}", path.name()), k);
+            group.bench_with_input(id, &codec, |b, codec| {
+                b.iter(|| {
+                    encode_words_sliced_with(black_box(&words), 32, codec, path)
+                        .expect("valid width")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let tile: [u64; 64] = std::array::from_fn(|_| rng.gen::<u64>());
+    let mut group = c.benchmark_group("transpose64");
+    group.throughput(Throughput::Bytes(64 * 8));
+    for path in SimdPath::ALL {
+        if !simd::available(path) {
+            continue;
+        }
+        group.bench_function(path.name(), |b| {
+            b.iter(|| {
+                let mut t = black_box(tile);
+                simd::transpose64(path, &mut t);
+                t
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sliced_vs_lanes, bench_transpose);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 use imt_baselines::{BusInvert, DictionaryBus, GrayAddress, T0};
 use imt_bench::runner::{profiled_run, run_kernel_point, Scale};
 use imt_bench::table::Table;
-use imt_bitcode::par::par_map;
+use imt_bitcode::par::par_map_coarse;
 use imt_core::EncoderConfig;
 use imt_kernels::Kernel;
 use imt_sim::cpu::Tee;
@@ -75,7 +75,7 @@ fn experiment() {
     );
     // Six independent kernel rows, rendered in kernel order regardless of
     // which worker finishes first.
-    for row in par_map(&Kernel::ALL, 1, |_, &kernel| kernel_row(kernel, scale)) {
+    for row in par_map_coarse(&Kernel::ALL, 1, |_, &kernel| kernel_row(kernel, scale)) {
         table.row(row);
     }
     print!("{}", table.render());

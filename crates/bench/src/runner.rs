@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use imt_bitcode::par::par_map;
+use imt_bitcode::par::par_map_coarse;
 use imt_core::eval::{evaluate_auto, EvalNeeds, Evaluation};
 use imt_core::{encode_program, profile_cache, EncodedProgram, EncoderConfig};
 use imt_isa::Program;
@@ -269,7 +269,9 @@ fn warm_profiles(kernels: impl IntoIterator<Item = Kernel>, scale: Scale) {
             unique.push(kernel);
         }
     }
-    par_map(&unique, 1, |_, &kernel| {
+    // Coarse fan-out: a handful of whole-kernel simulations, each far
+    // heavier than the global fan-out floor is calibrated for.
+    par_map_coarse(&unique, 1, |_, &kernel| {
         kernel_profile(&scale.spec(kernel));
     });
 }
@@ -287,7 +289,7 @@ pub fn figure6_grid(scale: Scale) -> Vec<Vec<KernelPoint>> {
         .flat_map(|&kernel| BLOCK_SIZES.map(move |k| (kernel, k)))
         .collect();
     warm_profiles(Kernel::ALL, scale);
-    let points = par_map(&cells, 1, |_, &(kernel, k)| {
+    let points = par_map_coarse(&cells, 1, |_, &(kernel, k)| {
         let config = EncoderConfig::default()
             .with_block_size(k)
             .expect("block sizes 4..=7 are valid");
@@ -311,7 +313,7 @@ pub fn figure6_grid(scale: Scale) -> Vec<Vec<KernelPoint>> {
 /// merged vector is byte-for-byte the serial result.
 pub fn run_grid(cells: &[(Kernel, EncoderConfig)], scale: Scale) -> Vec<KernelPoint> {
     warm_profiles(cells.iter().map(|&(kernel, _)| kernel), scale);
-    par_map(cells, 1, |_, &(kernel, ref config)| {
+    par_map_coarse(cells, 1, |_, &(kernel, ref config)| {
         run_kernel_point(kernel, scale, config)
     })
 }

@@ -40,6 +40,12 @@
 //!   semantics discussed in the paper.
 //! * [`lanes`] — application of the codec to a sequence of fixed-width
 //!   machine words, treating each bit position as an independent line.
+//! * [`slice`] — the bit-sliced 64-lane codec: tiles of words are
+//!   transposed so all lanes stream through the chained encoder together,
+//!   cache-blocked, without per-lane `Vec<bool>`s.
+//! * [`simd`] — runtime-dispatched SSE2/AVX2 kernels (64×64 bit transpose,
+//!   masked popcount) behind `is_x86_feature_detected!`, with the scalar
+//!   path as oracle and an `IMT_FORCE_SCALAR` override.
 //! * [`gen`] — deterministic random bit-stream generators (uniform, biased,
 //!   Markov) used by the §6 experiment and by property tests.
 //! * [`history`] — the §5.1 generalisation to `h`-bit history
@@ -84,6 +90,8 @@ pub mod history;
 pub mod lanes;
 pub mod packed;
 pub mod par;
+pub mod simd;
+pub mod slice;
 pub mod stream;
 pub mod tables;
 pub mod transform;

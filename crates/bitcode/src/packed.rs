@@ -38,13 +38,44 @@ impl PackedSeq {
         }
     }
 
-    /// Packs a bool slice (time order).
+    /// Packs a bool slice (time order), one storage-word write per 64
+    /// input bits.
     pub fn from_bools(bits: &[bool]) -> Self {
-        let mut seq = PackedSeq::with_capacity(bits.len());
-        for &bit in bits {
-            seq.push(bit);
+        let words = bits
+            .chunks(64)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i))
+            })
+            .collect();
+        PackedSeq {
+            words,
+            len: bits.len(),
         }
-        seq
+    }
+
+    /// Assembles a sequence from raw storage words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)` or a bit at position
+    /// `>= len` is set (the counting and extraction masks rely on the
+    /// zero-padding invariant).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(64),
+            "{} storage words cannot hold exactly {len} bits",
+            words.len()
+        );
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                assert_eq!(last >> (len % 64), 0, "stray bits above position {len}");
+            }
+        }
+        PackedSeq { words, len }
     }
 
     /// Packs a [`BitSeq`].
@@ -341,6 +372,18 @@ mod tests {
                 "lane {lane}"
             );
         }
+    }
+
+    #[test]
+    fn from_words_roundtrips_and_enforces_padding() {
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let bits = random_bits(500 + len as u64, len);
+            let reference = PackedSeq::from_bools(&bits);
+            let rebuilt = PackedSeq::from_words(reference.words().to_vec(), len);
+            assert_eq!(rebuilt, reference, "len {len}");
+        }
+        assert!(std::panic::catch_unwind(|| PackedSeq::from_words(vec![0b10], 1)).is_err());
+        assert!(std::panic::catch_unwind(|| PackedSeq::from_words(vec![0, 0], 64)).is_err());
     }
 
     #[test]

@@ -14,6 +14,15 @@
 //! Work smaller than `min_per_thread` items runs inline on the calling
 //! thread: callers set that threshold so nested fan-outs (per-block over
 //! per-lane) degenerate to serial instead of oversubscribing.
+//!
+//! Independently of that per-caller threshold, fan-outs below a global
+//! work-size floor ([`fanout_floor`], default 16 items, `IMT_PAR_MIN`
+//! override) run serially: thread spawn/join costs tens of microseconds,
+//! so a handful of cheap items is slower parallel than serial (the
+//! `mmul` pipeline regression in `BENCH_pipeline.json` PR 5). Callers
+//! whose items are individually expensive — whole-kernel profiling runs,
+//! milliseconds each — opt out with [`par_map_coarse`] /
+//! [`par_map_range_coarse`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -40,14 +49,45 @@ pub fn thread_count() -> usize {
     })
 }
 
-/// Maps `f` over `0..n`, in parallel when `n >= 2 * min_per_thread` and
-/// more than one thread is available. Results are returned in index order;
-/// the output is identical to `(0..n).map(|i| f(i)).collect()`.
+/// The smallest fan-out worth spawning threads for: the `IMT_PAR_MIN`
+/// environment variable if set, else 16 items. Re-read on every call so
+/// experiments can sweep it at runtime.
+pub fn fanout_floor() -> usize {
+    if let Ok(value) = std::env::var("IMT_PAR_MIN") {
+        if let Ok(n) = value.parse::<usize>() {
+            return n;
+        }
+    }
+    16
+}
+
+/// Maps `f` over `0..n`, in parallel when `n >= 2 * min_per_thread`, the
+/// global [`fanout_floor`] is met, and more than one thread is available.
+/// Results are returned in index order; the output is identical to
+/// `(0..n).map(|i| f(i)).collect()`.
 ///
 /// # Panics
 ///
 /// Propagates the first worker panic.
 pub fn par_map_range<R, F>(n: usize, min_per_thread: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n < fanout_floor() {
+        return (0..n).map(f).collect();
+    }
+    par_map_range_coarse(n, min_per_thread, f)
+}
+
+/// [`par_map_range`] without the [`fanout_floor`]: for items that are
+/// individually expensive (milliseconds-scale), where even a two-item
+/// fan-out pays for its threads.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+pub fn par_map_range_coarse<R, F>(n: usize, min_per_thread: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -107,9 +147,36 @@ where
     par_map_range(items.len(), min_per_thread, |i| f(i, &items[i]))
 }
 
+/// Maps `f` over a slice of individually expensive items, bypassing the
+/// [`fanout_floor`] like [`par_map_range_coarse`].
+pub fn par_map_coarse<T, R, F>(items: &[T], min_per_thread: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_range_coarse(items.len(), min_per_thread, |i| f(i, &items[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that mutate `IMT_THREADS`/`IMT_PAR_MIN`; the
+    /// variables are process-global and unit tests run on parallel
+    /// threads. (Other tests tolerate the mutation — every fan-out is
+    /// output-deterministic at any worker count — but tests asserting
+    /// *which thread* ran must not race each other.)
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_env<R>(key: &str, value: &str, f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var(key, value);
+        let result = f();
+        std::env::remove_var(key);
+        result
+    }
 
     #[test]
     fn matches_serial_map() {
@@ -137,6 +204,45 @@ mod tests {
         let caller = std::thread::current().id();
         let out = par_map_range(3, 100, |i| (i, std::thread::current().id()));
         assert!(out.iter().all(|&(_, id)| id == caller));
+    }
+
+    #[test]
+    fn below_the_floor_runs_inline_even_with_threads() {
+        let caller = std::thread::current().id();
+        let out = with_env("IMT_THREADS", "4", || {
+            par_map_range(15, 1, |i| (i, std::thread::current().id()))
+        });
+        assert_eq!(out.len(), 15);
+        assert!(out.iter().all(|&(_, id)| id == caller));
+    }
+
+    #[test]
+    fn coarse_variant_fans_out_below_the_floor() {
+        let caller = std::thread::current().id();
+        let out = with_env("IMT_THREADS", "4", || {
+            par_map_range_coarse(4, 1, |i| (i, std::thread::current().id()))
+        });
+        assert_eq!(
+            out.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert!(
+            out.iter().all(|&(_, id)| id != caller),
+            "workers own the items"
+        );
+    }
+
+    #[test]
+    fn par_min_override_raises_the_floor() {
+        let caller = std::thread::current().id();
+        let out = with_env("IMT_PAR_MIN", "1000", || {
+            std::env::set_var("IMT_THREADS", "4");
+            let out = par_map_range(64, 1, |i| (i, std::thread::current().id()));
+            std::env::remove_var("IMT_THREADS");
+            out
+        });
+        assert!(out.iter().all(|&(_, id)| id == caller));
+        assert_eq!(fanout_floor(), 16);
     }
 
     #[test]

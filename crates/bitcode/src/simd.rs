@@ -1,0 +1,407 @@
+//! Runtime-dispatched SIMD kernels for the bit-sliced codec.
+//!
+//! The bit-sliced encode path ([`crate::slice`]) spends its time in two
+//! primitives: the 64×64 bit-matrix transpose that moves words between
+//! time-major and lane-major layout, and masked XOR+popcount transition
+//! counting over word streams. Both have scalar, SSE2 and AVX2
+//! implementations here, selected **at runtime** with
+//! `is_x86_feature_detected!` — the binary stays portable, the fast paths
+//! light up on capable machines, and every path computes bit-identical
+//! results (the equivalence proptests cross-check all of them).
+//!
+//! Dispatch rules:
+//!
+//! * [`detected_path`] — the best path this CPU supports, probed once.
+//! * [`force_scalar`] — the `IMT_FORCE_SCALAR` environment override,
+//!   re-read on every call (like `IMT_THREADS`) so tests and CI can flip
+//!   it at runtime.
+//! * [`active_path`] — what production call sites use: the detected path
+//!   unless forced scalar.
+//!
+//! The kernel entry points clamp their `path` argument to the detected
+//! capability, so passing `SimdPath::Avx2` on a non-AVX2 machine safely
+//! degrades instead of executing illegal instructions.
+//!
+//! Transpose orientation: treating `a[r]` bit `c` (LSB-first) as matrix
+//! element `(r, c)`, [`transpose64`] maps element `(r, c)` to `(c, r)` —
+//! a butterfly network swapping bit `j` of the row index with bit `j` of
+//! the column index at each of six levels (Hacker's Delight §7-3, stated
+//! for the LSB-first convention used throughout this crate).
+
+use std::sync::OnceLock;
+
+/// A SIMD capability level, ordered from narrowest to widest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdPath {
+    /// Portable scalar code; the bit-identity oracle.
+    Scalar,
+    /// 128-bit SSE2 (baseline on x86_64).
+    Sse2,
+    /// 256-bit AVX2.
+    Avx2,
+}
+
+impl SimdPath {
+    /// All paths, narrowest first — test helpers iterate this.
+    pub const ALL: [SimdPath; 3] = [SimdPath::Scalar, SimdPath::Sse2, SimdPath::Avx2];
+
+    /// Stable lower-case name, used in benchmark JSON and log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdPath::Scalar => "scalar",
+            SimdPath::Sse2 => "sse2",
+            SimdPath::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The widest path this CPU supports, probed once per process.
+pub fn detected_path() -> SimdPath {
+    static DETECTED: OnceLock<SimdPath> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") {
+                return SimdPath::Avx2;
+            }
+            if is_x86_feature_detected!("sse2") {
+                return SimdPath::Sse2;
+            }
+        }
+        SimdPath::Scalar
+    })
+}
+
+/// Whether the CPU can execute `path` (scalar is always available).
+pub fn available(path: SimdPath) -> bool {
+    path <= detected_path()
+}
+
+/// Whether `IMT_FORCE_SCALAR` is set (non-empty, not `"0"`). Re-read on
+/// every call so tests and experiments can toggle it at runtime.
+pub fn force_scalar() -> bool {
+    match std::env::var("IMT_FORCE_SCALAR") {
+        Ok(value) => !(value.is_empty() || value == "0"),
+        Err(_) => false,
+    }
+}
+
+/// The path production call sites should use right now: the detected one,
+/// unless `IMT_FORCE_SCALAR` demands the oracle.
+pub fn active_path() -> SimdPath {
+    if force_scalar() {
+        SimdPath::Scalar
+    } else {
+        detected_path()
+    }
+}
+
+/// Whether hardware popcount is available (independent of [`SimdPath`]:
+/// POPCNT arrived with SSE4.2-era cores).
+#[cfg(target_arch = "x86_64")]
+fn has_popcnt() -> bool {
+    static POPCNT: OnceLock<bool> = OnceLock::new();
+    *POPCNT.get_or_init(|| is_x86_feature_detected!("popcnt"))
+}
+
+/// One butterfly level of the 64×64 transpose: for every row pair
+/// `(k, k + j)` with bit `j` of `k` clear, swaps the sub-blocks selected
+/// by column mask `m`.
+#[inline]
+fn butterfly_scalar(a: &mut [u64; 64], j: usize, m: u64) {
+    let mut base = 0usize;
+    while base < 64 {
+        for k in base..base + j {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+        }
+        base += 2 * j;
+    }
+}
+
+/// Scalar 64×64 in-place bit transpose (the oracle the SIMD variants are
+/// tested against).
+pub fn transpose64_scalar(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        butterfly_scalar(a, j, m);
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// SSE2 transpose: levels `j >= 2` process row pairs two at a time (the
+/// `j` rows of each butterfly half are contiguous, so 128-bit loads are
+/// aligned with the pairing); the final level falls back to scalar.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn transpose64_sse2(a: &mut [u64; 64]) {
+    use std::arch::x86_64::*;
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j >= 2 {
+        let mv = _mm_set1_epi64x(m as i64);
+        let cnt = _mm_cvtsi64_si128(j as i64);
+        let mut base = 0usize;
+        while base < 64 {
+            let mut k = base;
+            while k < base + j {
+                let pa = a.as_mut_ptr().add(k).cast::<__m128i>();
+                let pb = a.as_mut_ptr().add(k + j).cast::<__m128i>();
+                let va = _mm_loadu_si128(pa);
+                let vb = _mm_loadu_si128(pb);
+                let t = _mm_and_si128(_mm_xor_si128(_mm_srl_epi64(va, cnt), vb), mv);
+                _mm_storeu_si128(pa, _mm_xor_si128(va, _mm_sll_epi64(t, cnt)));
+                _mm_storeu_si128(pb, _mm_xor_si128(vb, t));
+                k += 2;
+            }
+            base += 2 * j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+    butterfly_scalar(a, 1, m);
+}
+
+/// AVX2 transpose: levels `j >= 4` process row pairs four at a time; the
+/// last two levels fall back to scalar.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose64_avx2(a: &mut [u64; 64]) {
+    use std::arch::x86_64::*;
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j >= 4 {
+        let mv = _mm256_set1_epi64x(m as i64);
+        let cnt = _mm_cvtsi64_si128(j as i64);
+        let mut base = 0usize;
+        while base < 64 {
+            let mut k = base;
+            while k < base + j {
+                let pa = a.as_mut_ptr().add(k).cast::<__m256i>();
+                let pb = a.as_mut_ptr().add(k + j).cast::<__m256i>();
+                let va = _mm256_loadu_si256(pa);
+                let vb = _mm256_loadu_si256(pb);
+                let t = _mm256_and_si256(_mm256_xor_si256(_mm256_srl_epi64(va, cnt), vb), mv);
+                _mm256_storeu_si256(pa, _mm256_xor_si256(va, _mm256_sll_epi64(t, cnt)));
+                _mm256_storeu_si256(pb, _mm256_xor_si256(vb, t));
+                k += 4;
+            }
+            base += 2 * j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+    butterfly_scalar(a, 2, m);
+    m ^= m << 1;
+    butterfly_scalar(a, 1, m);
+}
+
+/// In-place 64×64 bit-matrix transpose: afterwards bit `t` of `a[l]` is
+/// what bit `l` of `a[t]` was. Involutory — applying it twice restores
+/// the input. `path` is clamped to the CPU's detected capability.
+pub fn transpose64(path: SimdPath, a: &mut [u64; 64]) {
+    match path.min(detected_path()) {
+        SimdPath::Scalar => transpose64_scalar(a),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the clamp above guarantees the feature is present.
+        SimdPath::Sse2 => unsafe { transpose64_sse2(a) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the clamp above guarantees the feature is present.
+        SimdPath::Avx2 => unsafe { transpose64_avx2(a) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => transpose64_scalar(a),
+    }
+}
+
+fn word_transitions_scalar(words: &[u64], mask: u64) -> u64 {
+    words
+        .windows(2)
+        .map(|p| ((p[0] ^ p[1]) & mask).count_ones() as u64)
+        .sum()
+}
+
+/// Same loop, compiled with hardware POPCNT (the baseline x86_64 target
+/// lowers `count_ones` to a bit-twiddling sequence otherwise).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn word_transitions_popcnt(words: &[u64], mask: u64) -> u64 {
+    word_transitions_scalar(words, mask)
+}
+
+/// AVX2 transition counter: four word pairs per iteration, popcounted
+/// with the classic nibble shuffle LUT and accumulated via `psadbw`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn word_transitions_avx2(words: &[u64], mask: u64) -> u64 {
+    use std::arch::x86_64::*;
+    let n = words.len();
+    if n < 2 {
+        return 0;
+    }
+    let pairs = n - 1;
+    let mv = _mm256_set1_epi64x(mask as i64);
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_nibbles = _mm256_set1_epi8(0x0F);
+    let zero = _mm256_setzero_si256();
+    let mut acc = zero;
+    let mut i = 0usize;
+    while i + 4 <= pairs {
+        let a = _mm256_loadu_si256(words.as_ptr().add(i).cast::<__m256i>());
+        let b = _mm256_loadu_si256(words.as_ptr().add(i + 1).cast::<__m256i>());
+        let x = _mm256_and_si256(_mm256_xor_si256(a, b), mv);
+        let lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(x, low_nibbles));
+        let hi = _mm256_shuffle_epi8(
+            lut,
+            _mm256_and_si256(_mm256_srli_epi64::<4>(x), low_nibbles),
+        );
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi), zero));
+        i += 4;
+    }
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), acc);
+    let mut total: u64 = lanes.iter().sum();
+    while i < pairs {
+        total += ((words[i] ^ words[i + 1]) & mask).count_ones() as u64;
+        i += 1;
+    }
+    total
+}
+
+/// Transitions of a word sequence over the lanes selected by `mask` —
+/// bit-identical to [`crate::lanes::word_transitions`], dispatched over
+/// `path` (clamped to the CPU's detected capability).
+pub fn word_transitions(path: SimdPath, words: &[u64], mask: u64) -> u64 {
+    match path.min(detected_path()) {
+        SimdPath::Scalar => word_transitions_scalar(words, mask),
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Sse2 => {
+            if has_popcnt() {
+                // SAFETY: has_popcnt() checked the feature.
+                unsafe { word_transitions_popcnt(words, mask) }
+            } else {
+                word_transitions_scalar(words, mask)
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the clamp above guarantees the feature is present.
+        SimdPath::Avx2 => unsafe { word_transitions_avx2(words, mask) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => word_transitions_scalar(words, mask),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(seed: u64) -> [u64; 64] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = [0u64; 64];
+        for row in m.iter_mut() {
+            *row = rng.gen::<u64>();
+        }
+        m
+    }
+
+    fn naive_transpose(a: &[u64; 64]) -> [u64; 64] {
+        let mut out = [0u64; 64];
+        for (r, &row) in a.iter().enumerate() {
+            for (c, out_row) in out.iter_mut().enumerate() {
+                *out_row |= (row >> c & 1) << r;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn scalar_transpose_matches_naive() {
+        for seed in 0..8u64 {
+            let original = random_matrix(seed);
+            let mut a = original;
+            transpose64_scalar(&mut a);
+            assert_eq!(a, naive_transpose(&original), "seed {seed}");
+            transpose64_scalar(&mut a);
+            assert_eq!(a, original, "involution, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_available_path_transposes_identically() {
+        for path in SimdPath::ALL {
+            if !available(path) {
+                continue;
+            }
+            for seed in 0..8u64 {
+                let original = random_matrix(100 + seed);
+                let mut a = original;
+                transpose64(path, &mut a);
+                assert_eq!(a, naive_transpose(&original), "{} seed {seed}", path.name());
+                transpose64(path, &mut a);
+                assert_eq!(a, original, "{} involution seed {seed}", path.name());
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_handles_identity_and_diagonal() {
+        // The identity pattern row r = 1 << r is its own transpose.
+        let mut diag = [0u64; 64];
+        for (r, row) in diag.iter_mut().enumerate() {
+            *row = 1u64 << r;
+        }
+        for path in SimdPath::ALL.into_iter().filter(|&p| available(p)) {
+            let mut a = diag;
+            transpose64(path, &mut a);
+            assert_eq!(a, diag, "{}", path.name());
+        }
+    }
+
+    #[test]
+    fn word_transitions_paths_agree_with_lanes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 63, 200] {
+            let words: Vec<u64> = (0..len).map(|_| rng.gen::<u64>()).collect();
+            for mask in [u64::MAX, 0xFFFF_FFFF, 0b1, 0] {
+                let expected = crate::lanes::word_transitions(&words, mask);
+                for path in SimdPath::ALL.into_iter().filter(|&p| available(p)) {
+                    assert_eq!(
+                        word_transitions(path, &words, mask),
+                        expected,
+                        "{} len {len} mask {mask:#x}",
+                        path.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_paths_clamp_instead_of_faulting() {
+        // Even if the CPU lacks AVX2, requesting it must degrade safely.
+        let mut a = random_matrix(7);
+        let reference = naive_transpose(&a);
+        transpose64(SimdPath::Avx2, &mut a);
+        assert_eq!(a, reference);
+        assert_eq!(word_transitions(SimdPath::Avx2, &[0b01, 0b10], u64::MAX), 2);
+    }
+
+    #[test]
+    fn force_scalar_overrides_detection() {
+        // Safe against the parallel test threads in this binary: every
+        // dispatch consumer produces bit-identical output either way.
+        std::env::set_var("IMT_FORCE_SCALAR", "1");
+        assert_eq!(active_path(), SimdPath::Scalar);
+        std::env::set_var("IMT_FORCE_SCALAR", "0");
+        assert_eq!(active_path(), detected_path());
+        std::env::remove_var("IMT_FORCE_SCALAR");
+        assert_eq!(active_path(), detected_path());
+    }
+}

@@ -1,0 +1,736 @@
+//! Bit-sliced 64-lane codec: all bus lines encoded in one streaming pass.
+//!
+//! [`crate::lanes::encode_words`] materializes one [`PackedSeq`] per lane
+//! and encodes lanes one at a time — O(lanes × words) passes over the
+//! text. This module transposes the problem instead: a **tile** of up to
+//! 64 consecutive machine words is flipped with one 64×64 bit transpose
+//! ([`crate::simd::transpose64`]) so each lane's next 64 bits land in a
+//! single machine word, and the chained greedy encoder then advances *all*
+//! lanes through the tile block by block — every block extraction is a
+//! shift/mask on a lane row, every score a memoized codebook lookup, and
+//! per-lane transition counting is one XOR+popcount per row.
+//!
+//! The pass is cache-blocked and streaming: per tile it touches the 64
+//! input words, a 64-row register-resident transpose, and a bounded
+//! per-lane carry (`pending` bits smaller than one block, an output
+//! accumulator smaller than 192 bits) — multi-million-word programs never
+//! materialize per-lane `Vec<bool>`s, and stored output words are emitted
+//! in 64-word column chunks as they complete. Because a stored stream has
+//! exactly as many bits as its original, all 64 lanes stay in lock-step
+//! and the output tile boundary is shared.
+//!
+//! Bit-identity: [`encode_words_sliced`] produces exactly the encoding of
+//! [`crate::lanes::encode_words`] — same stored words, same per-block
+//! transform schedule, same transition accounting — which the equivalence
+//! proptests pin across every SIMD path. The per-lane path remains the
+//! oracle and serves as the fallback for configurations the streaming
+//! formulation does not cover ([`ChainStrategy::Optimal`], block sizes
+//! beyond [`CODEBOOK_MAX_LEN`]) and under `IMT_FORCE_SCALAR`.
+//!
+//! The layout is deliberately codec-agnostic: [`BitMatrix`] and the tile
+//! walk know nothing about TT/BBIT specifics, so alternative low-weight
+//! bus codes (memoryless codebooks, fixed-weight codes) can ride the same
+//! substrate later.
+
+use crate::block::BlockContext;
+use crate::codebook::{codebook_for, CODEBOOK_MAX_LEN};
+use crate::lanes::{encode_words, width_mask, LaneEncoding};
+use crate::packed::PackedSeq;
+use crate::simd::{self, SimdPath};
+use crate::stream::{BlockDescriptor, ChainStrategy, EncodedStream, StreamCodec};
+use crate::transform::Transform;
+use crate::CodecError;
+
+/// A word sequence transposed to lane-major order: row `l` packs bit `l`
+/// of every word, 64 time steps per storage word.
+///
+/// Built with 64×64 tile transposes, so construction is O(words) rather
+/// than the O(lanes × words) of calling [`PackedSeq::from_lane`] per lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: Vec<u64>,
+    lanes: usize,
+    len: usize,
+    words_per_lane: usize,
+}
+
+impl BitMatrix {
+    /// Transposes `words` into lane-major rows for the low `lanes` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is outside `1..=64`.
+    pub fn from_words(words: &[u64], lanes: usize, path: SimdPath) -> BitMatrix {
+        assert!((1..=64).contains(&lanes), "lanes {lanes} outside 1..=64");
+        let words_per_lane = words.len().div_ceil(64);
+        let mut rows = vec![0u64; lanes * words_per_lane];
+        let mut tile = [0u64; 64];
+        for (tile_index, chunk) in words.chunks(64).enumerate() {
+            tile[..chunk.len()].copy_from_slice(chunk);
+            tile[chunk.len()..].fill(0);
+            simd::transpose64(path, &mut tile);
+            for (lane, &row) in tile.iter().take(lanes).enumerate() {
+                rows[lane * words_per_lane + tile_index] = row;
+            }
+        }
+        BitMatrix {
+            rows,
+            lanes,
+            len: words.len(),
+            words_per_lane,
+        }
+    }
+
+    /// Number of lanes (rows).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Bits per lane (the original word count).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the matrix holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lane `l` as packed storage words; bits at positions `>= len()` are
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes()`.
+    pub fn lane_row(&self, lane: usize) -> &[u64] {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        &self.rows[lane * self.words_per_lane..][..self.words_per_lane]
+    }
+
+    /// Lane `l` as a [`PackedSeq`] (copies one row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes()`.
+    pub fn lane_packed(&self, lane: usize) -> PackedSeq {
+        PackedSeq::from_words(self.lane_row(lane).to_vec(), self.len)
+    }
+
+    /// Transposes back to time-major machine words.
+    pub fn to_words(&self, path: SimdPath) -> Vec<u64> {
+        let mut out = vec![0u64; self.len];
+        let mut tile = [0u64; 64];
+        for tile_index in 0..self.words_per_lane {
+            tile.fill(0);
+            for (lane, slot) in tile.iter_mut().take(self.lanes).enumerate() {
+                *slot = self.rows[lane * self.words_per_lane + tile_index];
+            }
+            simd::transpose64(path, &mut tile);
+            let start = tile_index * 64;
+            let take = (self.len - start).min(64);
+            out[start..start + take].copy_from_slice(&tile[..take]);
+        }
+        out
+    }
+}
+
+/// A word sequence encoded by the bit-sliced streaming pass.
+///
+/// Holds the same information as [`LaneEncoding`] in sliced form: the
+/// stored words, one shared block-length schedule (block boundaries are
+/// lane-independent), and the per-block transform choice in block-major
+/// order (`transforms[block * width + lane]` — the order a Transformation
+/// Table would be filled in hardware).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlicedEncoding {
+    words: Vec<u64>,
+    width: usize,
+    lens: Vec<usize>,
+    transforms: Vec<Transform>,
+    lane_original_transitions: Vec<u64>,
+}
+
+impl SlicedEncoding {
+    /// The encoded words, as they would be stored in instruction memory.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of chained blocks per lane (Transformation Table depth).
+    pub fn block_count(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Stored bits contributed by block `b` (shared by every lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= block_count()`.
+    pub fn block_len(&self, b: usize) -> usize {
+        self.lens[b]
+    }
+
+    /// The transform lane `lane` applies over block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= block_count()` or `lane >= width()`.
+    pub fn transform(&self, b: usize, lane: usize) -> Transform {
+        assert!(lane < self.width, "lane {lane} out of {}", self.width);
+        self.transforms[b * self.width + lane]
+    }
+
+    /// Total transitions of the encoded words across all lanes.
+    pub fn transitions(&self) -> u64 {
+        simd::word_transitions(simd::active_path(), &self.words, width_mask(self.width))
+    }
+
+    /// Total transitions of the original words across all lanes.
+    pub fn original_transitions(&self) -> u64 {
+        self.lane_original_transitions.iter().sum()
+    }
+
+    /// Original transitions on each lane.
+    pub fn per_lane_original_transitions(&self) -> &[u64] {
+        &self.lane_original_transitions
+    }
+
+    /// Percentage of transitions eliminated across the whole bus.
+    pub fn reduction_percent(&self) -> f64 {
+        let orig = self.original_transitions();
+        if orig == 0 {
+            return 0.0;
+        }
+        (orig - self.transitions()) as f64 / orig as f64 * 100.0
+    }
+
+    /// Reconstructs lane `lane`'s [`EncodedStream`] (stored bits plus
+    /// schedule) — the boundary type the decoder and hardware model use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= width()`.
+    pub fn lane_stream(&self, lane: usize) -> EncodedStream {
+        assert!(lane < self.width, "lane {lane} out of {}", self.width);
+        let stored = PackedSeq::from_lane(&self.words, lane);
+        let blocks = self
+            .lens
+            .iter()
+            .enumerate()
+            .map(|(b, &len)| BlockDescriptor {
+                transform: self.transforms[b * self.width + lane],
+                len,
+            })
+            .collect();
+        EncodedStream::from_parts(
+            stored.to_bitseq(),
+            blocks,
+            self.lane_original_transitions[lane],
+        )
+    }
+
+    /// Decodes back to the original words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::MalformedBlocks`] if the schedule is
+    /// inconsistent (cannot happen for encodings produced by
+    /// [`encode_words_sliced`] with the same codec).
+    pub fn decode(&self, codec: &StreamCodec) -> Result<Vec<u64>, CodecError> {
+        let mut out = vec![0u64; self.words.len()];
+        for lane in 0..self.width {
+            let decoded = codec.decode(&self.lane_stream(lane))?;
+            for (i, bit) in decoded.iter().enumerate() {
+                out[i] |= (bit as u64) << lane;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Converts a per-lane [`LaneEncoding`] (the oracle path) into sliced
+    /// form. Block boundaries are lane-independent by construction, so the
+    /// lanes' schedules always agree on lengths.
+    pub fn from_lanes(encoding: &LaneEncoding) -> SlicedEncoding {
+        let width = encoding.width();
+        let lanes = encoding.lanes();
+        let lens: Vec<usize> = lanes
+            .first()
+            .map(|l| l.blocks().iter().map(|b| b.len).collect())
+            .unwrap_or_default();
+        let mut transforms = Vec::with_capacity(lens.len() * width);
+        for (b, &len) in lens.iter().enumerate() {
+            for lane in lanes {
+                debug_assert_eq!(lane.blocks()[b].len, len, "lanes disagree on layout");
+                transforms.push(lane.blocks()[b].transform);
+            }
+        }
+        SlicedEncoding {
+            words: encoding.words().to_vec(),
+            width,
+            lens,
+            transforms,
+            lane_original_transitions: lanes.iter().map(|l| l.original_transitions()).collect(),
+        }
+    }
+}
+
+/// Encodes a word sequence with the bit-sliced streaming pass, using the
+/// best SIMD path the CPU offers ([`simd::active_path`]).
+///
+/// Bit-identical to [`encode_words`]; falls back to that per-lane oracle
+/// under `IMT_FORCE_SCALAR`, for [`ChainStrategy::Optimal`], and for
+/// block sizes beyond [`CODEBOOK_MAX_LEN`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::LaneWidth`] if `width` is outside `1..=64`.
+///
+/// ```
+/// use imt_bitcode::slice::encode_words_sliced;
+/// use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
+///
+/// # fn main() -> Result<(), imt_bitcode::CodecError> {
+/// let codec = StreamCodec::new(StreamCodecConfig::block_size(5)?);
+/// let words = vec![0xDEAD_BEEF, 0x0000_0000, 0xDEAD_BEEF, 0xFFFF_FFFF];
+/// let encoded = encode_words_sliced(&words, 32, &codec)?;
+/// assert!(encoded.transitions() <= encoded.original_transitions());
+/// assert_eq!(encoded.decode(&codec)?, words);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_words_sliced(
+    words: &[u64],
+    width: usize,
+    codec: &StreamCodec,
+) -> Result<SlicedEncoding, CodecError> {
+    if !(1..=64).contains(&width) {
+        return Err(CodecError::LaneWidth { requested: width });
+    }
+    if simd::force_scalar() {
+        return Ok(SlicedEncoding::from_lanes(&encode_words(
+            words, width, codec,
+        )?));
+    }
+    encode_words_sliced_with(words, width, codec, simd::detected_path())
+}
+
+/// [`encode_words_sliced`] with an explicit SIMD path — the entry point
+/// the equivalence tests use to pin every path deterministically,
+/// independent of the environment. `path` is clamped to the CPU's
+/// capability by the kernels themselves.
+///
+/// # Errors
+///
+/// Returns [`CodecError::LaneWidth`] if `width` is outside `1..=64`.
+pub fn encode_words_sliced_with(
+    words: &[u64],
+    width: usize,
+    codec: &StreamCodec,
+    path: SimdPath,
+) -> Result<SlicedEncoding, CodecError> {
+    if !(1..=64).contains(&width) {
+        return Err(CodecError::LaneWidth { requested: width });
+    }
+    let config = codec.config();
+    if config.strategy() != ChainStrategy::Greedy || config.block_len() > CODEBOOK_MAX_LEN {
+        // No streaming formulation: the exact DP needs whole-lane
+        // lookahead, and oversized blocks have no codebook.
+        return Ok(SlicedEncoding::from_lanes(&encode_words(
+            words, width, codec,
+        )?));
+    }
+    Ok(encode_streamed(words, width, codec, path))
+}
+
+/// Reads `count` bits of `row` starting at `start` (LSB-first).
+#[inline]
+fn extract_bits(row: u64, start: usize, count: usize) -> u64 {
+    if count == 0 {
+        0
+    } else {
+        (row >> start) & (u64::MAX >> (64 - count))
+    }
+}
+
+/// Appends the low `count` bits of `value` at bit position `at` of a
+/// 192-bit accumulator. Positions stay below 192 because the accumulator
+/// is drained below 64 bits after every tile and one tile adds at most
+/// 72 bits.
+#[inline]
+fn acc_push(acc: &mut [u64; 3], at: usize, value: u64, count: usize) {
+    debug_assert!(count == 64 || value >> count == 0, "stray bits above count");
+    let word = at / 64;
+    let offset = at % 64;
+    acc[word] |= value << offset;
+    if offset + count > 64 {
+        acc[word + 1] |= value >> (64 - offset);
+    }
+}
+
+/// Pops the lowest 64 bits of every lane accumulator into an output tile,
+/// transposes it back to time-major order and appends `take` words.
+fn emit_tile(
+    path: SimdPath,
+    acc: &mut [[u64; 3]; 64],
+    width: usize,
+    take: usize,
+    out: &mut Vec<u64>,
+) {
+    let mut tile = [0u64; 64];
+    for (slot, lane_acc) in tile.iter_mut().zip(acc.iter_mut().take(width)) {
+        *slot = lane_acc[0];
+        lane_acc[0] = lane_acc[1];
+        lane_acc[1] = lane_acc[2];
+        lane_acc[2] = 0;
+    }
+    simd::transpose64(path, &mut tile);
+    out.extend_from_slice(&tile[..take]);
+}
+
+/// The streaming tile encoder. Preconditions (checked by the dispatchers):
+/// greedy strategy, `2 <= k <= CODEBOOK_MAX_LEN`, `1 <= width <= 64`.
+fn encode_streamed(
+    words: &[u64],
+    width: usize,
+    codec: &StreamCodec,
+    path: SimdPath,
+) -> SlicedEncoding {
+    let config = codec.config();
+    let k = config.block_len();
+    let allowed = config.transforms();
+    let overlap = config.overlap();
+    let n = words.len();
+    let mid_len = k - 1;
+    let first_book = codebook_for(k, allowed);
+    let mid_book = codebook_for(mid_len, allowed);
+
+    let estimated_blocks = if n == 0 { 0 } else { 2 + n / mid_len };
+    let mut out_words: Vec<u64> = Vec::with_capacity(n);
+    let mut lens: Vec<usize> = Vec::with_capacity(estimated_blocks);
+    let mut transforms: Vec<Transform> = Vec::with_capacity(estimated_blocks * width);
+
+    // Per-lane carry state between tiles. `pending` holds the bits of a
+    // block begun but not yet completable (always fewer than the next
+    // block's length, so at most 8 bits); the counts tracking it are
+    // shared because block layout is lane-independent.
+    let mut pending = [0u64; 64];
+    let mut prev_stored = [false; 64];
+    let mut prev_original = [false; 64];
+    let mut tail = [false; 64];
+    let mut acc = [[0u64; 3]; 64];
+    let mut lane_transitions = [0u64; 64];
+    let mut pending_len = 0usize;
+    let mut out_len = 0usize;
+    let mut first_done = false;
+
+    let mut tile = [0u64; 64];
+    let mut base = 0usize;
+    while base < n {
+        let tb = (n - base).min(64);
+        tile[..tb].copy_from_slice(&words[base..base + tb]);
+        tile[tb..].fill(0);
+        simd::transpose64(path, &mut tile);
+
+        // Shared consumption plan: the first block takes k bits, every
+        // later block k-1; encode as many as the carried-over bits plus
+        // this tile allow, leaving the remainder pending.
+        let avail = pending_len + tb;
+        let first_here = !first_done && avail >= k;
+        let mut consumed = if first_here { k } else { 0 };
+        let mids = if first_done || first_here {
+            (avail - consumed) / mid_len
+        } else {
+            0
+        };
+        consumed += mids * mid_len;
+        let blocks_here = usize::from(first_here) + mids;
+        let block_base = lens.len();
+        if first_here {
+            lens.push(k);
+        }
+        lens.extend(std::iter::repeat_n(mid_len, mids));
+        transforms.resize(transforms.len() + blocks_here * width, Transform::IDENTITY);
+
+        for (lane, &row) in tile.iter().take(width).enumerate() {
+            // Transition accounting: one XOR+popcount for the row's
+            // internal pairs plus the seam to the previous tile.
+            if base > 0 {
+                lane_transitions[lane] += u64::from(tail[lane] != (row & 1 == 1));
+            }
+            if tb >= 2 {
+                let internal = if tb == 64 {
+                    u64::MAX >> 1
+                } else {
+                    (1u64 << (tb - 1)) - 1
+                };
+                lane_transitions[lane] += ((row ^ (row >> 1)) & internal).count_ones() as u64;
+            }
+            tail[lane] = row >> (tb - 1) & 1 == 1;
+
+            if blocks_here == 0 {
+                // avail < k <= 9: the whole row fits in the pending word.
+                pending[lane] |= row << pending_len;
+                continue;
+            }
+
+            let mut cursor = 0usize;
+            let mut carry = pending[lane];
+            let mut carry_len = pending_len;
+            let mut at = out_len;
+            for (b, &len) in lens[block_base..block_base + blocks_here]
+                .iter()
+                .enumerate()
+            {
+                let take = len - carry_len;
+                let word = (carry | (extract_bits(row, cursor, take) << carry_len)) as u16;
+                cursor += take;
+                carry = 0;
+                carry_len = 0;
+                let context = if first_here && b == 0 {
+                    BlockContext::Initial
+                } else {
+                    BlockContext::Chained {
+                        prev_stored: prev_stored[lane],
+                        prev_original: prev_original[lane],
+                        history: overlap,
+                    }
+                };
+                let book = if len == mid_len { mid_book } else { first_book };
+                let entry = book
+                    .entry(word, context, None)
+                    .expect("unconstrained encoding always has the identity fallback");
+                acc_push(&mut acc[lane], at, u64::from(entry.code_bits), len);
+                at += len;
+                prev_original[lane] = word >> (len - 1) & 1 == 1;
+                prev_stored[lane] = entry.code_bits >> (len - 1) & 1 == 1;
+                transforms[(block_base + b) * width + lane] = entry.transform;
+            }
+            pending[lane] = extract_bits(row, cursor, tb - cursor);
+        }
+
+        if first_here {
+            first_done = true;
+        }
+        pending_len = avail - consumed;
+        out_len += consumed;
+        base += tb;
+
+        // Emit every completed 64-bit column of stored bits.
+        while out_len >= 64 {
+            emit_tile(path, &mut acc, width, 64, &mut out_words);
+            out_len -= 64;
+        }
+    }
+
+    // Tail: the pending bits are shorter than the next block's need, so
+    // they form exactly one final short block.
+    if pending_len > 0 {
+        let len = pending_len;
+        let block_base = lens.len();
+        lens.push(len);
+        transforms.resize(transforms.len() + width, Transform::IDENTITY);
+        let book = if len == mid_len {
+            mid_book
+        } else {
+            codebook_for(len, allowed)
+        };
+        for lane in 0..width {
+            let word = pending[lane] as u16;
+            let context = if first_done {
+                BlockContext::Chained {
+                    prev_stored: prev_stored[lane],
+                    prev_original: prev_original[lane],
+                    history: overlap,
+                }
+            } else {
+                BlockContext::Initial
+            };
+            let entry = book
+                .entry(word, context, None)
+                .expect("unconstrained encoding always has the identity fallback");
+            acc_push(&mut acc[lane], out_len, u64::from(entry.code_bits), len);
+            transforms[block_base * width + lane] = entry.transform;
+        }
+        out_len += len;
+    }
+    while out_len > 0 {
+        let take = out_len.min(64);
+        emit_tile(path, &mut acc, width, take, &mut out_words);
+        out_len -= take;
+    }
+    debug_assert_eq!(out_words.len(), n, "stored length equals original length");
+
+    if imt_obs::enabled() {
+        imt_obs::counter!("bitcode.slice.encodes").inc();
+        imt_obs::counter!("bitcode.slice.bits").add((n * width) as u64);
+        imt_obs::counter!("bitcode.slice.blocks").add((lens.len() * width) as u64);
+        imt_obs::counter!("bitcode.slice.tiles").add(n.div_ceil(64) as u64);
+    }
+    SlicedEncoding {
+        words: out_words,
+        width,
+        lens,
+        transforms,
+        lane_original_transitions: lane_transitions[..width].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::decode_words;
+    use crate::stream::StreamCodecConfig;
+    use rand::{Rng, SeedableRng};
+
+    fn codec(k: usize) -> StreamCodec {
+        StreamCodec::new(StreamCodecConfig::block_size(k).unwrap())
+    }
+
+    fn random_words(seed: u64, len: usize, width: usize) -> Vec<u64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = width_mask(width);
+        (0..len).map(|_| rng.gen::<u64>() & mask).collect()
+    }
+
+    fn available_paths() -> impl Iterator<Item = SimdPath> {
+        SimdPath::ALL.into_iter().filter(|&p| simd::available(p))
+    }
+
+    #[test]
+    fn bitmatrix_rows_match_from_lane() {
+        let words = random_words(1, 300, 64);
+        for path in available_paths() {
+            let matrix = BitMatrix::from_words(&words, 64, path);
+            for lane in [0usize, 1, 13, 63] {
+                assert_eq!(
+                    matrix.lane_packed(lane),
+                    PackedSeq::from_lane(&words, lane),
+                    "{} lane {lane}",
+                    path.name()
+                );
+            }
+            assert_eq!(matrix.to_words(path), words, "{}", path.name());
+        }
+    }
+
+    #[test]
+    fn bitmatrix_masks_lanes_beyond_width() {
+        // Lanes >= the requested count are dropped; to_words zero-fills.
+        let words = vec![u64::MAX; 70];
+        let matrix = BitMatrix::from_words(&words, 8, SimdPath::Scalar);
+        assert_eq!(matrix.lanes(), 8);
+        assert_eq!(matrix.to_words(SimdPath::Scalar), vec![0xFFu64; 70]);
+    }
+
+    #[test]
+    fn streamed_matches_per_lane_oracle() {
+        for &(seed, len, width, k) in &[
+            (2u64, 0usize, 32usize, 5usize),
+            (3, 1, 32, 5),
+            (4, 3, 32, 5),  // shorter than one block
+            (5, 4, 32, 5),  // exactly the first block
+            (6, 5, 32, 4),  // first block + one chained bit... 4+1
+            (7, 63, 32, 5), // partial tile
+            (8, 64, 32, 5), // exactly one tile
+            (9, 65, 32, 5), // tile + 1
+            (10, 200, 32, 2),
+            (11, 200, 32, 9),
+            (12, 333, 1, 5),
+            (13, 333, 64, 7),
+            (14, 507, 17, 6),
+        ] {
+            let words = random_words(seed, len, width);
+            let c = codec(k);
+            let oracle = SlicedEncoding::from_lanes(&encode_words(&words, width, &c).unwrap());
+            for path in available_paths() {
+                let sliced = encode_words_sliced_with(&words, width, &c, path).unwrap();
+                assert_eq!(
+                    sliced,
+                    oracle,
+                    "{} len={len} width={width} k={k}",
+                    path.name()
+                );
+                assert_eq!(sliced.decode(&c).unwrap(), words);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_streams_match_the_oracle_streams() {
+        let words = random_words(20, 150, 32);
+        let c = codec(5);
+        let oracle = encode_words(&words, 32, &c).unwrap();
+        let sliced = encode_words_sliced_with(&words, 32, &c, SimdPath::Scalar).unwrap();
+        for lane in 0..32 {
+            assert_eq!(
+                sliced.lane_stream(lane),
+                oracle.lanes()[lane],
+                "lane {lane}"
+            );
+        }
+        // And the sliced encoding round-trips through the per-lane decoder.
+        assert_eq!(decode_words(&oracle, &c).unwrap(), words);
+    }
+
+    #[test]
+    fn transition_accounting_matches_lanes() {
+        let words = random_words(21, 400, 32);
+        let c = codec(5);
+        let sliced = encode_words_sliced_with(&words, 32, &c, SimdPath::Scalar).unwrap();
+        assert_eq!(
+            sliced.per_lane_original_transitions(),
+            &crate::lanes::per_lane_transitions(&words, 32)[..]
+        );
+        assert_eq!(
+            sliced.original_transitions(),
+            crate::lanes::total_transitions(&words, 32)
+        );
+        assert_eq!(
+            sliced.transitions(),
+            crate::lanes::total_transitions(sliced.words(), 32)
+        );
+    }
+
+    #[test]
+    fn optimal_strategy_falls_back_to_the_oracle() {
+        let words = random_words(22, 40, 8);
+        let config = StreamCodecConfig::block_size(4)
+            .unwrap()
+            .with_strategy(ChainStrategy::Optimal);
+        let c = StreamCodec::new(config);
+        let sliced = encode_words_sliced(&words, 8, &c).unwrap();
+        let oracle = SlicedEncoding::from_lanes(&encode_words(&words, 8, &c).unwrap());
+        assert_eq!(sliced, oracle);
+        assert_eq!(sliced.decode(&c).unwrap(), words);
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        let c = codec(5);
+        assert!(matches!(
+            encode_words_sliced(&[0], 0, &c),
+            Err(CodecError::LaneWidth { requested: 0 })
+        ));
+        assert!(matches!(
+            encode_words_sliced_with(&[0], 65, &c, SimdPath::Scalar),
+            Err(CodecError::LaneWidth { requested: 65 })
+        ));
+    }
+
+    #[test]
+    fn reduction_reported_like_the_oracle() {
+        let body: Vec<u64> = (0..160)
+            .map(|i| if i % 2 == 0 { 0xAAAA_5555 } else { 0x5555_AAAA })
+            .collect();
+        let c = codec(5);
+        let sliced = encode_words_sliced_with(&body, 32, &c, SimdPath::Scalar).unwrap();
+        let oracle = encode_words(&body, 32, &c).unwrap();
+        assert_eq!(sliced.reduction_percent(), oracle.reduction_percent());
+        assert!(sliced.reduction_percent() > 80.0);
+    }
+}

@@ -22,7 +22,8 @@
 //! anything beyond data-bus transition counts (icache, timing, address
 //! bus) requires the full simulator and is routed there explicitly.
 
-use imt_bitcode::packed::PackedSeq;
+use imt_bitcode::simd;
+use imt_bitcode::slice::BitMatrix;
 use imt_isa::program::Program;
 use imt_sim::bus::DataBusMonitor;
 use imt_sim::cpu::{Cpu, FetchSink};
@@ -300,11 +301,11 @@ fn pc_to_index(pc: u32, text_base: u32, text_len: usize) -> Result<usize, CoreEr
 /// edge multiset.
 ///
 /// The total is a direct weighted popcount. The per-lane breakdown uses
-/// the lane-transposed machinery of [`PackedSeq`]: transpose the per-edge
-/// XOR words into one bitset per bus lane and each edge weight into one
-/// bitset per weight bit, then
+/// the bit-sliced machinery of [`BitMatrix`]: one tile-transpose pass
+/// turns the per-edge XOR words into one bitset per bus lane and each
+/// edge weight into one bitset per weight bit, then
 /// `per_lane[l] = Σ_b 2^b · popcount(lane_l & weight_plane_b)` — pure
-/// word-wide AND+popcount, no per-bit loops.
+/// word-wide AND+popcount, no per-bit or per-lane extraction loops.
 fn weighted_transitions(words: &[u32], profile: &FetchEdgeProfile) -> (u64, Vec<u64>) {
     let mut diffs = Vec::with_capacity(profile.distinct_edges());
     let mut weights = Vec::with_capacity(profile.distinct_edges());
@@ -315,24 +316,25 @@ fn weighted_transitions(words: &[u32], profile: &FetchEdgeProfile) -> (u64, Vec<
         diffs.push(diff);
         weights.push(weight);
     }
-    let weight_bits = 64 - weights.iter().fold(0u64, |acc, &w| acc | w).leading_zeros();
-    let planes: Vec<PackedSeq> = (0..weight_bits as usize)
-        .map(|bit| PackedSeq::from_lane(&weights, bit))
-        .collect();
     let mut per_lane = vec![0u64; BUS_WIDTH];
-    for (lane, slot) in per_lane.iter_mut().enumerate() {
-        let lane_diffs = PackedSeq::from_lane(&diffs, lane);
-        let mut sum = 0u64;
-        for (bit, plane) in planes.iter().enumerate() {
-            let overlap: u64 = lane_diffs
-                .words()
-                .iter()
-                .zip(plane.words())
-                .map(|(&d, &p)| u64::from((d & p).count_ones()))
-                .sum();
-            sum += overlap << bit;
+    let weight_bits = 64 - weights.iter().fold(0u64, |acc, &w| acc | w).leading_zeros();
+    if weight_bits > 0 && !diffs.is_empty() {
+        let path = simd::active_path();
+        let lanes = BitMatrix::from_words(&diffs, BUS_WIDTH, path);
+        let planes = BitMatrix::from_words(&weights, weight_bits as usize, path);
+        for (lane, slot) in per_lane.iter_mut().enumerate() {
+            let lane_diffs = lanes.lane_row(lane);
+            let mut sum = 0u64;
+            for bit in 0..planes.lanes() {
+                let overlap: u64 = lane_diffs
+                    .iter()
+                    .zip(planes.lane_row(bit))
+                    .map(|(&d, &p)| u64::from((d & p).count_ones()))
+                    .sum();
+                sum += overlap << bit;
+            }
+            *slot = sum;
         }
-        *slot = sum;
     }
     debug_assert_eq!(per_lane.iter().sum::<u64>(), total);
     (total, per_lane)

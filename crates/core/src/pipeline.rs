@@ -2,8 +2,9 @@
 //! capacity-constrained block selection → encoded memory image + TT/BBIT
 //! contents.
 
-use imt_bitcode::lanes::{encode_words, width_mask, word_transitions, LaneEncoding};
+use imt_bitcode::lanes::{width_mask, word_transitions};
 use imt_bitcode::par::par_map;
+use imt_bitcode::slice::{encode_words_sliced, SlicedEncoding};
 use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
 use imt_cfg::{block_weights, hot_loops, BlockId, Cfg};
 use imt_isa::program::Program;
@@ -113,7 +114,7 @@ enum PreparedCandidate {
     /// Block never executed in the profile; nothing to encode.
     Cold,
     Encoded {
-        lane_encoding: LaneEncoding,
+        encoding: SlicedEncoding,
         encoded_words: Vec<u32>,
         original_transitions: u64,
         encoded_transitions: u64,
@@ -206,12 +207,13 @@ pub fn encode_program(
             let block = cfg.block(block_id);
             let words = &program.text[block.range()];
             let wide: Vec<u64> = words.iter().map(|&w| w as u64).collect();
-            let lane_encoding = encode_words(&wide, BUS_WIDTH, &codec).map_err(CoreError::Codec)?;
-            let encoded_words: Vec<u32> = lane_encoding.words().iter().map(|&w| w as u32).collect();
+            let encoding =
+                encode_words_sliced(&wide, BUS_WIDTH, &codec).map_err(CoreError::Codec)?;
+            let encoded_words: Vec<u32> = encoding.words().iter().map(|&w| w as u32).collect();
             Ok(PreparedCandidate::Encoded {
                 original_transitions: word_transitions(&wide, bus_mask),
-                encoded_transitions: word_transitions(lane_encoding.words(), bus_mask),
-                lane_encoding,
+                encoded_transitions: word_transitions(encoding.words(), bus_mask),
+                encoding,
                 encoded_words,
             })
         });
@@ -226,29 +228,28 @@ pub fn encode_program(
     for (block_id, prepared) in candidates.into_iter().zip(prepared) {
         let block = cfg.block(block_id);
         let weight = weights[block_id.0];
-        let (lane_encoding, encoded_words, original_transitions, encoded_transitions) =
-            match prepared? {
-                PreparedCandidate::Cold => {
-                    demoted.push((block_id, DemotionReason::ColdBlock));
-                    continue;
-                }
-                PreparedCandidate::Encoded {
-                    lane_encoding,
-                    encoded_words,
-                    original_transitions,
-                    encoded_transitions,
-                } => (
-                    lane_encoding,
-                    encoded_words,
-                    original_transitions,
-                    encoded_transitions,
-                ),
-            };
+        let (encoding, encoded_words, original_transitions, encoded_transitions) = match prepared? {
+            PreparedCandidate::Cold => {
+                demoted.push((block_id, DemotionReason::ColdBlock));
+                continue;
+            }
+            PreparedCandidate::Encoded {
+                encoding,
+                encoded_words,
+                original_transitions,
+                encoded_transitions,
+            } => (
+                encoding,
+                encoded_words,
+                original_transitions,
+                encoded_transitions,
+            ),
+        };
         if encoded_transitions >= original_transitions {
             demoted.push((block_id, DemotionReason::NoSaving));
             continue;
         }
-        let tt_count = lane_encoding.lanes()[0].blocks().len();
+        let tt_count = encoding.block_count();
         if tt.len() + tt_count > config.tt_capacity() {
             demoted.push((block_id, DemotionReason::TtCapacity));
             continue;
@@ -263,9 +264,9 @@ pub fn encode_program(
         let tt_first = tt.len();
         for position in 0..tt_count {
             let lane_transforms = (0..BUS_WIDTH)
-                .map(|lane| lane_encoding.lanes()[lane].blocks()[position].transform)
+                .map(|lane| encoding.transform(position, lane))
                 .collect();
-            let covers = lane_encoding.lanes()[0].blocks()[position].len;
+            let covers = encoding.block_len(position);
             tt.push(TtEntry {
                 lane_transforms,
                 end: position + 1 == tt_count,

@@ -23,7 +23,7 @@ use imt_isa::program::Program;
 use crate::config::EncoderConfig;
 use crate::error::CoreError;
 use crate::pipeline::BUS_WIDTH;
-use imt_bitcode::lanes::encode_words;
+use imt_bitcode::slice::encode_words_sliced;
 use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
 
 /// Outcome of scheduling one program.
@@ -105,7 +105,7 @@ pub fn schedule_program(
 /// Static encoded transition count of a block under the codec.
 fn encoded_cost(words: &[u32], codec: &StreamCodec) -> Result<u64, CoreError> {
     let wide: Vec<u64> = words.iter().map(|&w| w as u64).collect();
-    let encoding = encode_words(&wide, BUS_WIDTH, codec).map_err(CoreError::Codec)?;
+    let encoding = encode_words_sliced(&wide, BUS_WIDTH, codec).map_err(CoreError::Codec)?;
     Ok(encoding.transitions())
 }
 

@@ -278,6 +278,87 @@ fn replay_matches_full_simulation_on_all_kernels() {
     }
 }
 
+proptest! {
+    /// (e) The bit-sliced streaming encoder is bit-identical to the
+    /// per-lane packed oracle on **every SIMD path this CPU offers** —
+    /// stored words, block schedule, per-block transforms and transition
+    /// accounting — across ragged widths 1..=64, random lengths and all
+    /// codebook block sizes, and the result still decodes to the input.
+    #[test]
+    fn sliced_encode_matches_per_lane_oracle(
+        width in 1usize..=64,
+        words in proptest::collection::vec(any::<u64>(), 0..180),
+        k in 2usize..=9,
+        overlap in overlap_strategy(),
+    ) {
+        use imt::bitcode::simd::{self, SimdPath};
+        use imt::bitcode::slice::{encode_words_sliced_with, SlicedEncoding};
+
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let words: Vec<u64> = words.into_iter().map(|w| w & mask).collect();
+        let codec = StreamCodec::new(
+            StreamCodecConfig::block_size(k).unwrap().with_overlap(overlap),
+        );
+        let oracle = SlicedEncoding::from_lanes(&encode_words(&words, width, &codec).unwrap());
+        for path in SimdPath::ALL {
+            if !simd::available(path) {
+                continue;
+            }
+            let sliced = encode_words_sliced_with(&words, width, &codec, path).unwrap();
+            prop_assert_eq!(&sliced, &oracle, "path {}", path.name());
+            prop_assert_eq!(sliced.decode(&codec).unwrap(), words.clone());
+        }
+    }
+
+    /// (e) The 64×64 bit transpose is an involution on every path, and
+    /// every path produces the scalar butterfly's image.
+    #[test]
+    fn transpose_round_trips_on_every_path(
+        tile in proptest::collection::vec(any::<u64>(), 64),
+    ) {
+        use imt::bitcode::simd::{self, SimdPath};
+
+        let original: [u64; 64] = tile.try_into().unwrap();
+        let mut scalar = original;
+        simd::transpose64(SimdPath::Scalar, &mut scalar);
+        for path in SimdPath::ALL {
+            if !simd::available(path) {
+                continue;
+            }
+            let mut t = original;
+            simd::transpose64(path, &mut t);
+            prop_assert_eq!(t, scalar, "path {} disagrees with scalar", path.name());
+            simd::transpose64(path, &mut t);
+            prop_assert_eq!(t, original, "path {} is not an involution", path.name());
+        }
+    }
+
+    /// (e) Masked transition counting over packed words agrees across all
+    /// paths (the popcount kernels vs the scalar window walk).
+    #[test]
+    fn word_transitions_agree_on_every_path(
+        words in proptest::collection::vec(any::<u64>(), 0..96),
+        width in 1usize..=64,
+    ) {
+        use imt::bitcode::simd::{self, SimdPath};
+
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let words: Vec<u64> = words.into_iter().map(|w| w & mask).collect();
+        let scalar = simd::word_transitions(SimdPath::Scalar, &words, mask);
+        for path in SimdPath::ALL {
+            if !simd::available(path) {
+                continue;
+            }
+            prop_assert_eq!(
+                simd::word_transitions(path, &words, mask),
+                scalar,
+                "path {}",
+                path.name()
+            );
+        }
+    }
+}
+
 /// (c) The experiment-grid fan-out (`figure6_grid`) is scheduling-
 /// independent too: one kernel's sub-grid, serial vs 4 workers.
 #[test]
