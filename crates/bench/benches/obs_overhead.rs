@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use imt_bitcode::gen::uniform;
 use imt_bitcode::packed::PackedSeq;
+use imt_bitcode::slice::encode_words_sliced;
 use imt_bitcode::stream::{StreamCodec, StreamCodecConfig};
 use rand::SeedableRng;
 
@@ -79,6 +80,32 @@ fn main() {
     assert!(
         share < BUDGET_PERCENT,
         "disabled-path observability overhead {share:.4}% exceeds {BUDGET_PERCENT}% budget"
+    );
+
+    // The bit-sliced hot loop carries more sites than the packed one
+    // (span + SIMD-path counter + trace gate), so hold it to the same
+    // budget: 16 gate checks must stay under 2% of one sliced encode.
+    let words: Vec<u64> = (0..256)
+        .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    black_box(encode_words_sliced(&words, 64, &codec).expect("sliced encode"));
+    let mut sliced_samples = [0u64; 31];
+    for sample in &mut sliced_samples {
+        let start = Instant::now();
+        black_box(encode_words_sliced(black_box(&words), 64, &codec).expect("sliced encode"));
+        *sample = start.elapsed().as_nanos() as u64;
+    }
+    let sliced_ns = median_ns(&mut sliced_samples);
+    let sliced_share = gate_ns / sliced_ns as f64 * 100.0;
+    println!("obs_overhead: sliced encode (256x64 bits)    median {sliced_ns} ns");
+    println!(
+        "obs_overhead: {GATE_CHECKS_PER_ENCODE} checks/encode = {gate_ns:.1} ns \
+         = {sliced_share:.4}% of a sliced encode (budget {BUDGET_PERCENT}%)"
+    );
+    assert!(
+        sliced_share < BUDGET_PERCENT,
+        "disabled-path observability overhead {sliced_share:.4}% of a sliced encode \
+         exceeds {BUDGET_PERCENT}% budget"
     );
 
     // With obs off, `push_label_lazy` must not even build its label — the

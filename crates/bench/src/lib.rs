@@ -38,6 +38,7 @@
 //! Binaries accept `--test-scale` to run on the small kernel instances
 //! (used by integration tests); the default is the paper's problem sizes.
 
+pub mod history;
 pub mod runner;
 pub mod table;
 
@@ -71,6 +72,10 @@ pub fn finish_run(run: &str) {
                 } else {
                     "paper"
                 }),
+            ),
+            (
+                "simd_path",
+                Json::str(imt_bitcode::simd::active_path().name()),
             ),
         ]),
     )];

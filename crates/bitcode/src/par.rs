@@ -103,11 +103,16 @@ where
         imt_obs::counter!("par.items").add(n as u64);
         imt_obs::gauge!("par.workers").set_max(workers as u64);
     }
+    // Cross-thread trace hand-off: capture the spawning thread's innermost
+    // span (None when tracing is off) so each worker's spans parent into
+    // the caller's tree instead of becoming orphan roots.
+    let parent = imt_obs::trace::propagate();
     let next = AtomicUsize::new(0);
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _trace = imt_obs::trace::span_under("par.worker", parent);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

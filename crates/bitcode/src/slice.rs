@@ -400,6 +400,7 @@ fn encode_streamed(
     codec: &StreamCodec,
     path: SimdPath,
 ) -> SlicedEncoding {
+    let _span = imt_obs::span!("bitcode.slice.encode");
     let config = codec.config();
     let k = config.block_len();
     let allowed = config.transforms();
@@ -570,6 +571,9 @@ fn encode_streamed(
         imt_obs::counter!("bitcode.slice.bits").add((n * width) as u64);
         imt_obs::counter!("bitcode.slice.blocks").add((lens.len() * width) as u64);
         imt_obs::counter!("bitcode.slice.tiles").add(n.div_ceil(64) as u64);
+        // Which kernel actually ran, so forced-scalar CI runs and trace
+        // exports are distinguishable without grepping BENCH JSON.
+        imt_obs::counter_labeled("bitcode.simd.path", path.name()).inc();
     }
     SlicedEncoding {
         words: out_words,

@@ -45,6 +45,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--block-sizes",
     "--deadline-ms",
     "--delivery-ms",
+    "--results",
 ];
 
 fn parse<'a>(args: &'a [String]) -> Options<'a> {
@@ -358,9 +359,170 @@ pub fn obs(args: &[String]) -> Result<String, CliError> {
     match opts.positional.first().copied() {
         Some("check") => obs_check(opts.positional.get(1).copied()),
         Some("report") => obs_report(opts.positional.get(1).copied()),
+        Some("trace") if opts.positional.get(1).copied() == Some("export") => {
+            obs_trace_export(opts.positional.get(2).copied(), opts.value("-o"))
+        }
+        Some("regress") => obs_regress(&opts),
         _ => Err(CliError::new(
-            "usage: imt obs check [dir] | imt obs report <manifest.json>",
+            "usage: imt obs check [dir] | imt obs report <manifest.json> \
+             | imt obs trace export [dir | manifest.json] [-o out.json] \
+             | imt obs regress [--results DIR] [--window N]",
         )),
+    }
+}
+
+/// Converts the trace sections of one manifest (or every traced manifest
+/// in a directory; default: the active obs directory) into one Chrome
+/// trace-event JSON file loadable by `chrome://tracing` and Perfetto.
+fn obs_trace_export(input: Option<&str>, out_path: Option<&str>) -> Result<String, CliError> {
+    use imt_obs::json::Json;
+    let input = input
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(imt_obs::manifest::obs_dir);
+    let paths: Vec<std::path::PathBuf> = if input.is_file() {
+        vec![input.clone()]
+    } else {
+        let mut paths: Vec<_> = std::fs::read_dir(&input)
+            .map_err(|e| CliError::new(format!("cannot read {}: {e}", input.display())))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        paths
+    };
+    let mut runs: Vec<(String, Vec<imt_obs::trace::TraceEvent>)> = Vec::new();
+    let mut dropped = 0u64;
+    let mut skipped = 0usize;
+    for path in &paths {
+        let text = std::fs::read_to_string(path)?;
+        let doc = Json::parse(&text)
+            .map_err(|e| CliError::new(format!("{}: not valid JSON: {e}", path.display())))?;
+        imt_obs::manifest::validate(&doc)
+            .map_err(|e| CliError::new(format!("{}: {e}", path.display())))?;
+        let Some(section) = doc.get("trace") else {
+            skipped += 1;
+            continue;
+        };
+        let (events, run_dropped) = imt_obs::trace::events_from_json(section)
+            .map_err(|e| CliError::new(format!("{}: {e}", path.display())))?;
+        dropped += run_dropped;
+        let run = doc.get("run").and_then(Json::as_str).unwrap_or("?");
+        let status = doc.get("status").and_then(Json::as_str).unwrap_or("");
+        let run = if status == "aborted" {
+            format!("{run} (aborted)")
+        } else {
+            run.to_string()
+        };
+        runs.push((run, events));
+    }
+    if runs.is_empty() {
+        return Err(CliError::new(format!(
+            "no manifest with a trace section under {} — run with IMT_OBS=trace first",
+            input.display()
+        )));
+    }
+    let spans: usize = runs
+        .iter()
+        .map(|(_, events)| {
+            events
+                .iter()
+                .filter(|e| e.kind == imt_obs::trace::TraceKind::Span)
+                .count()
+        })
+        .sum();
+    let total: usize = runs.iter().map(|(_, events)| events.len()).sum();
+    let chrome = imt_obs::trace::chrome_trace(&runs);
+    // Self-check before writing: the artifact must be loadable.
+    imt_obs::trace::validate_chrome(&chrome).map_err(CliError::new)?;
+    let out_path = std::path::PathBuf::from(out_path.unwrap_or("trace.json"));
+    if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&out_path, chrome.render_pretty() + "\n")?;
+    let mut out = format!(
+        "exported {total} trace event(s) ({spans} spans) from {} run(s) to {}\n",
+        runs.len(),
+        out_path.display()
+    );
+    if dropped > 0 {
+        writeln!(out, "warning: {dropped} event(s) were dropped at capture").expect("write");
+    }
+    if skipped > 0 {
+        writeln!(
+            out,
+            "{skipped} manifest(s) had no trace section (not IMT_OBS=trace runs)"
+        )
+        .expect("write");
+    }
+    writeln!(
+        out,
+        "load it in chrome://tracing or https://ui.perfetto.dev"
+    )
+    .expect("write");
+    Ok(out)
+}
+
+/// Compares the current `BENCH_*.json` artifacts against the recorded
+/// perf history, failing (nonzero exit) on any out-of-tolerance
+/// regression. The CI gate behind `imt obs regress`.
+fn obs_regress(opts: &Options<'_>) -> Result<String, CliError> {
+    let results = std::path::PathBuf::from(opts.value("--results").unwrap_or("results"));
+    let window = opts.numeric("--window", imt_bench::history::DEFAULT_WINDOW as u64)? as usize;
+    let history = imt_bench::history::read_history(&results).map_err(CliError::new)?;
+    if history.is_empty() {
+        return Ok(format!(
+            "no perf history at {} — run `imt bench --record` to start one\n",
+            results.join(imt_bench::history::FILE).display()
+        ));
+    }
+    let docs = imt_bench::history::load_docs(&results).map_err(CliError::new)?;
+    let current = imt_bench::history::summarize(&docs).map_err(CliError::new)?;
+    let checks = imt_bench::history::regress(&history, &current, window);
+    let scale = current
+        .get("scale")
+        .and_then(imt_obs::json::Json::as_str)
+        .unwrap_or("?");
+    let mut out = format!(
+        "perf regress: {} metric(s) vs median of last {} same-scale ({scale}) entries of {}\n",
+        checks.len(),
+        window,
+        history.len()
+    );
+    let mut regressions = Vec::new();
+    for check in &checks {
+        let direction = if check.policy.higher_is_better {
+            "min"
+        } else {
+            "max"
+        };
+        let verdict = if check.regressed { "FAIL" } else { "ok  " };
+        writeln!(
+            out,
+            "  {verdict}  {:<30} current {:>12.3}  baseline {:>12.3} ({} samples, {direction} {:.3})",
+            check.metric, check.current, check.baseline, check.samples, check.bound()
+        )
+        .expect("write to String");
+        if check.regressed {
+            regressions.push(check.metric.clone());
+        }
+    }
+    if checks.is_empty() {
+        writeln!(
+            out,
+            "no overlapping metrics between current artifacts and history — nothing to compare"
+        )
+        .expect("write to String");
+    }
+    if regressions.is_empty() {
+        writeln!(out, "no regressions").expect("write to String");
+        Ok(out)
+    } else {
+        Err(CliError::new(format!(
+            "{out}performance regression in {}: {}",
+            results.display(),
+            regressions.join(", ")
+        )))
     }
 }
 
@@ -616,6 +778,29 @@ pub fn bench(args: &[String]) -> Result<String, CliError> {
         }
     );
     out.push_str(&table.render());
+    // The perf-history sentinel: summarise whatever BENCH_*.json
+    // artifacts are on disk (stamped with *their* scale, not this run's
+    // flags) and append one history entry for `imt obs regress`.
+    if opts.flag("--record") {
+        let results = std::path::PathBuf::from(opts.value("--results").unwrap_or("results"));
+        let docs = imt_bench::history::load_docs(&results).map_err(CliError::new)?;
+        let entry = imt_bench::history::summarize(&docs).map_err(CliError::new)?;
+        let (path, n) = imt_bench::history::append(&results, &entry).map_err(CliError::new)?;
+        let metrics = entry
+            .get("metrics")
+            .and_then(imt_obs::json::Json::as_object)
+            .map_or(0, <[_]>::len);
+        writeln!(
+            out,
+            "recorded history entry #{n} ({} scale, {metrics} metric(s)) -> {}",
+            entry
+                .get("scale")
+                .and_then(imt_obs::json::Json::as_str)
+                .unwrap_or("?"),
+            path.display()
+        )
+        .expect("write to String");
+    }
     Ok(out)
 }
 
@@ -1337,6 +1522,144 @@ loop:   xor $t1, $t1, $t0\n\
     fn obs_without_subcommand_shows_usage() {
         let err = obs(&[]).unwrap_err();
         assert!(err.to_string().contains("imt obs check"));
+        assert!(err.to_string().contains("imt obs trace export"));
+        assert!(err.to_string().contains("imt obs regress"));
+    }
+
+    /// A manifest carrying a trace section, as `IMT_OBS=trace` writes:
+    /// one request root with a nested child span and an instant.
+    const TRACED_MANIFEST: &str = r#"{"schema":"imt-obs/v1","run":"traced",
+        "metrics":[],"events":[],
+        "trace":{"dropped":0,"events":[
+          {"name":"serve.request","kind":"span","trace":1,"span":1,
+           "parent":0,"thread":7,"start_ns":1000,"dur_ns":9000},
+          {"name":"serve.execute","kind":"span","trace":1,"span":2,
+           "parent":1,"thread":7,"start_ns":2000,"dur_ns":5000},
+          {"name":"serve.respond","kind":"instant","trace":1,"span":3,
+           "parent":1,"thread":7,"start_ns":9500,"dur_ns":0}]}}"#;
+
+    #[test]
+    fn obs_trace_export_writes_valid_chrome_json() {
+        let dir = std::env::temp_dir().join(format!("imt_cli_trace_export_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("traced.json"), TRACED_MANIFEST).unwrap();
+        // A manifest without a trace section is skipped, not an error.
+        let plain = r#"{"schema":"imt-obs/v1","run":"plain","metrics":[],"events":[]}"#;
+        std::fs::write(dir.join("plain.json"), plain).unwrap();
+        let out_path = dir.join("out").join("trace.json");
+        let out = obs(&args(&[
+            "trace",
+            "export",
+            &dir.to_string_lossy(),
+            "-o",
+            &out_path.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("exported 3 trace event(s) (2 spans) from 1 run(s)"),
+            "{out}"
+        );
+        assert!(out.contains("1 manifest(s) had no trace section"), "{out}");
+        let chrome =
+            imt_obs::json::Json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        imt_obs::trace::validate_chrome(&chrome).unwrap();
+        let rendered = chrome.render();
+        assert!(rendered.contains("serve.request"));
+        assert!(rendered.contains("serve.respond"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_trace_export_accepts_one_manifest_and_rejects_traceless_input() {
+        let dir = std::env::temp_dir().join(format!("imt_cli_trace_one_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("traced.json");
+        std::fs::write(&manifest, TRACED_MANIFEST).unwrap();
+        let out_path = dir.join("trace.json");
+        let out = obs(&args(&[
+            "trace",
+            "export",
+            &manifest.to_string_lossy(),
+            "-o",
+            &out_path.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert!(out.contains("from 1 run(s)"), "{out}");
+        assert!(out_path.exists());
+        // A directory with no traced manifest at all is an error with a
+        // hint at the env var that produces one.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = obs(&args(&["trace", "export", &empty.to_string_lossy()])).unwrap_err();
+        assert!(err.to_string().contains("IMT_OBS=trace"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A minimal `BENCH_serve.json` at the given scale and throughput.
+    fn write_serve_artifact(dir: &std::path::Path, scale: &str, rps: f64) {
+        let doc = format!(
+            r#"{{"scale":"{scale}","sweeps":[{{"workers":4,"throughput_rps":{rps},"p99_ms":4.0}}]}}"#
+        );
+        std::fs::write(dir.join("BENCH_serve.json"), doc).unwrap();
+    }
+
+    #[test]
+    fn obs_regress_passes_baseline_and_fails_a_seeded_slowdown() {
+        let dir = std::env::temp_dir().join(format!("imt_cli_regress_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let results = dir.to_string_lossy().into_owned();
+        // No history yet: a pass with a pointer at `imt bench --record`.
+        write_serve_artifact(&dir, "test", 100.0);
+        let out = obs(&args(&["regress", "--results", &results])).unwrap();
+        assert!(out.contains("no perf history"), "{out}");
+        // Record three baseline entries, then check the same artifacts.
+        for _ in 0..3 {
+            let docs = imt_bench::history::load_docs(&dir).unwrap();
+            let entry = imt_bench::history::summarize(&docs).unwrap();
+            imt_bench::history::append(&dir, &entry).unwrap();
+        }
+        let out = obs(&args(&["regress", "--results", &results])).unwrap();
+        assert!(out.contains("no regressions"), "{out}");
+        assert!(out.contains("serve.throughput_rps"), "{out}");
+        // Seed a 25% throughput slowdown: the gate must exit nonzero.
+        write_serve_artifact(&dir, "test", 75.0);
+        let err = obs(&args(&["regress", "--results", &results])).unwrap_err();
+        assert!(err.to_string().contains("performance regression"), "{err}");
+        assert!(err.to_string().contains("serve.throughput_rps"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_record_appends_a_history_entry() {
+        let dir = std::env::temp_dir().join(format!("imt_cli_bench_record_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        write_serve_artifact(&dir, "test", 200.0);
+        let out = bench(&args(&[
+            "--test-scale",
+            "--record",
+            "--results",
+            &dir.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert!(out.contains("figure 6 grid at Test scale"));
+        assert!(
+            out.contains("recorded history entry #1 (test scale"),
+            "{out}"
+        );
+        let history = imt_bench::history::read_history(&dir).unwrap();
+        assert_eq!(history.len(), 1);
+        assert_eq!(
+            history[0]
+                .get("metrics")
+                .and_then(|m| m.get("serve.throughput_rps"))
+                .and_then(imt_obs::json::Json::as_f64),
+            Some(200.0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

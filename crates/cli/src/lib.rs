@@ -95,8 +95,10 @@ commands:
   tables [--block-size K] [--all-sixteen]
                                    print the optimal code table (Fig. 2/4)
   kernels [name]                   list the paper kernels, or run one
-  bench [--test-scale] [--no-profile-cache]
-                                   figure 6 grid via replay evaluation
+  bench [--test-scale] [--no-profile-cache] [--record] [--results DIR]
+                                   figure 6 grid via replay evaluation;
+                                   --record appends a BENCH_*.json summary
+                                   to results/BENCH_history.jsonl
   serve [--workers N] [--queue N] [--max-batch N] [--requests N] [--reject]
         [--deadline-ms N] [--delivery-ms N] [--test-scale]
                                    closed-loop load session against the
@@ -115,11 +117,19 @@ commands:
   fault report [BENCH_fault.json]  summarise an exp_fault result file
   obs check [dir]                  validate run manifests (imt-obs/v1)
   obs report <manifest.json>       summarise one run manifest
+  obs trace export [dir | manifest.json] [-o out.json]
+                                   convert traced manifests to Chrome
+                                   trace-event JSON (chrome://tracing)
+  obs regress [--results DIR] [--window N]
+                                   compare current BENCH_*.json against
+                                   BENCH_history.jsonl; nonzero on
+                                   regression
   help                             this text
 
-observability: set IMT_OBS=report for a stderr metrics report, or
+observability: set IMT_OBS=report for a stderr metrics report,
 IMT_OBS=json to write a run manifest under IMT_OBS_PATH (default
-results/obs) after each command.
+results/obs) after each command, or IMT_OBS=trace to additionally
+capture a causal span timeline in the manifest.
 ";
 
 /// Runs the CLI on pre-split arguments (without the program name) and

@@ -110,6 +110,7 @@ pub fn evaluate(
     encoded: &EncodedProgram,
     max_steps: u64,
 ) -> Result<Evaluation, CoreError> {
+    let _span = imt_obs::span!("core.evaluate");
     let mut cpu = Cpu::new(program)?;
     let mut sink = EvalSink {
         encoded_text: &encoded.text,
@@ -178,6 +179,7 @@ pub fn evaluate_replay(
     encoded: &EncodedProgram,
     profile: &FetchEdgeProfile,
 ) -> Result<Evaluation, CoreError> {
+    let _span = imt_obs::span!("core.evaluate_replay");
     let text_len = program.text.len();
     if profile.text_len() != text_len {
         return Err(CoreError::ProfileLength {

@@ -33,6 +33,7 @@
 //! | unset / `0` / `off`   | [`Mode::Off`]   | instrumented sites are a single relaxed atomic load + branch |
 //! | `report` / `text` / `1` | [`Mode::Report`] | end-of-run human-readable report on stderr |
 //! | `json`                | [`Mode::Json`]  | run manifest + JSONL snapshot under `IMT_OBS_PATH` (default `results/obs`) |
+//! | `trace`               | [`Mode::Trace`] | everything `json` does, plus causal trace events ([`trace`]) embedded in the manifest |
 //!
 //! Hot paths guard with [`enabled`], so the disabled cost is one load and
 //! one predictable branch per instrumented *region* (not per item); the
@@ -66,6 +67,7 @@ pub mod manifest;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -89,17 +91,23 @@ pub enum Mode {
     /// snapshot (`<run>.jsonl`) are written under
     /// [`manifest::obs_dir`].
     Json,
+    /// Everything [`Mode::Json`] does, plus causal trace events ([`trace`])
+    /// are captured in per-thread ring buffers and embedded in the
+    /// manifest's `trace` section for `imt obs trace export`.
+    Trace,
 }
 
 const MODE_UNINIT: u8 = 0;
 const MODE_OFF: u8 = 1;
 const MODE_REPORT: u8 = 2;
 const MODE_JSON: u8 = 3;
+const MODE_TRACE: u8 = 4;
 
 static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
 
 fn mode_from_env() -> Mode {
     match std::env::var("IMT_OBS").ok().as_deref() {
+        Some("trace") | Some("TRACE") => Mode::Trace,
         Some("json") | Some("JSON") => Mode::Json,
         Some("report") | Some("text") | Some("1") => Mode::Report,
         _ => Mode::Off,
@@ -113,6 +121,7 @@ pub fn mode() -> Mode {
         MODE_OFF => Mode::Off,
         MODE_REPORT => Mode::Report,
         MODE_JSON => Mode::Json,
+        MODE_TRACE => Mode::Trace,
         _ => {
             let mode = mode_from_env();
             set_mode(mode);
@@ -128,6 +137,7 @@ pub fn set_mode(mode: Mode) {
         Mode::Off => MODE_OFF,
         Mode::Report => MODE_REPORT,
         Mode::Json => MODE_JSON,
+        Mode::Trace => MODE_TRACE,
     };
     MODE.store(tag, Ordering::Relaxed);
 }
@@ -141,6 +151,19 @@ pub fn enabled() -> bool {
         MODE_OFF => false,
         MODE_UNINIT => mode() != Mode::Off,
         _ => true,
+    }
+}
+
+/// Whether causal trace events should be recorded: true only in
+/// [`Mode::Trace`]. Same cost shape as [`enabled`] — one relaxed atomic
+/// load and one branch — and instrumented sites only consult it *after*
+/// [`enabled`] passed, so the fully-disabled path pays nothing extra.
+#[inline]
+pub fn trace_enabled() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_TRACE => true,
+        MODE_UNINIT => mode() == Mode::Trace,
+        _ => false,
     }
 }
 
@@ -246,6 +269,8 @@ mod tests {
         assert_eq!(mode_from_env(), Mode::Report);
         std::env::set_var("IMT_OBS", "json");
         assert_eq!(mode_from_env(), Mode::Json);
+        std::env::set_var("IMT_OBS", "trace");
+        assert_eq!(mode_from_env(), Mode::Trace);
         std::env::remove_var("IMT_OBS");
     }
 

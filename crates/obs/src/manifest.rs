@@ -25,6 +25,12 @@
 //! `status` is `"completed"` for manifests written by [`finish_run`] and
 //! `"aborted"` for partial manifests flushed by a [`RunGuard`] whose run
 //! crashed before finishing; older manifests may omit it.
+//!
+//! In [`Mode::Trace`] a manifest additionally carries a `trace` section —
+//! `{"dropped": u64, "events": [...]}` per [`crate::trace::events_to_json`] —
+//! which `imt obs trace export` converts to Chrome trace-event JSON. The
+//! aborted-flush path captures it too, so a crashed run still exports a
+//! partial timeline.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -97,6 +103,7 @@ pub struct Manifest {
     sections: Vec<(String, Json)>,
     metrics: Vec<MetricSnapshot>,
     events: Vec<event::Event>,
+    trace: Option<(Vec<crate::trace::TraceEvent>, u64)>,
     captured: bool,
 }
 
@@ -108,6 +115,7 @@ impl Manifest {
             sections: Vec::new(),
             metrics: Vec::new(),
             events: Vec::new(),
+            trace: None,
             captured: false,
         }
     }
@@ -127,10 +135,14 @@ impl Manifest {
         }
     }
 
-    /// Snapshots the registry and event buffer into the manifest.
+    /// Snapshots the registry and event buffer into the manifest — and,
+    /// in [`Mode::Trace`], the per-thread trace rings.
     pub fn capture(&mut self) {
         self.metrics = registry::snapshot();
         self.events = event::snapshot();
+        if crate::trace_enabled() {
+            self.trace = Some(crate::trace::snapshot());
+        }
         self.captured = true;
     }
 
@@ -151,6 +163,12 @@ impl Manifest {
             "events".to_string(),
             Json::Arr(self.events.iter().map(event::Event::to_json).collect()),
         ));
+        if let Some((events, dropped)) = &self.trace {
+            pairs.push((
+                "trace".to_string(),
+                crate::trace::events_to_json(events, *dropped),
+            ));
+        }
         Json::Obj(pairs)
     }
 
@@ -190,7 +208,9 @@ impl Manifest {
 /// * [`Mode::Report`] — prints the human-readable report to stderr;
 /// * [`Mode::Json`] — captures a manifest with the given extra sections,
 ///   writes `<run>.json` and `<run>.jsonl` under [`obs_dir`], and
-///   returns the manifest path.
+///   returns the manifest path;
+/// * [`Mode::Trace`] — like [`Mode::Json`], with the trace rings captured
+///   into the manifest's `trace` section.
 ///
 /// Output goes to stderr/files only; stdout is reserved for experiment
 /// artifacts, which must stay byte-identical with observability on.
@@ -205,7 +225,7 @@ pub fn finish_run<K: Into<String>>(
             eprintln!("{}", sink::render_report(run));
             Ok(None)
         }
-        Mode::Json => {
+        Mode::Json | Mode::Trace => {
             let mut manifest = Manifest::new(run);
             for (key, value) in extra {
                 manifest.set(key, value);
@@ -274,7 +294,7 @@ impl RunGuard {
 
 impl Drop for RunGuard {
     fn drop(&mut self) {
-        if !defuse(&self.run) || crate::mode() != Mode::Json {
+        if !defuse(&self.run) || !matches!(crate::mode(), Mode::Json | Mode::Trace) {
             return;
         }
         // Best-effort: a failed flush during a crash must not mask the
@@ -291,7 +311,9 @@ impl Drop for RunGuard {
 }
 
 /// Captures whatever the registry holds right now into
-/// `<dir>/<run>.json` with `"status": "aborted"`.
+/// `<dir>/<run>.json` with `"status": "aborted"`. In [`Mode::Trace`] the
+/// capture includes the trace rings (spans that *closed* before the
+/// crash), so even an aborted run exports a partial timeline.
 fn write_aborted(run: &str, dir: &Path) -> std::io::Result<PathBuf> {
     let mut manifest = Manifest::new(run);
     manifest.set("status", Json::str("aborted"));
@@ -442,6 +464,11 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             }
         }
     }
+
+    // The trace section is optional ([`Mode::Trace`] runs only).
+    if let Some(trace) = doc.get("trace") {
+        crate::trace::validate_section(trace)?;
+    }
     Ok(())
 }
 
@@ -587,6 +614,50 @@ mod tests {
         drop(RunGuard::begin("guard-abort-off"));
         assert!(!defuse("guard-abort-off"));
         crate::set_mode(before);
+    }
+
+    #[test]
+    fn aborted_flush_drains_the_trace_rings() {
+        let dir = std::env::temp_dir().join("imt-obs-guard-trace-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _lock = crate::trace::TRACE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let before = crate::mode();
+        crate::set_mode(Mode::Trace);
+        crate::trace::reset();
+        // A span that *closed* before the "crash" must survive into the
+        // aborted manifest's partial timeline.
+        {
+            let _s = crate::trace::span("manifest.abort_probe");
+        }
+        let path = write_aborted("guard-abort-trace", &dir).unwrap();
+        crate::trace::reset();
+        crate::set_mode(before);
+
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        validate(&doc).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("aborted"));
+        let (events, _) =
+            crate::trace::events_from_json(doc.get("trace").expect("trace section")).unwrap();
+        assert!(
+            events.iter().any(|e| e.name == "manifest.abort_probe"),
+            "closed span survives the abort flush"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_checks_the_trace_section() {
+        let err = validate(
+            &Json::parse(
+                r#"{"schema":"imt-obs/v1","run":"x","metrics":[],"events":[],
+                    "trace":{"dropped":0,"events":[{"name":"a"}]}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("trace section"), "{err}");
     }
 
     #[test]

@@ -21,21 +21,38 @@ use crate::registry::{self, SpanStat};
 /// An in-flight span; records elapsed wall-time on drop. Inert (no
 /// timestamp taken) when constructed via a gated entry point with
 /// observability disabled.
+///
+/// In [`crate::Mode::Trace`] the gated constructors additionally open a
+/// [`crate::trace::TraceSpan`], so every existing `span!` site in the
+/// workspace contributes a causally-parented trace event without any
+/// call-site change. The trace gate is only consulted *after* the obs
+/// gate passed, so the disabled-path cost is unchanged.
 #[must_use = "a span records when the guard drops; bind it with `let _span = ...`"]
 pub struct SpanGuard {
     live: Option<(Instant, &'static SpanStat)>,
+    trace: crate::trace::TraceSpan,
 }
 
 impl SpanGuard {
     /// A guard that records nothing — what the gated constructors return
     /// when observability is off.
     pub fn inert() -> SpanGuard {
-        SpanGuard { live: None }
+        SpanGuard {
+            live: None,
+            trace: crate::trace::TraceSpan::inert(),
+        }
     }
 
     /// Whether this guard will record on drop.
     pub fn is_live(&self) -> bool {
         self.live.is_some()
+    }
+
+    /// The trace context of this span, if one is being recorded
+    /// ([`crate::Mode::Trace`] only) — for explicit cross-thread
+    /// hand-offs.
+    pub fn trace_ctx(&self) -> Option<crate::trace::TraceCtx> {
+        self.trace.ctx()
     }
 }
 
@@ -44,12 +61,19 @@ impl Drop for SpanGuard {
         if let Some((start, stat)) = self.live.take() {
             stat.record(start.elapsed().as_nanos() as u64);
         }
+        // `self.trace` drops after this body, recording the trace event.
     }
 }
 
-fn live(stat: &'static SpanStat) -> SpanGuard {
+fn live(name: &'static str, stat: &'static SpanStat) -> SpanGuard {
+    let trace = if crate::trace_enabled() {
+        crate::trace::span(name)
+    } else {
+        crate::trace::TraceSpan::inert()
+    };
     SpanGuard {
         live: Some((Instant::now(), stat)),
+        trace,
     }
 }
 
@@ -57,7 +81,7 @@ fn live(stat: &'static SpanStat) -> SpanGuard {
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
     if crate::enabled() {
-        live(registry::span_stat(name))
+        live(name, registry::span_stat(name))
     } else {
         SpanGuard::inert()
     }
@@ -68,7 +92,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 #[inline]
 pub fn span_labeled(name: &'static str, label: &str) -> SpanGuard {
     if crate::enabled() {
-        live(registry::span_stat_labeled(name, label))
+        live(name, registry::span_stat_labeled(name, label))
     } else {
         SpanGuard::inert()
     }
@@ -76,12 +100,12 @@ pub fn span_labeled(name: &'static str, label: &str) -> SpanGuard {
 
 /// Opens an always-on span under `name`: records regardless of mode.
 pub fn timed(name: &'static str) -> SpanGuard {
-    live(registry::span_stat(name))
+    live(name, registry::span_stat(name))
 }
 
 /// Opens an always-on span under `name` with `label`.
 pub fn timed_labeled(name: &'static str, label: &str) -> SpanGuard {
-    live(registry::span_stat_labeled(name, label))
+    live(name, registry::span_stat_labeled(name, label))
 }
 
 #[cfg(test)]

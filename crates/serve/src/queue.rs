@@ -31,6 +31,12 @@ pub(crate) struct Job {
     pub(crate) submitted: Instant,
     /// Absolute deadline (submission + relative deadline), if any.
     pub(crate) deadline: Option<Instant>,
+    /// Causal trace root for this request (`IMT_OBS=trace` only): the
+    /// submitting thread opens it, the worker that answers closes it.
+    pub(crate) trace: Option<imt_obs::trace::TraceCtx>,
+    /// Trace-epoch submission timestamp (0 when tracing is off); the
+    /// root span and the `serve.queue_wait` stage start here.
+    pub(crate) submitted_ns: u64,
 }
 
 /// Why [`JobQueue::try_push`] refused a job.
@@ -202,6 +208,8 @@ mod tests {
             cancel: CancellationToken::new(),
             submitted: Instant::now(),
             deadline: None,
+            trace: None,
+            submitted_ns: 0,
         }
     }
 

@@ -255,6 +255,14 @@ impl Service {
             .deadline
             .or(inner.config.default_deadline)
             .map(|d| now + d);
+        // Each request is one trace root (`IMT_OBS=trace` only): opened
+        // here, closed by whoever fulfills the ticket.
+        let trace_ctx = imt_obs::trace::open_trace();
+        let submitted_ns = if trace_ctx.is_some() {
+            imt_obs::trace::now_ns()
+        } else {
+            0
+        };
         let job = Job {
             id,
             batch_key: request.batch_key(),
@@ -263,10 +271,14 @@ impl Service {
             cancel: cancel.clone(),
             submitted: now,
             deadline,
+            trace: trace_ctx,
+            submitted_ns,
         };
         match inner.config.admission {
             Admission::Reject => {
-                if let Err((_, refusal)) = inner.queue.try_push(job) {
+                if let Err((job, refusal)) = inner.queue.try_push(job) {
+                    imt_obs::trace::instant_under("serve.admission_refused", job.trace);
+                    imt_obs::trace::close_root("serve.request", job.trace, job.submitted_ns);
                     return Err(match refusal {
                         PushRefusal::Full { depth, capacity } => {
                             inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -280,11 +292,14 @@ impl Service {
                 }
             }
             Admission::Block => {
-                if inner.queue.push_wait(job).is_err() {
+                if let Err(job) = inner.queue.push_wait(job) {
+                    imt_obs::trace::instant_under("serve.admission_refused", job.trace);
+                    imt_obs::trace::close_root("serve.request", job.trace, job.submitted_ns);
                     return Err(ServeError::ShuttingDown);
                 }
             }
         }
+        imt_obs::trace::instant_under("serve.enqueue", trace_ctx);
         inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
         let depth = inner.queue.depth() as u64;
         inner.stats.peak_depth.fetch_max(depth, Ordering::Relaxed);
@@ -372,6 +387,10 @@ impl ServiceInner {
             }
         }
         let queue_ns = job.submitted.elapsed().as_nanos() as u64;
+        // Refused requests still close their trace root: the timeline
+        // shows the queue wait that ended in a refusal.
+        imt_obs::trace::instant_under("serve.refuse", job.trace);
+        imt_obs::trace::close_root("serve.request", job.trace, job.submitted_ns);
         job.slot.fulfill(Response {
             id: job.id,
             kernel: job.request.spec.name.clone(),
@@ -506,7 +525,21 @@ fn worker_loop(inner: &ServiceInner, worker: usize) {
         let Some(first) = runnable.first() else {
             continue;
         };
+        let warm_started = Instant::now();
         let warmed = inner.warm(&first.batch_key, &first.request.spec);
+        let warm_elapsed = warm_started.elapsed().as_nanos() as u64;
+        if imt_obs::enabled() {
+            imt_obs::registry::histogram("serve.stage.warm_ns").observe(warm_elapsed);
+        }
+        // The warm ran once for the whole batch; attribute its interval
+        // to every request it unblocked so each span tree is complete.
+        if imt_obs::trace_enabled() {
+            let warm_end = imt_obs::trace::now_ns();
+            let warm_start = warm_end.saturating_sub(warm_elapsed);
+            for job in &runnable {
+                imt_obs::trace::record_stage("serve.warm", job.trace, warm_start, warm_end);
+            }
+        }
         let batch_size = runnable.len();
         for job in runnable {
             serve_job(inner, job, &warmed, batch_size, worker);
@@ -533,7 +566,21 @@ fn serve_job(
     }
     let picked = Instant::now();
     let queue_ns = (picked - job.submitted).as_nanos() as u64;
-    let _span = imt_obs::span!("serve.request");
+    // Queue wait ends here: submission → this worker picking the job up
+    // (after batch coalescing and the shared warm).
+    if imt_obs::trace_enabled() {
+        imt_obs::trace::record_stage(
+            "serve.queue_wait",
+            job.trace,
+            job.submitted_ns,
+            imt_obs::trace::now_ns(),
+        );
+    }
+    // Adopt the request's trace context on this worker thread so the
+    // encode/eval spans below (and everything under them, down to the
+    // sliced codec) parent into the request's tree.
+    let texec = imt_obs::trace::span_under("serve.execute", job.trace);
+    let span = imt_obs::span!("serve.request");
     let outcome = match warmed {
         Err(profile_error) => Err(profile_error.clone()),
         Ok(warm) => match catch_unwind(AssertUnwindSafe(|| execute(warm, &job.request))) {
@@ -597,6 +644,12 @@ fn serve_job(
         worker,
         missed_deadline,
     });
+    // Close children before the root so the request's span tree nests
+    // cleanly: root (submit → respond) ⊇ execute ⊇ encode/eval.
+    drop(span);
+    drop(texec);
+    imt_obs::trace::instant_under("serve.respond", job.trace);
+    imt_obs::trace::close_root("serve.request", job.trace, job.submitted_ns);
 }
 
 /// One request's actual work, given its kernel's warmed profile. Pure
@@ -606,14 +659,28 @@ fn execute(warm: &WarmProfile, request: &Request) -> Result<Completed, ServeErro
     if request.panic_in_worker {
         panic!("poisoned job (panic_in_worker test hook)");
     }
-    let encoded = encode_program(&warm.program, &warm.per_index, &request.config)?;
-    let (evaluation, path) = evaluate_auto(
-        &warm.program,
-        &encoded,
-        request.spec.max_steps,
-        Some(&warm.edges),
-        request.needs,
-    )?;
+    let encode_started = Instant::now();
+    let encoded = {
+        let _span = imt_obs::span!("serve.encode");
+        encode_program(&warm.program, &warm.per_index, &request.config)?
+    };
+    let encode_ns = encode_started.elapsed().as_nanos() as u64;
+    let eval_started = Instant::now();
+    let (evaluation, path) = {
+        let _span = imt_obs::span!("serve.eval");
+        evaluate_auto(
+            &warm.program,
+            &encoded,
+            request.spec.max_steps,
+            Some(&warm.edges),
+            request.needs,
+        )?
+    };
+    let eval_ns = eval_started.elapsed().as_nanos() as u64;
+    if imt_obs::enabled() {
+        imt_obs::registry::histogram("serve.stage.encode_ns").observe(encode_ns);
+        imt_obs::registry::histogram("serve.stage.eval_ns").observe(eval_ns);
+    }
     let fault = match &request.fault_plan {
         None => None,
         Some(plan) => {
