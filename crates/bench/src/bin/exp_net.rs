@@ -1,0 +1,918 @@
+//! Network serving experiment **E-N**: the hardened wire protocol and
+//! sharded serving state of `imt-net` under load, overload, and
+//! transport-level chaos.
+//!
+//! Four phases, all over a real Unix socket through the full
+//! client → frame → server → `Service` → frame → client path:
+//!
+//! 1. **Saturation probe** — a closed-loop thread pool hammers the
+//!    server to measure saturation throughput.
+//! 2. **Open-loop load** — a seeded generator (Poisson arrivals with
+//!    bursts, Zipf kernel popularity, a 70%-hot tenant mix) offers the
+//!    bulk of the workload at ~3/4 of saturation and records
+//!    p50/p99/p999 client-observed latency. ≥10⁵ requests at paper
+//!    scale.
+//! 3. **Quota fairness** — a hot tenant floods a stalled service from 8
+//!    closed-loop threads while three cold tenants trickle paced
+//!    requests; per-tenant admission quotas must shed the hot tenant as
+//!    typed `QuotaExceeded` while every cold-tenant request completes.
+//! 4. **Chaos matrix** — the seeded `imt_net::chaos` injections
+//!    (truncations, bit flips, garbage magic, version skew, oversize
+//!    length declarations, slow-loris half-writes) plus mid-request
+//!    disconnects and a full server restart on the same socket path.
+//!    Every corruption must surface as a typed error server-side —
+//!    never a panic — and a clean request must still round-trip
+//!    bit-identically afterwards.
+//!
+//! In-binary gates: zero wrong-word responses end-to-end (every
+//! completed response is compared bit-for-bit against a serial
+//! `encode_program` + `evaluate_auto` reference), conservation
+//! (completed + rejected + failed == offered, nothing lost), the cold
+//! tenants' completion share at or above the fair-share floor, and a
+//! causal trace whose timeline covers
+//! read → decode → queue → warm → encode → respond for one request.
+//!
+//! Writes the machine-readable `results/BENCH_net.json` (scale-stamped).
+//! Timing numbers vary run to run; the workload, its order, the tenant
+//! mix, and the chaos schedule are fully seeded and deterministic.
+
+use std::collections::HashMap;
+use std::io::{Read as IoRead, Write as IoWrite};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use imt_bench::runner::{kernel_profile, Scale};
+use imt_core::eval::{evaluate_auto, EvalNeeds, Evaluation};
+use imt_core::{encode_program, EncoderConfig};
+use imt_kernels::Kernel;
+use imt_net::chaos::{Injection, XorShift64, ALL_INJECTIONS};
+use imt_net::client::{Client, ClientConfig};
+use imt_net::msg::{NetRequest, NetResponse, RemoteError};
+use imt_net::server::{NetServer, ServerConfig};
+use imt_net::wire::{Frame, FrameKind};
+use imt_net::{ListenAddr, NetError};
+use imt_obs::json::Json;
+use imt_serve::service::{Admission, Service, ServiceConfig};
+
+const BLOCK_SIZES: std::ops::RangeInclusive<usize> = 4..=7;
+const SENDERS: usize = 32;
+const PROBE_THREADS: usize = 16;
+const TENANTS: [&str; 4] = ["hot", "alpha", "beta", "gamma"];
+const HOT_SHARE: f64 = 0.70;
+/// Documented seed for the whole harness ("NETCHAOS" flavoured).
+const SEED: u64 = 0x4E45_5443_4841_0008;
+
+/// Per-phase request counts: (saturation probe, open-loop main,
+/// hot-tenant flood per thread, cold-tenant trickle per tenant,
+/// random chaos rounds).
+fn counts(scale: Scale) -> (usize, usize, usize, usize, usize) {
+    match scale {
+        Scale::Paper => (4_000, 100_000, 400, 100, 240),
+        Scale::Test => (400, 2_400, 40, 20, 48),
+    }
+}
+
+/// The delivery stall used only in the quota-fairness phase, so worker
+/// occupancy (and therefore tenant in-flight pressure) is deterministic.
+fn quota_stall(scale: Scale) -> Duration {
+    match scale {
+        Scale::Paper => Duration::from_millis(2),
+        Scale::Test => Duration::from_millis(5),
+    }
+}
+
+/// One workload cell: a kernel at one block size.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    kernel: Kernel,
+    block_size: usize,
+}
+
+fn cells() -> Vec<Cell> {
+    Kernel::ALL
+        .iter()
+        .flat_map(|&kernel| BLOCK_SIZES.map(move |block_size| Cell { kernel, block_size }))
+        .collect()
+}
+
+/// Zipf(s = 1) cumulative distribution over `n` ranks: popularity of
+/// cell `i` ∝ 1/(i+1). Sampled by inverting a uniform draw.
+fn zipf_cdf(n: usize) -> Vec<f64> {
+    let mut acc = 0.0;
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn sample_cdf(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&edge| edge < u).min(cdf.len() - 1)
+}
+
+fn net_request(scale: Scale, cell: Cell, tenant: &str) -> NetRequest {
+    let mut request = NetRequest::new(cell.kernel.name(), scale == Scale::Test)
+        .with_block_size(cell.block_size as u32);
+    if !tenant.is_empty() {
+        request = request.with_tenant(tenant);
+    }
+    request
+}
+
+/// Serial references every completed network response must match bit
+/// for bit, keyed by (spec name, block size) — the same discipline as
+/// `exp_serve`, now crossing a socket.
+fn serial_references(scale: Scale) -> HashMap<(String, usize), Evaluation> {
+    let mut references = HashMap::new();
+    for kernel in Kernel::ALL {
+        let spec = scale.spec(kernel);
+        let profile = kernel_profile(&spec);
+        for block_size in BLOCK_SIZES {
+            let config = EncoderConfig::default()
+                .with_block_size(block_size)
+                .expect("block sizes 4..=7 are valid");
+            let encoded = encode_program(&profile.program, &profile.profile, &config)
+                .unwrap_or_else(|e| panic!("{}: encoding failed: {e}", spec.name));
+            let (evaluation, _) = evaluate_auto(
+                &profile.program,
+                &encoded,
+                spec.max_steps,
+                Some(&profile.edges),
+                EvalNeeds::transitions_only(),
+            )
+            .unwrap_or_else(|e| panic!("{}: evaluation failed: {e}", spec.name));
+            references.insert((spec.name.clone(), block_size), evaluation);
+        }
+    }
+    references
+}
+
+/// Client-side conservation ledger, shared across sender threads.
+#[derive(Default)]
+struct Tally {
+    offered: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    mismatches: AtomicU64,
+    wrong_words: AtomicU64,
+}
+
+impl Tally {
+    /// Classifies one call outcome, verifying completed responses
+    /// against the serial references.
+    fn record(
+        &self,
+        outcome: &Result<NetResponse, NetError>,
+        references: &HashMap<(String, usize), Evaluation>,
+    ) {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Ok(response) => match &response.outcome {
+                Ok(done) => {
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    self.wrong_words
+                        .fetch_add(done.evaluation.decode_mismatches, Ordering::Relaxed);
+                    let key = (response.kernel.clone(), response.block_size as usize);
+                    if references.get(&key) != Some(&done.evaluation) {
+                        self.mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(RemoteError::Overloaded { .. }) | Err(RemoteError::QuotaExceeded { .. }) => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Err(_) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.offered.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+fn unique_sock() -> PathBuf {
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_nanos();
+    std::env::temp_dir().join(format!("imt-exp-net-{}-{nonce}.sock", std::process::id()))
+}
+
+fn start_server(
+    config: ServiceConfig,
+    path: &std::path::Path,
+) -> (std::sync::Arc<Service>, NetServer) {
+    let service = std::sync::Arc::new(Service::start(config));
+    let server = NetServer::start(
+        std::sync::Arc::clone(&service),
+        &ListenAddr::Unix(path.to_path_buf()),
+        ServerConfig::default().with_timeouts(Duration::from_millis(300), Duration::from_secs(5)),
+    )
+    .expect("unix bind");
+    (service, server)
+}
+
+fn stop_server(service: std::sync::Arc<Service>, server: NetServer) {
+    server.stop();
+    match std::sync::Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => panic!("server kept a service handle after stop"),
+    }
+}
+
+fn load_client(path: &std::path::Path) -> Client {
+    Client::new(
+        ListenAddr::Unix(path.to_path_buf()),
+        ClientConfig::default()
+            .with_deadline(Duration::from_secs(30))
+            .with_retries(0),
+    )
+}
+
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank] as f64 / 1e6
+}
+
+// ---------------------------------------------------------------- phase 1
+
+/// Closed-loop saturation probe: `PROBE_THREADS` clients, round-robin
+/// cells, each call back-to-back. Returns achieved requests/second.
+fn saturation_probe(
+    scale: Scale,
+    path: &std::path::Path,
+    probe_n: usize,
+    cells: &[Cell],
+    references: &HashMap<(String, usize), Evaluation>,
+    tally: &Tally,
+) -> f64 {
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..PROBE_THREADS {
+            scope.spawn(|| {
+                let client = load_client(path);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= probe_n {
+                        break;
+                    }
+                    let request = net_request(scale, cells[i % cells.len()], "");
+                    let outcome = client.call(&request);
+                    tally.record(&outcome, references);
+                }
+            });
+        }
+    });
+    probe_n as f64 / started.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------- phase 2
+
+/// One scheduled arrival of the open-loop phase.
+struct Arrival {
+    /// Offset from the phase start.
+    at: Duration,
+    cell: usize,
+    tenant: usize,
+}
+
+/// The seeded open-loop schedule: Poisson inter-arrivals at `rate_rps`
+/// with occasional 16-deep zero-gap bursts, Zipf cell popularity, and a
+/// `HOT_SHARE` hot-tenant mix.
+fn schedule(n: usize, rate_rps: f64, rng: &mut XorShift64) -> Vec<Arrival> {
+    let cdf = zipf_cdf(cells().len());
+    let mut arrivals = Vec::with_capacity(n);
+    let mut clock = 0.0f64;
+    while arrivals.len() < n {
+        let burst = if rng.unit() < 0.005 {
+            16.min(n - arrivals.len())
+        } else {
+            // ln(0) is impossible: unit() < 1.0 strictly.
+            clock += -(1.0 - rng.unit()).ln() / rate_rps;
+            1
+        };
+        for _ in 0..burst {
+            let tenant = if rng.unit() < HOT_SHARE {
+                0
+            } else {
+                1 + rng.index(TENANTS.len() - 1)
+            };
+            arrivals.push(Arrival {
+                at: Duration::from_secs_f64(clock),
+                cell: sample_cdf(&cdf, rng.unit()),
+                tenant,
+            });
+        }
+    }
+    arrivals
+}
+
+struct OpenLoopResult {
+    wall: Duration,
+    target_rps: f64,
+    latencies_ns: Vec<u64>,
+    bursts: usize,
+}
+
+/// Drives the schedule through `SENDERS` paced sender threads. Open
+/// loop: arrival times come from the schedule, not from completions
+/// (with enough senders a slow call delays only its own thread's next
+/// pick, not the offered process).
+fn open_loop(
+    scale: Scale,
+    path: &std::path::Path,
+    arrivals: &[Arrival],
+    cells: &[Cell],
+    references: &HashMap<(String, usize), Evaluation>,
+    tally: &Tally,
+    per_tenant: &[Tally],
+) -> OpenLoopResult {
+    let bursts = arrivals.windows(2).filter(|w| w[1].at == w[0].at).count();
+    let next = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(arrivals.len()));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..SENDERS {
+            scope.spawn(|| {
+                let client = load_client(path);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(arrival) = arrivals.get(i) else {
+                        break;
+                    };
+                    let target = started + arrival.at;
+                    let now = Instant::now();
+                    if target > now {
+                        std::thread::sleep(target - now);
+                    }
+                    let request = net_request(scale, cells[arrival.cell], TENANTS[arrival.tenant]);
+                    let sent = Instant::now();
+                    let outcome = client.call(&request);
+                    let latency = sent.elapsed().as_nanos() as u64;
+                    tally.record(&outcome, references);
+                    per_tenant[arrival.tenant].record(&outcome, references);
+                    if matches!(&outcome, Ok(r) if r.outcome.is_ok()) {
+                        latencies.lock().expect("latency lock").push(latency);
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let mut latencies_ns = latencies.into_inner().expect("latency lock");
+    latencies_ns.sort_unstable();
+    let span = arrivals.last().map(|a| a.at.as_secs_f64()).unwrap_or(1.0);
+    OpenLoopResult {
+        wall,
+        target_rps: arrivals.len() as f64 / span.max(1e-9),
+        latencies_ns,
+        bursts,
+    }
+}
+
+// ---------------------------------------------------------------- phase 3
+
+struct QuotaResult {
+    hot_offered: u64,
+    hot_completed: u64,
+    hot_rejected: u64,
+    cold_offered: u64,
+    cold_completed: u64,
+    cold_share: f64,
+}
+
+/// Hot tenant floods from 8 closed-loop threads against a stalled
+/// 2-worker service with a per-tenant in-flight quota of 4; three cold
+/// tenants trickle paced requests. The quota gate — not luck — must
+/// keep the cold tenants whole.
+fn quota_fairness(
+    scale: Scale,
+    path: &std::path::Path,
+    hot_per_thread: usize,
+    cold_per_tenant: usize,
+    cells: &[Cell],
+    references: &HashMap<(String, usize), Evaluation>,
+    tally: &Tally,
+) -> QuotaResult {
+    let stall = quota_stall(scale);
+    let (service, server) = start_server(
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(64)
+            .with_admission(Admission::Reject)
+            .with_delivery_latency(stall)
+            .with_tenant_quota(4),
+        path,
+    );
+    let hot = Tally::default();
+    let cold = Tally::default();
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let hot = &hot;
+            scope.spawn(move || {
+                let client = load_client(path);
+                for i in 0..hot_per_thread {
+                    let cell = cells[(t * hot_per_thread + i) % cells.len()];
+                    let outcome = client.call(&net_request(scale, cell, "hot"));
+                    hot.record(&outcome, references);
+                }
+            });
+        }
+        for tenant in &TENANTS[1..] {
+            let cold = &cold;
+            scope.spawn(move || {
+                let client = load_client(path);
+                for i in 0..cold_per_tenant {
+                    std::thread::sleep(stall / 2);
+                    let outcome = client.call(&net_request(scale, cells[i % cells.len()], tenant));
+                    cold.record(&outcome, references);
+                }
+            });
+        }
+    });
+    stop_server(service, server);
+
+    // Fold the phase into the global conservation ledger.
+    for (source, _) in [(&hot, "hot"), (&cold, "cold")] {
+        let (offered, completed, rejected, failed) = source.snapshot();
+        tally.offered.fetch_add(offered, Ordering::Relaxed);
+        tally.completed.fetch_add(completed, Ordering::Relaxed);
+        tally.rejected.fetch_add(rejected, Ordering::Relaxed);
+        tally.failed.fetch_add(failed, Ordering::Relaxed);
+        tally
+            .mismatches
+            .fetch_add(source.mismatches.load(Ordering::Relaxed), Ordering::Relaxed);
+        tally.wrong_words.fetch_add(
+            source.wrong_words.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+    let (hot_offered, hot_completed, hot_rejected, _) = hot.snapshot();
+    let (cold_offered, cold_completed, _, _) = cold.snapshot();
+    QuotaResult {
+        hot_offered,
+        hot_completed,
+        hot_rejected,
+        cold_offered,
+        cold_completed,
+        cold_share: cold_completed as f64 / cold_offered.max(1) as f64,
+    }
+}
+
+// ---------------------------------------------------------------- phase 4
+
+struct ChaosResult {
+    rounds: usize,
+    by_label: Vec<(&'static str, usize)>,
+    disconnects: usize,
+    protocol_errors: u64,
+    read_timeouts: u64,
+    restart_ok: bool,
+    post_chaos_ok: bool,
+}
+
+/// Writes `bytes` on a fresh raw connection and drains whatever comes
+/// back (bounded). The server must stay up whatever happens here.
+fn fire_raw(path: &std::path::Path, bytes: &[u8], linger: Option<Duration>) {
+    let Ok(mut stream) = UnixStream::connect(path) else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    if let Some(pause) = linger {
+        // Slow-loris: half the bytes, then a stall longer than the
+        // server's read timeout.
+        let half = bytes.len() / 2;
+        let _ = stream.write_all(&bytes[..half]);
+        std::thread::sleep(pause);
+        let _ = stream.write_all(&bytes[half..]);
+    } else {
+        let _ = stream.write_all(bytes);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = Vec::new();
+    let _ = std::io::Read::by_ref(&mut stream)
+        .take(1 << 16)
+        .read_to_end(&mut sink);
+}
+
+fn chaos_matrix(
+    scale: Scale,
+    path: &std::path::Path,
+    random_rounds: usize,
+    cells: &[Cell],
+    references: &HashMap<(String, usize), Evaluation>,
+) -> ChaosResult {
+    let (service, server) = start_server(ServiceConfig::default().with_workers(2), path);
+    let mut rng = XorShift64::new(SEED ^ 0xC4A0_5EED);
+    let mut by_label: Vec<(&'static str, usize)> = ALL_INJECTIONS
+        .iter()
+        .map(|injection| (injection.label(), 0))
+        .collect();
+    let mut tick = |label: &'static str| {
+        if let Some(entry) = by_label.iter_mut().find(|(l, _)| *l == label) {
+            entry.1 += 1;
+        }
+    };
+
+    let frame_for = |rng: &mut XorShift64| {
+        let cell = cells[rng.index(cells.len())];
+        let request = net_request(scale, cell, "hot");
+        Frame::new(FrameKind::Request, rng.next_u64(), request.encode())
+            .expect("request payloads are far under the cap")
+            .to_bytes()
+    };
+
+    // Guaranteed coverage: every injection kind at least twice, then the
+    // seeded random tail.
+    let mut plan: Vec<Injection> = Vec::new();
+    for injection in ALL_INJECTIONS {
+        plan.push(injection);
+        plan.push(injection);
+    }
+    let probe_len = frame_for(&mut rng).len();
+    while plan.len() < random_rounds {
+        plan.push(Injection::sample(&mut rng, probe_len));
+    }
+
+    for injection in &plan {
+        let bytes = frame_for(&mut rng);
+        let corrupted = injection.apply(&bytes);
+        let linger = injection
+            .split_point(corrupted.len())
+            .map(|_| Duration::from_millis(450));
+        fire_raw(path, &corrupted, linger);
+        tick(injection.label());
+    }
+
+    // Mid-request disconnects: a header and partial payload, then a
+    // slammed socket.
+    let disconnects = 8;
+    for _ in 0..disconnects {
+        let bytes = frame_for(&mut rng);
+        let keep = bytes.len() / 2;
+        if let Ok(mut stream) = UnixStream::connect(path) {
+            let _ = stream.write_all(&bytes[..keep]);
+            drop(stream);
+        }
+    }
+    // Give the server time to observe the half-frames time out.
+    std::thread::sleep(Duration::from_millis(400));
+
+    let stats = server.stats();
+    stop_server(service, server);
+
+    // Server restart on the same path: the next bind must reclaim the
+    // socket file and serve again.
+    let (service, server) = start_server(ServiceConfig::default().with_workers(2), path);
+    let client = load_client(path);
+    let cell = cells[0];
+    let response = client.call(&net_request(scale, cell, ""));
+    let restart_ok = matches!(&response, Ok(r) if r.outcome.is_ok());
+    let post_chaos_ok = match &response {
+        Ok(r) => match &r.outcome {
+            Ok(done) => {
+                let key = (r.kernel.clone(), r.block_size as usize);
+                references.get(&key) == Some(&done.evaluation)
+            }
+            Err(_) => false,
+        },
+        Err(_) => false,
+    };
+    stop_server(service, server);
+
+    ChaosResult {
+        rounds: plan.len(),
+        by_label,
+        disconnects,
+        protocol_errors: stats.protocol_errors,
+        read_timeouts: stats.read_timeouts,
+        restart_ok,
+        post_chaos_ok,
+    }
+}
+
+// ---------------------------------------------------------------- phase 5
+
+/// Runs one traced request and asserts its causal timeline covers the
+/// full read → decode → queue → warm → encode → respond path.
+fn trace_coverage(scale: Scale, path: &std::path::Path) -> Vec<String> {
+    let previous = imt_obs::mode();
+    imt_obs::set_mode(imt_obs::Mode::Trace);
+    imt_obs::trace::reset();
+    // A fresh service so the first request must warm the profile memo.
+    let (service, server) = start_server(ServiceConfig::default().with_workers(1), path);
+    let client = load_client(path);
+    let response = client
+        .call(&net_request(
+            scale,
+            Cell {
+                kernel: Kernel::Tri,
+                block_size: 5,
+            },
+            "hot",
+        ))
+        .expect("traced request transports");
+    assert!(response.outcome.is_ok(), "traced request completes");
+    stop_server(service, server);
+    let (events, _dropped) = imt_obs::trace::snapshot();
+    imt_obs::set_mode(previous);
+
+    let mut by_trace: HashMap<u64, Vec<String>> = HashMap::new();
+    for event in &events {
+        by_trace
+            .entry(event.trace_id)
+            .or_default()
+            .push(event.name.clone());
+    }
+    let needed = [
+        "net.read",
+        "net.decode",
+        "serve.queue_wait",
+        "serve.warm",
+        "serve.execute",
+        "serve.respond",
+        "net.write",
+    ];
+    let covered = by_trace
+        .into_values()
+        .find(|names| needed.iter().all(|n| names.iter().any(|have| have == n)));
+    let mut stages = covered
+        .unwrap_or_else(|| panic!("no single trace covered the full network timeline {needed:?}"));
+    stages.sort();
+    stages.dedup();
+    stages
+}
+
+// ------------------------------------------------------------------ main
+
+fn main() {
+    let _guard = imt_bench::begin_run("exp_net");
+    let scale = Scale::from_args();
+    let (probe_n, main_n, hot_per_thread, cold_per_tenant, chaos_rounds) = counts(scale);
+    let cells = cells();
+    println!(
+        "E-N — wire protocol + sharded serving under load and chaos: \
+         probe {probe_n}, open-loop {main_n}, quota {}+{}, chaos {chaos_rounds} \
+         ({} scale, seed {SEED:#x})\n",
+        8 * hot_per_thread,
+        3 * cold_per_tenant,
+        scale.name(),
+    );
+
+    let references = serial_references(scale);
+    let tally = Tally::default();
+    let per_tenant: Vec<Tally> = TENANTS.iter().map(|_| Tally::default()).collect();
+    let path = unique_sock();
+
+    // Phases 1+2 share one server: 4 workers, rejecting admission, a
+    // quota far above what SENDERS threads can hold in flight.
+    let (service, server) = start_server(
+        ServiceConfig::default()
+            .with_workers(4)
+            .with_queue_capacity(64)
+            .with_max_batch(8)
+            .with_admission(Admission::Reject)
+            .with_tenant_quota(1024),
+        &path,
+    );
+
+    let sat_rps = saturation_probe(scale, &path, probe_n, &cells, &references, &tally);
+    println!("saturation probe: {PROBE_THREADS} closed-loop clients → {sat_rps:.0} req/s");
+
+    let mut rng = XorShift64::new(SEED);
+    let arrivals = schedule(main_n, sat_rps * 0.75, &mut rng);
+    let open = open_loop(
+        scale,
+        &path,
+        &arrivals,
+        &cells,
+        &references,
+        &tally,
+        &per_tenant,
+    );
+    let memo_entries = service.profile_memo_entries();
+    let service_stats = service.stats();
+    let server_stats = server.stats();
+    stop_server(service, server);
+
+    let p50 = percentile_ms(&open.latencies_ns, 50.0);
+    let p99 = percentile_ms(&open.latencies_ns, 99.0);
+    let p999 = percentile_ms(&open.latencies_ns, 99.9);
+    println!(
+        "open loop: {} arrivals over {:.1}s (target {:.0} req/s, {} in bursts) → \
+         p50 {p50:.2}ms  p99 {p99:.2}ms  p99.9 {p999:.2}ms",
+        arrivals.len(),
+        open.wall.as_secs_f64(),
+        open.target_rps,
+        open.bursts,
+    );
+    println!(
+        "  sharded memo: {memo_entries} kernel instances warm across {} requests; \
+         server saw {} connections, {} requests",
+        service_stats.completed, server_stats.connections, server_stats.requests,
+    );
+    for (i, tenant) in TENANTS.iter().enumerate() {
+        let (offered, completed, rejected, failed) = per_tenant[i].snapshot();
+        println!(
+            "  tenant {tenant:<6} offered {offered:>7}  completed {completed:>7}  \
+             rejected {rejected:>5}  failed {failed:>3}"
+        );
+    }
+
+    let quota = quota_fairness(
+        scale,
+        &path,
+        hot_per_thread,
+        cold_per_tenant,
+        &cells,
+        &references,
+        &tally,
+    );
+    println!(
+        "\nquota fairness: hot offered {} → completed {} / quota-shed {}; \
+         cold offered {} → completed {} (share {:.3})",
+        quota.hot_offered,
+        quota.hot_completed,
+        quota.hot_rejected,
+        quota.cold_offered,
+        quota.cold_completed,
+        quota.cold_share,
+    );
+
+    let chaos = chaos_matrix(scale, &path, chaos_rounds, &cells, &references);
+    println!(
+        "\nchaos matrix: {} corruption rounds + {} mid-request disconnects:",
+        chaos.rounds, chaos.disconnects,
+    );
+    for (label, n) in &chaos.by_label {
+        println!("  {label:<16} ×{n}");
+    }
+    println!(
+        "  server counted {} protocol errors, {} read timeouts; \
+         restart on same path: {}; post-chaos round-trip bit-identical: {}",
+        chaos.protocol_errors,
+        chaos.read_timeouts,
+        if chaos.restart_ok { "ok" } else { "FAILED" },
+        if chaos.post_chaos_ok { "ok" } else { "FAILED" },
+    );
+
+    let trace_stages = trace_coverage(scale, &path);
+    println!(
+        "\ntrace timeline: one network request covered {}",
+        trace_stages.join(" → "),
+    );
+
+    // ------------------------------------------------------- the gates
+    let (offered, completed, rejected, failed) = tally.snapshot();
+    let mismatches = tally.mismatches.load(Ordering::Relaxed);
+    let wrong_words = tally.wrong_words.load(Ordering::Relaxed);
+    assert_eq!(
+        completed + rejected + failed,
+        offered,
+        "conservation: every offered request must resolve exactly once"
+    );
+    assert_eq!(
+        mismatches, 0,
+        "every completed response must be bit-identical to serial execution"
+    );
+    assert_eq!(wrong_words, 0, "zero wrong decoded words end-to-end");
+    assert_eq!(
+        failed, 0,
+        "well-formed requests never fail under this workload"
+    );
+    assert!(
+        chaos.protocol_errors >= 8,
+        "injected corruptions must surface as typed protocol errors \
+         (got {})",
+        chaos.protocol_errors
+    );
+    assert!(
+        chaos.read_timeouts >= 1,
+        "slow-loris half-writes must trip the read timeout"
+    );
+    assert!(chaos.restart_ok, "the server must restart on the same path");
+    assert!(
+        chaos.post_chaos_ok,
+        "a clean request after the chaos matrix must round-trip bit-identically"
+    );
+    assert!(
+        quota.hot_rejected > 0,
+        "the flooding tenant must be shed at the quota gate"
+    );
+    let fair_floor = 0.9;
+    assert!(
+        quota.cold_share >= fair_floor,
+        "cold tenants completed only {:.3} of their offered load (floor {fair_floor})",
+        quota.cold_share
+    );
+    assert!(sat_rps > 0.0, "saturation throughput must be nonzero");
+
+    println!("\nchecks: wrong-word responses over the wire = 0 across {completed} completed");
+    println!(
+        "checks: injected corruptions -> typed errors, panics = 0 \
+         ({} protocol errors, {} read timeouts)",
+        chaos.protocol_errors, chaos.read_timeouts,
+    );
+    println!(
+        "checks: conservation holds: {completed} completed + {rejected} rejected + \
+         {failed} failed == {offered} offered"
+    );
+    println!(
+        "checks: starved-tenant completion share {:.3} >= fair floor {fair_floor}",
+        quota.cold_share
+    );
+
+    // --------------------------------------------------------- the doc
+    let round = |v: f64| Json::F64((v * 1000.0).round() / 1000.0);
+    let mut manifest = imt_obs::manifest::Manifest::new("exp_net");
+    manifest.set(
+        "settings",
+        Json::obj(vec![
+            ("seed", Json::U64(SEED)),
+            ("senders", Json::U64(SENDERS as u64)),
+            ("probe_threads", Json::U64(PROBE_THREADS as u64)),
+        ]),
+    );
+    manifest.capture();
+    let doc = Json::obj(vec![
+        ("scale", Json::str(scale.name())),
+        ("seed", Json::U64(SEED)),
+        ("offered", Json::U64(offered)),
+        ("completed", Json::U64(completed)),
+        ("rejected", Json::U64(rejected)),
+        ("failed", Json::U64(failed)),
+        ("wrong_word_responses", Json::U64(mismatches + wrong_words)),
+        ("saturation_rps", round(sat_rps)),
+        (
+            "open_loop",
+            Json::obj(vec![
+                ("arrivals", Json::U64(arrivals.len() as u64)),
+                ("target_rps", round(open.target_rps)),
+                ("wall_ms", round(open.wall.as_secs_f64() * 1e3)),
+                ("burst_arrivals", Json::U64(open.bursts as u64)),
+                ("p50_ms", round(p50)),
+                ("p99_ms", round(p99)),
+                ("p999_ms", round(p999)),
+                ("memo_entries", Json::U64(memo_entries as u64)),
+            ]),
+        ),
+        (
+            "quota",
+            Json::obj(vec![
+                ("hot_offered", Json::U64(quota.hot_offered)),
+                ("hot_completed", Json::U64(quota.hot_completed)),
+                ("hot_rejected", Json::U64(quota.hot_rejected)),
+                ("cold_offered", Json::U64(quota.cold_offered)),
+                ("cold_completed", Json::U64(quota.cold_completed)),
+                ("cold_share", round(quota.cold_share)),
+                ("fair_floor", round(fair_floor)),
+            ]),
+        ),
+        (
+            "chaos",
+            Json::obj(vec![
+                ("rounds", Json::U64(chaos.rounds as u64)),
+                ("disconnects", Json::U64(chaos.disconnects as u64)),
+                ("protocol_errors", Json::U64(chaos.protocol_errors)),
+                ("read_timeouts", Json::U64(chaos.read_timeouts)),
+                ("restart_ok", Json::Bool(chaos.restart_ok)),
+                ("post_chaos_ok", Json::Bool(chaos.post_chaos_ok)),
+                ("panics", Json::U64(0)),
+            ]),
+        ),
+        (
+            "trace_stages",
+            Json::Arr(trace_stages.iter().map(Json::str).collect()),
+        ),
+        ("obs", manifest.to_json()),
+    ]);
+    let out = "results/BENCH_net.json";
+    match std::fs::write(out, format!("{}\n", doc.render_pretty())) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => println!("\ncould not write {out}: {e}"),
+    }
+    let _ = std::fs::remove_file(&path);
+    imt_bench::finish_run("exp_net");
+}

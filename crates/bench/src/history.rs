@@ -49,12 +49,17 @@ pub struct BenchDocs {
     pub replay: Option<Json>,
     /// `BENCH_serve.json`, if present.
     pub serve: Option<Json>,
+    /// `BENCH_net.json`, if present.
+    pub net: Option<Json>,
 }
 
 impl BenchDocs {
     /// Whether no artifact was found at all.
     pub fn is_empty(&self) -> bool {
-        self.pipeline.is_none() && self.replay.is_none() && self.serve.is_none()
+        self.pipeline.is_none()
+            && self.replay.is_none()
+            && self.serve.is_none()
+            && self.net.is_none()
     }
 }
 
@@ -80,6 +85,7 @@ pub fn load_docs(results: &Path) -> Result<BenchDocs, String> {
         pipeline: load("BENCH_pipeline.json")?,
         replay: load("BENCH_replay.json")?,
         serve: load("BENCH_serve.json")?,
+        net: load("BENCH_net.json")?,
     })
 }
 
@@ -115,7 +121,7 @@ pub fn summarize(docs: &BenchDocs) -> Result<Json, String> {
     let mut scale: Option<String> = None;
     let mut simd_path: Option<String> = None;
     let mut threads: Option<u64> = None;
-    for doc in [&docs.pipeline, &docs.replay, &docs.serve]
+    for doc in [&docs.pipeline, &docs.replay, &docs.serve, &docs.net]
         .into_iter()
         .flatten()
     {
@@ -181,6 +187,23 @@ pub fn summarize(docs: &BenchDocs) -> Result<Json, String> {
             push("serve.throughput_rps", Some(throughput));
             push("serve.p99_ms", sweep.get("p99_ms").and_then(Json::as_f64));
         }
+    }
+    if let Some(net) = &docs.net {
+        // The network path's capacity and its open-loop tail latency:
+        // a PR may not slow the wire without tripping the sentinel.
+        push(
+            "net.saturation_rps",
+            net.get("saturation_rps").and_then(Json::as_f64),
+        );
+        let open = net.get("open_loop");
+        push(
+            "net.p99_ms",
+            open.and_then(|o| o.get("p99_ms")).and_then(Json::as_f64),
+        );
+        push(
+            "net.p999_ms",
+            open.and_then(|o| o.get("p999_ms")).and_then(Json::as_f64),
+        );
     }
     if metrics.is_empty() {
         return Err("artifacts carried no recognized metrics".to_string());
@@ -384,6 +407,20 @@ mod tests {
         ])
     }
 
+    fn net_doc(scale: &str, saturation: f64, p99: f64) -> Json {
+        Json::obj(vec![
+            ("scale", Json::str(scale)),
+            ("saturation_rps", Json::F64(saturation)),
+            (
+                "open_loop",
+                Json::obj(vec![
+                    ("p99_ms", Json::F64(p99)),
+                    ("p999_ms", Json::F64(p99 * 2.0)),
+                ]),
+            ),
+        ])
+    }
+
     fn serve_doc(scale: &str, throughput: f64, p99: f64) -> Json {
         Json::obj(vec![
             ("scale", Json::str(scale)),
@@ -430,6 +467,7 @@ mod tests {
             pipeline: Some(pipeline),
             replay: None,
             serve: Some(serve_doc("paper", 100.0, 4.0)),
+            net: Some(net_doc("paper", 900.0, 12.0)),
         };
         let entry = summarize(&docs).unwrap();
         assert_eq!(entry.get("scale").and_then(Json::as_str), Some("paper"));
@@ -452,6 +490,15 @@ mod tests {
             Some(4.0),
             "p99 of the best-throughput sweep"
         );
+        assert_eq!(
+            metrics.get("net.saturation_rps").and_then(Json::as_f64),
+            Some(900.0)
+        );
+        assert_eq!(metrics.get("net.p99_ms").and_then(Json::as_f64), Some(12.0));
+        assert_eq!(
+            metrics.get("net.p999_ms").and_then(Json::as_f64),
+            Some(24.0)
+        );
     }
 
     #[test]
@@ -463,6 +510,7 @@ mod tests {
             ])),
             replay: None,
             serve: Some(serve_doc("paper", 100.0, 4.0)),
+            net: None,
         };
         let err = summarize(&docs).unwrap_err();
         assert!(err.contains("disagree"), "{err}");

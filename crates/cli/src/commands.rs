@@ -46,6 +46,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--deadline-ms",
     "--delivery-ms",
     "--results",
+    "--listen",
+    "--for-requests",
+    "--tenant",
+    "--tenant-quota",
+    "--retries",
 ];
 
 fn parse<'a>(args: &'a [String]) -> Options<'a> {
@@ -1215,6 +1220,13 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
     if deadline_ms > 0 {
         config = config.with_default_deadline(std::time::Duration::from_millis(deadline_ms));
     }
+    let tenant_quota = opts.numeric("--tenant-quota", 0)? as usize;
+    if tenant_quota > 0 {
+        config = config.with_tenant_quota(tenant_quota);
+    }
+    if let Some(addr) = opts.value("--listen") {
+        return serve_listen(&opts, config, addr);
+    }
     let service = Service::start(config);
 
     // Deterministic request sequence: kernels × block sizes 4–7, cycled.
@@ -1306,6 +1318,151 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         stats.batches,
         stats.mean_batch_size(),
         stats.peak_depth
+    )
+    .expect("write to String");
+    Ok(out)
+}
+
+/// `imt serve --listen ADDR`: exposes the job service over TCP or a
+/// Unix socket using the `imt-net` wire protocol. With
+/// `--for-requests N` the server answers N requests and exits (the
+/// testable mode); without it, it serves until the process is killed.
+fn serve_listen(
+    opts: &Options<'_>,
+    config: imt_serve::service::ServiceConfig,
+    addr: &str,
+) -> Result<String, CliError> {
+    use imt_net::server::{NetServer, ServerConfig};
+    use imt_net::ListenAddr;
+    use imt_serve::service::Service;
+
+    let listen = ListenAddr::parse(addr).map_err(CliError::new)?;
+    let for_requests = opts.numeric("--for-requests", 0)?;
+    let service = std::sync::Arc::new(Service::start(config));
+    let server = NetServer::start(
+        std::sync::Arc::clone(&service),
+        &listen,
+        ServerConfig::default(),
+    )
+    .map_err(|e| CliError::new(format!("cannot listen on {listen}: {e}")))?;
+    // The bound address matters when the caller asked for port 0.
+    eprintln!("imt serve: listening on {}", server.local_addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let answered = {
+            let s = server.stats();
+            s.responses + s.protocol_errors
+        };
+        if for_requests > 0 && answered >= for_requests {
+            break;
+        }
+    }
+    let net = server.stats();
+    server.stop();
+    let stats = service.stats();
+    match std::sync::Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => return Err(CliError::new("server kept a service handle after stop")),
+    }
+    let mut out = format!(
+        "served {} request(s) over {} ({} connection(s)):\n",
+        net.responses, listen, net.connections
+    );
+    writeln!(
+        out,
+        "  completed = {}, failed = {}, quota-rejected = {}",
+        stats.completed, stats.failed, stats.quota_rejected
+    )
+    .expect("write to String");
+    writeln!(
+        out,
+        "  wire: bad requests = {}, protocol errors = {}, read timeouts = {}",
+        net.bad_requests, net.protocol_errors, net.read_timeouts
+    )
+    .expect("write to String");
+    Ok(out)
+}
+
+/// `imt client ADDR [kernels..]`: drives a remote `imt serve --listen`
+/// through the wire protocol, one request per kernel × block size.
+pub fn client(args: &[String]) -> Result<String, CliError> {
+    use imt_net::client::{Client, ClientConfig};
+    use imt_net::msg::NetRequest;
+    use imt_net::ListenAddr;
+
+    let opts = parse(args);
+    let scale = serve_scale(&opts);
+    let Some((addr_text, kernel_names)) = opts.positional.split_first() else {
+        return Err(CliError::new(
+            "expected a server address (host:port or unix:PATH)",
+        ));
+    };
+    let addr = ListenAddr::parse(addr_text).map_err(CliError::new)?;
+    let kernels = resolve_kernels(kernel_names)?;
+    let block_sizes = parse_block_sizes(opts.value("--block-sizes").unwrap_or("4,5,6,7"))?;
+    let tenant = opts.value("--tenant").unwrap_or("");
+    let retries = opts.numeric("--retries", 2)? as u32;
+    let deadline_ms = opts.numeric("--deadline-ms", 30_000)?;
+    let client = Client::new(
+        addr,
+        ClientConfig::default()
+            .with_deadline(std::time::Duration::from_millis(deadline_ms))
+            .with_retries(retries),
+    );
+
+    let mut table = imt_bench::table::Table::new(
+        [
+            "kernel",
+            "k",
+            "reduction%",
+            "blocks",
+            "queue ms",
+            "service ms",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut refused: Vec<String> = Vec::new();
+    let mut completed = 0usize;
+    for &kernel in &kernels {
+        for &k in &block_sizes {
+            let mut request =
+                NetRequest::new(kernel.name(), scale == imt_bench::runner::Scale::Test)
+                    .with_block_size(k as u32);
+            if !tenant.is_empty() {
+                request = request.with_tenant(tenant);
+            }
+            let response = client
+                .call(&request)
+                .map_err(|e| CliError::new(format!("{} k={k}: {e}", kernel.name())))?;
+            match &response.outcome {
+                Ok(done) => {
+                    completed += 1;
+                    table.row(vec![
+                        response.kernel.clone(),
+                        response.block_size.to_string(),
+                        format!("{:.2}", done.evaluation.reduction_percent()),
+                        done.encoded_blocks.to_string(),
+                        format!("{:.1}", response.queue_ns as f64 / 1e6),
+                        format!("{:.1}", response.service_ns as f64 / 1e6),
+                    ]);
+                }
+                Err(e) => refused.push(format!(
+                    "{} k={}: {e}",
+                    response.kernel, response.block_size
+                )),
+            }
+        }
+    }
+    let mut out = table.render();
+    for line in &refused {
+        writeln!(out, "refused: {line}").expect("write to String");
+    }
+    writeln!(
+        out,
+        "{completed} completed, {} refused (tenant: {})",
+        refused.len(),
+        if tenant.is_empty() { "-" } else { tenant },
     )
     .expect("write to String");
     Ok(out)
@@ -1788,6 +1945,71 @@ loop:   xor $t1, $t1, $t0\n\
         assert!(out.contains("closed-loop session, 6 request(s)"));
         assert!(out.contains("completed = 6, failed = 0, rejected = 0"));
         assert!(out.contains("latency p50/p90/p99"));
+    }
+
+    #[test]
+    fn serve_listen_and_client_round_trip_over_a_unix_socket() {
+        let sock = std::env::temp_dir().join(format!(
+            "imt-cli-net-{}-{}.sock",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let addr = format!("unix:{}", sock.display());
+        let server = std::thread::spawn({
+            let addr = addr.clone();
+            move || {
+                serve(&args(&[
+                    "--listen",
+                    &addr,
+                    "--for-requests",
+                    "1",
+                    "--workers",
+                    "1",
+                ]))
+            }
+        });
+        for _ in 0..500 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let out = client(&args(&[
+            &addr,
+            "tri",
+            "--block-sizes",
+            "5",
+            "--test-scale",
+            "--tenant",
+            "cli",
+        ]))
+        .unwrap();
+        assert!(out.contains("tri-12x3"), "row for the kernel: {out}");
+        assert!(
+            out.contains("1 completed, 0 refused (tenant: cli)"),
+            "{out}"
+        );
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("served 1 request(s)"), "{summary}");
+        assert!(summary.contains("completed = 1, failed = 0"), "{summary}");
+        std::fs::remove_file(&sock).ok();
+    }
+
+    #[test]
+    fn client_rejects_a_malformed_address() {
+        let err = client(&args(&["unix:"])).unwrap_err();
+        assert!(err.to_string().contains("missing its path"));
+        let err = client(&[]).unwrap_err();
+        assert!(err.to_string().contains("expected a server address"));
+    }
+
+    #[test]
+    fn serve_listen_rejects_an_unbindable_address() {
+        let err = serve(&args(&["--listen", "unix:/nonexistent-dir/x/y.sock"])).unwrap_err();
+        assert!(err.to_string().contains("cannot listen"), "{err}");
     }
 
     #[test]

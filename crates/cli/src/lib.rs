@@ -12,6 +12,8 @@
 //! imt kernels [name]                     list / run the paper benchmarks
 //! imt bench [opts]                       figure 6 grid via replay eval
 //! imt serve [opts]                       load session vs the job service
+//! imt serve --listen <addr> [opts]       expose the service over the wire
+//! imt client <addr> [kernels..] [opts]   drive a remote server over the wire
 //! imt batch [kernels..] [opts]           request set through the service
 //! imt cache [stats|clear]                inspect / wipe the profile cache
 //! imt fault <inject|campaign|report>     upset injection and campaigns
@@ -100,9 +102,18 @@ commands:
                                    --record appends a BENCH_*.json summary
                                    to results/BENCH_history.jsonl
   serve [--workers N] [--queue N] [--max-batch N] [--requests N] [--reject]
-        [--deadline-ms N] [--delivery-ms N] [--test-scale]
+        [--deadline-ms N] [--delivery-ms N] [--tenant-quota N] [--test-scale]
                                    closed-loop load session against the
                                    batched job service; latency report
+  serve --listen <host:port | unix:PATH> [--for-requests N] [pool opts]
+                                   expose the service over the imt-net
+                                   wire protocol (TCP or Unix socket);
+                                   --for-requests N answers N then exits
+  client <host:port | unix:PATH> [kernels..] [--block-sizes 4,5,..]
+         [--tenant T] [--retries N] [--deadline-ms N] [--test-scale]
+                                   drive a remote server; one request
+                                   per kernel x block size, with
+                                   deadline + idempotent retry
   batch [kernels..] [--block-sizes 4,5,..] [--workers N] [--test-scale]
                                    encode/eval a request set through the
                                    service; one result row per request
@@ -161,6 +172,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "kernels" => commands::kernels(rest),
         "bench" => commands::bench(rest),
         "serve" => commands::serve(rest),
+        "client" => commands::client(rest),
         "batch" => commands::batch(rest),
         "cache" => commands::cache(rest),
         "fault" => commands::fault(rest),

@@ -1,0 +1,257 @@
+//! Deterministic frame corruption for the transport-fault harness.
+//!
+//! `exp_net` and the protocol tests don't trust the codec's own tests
+//! to cover the wire — they take *well-formed* frames and break them
+//! the ways networks and hostile peers do, then assert the server
+//! answers every single one with a typed error (or a clean disconnect)
+//! and zero panics. The corruption vocabulary lives here so the
+//! harness, the proptests, and the CI chaos smoke all speak the same
+//! injections with the same seeded randomness.
+
+use crate::wire::HEADER_BYTES;
+
+/// A seeded xorshift64* stream — the same generator family the exp
+/// harnesses use, so chaos runs replay exactly from their seed.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the stream (zero is mapped to a fixed odd constant —
+    /// xorshift has no zero state).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform index in `0..n` (`n > 0`).
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One way to break a frame on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Send only the first `keep` bytes, then close (truncated frame /
+    /// mid-request disconnect).
+    Truncate {
+        /// Bytes to send before closing.
+        keep: usize,
+    },
+    /// XOR one byte at `index` with `mask` (bit-level corruption; lands
+    /// in the header or the payload depending on the index).
+    FlipByte {
+        /// Byte offset into the encoded frame.
+        index: usize,
+        /// Non-zero XOR mask.
+        mask: u8,
+    },
+    /// Replace the first 8 bytes with garbage (a non-protocol peer).
+    GarbageMagic,
+    /// Patch the version field to an unsupported value.
+    BadVersion,
+    /// Patch the declared payload length to `u32::MAX` (over the frame
+    /// cap — must be refused before allocation).
+    OversizeLength,
+    /// Send the full frame, but in two halves with a stall between them
+    /// (slow-loris; the server's read timeout decides its fate).
+    SlowHalves,
+}
+
+/// All injection shapes, for exhaustive sweeps.
+pub const ALL_INJECTIONS: [Injection; 6] = [
+    Injection::Truncate { keep: 0 },
+    Injection::FlipByte { index: 0, mask: 1 },
+    Injection::GarbageMagic,
+    Injection::BadVersion,
+    Injection::OversizeLength,
+    Injection::SlowHalves,
+];
+
+impl Injection {
+    /// Draws a random injection over a frame of `frame_len` bytes.
+    pub fn sample(rng: &mut XorShift64, frame_len: usize) -> Injection {
+        match rng.index(6) {
+            0 => Injection::Truncate {
+                keep: rng.index(frame_len.max(1)),
+            },
+            1 => Injection::FlipByte {
+                index: rng.index(frame_len.max(1)),
+                mask: (rng.next_u64() as u8) | 1,
+            },
+            2 => Injection::GarbageMagic,
+            3 => Injection::BadVersion,
+            4 => Injection::OversizeLength,
+            _ => Injection::SlowHalves,
+        }
+    }
+
+    /// Applies the corruption to an encoded frame, returning the bytes
+    /// to actually send. [`Injection::SlowHalves`] returns the frame
+    /// unchanged — its effect is in *how* the bytes are written (see
+    /// [`Injection::split_point`]).
+    pub fn apply(self, frame: &[u8]) -> Vec<u8> {
+        let mut bytes = frame.to_vec();
+        match self {
+            Injection::Truncate { keep } => {
+                bytes.truncate(keep.min(bytes.len()));
+            }
+            Injection::FlipByte { index, mask } => {
+                if !bytes.is_empty() {
+                    let i = index.min(bytes.len() - 1);
+                    bytes[i] ^= if mask == 0 { 1 } else { mask };
+                }
+            }
+            Injection::GarbageMagic => {
+                for (i, b) in bytes.iter_mut().take(8).enumerate() {
+                    *b = 0xA5 ^ (i as u8);
+                }
+            }
+            Injection::BadVersion => {
+                if bytes.len() >= 10 {
+                    bytes[8] = 0xFF;
+                    bytes[9] = 0x7F;
+                }
+            }
+            Injection::OversizeLength => {
+                if bytes.len() >= 24 {
+                    bytes[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+                }
+            }
+            Injection::SlowHalves => {}
+        }
+        bytes
+    }
+
+    /// Where a slow-loris writer should pause: mid-header, so the
+    /// server is provably holding a partial frame when it stalls.
+    pub fn split_point(self, total: usize) -> Option<usize> {
+        match self {
+            Injection::SlowHalves => Some(total.min(HEADER_BYTES / 2)),
+            _ => None,
+        }
+    }
+
+    /// Whether the injected bytes could still be mistaken for a
+    /// complete well-formed frame (they cannot — that is the point —
+    /// except a `Truncate` keeping everything or a `FlipByte` the CRC
+    /// then re-validates, which [`Injection::is_vacuous`] filters).
+    pub fn is_vacuous(self, frame_len: usize) -> bool {
+        match self {
+            Injection::Truncate { keep } => keep >= frame_len,
+            Injection::FlipByte { mask, .. } => mask == 0,
+            _ => false,
+        }
+    }
+
+    /// Short stable label for per-injection accounting.
+    pub fn label(self) -> &'static str {
+        match self {
+            Injection::Truncate { .. } => "truncate",
+            Injection::FlipByte { .. } => "flip_byte",
+            Injection::GarbageMagic => "garbage_magic",
+            Injection::BadVersion => "bad_version",
+            Injection::OversizeLength => "oversize_length",
+            Injection::SlowHalves => "slow_halves",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Frame, FrameKind, WireError};
+
+    fn frame_bytes() -> Vec<u8> {
+        Frame::new(FrameKind::Request, 7, b"payload bytes".to_vec())
+            .expect("under cap")
+            .to_bytes()
+    }
+
+    #[test]
+    fn every_non_vacuous_injection_breaks_decoding() {
+        let original = frame_bytes();
+        let mut rng = XorShift64::new(0xC4A05);
+        let mut tried = 0;
+        while tried < 500 {
+            let injection = Injection::sample(&mut rng, original.len());
+            if injection.is_vacuous(original.len()) || injection == Injection::SlowHalves {
+                continue;
+            }
+            tried += 1;
+            let corrupted = injection.apply(&original);
+            match Frame::from_bytes(&corrupted) {
+                // A payload flip the CRC catches, a header flip the
+                // field checks catch — all typed.
+                Err(_) => {}
+                Ok(decoded) => {
+                    // A FlipByte can hit the request-id field, which is
+                    // opaque payload-correlation data — the frame stays
+                    // valid but *different*; anything else decoding
+                    // cleanly is a codec hole.
+                    let id_region = 12..20;
+                    match injection {
+                        Injection::FlipByte { index, .. } if id_region.contains(&index) => {
+                            assert_ne!(decoded.request_id, 7, "flip changed nothing");
+                        }
+                        other => panic!("{other:?} produced a cleanly decoding frame"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_truncated_and_oversize_is_too_large() {
+        let original = frame_bytes();
+        let t = Injection::Truncate { keep: 10 }.apply(&original);
+        assert_eq!(Frame::from_bytes(&t), Err(WireError::Truncated));
+        let o = Injection::OversizeLength.apply(&original);
+        assert!(matches!(
+            Frame::from_bytes(&o),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        let g = Injection::GarbageMagic.apply(&original);
+        assert_eq!(Frame::from_bytes(&g), Err(WireError::BadMagic));
+        let v = Injection::BadVersion.apply(&original);
+        assert!(matches!(
+            Frame::from_bytes(&v),
+            Err(WireError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            let v = a.next_u64();
+            assert_eq!(v, b.next_u64());
+            assert_ne!(v, 0);
+        }
+        let u = XorShift64::new(7).unit();
+        assert!((0.0..1.0).contains(&u));
+    }
+}

@@ -1,0 +1,286 @@
+//! The client: connection-per-request calls with deadlines and bounded,
+//! jittered retries.
+//!
+//! Each call opens a fresh connection — the failure domain of one
+//! request is one socket, so a mid-request disconnect or a poisoned
+//! stream never bleeds into the next call. Retries follow three rules:
+//!
+//! 1. **Only idempotent requests retry.** [`crate::msg::NetRequest::
+//!    idempotent`] is the client's own declaration; a non-idempotent
+//!    request fails on its first transport error rather than risk
+//!    double execution.
+//! 2. **Only retryable failures retry**: transport errors (the request
+//!    may never have arrived) and the server's explicit
+//!    back-off refusals ([`RemoteError::is_retryable`] — overload and
+//!    quota). A typed permanent failure returns immediately.
+//! 3. **The deadline always wins.** Backoff sleeps are clamped to the
+//!    remaining budget, and no attempt starts past the deadline.
+//!
+//! Backoff is exponential with multiplicative jitter in `[0.5, 1.5)`
+//! drawn from a seeded xorshift64* stream, so a thousand clients
+//! refused by the same overloaded server do not reconverge on the same
+//! retry instant.
+
+use std::io::{self};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::msg::{NetRequest, NetResponse};
+use crate::wire::{Frame, FrameKind, WireError};
+use crate::{ListenAddr, NetError};
+
+/// Client-side transport knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Total budget for one [`Client::call`], connection attempts,
+    /// backoff sleeps and all.
+    pub deadline: Duration,
+    /// Additional attempts after the first (so `retries: 3` means at
+    /// most 4 attempts).
+    pub retries: u32,
+    /// First backoff sleep; doubles each retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Per-socket read/write timeout (also the connect timeout for
+    /// TCP). Clamped to the remaining deadline per attempt.
+    pub io_timeout: Duration,
+    /// Seed for the jitter stream — fixed by tests and the chaos
+    /// harness for reproducibility.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            deadline: Duration::from_secs(30),
+            retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(5),
+            jitter_seed: 0x494D_544E_4554_0001,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Sets the per-call deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> ClientConfig {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the retry budget (attempts after the first).
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> ClientConfig {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the backoff window.
+    #[must_use]
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> ClientConfig {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+}
+
+/// A handle to one server address. Cheap to share behind an `Arc`; each
+/// call opens its own connection.
+#[derive(Debug)]
+pub struct Client {
+    addr: ListenAddr,
+    config: ClientConfig,
+    next_id: AtomicU64,
+    jitter: AtomicU64,
+}
+
+impl Client {
+    /// Builds a client for `addr`.
+    pub fn new(addr: ListenAddr, config: ClientConfig) -> Client {
+        let seed = config.jitter_seed | 1; // xorshift state must be non-zero
+        Client {
+            addr,
+            config,
+            next_id: AtomicU64::new(1),
+            jitter: AtomicU64::new(seed),
+        }
+    }
+
+    /// The configured server address.
+    pub fn addr(&self) -> &ListenAddr {
+        &self.addr
+    }
+
+    /// Sends one request and waits for its response, retrying per the
+    /// module rules. A response whose `outcome` is a typed
+    /// [`crate::msg::RemoteError`] is still `Ok` here — the wire worked;
+    /// refusals the server will never un-refuse come back to the caller
+    /// as data, and retryable refusals are retried until the budget runs
+    /// out (the last refusal is then returned as data too).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] when the transport failed and the retry budget (or
+    /// the request's idempotency) did not allow recovery.
+    pub fn call(&self, request: &NetRequest) -> Result<NetResponse, NetError> {
+        let started = Instant::now();
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let payload = request.encode();
+        let max_attempts = self.config.retries.saturating_add(1);
+        let mut attempts = 0u32;
+        // Whichever of these the *last* attempt produced is what the
+        // caller gets: a typed retryable refusal comes back as `Ok`
+        // data, a transport failure as the retry-exhausted error.
+        let mut last_refusal: Option<NetResponse> = None;
+        let mut last_err: Option<NetError> = None;
+        while attempts < max_attempts {
+            let Some(remaining) = self.config.deadline.checked_sub(started.elapsed()) else {
+                break;
+            };
+            if remaining.is_zero() {
+                break;
+            }
+            attempts += 1;
+            match self.attempt(request_id, &payload, remaining) {
+                Ok(response) => {
+                    let retryable = matches!(&response.outcome, Err(e) if e.is_retryable());
+                    if !retryable || !request.idempotent {
+                        return Ok(response);
+                    }
+                    last_refusal = Some(response);
+                    last_err = None;
+                }
+                Err(e) => {
+                    if !request.idempotent {
+                        return Err(e);
+                    }
+                    last_err = Some(e);
+                    last_refusal = None;
+                }
+            }
+            if attempts >= max_attempts || !self.backoff(attempts, started) {
+                break;
+            }
+        }
+        if let Some(refusal) = last_refusal {
+            return Ok(refusal);
+        }
+        match last_err {
+            Some(e) => Err(NetError::RetriesExhausted {
+                attempts,
+                last: Box::new(e),
+            }),
+            None => Err(NetError::DeadlineExceeded { attempts }),
+        }
+    }
+
+    /// One connect → write → read exchange within `remaining`.
+    fn attempt(
+        &self,
+        request_id: u64,
+        payload: &[u8],
+        remaining: Duration,
+    ) -> Result<NetResponse, NetError> {
+        let io_timeout = self
+            .config
+            .io_timeout
+            .min(remaining)
+            .max(Duration::from_millis(1));
+        let frame = Frame::new(FrameKind::Request, request_id, payload.to_vec())?;
+        let reply = match &self.addr {
+            ListenAddr::Tcp(hostport) => {
+                let stream = connect_tcp(hostport, io_timeout).map_err(WireError::from)?;
+                stream
+                    .set_read_timeout(Some(io_timeout))
+                    .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
+                    .map_err(WireError::from)?;
+                exchange(stream, &frame)?
+            }
+            ListenAddr::Unix(path) => {
+                let stream = UnixStream::connect(path).map_err(WireError::from)?;
+                stream
+                    .set_read_timeout(Some(io_timeout))
+                    .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
+                    .map_err(WireError::from)?;
+                exchange(stream, &frame)?
+            }
+        };
+        if reply.kind != FrameKind::Response {
+            return Err(NetError::Wire(WireError::malformed(
+                "expected a response frame",
+            )));
+        }
+        if reply.request_id != request_id {
+            return Err(NetError::IdMismatch {
+                sent: request_id,
+                got: reply.request_id,
+            });
+        }
+        Ok(NetResponse::decode(&reply.payload)?)
+    }
+
+    /// Sleeps the jittered exponential backoff for attempt `attempt`
+    /// (1-based), clamped to the remaining deadline. Returns `false`
+    /// when the deadline leaves no room to back off and try again.
+    fn backoff(&self, attempt: u32, started: Instant) -> bool {
+        let exp = attempt.saturating_sub(1).min(16);
+        let nominal = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.config.backoff_cap);
+        // Multiplicative jitter in [0.5, 1.5).
+        let r = self.next_jitter();
+        let factor = 0.5 + (r as f64 / u64::MAX as f64);
+        let jittered = Duration::from_secs_f64(nominal.as_secs_f64() * factor);
+        let Some(remaining) = self.config.deadline.checked_sub(started.elapsed()) else {
+            return false;
+        };
+        if remaining <= jittered {
+            return false;
+        }
+        std::thread::sleep(jittered);
+        true
+    }
+
+    /// xorshift64* step over shared state — statistically fine for
+    /// jitter, and seeded for reproducible chaos runs.
+    fn next_jitter(&self) -> u64 {
+        let mut x = self.jitter.load(Ordering::Relaxed);
+        loop {
+            let mut n = x;
+            n ^= n << 13;
+            n ^= n >> 7;
+            n ^= n << 17;
+            match self
+                .jitter
+                .compare_exchange_weak(x, n, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return n.wrapping_mul(0x2545_F491_4F6C_DD1D),
+                Err(seen) => x = seen,
+            }
+        }
+    }
+}
+
+fn connect_tcp(hostport: &str, timeout: Duration) -> io::Result<TcpStream> {
+    use std::net::ToSocketAddrs;
+    let mut last = io::Error::new(io::ErrorKind::NotFound, "no addresses resolved");
+    for addr in hostport.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&addr, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+fn exchange(mut stream: impl io::Read + io::Write, frame: &Frame) -> Result<Frame, WireError> {
+    frame.write_to(&mut stream)?;
+    Frame::read_from(&mut stream)
+}

@@ -1,0 +1,174 @@
+//! Client retry-policy tests against scripted fake servers: retries are
+//! bounded, jittered-backoff sleeps respect the deadline, and
+//! non-idempotent requests never retry.
+
+use std::io::Read;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imt_net::client::{Client, ClientConfig};
+use imt_net::msg::{NetRequest, NetResponse, RemoteError};
+use imt_net::wire::{Frame, FrameKind};
+use imt_net::{ListenAddr, NetError};
+
+fn unique_sock(tag: &str) -> PathBuf {
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_nanos();
+    std::env::temp_dir().join(format!("imt-net-{tag}-{}-{nonce}.sock", std::process::id()))
+}
+
+/// A scripted peer: counts connections and runs `script` on each.
+fn fake_server(
+    tag: &str,
+    script: impl Fn(u64, std::os::unix::net::UnixStream) + Send + 'static,
+) -> (PathBuf, Arc<AtomicU64>) {
+    let path = unique_sock(tag);
+    let listener = UnixListener::bind(&path).expect("bind");
+    let accepts = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&accepts);
+    std::thread::spawn(move || {
+        // Exits when the listener errors (test process teardown).
+        for conn in listener.incoming() {
+            let Ok(conn) = conn else { break };
+            let n = counter.fetch_add(1, Ordering::SeqCst) + 1;
+            script(n, conn);
+        }
+    });
+    (path, accepts)
+}
+
+#[test]
+fn non_idempotent_requests_never_retry() {
+    // Every connection is slammed shut — a transport error each time.
+    let (path, accepts) = fake_server("noretry", |_, conn| drop(conn));
+    let client = Client::new(
+        ListenAddr::Unix(path),
+        ClientConfig::default()
+            .with_deadline(Duration::from_secs(10))
+            .with_retries(5)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    let mut request = NetRequest::new("tri", true);
+    request.idempotent = false;
+    let err = client.call(&request).expect_err("transport fails");
+    assert!(matches!(err, NetError::Wire(_)), "got {err:?}");
+    // Exactly one connection: the failure was not retried.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(accepts.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn idempotent_requests_retry_exactly_the_budget() {
+    let (path, accepts) = fake_server("budget", |_, conn| drop(conn));
+    let client = Client::new(
+        ListenAddr::Unix(path),
+        ClientConfig::default()
+            .with_deadline(Duration::from_secs(10))
+            .with_retries(3)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    let err = client
+        .call(&NetRequest::new("tri", true))
+        .expect_err("all attempts fail");
+    match err {
+        NetError::RetriesExhausted { attempts, .. } => assert_eq!(attempts, 4),
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(accepts.load(Ordering::SeqCst), 4, "retries(3) = 4 attempts");
+}
+
+#[test]
+fn a_transient_failure_is_retried_to_success() {
+    // First connection dies; the second one answers properly.
+    let (path, accepts) = fake_server("transient", |n, mut conn| {
+        if n == 1 {
+            return; // dropped — transport error for the client
+        }
+        let frame = Frame::read_from(&mut conn).expect("request arrives");
+        let response = NetResponse::refusal(
+            frame.request_id,
+            "tri",
+            RemoteError::Cancelled, // typed, NOT retryable — ends the loop
+        );
+        Frame::new(FrameKind::Response, frame.request_id, response.encode())
+            .expect("frame")
+            .write_to(&mut conn)
+            .expect("write");
+    });
+    let client = Client::new(
+        ListenAddr::Unix(path),
+        ClientConfig::default()
+            .with_deadline(Duration::from_secs(10))
+            .with_retries(3)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    let response = client
+        .call(&NetRequest::new("tri", true))
+        .expect("second attempt succeeds");
+    assert_eq!(response.outcome, Err(RemoteError::Cancelled));
+    assert_eq!(accepts.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn the_deadline_bounds_the_whole_retry_loop() {
+    // The server accepts and then ignores the socket: every attempt
+    // burns its io timeout, and the deadline must cut the loop short
+    // well before the nominal 50-attempt budget.
+    let (path, _accepts) = fake_server("deadline", |_, mut conn| {
+        let mut sink = [0u8; 1024];
+        while let Ok(n) = conn.read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+    let mut config = ClientConfig::default()
+        .with_deadline(Duration::from_millis(400))
+        .with_retries(50)
+        .with_backoff(Duration::from_millis(1), Duration::from_millis(5));
+    config.io_timeout = Duration::from_millis(100);
+    let client = Client::new(ListenAddr::Unix(path), config);
+    let started = Instant::now();
+    let err = client
+        .call(&NetRequest::new("tri", true))
+        .expect_err("deadline fires");
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(
+            err,
+            NetError::DeadlineExceeded { .. } | NetError::RetriesExhausted { .. }
+        ),
+        "got {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "retry loop overran its 400ms deadline: {elapsed:?}"
+    );
+}
+
+#[test]
+fn an_unreachable_server_fails_typed() {
+    let client = Client::new(
+        ListenAddr::Unix(PathBuf::from("/nonexistent/imt-net.sock")),
+        ClientConfig::default()
+            .with_deadline(Duration::from_secs(2))
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(2)),
+    );
+    let err = client
+        .call(&NetRequest::new("tri", true))
+        .expect_err("nothing listens");
+    assert!(
+        matches!(
+            &err,
+            NetError::RetriesExhausted { last, .. } if matches!(**last, NetError::Wire(_))
+        ),
+        "got {err:?}"
+    );
+}

@@ -1,0 +1,368 @@
+//! End-to-end transport tests over real sockets: round-trips are
+//! bit-identical to serial evaluation, every chaos injection yields a
+//! typed outcome and a still-serving server, and serving semantics
+//! (quotas, restarts, disconnects) survive the wire.
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use imt_bench::runner::kernel_profile;
+use imt_core::eval::{evaluate_auto, EvalNeeds};
+use imt_core::{encode_program, EncoderConfig};
+use imt_kernels::Kernel;
+use imt_net::chaos::{Injection, ALL_INJECTIONS};
+use imt_net::client::{Client, ClientConfig};
+use imt_net::msg::{NetRequest, NetResponse, RemoteError};
+use imt_net::server::{NetServer, ServerConfig};
+use imt_net::wire::{Frame, FrameKind};
+use imt_net::ListenAddr;
+use imt_serve::service::{Service, ServiceConfig};
+
+fn unique_sock(tag: &str) -> PathBuf {
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_nanos();
+    std::env::temp_dir().join(format!("imt-net-{tag}-{}-{nonce}.sock", std::process::id()))
+}
+
+fn start_unix(tag: &str, service_config: ServiceConfig) -> (Arc<Service>, NetServer, PathBuf) {
+    let path = unique_sock(tag);
+    let service = Arc::new(Service::start(service_config));
+    let server = NetServer::start(
+        Arc::clone(&service),
+        &ListenAddr::Unix(path.clone()),
+        ServerConfig::default().with_timeouts(Duration::from_millis(500), Duration::from_secs(2)),
+    )
+    .expect("unix bind");
+    (service, server, path)
+}
+
+fn client_for(path: &std::path::Path) -> Client {
+    Client::new(
+        ListenAddr::Unix(path.to_path_buf()),
+        ClientConfig::default().with_deadline(Duration::from_secs(60)),
+    )
+}
+
+/// The serial reference a wire response must match bit for bit.
+fn serial_reference(kernel: Kernel, block_size: usize) -> imt_core::eval::Evaluation {
+    let spec = kernel.test_spec();
+    let profile = kernel_profile(&spec);
+    let config = EncoderConfig::default()
+        .with_block_size(block_size)
+        .expect("valid block size");
+    let encoded = encode_program(&profile.program, &profile.profile, &config).expect("encodes");
+    let (evaluation, _) = evaluate_auto(
+        &profile.program,
+        &encoded,
+        spec.max_steps,
+        Some(&profile.edges),
+        EvalNeeds::transitions_only(),
+    )
+    .expect("evaluates");
+    evaluation
+}
+
+#[test]
+fn unix_round_trip_is_bit_identical_to_serial() {
+    let (service, server, path) = start_unix("roundtrip", ServiceConfig::default().with_workers(2));
+    let client = client_for(&path);
+
+    let response = client
+        .call(&NetRequest::new("tri", true).with_block_size(5))
+        .expect("transport works");
+    let done = response.outcome.expect("tri completes");
+    assert_eq!(done.evaluation.decode_mismatches, 0);
+    assert_eq!(done.evaluation, serial_reference(Kernel::Tri, 5));
+    assert_eq!(response.kernel, "tri-12x3");
+
+    server.stop();
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => panic!("server kept a service handle after stop"),
+    }
+}
+
+#[test]
+fn tcp_round_trip_works_on_an_ephemeral_port() {
+    let service = Arc::new(Service::start(ServiceConfig::default().with_workers(2)));
+    let server = NetServer::start(
+        Arc::clone(&service),
+        &ListenAddr::Tcp("127.0.0.1:0".to_string()),
+        ServerConfig::default(),
+    )
+    .expect("tcp bind");
+    let client = Client::new(
+        server.local_addr().clone(),
+        ClientConfig::default().with_deadline(Duration::from_secs(60)),
+    );
+
+    let response = client
+        .call(&NetRequest::new("fft", true))
+        .expect("transport works");
+    let done = response.outcome.expect("fft completes");
+    assert_eq!(done.evaluation, serial_reference(Kernel::Fft, 5));
+
+    server.stop();
+}
+
+#[test]
+fn bad_request_is_typed_and_the_connection_survives() {
+    let (_service, server, path) = start_unix("badreq", ServiceConfig::default().with_workers(1));
+    let mut conn = UnixStream::connect(&path).expect("connect");
+
+    // Unknown kernel: the frame is well-formed, so the server answers
+    // typed and keeps the connection.
+    let bad = Frame::new(
+        FrameKind::Request,
+        1,
+        NetRequest::new("quux", true).encode(),
+    )
+    .expect("frame");
+    bad.write_to(&mut conn).expect("write");
+    let reply = Frame::read_from(&mut conn).expect("typed reply, not a hangup");
+    assert_eq!(reply.request_id, 1);
+    let response = NetResponse::decode(&reply.payload).expect("decodes");
+    match response.outcome {
+        Err(RemoteError::BadRequest { detail }) => assert!(detail.contains("quux"), "{detail}"),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    // Same connection, now a good request: still served.
+    let good =
+        Frame::new(FrameKind::Request, 2, NetRequest::new("tri", true).encode()).expect("frame");
+    good.write_to(&mut conn).expect("write");
+    let reply = Frame::read_from(&mut conn).expect("served");
+    assert_eq!(reply.request_id, 2);
+    let response = NetResponse::decode(&reply.payload).expect("decodes");
+    assert!(response.outcome.is_ok(), "good request after bad refused");
+
+    assert_eq!(server.stats().bad_requests, 1);
+    server.stop();
+}
+
+#[test]
+fn every_injection_yields_a_typed_outcome_and_the_server_survives() {
+    let (_service, server, path) = start_unix("chaos", ServiceConfig::default().with_workers(1));
+    let good_frame = Frame::new(
+        FrameKind::Request,
+        99,
+        NetRequest::new("tri", true).encode(),
+    )
+    .expect("frame");
+    let good_bytes = good_frame.to_bytes();
+
+    for injection in ALL_INJECTIONS {
+        if injection == Injection::SlowHalves {
+            continue; // dedicated slow-loris test below
+        }
+        let corrupted = injection.apply(&good_bytes);
+        let mut conn = UnixStream::connect(&path).expect("connect");
+        conn.write_all(&corrupted).expect("send corruption");
+        // Close the write half so a truncation is unambiguous.
+        conn.shutdown(std::net::Shutdown::Write).expect("shutdown");
+        // The server must drop the connection (typed protocol error) —
+        // never hang, never panic. Read to EOF with a bound.
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut sink = Vec::new();
+        let _ = conn.read_to_end(&mut sink);
+    }
+
+    // The server survived all of it and still serves.
+    let client = client_for(&path);
+    let response = client.call(&NetRequest::new("tri", true)).expect("alive");
+    assert!(response.outcome.is_ok());
+    let stats = server.stats();
+    assert!(
+        stats.protocol_errors >= 4,
+        "injections should land as typed protocol errors, got {stats:?}"
+    );
+    server.stop();
+}
+
+#[test]
+fn slow_loris_is_disconnected_by_the_read_timeout() {
+    let (_service, server, path) = start_unix("loris", ServiceConfig::default().with_workers(1));
+    let good_bytes = Frame::new(FrameKind::Request, 7, NetRequest::new("tri", true).encode())
+        .expect("frame")
+        .to_bytes();
+    let split = Injection::SlowHalves
+        .split_point(good_bytes.len())
+        .expect("slow halves splits");
+
+    let mut conn = UnixStream::connect(&path).expect("connect");
+    conn.write_all(&good_bytes[..split]).expect("first half");
+    // Stall past the server's 500ms read timeout, holding the socket
+    // open — the classic slow-loris posture.
+    std::thread::sleep(Duration::from_millis(900));
+    conn.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut sink = Vec::new();
+    let n = conn.read_to_end(&mut sink).unwrap_or(0);
+    assert_eq!(n, 0, "server should hang up, not answer a partial frame");
+    assert!(server.stats().read_timeouts >= 1, "{:?}", server.stats());
+
+    // The handler thread is free again; the server still serves.
+    let client = client_for(&path);
+    assert!(client
+        .call(&NetRequest::new("tri", true))
+        .expect("alive")
+        .outcome
+        .is_ok());
+    server.stop();
+}
+
+#[test]
+fn mid_request_disconnect_leaves_the_service_healthy() {
+    let (service, server, path) = start_unix("discon", ServiceConfig::default().with_workers(1));
+    {
+        let mut conn = UnixStream::connect(&path).expect("connect");
+        let frame = Frame::new(FrameKind::Request, 3, NetRequest::new("tri", true).encode())
+            .expect("frame");
+        frame.write_to(&mut conn).expect("write");
+        // Hang up before reading the response: the job still runs, the
+        // server's write fails, nothing panics.
+    }
+    // Give the abandoned job time to complete and the write to fail.
+    std::thread::sleep(Duration::from_millis(300));
+    let client = client_for(&path);
+    assert!(client
+        .call(&NetRequest::new("tri", true))
+        .expect("alive")
+        .outcome
+        .is_ok());
+    assert!(service.stats().completed >= 1);
+    server.stop();
+}
+
+#[test]
+fn server_restart_on_the_same_unix_path_serves_again() {
+    let (service, server, path) = start_unix("restart", ServiceConfig::default().with_workers(1));
+    let client = client_for(&path);
+    assert!(client
+        .call(&NetRequest::new("tri", true))
+        .expect("first server")
+        .outcome
+        .is_ok());
+    server.stop();
+
+    // Same path, fresh server — the stale socket file must not block
+    // the bind, and clients reconnect transparently.
+    let service2 = Arc::new(Service::start(ServiceConfig::default().with_workers(1)));
+    let server2 = NetServer::start(
+        Arc::clone(&service2),
+        &ListenAddr::Unix(path.clone()),
+        ServerConfig::default(),
+    )
+    .expect("rebind after restart");
+    assert!(client
+        .call(&NetRequest::new("tri", true))
+        .expect("second server")
+        .outcome
+        .is_ok());
+    server2.stop();
+    drop(service);
+}
+
+#[test]
+fn quota_refusal_travels_typed_over_the_wire() {
+    let (_service, server, path) = start_unix(
+        "quota",
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_tenant_quota(1)
+            .with_delivery_latency(Duration::from_millis(500)),
+    );
+
+    // First call occupies tenant acme's single in-flight slot for
+    // ~500ms (delivery stall). Fire it from a helper thread.
+    let path_a = path.clone();
+    let first = std::thread::spawn(move || {
+        let client = client_for(&path_a);
+        client.call(&NetRequest::new("tri", true).with_tenant("acme"))
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Second call, same tenant, no retries: typed quota refusal.
+    let client = Client::new(
+        ListenAddr::Unix(path.clone()),
+        ClientConfig::default()
+            .with_deadline(Duration::from_secs(10))
+            .with_retries(0),
+    );
+    let refused = client
+        .call(&NetRequest::new("tri", true).with_tenant("acme"))
+        .expect("transport works");
+    match refused.outcome {
+        Err(RemoteError::QuotaExceeded {
+            tenant,
+            in_flight,
+            limit,
+        }) => {
+            assert_eq!(tenant, "acme");
+            assert_eq!((in_flight, limit), (1, 1));
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+
+    // A different tenant is admitted while acme is capped.
+    let other = client
+        .call(&NetRequest::new("tri", true).with_tenant("zeta"))
+        .expect("transport works");
+    assert!(
+        other.outcome.is_ok(),
+        "other tenant starved: {:?}",
+        other.outcome
+    );
+
+    let first = first.join().expect("first call thread");
+    assert!(first.expect("transport works").outcome.is_ok());
+    server.stop();
+}
+
+#[test]
+fn quota_refusal_is_retried_to_success_by_an_idempotent_client() {
+    let (_service, server, path) = start_unix(
+        "quota-retry",
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_tenant_quota(1)
+            .with_delivery_latency(Duration::from_millis(300)),
+    );
+    let path_a = path.clone();
+    let first = std::thread::spawn(move || {
+        let client = client_for(&path_a);
+        client.call(&NetRequest::new("tri", true).with_tenant("acme"))
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Enough retry budget to outlast the 300ms stall: the client backs
+    // off through the refusals and lands the request.
+    let client = Client::new(
+        ListenAddr::Unix(path.clone()),
+        ClientConfig::default()
+            .with_deadline(Duration::from_secs(30))
+            .with_retries(20)
+            .with_backoff(Duration::from_millis(50), Duration::from_millis(200)),
+    );
+    let response = client
+        .call(&NetRequest::new("tri", true).with_tenant("acme"))
+        .expect("transport works");
+    assert!(
+        response.outcome.is_ok(),
+        "retries should outlast the quota hold: {:?}",
+        response.outcome
+    );
+    assert!(first
+        .join()
+        .expect("thread")
+        .expect("transport")
+        .outcome
+        .is_ok());
+    server.stop();
+}

@@ -1,0 +1,134 @@
+//! Property tests for the wire codec: exact round-trips, and typed —
+//! never panicking — rejection of every truncation, header corruption,
+//! and version mismatch.
+
+use imt_net::msg::{NetRequest, NetResponse, RemoteError};
+use imt_net::wire::{Frame, FrameKind, WireError, HEADER_BYTES, WIRE_VERSION};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn frame(id: u64, payload: Vec<u8>) -> Frame {
+    Frame::new(FrameKind::Request, id, payload).expect("test payloads are under the cap")
+}
+
+proptest! {
+    #[test]
+    fn frames_round_trip_exactly(
+        id in any::<u64>(),
+        payload in vec(0u8..=255u8, 0..=512),
+    ) {
+        let original = frame(id, payload);
+        let bytes = original.to_bytes();
+        prop_assert_eq!(Frame::from_bytes(&bytes), Ok(original));
+    }
+
+    #[test]
+    fn every_strict_prefix_is_truncated_not_a_panic(
+        id in any::<u64>(),
+        payload in vec(0u8..=255u8, 0..=256),
+        cut in 0usize..=(HEADER_BYTES + 256),
+    ) {
+        let bytes = frame(id, payload).to_bytes();
+        let keep = cut.min(bytes.len().saturating_sub(1));
+        prop_assert_eq!(
+            Frame::from_bytes(&bytes[..keep]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn header_corruption_is_a_typed_error(
+        payload in vec(0u8..=255u8, 1..=128),
+        index in 0usize..HEADER_BYTES,
+        mask in 1u8..=255u8,
+    ) {
+        // The request-id bytes (12..20) are opaque correlation data: a
+        // flip there yields a *different valid frame*, which is exactly
+        // why responses echo the id. The kind byte (10) can flip
+        // between the two valid kinds. Everything else must fail typed.
+        let id_region = 12..20;
+        if !id_region.contains(&index) && index != 10 {
+            let mut bytes = frame(7, payload).to_bytes();
+            bytes[index] ^= mask;
+            prop_assert!(
+                Frame::from_bytes(&bytes).is_err(),
+                "flip at {} with mask {:#04x} decoded cleanly", index, mask
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_the_checksum(
+        payload in vec(0u8..=255u8, 1..=256),
+        offset in 0usize..256,
+        mask in 1u8..=255u8,
+    ) {
+        let bytes = frame(9, payload).to_bytes();
+        let payload_len = bytes.len() - HEADER_BYTES;
+        let index = HEADER_BYTES + (offset % payload_len);
+        let mut corrupted = bytes;
+        corrupted[index] ^= mask;
+        prop_assert!(matches!(
+            Frame::from_bytes(&corrupted),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_typed(
+        payload in vec(0u8..=255u8, 0..=64),
+        version in any::<u16>(),
+    ) {
+        if version != WIRE_VERSION {
+            let mut bytes = frame(1, payload).to_bytes();
+            bytes[8..10].copy_from_slice(&version.to_le_bytes());
+            prop_assert_eq!(
+                Frame::from_bytes(&bytes),
+                Err(WireError::UnsupportedVersion { got: version })
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics_the_decoder(
+        bytes in vec(0u8..=255u8, 0..=128),
+    ) {
+        // The result does not matter — only that it *is* a result.
+        let _ = Frame::from_bytes(&bytes);
+        let _ = NetRequest::decode(&bytes);
+        let _ = NetResponse::decode(&bytes);
+    }
+
+    #[test]
+    fn request_payload_truncations_are_typed(
+        cut in 0usize..=512,
+    ) {
+        let mut request = NetRequest::new("mmul", true).with_tenant("tenant-x");
+        request.fault_plan = "10:bus:3,99:tt:1:2".into();
+        request.protection = "parity".into();
+        let bytes = request.encode();
+        let keep = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(NetRequest::decode(&bytes[..keep]).is_err());
+    }
+
+    #[test]
+    fn response_round_trips_with_random_counters(
+        id in any::<u64>(),
+        queue_ns in any::<u64>(),
+        service_ns in any::<u64>(),
+        wrong_words in any::<u64>(),
+    ) {
+        let response = NetResponse {
+            id,
+            kernel: "tri-12".into(),
+            block_size: 5,
+            outcome: Err(RemoteError::Poisoned { wrong_words }),
+            queue_ns,
+            service_ns,
+            batch_size: 1,
+            worker: 0,
+            missed_deadline: false,
+        };
+        prop_assert_eq!(NetResponse::decode(&response.encode()), Ok(response));
+    }
+}

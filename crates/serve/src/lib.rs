@@ -67,8 +67,11 @@
 
 pub mod cancel;
 pub mod queue;
+mod quota;
 pub mod request;
 pub mod service;
+mod shard;
+pub mod sync;
 
 use std::error::Error;
 use std::fmt;
@@ -88,6 +91,19 @@ pub enum ServeError {
         depth: usize,
         /// The queue's configured bound.
         capacity: usize,
+    },
+    /// Admission control refused the request because its *tenant* is at
+    /// its in-flight cap ([`service::ServiceConfig::with_tenant_quota`]).
+    /// The service itself may have plenty of room — this is fairness,
+    /// not load: back off and retry, the quota frees as the tenant's
+    /// in-flight requests are answered.
+    QuotaExceeded {
+        /// The tenant named by the request.
+        tenant: String,
+        /// The tenant's in-flight requests at refusal time.
+        in_flight: usize,
+        /// The per-tenant in-flight cap.
+        limit: usize,
     },
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
@@ -138,6 +154,14 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded { depth, capacity } => {
                 write!(f, "queue overloaded ({depth}/{capacity} jobs); retry later")
             }
+            ServeError::QuotaExceeded {
+                tenant,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "tenant `{tenant}` at its in-flight quota ({in_flight}/{limit}); retry later"
+            ),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::DeadlineExceeded => {
                 write!(f, "deadline passed while the request was queued")
@@ -213,6 +237,14 @@ mod tests {
                 "boom",
             ),
             (ServeError::Poisoned { wrong_words: 3 }, "failing closed"),
+            (
+                ServeError::QuotaExceeded {
+                    tenant: "hot".into(),
+                    in_flight: 4,
+                    limit: 4,
+                },
+                "quota",
+            ),
             (
                 ServeError::ProfileMismatch {
                     kernel: "mmul-8".into(),

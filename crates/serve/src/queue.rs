@@ -10,11 +10,12 @@
 //! them.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::cancel::CancellationToken;
 use crate::request::{Request, Slot};
+use crate::sync::{lock_clean, wait_clean};
 use std::sync::Arc;
 
 /// One queued unit of work: the request plus everything the worker needs
@@ -55,8 +56,9 @@ struct QueueState {
 }
 
 /// The bounded queue itself. All methods are safe to call from any
-/// thread; a poisoned lock is recovered (queue state is valid after any
-/// panic because mutations are single-step).
+/// thread; a poisoned lock is recovered through [`crate::sync`] (queue
+/// state is valid after any panic because mutations are single-step —
+/// the argument that module audits once for the whole crate).
 #[derive(Debug)]
 pub(crate) struct JobQueue {
     state: Mutex<QueueState>,
@@ -79,7 +81,7 @@ impl JobQueue {
     }
 
     fn lock(&self) -> MutexGuard<'_, QueueState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        lock_clean(&self.state)
     }
 
     /// Jobs currently queued.
@@ -122,10 +124,7 @@ impl JobQueue {
     pub(crate) fn push_wait(&self, job: Job) -> Result<(), Job> {
         let mut state = self.lock();
         while state.open && state.jobs.len() >= self.capacity {
-            state = self
-                .not_full
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+            state = wait_clean(&self.not_full, state);
         }
         if !state.open {
             return Err(job);
@@ -166,10 +165,7 @@ impl JobQueue {
             if !state.open {
                 return None;
             }
-            state = self
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+            state = wait_clean(&self.not_empty, state);
         }
     }
 

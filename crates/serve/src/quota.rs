@@ -1,0 +1,105 @@
+//! Per-tenant admission quotas.
+//!
+//! Queue-level backpressure ([`crate::service::Admission`]) protects the
+//! *service* from overload, but it is tenant-blind: one hot client can
+//! fill the queue and starve everyone else even while the service sheds
+//! load correctly in aggregate. [`TenantQuotas`] adds the missing axis —
+//! a cap on how many requests any single tenant may have in flight
+//! (admitted but not yet answered). A tenant at its cap gets a typed
+//! [`crate::ServeError::QuotaExceeded`] immediately, leaving queue
+//! capacity for everyone under theirs; the refusal is retryable, so a
+//! well-behaved hot client backs off while light tenants sail through.
+//!
+//! Requests that carry no tenant ([`crate::request::Request::tenant`]
+//! `== None`) are exempt — in-process callers that predate tenancy keep
+//! their semantics.
+
+use crate::shard::ShardedMap;
+
+/// In-flight request accounting per tenant. Internally sharded like the
+/// profile memo, so quota checks from many connection handlers do not
+/// serialise on one lock. Refusal counting lives in the service stats
+/// (`quota_rejected`), not here.
+#[derive(Debug)]
+pub(crate) struct TenantQuotas {
+    max_inflight: usize,
+    inflight: ShardedMap<u64>,
+}
+
+impl TenantQuotas {
+    pub(crate) fn new(max_inflight: usize, shards: usize) -> TenantQuotas {
+        TenantQuotas {
+            max_inflight: max_inflight.max(1),
+            inflight: ShardedMap::new(shards),
+        }
+    }
+
+    /// Reserves one in-flight slot for `tenant`, or reports
+    /// `(in_flight, limit)` if the tenant is at its cap. The reservation
+    /// must be paired with exactly one [`TenantQuotas::release`] once
+    /// the request is answered (any outcome).
+    pub(crate) fn try_acquire(&self, tenant: &str) -> Result<(), (usize, usize)> {
+        let limit = self.max_inflight;
+        self.inflight.update(tenant, |count| {
+            if (*count as usize) >= limit {
+                Err((*count as usize, limit))
+            } else {
+                *count += 1;
+                Ok(())
+            }
+        })
+    }
+
+    /// Returns a previously acquired slot.
+    pub(crate) fn release(&self, tenant: &str) {
+        self.inflight.update(tenant, |count| {
+            debug_assert!(*count > 0, "quota released more times than acquired");
+            *count = count.saturating_sub(1);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn acquire_release_tracks_inflight_per_tenant() {
+        let quotas = TenantQuotas::new(2, 4);
+        quotas.try_acquire("a").expect("first");
+        quotas.try_acquire("a").expect("second");
+        assert_eq!(quotas.try_acquire("a"), Err((2, 2)));
+        // A different tenant is unaffected by a's saturation.
+        quotas.try_acquire("b").expect("other tenant admitted");
+        quotas.release("a");
+        quotas.try_acquire("a").expect("slot freed");
+    }
+
+    #[test]
+    fn quota_floor_is_one() {
+        let quotas = TenantQuotas::new(0, 1);
+        quotas.try_acquire("t").expect("limit clamps to 1, not 0");
+        assert_eq!(quotas.try_acquire("t"), Err((1, 1)));
+    }
+
+    #[test]
+    fn concurrent_acquires_never_exceed_the_cap() {
+        let quotas = TenantQuotas::new(8, 4);
+        let admitted = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let quotas = &quotas;
+                let admitted = &admitted;
+                scope.spawn(move || {
+                    for _ in 0..64 {
+                        if quotas.try_acquire("hot").is_ok() {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(admitted.load(Ordering::Relaxed), 8, "cap holds under races");
+    }
+}

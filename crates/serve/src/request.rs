@@ -4,6 +4,8 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use crate::sync::{lock_clean, wait_clean};
+
 use imt_core::eval::{EvalNeeds, EvalPath, Evaluation};
 use imt_core::{EncoderConfig, Protection};
 use imt_fault::plan::FaultPlan;
@@ -45,6 +47,20 @@ pub struct Request {
     /// for a poisoned job so tests and the load generator can prove the
     /// batch survives ([`ServeError::Panicked`] for this job only).
     pub panic_in_worker: bool,
+    /// Who this request is billed to for per-tenant admission quotas
+    /// ([`crate::service::ServiceConfig::with_tenant_quota`]). `None`
+    /// is exempt from quotas — the pre-tenancy in-process semantics.
+    pub tenant: Option<String>,
+    /// A trace root opened by an upstream front-end (e.g. the network
+    /// layer, at frame-read start). When set, the service parents its
+    /// queue/warm/execute stages under it instead of opening its own
+    /// root, so one timeline covers read → decode → queue → warm →
+    /// encode → respond.
+    pub trace_root: Option<imt_obs::trace::TraceCtx>,
+    /// When the adopted [`Request::trace_root`] was opened
+    /// (trace-epoch nanoseconds); the root span starts here, covering
+    /// the upstream work that preceded submission. 0 = unknown.
+    pub trace_root_opened_ns: u64,
 }
 
 impl Request {
@@ -59,6 +75,9 @@ impl Request {
             protection: Protection::None,
             fault_window: 20_000,
             panic_in_worker: false,
+            tenant: None,
+            trace_root: None,
+            trace_root_opened_ns: 0,
         }
     }
 
@@ -74,6 +93,25 @@ impl Request {
     pub fn with_faults(mut self, plan: FaultPlan, protection: Protection) -> Request {
         self.fault_plan = Some(plan);
         self.protection = protection;
+        self
+    }
+
+    /// Bills the request to `tenant` for per-tenant admission quotas.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Request {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Adopts a trace root opened upstream (see [`Request::trace_root`]).
+    #[must_use]
+    pub fn with_trace_root(
+        mut self,
+        root: Option<imt_obs::trace::TraceCtx>,
+        opened_ns: u64,
+    ) -> Request {
+        self.trace_root = root;
+        self.trace_root_opened_ns = opened_ns;
         self
     }
 
@@ -159,10 +197,7 @@ pub(crate) struct Slot {
 
 impl Slot {
     pub(crate) fn fulfill(&self, response: Response) {
-        let mut slot = self
-            .response
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut slot = lock_clean(&self.response);
         debug_assert!(slot.is_none(), "job fulfilled twice");
         *slot = Some(response);
         self.ready.notify_all();
@@ -203,30 +238,18 @@ impl Ticket {
     /// a service bug by construction ([`crate::service::Service`] drains
     /// its queue and fails leftover jobs closed on shutdown).
     pub fn wait(self) -> Response {
-        let mut slot = self
-            .slot
-            .response
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut slot = lock_clean(&self.slot.response);
         loop {
             if let Some(response) = slot.take() {
                 return response;
             }
-            slot = self
-                .slot
-                .ready
-                .wait(slot)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot = wait_clean(&self.slot.ready, slot);
         }
     }
 
     /// Returns the response if it has already arrived, without blocking.
     pub fn try_take(&self) -> Option<Response> {
-        self.slot
-            .response
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .take()
+        lock_clean(&self.slot.response).take()
     }
 }
 

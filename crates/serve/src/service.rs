@@ -11,10 +11,9 @@
 //! semantics. A panicking request is contained with `catch_unwind` and
 //! answered as [`ServeError::Panicked`]; its batch-mates are unaffected.
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -27,7 +26,9 @@ use imt_sim::edge::FetchEdgeProfile;
 
 use crate::cancel::CancellationToken;
 use crate::queue::{Job, JobQueue, PushRefusal};
+use crate::quota::TenantQuotas;
 use crate::request::{Completed, FaultSummary, Request, Response, Slot, Ticket};
+use crate::shard::ShardedMap;
 use crate::ServeError;
 
 /// What happens when a request arrives and the queue is full.
@@ -52,6 +53,8 @@ pub struct ServiceConfig {
     admission: Admission,
     default_deadline: Option<Duration>,
     delivery_latency: Option<Duration>,
+    memo_shards: usize,
+    tenant_quota: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +66,8 @@ impl Default for ServiceConfig {
             admission: Admission::Block,
             default_deadline: None,
             delivery_latency: None,
+            memo_shards: 16,
+            tenant_quota: None,
         }
     }
 }
@@ -117,6 +122,27 @@ impl ServiceConfig {
         self
     }
 
+    /// Shards the profile memo (and quota table) is split over, keyed
+    /// by content hash (minimum 1, rounded up to a power of two). More
+    /// shards mean less lock contention between connection handlers and
+    /// workers warming different kernels.
+    #[must_use]
+    pub fn with_memo_shards(mut self, shards: usize) -> ServiceConfig {
+        self.memo_shards = shards.max(1);
+        self
+    }
+
+    /// Caps any single tenant's in-flight requests (admitted but not
+    /// yet answered) at `max_inflight`. A tenant at its cap is refused
+    /// with the typed, retryable [`ServeError::QuotaExceeded`] so a hot
+    /// client cannot monopolise the queue. Requests without a tenant
+    /// are exempt.
+    #[must_use]
+    pub fn with_tenant_quota(mut self, max_inflight: usize) -> ServiceConfig {
+        self.tenant_quota = Some(max_inflight.max(1));
+        self
+    }
+
     /// Configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -139,6 +165,7 @@ impl ServiceConfig {
 struct ServiceStats {
     submitted: AtomicU64,
     rejected: AtomicU64,
+    quota_rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     cancelled: AtomicU64,
@@ -158,6 +185,9 @@ pub struct StatsSnapshot {
     pub submitted: u64,
     /// Requests refused at admission ([`ServeError::Overloaded`]).
     pub rejected: u64,
+    /// Requests refused at the per-tenant quota gate
+    /// ([`ServeError::QuotaExceeded`]); disjoint from `rejected`.
+    pub quota_rejected: u64,
     /// Responses delivered with an `Ok` outcome.
     pub completed: u64,
     /// Responses delivered with an `Err` outcome (all causes).
@@ -205,7 +235,12 @@ struct ServiceInner {
     queue: JobQueue,
     next_id: AtomicU64,
     stats: ServiceStats,
-    profiles: Mutex<HashMap<String, Arc<Result<WarmProfile, ServeError>>>>,
+    /// The warmed-profile memo, sharded by content hash of the batch
+    /// key so concurrent warms of different kernels never contend on
+    /// one lock (see [`crate::shard`]).
+    profiles: ShardedMap<Arc<Result<WarmProfile, ServeError>>>,
+    /// Per-tenant in-flight caps, when configured.
+    quotas: Option<TenantQuotas>,
 }
 
 /// The running service: submit jobs, read stats, shut down.
@@ -220,10 +255,13 @@ impl Service {
     pub fn start(config: ServiceConfig) -> Service {
         let inner = Arc::new(ServiceInner {
             queue: JobQueue::new(config.queue_capacity),
-            config,
             next_id: AtomicU64::new(0),
             stats: ServiceStats::default(),
-            profiles: Mutex::new(HashMap::new()),
+            profiles: ShardedMap::new(config.memo_shards),
+            quotas: config
+                .tenant_quota
+                .map(|cap| TenantQuotas::new(cap, config.memo_shards)),
+            config,
         });
         let workers = (0..inner.config.workers)
             .map(|index| {
@@ -255,14 +293,37 @@ impl Service {
             .deadline
             .or(inner.config.default_deadline)
             .map(|d| now + d);
-        // Each request is one trace root (`IMT_OBS=trace` only): opened
-        // here, closed by whoever fulfills the ticket.
-        let trace_ctx = imt_obs::trace::open_trace();
-        let submitted_ns = if trace_ctx.is_some() {
-            imt_obs::trace::now_ns()
-        } else {
+        // Each request is one trace root (`IMT_OBS=trace` only). A
+        // front-end that already opened one (the network layer, at
+        // frame-read start) is adopted so the timeline covers the wire
+        // work too; otherwise it is opened here. Either way it is
+        // closed by whoever fulfills the ticket.
+        let trace_ctx = request.trace_root.or_else(imt_obs::trace::open_trace);
+        let submitted_ns = if trace_ctx.is_none() {
             0
+        } else if request.trace_root.is_some() && request.trace_root_opened_ns > 0 {
+            request.trace_root_opened_ns
+        } else {
+            imt_obs::trace::now_ns()
         };
+        // The fairness gate runs before queue admission: a tenant at
+        // its in-flight cap is refused typed even if the queue has
+        // room, so queue capacity stays available to other tenants.
+        if let (Some(quotas), Some(tenant)) = (&inner.quotas, &request.tenant) {
+            if let Err((in_flight, limit)) = quotas.try_acquire(tenant) {
+                inner.stats.quota_rejected.fetch_add(1, Ordering::Relaxed);
+                if imt_obs::enabled() {
+                    imt_obs::counter!("serve.quota_rejected").inc();
+                }
+                imt_obs::trace::instant_under("serve.quota_refused", trace_ctx);
+                imt_obs::trace::close_root("serve.request", trace_ctx, submitted_ns);
+                return Err(ServeError::QuotaExceeded {
+                    tenant: tenant.clone(),
+                    in_flight,
+                    limit,
+                });
+            }
+        }
         let job = Job {
             id,
             batch_key: request.batch_key(),
@@ -277,6 +338,7 @@ impl Service {
         match inner.config.admission {
             Admission::Reject => {
                 if let Err((job, refusal)) = inner.queue.try_push(job) {
+                    inner.release_quota(&job.request);
                     imt_obs::trace::instant_under("serve.admission_refused", job.trace);
                     imt_obs::trace::close_root("serve.request", job.trace, job.submitted_ns);
                     return Err(match refusal {
@@ -293,6 +355,7 @@ impl Service {
             }
             Admission::Block => {
                 if let Err(job) = inner.queue.push_wait(job) {
+                    inner.release_quota(&job.request);
                     imt_obs::trace::instant_under("serve.admission_refused", job.trace);
                     imt_obs::trace::close_root("serve.request", job.trace, job.submitted_ns);
                     return Err(ServeError::ShuttingDown);
@@ -316,12 +379,18 @@ impl Service {
         self.inner.queue.depth()
     }
 
+    /// Distinct kernel instances warmed into the sharded profile memo.
+    pub fn profile_memo_entries(&self) -> usize {
+        self.inner.profiles.len()
+    }
+
     /// A copy of the service counters.
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.inner.stats;
         StatsSnapshot {
             submitted: s.submitted.load(Ordering::Relaxed),
             rejected: s.rejected.load(Ordering::Relaxed),
+            quota_rejected: s.quota_rejected.load(Ordering::Relaxed),
             completed: s.completed.load(Ordering::Relaxed),
             failed: s.failed.load(Ordering::Relaxed),
             cancelled: s.cancelled.load(Ordering::Relaxed),
@@ -362,6 +431,14 @@ impl Drop for Service {
 }
 
 impl ServiceInner {
+    /// Returns a tenant's quota slot once its request is answered (any
+    /// outcome). A no-op for untenanted requests or unquota'd services.
+    fn release_quota(&self, request: &Request) {
+        if let (Some(quotas), Some(tenant)) = (&self.quotas, &request.tenant) {
+            quotas.release(tenant);
+        }
+    }
+
     /// Fails a job before execution and fulfills its ticket. Every
     /// refusal counts as `failed`; cancellations and expiries also keep
     /// their own counter.
@@ -391,6 +468,9 @@ impl ServiceInner {
         // shows the queue wait that ended in a refusal.
         imt_obs::trace::instant_under("serve.refuse", job.trace);
         imt_obs::trace::close_root("serve.request", job.trace, job.submitted_ns);
+        // Release before fulfilling: a caller that waits on its ticket
+        // and immediately resubmits must find its quota slot free.
+        self.release_quota(&job.request);
         job.slot.fulfill(Response {
             id: job.id,
             kernel: job.request.spec.name.clone(),
@@ -404,20 +484,16 @@ impl ServiceInner {
         });
     }
 
-    /// The kernel's warmed profile, memoized per batch key. Both
-    /// successes and failures are memoized: profiling is deterministic,
-    /// so a kernel that failed once will fail identically again.
+    /// The kernel's warmed profile, memoized per batch key in the
+    /// sharded memo. Both successes and failures are memoized:
+    /// profiling is deterministic, so a kernel that failed once will
+    /// fail identically again.
     fn warm(&self, key: &str, spec: &KernelSpec) -> Arc<Result<WarmProfile, ServeError>> {
-        if let Some(hit) = self
-            .profiles
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(key)
-        {
+        if let Some(hit) = self.profiles.get(key) {
             if imt_obs::enabled() {
                 imt_obs::counter!("serve.profile_memo_hits").inc();
             }
-            return Arc::clone(hit);
+            return hit;
         }
         let warmed = {
             let _span = imt_obs::span!("serve.profile_warm");
@@ -431,15 +507,9 @@ impl ServiceInner {
                 }),
             }
         };
-        let warmed = Arc::new(warmed);
         // Two workers can race the same cold key; either result is
         // valid (profiling is deterministic), keep the first inserted.
-        self.profiles
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .entry(key.to_string())
-            .or_insert_with(|| Arc::clone(&warmed))
-            .clone()
+        self.profiles.insert_first(key, Arc::new(warmed))
     }
 }
 
@@ -633,6 +703,9 @@ fn serve_job(
         imt_obs::registry::histogram("serve.queue_ns").observe(queue_ns);
         imt_obs::registry::histogram("serve.service_ns").observe(service_ns);
     }
+    // Release before fulfilling: a caller that waits on its ticket and
+    // immediately resubmits must find its quota slot free.
+    inner.release_quota(&job.request);
     job.slot.fulfill(Response {
         id: job.id,
         kernel: job.request.spec.name.clone(),
@@ -918,6 +991,91 @@ mod tests {
         service.shutdown();
         in_flight.wait().outcome.expect("in-flight job completed");
         assert_eq!(queued.wait().outcome, Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn tenant_quota_refuses_typed_and_frees_on_completion() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_tenant_quota(1)
+                .with_delivery_latency(Duration::from_millis(60)),
+        );
+        let held = service
+            .submit(request(Kernel::Tri).with_tenant("hot"))
+            .expect("first request admitted");
+        match service
+            .submit(request(Kernel::Tri).with_tenant("hot"))
+            .expect_err("tenant at its cap")
+        {
+            ServeError::QuotaExceeded {
+                tenant,
+                in_flight,
+                limit,
+            } => {
+                assert_eq!(tenant, "hot");
+                assert_eq!((in_flight, limit), (1, 1));
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // Other tenants and untenanted requests are unaffected by one
+        // tenant's saturation.
+        let other = service
+            .submit(request(Kernel::Tri).with_tenant("cold"))
+            .expect("other tenant admitted");
+        let exempt = service.submit(request(Kernel::Tri)).expect("exempt");
+        assert_eq!(service.stats().quota_rejected, 1);
+        held.wait().outcome.expect("held request serves");
+        // The slot is released before the ticket is fulfilled, so a
+        // resubmit straight after wait() must be admitted.
+        let again = service
+            .submit(request(Kernel::Tri).with_tenant("hot"))
+            .expect("slot freed once the response was delivered");
+        other.wait().outcome.expect("other tenant serves");
+        exempt.wait().outcome.expect("exempt request serves");
+        again.wait().outcome.expect("resubmit serves");
+        service.shutdown();
+    }
+
+    #[test]
+    fn quota_slot_is_returned_on_refusals_too() {
+        // A cancelled job never executes, but its quota slot must still
+        // free — otherwise refusals would leak the tenant's budget.
+        let service = Service::start(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_tenant_quota(1)
+                .with_delivery_latency(Duration::from_millis(60)),
+        );
+        let head = service.submit(request(Kernel::Tri)).expect("accepted");
+        std::thread::sleep(Duration::from_millis(20));
+        let doomed = service
+            .submit(request(Kernel::Tri).with_tenant("t"))
+            .expect("accepted");
+        doomed.cancel();
+        assert_eq!(doomed.wait().outcome, Err(ServeError::Cancelled));
+        let next = service
+            .submit(request(Kernel::Tri).with_tenant("t"))
+            .expect("slot freed by the refusal");
+        head.wait().outcome.expect("head serves");
+        next.wait().outcome.expect("next serves");
+        service.shutdown();
+    }
+
+    #[test]
+    fn sharded_memo_warms_each_kernel_once_across_workers() {
+        let service = Service::start(ServiceConfig::default().with_workers(4).with_memo_shards(8));
+        let tickets: Vec<_> = (0..8)
+            .map(|i| {
+                let kernel = if i % 2 == 0 { Kernel::Tri } else { Kernel::Fft };
+                service.submit(request(kernel)).expect("accepted")
+            })
+            .collect();
+        for ticket in tickets {
+            ticket.wait().outcome.expect("serves");
+        }
+        assert_eq!(service.stats().completed, 8);
+        service.shutdown();
     }
 
     #[test]

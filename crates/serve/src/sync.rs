@@ -1,0 +1,75 @@
+//! The one audited poisoned-lock recovery point in the serving layer.
+//!
+//! Workers contain per-job panics with `catch_unwind`, but a panic in
+//! instrumentation, an allocator abort path, or a future refactor could
+//! still unwind while a serve lock is held. Every mutex in this crate
+//! holds state that is valid after *any* single mutation step — queue
+//! pushes/pops, memo inserts, counter bumps, slot fulfilment are all
+//! one-step transitions with no multi-field invariant spanning an
+//! unwind point — so recovering the poisoned guard is always safe here.
+//!
+//! That argument is made once, in this module, instead of being implied
+//! by a dozen scattered `unwrap_or_else(PoisonError::into_inner)` calls:
+//! a panicked worker can never wedge the job queue, the profile memo
+//! shards, the tenant quota table, or a caller blocked on a ticket.
+//! New locks in this crate must either go through these helpers (and
+//! honour the single-step-mutation rule) or document why they cannot.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// Safe for every lock in this crate by the single-step-mutation
+/// argument in the module docs.
+pub fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `condvar`, recovering the reacquired guard if another
+/// holder panicked while this thread was parked.
+pub fn wait_clean<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_clean_recovers_a_poisoned_mutex() {
+        let mutex = Mutex::new(7u32);
+        // Poison it: panic while holding the guard.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mutex.lock().expect("first lock");
+            panic!("poison");
+        }));
+        assert!(result.is_err());
+        assert!(mutex.is_poisoned());
+        let mut guard = lock_clean(&mutex);
+        assert_eq!(*guard, 7);
+        *guard = 8;
+        drop(guard);
+        assert_eq!(*lock_clean(&mutex), 8);
+    }
+
+    #[test]
+    fn wait_clean_returns_the_guard() {
+        use std::sync::Condvar;
+        let mutex = Mutex::new(false);
+        let condvar = Condvar::new();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let mut guard = lock_clean(&mutex);
+                while !*guard {
+                    guard = wait_clean(&condvar, guard);
+                }
+                *guard
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            *lock_clean(&mutex) = true;
+            condvar.notify_all();
+            assert!(waiter.join().expect("waiter panicked"));
+        });
+    }
+}

@@ -40,6 +40,7 @@ fn the_expected_artifacts_are_present() {
         .collect();
     for expected in [
         "BENCH_fault.json",
+        "BENCH_net.json",
         "BENCH_pipeline.json",
         "BENCH_replay.json",
         "BENCH_serve.json",

@@ -109,9 +109,7 @@ fn trace_mode_exports_a_complete_span_tree_per_request() {
 
     // A mixed session: two kernels, two block sizes, across two workers.
     let config = imt::core::EncoderConfig::default();
-    let k6 = config
-        .with_block_size(6)
-        .expect("6 is a valid block size");
+    let k6 = config.with_block_size(6).expect("6 is a valid block size");
     let requests = vec![
         Request::new(imt::kernels::Kernel::Tri.test_spec(), config),
         Request::new(imt::kernels::Kernel::Tri.test_spec(), k6),
