@@ -24,6 +24,25 @@
 //!    never a panic — and a clean request must still round-trip
 //!    bit-identically afterwards.
 //!
+//! The event-driven front-end adds three more phases on top:
+//!
+//! 5. **Connection scaling** — 64→4096 concurrent connections driven
+//!    by forked sender processes against both serving paths end to
+//!    end: the thread-per-connection server under PR 8's
+//!    connection-per-request clients versus the epoll reactor under
+//!    persistent pipelined connections, over a deliberately
+//!    transport-bound service (tiny test-scale kernels behind a
+//!    delivery stall). Asserts the reactor+pipelined path serves ≥2×
+//!    the old path's saturation at ≥1024 connections.
+//! 6. **10⁶-request open loop** — a seeded Poisson schedule offered at
+//!    ~70% of the measured reactor saturation through multi-process
+//!    load generation (`exp_net --sender` children), recording
+//!    p50/p99/p999 and re-checking conservation, zero wrong words, and
+//!    cold-tenant fairness at the million-request mark.
+//! 7. **Reactor chaos + trace** — the chaos matrix and the causal
+//!    trace timeline re-run against the reactor + persistent path,
+//!    plus a pipelined out-of-order bit-identity probe after restart.
+//!
 //! In-binary gates: zero wrong-word responses end-to-end (every
 //! completed response is compared bit-for-bit against a serial
 //! `encode_program` + `evaluate_auto` reference), conservation
@@ -37,9 +56,11 @@
 //! mix, and the chaos schedule are fully seeded and deterministic.
 
 use std::collections::HashMap;
+use std::fmt::Write as FmtWrite;
 use std::io::{Read as IoRead, Write as IoWrite};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
+use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -51,7 +72,9 @@ use imt_kernels::Kernel;
 use imt_net::chaos::{Injection, XorShift64, ALL_INJECTIONS};
 use imt_net::client::{Client, ClientConfig};
 use imt_net::msg::{NetRequest, NetResponse, RemoteError};
-use imt_net::server::{NetServer, ServerConfig};
+use imt_net::pool::PersistentClient;
+use imt_net::reactor::{ReactorConfig, ReactorServer};
+use imt_net::server::{NetServer, ServerConfig, ServerStatsSnapshot};
 use imt_net::wire::{Frame, FrameKind};
 use imt_net::{ListenAddr, NetError};
 use imt_obs::json::Json;
@@ -81,6 +104,49 @@ fn quota_stall(scale: Scale) -> Duration {
     match scale {
         Scale::Paper => Duration::from_millis(2),
         Scale::Test => Duration::from_millis(5),
+    }
+}
+
+/// Pipelined frames in flight per persistent connection in the
+/// connection-scaling and 10⁶-request phases. Deeper pipelines
+/// amortize the per-connection wake/flush cost at wide connection
+/// counts; 8 keeps worst-case in-flight (4096 conns × 8) at half the
+/// serving queue bound so admission never sheds the benchmark's own
+/// backlog.
+const PIPELINE_DEPTH: usize = 8;
+/// Reactor event-loop threads (exercises the N-way accept sharding).
+const REACTORS: usize = 2;
+
+/// Forked `--sender` load-generator processes per phase.
+fn sender_procs(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 4,
+        Scale::Test => 2,
+    }
+}
+
+/// Connection counts swept by the scaling phase, and the floor on
+/// requests per (mode, conns) cell. Each cell runs at least
+/// [`SCALING_REQS_PER_CONN`] requests per connection so the wide cells
+/// measure steady-state serving, not connection ramp: at 4096
+/// connections a fixed total would give each connection a handful of
+/// requests and the cell would time epoll registration and first-touch
+/// buffer growth instead of saturation throughput.
+fn scaling_counts(scale: Scale) -> (&'static [usize], usize) {
+    match scale {
+        Scale::Paper => (&[64, 256, 1024, 4096], 24_000),
+        Scale::Test => (&[8, 32], 1_200),
+    }
+}
+
+/// Minimum requests each connection contributes to a scaling cell.
+const SCALING_REQS_PER_CONN: usize = 24;
+
+/// Total requests and concurrent connections for the big open-loop run.
+fn mega_counts(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Paper => (1_000_000, 1024),
+        Scale::Test => (20_000, 32),
     }
 }
 
@@ -481,6 +547,871 @@ fn quota_fairness(
     }
 }
 
+// ------------------------------------------------------- server modes
+
+/// Which serving front-end a phase runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServeMode {
+    /// PR 8's thread-per-connection blocking server.
+    Blocking,
+    /// The epoll reactor with persistent pipelined connections.
+    Reactor,
+}
+
+impl ServeMode {
+    fn name(self) -> &'static str {
+        match self {
+            ServeMode::Blocking => "blocking",
+            ServeMode::Reactor => "reactor",
+        }
+    }
+}
+
+enum ServerHandle {
+    Blocking(NetServer),
+    Reactor(ReactorServer),
+}
+
+impl ServerHandle {
+    fn stats(&self) -> ServerStatsSnapshot {
+        match self {
+            ServerHandle::Blocking(server) => server.stats(),
+            ServerHandle::Reactor(server) => server.stats(),
+        }
+    }
+
+    fn stop(self) {
+        match self {
+            ServerHandle::Blocking(server) => server.stop(),
+            ServerHandle::Reactor(server) => server.stop(),
+        }
+    }
+}
+
+fn start_mode_server(
+    mode: ServeMode,
+    config: ServiceConfig,
+    path: &std::path::Path,
+    read_timeout: Duration,
+) -> (std::sync::Arc<Service>, ServerHandle) {
+    let service = std::sync::Arc::new(Service::start(config));
+    let addr = ListenAddr::Unix(path.to_path_buf());
+    let handle = match mode {
+        ServeMode::Blocking => ServerHandle::Blocking(
+            NetServer::start(
+                std::sync::Arc::clone(&service),
+                &addr,
+                ServerConfig::default().with_timeouts(read_timeout, Duration::from_secs(5)),
+            )
+            .expect("unix bind"),
+        ),
+        ServeMode::Reactor => ServerHandle::Reactor(
+            ReactorServer::start(
+                std::sync::Arc::clone(&service),
+                &addr,
+                ReactorConfig::default()
+                    .with_reactors(REACTORS)
+                    .with_read_timeout(read_timeout),
+            )
+            .expect("unix bind"),
+        ),
+    };
+    (service, handle)
+}
+
+fn stop_mode_server(service: std::sync::Arc<Service>, server: ServerHandle) {
+    server.stop();
+    match std::sync::Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => panic!("server kept a service handle after stop"),
+    }
+}
+
+/// The deliberately transport-bound service for the scaling and
+/// open-loop phases: tiny test-scale kernels behind a delivery stall
+/// with workers to spare, so what each mode's rps measures is the
+/// serving path — scheduling, syscalls, framing — not kernel math.
+fn scaling_service(scale: Scale) -> ServiceConfig {
+    let (workers, stall) = match scale {
+        Scale::Paper => (64, Duration::from_micros(500)),
+        Scale::Test => (16, Duration::from_millis(1)),
+    };
+    // Queue headroom above the worst-case in-flight load (4096 conns ×
+    // pipeline depth 4): the scaling phases measure transport, so the
+    // service must not shed its own admission load into the numbers.
+    ServiceConfig::default()
+        .with_workers(workers)
+        .with_queue_capacity(65_536)
+        .with_admission(Admission::Reject)
+        .with_tenant_quota(65_536)
+        .with_delivery_latency(stall)
+}
+
+// ------------------------------------------------------- sender child
+//
+// `exp_net --sender ...` re-enters this binary as one forked load
+// generator: pump threads driving either pipelined persistent
+// connections or PR 8-style connection-per-request traffic (`--style`),
+// tallying outcomes locally (including bit-identity against the serial
+// references) and reporting one summary line on stdout plus an
+// optional binary latency file. Keeping the generators in separate
+// processes keeps their scheduling out of the server process under
+// measurement, and is how the 10⁶-request phase reaches open-loop
+// scale without a thread per in-flight request.
+
+/// How a sender drives its connections.
+///
+/// `Pipelined` is the tentpole's new client discipline: persistent
+/// connections, up to `depth` requests in flight each. `PerRequest` is
+/// PR 8's discipline — connect, one request, close — kept measurable
+/// because the tentpole's ≥2× claim is exactly "persistent + pipelined
+/// over the reactor" versus "connection-per-request over
+/// thread-per-connection", where every request pays connection setup
+/// and a server-side thread spawn.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LoadStyle {
+    Pipelined,
+    PerRequest,
+}
+
+impl LoadStyle {
+    fn flag(self) -> &'static str {
+        match self {
+            LoadStyle::Pipelined => "pipelined",
+            LoadStyle::PerRequest => "per_request",
+        }
+    }
+}
+
+struct SenderArgs {
+    addr: PathBuf,
+    requests: usize,
+    conns: usize,
+    threads: usize,
+    depth: usize,
+    style: LoadStyle,
+    /// Offered requests/second for this process; 0 = closed loop.
+    rate: f64,
+    seed: u64,
+    lat_file: Option<PathBuf>,
+}
+
+fn sender_args(args: &[String]) -> SenderArgs {
+    let value = |key: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let num = |key: &str, default: usize| -> usize {
+        value(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    SenderArgs {
+        addr: PathBuf::from(value("--addr").expect("--sender requires --addr")),
+        requests: num("--requests", 0),
+        conns: num("--conns", 1).max(1),
+        threads: num("--threads", 1).max(1),
+        depth: num("--depth", PIPELINE_DEPTH).max(1),
+        style: if value("--style") == Some("per_request") {
+            LoadStyle::PerRequest
+        } else {
+            LoadStyle::Pipelined
+        },
+        rate: value("--rate").and_then(|v| v.parse().ok()).unwrap_or(0.0),
+        seed: value("--seed").and_then(|v| v.parse().ok()).unwrap_or(SEED),
+        lat_file: value("--lat").map(PathBuf::from),
+    }
+}
+
+/// Plain per-thread ledger; folded across threads and then reported to
+/// the parent. `per_tenant` rows are [offered, completed, rejected,
+/// failed] in `TENANTS` order.
+#[derive(Default, Clone)]
+struct SenderTally {
+    offered: u64,
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    mismatches: u64,
+    wrong_words: u64,
+    per_tenant: [[u64; 4]; 4],
+}
+
+impl SenderTally {
+    fn fold(&mut self, other: &SenderTally) {
+        self.offered += other.offered;
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.failed += other.failed;
+        self.mismatches += other.mismatches;
+        self.wrong_words += other.wrong_words;
+        for (mine, theirs) in self.per_tenant.iter_mut().zip(other.per_tenant.iter()) {
+            for (slot, value) in mine.iter_mut().zip(theirs.iter()) {
+                *slot += value;
+            }
+        }
+    }
+}
+
+/// One request awaiting its pipelined response.
+struct PendingReq {
+    sent: Instant,
+    cell: usize,
+    tenant: usize,
+}
+
+fn connect_retry(path: &std::path::Path, io_timeout: Duration) -> Option<PersistentClient> {
+    let addr = ListenAddr::Unix(path.to_path_buf());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match PersistentClient::connect(&addr, io_timeout) {
+            Ok(client) => return Some(client),
+            // A full accept backlog during a 4096-connection ramp is
+            // expected — back off and retry.
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Classifies one delivered response against the serial references,
+/// crediting the tally row for the tenant that asked.
+fn classify_response(
+    response: &imt_net::msg::NetResponse,
+    entry: &PendingReq,
+    named: &[(Cell, String)],
+    references: &HashMap<(String, usize), Evaluation>,
+    tally: &mut SenderTally,
+    latencies: &mut Vec<u64>,
+) {
+    let latency = entry.sent.elapsed().as_nanos() as u64;
+    match &response.outcome {
+        Ok(done) => {
+            tally.completed += 1;
+            tally.per_tenant[entry.tenant][1] += 1;
+            tally.wrong_words += done.evaluation.decode_mismatches;
+            let (cell, spec_name) = &named[entry.cell];
+            let key = (response.kernel.clone(), response.block_size as usize);
+            // The response must identify as the cell this id asked for
+            // — catches any correlation slip — and match the serial
+            // reference bit for bit.
+            let right_identity =
+                response.kernel == *spec_name && response.block_size as usize == cell.block_size;
+            if !right_identity || references.get(&key) != Some(&done.evaluation) {
+                tally.mismatches += 1;
+            }
+            latencies.push(latency);
+        }
+        Err(RemoteError::Overloaded { .. }) | Err(RemoteError::QuotaExceeded { .. }) => {
+            tally.rejected += 1;
+            tally.per_tenant[entry.tenant][2] += 1;
+        }
+        Err(_) => {
+            tally.failed += 1;
+            tally.per_tenant[entry.tenant][3] += 1;
+        }
+    }
+}
+
+/// Receives one pipelined response on `conn`, classifying it against
+/// the serial references. Returns `false` when the connection is dead
+/// (everything still pending on it resolves as failed).
+fn pump_drain(
+    conn: &mut PersistentClient,
+    pending: &mut HashMap<u64, PendingReq>,
+    named: &[(Cell, String)],
+    references: &HashMap<(String, usize), Evaluation>,
+    tally: &mut SenderTally,
+    latencies: &mut Vec<u64>,
+) -> bool {
+    match conn.recv_any() {
+        Ok((id, response)) => {
+            let entry = pending
+                .remove(&id)
+                .expect("client outstanding mirrors the pending map");
+            classify_response(&response, &entry, named, references, tally, latencies);
+            true
+        }
+        Err(_) => {
+            for (_, entry) in pending.drain() {
+                tally.failed += 1;
+                tally.per_tenant[entry.tenant][3] += 1;
+            }
+            false
+        }
+    }
+}
+
+/// One PR 8-discipline load thread: every request opens its own
+/// connection, sends once, reads once, and closes — `conn_count` of
+/// them concurrently open per batch. This is the baseline the tentpole
+/// claims ≥2× over: each request pays connect + accept + a server-side
+/// thread spawn, and the measured latency starts *before* the connect
+/// because that setup cost is exactly what the old path charges.
+#[allow(clippy::too_many_arguments)]
+fn per_request_thread(
+    path: &std::path::Path,
+    n: usize,
+    conn_count: usize,
+    rate: f64,
+    seed: u64,
+    named: &[(Cell, String)],
+    cdf: &[f64],
+    references: &HashMap<(String, usize), Evaluation>,
+) -> (SenderTally, Vec<u64>, Duration) {
+    let io_timeout = Duration::from_secs(30);
+    let mut tally = SenderTally::default();
+    let mut latencies: Vec<u64> = Vec::with_capacity(n);
+    let mut rng = XorShift64::new(seed | 1);
+    let started = Instant::now();
+    let mut clock = 0.0f64;
+    let mut remaining = n;
+    while remaining > 0 {
+        let batch = conn_count.min(remaining);
+        let mut open: Vec<(PersistentClient, u64, PendingReq)> = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            if rate > 0.0 {
+                clock += -(1.0 - rng.unit()).ln() / rate;
+                let target = started + Duration::from_secs_f64(clock);
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+            }
+            let cell_ix = sample_cdf(cdf, rng.unit());
+            let tenant = if rng.unit() < HOT_SHARE {
+                0
+            } else {
+                1 + rng.index(TENANTS.len() - 1)
+            };
+            tally.offered += 1;
+            tally.per_tenant[tenant][0] += 1;
+            let entry = PendingReq {
+                sent: Instant::now(),
+                cell: cell_ix,
+                tenant,
+            };
+            let request = net_request(Scale::Test, named[cell_ix].0, TENANTS[tenant]);
+            let sent = connect_retry(path, io_timeout)
+                .and_then(|mut conn| conn.send(&request).ok().map(|id| (conn, id)));
+            match sent {
+                Some((conn, id)) => open.push((conn, id, entry)),
+                None => {
+                    tally.failed += 1;
+                    tally.per_tenant[tenant][3] += 1;
+                }
+            }
+        }
+        for (mut conn, id, entry) in open {
+            match conn.recv(id) {
+                Ok(response) => {
+                    classify_response(
+                        &response,
+                        &entry,
+                        named,
+                        references,
+                        &mut tally,
+                        &mut latencies,
+                    );
+                }
+                Err(_) => {
+                    tally.failed += 1;
+                    tally.per_tenant[entry.tenant][3] += 1;
+                }
+            }
+            // Dropping the client closes the connection: one request,
+            // one connection, as the PR 8 client shipped.
+        }
+        remaining -= batch;
+    }
+    (tally, latencies, started.elapsed())
+}
+
+/// One pump thread: a bundle of persistent connections loaded
+/// round-robin with up to `depth` pipelined requests each. With
+/// `rate > 0` sends follow a seeded Poisson schedule (open loop);
+/// otherwise the pipeline refills as fast as responses drain (closed
+/// loop, for saturation).
+#[allow(clippy::too_many_arguments)]
+fn pump_thread(
+    path: &std::path::Path,
+    n: usize,
+    conn_count: usize,
+    depth: usize,
+    rate: f64,
+    seed: u64,
+    named: &[(Cell, String)],
+    cdf: &[f64],
+    references: &HashMap<(String, usize), Evaluation>,
+) -> (SenderTally, Vec<u64>, Duration) {
+    let io_timeout = Duration::from_secs(30);
+    let mut tally = SenderTally::default();
+    let mut latencies: Vec<u64> = Vec::with_capacity(n);
+    let mut conns: Vec<Option<PersistentClient>> = (0..conn_count)
+        .map(|_| connect_retry(path, io_timeout))
+        .collect();
+    let mut pending: Vec<HashMap<u64, PendingReq>> =
+        (0..conn_count).map(|_| HashMap::new()).collect();
+    let mut rng = XorShift64::new(seed | 1);
+    let started = Instant::now();
+    let mut clock = 0.0f64;
+    for i in 0..n {
+        if rate > 0.0 {
+            // Open loop: the schedule, not completions, decides when
+            // the next request goes out.
+            clock += -(1.0 - rng.unit()).ln() / rate;
+            let target = started + Duration::from_secs_f64(clock);
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+        }
+        let c = i % conn_count;
+        if pending[c].len() >= depth {
+            let drained = match conns[c].as_mut() {
+                Some(conn) => pump_drain(
+                    conn,
+                    &mut pending[c],
+                    named,
+                    references,
+                    &mut tally,
+                    &mut latencies,
+                ),
+                None => false,
+            };
+            if !drained {
+                conns[c] = connect_retry(path, io_timeout);
+            }
+        }
+        let cell_ix = sample_cdf(cdf, rng.unit());
+        let tenant = if rng.unit() < HOT_SHARE {
+            0
+        } else {
+            1 + rng.index(TENANTS.len() - 1)
+        };
+        tally.offered += 1;
+        tally.per_tenant[tenant][0] += 1;
+        let request = net_request(Scale::Test, named[cell_ix].0, TENANTS[tenant]);
+        let sent = match conns[c].as_mut() {
+            Some(conn) => match conn.send(&request) {
+                Ok(id) => {
+                    pending[c].insert(
+                        id,
+                        PendingReq {
+                            sent: Instant::now(),
+                            cell: cell_ix,
+                            tenant,
+                        },
+                    );
+                    true
+                }
+                Err(_) => false,
+            },
+            None => false,
+        };
+        if !sent {
+            tally.failed += 1;
+            tally.per_tenant[tenant][3] += 1;
+            for (_, entry) in pending[c].drain() {
+                tally.failed += 1;
+                tally.per_tenant[entry.tenant][3] += 1;
+            }
+            conns[c] = connect_retry(path, io_timeout);
+        }
+    }
+    // Drain everything still in flight.
+    for c in 0..conn_count {
+        while !pending[c].is_empty() {
+            let Some(conn) = conns[c].as_mut() else {
+                for (_, entry) in pending[c].drain() {
+                    tally.failed += 1;
+                    tally.per_tenant[entry.tenant][3] += 1;
+                }
+                break;
+            };
+            if !pump_drain(
+                conn,
+                &mut pending[c],
+                named,
+                references,
+                &mut tally,
+                &mut latencies,
+            ) {
+                conns[c] = None;
+            }
+        }
+    }
+    (tally, latencies, started.elapsed())
+}
+
+/// Entry point for `exp_net --sender`: runs the pump threads, then
+/// prints a single machine-parsable tally line.
+fn sender_main(args: &[String]) {
+    let a = sender_args(args);
+    let named: Vec<(Cell, String)> = cells()
+        .into_iter()
+        .map(|cell| {
+            let name = Scale::Test.spec(cell.kernel).name.clone();
+            (cell, name)
+        })
+        .collect();
+    let cdf = zipf_cdf(named.len());
+    let references = serial_references(Scale::Test);
+    let threads = a.threads.clamp(1, a.conns);
+    let mut results: Vec<(SenderTally, Vec<u64>, Duration)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let n_t = a.requests / threads + usize::from(t < a.requests % threads);
+            let conns_t = (a.conns / threads + usize::from(t < a.conns % threads)).max(1);
+            let rate_t = a.rate / threads as f64;
+            let seed_t = a.seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let (named, cdf, references, path) = (&named, &cdf, &references, a.addr.as_path());
+            let style = a.style;
+            handles.push(scope.spawn(move || match style {
+                LoadStyle::Pipelined => pump_thread(
+                    path, n_t, conns_t, a.depth, rate_t, seed_t, named, cdf, references,
+                ),
+                LoadStyle::PerRequest => {
+                    per_request_thread(path, n_t, conns_t, rate_t, seed_t, named, cdf, references)
+                }
+            }));
+        }
+        for handle in handles {
+            results.push(handle.join().expect("pump thread"));
+        }
+    });
+    let mut tally = SenderTally::default();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut wall = Duration::ZERO;
+    for (thread_tally, thread_latencies, elapsed) in results {
+        tally.fold(&thread_tally);
+        latencies.extend_from_slice(&thread_latencies);
+        wall = wall.max(elapsed);
+    }
+    if let Some(lat_path) = &a.lat_file {
+        let mut bytes = Vec::with_capacity(latencies.len() * 8);
+        for v in &latencies {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(lat_path, bytes).expect("write latency file");
+    }
+    let mut line = format!(
+        "SENDER offered={} completed={} rejected={} failed={} mismatches={} \
+         wrong_words={} wall_ms={}",
+        tally.offered,
+        tally.completed,
+        tally.rejected,
+        tally.failed,
+        tally.mismatches,
+        tally.wrong_words,
+        wall.as_millis(),
+    );
+    for (i, tenant) in TENANTS.iter().enumerate() {
+        let [o, c, r, f] = tally.per_tenant[i];
+        write!(line, " {tenant}={o}:{c}:{r}:{f}").expect("write to String");
+    }
+    println!("{line}");
+}
+
+// ------------------------------------------------------ sender parent
+
+/// Merged view over all `--sender` child processes of one phase.
+#[derive(Default)]
+struct SenderReport {
+    offered: u64,
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    mismatches: u64,
+    wrong_words: u64,
+    per_tenant: [[u64; 4]; 4],
+    /// Slowest child's first-send → last-recv span (the honest divisor
+    /// for throughput).
+    wall: Duration,
+    /// Sorted, merged across children; empty unless requested.
+    latencies_ns: Vec<u64>,
+}
+
+fn sender_u64(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|tok| {
+            tok.strip_prefix(key)
+                .and_then(|rest| rest.strip_prefix('='))
+        })
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("sender line missing {key}: {line}"))
+}
+
+fn sender_tenant(line: &str, name: &str) -> [u64; 4] {
+    let raw = line
+        .split_whitespace()
+        .find_map(|tok| {
+            tok.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix('='))
+        })
+        .unwrap_or_else(|| panic!("sender line missing tenant {name}: {line}"));
+    let mut out = [0u64; 4];
+    for (slot, part) in out.iter_mut().zip(raw.split(':')) {
+        *slot = part.parse().expect("tenant counter");
+    }
+    out
+}
+
+/// Forks `procs` sender processes (re-executing this binary with
+/// `--sender`) and merges their tallies. `rate` is the total offered
+/// requests/second across all processes; 0 runs closed-loop.
+#[allow(clippy::too_many_arguments)]
+fn run_senders(
+    path: &std::path::Path,
+    requests: usize,
+    conns: usize,
+    depth: usize,
+    style: LoadStyle,
+    rate: f64,
+    procs: usize,
+    threads_per_proc: usize,
+    seed: u64,
+    collect_latencies: bool,
+) -> SenderReport {
+    let exe = std::env::current_exe().expect("own binary path");
+    let mut children = Vec::new();
+    let mut lat_files: Vec<PathBuf> = Vec::new();
+    for p in 0..procs {
+        let n_p = requests / procs + usize::from(p < requests % procs);
+        let conns_p = (conns / procs + usize::from(p < conns % procs)).max(1);
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--sender")
+            .arg("--addr")
+            .arg(path)
+            .arg("--requests")
+            .arg(n_p.to_string())
+            .arg("--conns")
+            .arg(conns_p.to_string())
+            .arg("--threads")
+            .arg(threads_per_proc.to_string())
+            .arg("--depth")
+            .arg(depth.to_string())
+            .arg("--style")
+            .arg(style.flag())
+            .arg("--seed")
+            .arg((seed ^ (p as u64 + 1).wrapping_mul(0xD134_2543_DE82_EF95)).to_string())
+            .stdout(Stdio::piped());
+        if rate > 0.0 {
+            cmd.arg("--rate").arg(format!("{:.3}", rate / procs as f64));
+        }
+        if collect_latencies {
+            let lat = std::env::temp_dir()
+                .join(format!("imt-exp-net-lat-{}-{p}.bin", std::process::id()));
+            cmd.arg("--lat").arg(&lat);
+            lat_files.push(lat);
+        }
+        children.push(cmd.spawn().expect("spawn sender process"));
+    }
+    let mut report = SenderReport::default();
+    for child in children {
+        let output = child.wait_with_output().expect("sender process exits");
+        assert!(output.status.success(), "a sender process failed");
+        let text = String::from_utf8_lossy(&output.stdout);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("SENDER "))
+            .expect("sender tally line");
+        report.offered += sender_u64(line, "offered");
+        report.completed += sender_u64(line, "completed");
+        report.rejected += sender_u64(line, "rejected");
+        report.failed += sender_u64(line, "failed");
+        report.mismatches += sender_u64(line, "mismatches");
+        report.wrong_words += sender_u64(line, "wrong_words");
+        report.wall = report
+            .wall
+            .max(Duration::from_millis(sender_u64(line, "wall_ms")));
+        for (i, tenant) in TENANTS.iter().enumerate() {
+            let counts = sender_tenant(line, tenant);
+            for (slot, value) in report.per_tenant[i].iter_mut().zip(counts.iter()) {
+                *slot += value;
+            }
+        }
+    }
+    for lat in &lat_files {
+        if let Ok(bytes) = std::fs::read(lat) {
+            report.latencies_ns.extend(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+            );
+        }
+        let _ = std::fs::remove_file(lat);
+    }
+    report.latencies_ns.sort_unstable();
+    report
+}
+
+/// Folds a sender-phase report into the global conservation ledger.
+fn fold_report(report: &SenderReport, tally: &Tally) {
+    tally.offered.fetch_add(report.offered, Ordering::Relaxed);
+    tally
+        .completed
+        .fetch_add(report.completed, Ordering::Relaxed);
+    tally.rejected.fetch_add(report.rejected, Ordering::Relaxed);
+    tally.failed.fetch_add(report.failed, Ordering::Relaxed);
+    tally
+        .mismatches
+        .fetch_add(report.mismatches, Ordering::Relaxed);
+    tally
+        .wrong_words
+        .fetch_add(report.wrong_words, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------- phase 6
+
+struct ScalingCell {
+    conns: usize,
+    blocking_rps: f64,
+    reactor_rps: f64,
+}
+
+/// Sweeps connection counts against both serving paths end to end:
+/// the blocking thread-per-connection server driven by PR 8's
+/// connection-per-request clients (every request pays connect, accept,
+/// and a server thread spawn), versus the reactor driven by persistent
+/// pipelined connections — the exact before/after the tentpole claims
+/// ≥2× on. Closed-loop saturation per cell, multi-process senders.
+fn conn_scaling(scale: Scale, tally: &Tally) -> Vec<ScalingCell> {
+    let (conn_counts, per_cell_floor) = scaling_counts(scale);
+    let procs = sender_procs(scale);
+    let mut out = Vec::new();
+    for &conns in conn_counts {
+        let per_cell = per_cell_floor.max(conns * SCALING_REQS_PER_CONN);
+        let mut blocking_rps = 0.0f64;
+        let mut reactor_rps = 0.0f64;
+        for mode in [ServeMode::Blocking, ServeMode::Reactor] {
+            let path = unique_sock();
+            // The generous read timeout matters for the reactor cells:
+            // at 4096 persistent connections each sees seconds between
+            // frames, which must be idleness, not a timeout disconnect.
+            let (service, server) =
+                start_mode_server(mode, scaling_service(scale), &path, Duration::from_secs(30));
+            let threads = (conns / procs).clamp(1, 8);
+            let seed = SEED ^ ((conns as u64) << 8) ^ u64::from(mode == ServeMode::Reactor);
+            let style = match mode {
+                ServeMode::Blocking => LoadStyle::PerRequest,
+                ServeMode::Reactor => LoadStyle::Pipelined,
+            };
+            let report = run_senders(
+                &path,
+                per_cell,
+                conns,
+                PIPELINE_DEPTH,
+                style,
+                0.0,
+                procs,
+                threads,
+                seed,
+                false,
+            );
+            stop_mode_server(service, server);
+            let _ = std::fs::remove_file(&path);
+            fold_report(&report, tally);
+            assert_eq!(
+                report.failed,
+                0,
+                "{} mode at {} conns must not fail requests",
+                mode.name(),
+                conns
+            );
+            let rps = report.completed as f64 / report.wall.as_secs_f64().max(1e-9);
+            match mode {
+                ServeMode::Blocking => blocking_rps = rps,
+                ServeMode::Reactor => reactor_rps = rps,
+            }
+        }
+        println!(
+            "  {conns:>5} conns: thread-per-conn (conn/request) {blocking_rps:>8.0} rps   \
+             reactor (pipelined) {reactor_rps:>8.0} rps   speedup ×{:.2}",
+            reactor_rps / blocking_rps.max(1e-9),
+        );
+        out.push(ScalingCell {
+            conns,
+            blocking_rps,
+            reactor_rps,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------- phase 7
+
+struct MegaResult {
+    requests: u64,
+    conns: usize,
+    offered_rps: f64,
+    achieved_rps: f64,
+    wall: Duration,
+    p50: f64,
+    p99: f64,
+    p999: f64,
+    offered: u64,
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    cold_share: f64,
+    server_connections: u64,
+    server_requests: u64,
+}
+
+/// The 10⁶-request open-loop run: multi-process senders offer a seeded
+/// Poisson schedule at ~70% of the measured reactor saturation over
+/// persistent pipelined connections.
+fn mega_open_loop(scale: Scale, reactor_rps: f64, tally: &Tally) -> MegaResult {
+    let (total, conns) = mega_counts(scale);
+    let procs = sender_procs(scale);
+    let rate = (reactor_rps * 0.7).max(200.0);
+    let path = unique_sock();
+    let (service, server) = start_mode_server(
+        ServeMode::Reactor,
+        scaling_service(scale),
+        &path,
+        Duration::from_secs(30),
+    );
+    let threads = (conns / procs).clamp(1, 8);
+    let report = run_senders(
+        &path,
+        total,
+        conns,
+        PIPELINE_DEPTH,
+        LoadStyle::Pipelined,
+        rate,
+        procs,
+        threads,
+        SEED ^ 0x1_000_000,
+        true,
+    );
+    let server_stats = server.stats();
+    stop_mode_server(service, server);
+    let _ = std::fs::remove_file(&path);
+    fold_report(&report, tally);
+    let cold_offered: u64 = (1..TENANTS.len()).map(|i| report.per_tenant[i][0]).sum();
+    let cold_completed: u64 = (1..TENANTS.len()).map(|i| report.per_tenant[i][1]).sum();
+    MegaResult {
+        requests: total as u64,
+        conns,
+        offered_rps: rate,
+        achieved_rps: report.completed as f64 / report.wall.as_secs_f64().max(1e-9),
+        wall: report.wall,
+        p50: percentile_ms(&report.latencies_ns, 50.0),
+        p99: percentile_ms(&report.latencies_ns, 99.0),
+        p999: percentile_ms(&report.latencies_ns, 99.9),
+        offered: report.offered,
+        completed: report.completed,
+        rejected: report.rejected,
+        failed: report.failed,
+        cold_share: cold_completed as f64 / cold_offered.max(1) as f64,
+        server_connections: server_stats.connections,
+        server_requests: server_stats.requests,
+    }
+}
+
 // ---------------------------------------------------------------- phase 4
 
 struct ChaosResult {
@@ -491,6 +1422,9 @@ struct ChaosResult {
     read_timeouts: u64,
     restart_ok: bool,
     post_chaos_ok: bool,
+    /// Post-restart pipelined out-of-order bit-identity over one
+    /// persistent connection; only probed in reactor mode.
+    pipelined_ok: Option<bool>,
 }
 
 /// Writes `bytes` on a fresh raw connection and drains whatever comes
@@ -519,12 +1453,23 @@ fn fire_raw(path: &std::path::Path, bytes: &[u8], linger: Option<Duration>) {
 
 fn chaos_matrix(
     scale: Scale,
+    mode: ServeMode,
     path: &std::path::Path,
     random_rounds: usize,
     cells: &[Cell],
     references: &HashMap<(String, usize), Evaluation>,
 ) -> ChaosResult {
-    let (service, server) = start_server(ServiceConfig::default().with_workers(2), path);
+    // The reactor never blocks a thread, so it runs with typed
+    // admission refusals; the blocking server keeps its PR 8 setup.
+    let chaos_service = || {
+        let config = ServiceConfig::default().with_workers(2);
+        match mode {
+            ServeMode::Blocking => config,
+            ServeMode::Reactor => config.with_admission(Admission::Reject),
+        }
+    };
+    let (service, server) =
+        start_mode_server(mode, chaos_service(), path, Duration::from_millis(300));
     let mut rng = XorShift64::new(SEED ^ 0xC4A0_5EED);
     let mut by_label: Vec<(&'static str, usize)> = ALL_INJECTIONS
         .iter()
@@ -581,11 +1526,12 @@ fn chaos_matrix(
     std::thread::sleep(Duration::from_millis(400));
 
     let stats = server.stats();
-    stop_server(service, server);
+    stop_mode_server(service, server);
 
     // Server restart on the same path: the next bind must reclaim the
     // socket file and serve again.
-    let (service, server) = start_server(ServiceConfig::default().with_workers(2), path);
+    let (service, server) =
+        start_mode_server(mode, chaos_service(), path, Duration::from_millis(300));
     let client = load_client(path);
     let cell = cells[0];
     let response = client.call(&net_request(scale, cell, ""));
@@ -600,7 +1546,9 @@ fn chaos_matrix(
         },
         Err(_) => false,
     };
-    stop_server(service, server);
+    let pipelined_ok =
+        (mode == ServeMode::Reactor).then(|| pipelined_post_chaos(scale, path, cells, references));
+    stop_mode_server(service, server);
 
     ChaosResult {
         rounds: plan.len(),
@@ -610,19 +1558,66 @@ fn chaos_matrix(
         read_timeouts: stats.read_timeouts,
         restart_ok,
         post_chaos_ok,
+        pipelined_ok,
     }
+}
+
+/// Pipelines four requests on one persistent connection after the
+/// chaos matrix and restart, draining answers in *reverse* send order:
+/// the request-id correlation, not arrival order, must deliver every
+/// response bit-identical to the serial reference.
+fn pipelined_post_chaos(
+    scale: Scale,
+    path: &std::path::Path,
+    cells: &[Cell],
+    references: &HashMap<(String, usize), Evaluation>,
+) -> bool {
+    let addr = ListenAddr::Unix(path.to_path_buf());
+    let Ok(mut client) = PersistentClient::connect(&addr, Duration::from_secs(30)) else {
+        return false;
+    };
+    let mut ids = Vec::new();
+    for &cell in cells.iter().take(4) {
+        match client.send(&net_request(scale, cell, "hot")) {
+            Ok(id) => ids.push(id),
+            Err(_) => return false,
+        }
+    }
+    for &id in ids.iter().rev() {
+        match client.recv(id) {
+            Ok(response) => {
+                let identical = match &response.outcome {
+                    Ok(done) => {
+                        let key = (response.kernel.clone(), response.block_size as usize);
+                        references.get(&key) == Some(&done.evaluation)
+                    }
+                    Err(_) => false,
+                };
+                if response.id != id || !identical {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    !client.is_poisoned()
 }
 
 // ---------------------------------------------------------------- phase 5
 
 /// Runs one traced request and asserts its causal timeline covers the
 /// full read → decode → queue → warm → encode → respond path.
-fn trace_coverage(scale: Scale, path: &std::path::Path) -> Vec<String> {
+fn trace_coverage(scale: Scale, mode: ServeMode, path: &std::path::Path) -> Vec<String> {
     let previous = imt_obs::mode();
     imt_obs::set_mode(imt_obs::Mode::Trace);
     imt_obs::trace::reset();
     // A fresh service so the first request must warm the profile memo.
-    let (service, server) = start_server(ServiceConfig::default().with_workers(1), path);
+    let (service, server) = start_mode_server(
+        mode,
+        ServiceConfig::default().with_workers(1),
+        path,
+        Duration::from_millis(300),
+    );
     let client = load_client(path);
     let response = client
         .call(&net_request(
@@ -635,7 +1630,7 @@ fn trace_coverage(scale: Scale, path: &std::path::Path) -> Vec<String> {
         ))
         .expect("traced request transports");
     assert!(response.outcome.is_ok(), "traced request completes");
-    stop_server(service, server);
+    stop_mode_server(service, server);
     let (events, _dropped) = imt_obs::trace::snapshot();
     imt_obs::set_mode(previous);
 
@@ -668,6 +1663,14 @@ fn trace_coverage(scale: Scale, path: &std::path::Path) -> Vec<String> {
 // ------------------------------------------------------------------ main
 
 fn main() {
+    // Child mode: this process is one forked load generator, not the
+    // experiment driver.
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.iter().any(|a| a == "--sender") {
+        sender_main(&argv);
+        return;
+    }
+
     let _guard = imt_bench::begin_run("exp_net");
     let scale = Scale::from_args();
     let (probe_n, main_n, hot_per_thread, cold_per_tenant, chaos_rounds) = counts(scale);
@@ -761,7 +1764,14 @@ fn main() {
         quota.cold_share,
     );
 
-    let chaos = chaos_matrix(scale, &path, chaos_rounds, &cells, &references);
+    let chaos = chaos_matrix(
+        scale,
+        ServeMode::Blocking,
+        &path,
+        chaos_rounds,
+        &cells,
+        &references,
+    );
     println!(
         "\nchaos matrix: {} corruption rounds + {} mid-request disconnects:",
         chaos.rounds, chaos.disconnects,
@@ -778,10 +1788,93 @@ fn main() {
         if chaos.post_chaos_ok { "ok" } else { "FAILED" },
     );
 
-    let trace_stages = trace_coverage(scale, &path);
+    let trace_stages = trace_coverage(scale, ServeMode::Blocking, &path);
     println!(
         "\ntrace timeline: one network request covered {}",
         trace_stages.join(" → "),
+    );
+
+    // --------------------------------------- the event-driven phases
+    let (_, per_cell_floor) = scaling_counts(scale);
+    println!(
+        "\nconnection scaling (≥{per_cell_floor} requests/cell, ≥{SCALING_REQS_PER_CONN} \
+         per connection, {} sender processes; blocking = conn-per-request clients, \
+         reactor = persistent ×{PIPELINE_DEPTH} pipelined over {REACTORS} shards):",
+        sender_procs(scale),
+    );
+    let scaling = conn_scaling(scale, &tally);
+
+    // The saturation the big open-loop run is paced against: the
+    // reactor's rps at the ≥1024-connection gate cell.
+    let reactor_gate_rps = scaling
+        .iter()
+        .find(|cell| cell.conns >= 1024)
+        .or(scaling.last())
+        .map(|cell| cell.reactor_rps)
+        .expect("scaling sweep is nonempty");
+
+    let mega = mega_open_loop(scale, reactor_gate_rps, &tally);
+    println!(
+        "\nopen loop ×10⁶: {} requests over {} conns via {} sender processes \
+         (offered {:.0} rps) → achieved {:.0} rps over {:.1}s",
+        mega.requests,
+        mega.conns,
+        sender_procs(scale),
+        mega.offered_rps,
+        mega.achieved_rps,
+        mega.wall.as_secs_f64(),
+    );
+    println!(
+        "  p50 {:.2}ms  p99 {:.2}ms  p99.9 {:.2}ms; {} completed + {} rejected + {} failed \
+         == {} offered; cold share {:.3}; server saw {} connections, {} requests",
+        mega.p50,
+        mega.p99,
+        mega.p999,
+        mega.completed,
+        mega.rejected,
+        mega.failed,
+        mega.offered,
+        mega.cold_share,
+        mega.server_connections,
+        mega.server_requests,
+    );
+
+    let chaos_reactor = chaos_matrix(
+        scale,
+        ServeMode::Reactor,
+        &path,
+        chaos_rounds,
+        &cells,
+        &references,
+    );
+    println!(
+        "\nchaos matrix (reactor): {} rounds + {} disconnects → {} protocol errors, \
+         {} read timeouts; restart: {}; post-chaos: {}; pipelined out-of-order: {}",
+        chaos_reactor.rounds,
+        chaos_reactor.disconnects,
+        chaos_reactor.protocol_errors,
+        chaos_reactor.read_timeouts,
+        if chaos_reactor.restart_ok {
+            "ok"
+        } else {
+            "FAILED"
+        },
+        if chaos_reactor.post_chaos_ok {
+            "ok"
+        } else {
+            "FAILED"
+        },
+        if chaos_reactor.pipelined_ok == Some(true) {
+            "ok"
+        } else {
+            "FAILED"
+        },
+    );
+
+    let trace_reactor = trace_coverage(scale, ServeMode::Reactor, &path);
+    println!(
+        "trace timeline (reactor): one network request covered {}",
+        trace_reactor.join(" → "),
     );
 
     // ------------------------------------------------------- the gates
@@ -829,6 +1922,54 @@ fn main() {
     );
     assert!(sat_rps > 0.0, "saturation throughput must be nonzero");
 
+    // Event-driven front-end gates.
+    for cell in &scaling {
+        assert!(
+            cell.blocking_rps > 0.0 && cell.reactor_rps > 0.0,
+            "both modes must serve at {} conns",
+            cell.conns
+        );
+    }
+    if scale == Scale::Paper {
+        for cell in scaling.iter().filter(|cell| cell.conns >= 1024) {
+            assert!(
+                cell.reactor_rps >= 2.0 * cell.blocking_rps,
+                "reactor must out-serve thread-per-connection ≥2× at {} conns \
+                 (blocking {:.0} rps, reactor {:.0} rps)",
+                cell.conns,
+                cell.blocking_rps,
+                cell.reactor_rps
+            );
+        }
+    }
+    assert_eq!(
+        mega.offered, mega.requests,
+        "the open-loop run must offer every scheduled request"
+    );
+    assert!(
+        mega.cold_share >= fair_floor,
+        "10⁶-run cold tenants completed only {:.3} of their offered load (floor {fair_floor})",
+        mega.cold_share
+    );
+    assert!(
+        chaos_reactor.protocol_errors >= 8,
+        "reactor-mode corruptions must surface as typed protocol errors (got {})",
+        chaos_reactor.protocol_errors
+    );
+    assert!(
+        chaos_reactor.read_timeouts >= 1,
+        "slow-loris half-writes must trip the reactor's mid-frame sweep"
+    );
+    assert!(
+        chaos_reactor.restart_ok && chaos_reactor.post_chaos_ok,
+        "the reactor must restart on the same path and stay bit-identical"
+    );
+    assert_eq!(
+        chaos_reactor.pipelined_ok,
+        Some(true),
+        "post-chaos pipelined out-of-order responses must stay bit-identical"
+    );
+
     println!("\nchecks: wrong-word responses over the wire = 0 across {completed} completed");
     println!(
         "checks: injected corruptions -> typed errors, panics = 0 \
@@ -843,6 +1984,19 @@ fn main() {
         "checks: starved-tenant completion share {:.3} >= fair floor {fair_floor}",
         quota.cold_share
     );
+    if scale == Scale::Paper {
+        for cell in scaling.iter().filter(|cell| cell.conns >= 1024) {
+            println!(
+                "checks: reactor speedup x{:.2} >= 2.00 at {} conns",
+                cell.reactor_rps / cell.blocking_rps.max(1e-9),
+                cell.conns
+            );
+        }
+    }
+    println!(
+        "checks: 10^6-run conservation {} + {} + {} == {} offered, cold share {:.3}",
+        mega.completed, mega.rejected, mega.failed, mega.offered, mega.cold_share
+    );
 
     // --------------------------------------------------------- the doc
     let round = |v: f64| Json::F64((v * 1000.0).round() / 1000.0);
@@ -853,6 +2007,9 @@ fn main() {
             ("seed", Json::U64(SEED)),
             ("senders", Json::U64(SENDERS as u64)),
             ("probe_threads", Json::U64(PROBE_THREADS as u64)),
+            ("sender_procs", Json::U64(sender_procs(scale) as u64)),
+            ("pipeline_depth", Json::U64(PIPELINE_DEPTH as u64)),
+            ("reactors", Json::U64(REACTORS as u64)),
         ]),
     );
     manifest.capture();
@@ -905,6 +2062,77 @@ fn main() {
         (
             "trace_stages",
             Json::Arr(trace_stages.iter().map(Json::str).collect()),
+        ),
+        (
+            "conn_scaling",
+            Json::obj(vec![
+                ("blocking_style", Json::str("conn_per_request")),
+                ("reactor_style", Json::str("persistent_pipelined")),
+                (
+                    "cells",
+                    Json::Arr(
+                        scaling
+                            .iter()
+                            .map(|cell| {
+                                Json::obj(vec![
+                                    ("conns", Json::U64(cell.conns as u64)),
+                                    ("blocking_rps", round(cell.blocking_rps)),
+                                    ("reactor_rps", round(cell.reactor_rps)),
+                                    (
+                                        "speedup",
+                                        round(cell.reactor_rps / cell.blocking_rps.max(1e-9)),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "reactor",
+            Json::obj(vec![
+                ("reactors", Json::U64(REACTORS as u64)),
+                ("pipeline_depth", Json::U64(PIPELINE_DEPTH as u64)),
+                ("saturation_rps", round(reactor_gate_rps)),
+                (
+                    "open_loop_1m",
+                    Json::obj(vec![
+                        ("requests", Json::U64(mega.requests)),
+                        ("conns", Json::U64(mega.conns as u64)),
+                        ("sender_procs", Json::U64(sender_procs(scale) as u64)),
+                        ("offered_rps", round(mega.offered_rps)),
+                        ("achieved_rps", round(mega.achieved_rps)),
+                        ("wall_ms", round(mega.wall.as_secs_f64() * 1e3)),
+                        ("p50_ms", round(mega.p50)),
+                        ("p99_ms", round(mega.p99)),
+                        ("p999_ms", round(mega.p999)),
+                        ("completed", Json::U64(mega.completed)),
+                        ("rejected", Json::U64(mega.rejected)),
+                        ("failed", Json::U64(mega.failed)),
+                        ("cold_share", round(mega.cold_share)),
+                    ]),
+                ),
+                (
+                    "chaos",
+                    Json::obj(vec![
+                        ("rounds", Json::U64(chaos_reactor.rounds as u64)),
+                        ("protocol_errors", Json::U64(chaos_reactor.protocol_errors)),
+                        ("read_timeouts", Json::U64(chaos_reactor.read_timeouts)),
+                        ("restart_ok", Json::Bool(chaos_reactor.restart_ok)),
+                        ("post_chaos_ok", Json::Bool(chaos_reactor.post_chaos_ok)),
+                        (
+                            "pipelined_ok",
+                            Json::Bool(chaos_reactor.pipelined_ok == Some(true)),
+                        ),
+                        ("panics", Json::U64(0)),
+                    ]),
+                ),
+                (
+                    "trace_stages",
+                    Json::Arr(trace_reactor.iter().map(Json::str).collect()),
+                ),
+            ]),
         ),
         ("obs", manifest.to_json()),
     ]);

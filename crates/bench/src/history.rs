@@ -204,6 +204,25 @@ pub fn summarize(docs: &BenchDocs) -> Result<Json, String> {
             "net.p999_ms",
             open.and_then(|o| o.get("p999_ms")).and_then(Json::as_f64),
         );
+        // Per-mode: the reactor front-end's saturation and its
+        // 10⁶-request open-loop tail, so an event-loop regression fires
+        // the sentinel independently of the blocking-mode numbers.
+        let reactor = net.get("reactor");
+        push(
+            "net.reactor.saturation_rps",
+            reactor
+                .and_then(|r| r.get("saturation_rps"))
+                .and_then(Json::as_f64),
+        );
+        let mega = reactor.and_then(|r| r.get("open_loop_1m"));
+        push(
+            "net.reactor.p99_ms",
+            mega.and_then(|o| o.get("p99_ms")).and_then(Json::as_f64),
+        );
+        push(
+            "net.reactor.p999_ms",
+            mega.and_then(|o| o.get("p999_ms")).and_then(Json::as_f64),
+        );
     }
     if metrics.is_empty() {
         return Err("artifacts carried no recognized metrics".to_string());
@@ -418,6 +437,19 @@ mod tests {
                     ("p999_ms", Json::F64(p99 * 2.0)),
                 ]),
             ),
+            (
+                "reactor",
+                Json::obj(vec![
+                    ("saturation_rps", Json::F64(saturation * 3.0)),
+                    (
+                        "open_loop_1m",
+                        Json::obj(vec![
+                            ("p99_ms", Json::F64(p99 / 2.0)),
+                            ("p999_ms", Json::F64(p99)),
+                        ]),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -498,6 +530,21 @@ mod tests {
         assert_eq!(
             metrics.get("net.p999_ms").and_then(Json::as_f64),
             Some(24.0)
+        );
+        assert_eq!(
+            metrics
+                .get("net.reactor.saturation_rps")
+                .and_then(Json::as_f64),
+            Some(2700.0),
+            "reactor saturation recorded per mode"
+        );
+        assert_eq!(
+            metrics.get("net.reactor.p99_ms").and_then(Json::as_f64),
+            Some(6.0)
+        );
+        assert_eq!(
+            metrics.get("net.reactor.p999_ms").and_then(Json::as_f64),
+            Some(12.0)
         );
     }
 

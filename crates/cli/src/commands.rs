@@ -51,6 +51,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--tenant",
     "--tenant-quota",
     "--retries",
+    "--reactors",
+    "--repeat",
 ];
 
 fn parse<'a>(args: &'a [String]) -> Options<'a> {
@@ -1327,26 +1329,80 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
 /// Unix socket using the `imt-net` wire protocol. With
 /// `--for-requests N` the server answers N requests and exits (the
 /// testable mode); without it, it serves until the process is killed.
+/// `--reactor` swaps the thread-per-connection front-end for the epoll
+/// event loop (`--reactors N` shards across N event loops); admission
+/// is forced to typed rejection so the reactor never parks a thread.
 fn serve_listen(
     opts: &Options<'_>,
     config: imt_serve::service::ServiceConfig,
     addr: &str,
 ) -> Result<String, CliError> {
-    use imt_net::server::{NetServer, ServerConfig};
+    use imt_net::reactor::{ReactorConfig, ReactorServer};
+    use imt_net::server::{NetServer, ServerConfig, ServerStatsSnapshot};
     use imt_net::ListenAddr;
-    use imt_serve::service::Service;
+    use imt_serve::service::{Admission, Service};
+
+    enum Front {
+        Blocking(NetServer),
+        Reactor(ReactorServer),
+    }
+
+    impl Front {
+        fn stats(&self) -> ServerStatsSnapshot {
+            match self {
+                Front::Blocking(server) => server.stats(),
+                Front::Reactor(server) => server.stats(),
+            }
+        }
+
+        fn local_addr(&self) -> &ListenAddr {
+            match self {
+                Front::Blocking(server) => server.local_addr(),
+                Front::Reactor(server) => server.local_addr(),
+            }
+        }
+
+        fn stop(self) {
+            match self {
+                Front::Blocking(server) => server.stop(),
+                Front::Reactor(server) => server.stop(),
+            }
+        }
+    }
 
     let listen = ListenAddr::parse(addr).map_err(CliError::new)?;
     let for_requests = opts.numeric("--for-requests", 0)?;
+    let reactor = opts.flag("--reactor");
+    let reactors = opts.numeric("--reactors", 2)?.max(1) as usize;
+    let config = if reactor {
+        config.with_admission(Admission::Reject)
+    } else {
+        config
+    };
     let service = std::sync::Arc::new(Service::start(config));
-    let server = NetServer::start(
-        std::sync::Arc::clone(&service),
-        &listen,
-        ServerConfig::default(),
-    )
-    .map_err(|e| CliError::new(format!("cannot listen on {listen}: {e}")))?;
+    let server = if reactor {
+        ReactorServer::start(
+            std::sync::Arc::clone(&service),
+            &listen,
+            ReactorConfig::default().with_reactors(reactors),
+        )
+        .map(Front::Reactor)
+        .map_err(|e| CliError::new(format!("cannot listen on {listen}: {e}")))?
+    } else {
+        NetServer::start(
+            std::sync::Arc::clone(&service),
+            &listen,
+            ServerConfig::default(),
+        )
+        .map(Front::Blocking)
+        .map_err(|e| CliError::new(format!("cannot listen on {listen}: {e}")))?
+    };
     // The bound address matters when the caller asked for port 0.
-    eprintln!("imt serve: listening on {}", server.local_addr());
+    eprintln!(
+        "imt serve: listening on {} ({})",
+        server.local_addr(),
+        if reactor { "reactor" } else { "blocking" },
+    );
     loop {
         std::thread::sleep(std::time::Duration::from_millis(20));
         let answered = {
@@ -1368,6 +1424,9 @@ fn serve_listen(
         "served {} request(s) over {} ({} connection(s)):\n",
         net.responses, listen, net.connections
     );
+    if reactor {
+        writeln!(out, "  mode: reactor ×{reactors} event loops").expect("write to String");
+    }
     writeln!(
         out,
         "  completed = {}, failed = {}, quota-rejected = {}",
@@ -1385,9 +1444,13 @@ fn serve_listen(
 
 /// `imt client ADDR [kernels..]`: drives a remote `imt serve --listen`
 /// through the wire protocol, one request per kernel × block size.
+/// The whole run — including `--repeat N` passes over the matrix —
+/// rides a single pooled persistent connection instead of a fresh
+/// connect per request; the pool health-checks it on every checkout
+/// and transparently redials if the server restarted.
 pub fn client(args: &[String]) -> Result<String, CliError> {
-    use imt_net::client::{Client, ClientConfig};
     use imt_net::msg::NetRequest;
+    use imt_net::pool::{ClientPool, PoolConfig};
     use imt_net::ListenAddr;
 
     let opts = parse(args);
@@ -1403,12 +1466,12 @@ pub fn client(args: &[String]) -> Result<String, CliError> {
     let tenant = opts.value("--tenant").unwrap_or("");
     let retries = opts.numeric("--retries", 2)? as u32;
     let deadline_ms = opts.numeric("--deadline-ms", 30_000)?;
-    let client = Client::new(
-        addr,
-        ClientConfig::default()
-            .with_deadline(std::time::Duration::from_millis(deadline_ms))
-            .with_retries(retries),
-    );
+    let repeat = opts.numeric("--repeat", 1)?.max(1) as usize;
+    let mut pool_config = PoolConfig::default()
+        .with_deadline(std::time::Duration::from_millis(deadline_ms))
+        .with_max_idle(1);
+    pool_config.retries = retries;
+    let pool = ClientPool::new(addr, pool_config);
 
     let mut table = imt_bench::table::Table::new(
         [
@@ -1424,39 +1487,53 @@ pub fn client(args: &[String]) -> Result<String, CliError> {
     );
     let mut refused: Vec<String> = Vec::new();
     let mut completed = 0usize;
-    for &kernel in &kernels {
-        for &k in &block_sizes {
-            let mut request =
-                NetRequest::new(kernel.name(), scale == imt_bench::runner::Scale::Test)
-                    .with_block_size(k as u32);
-            if !tenant.is_empty() {
-                request = request.with_tenant(tenant);
-            }
-            let response = client
-                .call(&request)
-                .map_err(|e| CliError::new(format!("{} k={k}: {e}", kernel.name())))?;
-            match &response.outcome {
-                Ok(done) => {
-                    completed += 1;
-                    table.row(vec![
-                        response.kernel.clone(),
-                        response.block_size.to_string(),
-                        format!("{:.2}", done.evaluation.reduction_percent()),
-                        done.encoded_blocks.to_string(),
-                        format!("{:.1}", response.queue_ns as f64 / 1e6),
-                        format!("{:.1}", response.service_ns as f64 / 1e6),
-                    ]);
+    for pass in 0..repeat {
+        for &kernel in &kernels {
+            for &k in &block_sizes {
+                let mut request =
+                    NetRequest::new(kernel.name(), scale == imt_bench::runner::Scale::Test)
+                        .with_block_size(k as u32);
+                if !tenant.is_empty() {
+                    request = request.with_tenant(tenant);
                 }
-                Err(e) => refused.push(format!(
-                    "{} k={}: {e}",
-                    response.kernel, response.block_size
-                )),
+                let response = pool
+                    .call(&request)
+                    .map_err(|e| CliError::new(format!("{} k={k}: {e}", kernel.name())))?;
+                match &response.outcome {
+                    Ok(done) => {
+                        completed += 1;
+                        // The table shows one pass; later passes only
+                        // count (their numbers repeat modulo noise).
+                        if pass == 0 {
+                            table.row(vec![
+                                response.kernel.clone(),
+                                response.block_size.to_string(),
+                                format!("{:.2}", done.evaluation.reduction_percent()),
+                                done.encoded_blocks.to_string(),
+                                format!("{:.1}", response.queue_ns as f64 / 1e6),
+                                format!("{:.1}", response.service_ns as f64 / 1e6),
+                            ]);
+                        }
+                    }
+                    Err(e) => refused.push(format!(
+                        "{} k={}: {e}",
+                        response.kernel, response.block_size
+                    )),
+                }
             }
         }
     }
     let mut out = table.render();
     for line in &refused {
         writeln!(out, "refused: {line}").expect("write to String");
+    }
+    if repeat > 1 {
+        writeln!(
+            out,
+            "{repeat} passes over one persistent connection ({} idle in pool)",
+            pool.idle_count(),
+        )
+        .expect("write to String");
     }
     writeln!(
         out,

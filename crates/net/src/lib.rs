@@ -40,6 +40,8 @@
 pub mod chaos;
 pub mod client;
 pub mod msg;
+pub mod pool;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 

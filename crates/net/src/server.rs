@@ -109,7 +109,7 @@ pub struct ServerStatsSnapshot {
 }
 
 impl ServerStats {
-    fn snapshot(&self) -> ServerStatsSnapshot {
+    pub(crate) fn snapshot(&self) -> ServerStatsSnapshot {
         ServerStatsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
@@ -417,8 +417,9 @@ fn write_response(
 
 /// Resolves a wire request into a service [`Request`], or a
 /// human-readable refusal. Kernels resolve against the registry —
-/// arbitrary source never crosses the wire.
-fn build_request(net: &NetRequest) -> Result<Request, String> {
+/// arbitrary source never crosses the wire. Shared with the reactor
+/// front-end — both transports admit exactly the same request surface.
+pub(crate) fn build_request(net: &NetRequest) -> Result<Request, String> {
     let kernel = Kernel::ALL
         .iter()
         .copied()

@@ -241,15 +241,43 @@ impl Frame {
     /// Serialises the frame (header + payload) into one buffer.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_BYTES + self.payload.len());
+        Frame::encode_parts_into(self.kind, self.request_id, &self.payload, &mut out)
+            .expect("Frame::new already enforced the cap");
+        out
+    }
+
+    /// Appends one encoded frame (header + payload) to `out` without
+    /// allocating beyond `out`'s own growth — the buffer-reuse encode
+    /// path. Callers that keep `out` across frames pay zero allocations
+    /// per frame once its capacity has warmed up.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::FrameTooLarge`] when the payload exceeds the cap —
+    /// the same refusal [`Frame::new`] makes, so a local bug cannot emit
+    /// a frame no peer would accept.
+    pub fn encode_parts_into(
+        kind: FrameKind,
+        request_id: u64,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
+        if payload.len() > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge {
+                declared: payload.len() as u64,
+                limit: MAX_FRAME_BYTES as u64,
+            });
+        }
+        out.reserve(HEADER_BYTES + payload.len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
-        out.push(self.kind.to_byte());
+        out.push(kind.to_byte());
         out.push(0); // reserved
-        out.extend_from_slice(&self.request_id.to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
-        out.extend_from_slice(&self.payload);
-        out
+        out.extend_from_slice(&request_id.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        Ok(())
     }
 
     /// Writes the frame to `w` and flushes.
@@ -384,6 +412,167 @@ impl Frame {
         }
         let crc = u32::from_le_bytes([header[24], header[25], header[26], header[27]]);
         Ok((kind, request_id, len as usize, crc))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental (non-blocking) frame decoding
+// ---------------------------------------------------------------------
+
+/// A borrowed view of one decoded frame. The payload points into the
+/// [`FrameDecoder`]'s reused buffer, so the steady-state decode path
+/// allocates nothing per frame; call [`FrameView::to_frame`] only when
+/// an owned [`Frame`] is actually needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// The correlation id the client assigned.
+    pub request_id: u64,
+    /// The verified payload bytes (CRC already checked).
+    pub payload: &'a [u8],
+}
+
+impl FrameView<'_> {
+    /// Copies the view into an owned [`Frame`].
+    pub fn to_frame(&self) -> Frame {
+        Frame {
+            kind: self.kind,
+            request_id: self.request_id,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
+/// Incremental frame decoder for non-blocking readers: feed it whatever
+/// bytes the socket produced, then drain complete frames. This is the
+/// reactor's half of the codec — a blocking reader can keep using
+/// [`Frame::read_or_eof`].
+///
+/// The validation discipline is identical to the blocking path: the
+/// header's declared length is checked against [`MAX_FRAME_BYTES`] the
+/// moment the header is complete — *before* the decoder waits for (or
+/// buffers toward) the payload — so a hostile length never sizes
+/// anything. A partial frame is simply "not yet" ([`Ok(None)`] from
+/// [`FrameDecoder::next_frame`]); whether a dangling partial at EOF is
+/// [`WireError::Truncated`] is the connection owner's call, via
+/// [`FrameDecoder::mid_frame`].
+///
+/// The internal buffer is retained and compacted across frames, so a
+/// long-lived connection decodes in steady state with zero allocations
+/// per frame (the zero-alloc test in `tests/alloc_reuse.rs` pins this).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted away on the next feed/fill.
+    start: usize,
+}
+
+/// Bytes [`FrameDecoder::fill_from`] asks the reader for per call.
+const DECODER_READ_CHUNK: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Bytes buffered but not yet drained as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when the buffer holds a *partial* frame — the signal that an
+    /// EOF here is [`WireError::Truncated`], not an orderly close.
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Drops the consumed prefix, reusing the buffer's capacity.
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Appends raw socket bytes to the decode buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reads once from `r` directly into the buffer (at most
+    /// [`DECODER_READ_CHUNK`] bytes), returning how many bytes arrived.
+    /// `Ok(0)` is EOF. The caller decides what `WouldBlock` means — a
+    /// non-blocking reactor treats it as "drained", a blocking reader
+    /// with a timeout treats it as the timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reader's `io::Error` (except `Interrupted`, which
+    /// is retried internally).
+    pub fn fill_from(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        self.compact();
+        let data_end = self.buf.len();
+        // Grow len (not capacity, in steady state) to open a read window.
+        self.buf.resize(data_end + DECODER_READ_CHUNK, 0);
+        let got = loop {
+            match r.read(&mut self.buf[data_end..]) {
+                Ok(n) => break Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => break Err(e),
+            }
+        };
+        match got {
+            Ok(n) => {
+                self.buf.truncate(data_end + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(data_end);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drains the next complete frame, if one is fully buffered.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed. The returned view
+    /// borrows the internal buffer; it stays valid until the next call
+    /// that mutates the decoder.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed header or checksum mismatch is the same typed
+    /// [`WireError`] the blocking path produces; after an error the
+    /// stream is unsynchronised and the connection must be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<FrameView<'_>>, WireError> {
+        if self.buffered() < HEADER_BYTES {
+            return Ok(None);
+        }
+        let header = &self.buf[self.start..self.start + HEADER_BYTES];
+        let (kind, request_id, len, declared_crc) = Frame::parse_header(header)?;
+        if self.buffered() < HEADER_BYTES + len {
+            return Ok(None);
+        }
+        let payload_start = self.start + HEADER_BYTES;
+        let payload = &self.buf[payload_start..payload_start + len];
+        let computed = crc32(payload);
+        if computed != declared_crc {
+            return Err(WireError::ChecksumMismatch {
+                declared: declared_crc,
+                computed,
+            });
+        }
+        self.start = payload_start + len;
+        let payload = &self.buf[payload_start..payload_start + len];
+        Ok(Some(FrameView {
+            kind,
+            request_id,
+            payload,
+        }))
     }
 }
 
@@ -650,6 +839,100 @@ mod tests {
         let err =
             Frame::new(FrameKind::Request, 0, vec![0; MAX_FRAME_BYTES + 1]).expect_err("over cap");
         assert!(matches!(err, WireError::FrameTooLarge { .. }));
+    }
+
+    #[test]
+    fn decoder_drains_pipelined_frames_across_arbitrary_chunking() {
+        let frames: Vec<Frame> = (0..5)
+            .map(|i| {
+                Frame::new(FrameKind::Response, i, format!("payload {i}").into_bytes())
+                    .expect("under cap")
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.to_bytes());
+        }
+        // Feed in every chunk size from 1 byte to the whole stream.
+        for chunk in [1usize, 3, 7, HEADER_BYTES, HEADER_BYTES + 1, stream.len()] {
+            let mut decoder = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                decoder.feed(piece);
+                while let Some(view) = decoder.next_frame().expect("well-formed stream") {
+                    got.push(view.to_frame());
+                }
+            }
+            assert_eq!(got, frames, "chunk size {chunk}");
+            assert!(!decoder.mid_frame(), "chunk size {chunk} left residue");
+        }
+    }
+
+    #[test]
+    fn decoder_is_bounded_before_allocation_and_typed_on_corruption() {
+        let good = frame().to_bytes();
+
+        // Oversize declared length: refused the moment the header is
+        // complete, without waiting for (or buffering toward) a payload.
+        let mut oversize = good.clone();
+        oversize[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&oversize[..HEADER_BYTES]);
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+
+        // Bad magic: typed immediately.
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(b"NOTWIRE!rest of garbage that is long enough to hold a header");
+        assert_eq!(decoder.next_frame().unwrap_err(), WireError::BadMagic);
+
+        // Payload corruption: typed checksum mismatch.
+        let mut corrupt = good.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 1;
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&corrupt);
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+
+        // A dangling partial frame is visible to the connection owner.
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&good[..HEADER_BYTES + 2]);
+        assert_eq!(decoder.next_frame().expect("incomplete, not error"), None);
+        assert!(decoder.mid_frame());
+    }
+
+    #[test]
+    fn decoder_fill_from_reads_and_signals_eof() {
+        let bytes = frame().to_bytes();
+        let mut cursor = io::Cursor::new(bytes);
+        let mut decoder = FrameDecoder::new();
+        let n = decoder.fill_from(&mut cursor).expect("read ok");
+        assert!(n > 0);
+        let view = decoder.next_frame().expect("decodes").expect("complete");
+        assert_eq!(view.to_frame(), frame());
+        assert_eq!(decoder.fill_from(&mut cursor).expect("eof ok"), 0);
+        assert!(!decoder.mid_frame());
+    }
+
+    #[test]
+    fn encode_parts_into_matches_to_bytes_and_enforces_cap() {
+        let f = frame();
+        let mut out = Vec::new();
+        Frame::encode_parts_into(f.kind, f.request_id, &f.payload, &mut out).expect("under cap");
+        assert_eq!(out, f.to_bytes());
+        // Appends rather than clears, so one buffer can batch frames.
+        Frame::encode_parts_into(f.kind, f.request_id, &f.payload, &mut out).expect("under cap");
+        assert_eq!(out.len(), 2 * f.to_bytes().len());
+        let big = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(matches!(
+            Frame::encode_parts_into(FrameKind::Request, 0, &big, &mut out),
+            Err(WireError::FrameTooLarge { .. })
+        ));
     }
 
     #[test]

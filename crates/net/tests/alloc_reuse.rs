@@ -1,0 +1,139 @@
+//! Pins the wire codec's buffer-reuse contract: once scratch buffers
+//! have warmed up, encoding and decoding frames allocates *zero* bytes
+//! per frame. A counting global allocator (per-test-binary, which is
+//! why this lives alone in its own integration test) measures the hot
+//! loop directly — a regression that re-introduces a per-frame `Vec`
+//! fails the assert with the allocation count in hand.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use imt_net::wire::{Frame, FrameDecoder, FrameKind};
+
+struct CountingAlloc;
+
+// Per-thread counter (const-initialised, so TLS access itself never
+// allocates): the libtest harness allocates concurrently on its own
+// threads, so a process-global count would be noise.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates entirely to `System`; the counter is a plain
+// thread-local cell with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+#[test]
+fn steady_state_encode_decode_allocates_nothing_per_frame() {
+    // A realistic payload size (a NetRequest is ~200 bytes, responses
+    // with evaluations a few KB).
+    let payload: Vec<u8> = (0..2048u32).map(|i| (i * 7) as u8).collect();
+    let mut encode_scratch: Vec<u8> = Vec::new();
+    let mut decoder = FrameDecoder::new();
+
+    // Warmup: first pass grows the scratch and the decoder buffer (and
+    // initialises the lazy CRC table).
+    for round in 0..8u64 {
+        encode_scratch.clear();
+        Frame::encode_parts_into(FrameKind::Request, round, &payload, &mut encode_scratch)
+            .expect("under cap");
+        decoder.feed(&encode_scratch);
+        let view = decoder
+            .next_frame()
+            .expect("well-formed")
+            .expect("complete");
+        assert_eq!(view.request_id, round);
+        assert_eq!(view.payload, &payload[..]);
+    }
+
+    // Measured pass: N frames, zero allocations.
+    const FRAMES: u64 = 1000;
+    let before = allocations();
+    for round in 0..FRAMES {
+        encode_scratch.clear();
+        Frame::encode_parts_into(FrameKind::Request, round, &payload, &mut encode_scratch)
+            .expect("under cap");
+        decoder.feed(&encode_scratch);
+        let view = decoder
+            .next_frame()
+            .expect("well-formed")
+            .expect("complete");
+        assert_eq!(view.request_id, round);
+        assert_eq!(view.payload.len(), payload.len());
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "hot-path encode/decode of {FRAMES} frames must not allocate"
+    );
+}
+
+#[test]
+fn pipelined_batches_stay_allocation_free_too() {
+    // Many frames per feed (the pipelined shape the reactor sees), with
+    // deliberately odd chunk boundaries so compaction paths run.
+    let payload: Vec<u8> = vec![0xA5; 333];
+    let mut batch: Vec<u8> = Vec::new();
+    let mut decoder = FrameDecoder::new();
+
+    let mut drained = 0u64;
+    // Warmup.
+    for round in 0..4u64 {
+        batch.clear();
+        for i in 0..16u64 {
+            Frame::encode_parts_into(FrameKind::Response, round * 16 + i, &payload, &mut batch)
+                .expect("under cap");
+        }
+        for chunk in batch.chunks(777) {
+            decoder.feed(chunk);
+            while decoder.next_frame().expect("well-formed").is_some() {
+                drained += 1;
+            }
+        }
+    }
+    assert_eq!(drained, 64);
+
+    let before = allocations();
+    for round in 0..64u64 {
+        batch.clear();
+        for i in 0..16u64 {
+            Frame::encode_parts_into(FrameKind::Response, round * 16 + i, &payload, &mut batch)
+                .expect("under cap");
+        }
+        for chunk in batch.chunks(777) {
+            decoder.feed(chunk);
+            while decoder.next_frame().expect("well-formed").is_some() {
+                drained += 1;
+            }
+        }
+    }
+    let after = allocations();
+    assert_eq!(drained, 64 + 64 * 16);
+    assert_eq!(
+        after - before,
+        0,
+        "batched pipelined decode must not allocate in steady state"
+    );
+}

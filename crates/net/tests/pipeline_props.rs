@@ -1,0 +1,195 @@
+//! Property tests for pipelined frame interleaving on a persistent
+//! connection: N requests go out, the "server" (the other half of a
+//! socketpair) answers them in an arbitrary shuffled order, and every
+//! response must come back matched to its request id. A truncation or
+//! corruption injected mid-pipeline must land as a typed [`WireError`]
+//! that poisons exactly that connection — a second connection sharing
+//! the test keeps working.
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use imt_net::chaos::XorShift64;
+use imt_net::msg::{NetRequest, NetResponse, RemoteError};
+use imt_net::pool::PersistentClient;
+use imt_net::wire::{Frame, FrameKind};
+use imt_net::NetError;
+use proptest::prelude::*;
+
+/// Reads `n` request frames from `server`, returning their ids in
+/// arrival order.
+fn read_requests(server: &mut UnixStream, n: usize) -> Vec<u64> {
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let frame = Frame::read_from(server).expect("well-formed request");
+        assert_eq!(frame.kind, FrameKind::Request);
+        // The payload is a real NetRequest — decode to keep the test
+        // honest about what crosses the wire.
+        let request = NetRequest::decode(&frame.payload).expect("decodable");
+        assert_eq!(request.kernel, "tri");
+        ids.push(frame.request_id);
+    }
+    ids
+}
+
+/// A minimal valid response frame for `id`.
+fn response_frame(id: u64) -> Vec<u8> {
+    let response = NetResponse::refusal(
+        id,
+        "tri",
+        RemoteError::BadRequest {
+            detail: format!("echo {id}"),
+        },
+    );
+    Frame::new(FrameKind::Response, id, response.encode())
+        .expect("under cap")
+        .to_bytes()
+}
+
+/// Fisher–Yates over `0..n` from a seeded stream.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = XorShift64::new(seed | 1);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.index(i + 1));
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shuffled_responses_all_match_their_request_ids(
+        n in 1usize..=12,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let (client_half, mut server) = UnixStream::pair().expect("socketpair");
+        let mut client =
+            PersistentClient::from_unix_stream(client_half, Duration::from_secs(10))
+                .expect("wrap");
+
+        let mut sent = Vec::new();
+        for _ in 0..n {
+            sent.push(client.send(&NetRequest::new("tri", true)).expect("send"));
+        }
+        let seen = read_requests(&mut server, n);
+        prop_assert_eq!(&seen, &sent, "requests arrive in send order");
+
+        // Answer in a shuffled order.
+        for &index in &permutation(n, shuffle_seed) {
+            server
+                .write_all(&response_frame(seen[index]))
+                .expect("write response");
+        }
+        server.flush().expect("flush");
+
+        // Every pipelined recv gets *its* response, regardless of the
+        // arrival order, and the refusal detail echoes the id.
+        for &id in &sent {
+            let response = client.recv(id).expect("matched response");
+            prop_assert_eq!(response.id, id);
+            match response.outcome {
+                Err(RemoteError::BadRequest { ref detail }) => {
+                    prop_assert_eq!(detail, &format!("echo {id}"));
+                }
+                ref other => prop_assert!(false, "unexpected outcome {:?}", other),
+            }
+        }
+        prop_assert_eq!(client.in_flight(), 0);
+        prop_assert!(!client.is_poisoned());
+    }
+
+    #[test]
+    fn mid_pipeline_corruption_is_typed_and_poisons_only_that_connection(
+        n in 2usize..=10,
+        good_before in 0usize..=9,
+        corruption in 0usize..=2,
+        flip_mask in 1u8..=255u8,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let good_before = good_before.min(n - 1);
+        let (client_half, mut server) = UnixStream::pair().expect("socketpair");
+        let mut client =
+            PersistentClient::from_unix_stream(client_half, Duration::from_millis(500))
+                .expect("wrap");
+
+        // A healthy sibling connection sharing the test.
+        let (sibling_half, mut sibling_server) = UnixStream::pair().expect("socketpair");
+        let mut sibling =
+            PersistentClient::from_unix_stream(sibling_half, Duration::from_secs(10))
+                .expect("wrap");
+
+        let mut sent = Vec::new();
+        for _ in 0..n {
+            sent.push(client.send(&NetRequest::new("tri", true)).expect("send"));
+        }
+        let seen = read_requests(&mut server, n);
+        let order = permutation(n, shuffle_seed);
+
+        // `good_before` clean responses (shuffled), then the injection.
+        for &index in order.iter().take(good_before) {
+            server
+                .write_all(&response_frame(seen[index]))
+                .expect("write response");
+        }
+        let victim = response_frame(seen[order[good_before]]);
+        match corruption {
+            0 => {
+                // Truncation + disconnect mid-pipeline.
+                server.write_all(&victim[..victim.len() / 2]).expect("half");
+                drop(server);
+            }
+            1 => {
+                // Header corruption (magic): stream unsynchronised.
+                let mut bytes = victim.clone();
+                bytes[0] ^= flip_mask;
+                server.write_all(&bytes).expect("corrupt header");
+            }
+            _ => {
+                // Payload bit flip: checksum mismatch.
+                let mut bytes = victim.clone();
+                let last = bytes.len() - 1;
+                bytes[last] ^= flip_mask;
+                server.write_all(&bytes).expect("corrupt payload");
+            }
+        }
+
+        // The clean prefix is still deliverable — early arrivals were
+        // parked before the stream broke.
+        for &index in order.iter().take(good_before) {
+            let id = seen[index];
+            let response = client.recv(id).expect("clean prefix delivers");
+            prop_assert_eq!(response.id, id);
+        }
+
+        // The victim (and everything after it) is a typed wire error.
+        let victim_id = seen[order[good_before]];
+        match client.recv(victim_id) {
+            Err(NetError::Wire(_)) => {}
+            Err(other) => prop_assert!(false, "untyped failure {:?}", other),
+            Ok(_) => prop_assert!(false, "corrupted response decoded cleanly"),
+        }
+        prop_assert!(client.is_poisoned(), "first wire error must poison");
+
+        // Every later recv on the poisoned connection is the same typed
+        // error, immediately.
+        for &index in order.iter().skip(good_before + 1) {
+            match client.recv(seen[index]) {
+                Err(NetError::Wire(_)) => {}
+                other => prop_assert!(false, "poisoned recv gave {:?}", other),
+            }
+        }
+
+        // The sibling connection is untouched by the poison.
+        let id = sibling.send(&NetRequest::new("tri", true)).expect("send");
+        let frame = Frame::read_from(&mut sibling_server).expect("sibling request");
+        sibling_server
+            .write_all(&response_frame(frame.request_id))
+            .expect("sibling response");
+        let response = sibling.recv(id).expect("sibling unaffected");
+        prop_assert_eq!(response.id, id);
+        prop_assert!(!sibling.is_poisoned());
+    }
+}

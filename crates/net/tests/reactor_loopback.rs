@@ -1,0 +1,382 @@
+//! End-to-end tests for the epoll reactor front-end and the persistent
+//! pipelined client/pool: bit-identity against serial evaluation,
+//! out-of-order pipelined completion, typed backpressure, the full
+//! chaos matrix (every injection a typed outcome, zero panics), and
+//! pool reuse semantics across a server restart.
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use imt_bench::runner::kernel_profile;
+use imt_core::eval::{evaluate_auto, EvalNeeds};
+use imt_core::{encode_program, EncoderConfig};
+use imt_kernels::Kernel;
+use imt_net::chaos::ALL_INJECTIONS;
+use imt_net::msg::{NetRequest, RemoteError};
+use imt_net::pool::{ClientPool, PersistentClient, PoolConfig};
+use imt_net::reactor::{ReactorConfig, ReactorServer};
+use imt_net::wire::{Frame, FrameKind};
+use imt_net::{ListenAddr, NetError};
+use imt_serve::service::{Admission, Service, ServiceConfig};
+
+fn unique_sock(tag: &str) -> PathBuf {
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_nanos();
+    std::env::temp_dir().join(format!(
+        "imt-reactor-{tag}-{}-{nonce}.sock",
+        std::process::id()
+    ))
+}
+
+fn start_reactor(
+    tag: &str,
+    service_config: ServiceConfig,
+) -> (Arc<Service>, ReactorServer, PathBuf) {
+    let path = unique_sock(tag);
+    let service = Arc::new(Service::start(service_config));
+    let server = ReactorServer::start(
+        Arc::clone(&service),
+        &ListenAddr::Unix(path.clone()),
+        ReactorConfig::default().with_read_timeout(Duration::from_millis(500)),
+    )
+    .expect("unix bind");
+    (service, server, path)
+}
+
+fn persistent(path: &std::path::Path) -> PersistentClient {
+    PersistentClient::connect(
+        &ListenAddr::Unix(path.to_path_buf()),
+        Duration::from_secs(30),
+    )
+    .expect("connect")
+}
+
+/// The serial reference a wire response must match bit for bit.
+fn serial_reference(kernel: Kernel, block_size: usize) -> imt_core::eval::Evaluation {
+    let spec = kernel.test_spec();
+    let profile = kernel_profile(&spec);
+    let config = EncoderConfig::default()
+        .with_block_size(block_size)
+        .expect("valid block size");
+    let encoded = encode_program(&profile.program, &profile.profile, &config).expect("encodes");
+    let (evaluation, _) = evaluate_auto(
+        &profile.program,
+        &encoded,
+        spec.max_steps,
+        Some(&profile.edges),
+        EvalNeeds::transitions_only(),
+    )
+    .expect("evaluates");
+    evaluation
+}
+
+#[test]
+fn reactor_round_trip_is_bit_identical_to_serial() {
+    let (service, server, path) =
+        start_reactor("roundtrip", ServiceConfig::default().with_workers(2));
+    let mut conn = persistent(&path);
+
+    let response = conn
+        .call(&NetRequest::new("tri", true).with_block_size(5))
+        .expect("transport works");
+    let done = response.outcome.expect("tri completes");
+    assert_eq!(done.evaluation.decode_mismatches, 0);
+    assert_eq!(done.evaluation, serial_reference(Kernel::Tri, 5));
+    assert_eq!(response.kernel, "tri-12x3");
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.responses, 1);
+
+    server.stop();
+    drop(conn);
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => panic!("server kept a service handle after stop"),
+    }
+}
+
+#[test]
+fn reactor_tcp_round_trip_works_on_an_ephemeral_port() {
+    let service = Arc::new(Service::start(ServiceConfig::default().with_workers(2)));
+    let server = ReactorServer::start(
+        Arc::clone(&service),
+        &ListenAddr::Tcp("127.0.0.1:0".to_string()),
+        ReactorConfig::default(),
+    )
+    .expect("tcp bind");
+    let mut conn =
+        PersistentClient::connect(server.local_addr(), Duration::from_secs(30)).expect("connect");
+
+    let response = conn.call(&NetRequest::new("fft", true)).expect("transport");
+    let done = response.outcome.expect("fft completes");
+    assert_eq!(done.evaluation, serial_reference(Kernel::Fft, 5));
+
+    server.stop();
+}
+
+#[test]
+fn pipelined_requests_complete_out_of_order_and_all_match() {
+    // Several workers so responses genuinely race each other back.
+    let (_service, server, path) =
+        start_reactor("pipeline", ServiceConfig::default().with_workers(4));
+    let mut conn = persistent(&path);
+
+    let kernels = ["tri", "fft", "mmul", "lu", "tri", "fft", "mmul", "lu"];
+    let mut ids = Vec::new();
+    for kernel in kernels {
+        ids.push((
+            conn.send(&NetRequest::new(kernel, true).with_block_size(5))
+                .expect("send"),
+            kernel,
+        ));
+    }
+    assert_eq!(conn.in_flight(), kernels.len());
+
+    // Drain in *arrival* order — whatever the worker pool finished
+    // first — and verify every response matches its request id's
+    // kernel, bit-identical to serial.
+    let mut seen = 0;
+    while conn.in_flight() > 0 {
+        let (id, response) = conn.recv_any().expect("pipelined recv");
+        let kernel = ids
+            .iter()
+            .find(|(sent, _)| *sent == id)
+            .map(|(_, k)| *k)
+            .expect("response id was sent");
+        let done = response.outcome.expect("completes");
+        let reference = serial_reference(
+            Kernel::ALL
+                .iter()
+                .copied()
+                .find(|k| k.name() == kernel)
+                .expect("registry kernel"),
+            5,
+        );
+        assert_eq!(done.evaluation, reference, "kernel {kernel} id {id}");
+        seen += 1;
+    }
+    assert_eq!(seen, kernels.len());
+
+    // Targeted recv also works: send two, take the *second* first.
+    let a = conn.send(&NetRequest::new("tri", true)).expect("send");
+    let b = conn.send(&NetRequest::new("fft", true)).expect("send");
+    let rb = conn.recv(b).expect("recv b");
+    let ra = conn.recv(a).expect("recv a");
+    assert_eq!(rb.kernel, "fft-16");
+    assert_eq!(ra.kernel, "tri-12x3");
+
+    server.stop();
+}
+
+#[test]
+fn reject_admission_surfaces_as_typed_overload_over_the_reactor() {
+    // One worker, tiny queue, reject admission: flooding the pipeline
+    // must yield typed Overloaded refusals — never a blocked reactor.
+    let (_service, server, path) = start_reactor(
+        "overload",
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(1)
+            .with_admission(Admission::Reject),
+    );
+    let mut conn = persistent(&path);
+
+    let mut ids = Vec::new();
+    for _ in 0..32 {
+        ids.push(conn.send(&NetRequest::new("tri", true)).expect("send"));
+    }
+    let mut completed = 0u32;
+    let mut overloaded = 0u32;
+    for id in ids {
+        let response = conn.recv(id).expect("typed response, not a dead conn");
+        match response.outcome {
+            Ok(_) => completed += 1,
+            Err(RemoteError::Overloaded { .. }) => overloaded += 1,
+            Err(other) => panic!("unexpected refusal {other:?}"),
+        }
+    }
+    assert!(completed >= 1, "at least the queued request completes");
+    assert!(overloaded >= 1, "the flood must trip admission");
+    assert_eq!(completed + overloaded, 32);
+
+    server.stop();
+}
+
+#[test]
+fn chaos_matrix_against_the_reactor_is_typed_and_survivable() {
+    let (_service, server, path) = start_reactor(
+        "chaos",
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(64),
+    );
+
+    let good = Frame::new(
+        FrameKind::Request,
+        77,
+        NetRequest::new("tri", true).with_block_size(5).encode(),
+    )
+    .expect("under cap")
+    .to_bytes();
+
+    for injection in ALL_INJECTIONS {
+        if injection.is_vacuous(good.len()) {
+            continue;
+        }
+        let bytes = injection.apply(&good);
+        let mut raw = UnixStream::connect(&path).expect("connect");
+        match injection.split_point(bytes.len()) {
+            Some(split) => {
+                // Slow-loris: half the header, then a stall past the
+                // server's read timeout.
+                raw.write_all(&bytes[..split]).expect("first half");
+                raw.flush().expect("flush");
+                std::thread::sleep(Duration::from_millis(900));
+                // The sweep should have disconnected us; the write may
+                // fail (EPIPE) or succeed into a dead socket — either
+                // is fine, the server must simply survive.
+                let _ = raw.write_all(&bytes[split..]);
+            }
+            None => {
+                raw.write_all(&bytes).expect("write corrupted frame");
+                raw.flush().expect("flush");
+            }
+        }
+        drop(raw);
+    }
+
+    // Post-chaos: the server still serves, bit-identically.
+    let mut conn = persistent(&path);
+    let response = conn
+        .call(&NetRequest::new("tri", true).with_block_size(5))
+        .expect("server survived the matrix");
+    assert_eq!(
+        response.outcome.expect("completes").evaluation,
+        serial_reference(Kernel::Tri, 5)
+    );
+
+    let stats = server.stats();
+    assert!(
+        stats.protocol_errors >= 4,
+        "corruptions must land as typed protocol errors, got {stats:?}"
+    );
+    assert!(
+        stats.read_timeouts >= 1,
+        "the slow-loris sweep must fire, got {stats:?}"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn mid_pipeline_truncation_poisons_only_that_connection() {
+    let (_service, server, path) =
+        start_reactor("poison", ServiceConfig::default().with_workers(2));
+
+    // Connection A gets poisoned mid-pipeline; connection B must keep
+    // working throughout.
+    let mut a = persistent(&path);
+    let mut b = persistent(&path);
+
+    let id = a.send(&NetRequest::new("tri", true)).expect("send");
+    let _ = a.recv(id).expect("first exchange fine");
+
+    // Now corrupt A's stream from the *server's* perspective by sending
+    // garbage bytes; the server drops the connection, so A's next recv
+    // sees a truncation/typed wire error.
+    let pending = a.send(&NetRequest::new("tri", true)).expect("send ok");
+    // Raw write of garbage on the same socket is not possible through
+    // the typed API — simulate the peer-side failure instead: a second
+    // raw connection sends a corrupt frame to prove the server's
+    // failure domain is per-connection.
+    let mut raw = UnixStream::connect(&path).expect("connect");
+    let mut garbage = Frame::new(FrameKind::Request, 5, b"x".to_vec())
+        .expect("under cap")
+        .to_bytes();
+    garbage[0] ^= 0xFF;
+    raw.write_all(&garbage).expect("write garbage");
+    drop(raw);
+
+    // A's pipelined request still completes — the garbage connection
+    // died alone.
+    let response = a.recv(pending).expect("A unaffected");
+    assert!(response.outcome.is_ok());
+
+    // B also unaffected.
+    let response = b.call(&NetRequest::new("fft", true)).expect("B unaffected");
+    assert!(response.outcome.is_ok());
+
+    // And a *real* mid-pipeline truncation on a dedicated connection is
+    // a typed error that poisons exactly that connection.
+    let mut c = persistent(&path);
+    let id = c.send(&NetRequest::new("tri", true)).expect("send");
+    let _ = c.recv(id).expect("healthy first");
+    drop(server); // server gone: outstanding recv truncates
+    let id = match c.send(&NetRequest::new("tri", true)) {
+        Ok(id) => id,
+        // The send itself may already see the closed socket — equally
+        // typed, equally fine.
+        Err(NetError::Wire(_)) => {
+            assert!(c.is_poisoned());
+            return;
+        }
+        Err(other) => panic!("untyped send failure {other:?}"),
+    };
+    match c.recv(id) {
+        Err(NetError::Wire(_)) => assert!(c.is_poisoned(), "truncation must poison"),
+        Err(other) => panic!("untyped recv failure {other:?}"),
+        Ok(_) => panic!("recv from a dead server cannot succeed"),
+    }
+}
+
+#[test]
+fn pool_reuses_connections_and_health_checks_across_restart() {
+    let path = unique_sock("pool");
+    let service = Arc::new(Service::start(ServiceConfig::default().with_workers(2)));
+    let server = ReactorServer::start(
+        Arc::clone(&service),
+        &ListenAddr::Unix(path.clone()),
+        ReactorConfig::default(),
+    )
+    .expect("bind");
+
+    let pool = ClientPool::new(
+        ListenAddr::Unix(path.clone()),
+        PoolConfig::default().with_max_idle(4),
+    );
+
+    // Sequential calls reuse one shelved connection.
+    for _ in 0..3 {
+        let response = pool
+            .call(&NetRequest::new("tri", true))
+            .expect("pooled call");
+        assert!(response.outcome.is_ok());
+    }
+    assert_eq!(pool.idle_count(), 1, "one connection, reused");
+    let before = server.stats();
+    assert_eq!(before.connections, 1, "pool reused a single connection");
+
+    // Restart the server on the same path. The shelved connection is
+    // now dead; the health probe must discard it and reconnect.
+    server.stop();
+    let server = ReactorServer::start(
+        Arc::clone(&service),
+        &ListenAddr::Unix(path.clone()),
+        ReactorConfig::default(),
+    )
+    .expect("rebind");
+
+    let response = pool
+        .call(&NetRequest::new("fft", true))
+        .expect("pool recovered across restart");
+    assert!(response.outcome.is_ok());
+    assert_eq!(pool.idle_count(), 1, "fresh connection shelved");
+
+    server.stop();
+}

@@ -121,6 +121,24 @@ impl Request {
     pub fn batch_key(&self) -> String {
         format!("{}#{}", self.spec.name, self.spec.max_steps)
     }
+
+    /// The key completed results are memoized on, covering everything
+    /// the outcome depends on: the spec (via [`Request::batch_key`]),
+    /// the encoder configuration, and the evaluation needs. `None`
+    /// means the request must re-execute every time — it carries a
+    /// fault plan (replay outcomes depend on the plan and protection)
+    /// or the worker-panic test hook.
+    pub fn result_key(&self) -> Option<String> {
+        if self.fault_plan.is_some() || self.panic_in_worker {
+            return None;
+        }
+        Some(format!(
+            "{}|{:?}|{:?}",
+            self.batch_key(),
+            self.config,
+            self.needs
+        ))
+    }
 }
 
 /// Fault-replay outcome attached to a completed request that carried a
@@ -187,20 +205,73 @@ impl Response {
     }
 }
 
-/// The slot a worker fulfills and a caller waits on. One response per
-/// job, exactly once.
+/// What a [`Slot`] currently holds. The callback arm is what lets an
+/// event-driven front-end (the net reactor) receive completions without
+/// parking a thread per in-flight job: the worker's `fulfill` invokes
+/// the watcher inline instead of signalling a condvar nobody waits on.
+// Boxing the `Ready` response to even out the variant sizes would cost
+// an allocation per fulfilment on the hot path; the inline size is the
+// cheaper trade for a short-lived slot.
+#[allow(clippy::large_enum_variant)]
+#[derive(Default)]
+enum SlotState {
+    /// No response yet, nobody watching.
+    #[default]
+    Empty,
+    /// Fulfilled; the response waits for `wait`/`try_take`.
+    Ready(Response),
+    /// A completion callback is armed; `fulfill` hands the response
+    /// straight to it (outside the slot lock).
+    Watched(Box<dyn FnOnce(Response) + Send>),
+    /// The response has been delivered (taken or dispatched).
+    Delivered,
+}
+
+impl std::fmt::Debug for SlotState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SlotState::Empty => "Empty",
+            SlotState::Ready(_) => "Ready",
+            SlotState::Watched(_) => "Watched",
+            SlotState::Delivered => "Delivered",
+        })
+    }
+}
+
+/// The slot a worker fulfills and a caller waits on (or watches). One
+/// response per job, exactly once.
 #[derive(Debug, Default)]
 pub(crate) struct Slot {
-    response: Mutex<Option<Response>>,
+    state: Mutex<SlotState>,
     ready: Condvar,
 }
 
 impl Slot {
     pub(crate) fn fulfill(&self, response: Response) {
-        let mut slot = lock_clean(&self.response);
-        debug_assert!(slot.is_none(), "job fulfilled twice");
-        *slot = Some(response);
-        self.ready.notify_all();
+        let watcher = {
+            let mut state = lock_clean(&self.state);
+            match std::mem::take(&mut *state) {
+                SlotState::Empty => {
+                    *state = SlotState::Ready(response);
+                    self.ready.notify_all();
+                    None
+                }
+                SlotState::Watched(callback) => {
+                    *state = SlotState::Delivered;
+                    Some((callback, response))
+                }
+                already @ (SlotState::Ready(_) | SlotState::Delivered) => {
+                    debug_assert!(false, "job fulfilled twice ({already:?})");
+                    *state = already;
+                    None
+                }
+            }
+        };
+        // The callback runs outside the slot lock so it may do real work
+        // (encode a frame, wake an event loop) without deadlock risk.
+        if let Some((callback, response)) = watcher {
+            callback(response);
+        }
     }
 }
 
@@ -238,18 +309,67 @@ impl Ticket {
     /// a service bug by construction ([`crate::service::Service`] drains
     /// its queue and fails leftover jobs closed on shutdown).
     pub fn wait(self) -> Response {
-        let mut slot = lock_clean(&self.slot.response);
+        let mut state = lock_clean(&self.slot.state);
         loop {
-            if let Some(response) = slot.take() {
-                return response;
+            match std::mem::take(&mut *state) {
+                SlotState::Ready(response) => {
+                    *state = SlotState::Delivered;
+                    return response;
+                }
+                SlotState::Empty => {}
+                other => {
+                    *state = other;
+                    unreachable!("wait() on a watched or delivered ticket");
+                }
             }
-            slot = wait_clean(&self.slot.ready, slot);
+            state = wait_clean(&self.slot.ready, state);
         }
     }
 
     /// Returns the response if it has already arrived, without blocking.
     pub fn try_take(&self) -> Option<Response> {
-        lock_clean(&self.slot.response).take()
+        let mut state = lock_clean(&self.slot.state);
+        match std::mem::take(&mut *state) {
+            SlotState::Ready(response) => {
+                *state = SlotState::Delivered;
+                Some(response)
+            }
+            other => {
+                *state = other;
+                None
+            }
+        }
+    }
+
+    /// Arms `callback` to run with the response the moment the worker
+    /// fulfills the job — inline on the worker thread, after the slot
+    /// lock is released. If the response already arrived, the callback
+    /// runs immediately on the caller's thread. Consumes the ticket:
+    /// exactly one of `wait`/`try_take`/`on_ready` delivers the
+    /// response. This is the non-blocking completion path the network
+    /// reactor uses instead of parking one thread per in-flight
+    /// request.
+    pub fn on_ready(self, callback: impl FnOnce(Response) + Send + 'static) {
+        let immediate = {
+            let mut state = lock_clean(&self.slot.state);
+            match std::mem::take(&mut *state) {
+                SlotState::Empty => {
+                    *state = SlotState::Watched(Box::new(callback));
+                    None
+                }
+                SlotState::Ready(response) => {
+                    *state = SlotState::Delivered;
+                    Some((callback, response))
+                }
+                other => {
+                    *state = other;
+                    unreachable!("on_ready() on a watched or delivered ticket");
+                }
+            }
+        };
+        if let Some((callback, response)) = immediate {
+            callback(response);
+        }
     }
 }
 
@@ -312,6 +432,32 @@ mod tests {
             waiter.join().expect("waiter panicked")
         });
         assert_eq!(got.id, 3);
+    }
+
+    #[test]
+    fn on_ready_armed_before_fulfill_fires_on_worker_thread() {
+        let slot = Arc::new(Slot::default());
+        let ticket = Ticket::new(9, Arc::clone(&slot), CancellationToken::new());
+        let (tx, rx) = std::sync::mpsc::channel();
+        ticket.on_ready(move |response| {
+            tx.send(response.id).expect("receiver alive");
+        });
+        // Nothing fired yet — the callback waits for fulfill.
+        assert!(rx.try_recv().is_err());
+        slot.fulfill(response(9));
+        assert_eq!(rx.recv().expect("callback fired"), 9);
+    }
+
+    #[test]
+    fn on_ready_after_fulfill_fires_immediately() {
+        let slot = Arc::new(Slot::default());
+        let ticket = Ticket::new(4, Arc::clone(&slot), CancellationToken::new());
+        slot.fulfill(response(4));
+        let (tx, rx) = std::sync::mpsc::channel();
+        ticket.on_ready(move |response| {
+            tx.send(response.latency_ns()).expect("receiver alive");
+        });
+        assert_eq!(rx.try_recv().expect("fired inline"), 15);
     }
 
     #[test]

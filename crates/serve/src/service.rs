@@ -31,6 +31,12 @@ use crate::request::{Completed, FaultSummary, Request, Response, Slot, Ticket};
 use crate::shard::ShardedMap;
 use crate::ServeError;
 
+/// Entries the result memo stops growing at. Real deployments see a
+/// bounded set of (spec, config, needs) keys — the cap only matters if
+/// a caller sweeps an unbounded parameter space, and then the memo
+/// degrades to a warm working set rather than evicting.
+const RESULT_MEMO_CAP: usize = 4096;
+
 /// What happens when a request arrives and the queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Admission {
@@ -55,6 +61,7 @@ pub struct ServiceConfig {
     delivery_latency: Option<Duration>,
     memo_shards: usize,
     tenant_quota: Option<usize>,
+    result_memo: bool,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +75,7 @@ impl Default for ServiceConfig {
             delivery_latency: None,
             memo_shards: 16,
             tenant_quota: None,
+            result_memo: true,
         }
     }
 }
@@ -129,6 +137,18 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_memo_shards(mut self, shards: usize) -> ServiceConfig {
         self.memo_shards = shards.max(1);
+        self
+    }
+
+    /// Enables or disables the completed-result memo (on by default).
+    /// Encoding and evaluation are deterministic, so two requests with
+    /// the same [`Request::result_key`] produce bit-identical outcomes;
+    /// the memo serves the repeat from a clone instead of re-running
+    /// kernel math. Requests with a fault plan always re-execute.
+    /// Disable to benchmark the raw execute path.
+    #[must_use]
+    pub fn with_result_memo(mut self, enabled: bool) -> ServiceConfig {
+        self.result_memo = enabled;
         self
     }
 
@@ -239,6 +259,11 @@ struct ServiceInner {
     /// key so concurrent warms of different kernels never contend on
     /// one lock (see [`crate::shard`]).
     profiles: ShardedMap<Arc<Result<WarmProfile, ServeError>>>,
+    /// The completed-result memo: outcomes keyed by
+    /// [`Request::result_key`]. Execution is deterministic, so a repeat
+    /// request is answered from a clone of the first outcome instead of
+    /// re-running encode + eval (see [`ServiceConfig::with_result_memo`]).
+    results: ShardedMap<Arc<Result<Completed, ServeError>>>,
     /// Per-tenant in-flight caps, when configured.
     quotas: Option<TenantQuotas>,
 }
@@ -258,6 +283,7 @@ impl Service {
             next_id: AtomicU64::new(0),
             stats: ServiceStats::default(),
             profiles: ShardedMap::new(config.memo_shards),
+            results: ShardedMap::new(config.memo_shards),
             quotas: config
                 .tenant_quota
                 .map(|cap| TenantQuotas::new(cap, config.memo_shards)),
@@ -382,6 +408,11 @@ impl Service {
     /// Distinct kernel instances warmed into the sharded profile memo.
     pub fn profile_memo_entries(&self) -> usize {
         self.inner.profiles.len()
+    }
+
+    /// Distinct completed outcomes held in the result memo.
+    pub fn result_memo_entries(&self) -> usize {
+        self.inner.results.len()
     }
 
     /// A copy of the service counters.
@@ -653,12 +684,44 @@ fn serve_job(
     let span = imt_obs::span!("serve.request");
     let outcome = match warmed {
         Err(profile_error) => Err(profile_error.clone()),
-        Ok(warm) => match catch_unwind(AssertUnwindSafe(|| execute(warm, &job.request))) {
-            Ok(result) => result,
-            Err(payload) => Err(ServeError::Panicked {
-                detail: panic_detail(payload.as_ref()),
-            }),
-        },
+        Ok(warm) => {
+            let memo_key = inner
+                .config
+                .result_memo
+                .then(|| job.request.result_key())
+                .flatten();
+            match memo_key.as_deref().and_then(|key| inner.results.get(key)) {
+                Some(hit) => {
+                    if imt_obs::enabled() {
+                        imt_obs::counter!("serve.result_memo_hits").inc();
+                    }
+                    (*hit).clone()
+                }
+                None => {
+                    let computed =
+                        match catch_unwind(AssertUnwindSafe(|| execute(warm, &job.request))) {
+                            Ok(result) => result,
+                            Err(payload) => Err(ServeError::Panicked {
+                                detail: panic_detail(payload.as_ref()),
+                            }),
+                        };
+                    match memo_key {
+                        // Don't memoize panics (the one nondeterministic
+                        // outcome) or grow past the cap; everything else
+                        // — success or typed failure — is deterministic
+                        // and serves every repeat. `insert_first` keeps
+                        // the canonical value if two workers raced.
+                        Some(key)
+                            if !matches!(computed, Err(ServeError::Panicked { .. }))
+                                && inner.results.len() < RESULT_MEMO_CAP =>
+                        {
+                            (*inner.results.insert_first(&key, Arc::new(computed))).clone()
+                        }
+                        _ => computed,
+                    }
+                }
+            }
+        }
     };
     if outcome.is_ok() {
         if let Some(latency) = inner.config.delivery_latency {
@@ -1075,6 +1138,102 @@ mod tests {
             ticket.wait().outcome.expect("serves");
         }
         assert_eq!(service.stats().completed, 8);
+        service.shutdown();
+    }
+
+    /// A repeat of an identical request is served from the result memo
+    /// and must be bit-identical to the first (executed) outcome.
+    #[test]
+    fn result_memo_serves_repeats_bit_identically() {
+        let service = Service::start(ServiceConfig::default().with_workers(1));
+        let first = service
+            .submit(request(Kernel::Tri))
+            .expect("accepted")
+            .wait()
+            .outcome
+            .expect("tri serves");
+        assert_eq!(service.result_memo_entries(), 1);
+        let repeat = service
+            .submit(request(Kernel::Tri))
+            .expect("accepted")
+            .wait()
+            .outcome
+            .expect("tri serves again");
+        assert_eq!(repeat.evaluation, first.evaluation);
+        assert_eq!(repeat.encoded_blocks, first.encoded_blocks);
+        assert_eq!(
+            service.result_memo_entries(),
+            1,
+            "repeat must not re-insert"
+        );
+        service.shutdown();
+    }
+
+    /// Different encoder configs are different outcomes: the memo must
+    /// key on the config, not just the spec.
+    #[test]
+    fn result_memo_separates_configs() {
+        let service = Service::start(ServiceConfig::default().with_workers(1));
+        for k in [4usize, 5] {
+            let config = EncoderConfig::default()
+                .with_block_size(k)
+                .expect("valid block size");
+            let req = Request::new(Kernel::Tri.test_spec(), config);
+            service
+                .submit(req)
+                .expect("accepted")
+                .wait()
+                .outcome
+                .expect("serves");
+        }
+        assert_eq!(service.result_memo_entries(), 2);
+        service.shutdown();
+    }
+
+    /// Fault-plan requests bypass the memo in both directions: they are
+    /// never cached, and never served from cache.
+    #[test]
+    fn result_memo_skips_fault_plans() {
+        use imt_core::Protection;
+        use imt_fault::plan::{FaultPlan, FaultTarget};
+        let service = Service::start(ServiceConfig::default().with_workers(1));
+        let faulted = request(Kernel::Tri).with_faults(
+            FaultPlan::single(0, FaultTarget::Tt { entry: 0, bit: 0 }),
+            Protection::Parity,
+        );
+        let done = service
+            .submit(faulted)
+            .expect("accepted")
+            .wait()
+            .outcome
+            .expect("detected fault degrades");
+        assert!(done.fault.is_some());
+        assert_eq!(
+            service.result_memo_entries(),
+            0,
+            "fault replay never cached"
+        );
+        service.shutdown();
+    }
+
+    /// The off switch: with the memo disabled every repeat re-executes
+    /// and nothing is stored.
+    #[test]
+    fn result_memo_can_be_disabled() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_result_memo(false),
+        );
+        for _ in 0..2 {
+            service
+                .submit(request(Kernel::Tri))
+                .expect("accepted")
+                .wait()
+                .outcome
+                .expect("serves");
+        }
+        assert_eq!(service.result_memo_entries(), 0);
         service.shutdown();
     }
 
