@@ -51,6 +51,8 @@ pub struct BenchDocs {
     pub serve: Option<Json>,
     /// `BENCH_net.json`, if present.
     pub net: Option<Json>,
+    /// `BENCH_arena.json`, if present.
+    pub arena: Option<Json>,
 }
 
 impl BenchDocs {
@@ -60,6 +62,7 @@ impl BenchDocs {
             && self.replay.is_none()
             && self.serve.is_none()
             && self.net.is_none()
+            && self.arena.is_none()
     }
 }
 
@@ -86,6 +89,7 @@ pub fn load_docs(results: &Path) -> Result<BenchDocs, String> {
         replay: load("BENCH_replay.json")?,
         serve: load("BENCH_serve.json")?,
         net: load("BENCH_net.json")?,
+        arena: load("BENCH_arena.json")?,
     })
 }
 
@@ -121,9 +125,15 @@ pub fn summarize(docs: &BenchDocs) -> Result<Json, String> {
     let mut scale: Option<String> = None;
     let mut simd_path: Option<String> = None;
     let mut threads: Option<u64> = None;
-    for doc in [&docs.pipeline, &docs.replay, &docs.serve, &docs.net]
-        .into_iter()
-        .flatten()
+    for doc in [
+        &docs.pipeline,
+        &docs.replay,
+        &docs.serve,
+        &docs.net,
+        &docs.arena,
+    ]
+    .into_iter()
+    .flatten()
     {
         if let Some(s) = doc.get("scale").and_then(Json::as_str) {
             match &scale {
@@ -223,6 +233,26 @@ pub fn summarize(docs: &BenchDocs) -> Result<Json, String> {
             "net.reactor.p999_ms",
             mega.and_then(|o| o.get("p999_ms")).and_then(Json::as_f64),
         );
+    }
+    if let Some(arena) = &docs.arena {
+        // The arena's quality floor: auto-select and the best single
+        // scheme must keep eliminating transitions. These are exact
+        // (replay-derived) numbers, so the default tolerance is pure
+        // headroom against intentional re-baselining, not noise.
+        let nested = |outer: &str| {
+            let rows = arena.get("kernels")?.as_array()?;
+            median(
+                rows.iter()
+                    .filter_map(|row| {
+                        row.get(outer)?
+                            .get("reduction_percent")
+                            .and_then(Json::as_f64)
+                    })
+                    .collect(),
+            )
+        };
+        push("arena.auto_reduction_percent", nested("auto"));
+        push("arena.best_single_reduction_percent", nested("best_single"));
     }
     if metrics.is_empty() {
         return Err("artifacts carried no recognized metrics".to_string());
@@ -474,6 +504,29 @@ mod tests {
         ])
     }
 
+    fn arena_doc(scale: &str, auto: &[f64], best: &[f64]) -> Json {
+        Json::obj(vec![
+            ("scale", Json::str(scale)),
+            (
+                "kernels",
+                Json::Arr(
+                    auto.iter()
+                        .zip(best)
+                        .map(|(&a, &b)| {
+                            Json::obj(vec![
+                                ("auto", Json::obj(vec![("reduction_percent", Json::F64(a))])),
+                                (
+                                    "best_single",
+                                    Json::obj(vec![("reduction_percent", Json::F64(b))]),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     #[test]
     fn summarize_takes_medians_and_best_sweep() {
         let pipeline = Json::obj(vec![
@@ -500,6 +553,7 @@ mod tests {
             replay: None,
             serve: Some(serve_doc("paper", 100.0, 4.0)),
             net: Some(net_doc("paper", 900.0, 12.0)),
+            arena: Some(arena_doc("paper", &[40.0, 50.0, 45.0], &[38.0, 48.0, 43.0])),
         };
         let entry = summarize(&docs).unwrap();
         assert_eq!(entry.get("scale").and_then(Json::as_str), Some("paper"));
@@ -546,6 +600,19 @@ mod tests {
             metrics.get("net.reactor.p999_ms").and_then(Json::as_f64),
             Some(12.0)
         );
+        assert_eq!(
+            metrics
+                .get("arena.auto_reduction_percent")
+                .and_then(Json::as_f64),
+            Some(45.0),
+            "median over the per-kernel auto reductions"
+        );
+        assert_eq!(
+            metrics
+                .get("arena.best_single_reduction_percent")
+                .and_then(Json::as_f64),
+            Some(43.0)
+        );
     }
 
     #[test]
@@ -558,6 +625,7 @@ mod tests {
             replay: None,
             serve: Some(serve_doc("paper", 100.0, 4.0)),
             net: None,
+            arena: None,
         };
         let err = summarize(&docs).unwrap_err();
         assert!(err.contains("disagree"), "{err}");

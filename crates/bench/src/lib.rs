@@ -33,11 +33,13 @@
 //! | `exp_perf` | encode-pipeline wall-time, serial vs parallel (E-P) |
 //! | `exp_fault` | TT/BBIT upset campaigns, protection sweep (E-F) |
 //! | `exp_serve` | batched service-layer load generator (E-V) |
+//! | `exp_arena` | encoder arena: schemes × kernels, Pareto + auto-select (E-A) |
 //! | `exp_summary` | one-screen PASS/FAIL reproduction scorecard |
 //!
 //! Binaries accept `--test-scale` to run on the small kernel instances
 //! (used by integration tests); the default is the paper's problem sizes.
 
+pub mod arena;
 pub mod history;
 pub mod runner;
 pub mod table;

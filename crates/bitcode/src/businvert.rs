@@ -1,0 +1,176 @@
+//! Bus-invert drive logic (Stan & Burleson, 1995) as a pure step
+//! function over 32 data lanes plus one invert line.
+//!
+//! Unlike every other scheme in the encoder arena, bus-invert leaves
+//! instruction memory untouched: the transformation happens at drive
+//! time, and the decision for each word depends on the **current
+//! physical bus state** — i.e. on the entire fetch history. That makes
+//! it the arena's canonical per-cycle-state scheme: it can never be
+//! scored from a stateless edge profile, only by full simulation.
+//!
+//! The fast step uses XOR+popcount over whole words; the naive oracle
+//! re-derives the same decision bit by bit, counting majority votes the
+//! way the comparator hardware would.
+
+/// One drive decision: what ends up on the wires and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveStep {
+    /// Physical data-line state after the drive (possibly complemented).
+    pub bus: u32,
+    /// Invert line state after the drive.
+    pub invert: bool,
+    /// Transitions on the data lines this cycle.
+    pub data_transitions: u64,
+    /// Transition on the invert line this cycle (0 or 1).
+    pub invert_transitions: u64,
+}
+
+/// Stateful bus-invert driver over a 32-line data bus.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusInvertState {
+    bus: Option<u32>,
+    invert: bool,
+}
+
+impl BusInvertState {
+    /// Power-on state: lines undriven, invert line low.
+    pub fn new() -> BusInvertState {
+        BusInvertState::default()
+    }
+
+    /// Drives `word`, complemented iff that strictly lowers the Hamming
+    /// distance to the current bus state (tie-break toward not
+    /// inverting, as in the original paper).
+    pub fn drive(&mut self, word: u32) -> DriveStep {
+        let step = match self.bus {
+            None => DriveStep {
+                bus: word,
+                invert: false,
+                data_transitions: 0,
+                invert_transitions: 0,
+            },
+            Some(bus) => {
+                let plain = u64::from((bus ^ word).count_ones());
+                let inverted = u64::from((bus ^ !word).count_ones());
+                let (next_bus, next_invert, data) = if inverted < plain {
+                    (!word, true, inverted)
+                } else {
+                    (word, false, plain)
+                };
+                DriveStep {
+                    bus: next_bus,
+                    invert: next_invert,
+                    data_transitions: data,
+                    invert_transitions: u64::from(next_invert != self.invert),
+                }
+            }
+        };
+        self.bus = Some(step.bus);
+        self.invert = step.invert;
+        step
+    }
+
+    /// What the receiver restores: the driven word, complemented back
+    /// when the invert line is high. Exact by construction.
+    pub fn restore(step: &DriveStep) -> u32 {
+        if step.invert {
+            !step.bus
+        } else {
+            step.bus
+        }
+    }
+}
+
+/// Naive per-bit oracle for [`BusInvertState`]: the same decision made
+/// by counting differing lanes one at a time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusInvertNaive {
+    bus: Option<u32>,
+    invert: bool,
+}
+
+impl BusInvertNaive {
+    /// Power-on state.
+    pub fn new() -> BusInvertNaive {
+        BusInvertNaive::default()
+    }
+
+    /// Per-bit re-derivation of [`BusInvertState::drive`].
+    pub fn drive(&mut self, word: u32) -> DriveStep {
+        let step = match self.bus {
+            None => DriveStep {
+                bus: word,
+                invert: false,
+                data_transitions: 0,
+                invert_transitions: 0,
+            },
+            Some(bus) => {
+                let mut plain = 0u64;
+                let mut inverted = 0u64;
+                for lane in 0..32u32 {
+                    let b = (bus >> lane) & 1;
+                    let w = (word >> lane) & 1;
+                    if b != w {
+                        plain += 1;
+                    }
+                    if b == w {
+                        inverted += 1;
+                    }
+                }
+                let (next_bus, next_invert, data) = if inverted < plain {
+                    (!word, true, inverted)
+                } else {
+                    (word, false, plain)
+                };
+                DriveStep {
+                    bus: next_bus,
+                    invert: next_invert,
+                    data_transitions: data,
+                    invert_transitions: u64::from(next_invert != self.invert),
+                }
+            }
+        };
+        self.bus = Some(step.bus);
+        self.invert = step.invert;
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_beats_wide_flips() {
+        let mut s = BusInvertState::new();
+        s.drive(0x0000_0000);
+        let step = s.drive(0xFFFF_FFFF);
+        assert!(step.invert);
+        assert_eq!(step.data_transitions, 0);
+        assert_eq!(step.invert_transitions, 1);
+        assert_eq!(BusInvertState::restore(&step), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn tie_breaks_toward_not_inverting() {
+        let mut s = BusInvertState::new();
+        s.drive(0x0000_0000);
+        let step = s.drive(0x0000_FFFF); // exactly half the lanes flip
+        assert!(!step.invert);
+        assert_eq!(step.data_transitions, 16);
+    }
+
+    #[test]
+    fn fast_matches_naive_on_a_sweep() {
+        let mut fast = BusInvertState::new();
+        let mut naive = BusInvertNaive::new();
+        let mut w = 0x9E37_79B9u32;
+        for _ in 0..10_000 {
+            let a = fast.drive(w);
+            let b = naive.drive(w);
+            assert_eq!(a, b, "word {w:#010x}");
+            assert_eq!(BusInvertState::restore(&a), w);
+            w = w.wrapping_mul(0x85EB_CA6B).rotate_left(13) ^ 0x27D4_EB2F;
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Gray-code word sequencing: the memoryless `w ^ (w >> 1)` stored image.
+//!
+//! Gray coding is the classic address-bus trick (consecutive integers
+//! differ in one bit); applied to the instruction **data** bus it becomes
+//! a memoryless re-encoding of each stored word. The restore hardware is
+//! a 31-gate XOR ripple from the MSB down: bit 31 passes through, bit
+//! `l` is `stored[l] ^ decoded[l+1]`. No tables, no state — the cheapest
+//! point in the encoder arena's hardware-cost axis.
+//!
+//! The word-parallel fast path (`gray_word` / `ungray_word`) is oracled
+//! by per-bit reference implementations (`gray_word_naive` /
+//! `ungray_word_naive`) that mirror the hardware description literally.
+
+/// Gray-encodes one word: `w ^ (w >> 1)`.
+#[inline]
+pub fn gray_word(word: u32) -> u32 {
+    word ^ (word >> 1)
+}
+
+/// Inverts [`gray_word`] with the word-parallel prefix-XOR ladder.
+#[inline]
+pub fn ungray_word(mut g: u32) -> u32 {
+    g ^= g >> 1;
+    g ^= g >> 2;
+    g ^= g >> 4;
+    g ^= g >> 8;
+    g ^= g >> 16;
+    g
+}
+
+/// Bit-by-bit reference encoder: bit `l` of the code is
+/// `w[l] ^ w[l+1]` (bit 31 passes through). The oracle for
+/// [`gray_word`].
+pub fn gray_word_naive(word: u32) -> u32 {
+    let mut out = 0u32;
+    for lane in 0..32u32 {
+        let hi = if lane == 31 {
+            0
+        } else {
+            (word >> (lane + 1)) & 1
+        };
+        let bit = ((word >> lane) & 1) ^ hi;
+        out |= bit << lane;
+    }
+    out
+}
+
+/// Bit-by-bit reference decoder: the MSB-down XOR ripple the restore
+/// hardware implements. The oracle for [`ungray_word`].
+pub fn ungray_word_naive(g: u32) -> u32 {
+    let mut out = 0u32;
+    let mut prev = 0u32;
+    for lane in (0..32u32).rev() {
+        let bit = ((g >> lane) & 1) ^ prev;
+        out |= bit << lane;
+        prev = bit;
+    }
+    out
+}
+
+/// Gray-encodes a whole text image.
+pub fn gray_image(text: &[u32]) -> Vec<u32> {
+    text.iter().map(|&w| gray_word(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_byte_boundary_pattern() {
+        for w in [
+            0u32,
+            1,
+            u32::MAX,
+            0xAAAA_AAAA,
+            0x5555_5555,
+            0x8000_0000,
+            0xDEAD_BEEF,
+        ] {
+            assert_eq!(ungray_word(gray_word(w)), w, "{w:#010x}");
+        }
+    }
+
+    #[test]
+    fn fast_matches_naive_on_a_sweep() {
+        let mut w = 0x1234_5678u32;
+        for _ in 0..10_000 {
+            assert_eq!(gray_word(w), gray_word_naive(w), "encode {w:#010x}");
+            assert_eq!(ungray_word(w), ungray_word_naive(w), "decode {w:#010x}");
+            assert_eq!(ungray_word_naive(gray_word_naive(w)), w);
+            // Deterministic xorshift sweep — no RNG dependency.
+            w ^= w << 13;
+            w ^= w >> 17;
+            w ^= w << 5;
+        }
+    }
+
+    #[test]
+    fn consecutive_integers_differ_in_one_bit() {
+        for w in 0..1000u32 {
+            let diff = gray_word(w) ^ gray_word(w + 1);
+            assert_eq!(diff.count_ones(), 1);
+        }
+    }
+}

@@ -48,6 +48,10 @@
 //!   path as oracle and an `IMT_FORCE_SCALAR` override.
 //! * [`gen`] — deterministic random bit-stream generators (uniform, biased,
 //!   Markov) used by the §6 experiment and by property tests.
+//! * [`gray`], [`lowweight`], [`businvert`] — the competing encodings of
+//!   the encoder arena (`imt_core::scheme`): Gray word sequencing, the
+//!   memoryless low-weight codebook, and bus-invert drive logic, each
+//!   with a naive per-bit oracle kept in-crate.
 //! * [`history`] — the §5.1 generalisation to `h`-bit history
 //!   transformations (`h ≤ 3`), measuring the trade-off the paper's
 //!   `h = 1` choice implies.
@@ -83,11 +87,14 @@
 pub mod analysis;
 pub mod bits;
 pub mod block;
+pub mod businvert;
 pub mod codebook;
 pub mod gates;
 pub mod gen;
+pub mod gray;
 pub mod history;
 pub mod lanes;
+pub mod lowweight;
 pub mod packed;
 pub mod par;
 pub mod simd;

@@ -1,0 +1,261 @@
+//! Memoryless low-weight codebooks (Chee & Colbourn style).
+//!
+//! A small CAM maps the hottest distinct instruction words to the
+//! lowest-Hamming-weight 32-bit codewords that do **not** appear anywhere
+//! in the program text. Decode is a pure per-word lookup: a fetched word
+//! that hits the CAM restores to its original; anything else passes
+//! through. Because every codeword is guaranteed absent from the text,
+//! the coded/passthrough cases can never collide — the mapping is
+//! unambiguous with zero extra bus lines and zero decoder state.
+//!
+//! The codeword enumerator has two implementations kept in lockstep: the
+//! fast path walks each weight class with Gosper's next-bit-permutation
+//! hack; the naive oracle regenerates each class by recursive
+//! combination, in the same (weight, value) ascending order.
+
+use std::collections::BTreeMap;
+
+/// Yields 32-bit values in (Hamming weight, numeric value) ascending
+/// order, skipping anything in `forbidden` (sorted), using Gosper's hack
+/// to step within a weight class.
+pub fn low_weight_codewords(forbidden: &[u32], count: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(count);
+    let banned = |v: u32| forbidden.binary_search(&v).is_ok();
+    if out.len() < count && !banned(0) {
+        out.push(0);
+    }
+    'weights: for weight in 1..=32u32 {
+        // Smallest value of this weight: `weight` low bits set.
+        let mut v: u32 = if weight == 32 {
+            u32::MAX
+        } else {
+            (1u32 << weight) - 1
+        };
+        loop {
+            if out.len() >= count {
+                break 'weights;
+            }
+            if !banned(v) {
+                out.push(v);
+            }
+            if weight == 32 {
+                break; // only one value in the class
+            }
+            // Gosper's hack: next value with the same popcount.
+            let c = v & v.wrapping_neg();
+            let r = v.wrapping_add(c);
+            if r == 0 {
+                break; // wrapped past the top of the class
+            }
+            let next = (((v ^ r) >> 2) / c) | r;
+            if next < v {
+                break;
+            }
+            v = next;
+        }
+    }
+    out
+}
+
+/// Naive oracle for [`low_weight_codewords`]: regenerates each weight
+/// class by recursive combination of bit positions, ascending.
+pub fn low_weight_codewords_naive(forbidden: &[u32], count: usize) -> Vec<u32> {
+    fn combos(next_bit: u32, remaining: u32, acc: u32, out: &mut Vec<u32>) {
+        if remaining == 0 {
+            out.push(acc);
+            return;
+        }
+        // Choose the next (lowest) set bit; keeping the recursion
+        // lowest-bit-first yields ascending numeric order per class.
+        for bit in next_bit..=(32 - remaining) {
+            combos(bit + 1, remaining - 1, acc | (1u32 << bit), out);
+        }
+    }
+    let banned = |v: u32| forbidden.binary_search(&v).is_ok();
+    let mut out = Vec::with_capacity(count);
+    for weight in 0..=32u32 {
+        if out.len() >= count {
+            break;
+        }
+        let mut class = Vec::new();
+        combos(0, weight, 0, &mut class);
+        class.sort_unstable();
+        for v in class {
+            if out.len() >= count {
+                break;
+            }
+            if !banned(v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// A built low-weight codebook: hot original words mapped injectively to
+/// collision-free low-weight codewords.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowWeightBook {
+    /// `(original, codeword)` pairs in assignment order (hottest first).
+    pairs: Vec<(u32, u32)>,
+    encode: BTreeMap<u32, u32>,
+    decode: BTreeMap<u32, u32>,
+}
+
+impl LowWeightBook {
+    /// Builds a codebook over `text` given per-index fetch weights:
+    /// the `entries` hottest distinct words (by total fetch weight,
+    /// ties broken toward the numerically smaller word) are mapped, in
+    /// heat order, to the lightest codewords absent from the text — but
+    /// only where the codeword is strictly lighter than the word it
+    /// replaces, so an entry can never be pure overhead.
+    pub fn build(text: &[u32], per_index: &[u64], entries: usize) -> LowWeightBook {
+        let mut heat: BTreeMap<u32, u64> = BTreeMap::new();
+        for (i, &w) in text.iter().enumerate() {
+            let count = per_index.get(i).copied().unwrap_or(0);
+            *heat.entry(w).or_insert(0) += count;
+        }
+        let mut hot: Vec<(u32, u64)> = heat.into_iter().collect();
+        // Hottest first; BTreeMap iteration already ordered by word, so
+        // equal-heat ties resolve toward the smaller word under a stable
+        // sort.
+        hot.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        let mut forbidden: Vec<u32> = text.to_vec();
+        forbidden.sort_unstable();
+        forbidden.dedup();
+        let codes = low_weight_codewords(&forbidden, entries.min(hot.len()));
+        let mut pairs = Vec::new();
+        let mut codes = codes.into_iter().peekable();
+        for &(word, weight) in hot.iter().take(entries) {
+            if weight == 0 {
+                break; // never fetched — nothing to save
+            }
+            let Some(&code) = codes.peek() else { break };
+            if code.count_ones() >= word.count_ones() {
+                // Not a win for this word; keep the light codeword for a
+                // heavier word further down the heat ranking.
+                continue;
+            }
+            codes.next();
+            pairs.push((word, code));
+        }
+        LowWeightBook::from_pairs(pairs)
+    }
+
+    /// Rebuilds a codebook from explicit pairs (descriptor
+    /// deserialization). Pairs are trusted to be injective; lookups use
+    /// whatever is given.
+    pub fn from_pairs(pairs: Vec<(u32, u32)>) -> LowWeightBook {
+        let encode = pairs.iter().copied().collect();
+        let decode = pairs.iter().map(|&(w, c)| (c, w)).collect();
+        LowWeightBook {
+            pairs,
+            encode,
+            decode,
+        }
+    }
+
+    /// The `(original, codeword)` pairs in assignment order.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Encodes one word (CAM hit → codeword, miss → passthrough).
+    #[inline]
+    pub fn encode_word(&self, word: u32) -> u32 {
+        self.encode.get(&word).copied().unwrap_or(word)
+    }
+
+    /// Decodes one stored word (CAM hit → original, miss → passthrough).
+    #[inline]
+    pub fn decode_word(&self, stored: u32) -> u32 {
+        self.decode.get(&stored).copied().unwrap_or(stored)
+    }
+
+    /// Naive linear-scan encode — the oracle for [`encode_word`]'s map
+    /// lookup.
+    pub fn encode_word_naive(&self, word: u32) -> u32 {
+        for &(orig, code) in &self.pairs {
+            if orig == word {
+                return code;
+            }
+        }
+        word
+    }
+
+    /// Naive linear-scan decode — the oracle for [`decode_word`].
+    pub fn decode_word_naive(&self, stored: u32) -> u32 {
+        for &(orig, code) in &self.pairs {
+            if code == stored {
+                return orig;
+            }
+        }
+        stored
+    }
+
+    /// CAM storage cost: each entry holds a 32-bit match tag and a
+    /// 32-bit replacement word.
+    pub fn storage_bits(&self) -> u64 {
+        self.pairs.len() as u64 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerator_matches_naive_oracle() {
+        let forbidden: Vec<u32> = {
+            let mut f = vec![0, 1, 2, 4, 8, 3, 0x8000_0000, u32::MAX];
+            f.sort_unstable();
+            f
+        };
+        assert_eq!(
+            low_weight_codewords(&forbidden, 100),
+            low_weight_codewords_naive(&forbidden, 100)
+        );
+        assert_eq!(
+            low_weight_codewords(&[], 50),
+            low_weight_codewords_naive(&[], 50)
+        );
+    }
+
+    #[test]
+    fn enumerator_is_weight_then_value_ascending() {
+        let codes = low_weight_codewords(&[], 200);
+        for pair in codes.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(
+                (a.count_ones(), a) < (b.count_ones(), b),
+                "{a:#x} !< {b:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn book_round_trips_and_avoids_text_collisions() {
+        let text = vec![0xFFFF_0000u32, 0xFFFF_0000, 0x00FF_00FF, 7, 7, 7];
+        let per_index = vec![10, 10, 5, 1, 1, 1];
+        let book = LowWeightBook::build(&text, &per_index, 4);
+        for &(orig, code) in book.pairs() {
+            assert!(!text.contains(&code), "codeword {code:#x} collides");
+            assert!(code.count_ones() < orig.count_ones());
+        }
+        for &w in &text {
+            let stored = book.encode_word(w);
+            assert_eq!(book.decode_word(stored), w);
+            assert_eq!(book.encode_word_naive(w), stored);
+            assert_eq!(book.decode_word_naive(stored), w);
+        }
+    }
+
+    #[test]
+    fn heavy_words_map_to_lighter_codes() {
+        let text = vec![u32::MAX; 8];
+        let per_index = vec![100; 8];
+        let book = LowWeightBook::build(&text, &per_index, 8);
+        assert_eq!(book.pairs().len(), 1); // one distinct word
+        assert_eq!(book.encode_word(u32::MAX), 0);
+    }
+}

@@ -811,6 +811,130 @@ pub fn bench(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+pub fn arena(args: &[String]) -> Result<String, CliError> {
+    let opts = parse(args);
+    match opts.positional.first().copied() {
+        Some("run") => arena_run(&opts),
+        Some("report") => arena_report(opts.positional.get(1).copied()),
+        _ => Err(CliError::new(
+            "usage: imt arena run [--test-scale] [--results DIR] |\n\
+             \x20      imt arena report [BENCH_arena.json]",
+        )),
+    }
+}
+
+/// `imt arena run`: score every scheme on every kernel and refresh
+/// `results/BENCH_arena.json` (same artifact `exp_arena` writes).
+fn arena_run(opts: &Options<'_>) -> Result<String, CliError> {
+    let scale = if opts.flag("--test-scale") {
+        imt_bench::runner::Scale::Test
+    } else {
+        imt_bench::runner::Scale::Paper
+    };
+    let grid = imt_bench::arena::arena_grid(scale);
+    let mut out = format!("encoder arena at {scale:?} scale:\n");
+    for arena in &grid {
+        writeln!(
+            out,
+            "\n{} — {} fetches, {} baseline transitions, budget {} bits",
+            arena.instance, arena.fetches, arena.baseline_transitions, arena.budget_bits
+        )
+        .expect("write to String");
+        let mut table = imt_bench::table::Table::new(
+            ["scheme", "bits", "encoded", "reduction", "path", "front"]
+                .map(String::from)
+                .to_vec(),
+        );
+        for row in &arena.rows {
+            table.row(vec![
+                row.label.clone(),
+                row.storage_bits.to_string(),
+                row.evaluation.encoded_transitions.to_string(),
+                format!("{:.2}%", row.reduction_percent()),
+                row.path.to_string(),
+                if row.pareto { "*" } else { "" }.to_string(),
+            ]);
+        }
+        out.push_str(&table.render());
+        writeln!(
+            out,
+            "best single: {} ({:.2}%); auto-select: {} ({:.2}%, {} bits, donor {})",
+            arena.best_row().label,
+            arena.best_row().reduction_percent(),
+            arena.auto.winner,
+            arena.auto.reduction_percent(),
+            arena.auto.selection.bits_used,
+            arena.auto.tt_donor
+        )
+        .expect("write to String");
+    }
+    let results = std::path::PathBuf::from(opts.value("--results").unwrap_or("results"));
+    let doc = imt_bench::arena::arena_doc(&grid, scale);
+    std::fs::create_dir_all(&results)?;
+    let path = results.join("BENCH_arena.json");
+    std::fs::write(&path, format!("{}\n", doc.render_pretty()))?;
+    writeln!(out, "\nwrote {}", path.display()).expect("write to String");
+    Ok(out)
+}
+
+/// `imt arena report`: summarise an existing `BENCH_arena.json`.
+fn arena_report(path: Option<&str>) -> Result<String, CliError> {
+    use imt_obs::json::Json;
+    let path = path.unwrap_or("results/BENCH_arena.json");
+    let text = std::fs::read_to_string(path)?;
+    let doc =
+        Json::parse(&text).map_err(|e| CliError::new(format!("{path}: not valid JSON: {e}")))?;
+    let kernels = doc
+        .get("kernels")
+        .and_then(Json::as_array)
+        .ok_or_else(|| CliError::new(format!("{path}: missing `kernels` array")))?;
+    let scale = doc.get("scale").and_then(Json::as_str).unwrap_or("?");
+    let mut out = format!("{path}: {} kernel(s) at {scale} scale\n", kernels.len());
+    for kernel in kernels {
+        let get_str = |j: &Json, key: &str| {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .unwrap_or_else(|| "?".to_string())
+        };
+        let reduction = |j: &Json| {
+            j.get("reduction_percent")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN)
+        };
+        let instance = get_str(kernel, "instance");
+        let best = kernel
+            .get("best_single")
+            .ok_or_else(|| CliError::new(format!("{path}: {instance}: missing `best_single`")))?;
+        let auto = kernel
+            .get("auto")
+            .ok_or_else(|| CliError::new(format!("{path}: {instance}: missing `auto`")))?;
+        let front: Vec<String> = kernel
+            .get("rows")
+            .and_then(Json::as_array)
+            .map(|rows| {
+                rows.iter()
+                    .filter(|r| r.get("pareto").and_then(Json::as_bool) == Some(true))
+                    .map(|r| get_str(r, "label"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "  {:<12} best {} {:.2}%  auto {} {:.2}% (donor {})  front: {}",
+            instance,
+            get_str(best, "label"),
+            reduction(best),
+            get_str(auto, "winner"),
+            reduction(auto),
+            get_str(auto, "tt_donor"),
+            front.join(" ")
+        )
+        .expect("write to String");
+    }
+    Ok(out)
+}
+
 pub fn cache(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         None | Some("stats") => {
@@ -1960,6 +2084,39 @@ loop:   xor $t1, $t1, $t0\n\
         assert!(out.contains("2 campaign cell(s)"));
         assert!(out.contains("no silent corruption under any protected cell"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn arena_report_summarises_bench_json() {
+        let doc = r#"{"scale": "test", "kernels": [
+            {"instance": "tri-12x3",
+             "rows": [
+                {"label": "tt-k7", "pareto": true},
+                {"label": "gray", "pareto": false}
+             ],
+             "best_single": {"label": "tt-k7", "reduction_percent": 39.56},
+             "auto": {"winner": "composite", "tt_donor": "tt-k7",
+                      "reduction_percent": 41.57}}
+        ]}"#;
+        let path = write_temp("arena_report.json", doc);
+        let out = arena(&args(&["report", &path])).unwrap();
+        assert!(out.contains("1 kernel(s) at test scale"));
+        assert!(out.contains("best tt-k7 39.56%"));
+        assert!(out.contains("auto composite 41.57% (donor tt-k7)"));
+        assert!(out.contains("front: tt-k7"));
+        assert!(
+            !out.contains("gray"),
+            "non-front rows stay out of the front list"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn arena_requires_a_subcommand() {
+        let err = arena(&[]).unwrap_err();
+        assert!(err.to_string().contains("usage: imt arena"));
+        let err = arena(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("usage: imt arena"));
     }
 
     #[test]

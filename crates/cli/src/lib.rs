@@ -11,6 +11,7 @@
 //! imt tables [-k N]                      print the optimal code table
 //! imt kernels [name]                     list / run the paper benchmarks
 //! imt bench [opts]                       figure 6 grid via replay eval
+//! imt arena <run|report> [opts]          encoder arena; Pareto + auto-select
 //! imt serve [opts]                       load session vs the job service
 //! imt serve --listen <addr> [opts]       expose the service over the wire
 //! imt client <addr> [kernels..] [opts]   drive a remote server over the wire
@@ -101,6 +102,11 @@ commands:
                                    figure 6 grid via replay evaluation;
                                    --record appends a BENCH_*.json summary
                                    to results/BENCH_history.jsonl
+  arena run [--test-scale] [--results DIR]
+                                   score every encoding scheme on every
+                                   kernel (Pareto + auto-select); writes
+                                   results/BENCH_arena.json
+  arena report [BENCH_arena.json]  summarise an exp_arena result file
   serve [--workers N] [--queue N] [--max-batch N] [--requests N] [--reject]
         [--deadline-ms N] [--delivery-ms N] [--tenant-quota N] [--test-scale]
                                    closed-loop load session against the
@@ -171,6 +177,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "tables" => commands::tables(rest),
         "kernels" => commands::kernels(rest),
         "bench" => commands::bench(rest),
+        "arena" => commands::arena(rest),
         "serve" => commands::serve(rest),
         "client" => commands::client(rest),
         "batch" => commands::batch(rest),

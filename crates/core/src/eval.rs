@@ -288,7 +288,7 @@ pub fn evaluate_replay(
     Ok(evaluation)
 }
 
-fn pc_to_index(pc: u32, text_base: u32, text_len: usize) -> Result<usize, CoreError> {
+pub(crate) fn pc_to_index(pc: u32, text_base: u32, text_len: usize) -> Result<usize, CoreError> {
     let offset = pc.wrapping_sub(text_base);
     let index = (offset / 4) as usize;
     if pc < text_base || !offset.is_multiple_of(4) || index >= text_len {
@@ -308,7 +308,11 @@ fn pc_to_index(pc: u32, text_base: u32, text_len: usize) -> Result<usize, CoreEr
 /// edge weight into one bitset per weight bit, then
 /// `per_lane[l] = Σ_b 2^b · popcount(lane_l & weight_plane_b)` — pure
 /// word-wide AND+popcount, no per-bit or per-lane extraction loops.
-fn weighted_transitions(words: &[u32], profile: &FetchEdgeProfile) -> (u64, Vec<u64>) {
+///
+/// Public because the scheme arena ([`crate::scheme`]) prices every
+/// static stored image — Gray, codebook, per-lane composites — in the
+/// same closed-form currency.
+pub fn weighted_transitions(words: &[u32], profile: &FetchEdgeProfile) -> (u64, Vec<u64>) {
     let mut diffs = Vec::with_capacity(profile.distinct_edges());
     let mut weights = Vec::with_capacity(profile.distinct_edges());
     let mut total = 0u64;

@@ -64,6 +64,7 @@ pub mod pipeline;
 pub mod profile_cache;
 pub mod protect;
 pub mod schedule;
+pub mod scheme;
 pub mod tableimage;
 
 mod config;

@@ -54,6 +54,13 @@ pub struct NetRequest {
     /// client marks a request non-idempotent when double execution
     /// would double-count (e.g. load-generator conservation audits).
     pub idempotent: bool,
+    /// Encoding scheme name in the [`SchemeSpec::parse`] grammar
+    /// (`tt` / `gray` / `lowweight` / `businvert`; empty = the TT/BBIT
+    /// default). Travels as its name, like the kernel: scheme
+    /// internals never cross the wire.
+    ///
+    /// [`SchemeSpec::parse`]: imt_core::scheme::SchemeSpec::parse
+    pub scheme: String,
 }
 
 impl NetRequest {
@@ -74,6 +81,7 @@ impl NetRequest {
             fault_window: 0,
             panic_in_worker: false,
             idempotent: true,
+            scheme: String::new(),
         }
     }
 
@@ -81,6 +89,13 @@ impl NetRequest {
     #[must_use]
     pub fn with_tenant(mut self, tenant: impl Into<String>) -> NetRequest {
         self.tenant = tenant.into();
+        self
+    }
+
+    /// Names the encoding scheme (empty = the TT/BBIT default).
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: impl Into<String>) -> NetRequest {
+        self.scheme = scheme.into();
         self
     }
 
@@ -110,6 +125,7 @@ impl NetRequest {
         w.u32(self.fault_window);
         w.u8(u8::from(self.panic_in_worker));
         w.u8(u8::from(self.idempotent));
+        w.str(&self.scheme);
         w.finish()
     }
 
@@ -144,6 +160,7 @@ impl NetRequest {
         let fault_window = r.u32()?;
         let panic_in_worker = decode_bool(&mut r, "panic_in_worker")?;
         let idempotent = decode_bool(&mut r, "idempotent")?;
+        let scheme = r.str()?;
         r.expect_end()?;
         Ok(NetRequest {
             tenant,
@@ -159,6 +176,7 @@ impl NetRequest {
             fault_window,
             panic_in_worker,
             idempotent,
+            scheme,
         })
     }
 }
@@ -717,6 +735,7 @@ mod tests {
             fault_window: 4096,
             panic_in_worker: false,
             idempotent: true,
+            scheme: "gray".into(),
         }
     }
 

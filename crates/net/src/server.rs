@@ -443,6 +443,8 @@ pub(crate) fn build_request(net: &NetRequest) -> Result<Request, String> {
         config = config.with_bbit_capacity(net.bbit_capacity as usize);
     }
     let mut request = Request::new(spec, config);
+    request.scheme = imt_core::scheme::SchemeSpec::parse(&net.scheme)
+        .ok_or_else(|| format!("unknown scheme `{}`", net.scheme))?;
     request.needs = EvalNeeds {
         icache: net.needs.icache,
         timing: net.needs.timing,
@@ -503,6 +505,26 @@ mod tests {
         assert!(build_request(&net)
             .expect_err("bad protection")
             .contains("quantum"));
+
+        let mut net = NetRequest::new("tri", true);
+        net.scheme = "rot13".into();
+        assert!(build_request(&net)
+            .expect_err("bad scheme")
+            .contains("unknown scheme `rot13`"));
+    }
+
+    #[test]
+    fn build_request_carries_the_scheme() {
+        use imt_core::scheme::SchemeSpec;
+        // Empty (the wire default) and "tt" both mean the paper pipeline.
+        let request = build_request(&NetRequest::new("tri", true)).expect("builds");
+        assert_eq!(request.scheme, SchemeSpec::TtBbit);
+        let request =
+            build_request(&NetRequest::new("tri", true).with_scheme("tt")).expect("builds");
+        assert_eq!(request.scheme, SchemeSpec::TtBbit);
+        let request =
+            build_request(&NetRequest::new("tri", true).with_scheme("businvert")).expect("builds");
+        assert_eq!(request.scheme, SchemeSpec::BusInvert);
     }
 
     #[test]

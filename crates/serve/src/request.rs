@@ -7,6 +7,7 @@ use std::time::Duration;
 use crate::sync::{lock_clean, wait_clean};
 
 use imt_core::eval::{EvalNeeds, EvalPath, Evaluation};
+use imt_core::scheme::SchemeSpec;
 use imt_core::{EncoderConfig, Protection};
 use imt_fault::plan::FaultPlan;
 use imt_kernels::KernelSpec;
@@ -25,6 +26,11 @@ pub struct Request {
     /// The encoder configuration (block size, table capacities,
     /// transform set).
     pub config: EncoderConfig,
+    /// Which encoding scheme to apply. [`SchemeSpec::TtBbit`] (the
+    /// default) runs the paper's pipeline unchanged; the alternatives
+    /// route through the [`imt_core::scheme`] arena — cycle-state
+    /// schemes fall back to full simulation, never a stateless replay.
+    pub scheme: SchemeSpec,
     /// What the evaluation must cover; anything beyond data-bus
     /// transitions routes to full simulation (see
     /// [`imt_core::eval::evaluate_auto`]).
@@ -69,6 +75,7 @@ impl Request {
         Request {
             spec,
             config,
+            scheme: SchemeSpec::TtBbit,
             needs: EvalNeeds::transitions_only(),
             deadline: None,
             fault_plan: None,
@@ -103,6 +110,13 @@ impl Request {
         self
     }
 
+    /// Selects the encoding scheme (default [`SchemeSpec::TtBbit`]).
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: SchemeSpec) -> Request {
+        self.scheme = scheme;
+        self
+    }
+
     /// Adopts a trace root opened upstream (see [`Request::trace_root`]).
     #[must_use]
     pub fn with_trace_root(
@@ -124,7 +138,8 @@ impl Request {
 
     /// The key completed results are memoized on, covering everything
     /// the outcome depends on: the spec (via [`Request::batch_key`]),
-    /// the encoder configuration, and the evaluation needs. `None`
+    /// the encoder configuration, the scheme, and the evaluation
+    /// needs. `None`
     /// means the request must re-execute every time — it carries a
     /// fault plan (replay outcomes depend on the plan and protection)
     /// or the worker-panic test hook.
@@ -133,9 +148,10 @@ impl Request {
             return None;
         }
         Some(format!(
-            "{}|{:?}|{:?}",
+            "{}|{:?}|{:?}|{:?}",
             self.batch_key(),
             self.config,
+            self.scheme,
             self.needs
         ))
     }

@@ -795,6 +795,12 @@ fn execute(warm: &WarmProfile, request: &Request) -> Result<Completed, ServeErro
     if request.panic_in_worker {
         panic!("poisoned job (panic_in_worker test hook)");
     }
+    // Non-default schemes route through the arena's trait surface; the
+    // TT/BBIT default continues below on the original pipeline, byte
+    // for byte.
+    if request.scheme != imt_core::scheme::SchemeSpec::TtBbit {
+        return execute_scheme(warm, request);
+    }
     let encode_started = Instant::now();
     let encoded = {
         let _span = imt_obs::span!("serve.encode");
@@ -849,10 +855,53 @@ fn execute(warm: &WarmProfile, request: &Request) -> Result<Completed, ServeErro
     })
 }
 
+/// Executes a non-TT/BBIT request through the [`imt_core::scheme`]
+/// arena: build the encoder, score it via the auto router (cycle-state
+/// schemes go to full simulation), and surface the result in the same
+/// [`Completed`] shape. Fault plans are a TT/BBIT table concern and are
+/// refused here rather than silently ignored.
+fn execute_scheme(warm: &WarmProfile, request: &Request) -> Result<Completed, ServeError> {
+    if request.fault_plan.is_some() {
+        return Err(ServeError::Fault {
+            detail: format!(
+                "fault plans target TT/BBIT tables; scheme `{}` has none",
+                request.scheme.name()
+            ),
+        });
+    }
+    let mut scheme = {
+        let _span = imt_obs::span!("serve.encode");
+        imt_core::scheme::build_scheme(
+            request.scheme,
+            &warm.program,
+            &warm.per_index,
+            &request.config,
+        )?
+    };
+    let (evaluation, path) = {
+        let _span = imt_obs::span!("serve.eval");
+        imt_core::scheme::evaluate_scheme_auto(
+            scheme.as_mut(),
+            &warm.program,
+            request.spec.max_steps,
+            Some(&warm.edges),
+            request.needs,
+        )?
+    };
+    Ok(Completed {
+        evaluation: evaluation.to_evaluation(),
+        path,
+        // The alternative schemes have no block schedule; zero keeps the
+        // field honest rather than inventing a TT-shaped count.
+        encoded_blocks: 0,
+        fault: None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use imt_core::eval::EvalNeeds;
+    use imt_core::eval::{EvalNeeds, EvalPath};
     use imt_core::EncoderConfig;
     use imt_kernels::Kernel;
 
@@ -894,6 +943,59 @@ mod tests {
         assert_eq!(stats.submitted, 1);
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.failed, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn serves_alternative_schemes_and_refuses_faults_on_them() {
+        use imt_core::scheme::{build_scheme, evaluate_scheme_auto, SchemeSpec};
+        let spec = Kernel::Tri.test_spec();
+        // Reference: the arena's own auto evaluation, run serially.
+        let program = spec.assemble();
+        let edges =
+            FetchEdgeProfile::record(&program, spec.max_steps).expect("reference run succeeds");
+        let config = EncoderConfig::default();
+        let mut scheme = build_scheme(
+            SchemeSpec::Gray,
+            &program,
+            &edges.per_index_counts(),
+            &config,
+        )
+        .expect("gray build is total");
+        let (reference, _) = evaluate_scheme_auto(
+            scheme.as_mut(),
+            &program,
+            spec.max_steps,
+            Some(&edges),
+            EvalNeeds::transitions_only(),
+        )
+        .expect("reference gray evaluation succeeds");
+
+        let service = Service::start(ServiceConfig::default().with_workers(1));
+        let ticket = service
+            .submit(request(Kernel::Tri).with_scheme(SchemeSpec::Gray))
+            .expect("queue open");
+        let done = ticket.wait().outcome.expect("gray serves");
+        assert_eq!(done.evaluation, reference.to_evaluation());
+        assert_eq!(done.encoded_blocks, 0, "gray has no block schedule");
+
+        // A cycle-state scheme must come back from full simulation.
+        let ticket = service
+            .submit(request(Kernel::Tri).with_scheme(SchemeSpec::BusInvert))
+            .expect("queue open");
+        let done = ticket.wait().outcome.expect("businvert serves");
+        assert!(matches!(done.path, EvalPath::FullSim(_)));
+
+        // Fault plans target TT/BBIT tables; other schemes refuse them.
+        let faulty = request(Kernel::Tri)
+            .with_scheme(SchemeSpec::Gray)
+            .with_faults(
+                imt_fault::plan::FaultPlan::parse("0:text:0:0").expect("plan parses"),
+                imt_core::Protection::None,
+            );
+        let ticket = service.submit(faulty).expect("queue open");
+        let err = ticket.wait().outcome.expect_err("fault plan refused");
+        assert!(matches!(err, ServeError::Fault { .. }), "{err:?}");
         service.shutdown();
     }
 

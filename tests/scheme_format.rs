@@ -1,0 +1,254 @@
+//! Property tests for the `IMTSCHEM` scheme-descriptor serialisation.
+//!
+//! Descriptors name an encoding scheme and its parameters across a file
+//! or the wire ([`SchemeDescriptor::to_bytes`] / `from_bytes`), so the
+//! parser is fed whatever the other side — or a corrupted transport —
+//! produced. The contract under test mirrors `tests/profile_format.rs`:
+//! round-trips are exact, and *any* malformed input (truncation, header
+//! bit-flips, version skew, garbage, trailing bytes) yields a typed
+//! [`SchemeFormatError`] — never a panic, never a silently wrong scheme.
+
+use imt::core::scheme::{
+    SchemeDescriptor, SchemeFormatError, MAX_LOW_WEIGHT_PAIRS, SCHEME_FORMAT_VERSION,
+};
+use proptest::prelude::*;
+
+/// Every descriptor variant, driven from one compact seed tuple so a
+/// single strategy covers the full tag space. The fields are folded into
+/// range by construction — the strategy only produces *valid*
+/// descriptors; the tests then corrupt their bytes.
+fn descriptor_from_seed(
+    tag: u8,
+    a: u32,
+    b: u32,
+    pairs: &[(u32, u32)],
+    lanes_seed: &[u8],
+) -> SchemeDescriptor {
+    match tag % 5 {
+        0 => SchemeDescriptor::TtBbit {
+            block_size: 2 + a % 31,
+            overlap: (b % 2) as u8,
+            // Bit 12 is Transform::IDENTITY, which valid masks carry.
+            transform_mask: 0x1000 | (b % 0x1000) as u16,
+            tt_capacity: a % (1 << 20),
+            bbit_capacity: b % (1 << 20),
+        },
+        1 => SchemeDescriptor::Gray,
+        2 => SchemeDescriptor::LowWeight {
+            pairs: pairs
+                .iter()
+                .map(|&(orig, code)| {
+                    // A self-mapping pair is format-invalid; nudge it.
+                    if orig == code {
+                        (orig, code ^ 1)
+                    } else {
+                        (orig, code)
+                    }
+                })
+                .collect(),
+        },
+        3 => SchemeDescriptor::BusInvert {
+            width: 1 + (a % 63) as u8,
+        },
+        _ => {
+            let mut lanes = [0u8; 32];
+            for (lane, &seed) in lanes.iter_mut().zip(lanes_seed.iter().cycle()) {
+                *lane = seed % 3;
+            }
+            SchemeDescriptor::Composite { lanes }
+        }
+    }
+}
+
+fn descriptor_strategy() -> impl Strategy<Value = SchemeDescriptor> {
+    (
+        any::<u8>(),
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..32),
+        proptest::collection::vec(any::<u8>(), 1..32),
+    )
+        .prop_map(|(tag, a, b, pairs, lanes)| descriptor_from_seed(tag, a, b, &pairs, &lanes))
+}
+
+proptest! {
+    /// Any valid descriptor round-trips bit-exactly through bytes.
+    #[test]
+    fn roundtrip_is_exact(descriptor in descriptor_strategy()) {
+        let bytes = descriptor.to_bytes();
+        prop_assert_eq!(SchemeDescriptor::from_bytes(&bytes), Ok(descriptor));
+    }
+
+    /// Every strict prefix of a valid serialisation is rejected with a
+    /// typed error — truncation can never panic or half-parse.
+    #[test]
+    fn every_truncation_is_a_typed_error(descriptor in descriptor_strategy()) {
+        let bytes = descriptor.to_bytes();
+        for cut in 0..bytes.len() {
+            let result = SchemeDescriptor::from_bytes(&bytes[..cut]);
+            prop_assert!(
+                result.is_err(),
+                "prefix of {cut}/{} bytes parsed successfully",
+                bytes.len()
+            );
+        }
+    }
+
+    /// A single bit-flip anywhere in the 12-byte magic+version header is
+    /// always rejected (the payload region may legitimately still parse,
+    /// but the header is fully covered).
+    #[test]
+    fn header_bit_flips_are_rejected(
+        descriptor in descriptor_strategy(),
+        byte in 0usize..12,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = descriptor.to_bytes();
+        bytes[byte] ^= 1 << bit;
+        let result = SchemeDescriptor::from_bytes(&bytes);
+        prop_assert!(result.is_err(), "header corruption at byte {byte} bit {bit} accepted");
+        let detail = result.unwrap_err().detail;
+        prop_assert!(
+            detail == "bad magic" || detail == "unsupported scheme format version",
+            "unexpected detail {detail:?} for a header flip"
+        );
+    }
+
+    /// Arbitrary bit-flips anywhere in the stream either fail with a
+    /// typed error or decode to *some* structurally valid descriptor —
+    /// they never panic.
+    #[test]
+    fn arbitrary_bit_flips_never_panic(
+        descriptor in descriptor_strategy(),
+        flips in proptest::collection::vec((0usize..4096, 0u32..8), 1..8),
+    ) {
+        let mut bytes = descriptor.to_bytes();
+        for (pos, bit) in flips {
+            let pos = pos % bytes.len();
+            bytes[pos] ^= 1 << bit;
+        }
+        // Either outcome is fine; reaching this line without a panic is
+        // the property.
+        let _ = SchemeDescriptor::from_bytes(&bytes);
+    }
+
+    /// Random byte soup never panics the parser.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = SchemeDescriptor::from_bytes(&bytes);
+    }
+}
+
+/// A future format version is refused up front, not misparsed.
+#[test]
+fn version_mismatch_is_a_typed_error() {
+    let mut bytes = SchemeDescriptor::Gray.to_bytes();
+    let next = (SCHEME_FORMAT_VERSION + 1).to_le_bytes();
+    bytes[8..12].copy_from_slice(&next);
+    assert_eq!(
+        SchemeDescriptor::from_bytes(&bytes),
+        Err(SchemeFormatError {
+            detail: "unsupported scheme format version"
+        })
+    );
+}
+
+/// The empty input is the smallest truncation.
+#[test]
+fn empty_input_is_rejected() {
+    let err = SchemeDescriptor::from_bytes(&[]).unwrap_err();
+    assert_eq!(err.detail, "truncated scheme descriptor");
+}
+
+/// Trailing bytes after a well-formed descriptor are an error: a frame
+/// with appended junk is corrupt, not "valid plus extras".
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut bytes = SchemeDescriptor::BusInvert { width: 32 }.to_bytes();
+    bytes.push(0);
+    assert_eq!(
+        SchemeDescriptor::from_bytes(&bytes),
+        Err(SchemeFormatError {
+            detail: "trailing bytes"
+        })
+    );
+}
+
+/// Field invariants survive the trip through bytes: out-of-range values
+/// a hostile peer could encode by hand are refused by name.
+#[test]
+fn out_of_range_fields_are_rejected() {
+    // Block size 1 (below the encoder minimum).
+    let mut bytes = SchemeDescriptor::TtBbit {
+        block_size: 5,
+        overlap: 0,
+        transform_mask: 0x1000,
+        tt_capacity: 16,
+        bbit_capacity: 16,
+    }
+    .to_bytes();
+    bytes[13..17].copy_from_slice(&1u32.to_le_bytes());
+    assert_eq!(
+        SchemeDescriptor::from_bytes(&bytes).unwrap_err().detail,
+        "block size outside 2..=32"
+    );
+
+    // A transform set without the identity cannot decode anything.
+    let mut bytes = SchemeDescriptor::TtBbit {
+        block_size: 5,
+        overlap: 0,
+        transform_mask: 0x1000,
+        tt_capacity: 16,
+        bbit_capacity: 16,
+    }
+    .to_bytes();
+    bytes[18..20].copy_from_slice(&0x0800u16.to_le_bytes());
+    assert_eq!(
+        SchemeDescriptor::from_bytes(&bytes).unwrap_err().detail,
+        "transform set without identity"
+    );
+
+    // Bus width 0 makes no physical sense.
+    let mut bytes = SchemeDescriptor::BusInvert { width: 32 }.to_bytes();
+    bytes[13] = 0;
+    assert_eq!(
+        SchemeDescriptor::from_bytes(&bytes).unwrap_err().detail,
+        "bus width outside 1..=63"
+    );
+
+    // A codebook larger than the format ceiling is refused before any
+    // allocation of its claimed size.
+    let mut bytes = SchemeDescriptor::LowWeight { pairs: vec![] }.to_bytes();
+    bytes[13..17].copy_from_slice(&((MAX_LOW_WEIGHT_PAIRS as u32 + 1).to_le_bytes()));
+    assert_eq!(
+        SchemeDescriptor::from_bytes(&bytes).unwrap_err().detail,
+        "codebook implausibly large"
+    );
+
+    // A pair mapping a word to itself would silently no-op the CAM.
+    let mut bytes = SchemeDescriptor::LowWeight {
+        pairs: vec![(7, 8)],
+    }
+    .to_bytes();
+    bytes[21..25].copy_from_slice(&7u32.to_le_bytes());
+    assert_eq!(
+        SchemeDescriptor::from_bytes(&bytes).unwrap_err().detail,
+        "codebook pair maps a word to itself"
+    );
+
+    // Composite lane tags stop at 2.
+    let mut bytes = SchemeDescriptor::Composite { lanes: [1; 32] }.to_bytes();
+    bytes[20] = 3;
+    assert_eq!(
+        SchemeDescriptor::from_bytes(&bytes).unwrap_err().detail,
+        "composite lane tag outside 0..=2"
+    );
+
+    // An unknown scheme tag is named, not misparsed as the nearest one.
+    let mut bytes = SchemeDescriptor::Gray.to_bytes();
+    bytes[12] = 9;
+    assert_eq!(
+        SchemeDescriptor::from_bytes(&bytes).unwrap_err().detail,
+        "unknown scheme tag"
+    );
+}
